@@ -1,0 +1,199 @@
+//! Grouping — the extension the paper's conclusion asks for.
+//!
+//! "It remains to discover … how to add grouping constructs to the
+//! language." For *safe* (finite-output) queries the natural semantics is
+//! SQL's: partition the output tuples by the values of the grouping
+//! columns and aggregate the rest per group. Safety makes this
+//! well-defined: the group keys form a finite set, so the result is again
+//! a finite relation — closure is preserved.
+
+use crate::aggregate::Aggregate;
+use crate::lang::AggError;
+use cqa_arith::Rat;
+use cqa_core::{enumerate_finite, Database, SafetyError};
+use cqa_logic::Formula;
+use cqa_poly::{MPoly, Var};
+
+/// `GROUP BY`-style aggregation: evaluates the (safe) query `q` with
+/// output columns `free`, partitions tuples by the `group_by` columns
+/// (which must be a subset of `free`), and applies `agg` to the `value`
+/// term within each group.
+///
+/// Returns `(key, aggregate)` pairs sorted by key. Empty groups do not
+/// occur (keys come from actual tuples), so `AVG`/`MIN`/`MAX` are total.
+pub fn group_aggregate(
+    db: &Database,
+    q: &Formula,
+    free: &[Var],
+    group_by: &[Var],
+    value: &MPoly,
+    agg: Aggregate,
+) -> Result<Vec<(Vec<Rat>, Rat)>, AggError> {
+    assert!(
+        group_by.iter().all(|g| free.contains(g)),
+        "group_by columns must be among the output columns"
+    );
+    let expanded = db.expand(q).map_err(|e| AggError::Db(e.to_string()))?;
+    let qf = cqa_qe::eliminate(&expanded)?;
+    let tuples = enumerate_finite(&qf, free).map_err(|e| match e {
+        SafetyError::Infinite => AggError::Db("grouping over an infinite set".into()),
+        SafetyError::IrrationalPoint => AggError::IrrationalEndpoint,
+        SafetyError::Qe(q) => AggError::Qe(q),
+    })?;
+
+    // Partition by key.
+    let key_idx: Vec<usize> = group_by
+        .iter()
+        .map(|g| free.iter().position(|v| v == g).unwrap())
+        .collect();
+    let mut groups: Vec<(Vec<Rat>, Vec<Rat>)> = Vec::new();
+    for t in &tuples {
+        let key: Vec<Rat> = key_idx.iter().map(|&i| t[i].clone()).collect();
+        let val = value.eval(&|v: Var| {
+            free.iter()
+                .position(|&w| w == v)
+                .map(|i| t[i].clone())
+                .unwrap_or_else(Rat::zero)
+        });
+        match groups.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, vals)) => vals.push(val),
+            None => groups.push((key, vec![val])),
+        }
+    }
+    groups.sort_by(|(a, _), (b, _)| a.cmp(b));
+
+    groups
+        .into_iter()
+        .map(|(key, vals)| {
+            let n = vals.len();
+            let reduced = match agg {
+                Aggregate::Count => Rat::from(n as i64),
+                Aggregate::Sum => vals.into_iter().fold(Rat::zero(), |a, b| a + b),
+                Aggregate::Avg => {
+                    vals.into_iter().fold(Rat::zero(), |a, b| a + b) / Rat::from(n as i64)
+                }
+                Aggregate::Min => vals.into_iter().min().expect("non-empty group"),
+                Aggregate::Max => vals.into_iter().max().expect("non-empty group"),
+            };
+            Ok((key, reduced))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_arith::rat;
+    use cqa_logic::parse_formula_with;
+
+    fn sales_db() -> Database {
+        let mut db = Database::new();
+        // Sales(region, amount)
+        db.add_finite_relation(
+            "Sales",
+            vec![
+                vec![rat(1, 1), rat(10, 1)],
+                vec![rat(1, 1), rat(20, 1)],
+                vec![rat(2, 1), rat(5, 1)],
+                vec![rat(2, 1), rat(7, 1)],
+                vec![rat(2, 1), rat(9, 1)],
+                vec![rat(3, 1), rat(100, 1)],
+            ],
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn group_sums() {
+        let mut db = sales_db();
+        let r = db.vars_mut().intern("r");
+        let a = db.vars_mut().intern("a");
+        let q = parse_formula_with("Sales(r, a)", db.vars_mut()).unwrap();
+        let out =
+            group_aggregate(&db, &q, &[r, a], &[r], &MPoly::var(a), Aggregate::Sum).unwrap();
+        assert_eq!(
+            out,
+            vec![
+                (vec![rat(1, 1)], rat(30, 1)),
+                (vec![rat(2, 1)], rat(21, 1)),
+                (vec![rat(3, 1)], rat(100, 1)),
+            ]
+        );
+    }
+
+    #[test]
+    fn group_counts_and_avg() {
+        let mut db = sales_db();
+        let r = db.vars_mut().intern("r");
+        let a = db.vars_mut().intern("a");
+        let q = parse_formula_with("Sales(r, a)", db.vars_mut()).unwrap();
+        let counts =
+            group_aggregate(&db, &q, &[r, a], &[r], &MPoly::var(a), Aggregate::Count).unwrap();
+        assert_eq!(counts[0].1, rat(2, 1));
+        assert_eq!(counts[1].1, rat(3, 1));
+        let avgs =
+            group_aggregate(&db, &q, &[r, a], &[r], &MPoly::var(a), Aggregate::Avg).unwrap();
+        assert_eq!(avgs[0].1, rat(15, 1));
+        assert_eq!(avgs[1].1, rat(7, 1));
+    }
+
+    #[test]
+    fn grouping_respects_where_clause() {
+        let mut db = sales_db();
+        let r = db.vars_mut().intern("r");
+        let a = db.vars_mut().intern("a");
+        let q = parse_formula_with("Sales(r, a) & a >= 9", db.vars_mut()).unwrap();
+        let out =
+            group_aggregate(&db, &q, &[r, a], &[r], &MPoly::var(a), Aggregate::Max).unwrap();
+        assert_eq!(
+            out,
+            vec![
+                (vec![rat(1, 1)], rat(20, 1)),
+                (vec![rat(2, 1)], rat(9, 1)),
+                (vec![rat(3, 1)], rat(100, 1)),
+            ]
+        );
+    }
+
+    #[test]
+    fn group_by_all_columns_is_identity_count() {
+        let mut db = sales_db();
+        let r = db.vars_mut().intern("r");
+        let a = db.vars_mut().intern("a");
+        let q = parse_formula_with("Sales(r, a)", db.vars_mut()).unwrap();
+        let out =
+            group_aggregate(&db, &q, &[r, a], &[r, a], &MPoly::var(a), Aggregate::Count)
+                .unwrap();
+        assert_eq!(out.len(), 6);
+        assert!(out.iter().all(|(_, c)| *c == rat(1, 1)));
+    }
+
+    #[test]
+    fn grouping_on_constraint_derived_keys() {
+        // Group keys produced by a constraint query (roots of a quadratic).
+        let mut db = Database::new();
+        db.define("K", &["k"], "k*k - 3*k + 2 = 0").unwrap(); // k ∈ {1, 2}
+        db.add_finite_relation("V", vec![vec![rat(1, 1)], vec![rat(2, 1)], vec![rat(3, 1)]])
+            .unwrap();
+        let k = db.vars_mut().get("k").unwrap();
+        let v = db.vars_mut().intern("v");
+        // Pairs (k, v) with v > k.
+        let q = parse_formula_with("K(k) & V(v) & v > k", db.vars_mut()).unwrap();
+        let out =
+            group_aggregate(&db, &q, &[k, v], &[k], &MPoly::var(v), Aggregate::Count).unwrap();
+        assert_eq!(
+            out,
+            vec![(vec![rat(1, 1)], rat(2, 1)), (vec![rat(2, 1)], rat(1, 1))]
+        );
+    }
+
+    #[test]
+    fn infinite_grouping_rejected() {
+        let mut db = Database::new();
+        db.define("S", &["x"], "0 <= x & x <= 1").unwrap();
+        let x = db.vars_mut().get("x").unwrap();
+        let q = parse_formula_with("S(x)", db.vars_mut()).unwrap();
+        assert!(group_aggregate(&db, &q, &[x], &[x], &MPoly::var(x), Aggregate::Count).is_err());
+    }
+}

@@ -1,0 +1,421 @@
+//! The FO+POLY+SUM term-former: END, range restriction, determinism and
+//! summation.
+
+use cqa_arith::Rat;
+use cqa_core::{decompose_1d, Database, DbError, Endpoint};
+use cqa_logic::Formula;
+use cqa_poly::{RealAlg, Var};
+use cqa_qe::QeError;
+
+/// Errors from FO+POLY+SUM evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AggError {
+    /// Database-level failure (unknown relation, parse, …).
+    Db(String),
+    /// Quantifier elimination failed.
+    Qe(QeError),
+    /// A formula used as `END` body was not one-dimensional in the bound
+    /// variable after substitution.
+    NotOneDimensional,
+    /// An interval endpoint is irrational; exact rational summation is
+    /// impossible. (Only arises for semi-algebraic inputs; the paper's
+    /// Theorem 3 concerns semi-linear inputs, whose endpoints are
+    /// rational.) Use [`end_points`] and work with `RealAlg` directly, or
+    /// supply an approximation precision.
+    IrrationalEndpoint,
+    /// The γ formula is not deterministic (more than one output for some
+    /// input).
+    NotDeterministic,
+}
+
+impl std::fmt::Display for AggError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AggError::Db(m) => write!(f, "database error: {m}"),
+            AggError::Qe(e) => write!(f, "quantifier elimination failed: {e}"),
+            AggError::NotOneDimensional => write!(f, "END body is not one-dimensional"),
+            AggError::IrrationalEndpoint => write!(f, "irrational interval endpoint"),
+            AggError::NotDeterministic => write!(f, "γ formula is not deterministic"),
+        }
+    }
+}
+impl std::error::Error for AggError {}
+
+impl From<QeError> for AggError {
+    fn from(e: QeError) -> AggError {
+        AggError::Qe(e)
+    }
+}
+impl From<DbError> for AggError {
+    fn from(e: DbError) -> AggError {
+        AggError::Db(e.to_string())
+    }
+}
+
+/// `END[y, φ(y)]` evaluated against a database: the endpoints of the
+/// maximal intervals composing `{y : φ(y)}` (after substituting relation
+/// definitions and eliminating quantifiers). `φ` must have `y` as its only
+/// free variable.
+pub fn end_points(db: &Database, phi: &Formula, y: Var) -> Result<Vec<RealAlg>, AggError> {
+    let expanded = db.expand(phi)?;
+    let qf = cqa_qe::eliminate(&expanded)?;
+    let ivs = decompose_1d(&qf, y).ok_or(AggError::NotOneDimensional)?;
+    let mut out: Vec<RealAlg> = Vec::new();
+    for iv in ivs {
+        for e in [&iv.lo, &iv.hi] {
+            if let Endpoint::Value(a, _) = e {
+                if !out.contains(a) {
+                    out.push(a.clone());
+                }
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Rational endpoints of `END[y, φ]`, erroring on irrational ones.
+pub fn end_points_rational(
+    db: &Database,
+    phi: &Formula,
+    y: Var,
+) -> Result<Vec<Rat>, AggError> {
+    end_points(db, phi, y)?
+        .into_iter()
+        .map(|a| match a {
+            RealAlg::Rational(r) => Ok(r),
+            _ => Err(AggError::IrrationalEndpoint),
+        })
+        .collect()
+}
+
+/// A range-restricted expression `ρ(w⃗) ≡ (φ₁(w⃗) | END[y, φ₂(y)])`:
+/// the tuples `w⃗` satisfying `φ₁` all of whose coordinates are endpoints
+/// of the intervals composing `φ₂`. Guaranteed finite.
+#[derive(Clone, Debug)]
+pub struct RangeRestricted {
+    /// The filter `φ₁(w⃗)`.
+    pub filter: Formula,
+    /// The tuple variables `w⃗` (also the free variables of `filter` that
+    /// range over endpoints).
+    pub tuple_vars: Vec<Var>,
+    /// The `END` bound variable `y`.
+    pub end_var: Var,
+    /// The `END` body `φ₂(y)`.
+    pub end_formula: Formula,
+}
+
+impl RangeRestricted {
+    /// Enumerates `ρ(D)`: all tuples of endpoints satisfying the filter.
+    /// Requires rational endpoints (semi-linear `φ₂`).
+    pub fn enumerate(&self, db: &Database) -> Result<Vec<Vec<Rat>>, AggError> {
+        let ends = end_points_rational(db, &self.end_formula, self.end_var)?;
+        let k = self.tuple_vars.len();
+        let mut out = Vec::new();
+        let mut idx = vec![0usize; k];
+        if ends.is_empty() && k > 0 {
+            return Ok(out);
+        }
+        loop {
+            let tuple: Vec<Rat> = idx.iter().map(|&i| ends[i].clone()).collect();
+            // Evaluate the filter with relation atoms resolved by the db.
+            let mut f = db.expand(&self.filter)?;
+            for (v, x) in self.tuple_vars.iter().zip(&tuple) {
+                f = f.subst_rat(*v, x);
+            }
+            let qf = cqa_qe::eliminate(&f)?;
+            if qf.eval(&|_| Rat::zero(), &[]).unwrap_or(false) {
+                out.push(tuple);
+            }
+            // Odometer.
+            let mut j = 0;
+            loop {
+                if j == k {
+                    return Ok(out);
+                }
+                idx[j] += 1;
+                if idx[j] < ends.len() {
+                    break;
+                }
+                idx[j] = 0;
+                j += 1;
+            }
+        }
+    }
+}
+
+/// A deterministic formula `γ(x, w⃗)`: a definable partial function from
+/// `w⃗` to at most one `x`.
+#[derive(Clone, Debug)]
+pub struct Deterministic {
+    /// The output variable `x`.
+    pub out_var: Var,
+    /// The input variables `w⃗`.
+    pub in_vars: Vec<Var>,
+    /// The defining formula `γ(x, w⃗)`.
+    pub formula: Formula,
+}
+
+impl Deterministic {
+    /// Applies the partial function at `w⃗ = args`; `None` where undefined.
+    pub fn apply(&self, db: &Database, args: &[Rat]) -> Result<Option<Rat>, AggError> {
+        let mut f = db.expand(&self.formula)?;
+        for (v, x) in self.in_vars.iter().zip(args) {
+            f = f.subst_rat(*v, x);
+        }
+        let qf = cqa_qe::eliminate(&f)?;
+        let ivs = decompose_1d(&qf, self.out_var).ok_or(AggError::NotOneDimensional)?;
+        match ivs.len() {
+            0 => Ok(None),
+            1 if ivs[0].is_point() => match &ivs[0].lo {
+                Endpoint::Value(RealAlg::Rational(r), _) => Ok(Some(r.clone())),
+                Endpoint::Value(_, _) => Err(AggError::IrrationalEndpoint),
+                _ => unreachable!(),
+            },
+            _ => Err(AggError::NotDeterministic),
+        }
+    }
+}
+
+/// Decides whether `γ(x, w⃗)` is deterministic:
+/// `∀w⃗ ∀x ∀x'. γ(x, w⃗) ∧ γ(x', w⃗) → x = x'` — a sentence the QE engine
+/// decides (the paper notes "it is decidable if a formula is
+/// deterministic").
+pub fn is_deterministic(gamma: &Deterministic) -> Result<bool, AggError> {
+    let f = &gamma.formula;
+    if !f.is_relation_free() {
+        // Relation atoms are database-dependent; conservatively reject.
+        return Ok(false);
+    }
+    let x = gamma.out_var;
+    // Fresh variable for x'.
+    let xp = f.fresh_var();
+    let f2 = f.subst_poly(x, &cqa_poly::MPoly::var(xp));
+    let claim = f
+        .clone()
+        .and(f2)
+        .implies(Formula::eq(cqa_poly::MPoly::var(x), cqa_poly::MPoly::var(xp)));
+    Ok(cqa_qe::is_valid(&claim)?)
+}
+
+/// The summation term `Σ_{ρ(w⃗)} γ`: the sum of the bag `γ(ρ(D))`.
+#[derive(Clone, Debug)]
+pub struct SumTerm {
+    /// The range-restricted expression supplying the finite bag of tuples.
+    pub range: RangeRestricted,
+    /// The deterministic summand.
+    pub gamma: Deterministic,
+}
+
+impl SumTerm {
+    /// Evaluates the term against a database.
+    ///
+    /// Checks γ's determinism first (rejecting with
+    /// [`AggError::NotDeterministic`]) — mirroring the language definition,
+    /// where only deterministic formulas may be summed.
+    pub fn eval(&self, db: &Database) -> Result<Rat, AggError> {
+        if !is_deterministic(&self.gamma)? {
+            return Err(AggError::NotDeterministic);
+        }
+        let tuples = self.range.enumerate(db)?;
+        let mut total = Rat::zero();
+        for t in tuples {
+            if let Some(v) = self.gamma.apply(db, &t)? {
+                total += &v;
+            }
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_arith::rat;
+    use cqa_logic::parse_formula_with;
+
+    /// The paper's first example (§5): the sum of all endpoints of the
+    /// intervals composing φ(D).
+    #[test]
+    fn sum_of_endpoints_example() {
+        let mut db = Database::new();
+        // S = [0, 1/2] ∪ [3/4, 2].
+        db.define("S", &["y"], "(0 <= y & y <= 0.5) | (0.75 <= y & y <= 2)").unwrap();
+        let y = db.vars_mut().intern("y");
+        let w = db.vars_mut().intern("w");
+        let x = db.vars_mut().intern("xout");
+        let phi2 = parse_formula_with("S(y)", db.vars_mut()).unwrap();
+
+        // γ(x, w) ≡ x = w; ρ(w) = (w = w | END[y, S(y)]).
+        let term = SumTerm {
+            range: RangeRestricted {
+                filter: Formula::True,
+                tuple_vars: vec![w],
+                end_var: y,
+                end_formula: phi2,
+            },
+            gamma: Deterministic {
+                out_var: x,
+                in_vars: vec![w],
+                formula: parse_formula_with("xout = w", db.vars_mut()).unwrap(),
+            },
+        };
+        // 0 + 1/2 + 3/4 + 2 = 13/4.
+        assert_eq!(term.eval(&db).unwrap(), rat(13, 4));
+    }
+
+    #[test]
+    fn endpoints_of_query_outputs() {
+        let mut db = Database::new();
+        db.define("S", &["y"], "0 <= y & y <= 1").unwrap();
+        let y = db.vars_mut().intern("y");
+        // φ(y) = S(y) ∧ y ≥ 1/2: endpoints {1/2, 1}.
+        let phi = parse_formula_with("S(y) & y >= 0.5", db.vars_mut()).unwrap();
+        let ends = end_points_rational(&db, &phi, y).unwrap();
+        assert_eq!(ends, vec![rat(1, 2), rat(1, 1)]);
+    }
+
+    #[test]
+    fn endpoints_through_projection() {
+        let mut db = Database::new();
+        db.define("T", &["x", "y"], "x >= 0 & y >= 0 & x + y <= 1").unwrap();
+        let x = db.vars_mut().intern("x");
+        // END[x, ∃y T(x,y)] = {0, 1}.
+        let phi = parse_formula_with("exists y. T(x, y)", db.vars_mut()).unwrap();
+        let ends = end_points_rational(&db, &phi, x).unwrap();
+        assert_eq!(ends, vec![rat(0, 1), rat(1, 1)]);
+    }
+
+    #[test]
+    fn irrational_endpoints_flagged() {
+        let mut db = Database::new();
+        db.define("D", &["y"], "y*y <= 2").unwrap();
+        let y = db.vars_mut().intern("y");
+        let phi = parse_formula_with("D(y)", db.vars_mut()).unwrap();
+        // Exact algebraic endpoints are available...
+        let ends = end_points(&db, &phi, y).unwrap();
+        assert_eq!(ends.len(), 2);
+        assert!((ends[1].to_f64() - std::f64::consts::SQRT_2).abs() < 1e-9);
+        // ...but rational summation refuses.
+        assert_eq!(
+            end_points_rational(&db, &phi, y),
+            Err(AggError::IrrationalEndpoint)
+        );
+    }
+
+    #[test]
+    fn determinism_check() {
+        let mut db = Database::new();
+        let _ = db.vars_mut().intern("xout");
+        let _ = db.vars_mut().intern("w");
+        let ok = Deterministic {
+            out_var: db.vars_mut().intern("xout"),
+            in_vars: vec![db.vars_mut().intern("w")],
+            formula: parse_formula_with("xout = w * w + 1", db.vars_mut()).unwrap(),
+        };
+        assert!(is_deterministic(&ok).unwrap());
+        let bad = Deterministic {
+            out_var: db.vars_mut().intern("xout"),
+            in_vars: vec![db.vars_mut().intern("w")],
+            formula: parse_formula_with("xout * xout = w", db.vars_mut()).unwrap(),
+        };
+        assert!(!is_deterministic(&bad).unwrap());
+    }
+
+    #[test]
+    fn sum_rejects_nondeterministic_gamma() {
+        let mut db = Database::new();
+        db.define("S", &["y"], "y = 1 | y = 4").unwrap();
+        let y = db.vars_mut().intern("y");
+        let w = db.vars_mut().intern("w");
+        let x = db.vars_mut().intern("xout");
+        let term = SumTerm {
+            range: RangeRestricted {
+                filter: Formula::True,
+                tuple_vars: vec![w],
+                end_var: y,
+                end_formula: parse_formula_with("S(y)", db.vars_mut()).unwrap(),
+            },
+            gamma: Deterministic {
+                out_var: x,
+                in_vars: vec![w],
+                formula: parse_formula_with("xout * xout = w", db.vars_mut()).unwrap(),
+            },
+        };
+        assert_eq!(term.eval(&db), Err(AggError::NotDeterministic));
+    }
+
+    #[test]
+    fn filtered_ranges() {
+        let mut db = Database::new();
+        db.define("S", &["y"], "(1 <= y & y <= 2) | y = 5").unwrap();
+        let y = db.vars_mut().intern("y");
+        let w = db.vars_mut().intern("w");
+        let x = db.vars_mut().intern("xout");
+        // Only endpoints above 1.5: {2, 5}; γ doubles them: 4 + 10 = 14.
+        let term = SumTerm {
+            range: RangeRestricted {
+                filter: parse_formula_with("w > 1.5", db.vars_mut()).unwrap(),
+                tuple_vars: vec![w],
+                end_var: y,
+                end_formula: parse_formula_with("S(y)", db.vars_mut()).unwrap(),
+            },
+            gamma: Deterministic {
+                out_var: x,
+                in_vars: vec![w],
+                formula: parse_formula_with("xout = 2 * w", db.vars_mut()).unwrap(),
+            },
+        };
+        assert_eq!(term.eval(&db).unwrap(), rat(14, 1));
+    }
+
+    #[test]
+    fn pairs_of_endpoints() {
+        let mut db = Database::new();
+        db.define("S", &["y"], "0 <= y & y <= 1").unwrap();
+        let y = db.vars_mut().intern("y");
+        let w1 = db.vars_mut().intern("w1");
+        let w2 = db.vars_mut().intern("w2");
+        let x = db.vars_mut().intern("xout");
+        // All ordered pairs (w1, w2) with w1 < w2 of endpoints {0,1}: only
+        // (0,1); γ = w2 - w1 = 1.
+        let term = SumTerm {
+            range: RangeRestricted {
+                filter: parse_formula_with("w1 < w2", db.vars_mut()).unwrap(),
+                tuple_vars: vec![w1, w2],
+                end_var: y,
+                end_formula: parse_formula_with("S(y)", db.vars_mut()).unwrap(),
+            },
+            gamma: Deterministic {
+                out_var: x,
+                in_vars: vec![w1, w2],
+                formula: parse_formula_with("xout = w2 - w1", db.vars_mut()).unwrap(),
+            },
+        };
+        assert_eq!(term.eval(&db).unwrap(), rat(1, 1));
+    }
+
+    #[test]
+    fn gamma_partiality() {
+        let mut db = Database::new();
+        db.define("S", &["y"], "y = 1 | y = 2").unwrap();
+        let y = db.vars_mut().intern("y");
+        let w = db.vars_mut().intern("w");
+        let x = db.vars_mut().intern("xout");
+        // γ defined only for w > 1.5: sums only the endpoint 2 → 2.
+        let term = SumTerm {
+            range: RangeRestricted {
+                filter: Formula::True,
+                tuple_vars: vec![w],
+                end_var: y,
+                end_formula: parse_formula_with("S(y)", db.vars_mut()).unwrap(),
+            },
+            gamma: Deterministic {
+                out_var: x,
+                in_vars: vec![w],
+                formula: parse_formula_with("xout = w & w > 1.5", db.vars_mut()).unwrap(),
+            },
+        };
+        assert_eq!(term.eval(&db).unwrap(), rat(2, 1));
+    }
+}

@@ -1,0 +1,272 @@
+//! Löwner–John relative volume approximation for convex bodies
+//! (the Section-4.3 remark).
+//!
+//! For a convex `k`-dimensional body `P`, John's theorem gives an
+//! ellipsoid `E` with `E ⊆ P ⊆ k·E` (general position). From the minimum
+//! volume enclosing ellipsoid (MVEE, computed by Khachiyan's barycentric
+//! coordinate ascent over the vertices) we obtain
+//! `vol(MVEE)/kᵏ ≤ vol(P) ≤ vol(MVEE)`, hence a relative `(c₁, c₂)`
+//! approximation with `c₂/c₁ = kᵏ` — matching the paper's constants
+//! `c₁ = (kᵏ+1)/(2kᵏ) − ε`, `c₂ = (kᵏ+1)/2 + ε` for the midpoint
+//! estimator. Numerically `f64`; this is an approximation module by
+//! definition.
+
+/// The result of a Löwner–John analysis.
+#[derive(Clone, Debug)]
+pub struct JohnBounds {
+    /// Volume of the enclosing ellipsoid.
+    pub outer_volume: f64,
+    /// `outer_volume / k^k` — the guaranteed inner bound.
+    pub inner_volume: f64,
+    /// The midpoint estimator `(inner + outer)/2`.
+    pub estimate: f64,
+}
+
+/// Khachiyan's MVEE: returns `(A, c)` with ellipsoid
+/// `{x : (x−c)ᵀ A (x−c) ≤ 1}` enclosing the points, within tolerance.
+pub fn mvee(points: &[Vec<f64>], tol: f64) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let m = points.len();
+    let d = points[0].len();
+    assert!(m > d, "MVEE needs more points than dimensions");
+    // Lift to homogeneous coordinates.
+    let q: Vec<Vec<f64>> = points
+        .iter()
+        .map(|p| {
+            let mut v = p.clone();
+            v.push(1.0);
+            v
+        })
+        .collect();
+    let mut u = vec![1.0 / m as f64; m];
+    let dim = d + 1;
+    for _ in 0..1000 {
+        // X = Σ uᵢ qᵢ qᵢᵀ
+        let mut x = vec![vec![0.0; dim]; dim];
+        for (i, qi) in q.iter().enumerate() {
+            for r in 0..dim {
+                for c in 0..dim {
+                    x[r][c] += u[i] * qi[r] * qi[c];
+                }
+            }
+        }
+        let xinv = invert(&x);
+        // M_i = qᵢᵀ X⁻¹ qᵢ
+        let mut max_m = f64::MIN;
+        let mut max_i = 0;
+        for (i, qi) in q.iter().enumerate() {
+            let mut mi = 0.0;
+            for r in 0..dim {
+                for c in 0..dim {
+                    mi += qi[r] * xinv[r][c] * qi[c];
+                }
+            }
+            if mi > max_m {
+                max_m = mi;
+                max_i = i;
+            }
+        }
+        let step = (max_m - dim as f64) / (dim as f64 * (max_m - 1.0));
+        if step <= tol {
+            break;
+        }
+        for w in u.iter_mut() {
+            *w *= 1.0 - step;
+        }
+        u[max_i] += step;
+    }
+    // Center c = Σ uᵢ pᵢ; shape A = (1/d)·(Σ uᵢ pᵢpᵢᵀ − ccᵀ)⁻¹.
+    let mut center = vec![0.0; d];
+    for (i, p) in points.iter().enumerate() {
+        for j in 0..d {
+            center[j] += u[i] * p[j];
+        }
+    }
+    let mut s = vec![vec![0.0; d]; d];
+    for (i, p) in points.iter().enumerate() {
+        for r in 0..d {
+            for c in 0..d {
+                s[r][c] += u[i] * p[r] * p[c];
+            }
+        }
+    }
+    for r in 0..d {
+        for c in 0..d {
+            s[r][c] -= center[r] * center[c];
+        }
+    }
+    let sinv = invert(&s);
+    let a: Vec<Vec<f64>> = sinv
+        .iter()
+        .map(|row| row.iter().map(|v| v / d as f64).collect())
+        .collect();
+    (a, center)
+}
+
+/// Volume of the `d`-dimensional unit ball.
+pub fn unit_ball_volume(d: usize) -> f64 {
+    // V_d = π^{d/2} / Γ(d/2 + 1), by the even/odd closed forms.
+    let pi = std::f64::consts::PI;
+    if d.is_multiple_of(2) {
+        let k = d / 2;
+        let mut v = 1.0;
+        for i in 1..=k {
+            v *= pi / i as f64;
+        }
+        v
+    } else {
+        let k = d / 2; // d = 2k + 1
+        let mut v = 2.0;
+        for i in 0..k {
+            v *= 2.0 * pi / (2 * (i + 1) + 1) as f64;
+        }
+        v
+    }
+}
+
+/// Volume of the ellipsoid `{x : (x−c)ᵀ A (x−c) ≤ 1}` = `V_d / √det(A)`.
+pub fn ellipsoid_volume(a: &[Vec<f64>]) -> f64 {
+    let d = a.len();
+    unit_ball_volume(d) / determinant(a).sqrt()
+}
+
+/// Löwner–John volume bounds for the convex hull of `points` (full
+/// dimensional).
+pub fn john_volume_bounds(points: &[Vec<f64>]) -> JohnBounds {
+    let d = points[0].len();
+    let (a, _c) = mvee(points, 1e-7);
+    let outer = ellipsoid_volume(&a);
+    let kk = (d as f64).powi(d as i32);
+    let inner = outer / kk;
+    JohnBounds { outer_volume: outer, inner_volume: inner, estimate: (inner + outer) / 2.0 }
+}
+
+fn invert(m: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let n = m.len();
+    let mut a: Vec<Vec<f64>> = m.to_vec();
+    let mut inv = vec![vec![0.0; n]; n];
+    for (i, row) in inv.iter_mut().enumerate() {
+        row[i] = 1.0;
+    }
+    for col in 0..n {
+        // Partial pivot.
+        let mut p = col;
+        for r in col + 1..n {
+            if a[r][col].abs() > a[p][col].abs() {
+                p = r;
+            }
+        }
+        a.swap(col, p);
+        inv.swap(col, p);
+        let d = a[col][col];
+        for c in 0..n {
+            a[col][c] /= d;
+            inv[col][c] /= d;
+        }
+        for r in 0..n {
+            if r != col {
+                let f = a[r][col];
+                for c in 0..n {
+                    a[r][c] -= f * a[col][c];
+                    inv[r][c] -= f * inv[col][c];
+                }
+            }
+        }
+    }
+    inv
+}
+
+fn determinant(m: &[Vec<f64>]) -> f64 {
+    let n = m.len();
+    let mut a: Vec<Vec<f64>> = m.to_vec();
+    let mut det = 1.0;
+    for col in 0..n {
+        let mut p = col;
+        for r in col + 1..n {
+            if a[r][col].abs() > a[p][col].abs() {
+                p = r;
+            }
+        }
+        if a[p][col] == 0.0 {
+            return 0.0;
+        }
+        if p != col {
+            a.swap(col, p);
+            det = -det;
+        }
+        det *= a[col][col];
+        for r in col + 1..n {
+            let f = a[r][col] / a[col][col];
+            for c in col..n {
+                a[r][c] -= f * a[col][c];
+            }
+        }
+    }
+    det
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_ball_volumes() {
+        assert!((unit_ball_volume(1) - 2.0).abs() < 1e-12);
+        assert!((unit_ball_volume(2) - std::f64::consts::PI).abs() < 1e-12);
+        assert!((unit_ball_volume(3) - 4.0 / 3.0 * std::f64::consts::PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mvee_of_square_contains_it() {
+        let pts = vec![
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+            vec![0.0, 1.0],
+            vec![0.5, 0.5],
+        ];
+        let (a, c) = mvee(&pts, 1e-8);
+        // Every point satisfies (p−c)ᵀA(p−c) ≤ 1 + tolerance.
+        for p in &pts {
+            let mut v = 0.0;
+            for r in 0..2 {
+                for s in 0..2 {
+                    v += (p[r] - c[r]) * a[r][s] * (p[s] - c[s]);
+                }
+            }
+            assert!(v <= 1.0 + 1e-2, "{v}");
+        }
+        // Center near (0.5, 0.5).
+        assert!((c[0] - 0.5).abs() < 1e-3 && (c[1] - 0.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn john_bounds_bracket_true_volume() {
+        // Unit square: volume 1; k = 2, so bounds within a 4× band.
+        let pts = vec![
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+            vec![0.0, 1.0],
+        ];
+        let b = john_volume_bounds(&pts);
+        assert!(b.inner_volume <= 1.0 + 1e-6, "inner {}", b.inner_volume);
+        assert!(b.outer_volume >= 1.0 - 1e-6, "outer {}", b.outer_volume);
+        // Relative width is k^k = 4.
+        assert!((b.outer_volume / b.inner_volume - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn john_bounds_triangle_3d() {
+        // Unit tetrahedron: volume 1/6; k = 3, band k^k = 27.
+        let pts = vec![
+            vec![0.0, 0.0, 0.0],
+            vec![1.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 1.0],
+        ];
+        let b = john_volume_bounds(&pts);
+        let truth = 1.0 / 6.0;
+        assert!(b.inner_volume <= truth * 1.01);
+        assert!(b.outer_volume >= truth * 0.99);
+    }
+}

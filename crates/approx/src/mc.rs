@@ -1,0 +1,235 @@
+//! Theorem 4: uniform Monte Carlo approximation of `VOL_I(φ(ā, D))`.
+//!
+//! One sample, all parameters: because the definable family
+//! `{φ(ā, D) : ā}` has VC dimension `≤ C·log|D|` (Proposition 6), a single
+//! `M(ε, δ, d)`-point sample gives an `ε`-accurate empirical volume for
+//! *every* parameter vector simultaneously, with probability ≥ 1 − δ.
+//! That is what distinguishes Theorem 4 from naive per-query sampling —
+//! and what [`UniformVolumeEstimator`] implements.
+
+use crate::sample::{sample_size, Witness};
+use cqa_arith::Rat;
+use cqa_core::Database;
+use cqa_logic::Formula;
+use cqa_poly::Var;
+use cqa_qe::QeError;
+
+/// A volume estimator sharing one sample across all parameter vectors.
+pub struct UniformVolumeEstimator {
+    /// Quantifier-free matrix of the query (relations expanded, quantifiers
+    /// eliminated), over `params ∪ point_vars`.
+    matrix: Formula,
+    params: Vec<Var>,
+    point_vars: Vec<Var>,
+    sample: Vec<Vec<Rat>>,
+}
+
+impl UniformVolumeEstimator {
+    /// Builds the estimator for `φ(params; point_vars)` against `db`,
+    /// drawing `M(ε, δ, d)` unit-cube points through the witness operator.
+    ///
+    /// `d` is the VC dimension (or an upper bound, e.g.
+    /// [`crate::vc::prop6_bound`]) of the family.
+    pub fn new(
+        db: &Database,
+        phi: &Formula,
+        params: &[Var],
+        point_vars: &[Var],
+        eps: f64,
+        delta: f64,
+        d: f64,
+        witness: &mut Witness,
+    ) -> Result<UniformVolumeEstimator, QeError> {
+        let expanded = db.expand(phi).map_err(|_| QeError::HasRelations)?;
+        let matrix = cqa_qe::eliminate(&expanded)?;
+        let m = sample_size(eps, delta, d);
+        let sample = witness.uniform_sample(m, point_vars.len());
+        Ok(UniformVolumeEstimator {
+            matrix,
+            params: params.to_vec(),
+            point_vars: point_vars.to_vec(),
+            sample,
+        })
+    }
+
+    /// Number of sample points (`M`).
+    pub fn sample_len(&self) -> usize {
+        self.sample.len()
+    }
+
+    /// The estimated `VOL_I(φ(ā, D))`: the fraction of the shared sample
+    /// falling in the set.
+    pub fn estimate(&self, a: &[Rat]) -> Rat {
+        assert_eq!(a.len(), self.params.len());
+        let mut hits = 0usize;
+        for p in &self.sample {
+            let asg = |v: Var| {
+                if let Some(i) = self.params.iter().position(|&w| w == v) {
+                    return a[i].clone();
+                }
+                if let Some(i) = self.point_vars.iter().position(|&w| w == v) {
+                    return p[i].clone();
+                }
+                Rat::zero()
+            };
+            if self.matrix.eval(&asg, &[]).unwrap_or(false) {
+                hits += 1;
+            }
+        }
+        Rat::new((hits as i64).into(), (self.sample.len() as i64).into())
+    }
+}
+
+/// One-shot Monte Carlo `VOL_I` for a closed (parameter-free) formula with
+/// `m` fresh sample points.
+pub fn mc_volume_in_unit_box(
+    db: &Database,
+    phi: &Formula,
+    point_vars: &[Var],
+    m: usize,
+    witness: &mut Witness,
+) -> Result<Rat, QeError> {
+    let expanded = db.expand(phi).map_err(|_| QeError::HasRelations)?;
+    let matrix = cqa_qe::eliminate(&expanded)?;
+    let mut hits = 0usize;
+    for _ in 0..m {
+        let p = witness.uniform_unit_point(point_vars.len());
+        let asg = |v: Var| {
+            point_vars
+                .iter()
+                .position(|&w| w == v)
+                .map(|i| p[i].clone())
+                .unwrap_or_else(Rat::zero)
+        };
+        if matrix.eval(&asg, &[]).unwrap_or(false) {
+            hits += 1;
+        }
+    }
+    Ok(Rat::new((hits as i64).into(), (m as i64).into()))
+}
+
+/// Monte Carlo estimate of the *average of a polynomial over a spatial
+/// object* (the §1 motivation behind Theorem 1's AVG analysis): draws `m`
+/// unit-cube points, and returns `Σ p(s) / #hits` over the sample points
+/// `s` falling in the set. `None` if no sample point hits the set.
+pub fn mc_average_over(
+    db: &Database,
+    phi: &Formula,
+    point_vars: &[Var],
+    p: &cqa_poly::MPoly,
+    m: usize,
+    witness: &mut Witness,
+) -> Result<Option<Rat>, QeError> {
+    let expanded = db.expand(phi).map_err(|_| QeError::HasRelations)?;
+    let matrix = cqa_qe::eliminate(&expanded)?;
+    let mut hits = 0usize;
+    let mut acc = Rat::zero();
+    for _ in 0..m {
+        let s = witness.uniform_unit_point(point_vars.len());
+        let asg = |v: Var| {
+            point_vars
+                .iter()
+                .position(|&w| w == v)
+                .map(|i| s[i].clone())
+                .unwrap_or_else(Rat::zero)
+        };
+        if matrix.eval(&asg, &[]).unwrap_or(false) {
+            hits += 1;
+            acc += &p.eval(&asg);
+        }
+    }
+    if hits == 0 {
+        return Ok(None);
+    }
+    Ok(Some(acc / Rat::from(hits as i64)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_logic::parse_formula_with;
+
+    #[test]
+    fn halfspace_volume_estimate() {
+        let mut db = Database::new();
+        let x = db.vars_mut().intern("x");
+        let y = db.vars_mut().intern("y");
+        let phi = parse_formula_with("x + y <= 1", db.vars_mut()).unwrap();
+        let mut w = Witness::new(11);
+        let v = mc_volume_in_unit_box(&db, &phi, &[x, y], 4000, &mut w).unwrap();
+        assert!((v.to_f64() - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn uniform_estimator_over_parameter_grid() {
+        // φ(a; y1, y2) ≡ a < y1 < 1 ∧ 0 ≤ y2 ≤ y1: VOL_I = (1 − a²)/2.
+        let mut db = Database::new();
+        let a = db.vars_mut().intern("a");
+        let y1 = db.vars_mut().intern("y1");
+        let y2 = db.vars_mut().intern("y2");
+        let phi =
+            parse_formula_with("a < y1 & y1 < 1 & 0 <= y2 & y2 <= y1", db.vars_mut()).unwrap();
+        let mut w = Witness::new(23);
+        let est =
+            UniformVolumeEstimator::new(&db, &phi, &[a], &[y1, y2], 0.05, 0.1, 2.0, &mut w)
+                .unwrap();
+        // Uniform accuracy over many parameter values from one sample.
+        for k in 0..10 {
+            let av = Rat::new(k.into(), 10i64.into());
+            let truth = (1.0 - av.to_f64().powi(2)) / 2.0;
+            let got = est.estimate(&[av]).to_f64();
+            assert!((got - truth).abs() < 0.05, "a = {k}/10: {got} vs {truth}");
+        }
+    }
+
+    #[test]
+    fn estimator_uses_bounded_sample() {
+        let mut db = Database::new();
+        let x = db.vars_mut().intern("x");
+        let phi = parse_formula_with("x >= 0.25", db.vars_mut()).unwrap();
+        let mut w = Witness::new(5);
+        let est = UniformVolumeEstimator::new(&db, &phi, &[], &[x], 0.1, 0.1, 1.0, &mut w).unwrap();
+        assert_eq!(est.sample_len(), crate::sample::sample_size(0.1, 0.1, 1.0));
+        let v = est.estimate(&[]);
+        assert!((v.to_f64() - 0.75).abs() < 0.1);
+    }
+
+    #[test]
+    fn mc_average_matches_exact_integral() {
+        // Average of x over the unit right triangle is 1/3 (exact engine:
+        // cqa_agg::average_over_2d); MC should land nearby.
+        let mut db = Database::new();
+        let x = db.vars_mut().intern("x");
+        let y = db.vars_mut().intern("y");
+        let phi = parse_formula_with("x >= 0 & y >= 0 & x + y <= 1", db.vars_mut()).unwrap();
+        let mut w = Witness::new(31);
+        let avg = mc_average_over(&db, &phi, &[x, y], &cqa_poly::MPoly::var(x), 6000, &mut w)
+            .unwrap()
+            .unwrap();
+        assert!((avg.to_f64() - 1.0 / 3.0).abs() < 0.02, "{}", avg.to_f64());
+    }
+
+    #[test]
+    fn mc_average_of_empty_region() {
+        let mut db = Database::new();
+        let x = db.vars_mut().intern("x");
+        let phi = parse_formula_with("x > 2", db.vars_mut()).unwrap();
+        let mut w = Witness::new(1);
+        assert_eq!(
+            mc_average_over(&db, &phi, &[x], &cqa_poly::MPoly::var(x), 100, &mut w).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn database_relation_in_estimate() {
+        let mut db = Database::new();
+        db.define("T", &["x", "y"], "x >= 0 & y >= 0 & x + y <= 1").unwrap();
+        let x = db.vars_mut().get("x").unwrap();
+        let y = db.vars_mut().get("y").unwrap();
+        let phi = parse_formula_with("T(x, y)", db.vars_mut()).unwrap();
+        let mut w = Witness::new(99);
+        let v = mc_volume_in_unit_box(&db, &phi, &[x, y], 4000, &mut w).unwrap();
+        assert!((v.to_f64() - 0.5).abs() < 0.05);
+    }
+}

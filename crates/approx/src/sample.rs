@@ -1,0 +1,115 @@
+//! Sample-size bounds and the witness operator `W`.
+
+use cqa_arith::Rat;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The Blumer–Ehrenfeucht–Haussler–Warmuth sample size: with
+/// `M > max((4/ε)·log₂(2/δ), (8d/ε)·log₂(13/ε))` uniform points, the
+/// empirical fraction is within `ε` of the measure *simultaneously for
+/// every set of a VC-dimension-`d` family*, with probability ≥ 1 − δ
+/// (paper §3).
+pub fn sample_size(eps: f64, delta: f64, d: f64) -> usize {
+    assert!(eps > 0.0 && eps < 1.0 && delta > 0.0 && delta < 1.0 && d >= 0.0);
+    let a = (4.0 / eps) * (2.0 / delta).log2();
+    let b = (8.0 * d / eps) * (13.0 / eps).log2();
+    a.max(b).ceil() as usize + 1
+}
+
+/// The witness (choice) operator `W` of Abiteboul–Vianu, as used in
+/// Theorem 4: a seeded source of random choices. Each call is one
+/// application of `W` in the paper's operation count.
+pub struct Witness {
+    rng: StdRng,
+    calls: usize,
+}
+
+impl Witness {
+    /// A deterministic witness source (seeded — experiments are
+    /// reproducible).
+    pub fn new(seed: u64) -> Witness {
+        Witness { rng: StdRng::seed_from_u64(seed), calls: 0 }
+    }
+
+    /// How many witness applications have been made.
+    pub fn calls(&self) -> usize {
+        self.calls
+    }
+
+    /// `W y⃗.(y⃗ ∈ I^dim)`: a uniform point of the unit cube, as exact
+    /// dyadic rationals (the `f64` values convert exactly).
+    pub fn uniform_unit_point(&mut self, dim: usize) -> Vec<Rat> {
+        self.calls += 1;
+        (0..dim)
+            .map(|_| Rat::from_f64(self.rng.random::<f64>()).expect("finite"))
+            .collect()
+    }
+
+    /// An entire `m`-point sample from `I^dim` (`m` witness applications —
+    /// the count Theorem 4 bounds).
+    pub fn uniform_sample(&mut self, m: usize, dim: usize) -> Vec<Vec<Rat>> {
+        (0..m).map(|_| self.uniform_unit_point(dim)).collect()
+    }
+
+    /// `W x.φ(x)` over a finite set: picks one element uniformly, `None`
+    /// on the empty set.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
+        self.calls += 1;
+        if items.is_empty() {
+            None
+        } else {
+            let i = self.rng.random_range(0..items.len());
+            Some(&items[i])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_size_monotonicity() {
+        let base = sample_size(0.1, 0.1, 4.0);
+        assert!(sample_size(0.05, 0.1, 4.0) > base); // tighter ε
+        assert!(sample_size(0.1, 0.01, 4.0) >= base); // tighter δ
+        assert!(sample_size(0.1, 0.1, 8.0) > base); // richer family
+    }
+
+    #[test]
+    fn sample_size_formula() {
+        // d = 0 leaves only the δ term.
+        let m = sample_size(0.5, 0.5, 0.0);
+        assert_eq!(m, ((4.0 / 0.5) * (2.0f64 / 0.5).log2()).ceil() as usize + 1);
+    }
+
+    #[test]
+    fn witness_reproducibility() {
+        let mut w1 = Witness::new(7);
+        let mut w2 = Witness::new(7);
+        assert_eq!(w1.uniform_sample(5, 2), w2.uniform_sample(5, 2));
+        let mut w3 = Witness::new(8);
+        assert_ne!(w1.uniform_sample(5, 2), w3.uniform_sample(5, 2));
+    }
+
+    #[test]
+    fn points_inside_unit_cube() {
+        let mut w = Witness::new(42);
+        for p in w.uniform_sample(50, 3) {
+            for c in p {
+                assert!(!c.is_negative() && c <= cqa_arith::Rat::one());
+            }
+        }
+        assert_eq!(w.calls(), 50);
+    }
+
+    #[test]
+    fn choose_from_finite_sets() {
+        let mut w = Witness::new(1);
+        assert!(w.choose::<i32>(&[]).is_none());
+        let xs = [10, 20, 30];
+        for _ in 0..10 {
+            assert!(xs.contains(w.choose(&xs).unwrap()));
+        }
+    }
+}

@@ -1,0 +1,784 @@
+//! Signed arbitrary-precision integers.
+//!
+//! Representation: a sign in `{-1, 0, +1}` plus a little-endian vector of
+//! base-2³² limbs with no trailing zero limbs. The zero value is
+//! `sign == 0, mag == []`, and that representation is unique, so derived
+//! structural equality would be correct; we nevertheless implement `Eq` via
+//! `Ord` for clarity.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Rem, Sub, SubAssign};
+use std::str::FromStr;
+
+const BASE_BITS: u32 = 32;
+
+/// A signed arbitrary-precision integer.
+#[derive(Clone, Debug, Default)]
+pub struct Int {
+    /// `-1`, `0` or `+1`. Zero iff `mag` is empty.
+    sign: i8,
+    /// Little-endian base-2³² magnitude, normalized (no trailing zeros).
+    mag: Vec<u32>,
+}
+
+// ---------------------------------------------------------------------------
+// magnitude (unsigned) helpers
+// ---------------------------------------------------------------------------
+
+fn mag_trim(mag: &mut Vec<u32>) {
+    while mag.last() == Some(&0) {
+        mag.pop();
+    }
+}
+
+fn mag_cmp(a: &[u32], b: &[u32]) -> Ordering {
+    if a.len() != b.len() {
+        return a.len().cmp(&b.len());
+    }
+    for i in (0..a.len()).rev() {
+        match a[i].cmp(&b[i]) {
+            Ordering::Equal => {}
+            ord => return ord,
+        }
+    }
+    Ordering::Equal
+}
+
+fn mag_add(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let mut out = Vec::with_capacity(long.len() + 1);
+    let mut carry: u64 = 0;
+    for i in 0..long.len() {
+        let s = u64::from(long[i]) + u64::from(*short.get(i).unwrap_or(&0)) + carry;
+        out.push(s as u32);
+        carry = s >> BASE_BITS;
+    }
+    if carry != 0 {
+        out.push(carry as u32);
+    }
+    out
+}
+
+/// Requires `a >= b`. Computes `a - b`.
+fn mag_sub(a: &[u32], b: &[u32]) -> Vec<u32> {
+    debug_assert!(mag_cmp(a, b) != Ordering::Less);
+    let mut out = Vec::with_capacity(a.len());
+    let mut borrow: i64 = 0;
+    for i in 0..a.len() {
+        let d = i64::from(a[i]) - i64::from(*b.get(i).unwrap_or(&0)) - borrow;
+        if d < 0 {
+            out.push((d + (1i64 << BASE_BITS)) as u32);
+            borrow = 1;
+        } else {
+            out.push(d as u32);
+            borrow = 0;
+        }
+    }
+    debug_assert_eq!(borrow, 0);
+    mag_trim(&mut out);
+    out
+}
+
+fn mag_mul(a: &[u32], b: &[u32]) -> Vec<u32> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![0u32; a.len() + b.len()];
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0 {
+            continue;
+        }
+        let mut carry: u64 = 0;
+        let ai = u64::from(ai);
+        for (j, &bj) in b.iter().enumerate() {
+            let t = ai * u64::from(bj) + u64::from(out[i + j]) + carry;
+            out[i + j] = t as u32;
+            carry = t >> BASE_BITS;
+        }
+        let mut k = i + b.len();
+        while carry != 0 {
+            let t = u64::from(out[k]) + carry;
+            out[k] = t as u32;
+            carry = t >> BASE_BITS;
+            k += 1;
+        }
+    }
+    mag_trim(&mut out);
+    out
+}
+
+/// Short division: divide magnitude by a single limb. Returns (quotient, remainder).
+fn mag_div_limb(a: &[u32], d: u32) -> (Vec<u32>, u32) {
+    debug_assert!(d != 0);
+    let d64 = u64::from(d);
+    let mut out = vec![0u32; a.len()];
+    let mut rem: u64 = 0;
+    for i in (0..a.len()).rev() {
+        let cur = (rem << BASE_BITS) | u64::from(a[i]);
+        out[i] = (cur / d64) as u32;
+        rem = cur % d64;
+    }
+    mag_trim(&mut out);
+    (out, rem as u32)
+}
+
+/// Shift a magnitude left by `s < 32` bits.
+fn mag_shl_small(a: &[u32], s: u32) -> Vec<u32> {
+    if s == 0 {
+        return a.to_vec();
+    }
+    let mut out = Vec::with_capacity(a.len() + 1);
+    let mut carry: u32 = 0;
+    for &w in a {
+        out.push((w << s) | carry);
+        carry = w >> (BASE_BITS - s);
+    }
+    if carry != 0 {
+        out.push(carry);
+    }
+    out
+}
+
+/// Shift a magnitude right by `s < 32` bits.
+fn mag_shr_small(a: &[u32], s: u32) -> Vec<u32> {
+    if s == 0 {
+        return a.to_vec();
+    }
+    let mut out = vec![0u32; a.len()];
+    let mut carry: u32 = 0;
+    for i in (0..a.len()).rev() {
+        out[i] = (a[i] >> s) | carry;
+        carry = a[i] << (BASE_BITS - s);
+    }
+    mag_trim(&mut out);
+    out
+}
+
+/// Knuth algorithm D. Requires `b.len() >= 2` and `a >= b`.
+/// Returns (quotient, remainder) magnitudes.
+fn mag_div_rem_knuth(a: &[u32], b: &[u32]) -> (Vec<u32>, Vec<u32>) {
+    let n = b.len();
+    let m = a.len() - n;
+    // Normalize so that the top limb of v has its high bit set.
+    let s = b[n - 1].leading_zeros();
+    let v = mag_shl_small(b, s);
+    let mut u = mag_shl_small(a, s);
+    u.resize(a.len() + 1, 0); // ensure an extra high limb
+
+    let mut q = vec![0u32; m + 1];
+    let vtop = u64::from(v[n - 1]);
+    let vsecond = u64::from(v[n - 2]);
+
+    for j in (0..=m).rev() {
+        // Estimate qhat from the top two limbs of the current remainder.
+        let num = (u64::from(u[j + n]) << BASE_BITS) | u64::from(u[j + n - 1]);
+        let mut qhat = num / vtop;
+        let mut rhat = num % vtop;
+        // Correct qhat down (at most twice).
+        while qhat >= (1u64 << BASE_BITS)
+            || qhat * vsecond > ((rhat << BASE_BITS) | u64::from(u[j + n - 2]))
+        {
+            qhat -= 1;
+            rhat += vtop;
+            if rhat >= (1u64 << BASE_BITS) {
+                break;
+            }
+        }
+        // Multiply and subtract: u[j..j+n+1] -= qhat * v.
+        let mut borrow: i64 = 0;
+        let mut carry: u64 = 0;
+        for i in 0..n {
+            let p = qhat * u64::from(v[i]) + carry;
+            carry = p >> BASE_BITS;
+            let sub = i64::from(u[j + i]) - i64::from(p as u32) - borrow;
+            if sub < 0 {
+                u[j + i] = (sub + (1i64 << BASE_BITS)) as u32;
+                borrow = 1;
+            } else {
+                u[j + i] = sub as u32;
+                borrow = 0;
+            }
+        }
+        let sub = i64::from(u[j + n]) - i64::from(carry as u32) - borrow;
+        let went_negative = sub < 0;
+        u[j + n] = if went_negative {
+            (sub + (1i64 << BASE_BITS)) as u32
+        } else {
+            sub as u32
+        };
+
+        if went_negative {
+            // qhat was one too large: add v back.
+            qhat -= 1;
+            let mut carry: u64 = 0;
+            for i in 0..n {
+                let t = u64::from(u[j + i]) + u64::from(v[i]) + carry;
+                u[j + i] = t as u32;
+                carry = t >> BASE_BITS;
+            }
+            u[j + n] = u[j + n].wrapping_add(carry as u32);
+        }
+        q[j] = qhat as u32;
+    }
+    mag_trim(&mut q);
+    let mut rem = u[..n].to_vec();
+    mag_trim(&mut rem);
+    (q, mag_shr_small(&rem, s))
+}
+
+/// Unsigned division with remainder.
+fn mag_div_rem(a: &[u32], b: &[u32]) -> (Vec<u32>, Vec<u32>) {
+    assert!(!b.is_empty(), "division by zero");
+    match mag_cmp(a, b) {
+        Ordering::Less => (Vec::new(), a.to_vec()),
+        Ordering::Equal => (vec![1], Vec::new()),
+        Ordering::Greater => {
+            if b.len() == 1 {
+                let (q, r) = mag_div_limb(a, b[0]);
+                (q, if r == 0 { Vec::new() } else { vec![r] })
+            } else {
+                mag_div_rem_knuth(a, b)
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Int
+// ---------------------------------------------------------------------------
+
+impl Int {
+    /// The integer zero.
+    pub fn zero() -> Int {
+        Int { sign: 0, mag: Vec::new() }
+    }
+
+    /// The integer one.
+    pub fn one() -> Int {
+        Int { sign: 1, mag: vec![1] }
+    }
+
+    fn from_sign_mag(sign: i8, mut mag: Vec<u32>) -> Int {
+        mag_trim(&mut mag);
+        if mag.is_empty() {
+            Int::zero()
+        } else {
+            Int { sign, mag }
+        }
+    }
+
+    /// `true` iff this integer is zero.
+    pub fn is_zero(&self) -> bool {
+        self.sign == 0
+    }
+
+    /// `true` iff this integer is one.
+    pub fn is_one(&self) -> bool {
+        self.sign == 1 && self.mag == [1]
+    }
+
+    /// `true` iff strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.sign < 0
+    }
+
+    /// `true` iff strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.sign > 0
+    }
+
+    /// The sign as `-1`, `0` or `1`.
+    pub fn signum(&self) -> i32 {
+        i32::from(self.sign)
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Int {
+        Int { sign: self.sign.abs(), mag: self.mag.clone() }
+    }
+
+    /// Number of bits in the magnitude (0 for zero).
+    pub fn bits(&self) -> u64 {
+        match self.mag.last() {
+            None => 0,
+            Some(&top) => {
+                (self.mag.len() as u64) * u64::from(BASE_BITS) - u64::from(top.leading_zeros())
+            }
+        }
+    }
+
+    /// `true` iff the integer is even.
+    pub fn is_even(&self) -> bool {
+        self.mag.first().is_none_or(|w| w % 2 == 0)
+    }
+
+    /// Truncated division with remainder: `self = q*other + r`, `|r| < |other|`,
+    /// `r` has the sign of `self` (like Rust's `/` and `%` on primitives).
+    pub fn div_rem(&self, other: &Int) -> (Int, Int) {
+        assert!(!other.is_zero(), "Int division by zero");
+        if self.is_zero() {
+            return (Int::zero(), Int::zero());
+        }
+        let (qm, rm) = mag_div_rem(&self.mag, &other.mag);
+        let q = Int::from_sign_mag(self.sign * other.sign, qm);
+        let r = Int::from_sign_mag(self.sign, rm);
+        (q, r)
+    }
+
+    /// Greatest common divisor (always non-negative).
+    pub fn gcd(&self, other: &Int) -> Int {
+        let mut a = self.abs();
+        let mut b = other.abs();
+        while !b.is_zero() {
+            let r = a.div_rem(&b).1;
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    /// Least common multiple (non-negative). `lcm(0, x) == 0`.
+    pub fn lcm(&self, other: &Int) -> Int {
+        if self.is_zero() || other.is_zero() {
+            return Int::zero();
+        }
+        let g = self.gcd(other);
+        (self.abs() / &g) * other.abs()
+    }
+
+    /// `self` raised to the power `exp`.
+    pub fn pow(&self, mut exp: u32) -> Int {
+        let mut base = self.clone();
+        let mut acc = Int::one();
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = &acc * &base;
+            }
+            exp >>= 1;
+            if exp > 0 {
+                base = &base * &base;
+            }
+        }
+        acc
+    }
+
+    /// Multiply by a power of two (left shift).
+    pub fn shl(&self, bits: u32) -> Int {
+        if self.is_zero() {
+            return Int::zero();
+        }
+        let limb_shift = (bits / BASE_BITS) as usize;
+        let small = bits % BASE_BITS;
+        let mut mag = vec![0u32; limb_shift];
+        mag.extend(mag_shl_small(&self.mag, small));
+        Int::from_sign_mag(self.sign, mag)
+    }
+
+    /// Approximate conversion to `f64` (may overflow to ±inf).
+    pub fn to_f64(&self) -> f64 {
+        let mut acc = 0.0f64;
+        for &w in self.mag.iter().rev() {
+            acc = acc * 4294967296.0 + f64::from(w);
+        }
+        if self.sign < 0 {
+            -acc
+        } else {
+            acc
+        }
+    }
+
+    /// Exact conversion to `i64` if the value fits.
+    pub fn to_i64(&self) -> Option<i64> {
+        match self.mag.len() {
+            0 => Some(0),
+            1 => Some(i64::from(self.sign) * i64::from(self.mag[0])),
+            2 => {
+                let v = (u64::from(self.mag[1]) << BASE_BITS) | u64::from(self.mag[0]);
+                if self.sign > 0 && v <= i64::MAX as u64 {
+                    Some(v as i64)
+                } else if self.sign < 0 && v <= (i64::MAX as u64) + 1 {
+                    Some(-(v as i128) as i64)
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+}
+
+impl From<i64> for Int {
+    fn from(v: i64) -> Int {
+        if v == 0 {
+            return Int::zero();
+        }
+        let sign: i8 = if v < 0 { -1 } else { 1 };
+        let mag64 = v.unsigned_abs();
+        let mut mag = vec![mag64 as u32];
+        if mag64 >> BASE_BITS != 0 {
+            mag.push((mag64 >> BASE_BITS) as u32);
+        }
+        Int::from_sign_mag(sign, mag)
+    }
+}
+
+impl From<i32> for Int {
+    fn from(v: i32) -> Int {
+        Int::from(i64::from(v))
+    }
+}
+
+impl From<u64> for Int {
+    fn from(v: u64) -> Int {
+        if v == 0 {
+            return Int::zero();
+        }
+        let mut mag = vec![v as u32];
+        if v >> BASE_BITS != 0 {
+            mag.push((v >> BASE_BITS) as u32);
+        }
+        Int::from_sign_mag(1, mag)
+    }
+}
+
+impl From<usize> for Int {
+    fn from(v: usize) -> Int {
+        Int::from(v as u64)
+    }
+}
+
+impl PartialEq for Int {
+    fn eq(&self, other: &Int) -> bool {
+        self.sign == other.sign && self.mag == other.mag
+    }
+}
+impl Eq for Int {}
+
+impl Hash for Int {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.sign.hash(state);
+        self.mag.hash(state);
+    }
+}
+
+impl PartialOrd for Int {
+    fn partial_cmp(&self, other: &Int) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Int {
+    fn cmp(&self, other: &Int) -> Ordering {
+        match self.sign.cmp(&other.sign) {
+            Ordering::Equal => {}
+            ord => return ord,
+        }
+        let m = mag_cmp(&self.mag, &other.mag);
+        if self.sign < 0 {
+            m.reverse()
+        } else {
+            m
+        }
+    }
+}
+
+impl Neg for Int {
+    type Output = Int;
+    fn neg(self) -> Int {
+        Int { sign: -self.sign, mag: self.mag }
+    }
+}
+impl Neg for &Int {
+    type Output = Int;
+    fn neg(self) -> Int {
+        Int { sign: -self.sign, mag: self.mag.clone() }
+    }
+}
+
+impl Add for &Int {
+    type Output = Int;
+    fn add(self, other: &Int) -> Int {
+        if self.is_zero() {
+            return other.clone();
+        }
+        if other.is_zero() {
+            return self.clone();
+        }
+        if self.sign == other.sign {
+            Int::from_sign_mag(self.sign, mag_add(&self.mag, &other.mag))
+        } else {
+            match mag_cmp(&self.mag, &other.mag) {
+                Ordering::Equal => Int::zero(),
+                Ordering::Greater => Int::from_sign_mag(self.sign, mag_sub(&self.mag, &other.mag)),
+                Ordering::Less => Int::from_sign_mag(other.sign, mag_sub(&other.mag, &self.mag)),
+            }
+        }
+    }
+}
+
+impl Sub for &Int {
+    type Output = Int;
+    fn sub(self, other: &Int) -> Int {
+        self + &(-other)
+    }
+}
+
+impl Mul for &Int {
+    type Output = Int;
+    fn mul(self, other: &Int) -> Int {
+        Int::from_sign_mag(self.sign * other.sign, mag_mul(&self.mag, &other.mag))
+    }
+}
+
+impl Div for &Int {
+    type Output = Int;
+    fn div(self, other: &Int) -> Int {
+        self.div_rem(other).0
+    }
+}
+
+impl Rem for &Int {
+    type Output = Int;
+    fn rem(self, other: &Int) -> Int {
+        self.div_rem(other).1
+    }
+}
+
+macro_rules! forward_binop {
+    ($tr:ident, $m:ident) => {
+        impl $tr for Int {
+            type Output = Int;
+            fn $m(self, other: Int) -> Int {
+                (&self).$m(&other)
+            }
+        }
+        impl $tr<&Int> for Int {
+            type Output = Int;
+            fn $m(self, other: &Int) -> Int {
+                (&self).$m(other)
+            }
+        }
+        impl $tr<Int> for &Int {
+            type Output = Int;
+            fn $m(self, other: Int) -> Int {
+                self.$m(&other)
+            }
+        }
+    };
+}
+forward_binop!(Add, add);
+forward_binop!(Sub, sub);
+forward_binop!(Mul, mul);
+forward_binop!(Div, div);
+forward_binop!(Rem, rem);
+
+impl AddAssign<&Int> for Int {
+    fn add_assign(&mut self, other: &Int) {
+        *self = &*self + other;
+    }
+}
+impl SubAssign<&Int> for Int {
+    fn sub_assign(&mut self, other: &Int) {
+        *self = &*self - other;
+    }
+}
+impl MulAssign<&Int> for Int {
+    fn mul_assign(&mut self, other: &Int) {
+        *self = &*self * other;
+    }
+}
+
+impl fmt::Display for Int {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.write_str("0");
+        }
+        // Repeated short division by 10^9.
+        let mut mag = self.mag.clone();
+        let mut chunks: Vec<u32> = Vec::new();
+        while !mag.is_empty() {
+            let (q, r) = mag_div_limb(&mag, 1_000_000_000);
+            chunks.push(r);
+            mag = q;
+        }
+        let mut s = String::new();
+        if self.sign < 0 {
+            s.push('-');
+        }
+        s.push_str(&chunks.last().unwrap().to_string());
+        for c in chunks.iter().rev().skip(1) {
+            s.push_str(&format!("{c:09}"));
+        }
+        f.write_str(&s)
+    }
+}
+
+/// Error returned when parsing an [`Int`] or [`Rat`](crate::Rat) fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseIntError(pub String);
+
+impl fmt::Display for ParseIntError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid integer literal: {}", self.0)
+    }
+}
+impl std::error::Error for ParseIntError {}
+
+impl FromStr for Int {
+    type Err = ParseIntError;
+    fn from_str(s: &str) -> Result<Int, ParseIntError> {
+        let (sign, digits) = match s.strip_prefix('-') {
+            Some(rest) => (-1i8, rest),
+            None => (1i8, s.strip_prefix('+').unwrap_or(s)),
+        };
+        if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(ParseIntError(s.to_string()));
+        }
+        let mut acc = Int::zero();
+        let ten9 = Int::from(1_000_000_000i64);
+        for chunk in digits.as_bytes().chunks(9) {
+            // chunks are left-to-right; scale accumulated value by 10^len.
+            let val: u64 = std::str::from_utf8(chunk).unwrap().parse().unwrap();
+            let scale = if chunk.len() == 9 {
+                ten9.clone()
+            } else {
+                Int::from(10u64.pow(chunk.len() as u32))
+            };
+            acc = acc * scale + Int::from(val);
+        }
+        if sign < 0 {
+            acc = -acc;
+        }
+        Ok(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn i(v: i64) -> Int {
+        Int::from(v)
+    }
+
+    #[test]
+    fn basic_arithmetic() {
+        assert_eq!(i(2) + i(3), i(5));
+        assert_eq!(i(-2) + i(3), i(1));
+        assert_eq!(i(2) - i(3), i(-1));
+        assert_eq!(i(-4) * i(-5), i(20));
+        assert_eq!(i(7) / i(2), i(3));
+        assert_eq!(i(7) % i(2), i(1));
+        assert_eq!(i(-7) / i(2), i(-3));
+        assert_eq!(i(-7) % i(2), i(-1));
+        assert_eq!(i(7) / i(-2), i(-3));
+    }
+
+    #[test]
+    fn zero_identities() {
+        assert!(Int::zero().is_zero());
+        assert_eq!(i(5) + Int::zero(), i(5));
+        assert_eq!(i(5) * Int::zero(), Int::zero());
+        assert_eq!(-Int::zero(), Int::zero());
+        assert_eq!(i(5) - i(5), Int::zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = i(1) / Int::zero();
+    }
+
+    #[test]
+    fn large_multiplication() {
+        // (2^64)^2 = 2^128
+        let big = Int::one().shl(64);
+        let sq = &big * &big;
+        assert_eq!(sq, Int::one().shl(128));
+        assert_eq!(sq.to_string(), "340282366920938463463374607431768211456");
+    }
+
+    #[test]
+    fn knuth_division_roundtrip() {
+        let a: Int = "123456789012345678901234567890123456789".parse().unwrap();
+        let b: Int = "98765432109876543210".parse().unwrap();
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(&q * &b + &r, a);
+        assert!(r.abs() < b.abs());
+    }
+
+    #[test]
+    fn division_add_back_case() {
+        // Crafted to exercise the rare add-back branch: divisor with high bit
+        // pattern 0x80000000_00000001-like structure.
+        let a = Int::one().shl(96) - Int::one();
+        let b = Int::one().shl(64) + Int::one();
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(&q * &b + &r, a);
+        assert!(r < b);
+    }
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        for s in ["0", "1", "-1", "999999999", "1000000000", "123456789012345678901234567890", "-987654321098765432109876543210"] {
+            let v: Int = s.parse().unwrap();
+            assert_eq!(v.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("".parse::<Int>().is_err());
+        assert!("12a".parse::<Int>().is_err());
+        assert!("-".parse::<Int>().is_err());
+        assert!("1.5".parse::<Int>().is_err());
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(i(-10) < i(-2));
+        assert!(i(-2) < Int::zero());
+        assert!(Int::zero() < i(3));
+        assert!(i(3) < Int::one().shl(40));
+        assert!(-Int::one().shl(40) < i(3));
+    }
+
+    #[test]
+    fn gcd_lcm() {
+        assert_eq!(i(12).gcd(&i(18)), i(6));
+        assert_eq!(i(-12).gcd(&i(18)), i(6));
+        assert_eq!(i(0).gcd(&i(5)), i(5));
+        assert_eq!(i(7).gcd(&i(0)), i(7));
+        assert_eq!(i(4).lcm(&i(6)), i(12));
+        assert_eq!(i(0).lcm(&i(6)), Int::zero());
+    }
+
+    #[test]
+    fn pow() {
+        assert_eq!(i(3).pow(0), Int::one());
+        assert_eq!(i(3).pow(4), i(81));
+        assert_eq!(i(-2).pow(3), i(-8));
+        assert_eq!(i(2).pow(100).to_string(), "1267650600228229401496703205376");
+    }
+
+    #[test]
+    fn to_f64_and_i64() {
+        assert_eq!(i(42).to_f64(), 42.0);
+        assert_eq!(i(-42).to_f64(), -42.0);
+        assert_eq!(Int::one().shl(53).to_f64(), 9007199254740992.0);
+        assert_eq!(i(i64::MAX).to_i64(), Some(i64::MAX));
+        assert_eq!(i(i64::MIN).to_i64(), Some(i64::MIN));
+        assert_eq!(Int::one().shl(64).to_i64(), None);
+    }
+
+    #[test]
+    fn bits() {
+        assert_eq!(Int::zero().bits(), 0);
+        assert_eq!(Int::one().bits(), 1);
+        assert_eq!(i(255).bits(), 8);
+        assert_eq!(i(256).bits(), 9);
+        assert_eq!(Int::one().shl(100).bits(), 101);
+    }
+}

@@ -1,0 +1,28 @@
+//! E1/E5 bench: Monte Carlo VOL_I cost by sample count.
+
+use cqa_approx::mc::mc_volume_in_unit_box;
+use cqa_approx::sample::Witness;
+use cqa_core::Database;
+use cqa_logic::{parse_formula_with, VarMap};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_mc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mc_volume");
+    let mut vars = VarMap::new();
+    let x = vars.intern("x");
+    let y = vars.intern("y");
+    let f = parse_formula_with("x + y <= 1", &mut vars).unwrap();
+    let db = Database::new();
+    for m in [500usize, 2000, 8000] {
+        group.bench_with_input(BenchmarkId::new("halfplane", m), &m, |b, &m| {
+            b.iter(|| {
+                let mut w = Witness::new(1);
+                mc_volume_in_unit_box(&db, &f, &[x, y], m, &mut w).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mc);
+criterion_main!(benches);

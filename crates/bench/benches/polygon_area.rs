@@ -1,0 +1,24 @@
+//! E6 bench: polygon area via the FO+POLY+SUM triangulation pipeline vs
+//! the direct shoelace formula, by vertex count.
+
+use cqa_agg::polygon_area_sum_term;
+use cqa_bench::workloads::random_convex_polygon;
+use cqa_geom::polygon_area;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_polygon(c: &mut Criterion) {
+    let mut group = c.benchmark_group("polygon_area");
+    for n in [8usize, 16, 32, 64] {
+        let poly = random_convex_polygon(n, n as u64);
+        group.bench_with_input(BenchmarkId::new("sum_term", n), &poly, |b, p| {
+            b.iter(|| polygon_area_sum_term(p))
+        });
+        group.bench_with_input(BenchmarkId::new("shoelace", n), &poly, |b, p| {
+            b.iter(|| polygon_area(p))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_polygon);
+criterion_main!(benches);

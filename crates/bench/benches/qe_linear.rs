@@ -1,0 +1,34 @@
+//! E9 bench: Fourier–Motzkin vs Loos–Weispfenning cost on random linear
+//! queries, swept over atom count and quantifier count.
+
+use cqa_bench::workloads::random_linear_query;
+use cqa_logic::VarMap;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_qe_linear(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qe_linear");
+    for atoms in [4usize, 6, 8] {
+        let mut vars = VarMap::new();
+        let q = random_linear_query(2, 2, atoms, atoms as u64, &mut vars);
+        group.bench_with_input(BenchmarkId::new("fourier_motzkin", atoms), &q, |b, q| {
+            b.iter(|| cqa_qe::fourier_motzkin(q).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("loos_weispfenning", atoms), &q, |b, q| {
+            b.iter(|| cqa_qe::loos_weispfenning(q).unwrap())
+        });
+    }
+    for quant in [1usize, 2, 3] {
+        let mut vars = VarMap::new();
+        let q = random_linear_query(2, quant, 5, 99 + quant as u64, &mut vars);
+        group.bench_with_input(BenchmarkId::new("fm_by_quantifiers", quant), &q, |b, q| {
+            b.iter(|| cqa_qe::fourier_motzkin(q).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("lw_by_quantifiers", quant), &q, |b, q| {
+            b.iter(|| cqa_qe::loos_weispfenning(q).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_qe_linear);
+criterion_main!(benches);

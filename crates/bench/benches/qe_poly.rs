@@ -1,0 +1,26 @@
+//! E9 bench: Cohen–Hörmander cost by degree and variable count — the
+//! paper's Section-3 point that QE is the expensive step.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_qe_poly(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qe_poly");
+    group.sample_size(10);
+    let sentences = [
+        ("deg2_1var", "exists x. x*x - 2 = 0"),
+        ("deg3_1var", "exists x. x*x*x - 3*x + 1 = 0 & x > 0"),
+        ("deg2_2var", "exists x, y. x*x + y*y = 1 & y = x"),
+        ("parametric_disc", "exists x. x*x + b*x + 1 = 0"),
+        ("forall_exists", "forall x. exists y. y*y*y = x"),
+    ];
+    for (name, src) in sentences {
+        let (f, _) = cqa_logic::parse_formula(src).unwrap();
+        group.bench_with_input(BenchmarkId::new("hoermander", name), &f, |b, f| {
+            b.iter(|| cqa_qe::hoermander(f).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_qe_poly);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! E2 bench: exact semi-linear volume — Lasserre engine vs the paper's
+//! Theorem-3 sweep construction, by dimension and by number of DNF cells.
+
+use cqa_agg::volume_by_sweep_2d;
+use cqa_bench::workloads::{random_box_union, random_simplex_formula};
+use cqa_geom::volume;
+use cqa_logic::VarMap;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_semilinear_volume(c: &mut Criterion) {
+    let mut group = c.benchmark_group("semilinear_volume");
+    for dim in [2usize, 3, 4] {
+        let mut vars = VarMap::new();
+        let (f, vs) = random_simplex_formula(dim, dim as u64, &mut vars);
+        group.bench_with_input(BenchmarkId::new("lasserre_simplex", dim), &(f, vs), |b, (f, vs)| {
+            b.iter(|| volume(f, vs).unwrap())
+        });
+    }
+    for cells in [1usize, 2, 3] {
+        let mut vars = VarMap::new();
+        let (f, vs) = random_box_union(cells, cells as u64, &mut vars);
+        group.bench_with_input(
+            BenchmarkId::new("lasserre_union", cells),
+            &(f.clone(), vs.clone()),
+            |b, (f, vs)| b.iter(|| volume(f, vs).unwrap()),
+        );
+        group.bench_with_input(BenchmarkId::new("sweep_union", cells), &(f, vs), |b, (f, vs)| {
+            b.iter(|| volume_by_sweep_2d(f, vs[0], vs[1]).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_semilinear_volume);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! E3 bench: building the uniform estimator (sample draw + QE) and
+//! querying it across a parameter grid.
+
+use cqa_approx::mc::UniformVolumeEstimator;
+use cqa_approx::sample::Witness;
+use cqa_arith::Rat;
+use cqa_core::Database;
+use cqa_logic::{parse_formula_with, VarMap};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_theorem4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theorem4");
+    group.sample_size(10);
+    let mut vars = VarMap::new();
+    let a = vars.intern("a");
+    let y1 = vars.intern("y1");
+    let y2 = vars.intern("y2");
+    let phi = parse_formula_with("a < y1 & y1 < 1 & 0 <= y2 & y2 <= y1", &mut vars).unwrap();
+    let db = Database::new();
+    for eps in [0.2f64, 0.1, 0.05] {
+        group.bench_with_input(
+            BenchmarkId::new("build", format!("eps_{eps}")),
+            &eps,
+            |b, &eps| {
+                b.iter(|| {
+                    let mut w = Witness::new(1);
+                    UniformVolumeEstimator::new(&db, &phi, &[a], &[y1, y2], eps, 0.1, 2.0, &mut w)
+                        .unwrap()
+                })
+            },
+        );
+    }
+    let mut w = Witness::new(1);
+    let est =
+        UniformVolumeEstimator::new(&db, &phi, &[a], &[y1, y2], 0.1, 0.1, 2.0, &mut w).unwrap();
+    group.bench_function("estimate_grid_11", |b| {
+        b.iter(|| {
+            let mut acc = Rat::zero();
+            for k in 0..=10i64 {
+                acc += est.estimate(&[Rat::new(k.into(), 10i64.into())]);
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_theorem4);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! E8 bench: the variable-independence fast path vs the general exact
+//! engine on axis-aligned unions.
+
+use cqa_approx::baselines::variable_independent_volume;
+use cqa_bench::workloads::random_box_union;
+use cqa_geom::volume;
+use cqa_logic::VarMap;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_var_indep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("var_indep");
+    for cells in [1usize, 2, 3] {
+        let mut vars = VarMap::new();
+        let (f, vs) = random_box_union(cells, 7 + cells as u64, &mut vars);
+        group.bench_with_input(
+            BenchmarkId::new("grid_baseline", cells),
+            &(f.clone(), vs.clone()),
+            |b, (f, vs)| b.iter(|| variable_independent_volume(f, vs).unwrap()),
+        );
+        group.bench_with_input(BenchmarkId::new("general_engine", cells), &(f, vs), |b, (f, vs)| {
+            b.iter(|| volume(f, vs).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_var_indep);
+criterion_main!(benches);

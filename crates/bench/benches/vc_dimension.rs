@@ -1,0 +1,34 @@
+//! E4 bench: cost of exact (QE-backed) shattering decisions and of the
+//! bit-test family check.
+
+use cqa_approx::vc::{bit_test_shatters, shatters};
+use cqa_arith::rat;
+use cqa_core::Database;
+use cqa_logic::parse_formula_with;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_vc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vc_dimension");
+    group.sample_size(10);
+    for k in [2u32, 3, 4, 5] {
+        group.bench_with_input(BenchmarkId::new("bit_test", k), &k, |b, &k| {
+            b.iter(|| bit_test_shatters(k))
+        });
+    }
+    // QE-backed shattering of intervals.
+    let mut db = Database::new();
+    let a = db.vars_mut().intern("a");
+    let bb = db.vars_mut().intern("b");
+    let y = db.vars_mut().intern("y");
+    let phi = parse_formula_with("a <= y & y <= b", db.vars_mut()).unwrap();
+    for pts in [1usize, 2] {
+        let points: Vec<Vec<_>> = (0..pts).map(|i| vec![rat(i as i64, 1)]).collect();
+        group.bench_with_input(BenchmarkId::new("qe_shatters", pts), &points, |bch, points| {
+            bch.iter(|| shatters(&db, &phi, &[a, bb], &[y], points).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vc);
+criterion_main!(benches);

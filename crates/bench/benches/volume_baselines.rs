@@ -1,0 +1,51 @@
+//! E11 bench: exact engine vs rejection sampling vs hit-and-run on convex
+//! bodies.
+
+use cqa_approx::baselines::{hit_and_run_volume, rejection_volume};
+use cqa_geom::{volume, HPolyhedron};
+use cqa_logic::{parse_formula_with, Formula, VarMap};
+use cqa_poly::Var;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn simplex(dim: usize) -> (Formula, Vec<Var>, HPolyhedron) {
+    let mut vars = VarMap::new();
+    let names: Vec<String> = (0..dim).map(|i| format!("x{i}")).collect();
+    let vs: Vec<Var> = names.iter().map(|n| vars.intern(n)).collect();
+    let src = names
+        .iter()
+        .map(|n| format!("{n} >= 0"))
+        .chain(std::iter::once(format!("{} <= 1", names.join(" + "))))
+        .collect::<Vec<_>>()
+        .join(" & ");
+    let f = parse_formula_with(&src, &mut vars).unwrap();
+    let mut atoms = Vec::new();
+    f.visit(&mut |g| {
+        if let Formula::Atom(a) = g {
+            atoms.push(a.clone());
+        }
+    });
+    let p = HPolyhedron::from_atoms(&atoms, &vs).unwrap();
+    (f, vs, p)
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("volume_baselines");
+    group.sample_size(10);
+    for dim in [2usize, 3, 4] {
+        let (f, vs, p) = simplex(dim);
+        group.bench_with_input(BenchmarkId::new("exact_lasserre", dim), &(f, vs), |b, (f, vs)| {
+            b.iter(|| volume(f, vs).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("rejection_10k", dim), &p, |b, p| {
+            b.iter(|| rejection_volume(p, &vec![0.0; dim], &vec![1.0; dim], 10_000, 1))
+        });
+        let interior = vec![0.5 / dim as f64; dim];
+        group.bench_with_input(BenchmarkId::new("hit_and_run_10k", dim), &p, |b, p| {
+            b.iter(|| hit_and_run_volume(p, &interior, 10_000, 1))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,374 @@
+//! Canonical decomposition of one-dimensional definable sets.
+//!
+//! Over an o-minimal structure (in particular `ℝ_lin` and the real field
+//! `ℝ`), every definable subset of ℝ is a *finite union of points and open
+//! intervals* — the fact the paper leans on to make the `END` operator
+//! well-defined and FO+POLY+SUM safe (Lemma 4: "there is a uniform bound
+//! on the number of intervals composing definable sets"). This module
+//! computes that decomposition exactly for quantifier-free formulas with
+//! one free variable; interval endpoints are real algebraic numbers.
+
+use cqa_arith::Rat;
+use cqa_logic::Formula;
+use cqa_poly::{RealAlg, UPoly, Var};
+
+/// An endpoint of a maximal interval.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Endpoint {
+    /// `-∞`.
+    NegInf,
+    /// A real algebraic value; `closed` says the interval includes it.
+    Value(RealAlg, bool),
+    /// `+∞`.
+    PosInf,
+}
+
+/// A maximal interval of a 1-D definable set. Isolated points are
+/// degenerate intervals with equal closed endpoints.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Interval1D {
+    /// Lower endpoint.
+    pub lo: Endpoint,
+    /// Upper endpoint.
+    pub hi: Endpoint,
+}
+
+impl Interval1D {
+    /// `true` iff the interval is a single point.
+    pub fn is_point(&self) -> bool {
+        match (&self.lo, &self.hi) {
+            (Endpoint::Value(a, true), Endpoint::Value(b, true)) => a == b,
+            _ => false,
+        }
+    }
+
+    /// `true` iff both endpoints are finite.
+    pub fn is_bounded(&self) -> bool {
+        matches!(&self.lo, Endpoint::Value(..)) && matches!(&self.hi, Endpoint::Value(..))
+    }
+
+    /// The finite endpoints of the interval (one entry for a point).
+    pub fn finite_endpoints(&self) -> Vec<RealAlg> {
+        let mut out = Vec::new();
+        if let Endpoint::Value(a, _) = &self.lo {
+            out.push(a.clone());
+        }
+        if let Endpoint::Value(b, _) = &self.hi {
+            if !out.contains(b) {
+                out.push(b.clone());
+            }
+        }
+        out
+    }
+
+    /// The length of the interval (`None` if unbounded), approximated to
+    /// within `eps` when endpoints are irrational, exact otherwise.
+    pub fn length(&self, eps: &Rat) -> Option<Rat> {
+        match (&self.lo, &self.hi) {
+            (Endpoint::Value(a, _), Endpoint::Value(b, _)) => {
+                Some(b.approximate(eps) - a.approximate(eps))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Decomposes the set `{x ∈ ℝ : φ(x)}` into its maximal intervals, in
+/// increasing order. `φ` must be quantifier-free, relation-free, and have
+/// at most the one free variable `v`.
+///
+/// Returns `None` if `φ` does not meet those requirements.
+pub fn decompose_1d(f: &Formula, v: Var) -> Option<Vec<Interval1D>> {
+    if !f.is_quantifier_free() || !f.is_relation_free() {
+        return None;
+    }
+    // Collect the distinct atom polynomials as univariate polynomials.
+    let mut polys: Vec<UPoly> = Vec::new();
+    let mut ok = true;
+    f.visit(&mut |g| {
+        if let Formula::Atom(a) = g {
+            match a.poly.to_upoly(v) {
+                Some(p) => {
+                    if !p.is_constant() && !polys.contains(&p) {
+                        polys.push(p);
+                    }
+                }
+                None => ok = false,
+            }
+        }
+    });
+    if !ok {
+        return None;
+    }
+
+    // Critical points: all real roots of all atom polynomials.
+    let mut critical: Vec<RealAlg> = Vec::new();
+    for p in &polys {
+        for r in RealAlg::roots_of(p) {
+            if !critical.contains(&r) {
+                critical.push(r);
+            }
+        }
+    }
+    critical.sort();
+
+    // Truth of φ at an algebraic point: every atom evaluated by exact sign.
+    let truth_at = |alpha: &RealAlg| -> bool {
+        eval_at_alg(f, v, alpha)
+    };
+    // Truth on an open region given a rational sample inside it.
+    let truth_sample = |x: &Rat| -> bool {
+        f.eval(
+            &|w| {
+                debug_assert_eq!(w, v);
+                x.clone()
+            },
+            &[],
+        )
+        .expect("quantifier-free evaluation")
+    };
+
+    // Region truth values: below, at and between critical points, above.
+    let k = critical.len();
+    let mut region_true: Vec<bool> = Vec::with_capacity(2 * k + 1);
+    if k == 0 {
+        region_true.push(truth_sample(&Rat::zero()));
+    } else {
+        region_true.push(truth_sample(&(critical[0].lower_bound() - Rat::one())));
+        for i in 0..k {
+            region_true.push(truth_at(&critical[i]));
+            if i + 1 < k {
+                let s = rational_between(&critical[i], &critical[i + 1]);
+                region_true.push(truth_sample(&s));
+            }
+        }
+        region_true.push(truth_sample(&(critical[k - 1].upper_bound() + Rat::one())));
+    }
+
+    // Stitch regions into maximal intervals. Region index 2i+1 is the point
+    // critical[i]; even indices are the open intervals around them.
+    let mut out = Vec::new();
+    let mut current: Option<Interval1D> = None;
+    let n_regions = region_true.len();
+    for idx in 0..n_regions {
+        let tv = region_true[idx];
+        let is_point = idx % 2 == 1;
+        if tv {
+            match &mut current {
+                None => {
+                    let lo = if is_point {
+                        Endpoint::Value(critical[idx / 2].clone(), true)
+                    } else if idx == 0 {
+                        Endpoint::NegInf
+                    } else {
+                        // Open region starting after an excluded point.
+                        Endpoint::Value(critical[idx / 2 - 1].clone(), false)
+                    };
+                    current = Some(Interval1D { lo, hi: Endpoint::PosInf });
+                }
+                Some(_) => {} // extending
+            }
+            // If this truthful region is the last one, close at the proper end.
+            if idx == n_regions - 1 {
+                let mut iv = current.take().unwrap();
+                iv.hi = if is_point {
+                    Endpoint::Value(critical[idx / 2].clone(), true)
+                } else {
+                    Endpoint::PosInf
+                };
+                out.push(iv);
+            }
+        } else if let Some(mut iv) = current.take() {
+            // Close the running interval just before this false region.
+            iv.hi = if is_point {
+                Endpoint::Value(critical[idx / 2].clone(), false)
+            } else {
+                // False open region after a true point: close at that point.
+                Endpoint::Value(critical[idx / 2 - 1].clone(), true)
+            };
+            out.push(iv);
+        }
+    }
+    Some(out)
+}
+
+/// Evaluates a quantifier-free formula at an algebraic point by exact sign
+/// computation on every atom.
+fn eval_at_alg(f: &Formula, v: Var, alpha: &RealAlg) -> bool {
+    match f {
+        Formula::True => true,
+        Formula::False => false,
+        Formula::Atom(a) => {
+            let p = a.poly.to_upoly(v).expect("validated univariate");
+            a.rel.sign_satisfies(alpha.sign_of(&p))
+        }
+        Formula::Not(g) => !eval_at_alg(g, v, alpha),
+        Formula::And(fs) => fs.iter().all(|g| eval_at_alg(g, v, alpha)),
+        Formula::Or(fs) => fs.iter().any(|g| eval_at_alg(g, v, alpha)),
+        other => unreachable!("validated quantifier-free: {other:?}"),
+    }
+}
+
+/// A rational strictly between two distinct algebraic numbers `a < b`.
+fn rational_between(a: &RealAlg, b: &RealAlg) -> Rat {
+    debug_assert!(a < b);
+    let mut eps = Rat::new(1i64.into(), 4i64.into());
+    loop {
+        let ahi = refine_upper(a, &eps);
+        let blo = refine_lower(b, &eps);
+        if ahi < blo {
+            return ahi.midpoint(&blo);
+        }
+        // Also handle touching rational bounds: a rational midpoint strictly
+        // between requires a gap; keep refining.
+        eps = eps * Rat::new(1i64.into(), 4i64.into());
+    }
+}
+
+fn refine_upper(a: &RealAlg, eps: &Rat) -> Rat {
+    match a {
+        RealAlg::Rational(r) => r.clone(),
+        _ => {
+            let approx = a.approximate(eps);
+            // upper bound: approx + eps is ≥ the value
+            approx + eps
+        }
+    }
+}
+
+fn refine_lower(b: &RealAlg, eps: &Rat) -> Rat {
+    match b {
+        RealAlg::Rational(r) => r.clone(),
+        _ => b.approximate(eps) - eps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_arith::rat;
+    use cqa_logic::{parse_formula_with, VarMap};
+
+    fn decomp(src: &str) -> Vec<Interval1D> {
+        let mut vars = VarMap::new();
+        let x = vars.intern("x");
+        let f = parse_formula_with(src, &mut vars).unwrap();
+        decompose_1d(&f, x).unwrap()
+    }
+
+    fn val(e: &Endpoint) -> Rat {
+        match e {
+            Endpoint::Value(a, _) => a.approximate(&rat(1, 1_000_000)),
+            _ => panic!("expected finite endpoint"),
+        }
+    }
+
+    #[test]
+    fn closed_interval() {
+        let ivs = decomp("0 <= x & x <= 1");
+        assert_eq!(ivs.len(), 1);
+        assert_eq!(val(&ivs[0].lo), rat(0, 1));
+        assert_eq!(val(&ivs[0].hi), rat(1, 1));
+        assert!(matches!(ivs[0].lo, Endpoint::Value(_, true)));
+        assert!(matches!(ivs[0].hi, Endpoint::Value(_, true)));
+    }
+
+    #[test]
+    fn open_interval_and_point() {
+        // (0,1) ∪ {2}
+        let ivs = decomp("(0 < x & x < 1) | x = 2");
+        assert_eq!(ivs.len(), 2);
+        assert!(matches!(ivs[0].lo, Endpoint::Value(_, false)));
+        assert!(matches!(ivs[0].hi, Endpoint::Value(_, false)));
+        assert!(ivs[1].is_point());
+        assert_eq!(val(&ivs[1].lo), rat(2, 1));
+    }
+
+    #[test]
+    fn punctured_interval() {
+        // [0,1] minus the midpoint: two intervals sharing an excluded point.
+        let ivs = decomp("0 <= x & x <= 1 & x != 0.5");
+        assert_eq!(ivs.len(), 2);
+        assert_eq!(val(&ivs[0].hi), rat(1, 2));
+        assert!(matches!(ivs[0].hi, Endpoint::Value(_, false)));
+        assert_eq!(val(&ivs[1].lo), rat(1, 2));
+        assert!(matches!(ivs[1].lo, Endpoint::Value(_, false)));
+    }
+
+    #[test]
+    fn unbounded_rays() {
+        let ivs = decomp("x >= 3");
+        assert_eq!(ivs.len(), 1);
+        assert!(matches!(ivs[0].lo, Endpoint::Value(_, true)));
+        assert!(matches!(ivs[0].hi, Endpoint::PosInf));
+        let ivs = decomp("x < -1 | x > 1");
+        assert_eq!(ivs.len(), 2);
+        assert!(matches!(ivs[0].lo, Endpoint::NegInf));
+        assert!(matches!(ivs[1].hi, Endpoint::PosInf));
+    }
+
+    #[test]
+    fn whole_line_and_empty() {
+        let ivs = decomp("true");
+        assert_eq!(ivs.len(), 1);
+        assert!(matches!(ivs[0].lo, Endpoint::NegInf));
+        assert!(matches!(ivs[0].hi, Endpoint::PosInf));
+        assert!(decomp("false").is_empty());
+        assert!(decomp("x < 0 & x > 0").is_empty());
+    }
+
+    #[test]
+    fn algebraic_endpoints() {
+        // x² ≤ 2: [-√2, √2].
+        let ivs = decomp("x*x <= 2");
+        assert_eq!(ivs.len(), 1);
+        let lo = val(&ivs[0].lo).to_f64();
+        let hi = val(&ivs[0].hi).to_f64();
+        assert!((lo + std::f64::consts::SQRT_2).abs() < 1e-5);
+        assert!((hi - std::f64::consts::SQRT_2).abs() < 1e-5);
+    }
+
+    #[test]
+    fn polynomial_union_structure() {
+        // x(x-1)(x-2) > 0 ⇔ (0,1) ∪ (2,∞).
+        let ivs = decomp("x*(x-1)*(x-2) > 0");
+        assert_eq!(ivs.len(), 2);
+        assert_eq!(val(&ivs[0].lo), rat(0, 1));
+        assert_eq!(val(&ivs[0].hi), rat(1, 1));
+        assert_eq!(val(&ivs[1].lo), rat(2, 1));
+        assert!(matches!(ivs[1].hi, Endpoint::PosInf));
+    }
+
+    #[test]
+    fn merged_adjacent_pieces() {
+        // [0,1] ∪ [1,2] must merge into [0,2].
+        let ivs = decomp("(0 <= x & x <= 1) | (1 <= x & x <= 2)");
+        assert_eq!(ivs.len(), 1);
+        assert_eq!(val(&ivs[0].lo), rat(0, 1));
+        assert_eq!(val(&ivs[0].hi), rat(2, 1));
+    }
+
+    #[test]
+    fn interval_metadata() {
+        let ivs = decomp("0 <= x & x <= 1");
+        assert!(ivs[0].is_bounded());
+        assert!(!ivs[0].is_point());
+        assert_eq!(ivs[0].length(&rat(1, 100)), Some(rat(1, 1)));
+        assert_eq!(ivs[0].finite_endpoints().len(), 2);
+        let pt = decomp("x = 3");
+        assert!(pt[0].is_point());
+        assert_eq!(pt[0].finite_endpoints().len(), 1);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let mut vars = VarMap::new();
+        let x = vars.intern("x");
+        let f = parse_formula_with("exists y. x < y", &mut vars).unwrap();
+        assert!(decompose_1d(&f, x).is_none());
+        let g = parse_formula_with("U(x)", &mut vars).unwrap();
+        assert!(decompose_1d(&g, x).is_none());
+        let h = parse_formula_with("x + y < 1", &mut vars).unwrap();
+        assert!(decompose_1d(&h, x).is_none());
+    }
+}

@@ -1,0 +1,179 @@
+//! Exact 2-D computational geometry: convex hulls, shoelace areas and fan
+//! triangulations — the machinery behind the paper's Section-5 worked
+//! example (polygon area in FO+POLY+SUM).
+
+use cqa_arith::Rat;
+
+/// An exact rational point in the plane.
+pub type Point2 = (Rat, Rat);
+
+/// Twice the signed area of the triangle `(a, b, c)` (positive iff
+/// counter-clockwise).
+fn cross(a: &Point2, b: &Point2, c: &Point2) -> Rat {
+    let abx = &b.0 - &a.0;
+    let aby = &b.1 - &a.1;
+    let acx = &c.0 - &a.0;
+    let acy = &c.1 - &a.1;
+    abx * acy - aby * acx
+}
+
+/// Convex hull by Andrew's monotone chain; returns vertices in
+/// counter-clockwise order with collinear interior points removed.
+/// Degenerate inputs return what is left after deduplication (a point or a
+/// segment's endpoints).
+pub fn convex_hull(points: &[Point2]) -> Vec<Point2> {
+    let mut pts: Vec<Point2> = points.to_vec();
+    pts.sort();
+    pts.dedup();
+    let n = pts.len();
+    if n <= 2 {
+        return pts;
+    }
+    let mut lower: Vec<Point2> = Vec::with_capacity(n);
+    for p in &pts {
+        while lower.len() >= 2
+            && cross(&lower[lower.len() - 2], &lower[lower.len() - 1], p).signum() <= 0
+        {
+            lower.pop();
+        }
+        lower.push(p.clone());
+    }
+    let mut upper: Vec<Point2> = Vec::with_capacity(n);
+    for p in pts.iter().rev() {
+        while upper.len() >= 2
+            && cross(&upper[upper.len() - 2], &upper[upper.len() - 1], p).signum() <= 0
+        {
+            upper.pop();
+        }
+        upper.push(p.clone());
+    }
+    lower.pop();
+    upper.pop();
+    lower.extend(upper);
+    if lower.is_empty() {
+        // All points collinear: keep the two extremes.
+        vec![pts[0].clone(), pts[n - 1].clone()]
+    } else {
+        lower
+    }
+}
+
+/// Exact polygon area by the shoelace formula (vertices in order, convex or
+/// not; self-intersecting polygons give the usual signed-sum semantics).
+pub fn polygon_area(vertices: &[Point2]) -> Rat {
+    if vertices.len() < 3 {
+        return Rat::zero();
+    }
+    let mut twice = Rat::zero();
+    for i in 0..vertices.len() {
+        let (x1, y1) = &vertices[i];
+        let (x2, y2) = &vertices[(i + 1) % vertices.len()];
+        twice += x1 * y2 - x2 * y1;
+    }
+    twice.abs() / Rat::from(2i64)
+}
+
+/// Fan triangulation of a convex polygon given in boundary order: triangles
+/// `(v₀, vᵢ, vᵢ₊₁)`. This is exactly the decomposition the paper's
+/// FO+POLY+SUM polygon-area program constructs with its range-restricted
+/// triangle query.
+pub fn triangulate_fan(vertices: &[Point2]) -> Vec<[Point2; 3]> {
+    if vertices.len() < 3 {
+        return Vec::new();
+    }
+    (1..vertices.len() - 1)
+        .map(|i| {
+            [
+                vertices[0].clone(),
+                vertices[i].clone(),
+                vertices[i + 1].clone(),
+            ]
+        })
+        .collect()
+}
+
+/// Membership in a convex polygon given in counter-clockwise order
+/// (boundary inclusive).
+pub fn point_in_convex_polygon(p: &Point2, vertices: &[Point2]) -> bool {
+    if vertices.len() < 3 {
+        return false;
+    }
+    for i in 0..vertices.len() {
+        let a = &vertices[i];
+        let b = &vertices[(i + 1) % vertices.len()];
+        if cross(a, b, p).is_negative() {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_arith::rat;
+
+    fn pt(x: i64, y: i64) -> Point2 {
+        (rat(x, 1), rat(y, 1))
+    }
+
+    #[test]
+    fn hull_of_square_with_interior_points() {
+        let pts = vec![pt(0, 0), pt(2, 0), pt(2, 2), pt(0, 2), pt(1, 1), pt(1, 0)];
+        let hull = convex_hull(&pts);
+        assert_eq!(hull.len(), 4);
+        assert_eq!(polygon_area(&hull), rat(4, 1));
+    }
+
+    #[test]
+    fn hull_is_counter_clockwise() {
+        let hull = convex_hull(&[pt(0, 0), pt(1, 0), pt(0, 1)]);
+        assert_eq!(hull.len(), 3);
+        // Signed area positive.
+        let mut twice = Rat::zero();
+        for i in 0..hull.len() {
+            let (x1, y1) = &hull[i];
+            let (x2, y2) = &hull[(i + 1) % hull.len()];
+            twice += (x1 * y2 - x2 * y1);
+        }
+        assert!(twice.is_positive());
+    }
+
+    #[test]
+    fn degenerate_hulls() {
+        assert_eq!(convex_hull(&[pt(1, 1)]).len(), 1);
+        assert_eq!(convex_hull(&[pt(0, 0), pt(1, 1), pt(2, 2)]).len(), 2);
+        assert_eq!(convex_hull(&[]).len(), 0);
+        assert_eq!(convex_hull(&[pt(3, 4), pt(3, 4)]).len(), 1);
+    }
+
+    #[test]
+    fn shoelace_areas() {
+        assert_eq!(polygon_area(&[pt(0, 0), pt(1, 0), pt(0, 1)]), rat(1, 2));
+        assert_eq!(polygon_area(&[pt(0, 0), pt(2, 0), pt(2, 2), pt(0, 2)]), rat(4, 1));
+        // Clockwise order gives the same absolute area.
+        assert_eq!(polygon_area(&[pt(0, 0), pt(0, 2), pt(2, 2), pt(2, 0)]), rat(4, 1));
+        assert_eq!(polygon_area(&[pt(0, 0), pt(1, 0)]), rat(0, 1));
+    }
+
+    #[test]
+    fn fan_triangulation_covers_area() {
+        let square = [pt(0, 0), pt(3, 0), pt(3, 3), pt(0, 3)];
+        let tris = triangulate_fan(&square);
+        assert_eq!(tris.len(), 2);
+        let total: Rat = tris
+            .iter()
+            .map(|t| polygon_area(t))
+            .fold(Rat::zero(), |acc, a| acc + a);
+        assert_eq!(total, polygon_area(&square));
+    }
+
+    #[test]
+    fn membership() {
+        let square = [pt(0, 0), pt(2, 0), pt(2, 2), pt(0, 2)];
+        assert!(point_in_convex_polygon(&(rat(1, 1), rat(1, 1)), &square));
+        assert!(point_in_convex_polygon(&(rat(0, 1), rat(0, 1)), &square)); // corner
+        assert!(point_in_convex_polygon(&(rat(2, 1), rat(1, 1)), &square)); // edge
+        assert!(!point_in_convex_polygon(&(rat(3, 1), rat(1, 1)), &square));
+    }
+}

@@ -1,0 +1,29 @@
+//! Exact polyhedral geometry for constraint databases.
+//!
+//! Semi-linear sets — the finitely representable instances of FO+LIN — are
+//! finite boolean combinations of half-spaces. This crate supplies the
+//! geometric substrate the paper's constructive results (Theorem 3, the
+//! polygon-area example of Section 5, the Löwner–John remark of Section 4)
+//! rest on:
+//!
+//! * [`Mat`]/[`solve`]/[`det`] — exact rational linear algebra.
+//! * [`HPolyhedron`] — conjunctions of closed half-spaces: emptiness,
+//!   membership, per-coordinate bounds, vertex enumeration.
+//! * [`volume`]/[`volume_in_unit_box`] — **exact volume of arbitrary
+//!   semi-linear sets** given as quantifier-free linear formulas, via
+//!   inclusion–exclusion over DNF cells and Lasserre's facet recursion for
+//!   each convex cell. This is the engine behind the FO+POLY+SUM volume
+//!   terms of `cqa-agg`.
+//! * [`hull2d`] — 2-D convex hulls, shoelace areas, fan triangulations
+//!   (the paper's Section-5 worked example).
+//! * [`simplex_volume`] — determinant-based simplex volumes.
+
+mod hull2d;
+mod linalg;
+mod polyhedron;
+mod volume;
+
+pub use hull2d::{convex_hull, point_in_convex_polygon, polygon_area, triangulate_fan, Point2};
+pub use linalg::{det, solve, Mat};
+pub use polyhedron::HPolyhedron;
+pub use volume::{simplex_volume, volume, volume_in_unit_box, VolumeError};

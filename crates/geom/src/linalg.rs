@@ -1,0 +1,220 @@
+//! Exact rational linear algebra: Gaussian elimination over ℚ.
+
+use cqa_arith::Rat;
+
+/// A dense rational matrix (row major).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Mat {
+    rows: usize,
+    cols: usize,
+    data: Vec<Rat>,
+}
+
+impl Mat {
+    /// Creates a matrix from rows.
+    ///
+    /// # Panics
+    /// Panics if the rows are ragged or empty.
+    pub fn from_rows(rows: Vec<Vec<Rat>>) -> Mat {
+        assert!(!rows.is_empty(), "Mat: no rows");
+        let cols = rows[0].len();
+        assert!(cols > 0 && rows.iter().all(|r| r.len() == cols), "Mat: ragged rows");
+        let nrows = rows.len();
+        Mat { rows: nrows, cols, data: rows.into_iter().flatten().collect() }
+    }
+
+    /// The zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Mat {
+        Mat { rows, cols, data: vec![Rat::zero(); rows * cols] }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor.
+    pub fn at(&self, r: usize, c: usize) -> &Rat {
+        &self.data[r * self.cols + c]
+    }
+
+    /// Mutable element accessor.
+    pub fn at_mut(&mut self, r: usize, c: usize) -> &mut Rat {
+        &mut self.data[r * self.cols + c]
+    }
+
+    /// Rank via Gaussian elimination.
+    pub fn rank(&self) -> usize {
+        let mut m = self.clone();
+        let mut rank = 0;
+        let mut row = 0;
+        for col in 0..m.cols {
+            // Find pivot.
+            let Some(p) = (row..m.rows).find(|&r| !m.at(r, col).is_zero()) else {
+                continue;
+            };
+            m.swap_rows(row, p);
+            let inv = m.at(row, col).recip();
+            for c in col..m.cols {
+                *m.at_mut(row, c) = m.at(row, c) * &inv;
+            }
+            for r in 0..m.rows {
+                if r != row && !m.at(r, col).is_zero() {
+                    let f = m.at(r, col).clone();
+                    for c in col..m.cols {
+                        *m.at_mut(r, c) = m.at(r, c) - &(m.at(row, c) * &f);
+                    }
+                }
+            }
+            row += 1;
+            rank += 1;
+            if row == m.rows {
+                break;
+            }
+        }
+        rank
+    }
+
+    fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for c in 0..self.cols {
+            self.data.swap(a * self.cols + c, b * self.cols + c);
+        }
+    }
+}
+
+/// Determinant of a square matrix (fraction-based Gaussian elimination).
+///
+/// # Panics
+/// Panics if the matrix is not square.
+pub fn det(m: &Mat) -> Rat {
+    assert_eq!(m.rows, m.cols, "det: non-square matrix");
+    let n = m.rows;
+    let mut a = m.clone();
+    let mut result = Rat::one();
+    for col in 0..n {
+        let Some(p) = (col..n).find(|&r| !a.at(r, col).is_zero()) else {
+            return Rat::zero();
+        };
+        if p != col {
+            a.swap_rows(col, p);
+            result = -result;
+        }
+        let pivot = a.at(col, col).clone();
+        result *= &pivot;
+        let inv = pivot.recip();
+        for r in col + 1..n {
+            if !a.at(r, col).is_zero() {
+                let f = a.at(r, col) * &inv;
+                for c in col..n {
+                    *a.at_mut(r, c) = a.at(r, c) - &(a.at(col, c) * &f);
+                }
+            }
+        }
+    }
+    result
+}
+
+/// Solves the square system `A·x = b` exactly. Returns `None` if `A` is
+/// singular.
+///
+/// # Panics
+/// Panics if dimensions disagree.
+pub fn solve(a: &Mat, b: &[Rat]) -> Option<Vec<Rat>> {
+    assert_eq!(a.rows, a.cols, "solve: non-square matrix");
+    assert_eq!(a.rows, b.len(), "solve: rhs length mismatch");
+    let n = a.rows;
+    // Augmented elimination.
+    let mut m = Mat::zeros(n, n + 1);
+    for r in 0..n {
+        for c in 0..n {
+            *m.at_mut(r, c) = a.at(r, c).clone();
+        }
+        *m.at_mut(r, n) = b[r].clone();
+    }
+    for col in 0..n {
+        let p = (col..n).find(|&r| !m.at(r, col).is_zero())?;
+        m.swap_rows(col, p);
+        let inv = m.at(col, col).recip();
+        for c in col..=n {
+            *m.at_mut(col, c) = m.at(col, c) * &inv;
+        }
+        for r in 0..n {
+            if r != col && !m.at(r, col).is_zero() {
+                let f = m.at(r, col).clone();
+                for c in col..=n {
+                    *m.at_mut(r, c) = m.at(r, c) - &(m.at(col, c) * &f);
+                }
+            }
+        }
+    }
+    Some((0..n).map(|r| m.at(r, n).clone()).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_arith::rat;
+
+    fn m(rows: &[&[i64]]) -> Mat {
+        Mat::from_rows(
+            rows.iter()
+                .map(|r| r.iter().map(|&v| rat(v, 1)).collect())
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn determinants() {
+        assert_eq!(det(&m(&[&[2]])), rat(2, 1));
+        assert_eq!(det(&m(&[&[1, 2], &[3, 4]])), rat(-2, 1));
+        assert_eq!(det(&m(&[&[1, 0, 0], &[0, 1, 0], &[0, 0, 1]])), rat(1, 1));
+        assert_eq!(det(&m(&[&[1, 2], &[2, 4]])), rat(0, 1));
+        // Row swap sign.
+        assert_eq!(det(&m(&[&[0, 1], &[1, 0]])), rat(-1, 1));
+    }
+
+    #[test]
+    fn solve_system() {
+        // x + y = 3, x - y = 1 → x = 2, y = 1.
+        let a = m(&[&[1, 1], &[1, -1]]);
+        let x = solve(&a, &[rat(3, 1), rat(1, 1)]).unwrap();
+        assert_eq!(x, vec![rat(2, 1), rat(1, 1)]);
+    }
+
+    #[test]
+    fn solve_singular_is_none() {
+        let a = m(&[&[1, 2], &[2, 4]]);
+        assert!(solve(&a, &[rat(1, 1), rat(2, 1)]).is_none());
+    }
+
+    #[test]
+    fn solve_rational_entries() {
+        let a = Mat::from_rows(vec![
+            vec![rat(1, 2), rat(1, 3)],
+            vec![rat(1, 4), rat(-1, 5)],
+        ]);
+        let b = [rat(1, 1), rat(0, 1)];
+        let x = solve(&a, &b).unwrap();
+        // Verify by substitution.
+        for r in 0..2 {
+            let lhs = a.at(r, 0) * &x[0] + a.at(r, 1) * &x[1];
+            assert_eq!(lhs, b[r]);
+        }
+    }
+
+    #[test]
+    fn ranks() {
+        assert_eq!(m(&[&[1, 2], &[2, 4]]).rank(), 1);
+        assert_eq!(m(&[&[1, 2], &[3, 4]]).rank(), 2);
+        assert_eq!(m(&[&[0, 0], &[0, 0]]).rank(), 0);
+        assert_eq!(m(&[&[1, 2, 3], &[4, 5, 6]]).rank(), 2);
+    }
+}

@@ -1,0 +1,31 @@
+//! First-order formulas over constraint signatures.
+//!
+//! This crate implements the syntactic side of the constraint query
+//! languages of Section 2 of Benedikt & Libkin (PODS 1999):
+//!
+//! * [`Formula`] — first-order formulas `FO(SC, Ω)` built from polynomial
+//!   sign-condition atoms, schema-relation atoms, boolean connectives, and
+//!   both *natural* (real) and *active-domain* quantifiers.
+//! * [`Atom`]/[`Rel`] — atomic constraints `p(x⃗) ⋈ 0` with `⋈` one of
+//!   `=, ≠, <, ≤, >, ≥`; dense-order, linear (FO+LIN) and polynomial
+//!   (FO+POLY) constraint classes are distinguished by [`Formula::class`].
+//! * Normal forms: negation normal form, prenex normal form, and disjunctive
+//!   normal form of quantifier-free formulas (the workhorse of
+//!   Fourier–Motzkin elimination in `cqa-qe`).
+//! * A text [`parser`](parse_formula) and round-trippable pretty-printer, so
+//!   examples and tests can write formulas the way the paper does.
+//!
+//! Variables are interned [`Var`](cqa_poly::Var) indices; [`VarMap`] keeps
+//! the human names.
+
+mod ast;
+mod norm;
+mod parser;
+mod print;
+mod varmap;
+
+pub use ast::{Atom, ConstraintClass, Formula, Rel};
+pub use norm::{dnf, from_dnf, nnf, prenex, PrenexBlock};
+pub use parser::{parse_formula, parse_formula_with, parse_term_with, ParseError};
+pub use print::display_formula;
+pub use varmap::VarMap;

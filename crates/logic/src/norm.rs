@@ -1,0 +1,284 @@
+//! Normal forms: negation normal form, prenex normal form, and disjunctive
+//! normal form of quantifier-free formulas.
+
+use crate::ast::Formula;
+use cqa_poly::{MPoly, Var};
+
+/// Rewrites into negation normal form: negations occur only directly on
+/// schema-relation atoms (sign-condition atoms absorb their negation by
+/// flipping the relation).
+pub fn nnf(f: &Formula) -> Formula {
+    match f {
+        Formula::Not(g) => nnf_neg(g),
+        Formula::And(fs) => fs.iter().map(nnf).fold(Formula::True, Formula::and),
+        Formula::Or(fs) => fs.iter().map(nnf).fold(Formula::False, Formula::or),
+        Formula::Exists(vs, g) => Formula::exists(vs.clone(), nnf(g)),
+        Formula::Forall(vs, g) => Formula::forall(vs.clone(), nnf(g)),
+        Formula::ExistsAdom(v, g) => Formula::ExistsAdom(*v, Box::new(nnf(g))),
+        Formula::ForallAdom(v, g) => Formula::ForallAdom(*v, Box::new(nnf(g))),
+        _ => f.clone(),
+    }
+}
+
+fn nnf_neg(f: &Formula) -> Formula {
+    match f {
+        Formula::True => Formula::False,
+        Formula::False => Formula::True,
+        Formula::Atom(_) => f.clone().negate(),
+        Formula::Rel { .. } => Formula::Not(Box::new(f.clone())),
+        Formula::Not(g) => nnf(g),
+        Formula::And(fs) => fs.iter().map(nnf_neg).fold(Formula::False, Formula::or),
+        Formula::Or(fs) => fs.iter().map(nnf_neg).fold(Formula::True, Formula::and),
+        Formula::Exists(vs, g) => Formula::forall(vs.clone(), nnf_neg(g)),
+        Formula::Forall(vs, g) => Formula::exists(vs.clone(), nnf_neg(g)),
+        Formula::ExistsAdom(v, g) => Formula::ForallAdom(*v, Box::new(nnf_neg(g))),
+        Formula::ForallAdom(v, g) => Formula::ExistsAdom(*v, Box::new(nnf_neg(g))),
+    }
+}
+
+/// One block of like quantifiers in a prenex prefix.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PrenexBlock {
+    /// `true` for ∃, `false` for ∀.
+    pub exists: bool,
+    /// The block's variables.
+    pub vars: Vec<Var>,
+}
+
+/// Converts to prenex normal form. Returns the quantifier prefix (outermost
+/// first) and the quantifier-free matrix. Bound variables are renamed apart
+/// so the prefix binds distinct variables and captures nothing.
+///
+/// Active-domain quantifiers are not supported here (they are evaluated
+/// directly over finite instances); the function panics if one occurs.
+pub fn prenex(f: &Formula) -> (Vec<PrenexBlock>, Formula) {
+    let f = nnf(f);
+    let mut next = f.fresh_var().0;
+    let (prefix, matrix) = prenex_rec(&f, &mut next);
+    (merge_blocks(prefix), matrix)
+}
+
+fn merge_blocks(blocks: Vec<PrenexBlock>) -> Vec<PrenexBlock> {
+    let mut out: Vec<PrenexBlock> = Vec::new();
+    for b in blocks {
+        if b.vars.is_empty() {
+            continue;
+        }
+        match out.last_mut() {
+            Some(last) if last.exists == b.exists => last.vars.extend(b.vars),
+            _ => out.push(b),
+        }
+    }
+    out
+}
+
+fn prenex_rec(f: &Formula, next: &mut u32) -> (Vec<PrenexBlock>, Formula) {
+    match f {
+        Formula::Exists(vs, g) | Formula::Forall(vs, g) => {
+            let exists = matches!(f, Formula::Exists(..));
+            // Rename each bound variable to a globally fresh one.
+            let mut body = (**g).clone();
+            let mut fresh = Vec::with_capacity(vs.len());
+            for v in vs {
+                let w = Var(*next);
+                *next += 1;
+                body = body.subst_poly(*v, &MPoly::var(w));
+                fresh.push(w);
+            }
+            let (mut inner, matrix) = prenex_rec(&body, next);
+            inner.insert(0, PrenexBlock { exists, vars: fresh });
+            (inner, matrix)
+        }
+        Formula::And(fs) | Formula::Or(fs) => {
+            let is_and = matches!(f, Formula::And(_));
+            let mut prefix = Vec::new();
+            let mut parts = Vec::with_capacity(fs.len());
+            for g in fs {
+                let (p, m) = prenex_rec(g, next);
+                prefix.extend(p);
+                parts.push(m);
+            }
+            let matrix = if is_and {
+                parts.into_iter().fold(Formula::True, Formula::and)
+            } else {
+                parts.into_iter().fold(Formula::False, Formula::or)
+            };
+            (prefix, matrix)
+        }
+        Formula::Not(g) => {
+            // NNF input: negation only wraps relation atoms (quantifier-free).
+            debug_assert!(g.is_quantifier_free());
+            (Vec::new(), f.clone())
+        }
+        Formula::ExistsAdom(..) | Formula::ForallAdom(..) => {
+            panic!("prenex: active-domain quantifiers must be evaluated, not prenexed")
+        }
+        _ => (Vec::new(), f.clone()),
+    }
+}
+
+/// Converts a quantifier-free formula to disjunctive normal form: a list of
+/// clauses, each a conjunction of literals (sign-condition atoms, relation
+/// atoms, or negated relation atoms). Trivially false clauses are dropped;
+/// an empty clause list means `⊥`, and a clause with no literals means `⊤`.
+///
+/// # Panics
+/// Panics if the formula contains a quantifier.
+pub fn dnf(f: &Formula) -> Vec<Vec<Formula>> {
+    assert!(f.is_quantifier_free(), "dnf requires a quantifier-free formula");
+    let f = nnf(f);
+    dnf_rec(&f)
+}
+
+fn dnf_rec(f: &Formula) -> Vec<Vec<Formula>> {
+    match f {
+        Formula::True => vec![Vec::new()],
+        Formula::False => Vec::new(),
+        Formula::Atom(_) | Formula::Rel { .. } | Formula::Not(_) => vec![vec![f.clone()]],
+        Formula::Or(fs) => fs.iter().flat_map(dnf_rec).collect(),
+        Formula::And(fs) => {
+            let mut acc: Vec<Vec<Formula>> = vec![Vec::new()];
+            for g in fs {
+                let gd = dnf_rec(g);
+                let mut next = Vec::with_capacity(acc.len() * gd.len());
+                for clause in &acc {
+                    for gclause in &gd {
+                        let mut merged = clause.clone();
+                        merged.extend(gclause.iter().cloned());
+                        next.push(merged);
+                    }
+                }
+                acc = next;
+            }
+            acc
+        }
+        _ => unreachable!("quantifier under dnf"),
+    }
+}
+
+/// Rebuilds a formula from DNF clauses.
+pub fn from_dnf(clauses: &[Vec<Formula>]) -> Formula {
+    clauses
+        .iter()
+        .map(|c| c.iter().cloned().fold(Formula::True, Formula::and))
+        .fold(Formula::False, Formula::or)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Formula as F, Rel};
+
+    fn x() -> MPoly {
+        MPoly::var(Var(0))
+    }
+    fn y() -> MPoly {
+        MPoly::var(Var(1))
+    }
+
+    #[test]
+    fn nnf_pushes_negation() {
+        // ¬(x < y ∨ x = y)  ⇒  x ≥ y ∧ x ≠ y
+        let f = F::Not(Box::new(F::lt(x(), y()).or(F::eq(x(), y()))));
+        let g = nnf(&f);
+        match g {
+            F::And(parts) => {
+                assert_eq!(parts.len(), 2);
+                match (&parts[0], &parts[1]) {
+                    (F::Atom(a), F::Atom(b)) => {
+                        assert_eq!(a.rel, Rel::Ge);
+                        assert_eq!(b.rel, Rel::Neq);
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("expected And, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nnf_swaps_quantifiers() {
+        // ¬∃x. x < y  ⇒  ∀x. x ≥ y
+        let f = F::Not(Box::new(F::exists(vec![Var(0)], F::lt(x(), y()))));
+        match nnf(&f) {
+            F::Forall(vs, body) => {
+                assert_eq!(vs, vec![Var(0)]);
+                assert!(matches!(*body, F::Atom(ref a) if a.rel == Rel::Ge));
+            }
+            other => panic!("expected Forall, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nnf_keeps_relation_negation() {
+        let f = F::Not(Box::new(F::Rel { name: "S".into(), args: vec![x()] }));
+        assert!(matches!(nnf(&f), F::Not(_)));
+    }
+
+    #[test]
+    fn prenex_renames_apart() {
+        // (∃x. x < y) ∧ (∃x. y < x): the two bound x's must become distinct.
+        let left = F::exists(vec![Var(0)], F::lt(x(), y()));
+        let right = F::exists(vec![Var(0)], F::lt(y(), x()));
+        let (prefix, matrix) = prenex(&left.and(right));
+        let bound: Vec<Var> = prefix.iter().flat_map(|b| b.vars.clone()).collect();
+        assert_eq!(bound.len(), 2);
+        assert_ne!(bound[0], bound[1]);
+        assert!(matrix.is_quantifier_free());
+        // y (Var 1) must remain free in the matrix.
+        assert!(matrix.free_vars().contains(&Var(1)));
+        assert!(!matrix.free_vars().contains(&Var(0)));
+    }
+
+    #[test]
+    fn prenex_orders_alternation() {
+        // ∀u.(u ≤ y) ∨ ∃v.(v < y) — prefix has a ∀ block and an ∃ block.
+        let f = F::forall(vec![Var(2)], F::le(MPoly::var(Var(2)), y()))
+            .or(F::exists(vec![Var(3)], F::lt(MPoly::var(Var(3)), y())));
+        let (prefix, _) = prenex(&f);
+        assert_eq!(prefix.len(), 2);
+        assert_ne!(prefix[0].exists, prefix[1].exists);
+    }
+
+    #[test]
+    fn dnf_distributes() {
+        // (a ∨ b) ∧ c → [a,c], [b,c]
+        let a = F::lt(x(), y());
+        let b = F::eq(x(), y());
+        let c = F::lt(y(), MPoly::one());
+        let f = a.clone().or(b.clone()).and(c.clone());
+        let clauses = dnf(&f);
+        assert_eq!(clauses.len(), 2);
+        assert_eq!(clauses[0], vec![a, c.clone()]);
+        assert_eq!(clauses[1], vec![b, c]);
+    }
+
+    #[test]
+    fn dnf_constants() {
+        assert_eq!(dnf(&F::True), vec![Vec::<F>::new()]);
+        assert!(dnf(&F::False).is_empty());
+        let f = F::lt(x(), y()).and(F::False);
+        assert!(dnf(&f).is_empty());
+    }
+
+    #[test]
+    fn from_dnf_roundtrip_semantics() {
+        let a = F::lt(x(), y());
+        let b = F::eq(x(), y());
+        let f = a.clone().or(b.clone());
+        let back = from_dnf(&dnf(&f));
+        // Semantically equal on sample points.
+        let pts = [(0i64, 1i64), (1, 0), (1, 1), (-3, 2)];
+        for (xv, yv) in pts {
+            let asg = move |v: Var| cqa_arith::rat(if v == Var(0) { xv } else { yv }, 1);
+            assert_eq!(f.eval(&asg, &[]), back.eval(&asg, &[]));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "quantifier-free")]
+    fn dnf_rejects_quantifiers() {
+        let f = F::exists(vec![Var(0)], F::lt(x(), y()));
+        let _ = dnf(&f);
+    }
+}

@@ -1,0 +1,636 @@
+//! A recursive-descent parser for constraint formulas.
+//!
+//! Grammar (precedence low → high):
+//!
+//! ```text
+//! formula  := iff
+//! iff      := implies ( '<->' implies )*
+//! implies  := or ( '->' implies )?               (right associative)
+//! or       := and ( '|' and )*
+//! and      := unary ( '&' unary )*
+//! unary    := '!' unary
+//!           | ('exists'|'E') ident+ '.' unary
+//!           | ('forall'|'A') ident+ '.' unary
+//!           | ('Eadom'|'Aadom') ident '.' unary
+//!           | 'true' | 'false'
+//!           | '(' formula ')'
+//!           | atom
+//! atom     := term (('='|'!='|'<'|'<='|'>'|'>=') term)+   (chained compares)
+//!           | IDENT '(' term (',' term)* ')'              (relation atom)
+//! term     := product (('+'|'-') product)*
+//! product  := power (('*') power)*  with implicit unary minus
+//! power    := primary ('^' NAT)?
+//! primary  := NUMBER | IDENT | '(' term ')' | '-' primary
+//! ```
+//!
+//! Numbers may be integers or decimal literals like `0.5` (parsed exactly
+//! as rationals); `/` divides a term by a non-zero rational constant, so
+//! fractions such as `1/2` work as expected.
+
+use crate::ast::{Formula, Rel};
+use crate::varmap::VarMap;
+use cqa_arith::Rat;
+use cqa_poly::MPoly;
+use std::fmt;
+
+/// A parse failure, with a byte offset and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the source where the error occurred.
+    pub at: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.at, self.msg)
+    }
+}
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Num(Rat),
+    Sym(&'static str),
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    toks: Vec<(usize, Tok)>,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(src: &'a str) -> Result<Vec<(usize, Tok)>, ParseError> {
+        let mut lx = Lexer { src: src.as_bytes(), pos: 0, toks: Vec::new() };
+        lx.lex()?;
+        Ok(lx.toks)
+    }
+
+    fn lex(&mut self) -> Result<(), ParseError> {
+        while self.pos < self.src.len() {
+            let c = self.src[self.pos];
+            match c {
+                b' ' | b'\t' | b'\n' | b'\r' => self.pos += 1,
+                b'0'..=b'9' => self.number()?,
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.ident(),
+                _ => self.symbol()?,
+            }
+        }
+        Ok(())
+    }
+
+    fn number(&mut self) -> Result<(), ParseError> {
+        let start = self.pos;
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_digit() {
+            self.pos += 1;
+        }
+        if self.pos < self.src.len()
+            && self.src[self.pos] == b'.'
+            && self.pos + 1 < self.src.len()
+            && self.src[self.pos + 1].is_ascii_digit()
+        {
+            self.pos += 1;
+            while self.pos < self.src.len() && self.src[self.pos].is_ascii_digit() {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+        let value: Rat = text
+            .parse()
+            .map_err(|_| ParseError { at: start, msg: format!("bad number `{text}`") })?;
+        self.toks.push((start, Tok::Num(value)));
+        Ok(())
+    }
+
+    fn ident(&mut self) {
+        let start = self.pos;
+        while self.pos < self.src.len()
+            && (self.src[self.pos].is_ascii_alphanumeric() || self.src[self.pos] == b'_')
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+        self.toks.push((start, Tok::Ident(text.to_string())));
+    }
+
+    fn symbol(&mut self) -> Result<(), ParseError> {
+        const TWO: [&str; 5] = ["<->", "->", "<=", ">=", "!="];
+        const ONE: [&str; 13] =
+            ["(", ")", ",", ".", "&", "|", "!", "<", ">", "=", "+", "-", "/"];
+        let rest = &self.src[self.pos..];
+        for s in TWO {
+            if rest.starts_with(s.as_bytes()) {
+                self.toks.push((self.pos, Tok::Sym(s)));
+                self.pos += s.len();
+                return Ok(());
+            }
+        }
+        for s in ONE.iter().chain(["*", "^"].iter()) {
+            if rest.starts_with(s.as_bytes()) {
+                self.toks.push((self.pos, Tok::Sym(s)));
+                self.pos += s.len();
+                return Ok(());
+            }
+        }
+        Err(ParseError {
+            at: self.pos,
+            msg: format!("unexpected character `{}`", self.src[self.pos] as char),
+        })
+    }
+}
+
+struct Parser<'a> {
+    toks: Vec<(usize, Tok)>,
+    pos: usize,
+    vars: &'a mut VarMap,
+    src_len: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn at(&self) -> usize {
+        self.toks.get(self.pos).map_or(self.src_len, |(p, _)| *p)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(_, t)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn eat_sym(&mut self, s: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Sym(t)) if *t == s) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_sym(&mut self, s: &str) -> Result<(), ParseError> {
+        if self.eat_sym(s) {
+            Ok(())
+        } else {
+            Err(ParseError { at: self.at(), msg: format!("expected `{s}`") })
+        }
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { at: self.at(), msg: msg.into() })
+    }
+
+    // ---- formulas ----
+
+    fn formula(&mut self) -> Result<Formula, ParseError> {
+        let mut f = self.implies()?;
+        while self.eat_sym("<->") {
+            let g = self.implies()?;
+            f = f.clone().implies(g.clone()).and(g.implies(f));
+        }
+        Ok(f)
+    }
+
+    fn implies(&mut self) -> Result<Formula, ParseError> {
+        let f = self.or_f()?;
+        if self.eat_sym("->") {
+            let g = self.implies()?;
+            Ok(f.implies(g))
+        } else {
+            Ok(f)
+        }
+    }
+
+    fn or_f(&mut self) -> Result<Formula, ParseError> {
+        let mut f = self.and_f()?;
+        while self.eat_sym("|") {
+            f = f.or(self.and_f()?);
+        }
+        Ok(f)
+    }
+
+    fn and_f(&mut self) -> Result<Formula, ParseError> {
+        let mut f = self.unary()?;
+        while self.eat_sym("&") {
+            f = f.and(self.unary()?);
+        }
+        Ok(f)
+    }
+
+    fn unary(&mut self) -> Result<Formula, ParseError> {
+        if self.eat_sym("!") {
+            return Ok(self.unary()?.negate());
+        }
+        // `E(` / `A(` are relation atoms, not quantifiers.
+        let next_is_paren = matches!(self.toks.get(self.pos + 1), Some((_, Tok::Sym("("))));
+        match self.peek() {
+            Some(Tok::Ident(kw)) if kw == "exists" || (kw == "E" && !next_is_paren) => {
+                self.pos += 1;
+                self.quantifier(true, false)
+            }
+            Some(Tok::Ident(kw)) if kw == "forall" || (kw == "A" && !next_is_paren) => {
+                self.pos += 1;
+                self.quantifier(false, false)
+            }
+            Some(Tok::Ident(kw)) if kw == "Eadom" => {
+                self.pos += 1;
+                self.quantifier(true, true)
+            }
+            Some(Tok::Ident(kw)) if kw == "Aadom" => {
+                self.pos += 1;
+                self.quantifier(false, true)
+            }
+            Some(Tok::Ident(kw)) if kw == "true" => {
+                self.pos += 1;
+                Ok(Formula::True)
+            }
+            Some(Tok::Ident(kw)) if kw == "false" => {
+                self.pos += 1;
+                Ok(Formula::False)
+            }
+            _ => self.atom_or_group(),
+        }
+    }
+
+    fn quantifier(&mut self, exists: bool, adom: bool) -> Result<Formula, ParseError> {
+        let mut vars = Vec::new();
+        loop {
+            match self.peek() {
+                Some(Tok::Ident(name)) => {
+                    let name = name.clone();
+                    self.pos += 1;
+                    vars.push(self.vars.intern(&name));
+                    if self.eat_sym(",") {
+                        continue;
+                    }
+                }
+                _ => break,
+            }
+            if matches!(self.peek(), Some(Tok::Sym("."))) {
+                break;
+            }
+        }
+        if vars.is_empty() {
+            return self.err("quantifier needs at least one variable");
+        }
+        self.expect_sym(".")?;
+        // Quantifier scope extends as far right as possible.
+        let body = self.formula()?;
+        if adom {
+            if vars.len() != 1 {
+                return self.err("active-domain quantifier binds one variable");
+            }
+            Ok(if exists {
+                Formula::ExistsAdom(vars[0], Box::new(body))
+            } else {
+                Formula::ForallAdom(vars[0], Box::new(body))
+            })
+        } else if exists {
+            Ok(Formula::exists(vars, body))
+        } else {
+            Ok(Formula::forall(vars, body))
+        }
+    }
+
+    /// Parses `( formula )`, a relation atom `R(t,…)`, or a comparison chain.
+    fn atom_or_group(&mut self) -> Result<Formula, ParseError> {
+        // Relation atom: uppercase-ish identifier followed by '(' and NOT
+        // parseable as a term function — we treat any IDENT '(' as a relation
+        // if the identifier was not interned as a variable beforehand and the
+        // formula context expects an atom. To stay predictable we use the
+        // convention: relation names start with an uppercase letter.
+        if let Some(Tok::Ident(name)) = self.peek() {
+            if name.chars().next().is_some_and(char::is_uppercase)
+                && !matches!(name.as_str(), "Eadom" | "Aadom")
+                && matches!(self.toks.get(self.pos + 1), Some((_, Tok::Sym("("))))
+            {
+                let name = name.clone();
+                self.pos += 2;
+                let mut args = vec![self.term()?];
+                while self.eat_sym(",") {
+                    args.push(self.term()?);
+                }
+                self.expect_sym(")")?;
+                return Ok(Formula::Rel { name, args });
+            }
+        }
+        // Group: '(' could open a parenthesized formula or a term. Try the
+        // formula first with backtracking.
+        if matches!(self.peek(), Some(Tok::Sym("("))) {
+            let save = self.pos;
+            self.pos += 1;
+            if let Ok(f) = self.formula() {
+                if self.eat_sym(")") {
+                    // If a comparison follows, this was actually a term group.
+                    if !self.peeking_comparison() {
+                        return Ok(f);
+                    }
+                }
+            }
+            self.pos = save;
+        }
+        self.comparison()
+    }
+
+    fn peeking_comparison(&self) -> bool {
+        matches!(
+            self.peek(),
+            Some(Tok::Sym("=" | "!=" | "<" | "<=" | ">" | ">=" | "+" | "-" | "*" | "^"))
+        )
+    }
+
+    fn comparison(&mut self) -> Result<Formula, ParseError> {
+        let first = self.term()?;
+        let mut terms = vec![first];
+        let mut rels = Vec::new();
+        loop {
+            let rel = match self.peek() {
+                Some(Tok::Sym("=")) => Rel::Eq,
+                Some(Tok::Sym("!=")) => Rel::Neq,
+                Some(Tok::Sym("<")) => Rel::Lt,
+                Some(Tok::Sym("<=")) => Rel::Le,
+                Some(Tok::Sym(">")) => Rel::Gt,
+                Some(Tok::Sym(">=")) => Rel::Ge,
+                _ => break,
+            };
+            self.pos += 1;
+            rels.push(rel);
+            terms.push(self.term()?);
+        }
+        if rels.is_empty() {
+            return self.err("expected a comparison operator");
+        }
+        // Chained comparisons: a < b <= c means a < b & b <= c.
+        let mut f = Formula::True;
+        for (i, rel) in rels.iter().enumerate() {
+            let lhs = terms[i].clone();
+            let rhs = terms[i + 1].clone();
+            f = f.and(Formula::Atom(crate::ast::Atom::new(lhs - rhs, *rel)));
+        }
+        Ok(f)
+    }
+
+    // ---- terms ----
+
+    fn term(&mut self) -> Result<MPoly, ParseError> {
+        let mut t = self.product()?;
+        loop {
+            if self.eat_sym("+") {
+                t = t + self.product()?;
+            } else if self.eat_sym("-") {
+                t = t - self.product()?;
+            } else {
+                break;
+            }
+        }
+        Ok(t)
+    }
+
+    fn product(&mut self) -> Result<MPoly, ParseError> {
+        let mut t = self.power()?;
+        loop {
+            if self.eat_sym("*") {
+                t = t * self.power()?;
+            } else if self.eat_sym("/") {
+                let at = self.at();
+                let rhs = self.power()?;
+                match rhs.as_constant() {
+                    Some(c) if !c.is_zero() => t = t.scale(&c.recip()),
+                    _ => {
+                        return Err(ParseError {
+                            at,
+                            msg: "division only by a non-zero rational constant".into(),
+                        })
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+        Ok(t)
+    }
+
+    fn power(&mut self) -> Result<MPoly, ParseError> {
+        let base = self.primary()?;
+        if self.eat_sym("^") {
+            match self.bump() {
+                Some(Tok::Num(n)) if n.is_integer() && !n.is_negative() => {
+                    let e = n
+                        .numer()
+                        .to_i64()
+                        .filter(|&e| e <= u32::MAX as i64)
+                        .ok_or_else(|| ParseError {
+                            at: self.at(),
+                            msg: "exponent too large".into(),
+                        })?;
+                    Ok(base.pow(e as u32))
+                }
+                _ => self.err("expected a natural-number exponent"),
+            }
+        } else {
+            Ok(base)
+        }
+    }
+
+    fn primary(&mut self) -> Result<MPoly, ParseError> {
+        if self.eat_sym("-") {
+            return Ok(-self.primary()?);
+        }
+        match self.bump() {
+            Some(Tok::Num(n)) => Ok(MPoly::constant(n)),
+            Some(Tok::Ident(name)) => Ok(MPoly::var(self.vars.intern(&name))),
+            Some(Tok::Sym("(")) => {
+                let t = self.term()?;
+                self.expect_sym(")")?;
+                Ok(t)
+            }
+            _ => {
+                self.pos -= 1;
+                self.err("expected a term")
+            }
+        }
+    }
+}
+
+/// Parses a formula, returning it with a fresh [`VarMap`] of its variables.
+pub fn parse_formula(src: &str) -> Result<(Formula, VarMap), ParseError> {
+    let mut vars = VarMap::new();
+    let f = parse_formula_with(src, &mut vars)?;
+    Ok((f, vars))
+}
+
+/// Parses a formula using (and extending) an existing variable map, so that
+/// several formulas can share variable identities.
+pub fn parse_formula_with(src: &str, vars: &mut VarMap) -> Result<Formula, ParseError> {
+    let toks = Lexer::run(src)?;
+    let mut p = Parser { toks, pos: 0, vars, src_len: src.len() };
+    let f = p.formula()?;
+    if p.pos != p.toks.len() {
+        return p.err("trailing input");
+    }
+    Ok(f)
+}
+
+/// Parses a polynomial term using an existing variable map.
+pub fn parse_term_with(src: &str, vars: &mut VarMap) -> Result<MPoly, ParseError> {
+    let toks = Lexer::run(src)?;
+    let mut p = Parser { toks, pos: 0, vars, src_len: src.len() };
+    let t = p.term()?;
+    if p.pos != p.toks.len() {
+        return p.err("trailing input");
+    }
+    Ok(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::ConstraintClass;
+    use cqa_arith::rat;
+    use cqa_poly::Var;
+
+    #[test]
+    fn parse_simple_atom() {
+        let (f, vars) = parse_formula("x < y").unwrap();
+        assert_eq!(vars.len(), 2);
+        assert!(matches!(f, Formula::Atom(ref a) if a.rel == Rel::Lt));
+    }
+
+    #[test]
+    fn parse_connectives_and_precedence() {
+        let (f, _) = parse_formula("x < 1 & y < 1 | x > 2").unwrap();
+        // | binds looser than &
+        assert!(matches!(f, Formula::Or(_)));
+        let (g, _) = parse_formula("x < 1 & (y < 1 | x > 2)").unwrap();
+        assert!(matches!(g, Formula::And(_)));
+    }
+
+    #[test]
+    fn parse_quantifiers() {
+        let (f, vars) = parse_formula("exists y. x + y = 1").unwrap();
+        match f {
+            Formula::Exists(vs, _) => assert_eq!(vs, vec![vars.get("y").unwrap()]),
+            other => panic!("{other:?}"),
+        }
+        let (g, _) = parse_formula("E y. A z. x + y < z").unwrap();
+        assert!(matches!(g, Formula::Exists(..)));
+        let (h, _) = parse_formula("Eadom u. U(u) & u < x").unwrap();
+        assert!(matches!(h, Formula::ExistsAdom(..)));
+    }
+
+    #[test]
+    fn parse_multi_var_quantifier() {
+        let (f, _) = parse_formula("exists y, z. x = y + z").unwrap();
+        match f {
+            Formula::Exists(vs, _) => assert_eq!(vs.len(), 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_relation_atom() {
+        let (f, _) = parse_formula("U(x) & x < 1").unwrap();
+        let names = f.relation_names();
+        assert!(names.contains("U"));
+        let (g, _) = parse_formula("S(x, y + 1)").unwrap();
+        match g {
+            Formula::Rel { name, args } => {
+                assert_eq!(name, "S");
+                assert_eq!(args.len(), 2);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_chained_comparison() {
+        let (f, _) = parse_formula("0 <= x < y <= 1").unwrap();
+        match f {
+            Formula::And(parts) => assert_eq!(parts.len(), 3),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_arithmetic() {
+        let mut vars = VarMap::new();
+        let t = parse_term_with("2*x^2 - 3*x*y + 0.5", &mut vars).unwrap();
+        let x = vars.get("x").unwrap();
+        let y = vars.get("y").unwrap();
+        let expect = MPoly::var(x).pow(2).scale(&rat(2, 1))
+            - (MPoly::var(x) * MPoly::var(y)).scale(&rat(3, 1))
+            + MPoly::constant(rat(1, 2));
+        assert_eq!(t, expect);
+    }
+
+    #[test]
+    fn parse_implication_and_iff() {
+        let (f, _) = parse_formula("x < 0 -> x < 1").unwrap();
+        // Semantically: x >= 0 | x < 1, always true for reals; check eval.
+        for v in [-1i64, 0, 5] {
+            assert_eq!(f.eval(&|_| rat(v, 1), &[]), Some(true));
+        }
+        let (g, _) = parse_formula("x < 0 <-> 0 > x").unwrap();
+        for v in [-1i64, 3] {
+            assert_eq!(g.eval(&|_| rat(v, 1), &[]), Some(true));
+        }
+    }
+
+    #[test]
+    fn parse_negation_and_constants() {
+        let (f, _) = parse_formula("!(x < 1) & true").unwrap();
+        assert!(matches!(f, Formula::Atom(ref a) if a.rel == Rel::Ge));
+        let (g, _) = parse_formula("false | x = 0").unwrap();
+        assert!(matches!(g, Formula::Atom(_)));
+    }
+
+    #[test]
+    fn parse_classes() {
+        assert_eq!(parse_formula("x < y").unwrap().0.class(), ConstraintClass::DenseOrder);
+        assert_eq!(parse_formula("x + y < 1").unwrap().0.class(), ConstraintClass::Linear);
+        assert_eq!(parse_formula("x*x + y < 1").unwrap().0.class(), ConstraintClass::Polynomial);
+    }
+
+    #[test]
+    fn parse_grouped_formula_vs_term() {
+        let (f, _) = parse_formula("(x + 1) * 2 < y").unwrap();
+        assert!(matches!(f, Formula::Atom(_)));
+        let (g, _) = parse_formula("(x < 1) & (y < 1)").unwrap();
+        assert!(matches!(g, Formula::And(_)));
+    }
+
+    #[test]
+    fn shared_varmap_across_parses() {
+        let mut vars = VarMap::new();
+        let f = parse_formula_with("x < 1", &mut vars).unwrap();
+        let g = parse_formula_with("x > 0", &mut vars).unwrap();
+        assert_eq!(f.free_vars(), g.free_vars());
+        assert_eq!(vars.len(), 1);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_formula("x <").is_err());
+        assert!(parse_formula("x # y").is_err());
+        assert!(parse_formula("exists . x < 1").is_err());
+        assert!(parse_formula("x < 1 garbage garbage").is_err());
+        assert!(parse_formula("x ^ y").is_err()); // non-constant exponent
+    }
+
+    #[test]
+    fn decimal_literals_exact() {
+        let (f, _) = parse_formula("x = 0.1").unwrap();
+        match f {
+            Formula::Atom(a) => {
+                // x - 1/10
+                assert_eq!(a.poly.subst_rat(Var(0), &rat(1, 10)).as_constant(), Some(rat(0, 1)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Pretty-printing of formulas with human-readable variable names.
+//!
+//! The output re-parses to a semantically identical formula (round-trip
+//! property tested in the crate's integration tests).
+
+use crate::ast::{Formula, Rel};
+use crate::varmap::VarMap;
+use cqa_poly::MPoly;
+use std::fmt::Write;
+
+/// Renders a polynomial with names from `vars`.
+pub fn display_poly(p: &MPoly, vars: &VarMap) -> String {
+    if p.is_zero() {
+        return "0".to_string();
+    }
+    let mut out = String::new();
+    let mut first = true;
+    let terms: Vec<_> = p.terms().collect();
+    for (m, c) in terms.into_iter().rev() {
+        if !first {
+            out.push_str(if c.is_negative() { " - " } else { " + " });
+        } else if c.is_negative() {
+            out.push('-');
+        }
+        first = false;
+        let a = c.abs();
+        if m.is_empty() {
+            let _ = write!(out, "{a}");
+        } else {
+            if !a.is_one() {
+                let _ = write!(out, "{a}*");
+            }
+            let mut firstv = true;
+            for &(v, e) in m {
+                if !firstv {
+                    out.push('*');
+                }
+                firstv = false;
+                if e == 1 {
+                    let _ = write!(out, "{}", vars.name(v));
+                } else {
+                    let _ = write!(out, "{}^{}", vars.name(v), e);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn rel_str(rel: Rel) -> &'static str {
+    match rel {
+        Rel::Eq => "=",
+        Rel::Neq => "!=",
+        Rel::Lt => "<",
+        Rel::Le => "<=",
+        Rel::Gt => ">",
+        Rel::Ge => ">=",
+    }
+}
+
+/// Renders a formula with names from `vars`. Fully parenthesized except for
+/// atoms, so precedence is unambiguous and the result re-parses.
+pub fn display_formula(f: &Formula, vars: &VarMap) -> String {
+    let mut out = String::new();
+    fmt_rec(f, vars, &mut out);
+    out
+}
+
+fn fmt_rec(f: &Formula, vars: &VarMap, out: &mut String) {
+    match f {
+        Formula::True => out.push_str("true"),
+        Formula::False => out.push_str("false"),
+        Formula::Atom(a) => {
+            let _ = write!(out, "{} {} 0", display_poly(&a.poly, vars), rel_str(a.rel));
+        }
+        Formula::Rel { name, args } => {
+            let _ = write!(out, "{name}(");
+            for (i, t) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&display_poly(t, vars));
+            }
+            out.push(')');
+        }
+        Formula::Not(g) => {
+            out.push_str("!(");
+            fmt_rec(g, vars, out);
+            out.push(')');
+        }
+        Formula::And(fs) => nary(fs, " & ", "true", vars, out),
+        Formula::Or(fs) => nary(fs, " | ", "false", vars, out),
+        Formula::Exists(vs, g) => quant("exists", vs, g, vars, out),
+        Formula::Forall(vs, g) => quant("forall", vs, g, vars, out),
+        Formula::ExistsAdom(v, g) => {
+            let _ = write!(out, "Eadom {}. (", vars.name(*v));
+            fmt_rec(g, vars, out);
+            out.push(')');
+        }
+        Formula::ForallAdom(v, g) => {
+            let _ = write!(out, "Aadom {}. (", vars.name(*v));
+            fmt_rec(g, vars, out);
+            out.push(')');
+        }
+    }
+}
+
+fn nary(fs: &[Formula], sep: &str, empty: &str, vars: &VarMap, out: &mut String) {
+    if fs.is_empty() {
+        out.push_str(empty);
+        return;
+    }
+    out.push('(');
+    for (i, g) in fs.iter().enumerate() {
+        if i > 0 {
+            out.push_str(sep);
+        }
+        fmt_rec(g, vars, out);
+    }
+    out.push(')');
+}
+
+fn quant(kw: &str, vs: &[cqa_poly::Var], g: &Formula, vars: &VarMap, out: &mut String) {
+    let _ = write!(out, "{kw} ");
+    for (i, v) in vs.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&vars.name(*v));
+    }
+    out.push_str(". (");
+    fmt_rec(g, vars, out);
+    out.push(')');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_formula, parse_formula_with};
+    use cqa_arith::rat;
+    use cqa_poly::Var;
+
+    fn roundtrip(src: &str) {
+        let (f, vars) = parse_formula(src).unwrap();
+        let printed = display_formula(&f, &vars);
+        let mut vars2 = vars.clone();
+        let g = parse_formula_with(&printed, &mut vars2).unwrap();
+        // Compare semantics on a grid of sample points.
+        let fv: Vec<Var> = f.free_vars().into_iter().collect();
+        let samples = [-2i64, -1, 0, 1, 2];
+        let mut idx = vec![0usize; fv.len()];
+        loop {
+            let vals: Vec<_> = idx.iter().map(|&i| rat(samples[i], 2)).collect();
+            let asg = |v: Var| {
+                fv.iter()
+                    .position(|&w| w == v)
+                    .map(|i| vals[i].clone())
+                    .unwrap_or_else(|| rat(0, 1))
+            };
+            if f.is_quantifier_free() && f.is_relation_free() {
+                assert_eq!(f.eval(&asg, &[]), g.eval(&asg, &[]), "mismatch on {src}");
+            } else {
+                // Structural check only for quantified formulas.
+                break;
+            }
+            // Advance the grid odometer.
+            let mut k = 0;
+            loop {
+                if k == idx.len() {
+                    return;
+                }
+                idx[k] += 1;
+                if idx[k] < samples.len() {
+                    break;
+                }
+                idx[k] = 0;
+                k += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_quantifier_free() {
+        roundtrip("x < y");
+        roundtrip("x + 2*y <= 1 & x >= 0");
+        roundtrip("x*x - 2 = 0 | x < -1");
+        roundtrip("!(x < 1) | 0.5 <= x");
+        roundtrip("true & x != y");
+    }
+
+    #[test]
+    fn printed_quantifiers_reparse() {
+        let (f, vars) = parse_formula("exists y. x + y = 1 & y >= 0").unwrap();
+        let s = display_formula(&f, &vars);
+        let mut vars2 = vars.clone();
+        let g = parse_formula_with(&s, &mut vars2).unwrap();
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn printed_relations_reparse() {
+        let (f, vars) = parse_formula("U(x) & !U(y)").unwrap();
+        let s = display_formula(&f, &vars);
+        let mut vars2 = vars.clone();
+        let g = parse_formula_with(&s, &mut vars2).unwrap();
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn poly_display_uses_names() {
+        let (f, vars) = parse_formula("price * 2 + tax >= 10").unwrap();
+        let s = display_formula(&f, &vars);
+        assert!(s.contains("price"), "{s}");
+        assert!(s.contains("tax"), "{s}");
+    }
+}

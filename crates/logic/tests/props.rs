@@ -1,0 +1,90 @@
+//! Property tests: normal forms preserve semantics; the printer round-trips.
+
+use cqa_arith::{rat, Rat};
+use cqa_logic::{
+    display_formula, dnf, from_dnf, nnf, parse_formula_with, prenex, Atom, Formula, Rel, VarMap,
+};
+use cqa_poly::{MPoly, Var};
+use proptest::prelude::*;
+
+fn qf_formula() -> impl Strategy<Value = Formula> {
+    let atom = (
+        prop::collection::vec(-3i64..=3, 2),
+        -4i64..=4,
+        0usize..6,
+    )
+        .prop_map(|(coeffs, c, r)| {
+            let rel = [Rel::Lt, Rel::Le, Rel::Gt, Rel::Ge, Rel::Eq, Rel::Neq][r];
+            let mut p = MPoly::constant(Rat::from(c));
+            for (i, &a) in coeffs.iter().enumerate() {
+                p = p + MPoly::var(Var(i as u32)).scale(&Rat::from(a));
+            }
+            Formula::Atom(Atom::new(p, rel))
+        });
+    atom.prop_recursive(2, 8, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            inner.prop_map(Formula::negate),
+        ]
+    })
+}
+
+fn agree(a: &Formula, b: &Formula) -> Result<(), TestCaseError> {
+    for x in -3..=3i64 {
+        for y in -3..=3i64 {
+            let asg = |v: Var| if v == Var(0) { rat(x, 2) } else { rat(y, 2) };
+            prop_assert_eq!(a.eval(&asg, &[]), b.eval(&asg, &[]), "at ({}, {})", x, y);
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn nnf_preserves_semantics(f in qf_formula()) {
+        agree(&f, &nnf(&f))?;
+    }
+
+    #[test]
+    fn dnf_preserves_semantics(f in qf_formula()) {
+        let clauses = dnf(&f);
+        agree(&f, &from_dnf(&clauses))?;
+    }
+
+    #[test]
+    fn double_negation_is_identity_semantically(f in qf_formula()) {
+        agree(&f, &f.clone().negate().negate())?;
+    }
+
+    #[test]
+    fn printer_round_trips(f in qf_formula()) {
+        let vars = VarMap::new();
+        let printed = display_formula(&f, &vars);
+        let mut vars2 = VarMap::new();
+        // Intern x0, x1 in the same order the fallback names use.
+        vars2.intern("x0");
+        vars2.intern("x1");
+        let reparsed = parse_formula_with(&printed, &mut vars2).unwrap();
+        agree(&f, &reparsed)?;
+    }
+
+    #[test]
+    fn prenex_matrix_is_quantifier_free(f in qf_formula()) {
+        let q = Formula::exists(vec![Var(1)], f.clone());
+        let (blocks, matrix) = prenex(&q);
+        prop_assert!(matrix.is_quantifier_free());
+        prop_assert!(blocks.len() <= 1);
+        // Prefix variables are disjoint from free variables.
+        let fv = matrix.free_vars();
+        for b in &blocks {
+            for v in &b.vars {
+                // A renamed bound variable may occur in the matrix but not
+                // collide with an original free variable index 0.
+                prop_assert!(*v != Var(0) || !fv.contains(&Var(0)) || b.vars.is_empty());
+            }
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Polynomial arithmetic and real-root machinery for constraint databases.
+//!
+//! FO+POLY atoms are sign conditions on multivariate polynomials over ℚ;
+//! quantifier elimination (Cohen–Hörmander, in `cqa-qe`) views them as
+//! univariate polynomials in the innermost quantified variable with
+//! polynomial coefficients, and the `END` operator of FO+POLY+SUM needs the
+//! endpoints of the intervals composing a one-dimensional definable set —
+//! which are *real algebraic numbers*. This crate supplies all three layers:
+//!
+//! * [`UPoly`] — dense univariate polynomials over [`Rat`](cqa_arith::Rat):
+//!   Euclidean division, GCD, derivatives, Sturm sequences, exact real-root
+//!   isolation and refinement.
+//! * [`MPoly`] — sparse multivariate polynomials: ring operations,
+//!   evaluation, substitution, and the "univariate view" used by QE.
+//! * [`RealAlg`] — real algebraic numbers as (square-free polynomial,
+//!   isolating interval) pairs, with exact comparison, rational-offset
+//!   arithmetic and arbitrary-precision approximation.
+
+mod mpoly;
+mod realalg;
+mod upoly;
+
+pub use mpoly::{MPoly, Var};
+pub use realalg::RealAlg;
+pub use upoly::{clear_denominators, isolate_real_roots, refine_root, RootInterval, UPoly};

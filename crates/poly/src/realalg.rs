@@ -1,0 +1,426 @@
+//! Real algebraic numbers.
+//!
+//! The `END` operator of FO+POLY+SUM (Section 5 of the paper) returns the
+//! endpoints of the maximal intervals composing a one-dimensional definable
+//! set. For semi-linear sets these endpoints are rational; for semi-algebraic
+//! sets they are roots of univariate polynomials — *real algebraic numbers*.
+//! This module represents them exactly as a square-free defining polynomial
+//! plus an isolating interval, supporting exact comparison and
+//! arbitrary-precision approximation.
+
+use crate::upoly::{isolate_real_roots, refine_root, RootInterval, UPoly};
+use cqa_arith::Rat;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An exactly-represented real algebraic number.
+#[derive(Clone, Debug)]
+pub enum RealAlg {
+    /// A rational number.
+    Rational(Rat),
+    /// The unique root of `poly` (square-free) in the open interval
+    /// `(iv.lo, iv.hi)`; the endpoints are not roots.
+    Algebraic {
+        /// Square-free defining polynomial with a single root in the interval.
+        poly: UPoly,
+        /// Isolating interval.
+        iv: RootInterval,
+    },
+}
+
+impl RealAlg {
+    /// Wraps a rational.
+    pub fn from_rat(r: Rat) -> RealAlg {
+        RealAlg::Rational(r)
+    }
+
+    /// All real roots of `p` as algebraic numbers, in increasing order.
+    pub fn roots_of(p: &UPoly) -> Vec<RealAlg> {
+        let q = p.squarefree();
+        isolate_real_roots(p)
+            .into_iter()
+            .map(|iv| {
+                if iv.is_exact() {
+                    RealAlg::Rational(iv.lo)
+                } else {
+                    RealAlg::Algebraic { poly: q.clone(), iv }
+                }
+            })
+            .collect()
+    }
+
+    /// Returns the rational value if this number is rational.
+    pub fn as_rational(&self) -> Option<&Rat> {
+        match self {
+            RealAlg::Rational(r) => Some(r),
+            RealAlg::Algebraic { .. } => None,
+        }
+    }
+
+    /// A rational approximation within `eps` of the true value.
+    pub fn approximate(&self, eps: &Rat) -> Rat {
+        match self {
+            RealAlg::Rational(r) => r.clone(),
+            RealAlg::Algebraic { poly, iv } => {
+                let mut iv = iv.clone();
+                refine_root(poly, &mut iv, eps);
+                iv.lo.midpoint(&iv.hi)
+            }
+        }
+    }
+
+    /// Approximate conversion to `f64` (error below ~1e-15 of an interval
+    /// refinement).
+    pub fn to_f64(&self) -> f64 {
+        self.approximate(&Rat::new(1i64.into(), 1_000_000_000_000_000i64.into()))
+            .to_f64()
+    }
+
+    /// A lower rational bound (strict for algebraic values).
+    pub fn lower_bound(&self) -> Rat {
+        match self {
+            RealAlg::Rational(r) => r.clone(),
+            RealAlg::Algebraic { iv, .. } => iv.lo.clone(),
+        }
+    }
+
+    /// An upper rational bound (strict for algebraic values).
+    pub fn upper_bound(&self) -> Rat {
+        match self {
+            RealAlg::Rational(r) => r.clone(),
+            RealAlg::Algebraic { iv, .. } => iv.hi.clone(),
+        }
+    }
+
+    /// Sign of the number.
+    pub fn signum(&self) -> i32 {
+        match self {
+            RealAlg::Rational(r) => r.signum(),
+            RealAlg::Algebraic { poly, iv } => {
+                if iv.lo.signum() == iv.hi.signum() {
+                    return iv.lo.signum();
+                }
+                // Interval straddles 0; refine around it. 0 cannot be the
+                // root unless poly(0) == 0, which we can check exactly.
+                if poly.sign_at(&Rat::zero()) == 0 {
+                    // The isolated root might still not be the zero root;
+                    // compare against the exact rational 0.
+                    match self.cmp_rat(&Rat::zero()) {
+                        Ordering::Less => -1,
+                        Ordering::Equal => 0,
+                        Ordering::Greater => 1,
+                    }
+                } else {
+                    match self.cmp_rat(&Rat::zero()) {
+                        Ordering::Less => -1,
+                        Ordering::Equal => 0,
+                        Ordering::Greater => 1,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Exact comparison against a rational.
+    pub fn cmp_rat(&self, r: &Rat) -> Ordering {
+        match self {
+            RealAlg::Rational(s) => s.cmp(r),
+            RealAlg::Algebraic { poly, iv } => {
+                if *r <= iv.lo {
+                    return Ordering::Greater;
+                }
+                if *r >= iv.hi {
+                    return Ordering::Less;
+                }
+                // r is inside the isolating interval.
+                let sr = poly.sign_at(r);
+                if sr == 0 {
+                    return Ordering::Equal;
+                }
+                // The root alpha satisfies sign(poly) flips across it; compare
+                // sign at r with sign at hi (a non-root).
+                let shi = poly.sign_at(&iv.hi);
+                if sr == shi {
+                    // No sign change between r and hi => root is below r.
+                    Ordering::Less
+                } else {
+                    Ordering::Greater
+                }
+            }
+        }
+    }
+
+    /// Adds a rational offset.
+    pub fn add_rat(&self, r: &Rat) -> RealAlg {
+        match self {
+            RealAlg::Rational(s) => RealAlg::Rational(s + r),
+            RealAlg::Algebraic { poly, iv } => RealAlg::Algebraic {
+                // root of p(x - r) is alpha + r
+                poly: poly.compose_linear(&Rat::one(), &-r.clone()),
+                iv: RootInterval { lo: &iv.lo + r, hi: &iv.hi + r },
+            },
+        }
+    }
+
+    /// Multiplies by a non-zero rational.
+    pub fn mul_rat(&self, r: &Rat) -> RealAlg {
+        if r.is_zero() {
+            return RealAlg::Rational(Rat::zero());
+        }
+        match self {
+            RealAlg::Rational(s) => RealAlg::Rational(s * r),
+            RealAlg::Algebraic { poly, iv } => {
+                // root of p(x / r) is alpha * r
+                let comp = poly.compose_linear(&r.recip(), &Rat::zero());
+                let (lo, hi) = if r.is_positive() {
+                    (&iv.lo * r, &iv.hi * r)
+                } else {
+                    (&iv.hi * r, &iv.lo * r)
+                };
+                RealAlg::Algebraic { poly: comp, iv: RootInterval { lo, hi } }
+            }
+        }
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> RealAlg {
+        self.mul_rat(&-Rat::one())
+    }
+
+    /// The exact sign of `p(α)` for this algebraic number `α`.
+    ///
+    /// Decided by exact arithmetic: `p(α) = 0` iff `gcd(p, defpoly)` has a
+    /// root in the isolating interval; otherwise the interval is refined
+    /// until `p` is sign-definite on it.
+    pub fn sign_of(&self, p: &UPoly) -> i32 {
+        match self {
+            RealAlg::Rational(r) => p.sign_at(r),
+            RealAlg::Algebraic { poly, iv } => {
+                if p.is_zero() {
+                    return 0;
+                }
+                let g = poly.gcd(p);
+                if !g.is_constant() {
+                    // α is a root of p iff g vanishes on the isolating
+                    // interval (α is the only root of `poly` there).
+                    let seq = g.sturm_sequence();
+                    if UPoly::count_roots_between(&seq, &iv.lo, &iv.hi) >= 1
+                        || g.sign_at(&iv.lo) == 0
+                    {
+                        return 0;
+                    }
+                }
+                // p(α) ≠ 0: refine until p has no root inside the closed
+                // interval, then any interior point has the sign of p(α).
+                let mut iv = iv.clone();
+                let seq = p.squarefree().sturm_sequence();
+                loop {
+                    let root_free = UPoly::count_roots_between(&seq, &iv.lo, &iv.hi) == 0
+                        && p.sign_at(&iv.lo) != 0;
+                    if root_free {
+                        let mid = iv.lo.midpoint(&iv.hi);
+                        let s = p.sign_at(&mid);
+                        debug_assert!(s != 0);
+                        return s;
+                    }
+                    let w = iv.width() * Rat::new(1i64.into(), 4i64.into());
+                    refine_root(poly, &mut iv, &w);
+                }
+            }
+        }
+    }
+
+    fn refined(&self, eps: &Rat) -> (Rat, Rat) {
+        match self {
+            RealAlg::Rational(r) => (r.clone(), r.clone()),
+            RealAlg::Algebraic { poly, iv } => {
+                let mut iv = iv.clone();
+                refine_root(poly, &mut iv, eps);
+                (iv.lo, iv.hi)
+            }
+        }
+    }
+}
+
+impl PartialEq for RealAlg {
+    fn eq(&self, other: &RealAlg) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for RealAlg {}
+
+impl PartialOrd for RealAlg {
+    fn partial_cmp(&self, other: &RealAlg) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for RealAlg {
+    fn cmp(&self, other: &RealAlg) -> Ordering {
+        match (self, other) {
+            (RealAlg::Rational(a), RealAlg::Rational(b)) => a.cmp(b),
+            (a, RealAlg::Rational(r)) => a.cmp_rat(r),
+            (RealAlg::Rational(r), b) => b.cmp_rat(r).reverse(),
+            (a @ RealAlg::Algebraic { poly: pa, .. }, b @ RealAlg::Algebraic { poly: pb, .. }) => {
+                // Refine until the intervals separate, or prove equality via
+                // a shared root of gcd(pa, pb).
+                let mut eps = Rat::new(1i64.into(), 16i64.into());
+                let g = pa.gcd(pb);
+                loop {
+                    let (alo, ahi) = a.refined(&eps);
+                    let (blo, bhi) = b.refined(&eps);
+                    if ahi < blo {
+                        return Ordering::Less;
+                    }
+                    if bhi < alo {
+                        return Ordering::Greater;
+                    }
+                    // Overlapping. If the gcd has a root in the overlap, both
+                    // numbers equal that root.
+                    if !g.is_constant() {
+                        let olo = alo.clone().max(blo.clone());
+                        let ohi = ahi.clone().min(bhi.clone());
+                        let seq = g.sturm_sequence();
+                        // Count on a slightly widened closed interval.
+                        if UPoly::count_roots_between(&seq, &olo, &ohi) >= 1
+                            || g.sign_at(&olo) == 0
+                        {
+                            // Both isolating intervals contain exactly one
+                            // root of their polynomial; the shared gcd root
+                            // lies in both, hence both equal it.
+                            return Ordering::Equal;
+                        }
+                    }
+                    eps = eps * Rat::new(1i64.into(), 16i64.into());
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for RealAlg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RealAlg::Rational(r) => write!(f, "{r}"),
+            RealAlg::Algebraic { poly, iv } => {
+                write!(f, "root of {} in ({}, {})", poly, iv.lo, iv.hi)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_arith::rat;
+
+    fn sqrt2() -> RealAlg {
+        let roots = RealAlg::roots_of(&UPoly::from_ints(&[-2, 0, 1]));
+        roots.into_iter().last().unwrap()
+    }
+
+    fn sqrt3() -> RealAlg {
+        let roots = RealAlg::roots_of(&UPoly::from_ints(&[-3, 0, 1]));
+        roots.into_iter().last().unwrap()
+    }
+
+    #[test]
+    fn roots_sorted_and_typed() {
+        // (x^2 - 2)(x - 1): roots -√2, 1, √2
+        let p = &UPoly::from_ints(&[-2, 0, 1]) * &UPoly::from_ints(&[-1, 1]);
+        let roots = RealAlg::roots_of(&p);
+        assert_eq!(roots.len(), 3);
+        assert!(roots[0].signum() < 0);
+        assert_eq!(roots[1].as_rational(), Some(&rat(1, 1)));
+        assert!(roots[2].as_rational().is_none());
+        assert!(roots[0] < roots[1] && roots[1] < roots[2]);
+    }
+
+    #[test]
+    fn compare_algebraic_to_rational() {
+        let s2 = sqrt2();
+        assert_eq!(s2.cmp_rat(&rat(1, 1)), Ordering::Greater);
+        assert_eq!(s2.cmp_rat(&rat(2, 1)), Ordering::Less);
+        assert_eq!(s2.cmp_rat(&rat(3, 2)), Ordering::Less);
+        assert_eq!(s2.cmp_rat(&rat(7, 5)), Ordering::Greater);
+    }
+
+    #[test]
+    fn compare_two_algebraics() {
+        assert!(sqrt2() < sqrt3());
+        assert_eq!(sqrt2().cmp(&sqrt2()), Ordering::Equal);
+    }
+
+    #[test]
+    fn equality_through_different_polys() {
+        // √2 as root of x^2-2 and of (x^2-2)(x^2-3).
+        let p = &UPoly::from_ints(&[-2, 0, 1]) * &UPoly::from_ints(&[-3, 0, 1]);
+        let roots = RealAlg::roots_of(&p);
+        // roots: -√3, -√2, √2, √3
+        assert_eq!(roots.len(), 4);
+        assert_eq!(roots[2], sqrt2());
+        assert_ne!(roots[3], sqrt2());
+    }
+
+    #[test]
+    fn approximation() {
+        let a = sqrt2().approximate(&rat(1, 1_000_000));
+        assert!((a.to_f64() - std::f64::consts::SQRT_2).abs() < 1e-6);
+        assert!((sqrt2().to_f64() - std::f64::consts::SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rational_offset_arithmetic() {
+        // √2 + 1 ≈ 2.414...
+        let v = sqrt2().add_rat(&rat(1, 1));
+        assert!((v.to_f64() - (std::f64::consts::SQRT_2 + 1.0)).abs() < 1e-12);
+        // 2√2 ≈ 2.828...
+        let w = sqrt2().mul_rat(&rat(2, 1));
+        assert!((w.to_f64() - 2.0 * std::f64::consts::SQRT_2).abs() < 1e-12);
+        // -√2 < 0
+        assert!(sqrt2().neg().signum() < 0);
+        assert_eq!(sqrt2().mul_rat(&Rat::zero()).as_rational(), Some(&Rat::zero()));
+    }
+
+    #[test]
+    fn signum() {
+        assert_eq!(sqrt2().signum(), 1);
+        assert_eq!(sqrt2().neg().signum(), -1);
+        assert_eq!(RealAlg::from_rat(Rat::zero()).signum(), 0);
+    }
+
+    #[test]
+    fn sign_of_polynomials_at_algebraic_points() {
+        let s2 = sqrt2();
+        // x² - 2 vanishes at √2.
+        assert_eq!(s2.sign_of(&UPoly::from_ints(&[-2, 0, 1])), 0);
+        // x - 1 is positive at √2, x - 2 negative.
+        assert_eq!(s2.sign_of(&UPoly::from_ints(&[-1, 1])), 1);
+        assert_eq!(s2.sign_of(&UPoly::from_ints(&[-2, 1])), -1);
+        // (x²-2)(x²-3) vanishes at √2 too (shared factor).
+        let prod = &UPoly::from_ints(&[-2, 0, 1]) * &UPoly::from_ints(&[-3, 0, 1]);
+        assert_eq!(s2.sign_of(&prod), 0);
+        // x² - 3 alone is negative at √2.
+        assert_eq!(s2.sign_of(&UPoly::from_ints(&[-3, 0, 1])), -1);
+        // Rational point.
+        assert_eq!(RealAlg::from_rat(rat(2, 1)).sign_of(&UPoly::from_ints(&[-1, 1])), 1);
+        // Zero polynomial.
+        assert_eq!(s2.sign_of(&UPoly::zero()), 0);
+    }
+
+    #[test]
+    fn ordering_mixed() {
+        let xs = vec![
+            RealAlg::from_rat(rat(3, 2)),
+            sqrt2(),
+            RealAlg::from_rat(rat(1, 1)),
+            sqrt3(),
+        ];
+        let mut sorted = xs.clone();
+        sorted.sort();
+        assert_eq!(sorted[0].as_rational(), Some(&rat(1, 1)));
+        assert_eq!(sorted[1], sqrt2());
+        assert_eq!(sorted[2].as_rational(), Some(&rat(3, 2)));
+        assert_eq!(sorted[3], sqrt3());
+    }
+}

@@ -1,0 +1,932 @@
+//! Dense univariate polynomials over ℚ with exact real-root isolation.
+
+use cqa_arith::{Int, Rat};
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Rem, Sub};
+
+/// A univariate polynomial with rational coefficients, stored densely in
+/// ascending degree order with no trailing zero coefficients.
+///
+/// The zero polynomial is the empty coefficient vector, making the
+/// representation canonical; structural equality equals mathematical
+/// equality.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub struct UPoly {
+    coeffs: Vec<Rat>,
+}
+
+impl UPoly {
+    /// The zero polynomial.
+    pub fn zero() -> UPoly {
+        UPoly { coeffs: Vec::new() }
+    }
+
+    /// The constant polynomial one.
+    pub fn one() -> UPoly {
+        UPoly::constant(Rat::one())
+    }
+
+    /// The identity polynomial `x`.
+    pub fn x() -> UPoly {
+        UPoly::from_coeffs(vec![Rat::zero(), Rat::one()])
+    }
+
+    /// A constant polynomial.
+    pub fn constant(c: Rat) -> UPoly {
+        UPoly::from_coeffs(vec![c])
+    }
+
+    /// Builds a polynomial from ascending-degree coefficients, trimming
+    /// trailing zeros.
+    pub fn from_coeffs(mut coeffs: Vec<Rat>) -> UPoly {
+        while coeffs.last().is_some_and(Rat::is_zero) {
+            coeffs.pop();
+        }
+        UPoly { coeffs }
+    }
+
+    /// Builds from integer coefficients, ascending degree: `[a0, a1, ...]`.
+    pub fn from_ints(coeffs: &[i64]) -> UPoly {
+        UPoly::from_coeffs(coeffs.iter().map(|&c| Rat::from(c)).collect())
+    }
+
+    /// The coefficients in ascending degree order (no trailing zeros).
+    pub fn coeffs(&self) -> &[Rat] {
+        &self.coeffs
+    }
+
+    /// `true` iff the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// `true` iff a (possibly zero) constant.
+    pub fn is_constant(&self) -> bool {
+        self.coeffs.len() <= 1
+    }
+
+    /// Degree; `None` for the zero polynomial.
+    pub fn degree(&self) -> Option<usize> {
+        self.coeffs.len().checked_sub(1)
+    }
+
+    /// Leading coefficient; zero for the zero polynomial.
+    pub fn leading(&self) -> Rat {
+        self.coeffs.last().cloned().unwrap_or_else(Rat::zero)
+    }
+
+    /// Coefficient of `x^k` (zero if beyond the degree).
+    pub fn coeff(&self, k: usize) -> Rat {
+        self.coeffs.get(k).cloned().unwrap_or_else(Rat::zero)
+    }
+
+    /// Evaluates at a rational point by Horner's rule.
+    pub fn eval(&self, x: &Rat) -> Rat {
+        let mut acc = Rat::zero();
+        for c in self.coeffs.iter().rev() {
+            acc = acc * x + c;
+        }
+        acc
+    }
+
+    /// The sign of the value at `x`: `-1`, `0` or `1`.
+    pub fn sign_at(&self, x: &Rat) -> i32 {
+        self.eval(x).signum()
+    }
+
+    /// Sign of the polynomial at `+∞` (sign of the leading coefficient).
+    pub fn sign_at_pos_inf(&self) -> i32 {
+        self.leading().signum()
+    }
+
+    /// Sign at `-∞`.
+    pub fn sign_at_neg_inf(&self) -> i32 {
+        match self.degree() {
+            None => 0,
+            Some(d) => {
+                let s = self.leading().signum();
+                if d % 2 == 0 {
+                    s
+                } else {
+                    -s
+                }
+            }
+        }
+    }
+
+    /// Formal derivative.
+    pub fn derivative(&self) -> UPoly {
+        if self.coeffs.len() <= 1 {
+            return UPoly::zero();
+        }
+        let coeffs = self
+            .coeffs
+            .iter()
+            .enumerate()
+            .skip(1)
+            .map(|(i, c)| c * Rat::from(i as i64))
+            .collect();
+        UPoly::from_coeffs(coeffs)
+    }
+
+    /// Multiplies every coefficient by a rational scalar.
+    pub fn scale(&self, s: &Rat) -> UPoly {
+        if s.is_zero() {
+            return UPoly::zero();
+        }
+        UPoly { coeffs: self.coeffs.iter().map(|c| c * s).collect() }
+    }
+
+    /// Euclidean division: returns `(q, r)` with `self = q*div + r` and
+    /// `deg r < deg div`.
+    ///
+    /// # Panics
+    /// Panics if `div` is zero.
+    pub fn div_rem(&self, div: &UPoly) -> (UPoly, UPoly) {
+        assert!(!div.is_zero(), "UPoly division by zero polynomial");
+        let dd = div.degree().unwrap();
+        if self.coeffs.len() < div.coeffs.len() {
+            return (UPoly::zero(), self.clone());
+        }
+        let mut rem = self.coeffs.clone();
+        let mut quot = vec![Rat::zero(); self.coeffs.len() - dd];
+        let lead = div.leading();
+        for k in (dd..rem.len()).rev() {
+            let factor = &rem[k] / &lead;
+            if factor.is_zero() {
+                continue;
+            }
+            quot[k - dd] = factor.clone();
+            for (j, c) in div.coeffs.iter().enumerate() {
+                let idx = k - dd + j;
+                rem[idx] = &rem[idx] - &(c * &factor);
+            }
+        }
+        (UPoly::from_coeffs(quot), UPoly::from_coeffs(rem[..dd.min(rem.len())].to_vec()))
+    }
+
+    /// Monic form (leading coefficient 1); zero stays zero.
+    pub fn monic(&self) -> UPoly {
+        if self.is_zero() {
+            return UPoly::zero();
+        }
+        self.scale(&self.leading().recip())
+    }
+
+    /// Polynomial GCD (monic).
+    pub fn gcd(&self, other: &UPoly) -> UPoly {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        while !b.is_zero() {
+            let r = a.div_rem(&b).1;
+            a = b;
+            b = r;
+        }
+        a.monic()
+    }
+
+    /// Square-free part: `self / gcd(self, self')`.
+    pub fn squarefree(&self) -> UPoly {
+        if self.is_zero() || self.degree() == Some(0) {
+            return self.clone();
+        }
+        let g = self.gcd(&self.derivative());
+        if g.degree() == Some(0) {
+            self.clone()
+        } else {
+            self.div_rem(&g).0
+        }
+    }
+
+    /// The Sturm sequence of the polynomial.
+    pub fn sturm_sequence(&self) -> Vec<UPoly> {
+        let mut seq = Vec::new();
+        if self.is_zero() {
+            return seq;
+        }
+        seq.push(self.clone());
+        let d = self.derivative();
+        if d.is_zero() {
+            return seq;
+        }
+        seq.push(d);
+        loop {
+            let n = seq.len();
+            let r = seq[n - 2].div_rem(&seq[n - 1]).1;
+            if r.is_zero() {
+                break;
+            }
+            seq.push(-r);
+        }
+        seq
+    }
+
+    /// Counts distinct real roots in the half-open interval `(lo, hi]` using
+    /// a precomputed Sturm sequence. The polynomial must be non-zero.
+    pub fn count_roots_between(seq: &[UPoly], lo: &Rat, hi: &Rat) -> usize {
+        debug_assert!(lo <= hi);
+        let v_lo = sign_variations(seq.iter().map(|p| p.sign_at(lo)));
+        let v_hi = sign_variations(seq.iter().map(|p| p.sign_at(hi)));
+        v_lo.saturating_sub(v_hi)
+    }
+
+    /// A bound `B` such that all real roots lie in `(-B, B)` (Cauchy bound).
+    pub fn root_bound(&self) -> Rat {
+        match self.degree() {
+            None | Some(0) => Rat::one(),
+            Some(_) => {
+                let lead = self.leading().abs();
+                let max = self
+                    .coeffs
+                    .iter()
+                    .take(self.coeffs.len() - 1)
+                    .map(Rat::abs)
+                    .max()
+                    .unwrap_or_else(Rat::zero);
+                Rat::one() + max / lead
+            }
+        }
+    }
+
+    /// Composes with a linear substitution `x ↦ a·x + b`.
+    pub fn compose_linear(&self, a: &Rat, b: &Rat) -> UPoly {
+        // Horner on the polynomial ring.
+        let lin = UPoly::from_coeffs(vec![b.clone(), a.clone()]);
+        let mut acc = UPoly::zero();
+        for c in self.coeffs.iter().rev() {
+            acc = &(&acc * &lin) + &UPoly::constant(c.clone());
+        }
+        acc
+    }
+
+    /// Integral from `lo` to `hi` of the polynomial (exact antiderivative).
+    pub fn integrate_between(&self, lo: &Rat, hi: &Rat) -> Rat {
+        let anti = UPoly::from_coeffs(
+            std::iter::once(Rat::zero())
+                .chain(
+                    self.coeffs
+                        .iter()
+                        .enumerate()
+                        .map(|(i, c)| c / Rat::from((i + 1) as i64)),
+                )
+                .collect(),
+        );
+        anti.eval(hi) - anti.eval(lo)
+    }
+}
+
+/// Number of sign variations in a sequence, ignoring zeros.
+pub(crate) fn sign_variations<I: IntoIterator<Item = i32>>(signs: I) -> usize {
+    let mut count = 0;
+    let mut last = 0i32;
+    for s in signs {
+        if s != 0 {
+            if last != 0 && s != last {
+                count += 1;
+            }
+            last = s;
+        }
+    }
+    count
+}
+
+impl Neg for UPoly {
+    type Output = UPoly;
+    fn neg(self) -> UPoly {
+        UPoly { coeffs: self.coeffs.into_iter().map(|c| -c).collect() }
+    }
+}
+impl Neg for &UPoly {
+    type Output = UPoly;
+    fn neg(self) -> UPoly {
+        UPoly { coeffs: self.coeffs.iter().map(|c| -c).collect() }
+    }
+}
+
+impl Add for &UPoly {
+    type Output = UPoly;
+    fn add(self, other: &UPoly) -> UPoly {
+        let n = self.coeffs.len().max(other.coeffs.len());
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let a = self.coeffs.get(i).cloned().unwrap_or_else(Rat::zero);
+            let b = other.coeffs.get(i).cloned().unwrap_or_else(Rat::zero);
+            out.push(a + b);
+        }
+        UPoly::from_coeffs(out)
+    }
+}
+
+impl Sub for &UPoly {
+    type Output = UPoly;
+    fn sub(self, other: &UPoly) -> UPoly {
+        self + &(-other)
+    }
+}
+
+impl Mul for &UPoly {
+    type Output = UPoly;
+    fn mul(self, other: &UPoly) -> UPoly {
+        if self.is_zero() || other.is_zero() {
+            return UPoly::zero();
+        }
+        let mut out = vec![Rat::zero(); self.coeffs.len() + other.coeffs.len() - 1];
+        for (i, a) in self.coeffs.iter().enumerate() {
+            if a.is_zero() {
+                continue;
+            }
+            for (j, b) in other.coeffs.iter().enumerate() {
+                out[i + j] = &out[i + j] + &(a * b);
+            }
+        }
+        UPoly::from_coeffs(out)
+    }
+}
+
+impl Div for &UPoly {
+    type Output = UPoly;
+    fn div(self, other: &UPoly) -> UPoly {
+        self.div_rem(other).0
+    }
+}
+
+impl Rem for &UPoly {
+    type Output = UPoly;
+    fn rem(self, other: &UPoly) -> UPoly {
+        self.div_rem(other).1
+    }
+}
+
+macro_rules! forward_upoly_binop {
+    ($tr:ident, $m:ident) => {
+        impl $tr for UPoly {
+            type Output = UPoly;
+            fn $m(self, other: UPoly) -> UPoly {
+                (&self).$m(&other)
+            }
+        }
+    };
+}
+forward_upoly_binop!(Add, add);
+forward_upoly_binop!(Sub, sub);
+forward_upoly_binop!(Mul, mul);
+forward_upoly_binop!(Div, div);
+forward_upoly_binop!(Rem, rem);
+
+impl fmt::Display for UPoly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.write_str("0");
+        }
+        let mut first = true;
+        for (i, c) in self.coeffs.iter().enumerate().rev() {
+            if c.is_zero() {
+                continue;
+            }
+            if !first {
+                f.write_str(if c.is_negative() { " - " } else { " + " })?;
+            } else if c.is_negative() {
+                f.write_str("-")?;
+            }
+            first = false;
+            let a = c.abs();
+            match i {
+                0 => write!(f, "{a}")?,
+                1 if a.is_one() => f.write_str("x")?,
+                1 => write!(f, "{a}*x")?,
+                _ if a.is_one() => write!(f, "x^{i}")?,
+                _ => write!(f, "{a}*x^{i}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// An isolating interval for a single real root of a square-free polynomial.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RootInterval {
+    /// Lower endpoint. If `lo == hi` the root is exactly this rational.
+    pub lo: Rat,
+    /// Upper endpoint.
+    pub hi: Rat,
+}
+
+impl RootInterval {
+    /// `true` iff the root is known exactly (a rational root).
+    pub fn is_exact(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// Interval width.
+    pub fn width(&self) -> Rat {
+        &self.hi - &self.lo
+    }
+}
+
+/// Exact integer square root if `n` is a perfect square (requires `n ≥ 0`).
+fn int_sqrt_exact(n: &Int) -> Option<Int> {
+    if n.is_negative() {
+        return None;
+    }
+    if n.is_zero() {
+        return Some(Int::zero());
+    }
+    // Newton iteration from a power-of-two overestimate.
+    let mut x = Int::one().shl((n.bits() as u32).div_ceil(2));
+    loop {
+        let next = (&x + n / &x).div_rem(&Int::from(2i64)).0;
+        if next >= x {
+            break;
+        }
+        x = next;
+    }
+    if &(&x * &x) == n {
+        Some(x)
+    } else {
+        None
+    }
+}
+
+/// Exact rational square root if `r` is a perfect square.
+fn rat_sqrt_exact(r: &Rat) -> Option<Rat> {
+    let n = int_sqrt_exact(r.numer())?;
+    let d = int_sqrt_exact(r.denom())?;
+    Some(Rat::new(n, d))
+}
+
+/// All divisors of `n > 0`, or `None` if `n` is too large to factor cheaply.
+fn divisors_u64(n: u64) -> Option<Vec<u64>> {
+    const FACTOR_CAP: u64 = 1 << 44;
+    if n > FACTOR_CAP {
+        return None;
+    }
+    let mut factors: Vec<(u64, u32)> = Vec::new();
+    let mut m = n;
+    let mut d = 2u64;
+    while d * d <= m {
+        if m.is_multiple_of(d) {
+            let mut e = 0;
+            while m.is_multiple_of(d) {
+                m /= d;
+                e += 1;
+            }
+            factors.push((d, e));
+        }
+        d += if d == 2 { 1 } else { 2 };
+    }
+    if m > 1 {
+        factors.push((m, 1));
+    }
+    let mut divs = vec![1u64];
+    for (p, e) in factors {
+        let len = divs.len();
+        let mut pe = 1u64;
+        for _ in 0..e {
+            pe *= p;
+            for i in 0..len {
+                divs.push(divs[i] * pe);
+            }
+        }
+    }
+    Some(divs)
+}
+
+/// Finds rational roots of a square-free polynomial exactly, returning the
+/// sorted roots and the deflated polynomial (with those roots divided out).
+///
+/// Detection is complete for degree ≤ 2 and, for higher degrees, whenever
+/// the integer-cleared constant and leading coefficients fit under 2⁴⁴
+/// (rational-root theorem with trial-division factoring). Beyond that the
+/// function degrades gracefully: undetected rational roots are simply
+/// reported by the caller as isolating intervals, which remains correct.
+fn rational_roots(q: &UPoly) -> (Vec<Rat>, UPoly) {
+    let mut roots: Vec<Rat> = Vec::new();
+    let mut rem = q.clone();
+
+    // Peel off roots at zero.
+    while !rem.is_zero() && rem.coeff(0).is_zero() && rem.degree() > Some(0) {
+        roots.push(Rat::zero());
+        rem = rem.div_rem(&UPoly::x()).0;
+    }
+
+    loop {
+        match rem.degree() {
+            None | Some(0) => break,
+            Some(1) => {
+                roots.push(-(rem.coeff(0) / rem.coeff(1)));
+                rem = UPoly::constant(rem.leading());
+                break;
+            }
+            Some(2) => {
+                let (a, b, c) = (rem.coeff(2), rem.coeff(1), rem.coeff(0));
+                let disc = &b * &b - Rat::from(4i64) * &a * &c;
+                if let Some(s) = rat_sqrt_exact(&disc) {
+                    let two_a = Rat::from(2i64) * &a;
+                    roots.push((-&b - &s) / &two_a);
+                    if !s.is_zero() {
+                        roots.push((-&b + &s) / &two_a);
+                    }
+                    rem = UPoly::constant(a);
+                }
+                break;
+            }
+            Some(_) => {
+                // Rational-root theorem on the integer-cleared polynomial.
+                let (ints, _) = clear_denominators(&rem);
+                let content = ints
+                    .iter()
+                    .fold(Int::zero(), |acc, c| acc.gcd(c));
+                let ints: Vec<Int> = ints.iter().map(|c| c / &content).collect();
+                let a0 = ints.first().unwrap().abs();
+                let an = ints.last().unwrap().abs();
+                let (Some(a0), Some(an)) = (a0.to_i64(), an.to_i64()) else {
+                    break;
+                };
+                let (Some(dp), Some(dq)) =
+                    (divisors_u64(a0.unsigned_abs()), divisors_u64(an.unsigned_abs()))
+                else {
+                    break;
+                };
+                let mut found = false;
+                'search: for &p in &dp {
+                    for &qd in &dq {
+                        for sign in [1i64, -1] {
+                            let cand = Rat::new(
+                                Int::from(sign) * Int::from(p),
+                                Int::from(qd),
+                            );
+                            if rem.sign_at(&cand) == 0 {
+                                roots.push(cand.clone());
+                                let factor = UPoly::from_coeffs(vec![-cand, Rat::one()]);
+                                rem = rem.div_rem(&factor).0;
+                                found = true;
+                                break 'search;
+                            }
+                        }
+                    }
+                }
+                if !found {
+                    break;
+                }
+            }
+        }
+    }
+    roots.sort();
+    (roots, rem)
+}
+
+/// Shrinks an isolating interval of `q` until it contains none of `pts` in
+/// its interior (the interval's root is irrational w.r.t. the given points).
+fn exclude_points(q: &UPoly, iv: &mut RootInterval, pts: &[Rat]) {
+    if iv.is_exact() {
+        return;
+    }
+    let sign_hi = q.sign_at(&iv.hi);
+    // Exclude points from the *closed* interval: an endpoint equal to a
+    // rational root of the original polynomial would break the "endpoints
+    // are not roots" invariant consumers (e.g. RealAlg) rely on.
+    while pts.iter().any(|r| *r >= iv.lo && *r <= iv.hi) {
+        let mid = iv.lo.midpoint(&iv.hi);
+        let sm = q.sign_at(&mid);
+        if sm == 0 {
+            iv.lo = mid.clone();
+            iv.hi = mid;
+            return;
+        }
+        if sm == sign_hi {
+            iv.hi = mid;
+        } else {
+            iv.lo = mid;
+        }
+    }
+}
+
+/// Isolates all distinct real roots of `p`, returning disjoint intervals in
+/// increasing order. Rational roots are returned as exact point intervals
+/// (complete for degree ≤ 2 and for moderate coefficient sizes; see
+/// [`rational_roots`]); irrational roots as open intervals `(lo, hi)` whose
+/// endpoints are not roots and which contain exactly one root of the
+/// square-free part of `p`.
+///
+/// Returns an empty vector for constant polynomials (including zero, whose
+/// "roots" are everywhere and are not isolatable).
+pub fn isolate_real_roots(p: &UPoly) -> Vec<RootInterval> {
+    if p.is_constant() {
+        return Vec::new();
+    }
+    let q = p.squarefree();
+    let (rats, qirr) = rational_roots(&q);
+    let mut out: Vec<RootInterval> = rats
+        .iter()
+        .map(|r| RootInterval { lo: r.clone(), hi: r.clone() })
+        .collect();
+    if qirr.degree().unwrap_or(0) >= 1 {
+        let seq = qirr.sturm_sequence();
+        let bound = qirr.root_bound();
+        let total = UPoly::count_roots_between(&seq, &(-bound.clone()), &bound);
+        let mut ivs = Vec::with_capacity(total);
+        if total > 0 {
+            isolate_rec(&qirr, &seq, -bound.clone(), bound, total, &mut ivs);
+        }
+        for mut iv in ivs {
+            // Ensure the interval isolates a root of the *full* square-free
+            // polynomial: shrink it past any exact rational roots of q.
+            exclude_points(&qirr, &mut iv, &rats);
+            out.push(iv);
+        }
+    }
+    out.sort_by(|a, b| a.lo.cmp(&b.lo).then_with(|| a.hi.cmp(&b.hi)));
+    out
+}
+
+fn isolate_rec(
+    q: &UPoly,
+    seq: &[UPoly],
+    lo: Rat,
+    hi: Rat,
+    count: usize,
+    out: &mut Vec<RootInterval>,
+) {
+    debug_assert!(count > 0);
+    if count == 1 {
+        // Tighten: endpoints that are themselves roots make the interval
+        // exact; otherwise shrink until the left endpoint is sign-definite.
+        if q.sign_at(&hi) == 0 {
+            out.push(RootInterval { lo: hi.clone(), hi });
+            return;
+        }
+        let mut lo = lo;
+        // Make the interval open at a non-root left endpoint: since the count
+        // for (lo, hi] is 1 and hi is not a root, any point strictly between
+        // the root and lo works. Check lo itself first.
+        if q.sign_at(&lo) == 0 {
+            // lo is a root of q but the counted root is in (lo, hi]; nudge.
+            let mut mid = lo.midpoint(&hi);
+            while q.sign_at(&mid) == 0 || UPoly::count_roots_between(seq, &mid, &hi) != 1 {
+                mid = lo.midpoint(&mid);
+            }
+            lo = mid;
+        }
+        out.push(RootInterval { lo, hi });
+        return;
+    }
+    let mid = lo.midpoint(&hi);
+    if q.sign_at(&mid) == 0 {
+        out_root_and_split(q, seq, lo, mid, hi, count, out);
+        return;
+    }
+    let left = UPoly::count_roots_between(seq, &lo, &mid);
+    let right = count - left;
+    if left > 0 {
+        isolate_rec(q, seq, lo, mid.clone(), left, out);
+    }
+    if right > 0 {
+        isolate_rec(q, seq, mid, hi, right, out);
+    }
+}
+
+fn out_root_and_split(
+    q: &UPoly,
+    seq: &[UPoly],
+    lo: Rat,
+    mid: Rat,
+    hi: Rat,
+    count: usize,
+    out: &mut Vec<RootInterval>,
+) {
+    // mid is an exact rational root; roots left of it, itself, roots right.
+    let left = UPoly::count_roots_between(seq, &lo, &mid) - 1;
+    let right = count - left - 1;
+    if left > 0 {
+        // Shrink the right endpoint below mid until it excludes mid but keeps
+        // all `left` roots.
+        let mut r = lo.midpoint(&mid);
+        while q.sign_at(&r) == 0 || UPoly::count_roots_between(seq, &lo, &r) != left {
+            r = r.midpoint(&mid);
+        }
+        isolate_rec(q, seq, lo, r, left, out);
+    }
+    out.push(RootInterval { lo: mid.clone(), hi: mid.clone() });
+    if right > 0 {
+        let mut l = mid.midpoint(&hi);
+        while q.sign_at(&l) == 0 || UPoly::count_roots_between(seq, &l, &hi) != right {
+            l = mid.midpoint(&l);
+        }
+        isolate_rec(q, seq, l, hi, right, out);
+    }
+}
+
+/// Refines an isolating interval for a root of square-free `q` until its
+/// width is at most `eps` (no-op for exact roots).
+pub fn refine_root(q: &UPoly, iv: &mut RootInterval, eps: &Rat) {
+    if iv.is_exact() {
+        return;
+    }
+    let sign_hi = q.sign_at(&iv.hi);
+    debug_assert!(sign_hi != 0 && q.sign_at(&iv.lo) != 0);
+    while iv.width() > *eps {
+        let mid = iv.lo.midpoint(&iv.hi);
+        let sm = q.sign_at(&mid);
+        if sm == 0 {
+            iv.lo = mid.clone();
+            iv.hi = mid;
+            return;
+        }
+        if sm == sign_hi {
+            iv.hi = mid;
+        } else {
+            iv.lo = mid;
+        }
+    }
+}
+
+/// Converts a rational to an integer polynomial multiple (clears
+/// denominators), useful for display and hashing stability.
+pub fn clear_denominators(p: &UPoly) -> (Vec<Int>, Int) {
+    let mut lcm = Int::one();
+    for c in p.coeffs() {
+        lcm = lcm.lcm(c.denom());
+    }
+    let ints = p
+        .coeffs()
+        .iter()
+        .map(|c| c.numer() * &(&lcm / c.denom()))
+        .collect();
+    (ints, lcm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_arith::rat;
+
+    fn p(coeffs: &[i64]) -> UPoly {
+        UPoly::from_ints(coeffs)
+    }
+
+    #[test]
+    fn construction_trims() {
+        assert!(p(&[0, 0]).is_zero());
+        assert_eq!(p(&[1, 2, 0]).degree(), Some(1));
+        assert_eq!(UPoly::zero().degree(), None);
+    }
+
+    #[test]
+    fn eval_horner() {
+        let q = p(&[1, -3, 2]); // 2x^2 - 3x + 1 = (2x-1)(x-1)
+        assert_eq!(q.eval(&rat(1, 1)), Rat::zero());
+        assert_eq!(q.eval(&rat(1, 2)), Rat::zero());
+        assert_eq!(q.eval(&rat(0, 1)), Rat::one());
+        assert_eq!(q.eval(&rat(2, 1)), rat(3, 1));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = p(&[1, 1]); // 1 + x
+        let b = p(&[-1, 1]); // -1 + x
+        assert_eq!(&a * &b, p(&[-1, 0, 1]));
+        assert_eq!(&a + &b, p(&[0, 2]));
+        assert_eq!(&a - &b, p(&[2]));
+    }
+
+    #[test]
+    fn division_identity() {
+        let a = p(&[2, -3, 1, 4]); // 4x^3 + x^2 - 3x + 2
+        let b = p(&[1, 2]); // 2x + 1
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(&(&q * &b) + &r, a);
+        assert!(r.degree() < b.degree());
+    }
+
+    #[test]
+    fn gcd_of_shared_factor() {
+        let common = p(&[-1, 1]); // x - 1
+        let a = &common * &p(&[1, 1]);
+        let b = &common * &p(&[2, 3]);
+        assert_eq!(a.gcd(&b), common.monic());
+        // Coprime case: gcd is 1.
+        assert_eq!(p(&[1, 1]).gcd(&p(&[2, 1])).degree(), Some(0));
+    }
+
+    #[test]
+    fn squarefree_part() {
+        let sq = &p(&[-1, 1]) * &p(&[-1, 1]); // (x-1)^2
+        let s = sq.squarefree();
+        assert_eq!(s.monic(), p(&[-1, 1]).monic());
+    }
+
+    #[test]
+    fn derivative() {
+        assert_eq!(p(&[5, 3, 2]).derivative(), p(&[3, 4]));
+        assert_eq!(p(&[7]).derivative(), UPoly::zero());
+    }
+
+    #[test]
+    fn sturm_counts_roots() {
+        // (x-1)(x-2)(x-3) = x^3 - 6x^2 + 11x - 6
+        let q = p(&[-6, 11, -6, 1]);
+        let seq = q.sturm_sequence();
+        assert_eq!(UPoly::count_roots_between(&seq, &rat(0, 1), &rat(4, 1)), 3);
+        assert_eq!(UPoly::count_roots_between(&seq, &rat(0, 1), &rat(1, 1)), 1);
+        assert_eq!(
+            UPoly::count_roots_between(&seq, &rat(3, 2), &rat(5, 2)),
+            1
+        );
+        assert_eq!(UPoly::count_roots_between(&seq, &rat(4, 1), &rat(9, 1)), 0);
+    }
+
+    #[test]
+    fn isolate_simple_roots() {
+        // x^2 - 2: roots ±√2.
+        let q = p(&[-2, 0, 1]);
+        let roots = isolate_real_roots(&q);
+        assert_eq!(roots.len(), 2);
+        // Open isolating intervals may share a (non-root) endpoint.
+        assert!(roots[0].hi <= roots[1].lo);
+        // √2 ∈ (1, 2)
+        assert!(roots[1].lo >= rat(-3, 1) && roots[1].hi <= rat(3, 1));
+        let mut iv = roots[1].clone();
+        refine_root(&q.squarefree(), &mut iv, &rat(1, 1_000_000));
+        let mid = iv.lo.midpoint(&iv.hi).to_f64();
+        assert!((mid - std::f64::consts::SQRT_2).abs() < 1e-5);
+    }
+
+    #[test]
+    fn isolate_rational_roots_exact() {
+        // (x-1)(x-1/2)
+        let q = &p(&[-1, 1]) * &UPoly::from_coeffs(vec![rat(-1, 2), Rat::one()]);
+        let roots = isolate_real_roots(&q);
+        assert_eq!(roots.len(), 2);
+        assert!(roots.iter().all(RootInterval::is_exact));
+        assert_eq!(roots[0].lo, rat(1, 2));
+        assert_eq!(roots[1].lo, rat(1, 1));
+    }
+
+    #[test]
+    fn isolate_no_real_roots() {
+        assert!(isolate_real_roots(&p(&[1, 0, 1])).is_empty()); // x^2+1
+        assert!(isolate_real_roots(&p(&[5])).is_empty());
+    }
+
+    #[test]
+    fn isolate_with_multiplicity() {
+        // (x-2)^3 (x+1): distinct roots 2 and -1.
+        let f = &(&(&p(&[-2, 1]) * &p(&[-2, 1])) * &p(&[-2, 1])) * &p(&[1, 1]);
+        let roots = isolate_real_roots(&f);
+        assert_eq!(roots.len(), 2);
+        assert_eq!(roots[0].lo, rat(-1, 1));
+        assert_eq!(roots[1].lo, rat(2, 1));
+    }
+
+    #[test]
+    fn isolate_close_roots() {
+        // (x - 1/1000)(x - 2/1000)
+        let a = UPoly::from_coeffs(vec![rat(-1, 1000), Rat::one()]);
+        let b = UPoly::from_coeffs(vec![rat(-2, 1000), Rat::one()]);
+        let roots = isolate_real_roots(&(&a * &b));
+        assert_eq!(roots.len(), 2);
+        assert_eq!(roots[0].lo, rat(1, 1000));
+        assert_eq!(roots[1].lo, rat(2, 1000));
+    }
+
+    #[test]
+    fn signs_at_infinity() {
+        let q = p(&[0, 0, 0, -2]); // -2x^3
+        assert_eq!(q.sign_at_pos_inf(), -1);
+        assert_eq!(q.sign_at_neg_inf(), 1);
+        let e = p(&[0, 0, 3]); // 3x^2
+        assert_eq!(e.sign_at_neg_inf(), 1);
+    }
+
+    #[test]
+    fn compose_linear_shifts() {
+        let q = p(&[0, 0, 1]); // x^2
+        let shifted = q.compose_linear(&Rat::one(), &rat(3, 1)); // (x+3)^2
+        assert_eq!(shifted, p(&[9, 6, 1]));
+        let scaled = q.compose_linear(&rat(2, 1), &Rat::zero()); // (2x)^2
+        assert_eq!(scaled, p(&[0, 0, 4]));
+    }
+
+    #[test]
+    fn integrate() {
+        // ∫₀¹ x² dx = 1/3
+        assert_eq!(p(&[0, 0, 1]).integrate_between(&rat(0, 1), &rat(1, 1)), rat(1, 3));
+        // ∫₁³ (2x+1) dx = (x²+x)|₁³ = 12 - 2 = 10
+        assert_eq!(p(&[1, 2]).integrate_between(&rat(1, 1), &rat(3, 1)), rat(10, 1));
+    }
+
+    #[test]
+    fn root_bound_contains_roots() {
+        let q = p(&[-100, 0, 1]); // roots ±10
+        let b = q.root_bound();
+        assert!(b > rat(10, 1));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(p(&[-6, 11, -6, 1]).to_string(), "x^3 - 6*x^2 + 11*x - 6");
+        assert_eq!(p(&[0, 1]).to_string(), "x");
+        assert_eq!(UPoly::zero().to_string(), "0");
+        assert_eq!(p(&[0, -1]).to_string(), "-x");
+    }
+}

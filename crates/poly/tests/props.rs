@@ -1,0 +1,108 @@
+//! Property-based tests for polynomial arithmetic and root isolation.
+
+use cqa_arith::{rat, Rat};
+use cqa_poly::{isolate_real_roots, MPoly, UPoly, Var};
+use proptest::prelude::*;
+
+fn upoly_strategy() -> impl Strategy<Value = UPoly> {
+    prop::collection::vec(-20i64..=20, 0..6).prop_map(|cs| UPoly::from_ints(&cs))
+}
+
+fn small_rat() -> impl Strategy<Value = Rat> {
+    (-50i64..=50, 1i64..=10).prop_map(|(n, d)| rat(n, d))
+}
+
+proptest! {
+    #[test]
+    fn upoly_ring_axioms(a in upoly_strategy(), b in upoly_strategy(), c in upoly_strategy()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!(&a * &b, &b * &a);
+        prop_assert_eq!(&(&a + &b) * &c, &(&a * &c) + &(&b * &c));
+    }
+
+    #[test]
+    fn upoly_div_rem_identity(a in upoly_strategy(), b in upoly_strategy()) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_rem(&b);
+        prop_assert_eq!(&(&q * &b) + &r, a);
+        prop_assert!(r.degree() < b.degree() || r.is_zero());
+    }
+
+    #[test]
+    fn upoly_eval_homomorphism(a in upoly_strategy(), b in upoly_strategy(), x in small_rat()) {
+        prop_assert_eq!((&a * &b).eval(&x), a.eval(&x) * b.eval(&x));
+        prop_assert_eq!((&a + &b).eval(&x), a.eval(&x) + b.eval(&x));
+    }
+
+    #[test]
+    fn gcd_divides(a in upoly_strategy(), b in upoly_strategy()) {
+        prop_assume!(!a.is_zero() || !b.is_zero());
+        let g = a.gcd(&b);
+        prop_assert!(!g.is_zero());
+        prop_assert!(a.div_rem(&g).1.is_zero());
+        prop_assert!(b.div_rem(&g).1.is_zero());
+    }
+
+    #[test]
+    fn isolated_roots_are_roots(a in upoly_strategy()) {
+        prop_assume!(!a.is_zero());
+        let sf = a.squarefree();
+        let roots = isolate_real_roots(&a);
+        // Intervals sorted, disjoint interiors, and each bracketing a sign
+        // change (or an exact rational root).
+        for w in roots.windows(2) {
+            prop_assert!(w[0].hi <= w[1].lo);
+        }
+        for iv in &roots {
+            if iv.is_exact() {
+                prop_assert_eq!(a.sign_at(&iv.lo), 0);
+            } else {
+                let slo = sf.sign_at(&iv.lo);
+                let shi = sf.sign_at(&iv.hi);
+                prop_assert!(slo != 0 && shi != 0 && slo != shi);
+            }
+        }
+        // Every integer sign change of the square-free part is captured.
+        let mut covered = 0usize;
+        let b = sf.root_bound();
+        let lo = b.clone().floor();
+        let seq = sf.sturm_sequence();
+        let total = UPoly::count_roots_between(
+            &seq,
+            &Rat::from_int(-(lo.clone()) - cqa_arith::Int::one()),
+            &Rat::from_int(lo + cqa_arith::Int::one()),
+        );
+        covered += roots.len();
+        prop_assert_eq!(covered, total);
+    }
+
+    #[test]
+    fn integrate_linearity(a in upoly_strategy(), b in upoly_strategy(), lo in small_rat(), hi in small_rat()) {
+        prop_assume!(lo <= hi);
+        let s = (&a + &b).integrate_between(&lo, &hi);
+        let parts = a.integrate_between(&lo, &hi) + b.integrate_between(&lo, &hi);
+        prop_assert_eq!(s, parts);
+    }
+
+    #[test]
+    fn mpoly_subst_matches_eval(c0 in -9i64..9, c1 in -9i64..9, c2 in -9i64..9, x in small_rat(), y in small_rat()) {
+        // p = c0 + c1*x + c2*x*y
+        let p = MPoly::from_i64(c0)
+            + MPoly::var(Var(0)).scale(&Rat::from(c1))
+            + (MPoly::var(Var(0)) * MPoly::var(Var(1))).scale(&Rat::from(c2));
+        let direct = p.eval_slice(&[x.clone(), y.clone()]);
+        let staged = p.subst_rat(Var(0), &x).subst_rat(Var(1), &y).as_constant().unwrap();
+        prop_assert_eq!(direct, staged);
+    }
+
+    #[test]
+    fn mpoly_univariate_view_roundtrip(c in prop::collection::vec((-9i64..9, 0u32..3, 0u32..3), 0..6)) {
+        let mut p = MPoly::zero();
+        for (k, ex, ey) in c {
+            let term = MPoly::var(Var(0)).pow(ex) * MPoly::var(Var(1)).pow(ey);
+            p = p + term.scale(&Rat::from(k));
+        }
+        let coeffs = p.as_univariate_in(Var(0));
+        prop_assert_eq!(MPoly::from_univariate_in(Var(0), &coeffs), p);
+    }
+}

@@ -1,0 +1,173 @@
+//! Quantifier elimination for constraint query languages.
+//!
+//! The closure property of FO+LIN and FO+POLY (Section 2 of Benedikt &
+//! Libkin, PODS 1999) — *the output of a first-order query on a constraint
+//! database is again a constraint database* — is algorithmic: it rests on
+//! quantifier elimination for `⟨ℝ, +, -, 0, 1, <⟩` (Fourier–Motzkin /
+//! Loos–Weispfenning) and for the real field `⟨ℝ, +, ·, 0, 1, <⟩`
+//! (Tarski; here implemented via the Cohen–Hörmander sign-matrix
+//! procedure). This crate provides:
+//!
+//! * [`fourier_motzkin`] — DNF-based elimination for linear formulas.
+//! * [`loos_weispfenning`] — virtual-term-substitution elimination for
+//!   linear formulas (no DNF blow-up; cross-checked against FM in tests).
+//! * [`hoermander`] — complete real quantifier elimination for FO+POLY,
+//!   with parametric coefficients handled by sign case-splitting.
+//! * [`eliminate`] — a dispatcher choosing the cheapest applicable method.
+//! * Decision utilities: [`decide_sentence`], [`is_satisfiable`],
+//!   [`is_valid`], [`equivalent`], and [`simplify`].
+//!
+//! All algorithms are exact (rational arithmetic); costs are the honest
+//! worst-case costs the paper discusses in Section 3 — the `cqa-bench`
+//! crate quantifies them.
+
+mod fm;
+mod hoermander;
+mod lw;
+mod simplify;
+
+pub use fm::{clause_obviously_empty, fourier_motzkin, sample_between};
+pub use hoermander::hoermander;
+pub use lw::loos_weispfenning;
+pub use simplify::simplify;
+
+use cqa_logic::{ConstraintClass, Formula};
+
+/// Errors from quantifier elimination.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QeError {
+    /// A linear-only method was applied to a formula that is not linear in
+    /// an eliminated variable.
+    NonLinear(String),
+    /// The formula mentions schema relations; substitute database relation
+    /// definitions first (see `cqa-core`).
+    HasRelations,
+    /// Active-domain quantifiers cannot be eliminated symbolically; they are
+    /// evaluated against a finite instance instead.
+    ActiveDomain,
+}
+
+impl std::fmt::Display for QeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QeError::NonLinear(what) => write!(f, "formula is not linear: {what}"),
+            QeError::HasRelations => write!(f, "formula mentions schema relations"),
+            QeError::ActiveDomain => write!(f, "active-domain quantifier in symbolic QE"),
+        }
+    }
+}
+impl std::error::Error for QeError {}
+
+fn check_input(f: &Formula) -> Result<(), QeError> {
+    if !f.is_relation_free() {
+        return Err(QeError::HasRelations);
+    }
+    let mut adom = false;
+    f.visit(&mut |g| {
+        if matches!(g, Formula::ExistsAdom(..) | Formula::ForallAdom(..)) {
+            adom = true;
+        }
+    });
+    if adom {
+        return Err(QeError::ActiveDomain);
+    }
+    Ok(())
+}
+
+/// Eliminates all quantifiers, choosing the method by constraint class:
+/// Loos–Weispfenning for dense-order and linear formulas, Cohen–Hörmander
+/// for polynomial ones. Returns an equivalent quantifier-free formula.
+pub fn eliminate(f: &Formula) -> Result<Formula, QeError> {
+    check_input(f)?;
+    match f.class() {
+        ConstraintClass::DenseOrder | ConstraintClass::Linear => loos_weispfenning(f),
+        ConstraintClass::Polynomial => hoermander(f),
+    }
+}
+
+/// Decides a sentence (no free variables). Returns its truth value.
+///
+/// # Panics
+/// Panics if the formula has free variables.
+pub fn decide_sentence(f: &Formula) -> Result<bool, QeError> {
+    assert!(
+        f.free_vars().is_empty(),
+        "decide_sentence requires a sentence (no free variables)"
+    );
+    let qf = eliminate(f)?;
+    match simplify(&qf) {
+        Formula::True => Ok(true),
+        Formula::False => Ok(false),
+        other => unreachable!("ground formula did not fold to a constant: {other:?}"),
+    }
+}
+
+/// Is the formula satisfiable over ℝ (free variables read existentially)?
+pub fn is_satisfiable(f: &Formula) -> Result<bool, QeError> {
+    let vars: Vec<_> = f.free_vars().into_iter().collect();
+    decide_sentence(&Formula::exists(vars, f.clone()))
+}
+
+/// Is the formula valid over ℝ (free variables read universally)?
+pub fn is_valid(f: &Formula) -> Result<bool, QeError> {
+    let vars: Vec<_> = f.free_vars().into_iter().collect();
+    decide_sentence(&Formula::forall(vars, f.clone()))
+}
+
+/// Are two formulas equivalent over ℝ (free variables read universally)?
+pub fn equivalent(f: &Formula, g: &Formula) -> Result<bool, QeError> {
+    let iff = f
+        .clone()
+        .implies(g.clone())
+        .and(g.clone().implies(f.clone()));
+    is_valid(&iff)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_logic::parse_formula;
+
+    fn f(src: &str) -> Formula {
+        parse_formula(src).unwrap().0
+    }
+
+    #[test]
+    fn dispatcher_picks_methods() {
+        // Linear: ∃y. x < y ∧ y < 1  ⇔  x < 1 (shared VarMap for identity).
+        let mut vars = cqa_logic::VarMap::new();
+        let q = cqa_logic::parse_formula_with("exists y. x < y & y < 1", &mut vars).unwrap();
+        let e = cqa_logic::parse_formula_with("x < 1", &mut vars).unwrap();
+        let g = eliminate(&q).unwrap();
+        assert!(equivalent(&g, &e).unwrap());
+        // Polynomial: ∃x. x² = 2 is true
+        assert!(decide_sentence(&f("exists x. x*x = 2")).unwrap());
+    }
+
+    #[test]
+    fn sentence_decisions() {
+        assert!(decide_sentence(&f("forall x. x*x >= 0")).unwrap());
+        assert!(!decide_sentence(&f("exists x. x*x < 0")).unwrap());
+        assert!(decide_sentence(&f("exists x. 2*x = 1")).unwrap());
+        assert!(decide_sentence(&f("forall x. exists y. y > x")).unwrap());
+        assert!(!decide_sentence(&f("exists y. forall x. y > x")).unwrap());
+    }
+
+    #[test]
+    fn satisfiability_and_validity() {
+        assert!(is_satisfiable(&f("x > 0 & x < 1")).unwrap());
+        assert!(!is_satisfiable(&f("x > 1 & x < 0")).unwrap());
+        assert!(is_valid(&f("x <= x")).unwrap());
+        assert!(!is_valid(&f("x < 1")).unwrap());
+    }
+
+    #[test]
+    fn relations_are_rejected() {
+        assert_eq!(eliminate(&f("exists x. U(x)")), Err(QeError::HasRelations));
+    }
+
+    #[test]
+    fn adom_rejected() {
+        assert_eq!(eliminate(&f("Eadom x. x < 1")), Err(QeError::ActiveDomain));
+    }
+}

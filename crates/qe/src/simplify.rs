@@ -1,0 +1,194 @@
+//! Bottom-up formula simplification: constant folding, duplicate removal,
+//! and local contradiction/tautology detection on atoms.
+
+use cqa_logic::{Atom, Formula, Rel};
+
+/// Simplifies a formula bottom-up:
+///
+/// * folds ground atoms to `⊤`/`⊥`;
+/// * removes duplicate conjuncts/disjuncts (structural);
+/// * cancels complementary literal pairs (`p < 0 ∧ p ≥ 0` → `⊥`,
+///   `p < 0 ∨ p ≥ 0` → `⊤`);
+/// * normalizes atoms so the leading coefficient is positive (`-x < 0`
+///   becomes `x > 0`), which makes structural duplicate detection effective.
+///
+/// The result is logically equivalent to the input.
+pub fn simplify(f: &Formula) -> Formula {
+    match f {
+        Formula::True | Formula::False => f.clone(),
+        Formula::Atom(a) => simplify_atom(a),
+        Formula::Rel { .. } => f.clone(),
+        Formula::Not(g) => simplify(g).negate(),
+        Formula::And(fs) => {
+            let mut parts: Vec<Formula> = Vec::with_capacity(fs.len());
+            for g in fs {
+                match simplify(g) {
+                    Formula::True => {}
+                    Formula::False => return Formula::False,
+                    Formula::And(hs) => {
+                        for h in hs {
+                            push_unique(&mut parts, h);
+                        }
+                    }
+                    h => push_unique(&mut parts, h),
+                }
+            }
+            if has_complementary_pair(&parts) {
+                return Formula::False;
+            }
+            match parts.len() {
+                0 => Formula::True,
+                1 => parts.pop().unwrap(),
+                _ => Formula::And(parts),
+            }
+        }
+        Formula::Or(fs) => {
+            let mut parts: Vec<Formula> = Vec::with_capacity(fs.len());
+            for g in fs {
+                match simplify(g) {
+                    Formula::False => {}
+                    Formula::True => return Formula::True,
+                    Formula::Or(hs) => {
+                        for h in hs {
+                            push_unique(&mut parts, h);
+                        }
+                    }
+                    h => push_unique(&mut parts, h),
+                }
+            }
+            if has_complementary_pair(&parts) {
+                return Formula::True;
+            }
+            match parts.len() {
+                0 => Formula::False,
+                1 => parts.pop().unwrap(),
+                _ => Formula::Or(parts),
+            }
+        }
+        Formula::Exists(vs, g) => match simplify(g) {
+            c @ (Formula::True | Formula::False) => c,
+            h => {
+                let keep: Vec<_> = vs
+                    .iter()
+                    .copied()
+                    .filter(|v| h.free_vars().contains(v))
+                    .collect();
+                Formula::exists(keep, h)
+            }
+        },
+        Formula::Forall(vs, g) => match simplify(g) {
+            c @ (Formula::True | Formula::False) => c,
+            h => {
+                let keep: Vec<_> = vs
+                    .iter()
+                    .copied()
+                    .filter(|v| h.free_vars().contains(v))
+                    .collect();
+                Formula::forall(keep, h)
+            }
+        },
+        Formula::ExistsAdom(v, g) => match simplify(g) {
+            c @ (Formula::True | Formula::False) => c,
+            h => Formula::ExistsAdom(*v, Box::new(h)),
+        },
+        Formula::ForallAdom(v, g) => match simplify(g) {
+            c @ (Formula::True | Formula::False) => c,
+            h => Formula::ForallAdom(*v, Box::new(h)),
+        },
+    }
+}
+
+fn simplify_atom(a: &Atom) -> Formula {
+    if let Some(truth) = a.as_const() {
+        return if truth { Formula::True } else { Formula::False };
+    }
+    // Normalize: make the coefficient of the leading monomial positive.
+    let lead_sign = a.poly.terms().last().map_or(1, |(_, c)| c.signum());
+    if lead_sign < 0 {
+        Formula::Atom(Atom::new(-&a.poly, a.rel.flip()))
+    } else {
+        Formula::Atom(a.clone())
+    }
+}
+
+fn push_unique(parts: &mut Vec<Formula>, f: Formula) {
+    if !parts.contains(&f) {
+        parts.push(f);
+    }
+}
+
+fn has_complementary_pair(parts: &[Formula]) -> bool {
+    for (i, f) in parts.iter().enumerate() {
+        if let Formula::Atom(a) = f {
+            for g in &parts[i + 1..] {
+                if let Formula::Atom(b) = g {
+                    if a.poly == b.poly && b.rel == a.rel.negate() {
+                        return true;
+                    }
+                }
+            }
+        }
+    }
+    false
+}
+
+/// `true` iff the two relations on the same polynomial are jointly
+/// unsatisfiable (conservative check used by Fourier–Motzkin clause
+/// pruning).
+pub(crate) fn rels_contradict(a: Rel, b: Rel) -> bool {
+    use Rel::*;
+    matches!(
+        (a, b),
+        (Eq, Neq) | (Neq, Eq) | (Eq, Lt) | (Lt, Eq) | (Eq, Gt) | (Gt, Eq)
+            | (Lt, Gt) | (Gt, Lt) | (Lt, Ge) | (Ge, Lt) | (Gt, Le) | (Le, Gt)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_logic::parse_formula;
+
+    fn s(src: &str) -> Formula {
+        simplify(&parse_formula(src).unwrap().0)
+    }
+
+    #[test]
+    fn ground_folding() {
+        assert_eq!(s("1 < 2"), Formula::True);
+        assert_eq!(s("2 < 1"), Formula::False);
+        assert_eq!(s("1 < 2 & x < 1"), s("x < 1"));
+        assert_eq!(s("2 < 1 | x < 1"), s("x < 1"));
+        assert_eq!(s("2 < 1 & x < 1"), Formula::False);
+    }
+
+    #[test]
+    fn duplicates_removed() {
+        let f = s("x < 1 & x < 1 & x < 1");
+        assert!(matches!(f, Formula::Atom(_)));
+    }
+
+    #[test]
+    fn complementary_pairs() {
+        assert_eq!(s("x < 1 & x >= 1"), Formula::False);
+        assert_eq!(s("x < 1 | x >= 1"), Formula::True);
+    }
+
+    #[test]
+    fn leading_sign_normalization() {
+        // -x < 0 and x > 0 normalize identically.
+        assert_eq!(s("0 < x"), s("-x < 0"));
+        assert_eq!(s("0 - x < 0 & x > 0"), s("x > 0"));
+    }
+
+    #[test]
+    fn quantifier_pruning() {
+        assert_eq!(s("exists y. 1 < 2"), Formula::True);
+        // unused quantified var dropped
+        let f = s("exists y, z. y > x");
+        match f {
+            Formula::Exists(vs, _) => assert_eq!(vs.len(), 1),
+            other => panic!("{other:?}"),
+        }
+    }
+}

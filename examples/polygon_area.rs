@@ -1,0 +1,52 @@
+//! The paper's Section-5 worked example: computing the area of a convex
+//! polygon with the FO+POLY+SUM machinery — a fan triangulation produced
+//! by a range-restricted query and a deterministic triangle-area formula,
+//! summed.
+//!
+//! ```text
+//! cargo run --example polygon_area
+//! ```
+
+use constraint_agg::agg::{polygon_area_sum_term, polygon_area_via_language};
+use constraint_agg::geom::{convex_hull, polygon_area, triangulate_fan};
+use constraint_agg::prelude::*;
+
+fn main() {
+    // A convex polygon given as a point cloud (interior points included —
+    // the FO+POLY vertex test "a ∉ conv(P − {a})" filters them).
+    let cloud = vec![
+        (rat(0, 1), rat(0, 1)),
+        (rat(4, 1), rat(0, 1)),
+        (rat(6, 1), rat(3, 1)),
+        (rat(4, 1), rat(6, 1)),
+        (rat(0, 1), rat(5, 1)),
+        (rat(2, 1), rat(2, 1)), // interior
+        (rat(3, 1), rat(1, 1)), // interior
+    ];
+
+    let hull = convex_hull(&cloud);
+    println!("vertices of P ({}):", hull.len());
+    for (x, y) in &hull {
+        println!("  ({x}, {y})");
+    }
+
+    let tris = triangulate_fan(&hull);
+    println!("\nρ output — the fan triangulation ({} triangles):", tris.len());
+    for [a, b, c] in &tris {
+        println!(
+            "  ({}, {}) ({}, {}) ({}, {})",
+            a.0, a.1, b.0, b.1, c.0, c.1
+        );
+    }
+
+    let by_sum = polygon_area_sum_term(&cloud);
+    let by_lang = polygon_area_via_language(&cloud).unwrap();
+    let by_shoelace = polygon_area(&hull);
+    println!("\narea via Σ_ρ γ (direct determinants) = {by_sum}");
+    println!("area via Σ_ρ γ (γ evaluated as a deterministic FO+POLY formula) = {by_lang}");
+    println!("area via shoelace (reference)        = {by_shoelace}");
+    assert_eq!(by_sum, by_shoelace);
+    assert_eq!(by_lang, by_shoelace);
+    println!("\nall three agree exactly — 'the above method codes a standard computation");
+    println!("of area used in computational geometry … in fact used in GISs' (§5).");
+}
