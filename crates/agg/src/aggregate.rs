@@ -9,7 +9,7 @@
 use crate::lang::AggError;
 use cqa_arith::Rat;
 use cqa_core::{enumerate_finite, Database, SafetyError};
-use cqa_logic::Formula;
+use cqa_logic::{Formula, SlotMap};
 use cqa_poly::{MPoly, Var};
 
 /// A classical aggregate operator.
@@ -48,16 +48,10 @@ pub fn aggregate(
         SafetyError::IrrationalPoint => AggError::IrrationalEndpoint,
         SafetyError::Qe(q) => AggError::Qe(q),
     })?;
+    let slots = SlotMap::from_vars(free);
     let values: Vec<Rat> = tuples
         .iter()
-        .map(|t| {
-            value.eval(&|v: Var| {
-                free.iter()
-                    .position(|&w| w == v)
-                    .map(|i| t[i].clone())
-                    .unwrap_or_else(Rat::zero)
-            })
-        })
+        .map(|t| value.eval(&slots.assignment(t)))
         .collect();
     match agg {
         Aggregate::Count => Ok(Rat::from(values.len() as i64)),

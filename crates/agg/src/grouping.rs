@@ -11,7 +11,7 @@ use crate::aggregate::Aggregate;
 use crate::lang::AggError;
 use cqa_arith::Rat;
 use cqa_core::{enumerate_finite, Database, SafetyError};
-use cqa_logic::Formula;
+use cqa_logic::{Formula, SlotMap};
 use cqa_poly::{MPoly, Var};
 
 /// `GROUP BY`-style aggregation: evaluates the (safe) query `q` with
@@ -46,15 +46,11 @@ pub fn group_aggregate(
         .iter()
         .map(|g| free.iter().position(|v| v == g).unwrap())
         .collect();
+    let slots = SlotMap::from_vars(free);
     let mut groups: Vec<(Vec<Rat>, Vec<Rat>)> = Vec::new();
     for t in &tuples {
         let key: Vec<Rat> = key_idx.iter().map(|&i| t[i].clone()).collect();
-        let val = value.eval(&|v: Var| {
-            free.iter()
-                .position(|&w| w == v)
-                .map(|i| t[i].clone())
-                .unwrap_or_else(Rat::zero)
-        });
+        let val = value.eval(&slots.assignment(t));
         match groups.iter_mut().find(|(k, _)| *k == key) {
             Some((_, vals)) => vals.push(val),
             None => groups.push((key, vec![val])),

@@ -14,8 +14,8 @@
 
 use cqa_arith::Rat;
 use cqa_geom::HPolyhedron;
-use cqa_logic::Formula;
-use cqa_poly::Var;
+use cqa_logic::{Atom, CompiledMatrix, Formula, Rel, SlotMap};
+use cqa_poly::{MPoly, Var};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -103,9 +103,14 @@ pub fn variable_independent_volume(f: &Formula, vars: &[Var]) -> Option<Rat> {
         }
         axes.push(cells);
     }
-    // Sweep the grid.
+    // Sweep the grid through the compiled kernel (one lowering, then a
+    // cheap exact evaluation per cell; compilation failure means the
+    // formula is outside this baseline's scope).
+    let slots = SlotMap::from_vars(vars);
+    let kernel = CompiledMatrix::compile(f, &slots).ok()?;
     let mut idx = vec![0usize; vars.len()];
     let mut total = Rat::zero();
+    let mut point = vec![Rat::zero(); vars.len()];
     loop {
         let mut cellvol = Some(Rat::one());
         for (ax, &i) in axes.iter().zip(&idx) {
@@ -114,13 +119,10 @@ pub fn variable_independent_volume(f: &Formula, vars: &[Var]) -> Option<Rat> {
                 _ => None,
             };
         }
-        let asg = |v: Var| {
-            vars.iter()
-                .position(|&w| w == v)
-                .map(|i| axes[i][idx[i]].sample.clone())
-                .unwrap_or_else(Rat::zero)
-        };
-        if f.eval(&asg, &[]).unwrap_or(false) {
+        for (c, (ax, &i)) in point.iter_mut().zip(axes.iter().zip(&idx)) {
+            c.clone_from(&ax[i].sample);
+        }
+        if kernel.eval_rats(&point) {
             match cellvol {
                 Some(v) => total += v,
                 None => return None, // true on an unbounded cell
@@ -143,7 +145,10 @@ pub fn variable_independent_volume(f: &Formula, vars: &[Var]) -> Option<Rat> {
 }
 
 /// Rejection-sampling volume of a polyhedron from an enclosing box
-/// (the naive Monte Carlo baseline).
+/// (the naive Monte Carlo baseline). Membership runs through the compiled
+/// kernel — `f64` sign decision with a certified error bound, exact
+/// rational fallback only on uncertain signs — so the hit count is
+/// identical to testing `p.contains` at the exact rational points.
 pub fn rejection_volume(
     p: &HPolyhedron,
     lo: &[f64],
@@ -153,16 +158,35 @@ pub fn rejection_volume(
 ) -> f64 {
     let mut rng = StdRng::seed_from_u64(seed);
     let d = p.dim();
+    // Lower `∧ᵢ aᵢ·x − bᵢ ≤ 0` over fresh slot variables.
+    let vars: Vec<Var> = (0..d as u32).map(Var).collect();
+    let atoms: Vec<Formula> = p
+        .rows()
+        .iter()
+        .map(|(a, b)| {
+            let mut poly = MPoly::constant(-b);
+            for (c, &v) in a.iter().zip(&vars) {
+                poly = &poly + &(&MPoly::constant(c.clone()) * &MPoly::var(v));
+            }
+            Formula::Atom(Atom::new(poly, Rel::Le))
+        })
+        .collect();
+    let slots = SlotMap::from_vars(&vars);
+    let kernel = CompiledMatrix::compile(&Formula::And(atoms), &slots)
+        .expect("polyhedron rows always compile");
     let mut hits = 0usize;
     let mut box_vol = 1.0;
     for i in 0..d {
         box_vol *= hi[i] - lo[i];
     }
+    let mut floats = vec![0.0f64; d];
+    let errs = vec![0.0f64; d];
     for _ in 0..samples {
-        let pt: Vec<Rat> = (0..d)
-            .map(|i| Rat::from_f64(rng.random_range(lo[i]..hi[i])).unwrap())
-            .collect();
-        if p.contains(&pt) {
+        for (i, c) in floats.iter_mut().enumerate() {
+            *c = rng.random_range(lo[i]..hi[i]);
+        }
+        let exact = |s: usize| Rat::from_f64(floats[s]).expect("finite");
+        if kernel.eval_f64(&floats, &errs, &exact) {
             hits += 1;
         }
     }

@@ -31,6 +31,7 @@ pub mod baselines;
 pub mod john;
 pub mod km;
 pub mod mc;
+pub mod par;
 pub mod sample;
 pub mod separating;
 pub mod trivial;

@@ -7,21 +7,41 @@
 //! That is what distinguishes Theorem 4 from naive per-query sampling —
 //! and what [`UniformVolumeEstimator`] implements.
 
+use crate::par::{self, default_threads};
 use crate::sample::{sample_size, Witness};
 use cqa_arith::Rat;
 use cqa_core::Database;
-use cqa_logic::Formula;
+use cqa_logic::{rat_to_f64_err, CompiledMatrix, Formula, SlotMap};
 use cqa_poly::Var;
 use cqa_qe::QeError;
+
+/// Expands relations and eliminates quantifiers, then lowers the matrix
+/// through the compiled kernel. A matrix the kernel cannot lower (residual
+/// relation or quantifier) surfaces as an error *here*, instead of being
+/// silently counted as a miss at every sample point.
+fn compile_matrix(
+    db: &Database,
+    phi: &Formula,
+    slots: &SlotMap,
+) -> Result<(Formula, CompiledMatrix), QeError> {
+    let expanded = db.expand(phi).map_err(|_| QeError::HasRelations)?;
+    let matrix = cqa_qe::eliminate(&expanded)?;
+    let kernel = CompiledMatrix::compile(&matrix, slots)
+        .map_err(|e| QeError::Residual(e.to_string()))?;
+    Ok((matrix, kernel))
+}
 
 /// A volume estimator sharing one sample across all parameter vectors.
 pub struct UniformVolumeEstimator {
     /// Quantifier-free matrix of the query (relations expanded, quantifiers
-    /// eliminated), over `params ∪ point_vars`.
+    /// eliminated), over `params ∪ point_vars` — kept as the reference
+    /// oracle for the compiled kernel.
     matrix: Formula,
-    params: Vec<Var>,
-    point_vars: Vec<Var>,
+    kernel: CompiledMatrix,
+    n_params: usize,
     sample: Vec<Vec<Rat>>,
+    /// Exact `f64` mirror of the (dyadic) sample coordinates.
+    sample_f64: Vec<Vec<f64>>,
 }
 
 impl UniformVolumeEstimator {
@@ -40,15 +60,20 @@ impl UniformVolumeEstimator {
         d: f64,
         witness: &mut Witness,
     ) -> Result<UniformVolumeEstimator, QeError> {
-        let expanded = db.expand(phi).map_err(|_| QeError::HasRelations)?;
-        let matrix = cqa_qe::eliminate(&expanded)?;
+        let slots = SlotMap::new(&[params, point_vars]);
+        let (matrix, kernel) = compile_matrix(db, phi, &slots)?;
         let m = sample_size(eps, delta, d);
         let sample = witness.uniform_sample(m, point_vars.len());
+        let sample_f64 = sample
+            .iter()
+            .map(|p| p.iter().map(Rat::to_f64).collect())
+            .collect();
         Ok(UniformVolumeEstimator {
             matrix,
-            params: params.to_vec(),
-            point_vars: point_vars.to_vec(),
+            kernel,
+            n_params: params.len(),
             sample,
+            sample_f64,
         })
     }
 
@@ -57,25 +82,57 @@ impl UniformVolumeEstimator {
         self.sample.len()
     }
 
+    /// The quantifier-free matrix over `params ∪ point_vars` (the
+    /// reference oracle the compiled kernel is checked against).
+    pub fn matrix(&self) -> &Formula {
+        &self.matrix
+    }
+
+    /// The shared sample (exact dyadic unit-cube points).
+    pub fn sample(&self) -> &[Vec<Rat>] {
+        &self.sample
+    }
+
     /// The estimated `VOL_I(φ(ā, D))`: the fraction of the shared sample
     /// falling in the set.
     pub fn estimate(&self, a: &[Rat]) -> Rat {
-        assert_eq!(a.len(), self.params.len());
-        let mut hits = 0usize;
-        for p in &self.sample {
-            let asg = |v: Var| {
-                if let Some(i) = self.params.iter().position(|&w| w == v) {
-                    return a[i].clone();
-                }
-                if let Some(i) = self.point_vars.iter().position(|&w| w == v) {
-                    return p[i].clone();
-                }
-                Rat::zero()
-            };
-            if self.matrix.eval(&asg, &[]).unwrap_or(false) {
-                hits += 1;
-            }
+        self.estimate_with_threads(a, default_threads())
+    }
+
+    /// [`Self::estimate`] with an explicit worker count. The result is
+    /// identical for every `threads` value (the sample is fixed and chunk
+    /// tallies combine in chunk order).
+    pub fn estimate_with_threads(&self, a: &[Rat], threads: usize) -> Rat {
+        assert_eq!(a.len(), self.n_params);
+        let np = self.n_params;
+        let n_slots = self.kernel.slot_count();
+        let mut param_f64 = vec![0.0f64; np];
+        let mut param_err = vec![0.0f64; np];
+        for (i, r) in a.iter().enumerate() {
+            (param_f64[i], param_err[i]) = rat_to_f64_err(r);
         }
+        let per_chunk = par::run_chunks(self.sample.len(), threads, |range, _| {
+            let mut floats = vec![0.0f64; n_slots];
+            let mut errs = vec![0.0f64; n_slots];
+            floats[..np].copy_from_slice(&param_f64);
+            errs[..np].copy_from_slice(&param_err);
+            let mut hits = 0usize;
+            for i in range {
+                floats[np..].copy_from_slice(&self.sample_f64[i]);
+                let exact = |s: usize| {
+                    if s < np {
+                        a[s].clone()
+                    } else {
+                        self.sample[i][s - np].clone()
+                    }
+                };
+                if self.kernel.eval_f64(&floats, &errs, &exact) {
+                    hits += 1;
+                }
+            }
+            hits
+        });
+        let hits: usize = per_chunk.into_iter().sum();
         Rat::new((hits as i64).into(), (self.sample.len() as i64).into())
     }
 }
@@ -89,22 +146,42 @@ pub fn mc_volume_in_unit_box(
     m: usize,
     witness: &mut Witness,
 ) -> Result<Rat, QeError> {
-    let expanded = db.expand(phi).map_err(|_| QeError::HasRelations)?;
-    let matrix = cqa_qe::eliminate(&expanded)?;
-    let mut hits = 0usize;
-    for _ in 0..m {
-        let p = witness.uniform_unit_point(point_vars.len());
-        let asg = |v: Var| {
-            point_vars
-                .iter()
-                .position(|&w| w == v)
-                .map(|i| p[i].clone())
-                .unwrap_or_else(Rat::zero)
-        };
-        if matrix.eval(&asg, &[]).unwrap_or(false) {
-            hits += 1;
+    mc_volume_in_unit_box_threads(db, phi, point_vars, m, witness, default_threads())
+}
+
+/// [`mc_volume_in_unit_box`] with an explicit worker count.
+///
+/// Points are drawn through per-chunk witnesses split off the caller's
+/// witness ([`Witness::fork`]), so the estimate is a pure function of the
+/// witness seed, `m`, and the query — identical for every `threads` value.
+pub fn mc_volume_in_unit_box_threads(
+    db: &Database,
+    phi: &Formula,
+    point_vars: &[Var],
+    m: usize,
+    witness: &mut Witness,
+    threads: usize,
+) -> Result<Rat, QeError> {
+    let slots = SlotMap::from_vars(point_vars);
+    let (_, kernel) = compile_matrix(db, phi, &slots)?;
+    let splitter = witness.fork();
+    witness.note_applications(m);
+    let dim = point_vars.len();
+    let per_chunk = par::run_chunks(m, threads, |range, chunk| {
+        let mut w = splitter.chunk(chunk as u64);
+        let mut floats = vec![0.0f64; dim];
+        let errs = vec![0.0f64; dim];
+        let mut hits = 0usize;
+        for _ in range {
+            w.uniform_unit_point_f64(&mut floats);
+            let exact = |s: usize| Rat::from_f64(floats[s]).expect("finite");
+            if kernel.eval_f64(&floats, &errs, &exact) {
+                hits += 1;
+            }
         }
-    }
+        hits
+    });
+    let hits: usize = per_chunk.into_iter().sum();
     Ok(Rat::new((hits as i64).into(), (m as i64).into()))
 }
 
@@ -120,23 +197,51 @@ pub fn mc_average_over(
     m: usize,
     witness: &mut Witness,
 ) -> Result<Option<Rat>, QeError> {
-    let expanded = db.expand(phi).map_err(|_| QeError::HasRelations)?;
-    let matrix = cqa_qe::eliminate(&expanded)?;
+    mc_average_over_threads(db, phi, point_vars, p, m, witness, default_threads())
+}
+
+/// [`mc_average_over`] with an explicit worker count. Chunk sums are exact
+/// rationals combined in chunk order, so the result is identical for every
+/// `threads` value.
+pub fn mc_average_over_threads(
+    db: &Database,
+    phi: &Formula,
+    point_vars: &[Var],
+    p: &cqa_poly::MPoly,
+    m: usize,
+    witness: &mut Witness,
+    threads: usize,
+) -> Result<Option<Rat>, QeError> {
+    let slots = SlotMap::from_vars(point_vars);
+    let (_, kernel) = compile_matrix(db, phi, &slots)?;
+    let splitter = witness.fork();
+    witness.note_applications(m);
+    let dim = point_vars.len();
+    let per_chunk = par::run_chunks(m, threads, |range, chunk| {
+        let mut w = splitter.chunk(chunk as u64);
+        let mut floats = vec![0.0f64; dim];
+        let errs = vec![0.0f64; dim];
+        let mut hits = 0usize;
+        let mut acc = Rat::zero();
+        for _ in range {
+            w.uniform_unit_point_f64(&mut floats);
+            let exact = |s: usize| Rat::from_f64(floats[s]).expect("finite");
+            if kernel.eval_f64(&floats, &errs, &exact) {
+                hits += 1;
+                let pt: Vec<Rat> = floats
+                    .iter()
+                    .map(|&v| Rat::from_f64(v).expect("finite"))
+                    .collect();
+                acc += &p.eval(&slots.assignment(&pt));
+            }
+        }
+        (hits, acc)
+    });
     let mut hits = 0usize;
     let mut acc = Rat::zero();
-    for _ in 0..m {
-        let s = witness.uniform_unit_point(point_vars.len());
-        let asg = |v: Var| {
-            point_vars
-                .iter()
-                .position(|&w| w == v)
-                .map(|i| s[i].clone())
-                .unwrap_or_else(Rat::zero)
-        };
-        if matrix.eval(&asg, &[]).unwrap_or(false) {
-            hits += 1;
-            acc += &p.eval(&asg);
-        }
+    for (h, a) in per_chunk {
+        hits += h;
+        acc += &a;
     }
     if hits == 0 {
         return Ok(None);

@@ -1,0 +1,104 @@
+//! A minimal deterministic fork–join runner over fixed-size chunks.
+//!
+//! Monte Carlo estimation (Theorem 4) is embarrassingly parallel, but the
+//! seeded-reproducibility contract of [`crate::sample::Witness`] demands
+//! that results not depend on scheduling. The invariants here guarantee
+//! that:
+//!
+//! * the chunking of `0..n` is a pure function of `n` (fixed [`CHUNK`]
+//!   size), never of the worker count;
+//! * chunk results are returned **in chunk order**, whatever order workers
+//!   finished them in;
+//! * per-chunk randomness comes from [`crate::sample::WitnessSplitter`],
+//!   keyed by chunk index — not from any shared mutable RNG.
+//!
+//! Consequently `run_chunks(n, 1, work)` and `run_chunks(n, 64, work)`
+//! return identical vectors, and any fold over them is thread-count
+//! invariant. Threading is `std::thread::scope` only — no external
+//! runtime.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Items per chunk. Small enough to load-balance a few thousand Monte
+/// Carlo points across workers, large enough to amortize dispatch.
+pub const CHUNK: usize = 512;
+
+/// The item range of chunk `c` within `0..n`.
+fn chunk_range(c: usize, n: usize) -> std::ops::Range<usize> {
+    let start = c * CHUNK;
+    start..((start + CHUNK).min(n))
+}
+
+/// The default worker count: the machine's available parallelism.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs `work(range, chunk_index)` for every [`CHUNK`]-sized slice of
+/// `0..n` on up to `threads` workers, returning the results in chunk
+/// order. The output is identical for every `threads` value.
+pub fn run_chunks<T, F>(n: usize, threads: usize, work: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(std::ops::Range<usize>, usize) -> T + Sync,
+{
+    let n_chunks = n.div_ceil(CHUNK);
+    let threads = threads.clamp(1, n_chunks.max(1));
+    if threads == 1 || n_chunks <= 1 {
+        return (0..n_chunks).map(|c| work(chunk_range(c, n), c)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, T)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let c = next.fetch_add(1, Ordering::Relaxed);
+                        if c >= n_chunks {
+                            break;
+                        }
+                        out.push((c, work(chunk_range(c, n), c)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("chunk worker panicked"))
+            .collect()
+    });
+    tagged.sort_unstable_by_key(|&(c, _)| c);
+    tagged.into_iter().map(|(_, t)| t).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_all_items_once() {
+        let n = 3 * CHUNK + 17;
+        let per_chunk = run_chunks(n, 4, |r, _| r.len());
+        assert_eq!(per_chunk.iter().sum::<usize>(), n);
+        assert_eq!(per_chunk.len(), 4);
+    }
+
+    #[test]
+    fn order_and_results_independent_of_thread_count() {
+        let n = 5 * CHUNK + 3;
+        let work = |r: std::ops::Range<usize>, c: usize| (c, r.start, r.end);
+        let one = run_chunks(n, 1, work);
+        for t in [2, 3, 8, 64] {
+            assert_eq!(run_chunks(n, t, work), one, "threads = {t}");
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(run_chunks(0, 4, |r, _| r.len()).is_empty());
+    }
+}

@@ -21,6 +21,8 @@ pub fn sample_size(eps: f64, delta: f64, d: f64) -> usize {
 /// application of `W` in the paper's operation count.
 pub struct Witness {
     rng: StdRng,
+    seed: u64,
+    streams: u64,
     calls: usize,
 }
 
@@ -28,12 +30,31 @@ impl Witness {
     /// A deterministic witness source (seeded — experiments are
     /// reproducible).
     pub fn new(seed: u64) -> Witness {
-        Witness { rng: StdRng::seed_from_u64(seed), calls: 0 }
+        Witness { rng: StdRng::seed_from_u64(seed), seed, streams: 0, calls: 0 }
     }
 
     /// How many witness applications have been made.
     pub fn calls(&self) -> usize {
         self.calls
+    }
+
+    /// Begins an independent family of deterministic substreams, for
+    /// chunked parallel sampling.
+    ///
+    /// The returned splitter derives a child witness per chunk index from
+    /// the base seed and a per-call stream counter alone — never from the
+    /// live RNG state — so the points drawn for chunk `c` are the same for
+    /// any thread count and any chunk completion order, and successive
+    /// forks from the same witness yield unrelated streams.
+    pub fn fork(&mut self) -> WitnessSplitter {
+        self.streams += 1;
+        WitnessSplitter { seed: self.seed, stream: self.streams }
+    }
+
+    /// Records `n` witness applications performed through a fork on this
+    /// witness's behalf (keeps the Theorem 4 operation count meaningful).
+    pub(crate) fn note_applications(&mut self, n: usize) {
+        self.calls += n;
     }
 
     /// `W y⃗.(y⃗ ∈ I^dim)`: a uniform point of the unit cube, as exact
@@ -43,6 +64,18 @@ impl Witness {
         (0..dim)
             .map(|_| Rat::from_f64(self.rng.random::<f64>()).expect("finite"))
             .collect()
+    }
+
+    /// [`Self::uniform_unit_point`] without the rational wrapping: fills
+    /// `out` with the same draws as exactly-representable dyadic `f64`s
+    /// (one witness application). The compiled-kernel hot path uses this to
+    /// avoid constructing rationals for points that never need the exact
+    /// fallback.
+    pub fn uniform_unit_point_f64(&mut self, out: &mut [f64]) {
+        self.calls += 1;
+        for c in out.iter_mut() {
+            *c = self.rng.random::<f64>();
+        }
     }
 
     /// An entire `m`-point sample from `I^dim` (`m` witness applications —
@@ -61,6 +94,29 @@ impl Witness {
             let i = self.rng.random_range(0..items.len());
             Some(&items[i])
         }
+    }
+}
+
+/// A handle deriving per-chunk child witnesses (see [`Witness::fork`]).
+/// `Copy` so worker threads can share it freely.
+#[derive(Clone, Copy, Debug)]
+pub struct WitnessSplitter {
+    seed: u64,
+    stream: u64,
+}
+
+impl WitnessSplitter {
+    /// The deterministic child witness for chunk `chunk`: a pure function
+    /// of `(seed, stream, chunk)`.
+    pub fn chunk(&self, chunk: u64) -> Witness {
+        let mut h = self
+            .seed
+            .wrapping_add(self.stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(chunk.wrapping_mul(0xD1B5_4A32_D192_ED03));
+        // SplitMix64 finalizer: decorrelates nearby (stream, chunk) pairs.
+        h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        Witness::new(h ^ (h >> 31))
     }
 }
 
@@ -101,6 +157,42 @@ mod tests {
             }
         }
         assert_eq!(w.calls(), 50);
+    }
+
+    #[test]
+    fn fork_chunks_are_deterministic_and_separated() {
+        let mut w1 = Witness::new(9);
+        let mut w2 = Witness::new(9);
+        let (s1, s2) = (w1.fork(), w2.fork());
+        // Same seed, same stream, same chunk → same points.
+        assert_eq!(
+            s1.chunk(0).uniform_sample(3, 2),
+            s2.chunk(0).uniform_sample(3, 2)
+        );
+        // Different chunks of one stream differ.
+        assert_ne!(
+            s1.chunk(0).uniform_sample(3, 2),
+            s1.chunk(1).uniform_sample(3, 2)
+        );
+        // A later fork of the same witness yields an unrelated stream.
+        let s1b = w1.fork();
+        assert_ne!(
+            s1.chunk(0).uniform_sample(3, 2),
+            s1b.chunk(0).uniform_sample(3, 2)
+        );
+    }
+
+    #[test]
+    fn f64_points_match_rational_points() {
+        let mut a = Witness::new(4);
+        let mut b = Witness::new(4);
+        let p = a.uniform_unit_point(3);
+        let mut q = [0.0f64; 3];
+        b.uniform_unit_point_f64(&mut q);
+        for (r, v) in p.iter().zip(q) {
+            assert_eq!(r, &Rat::from_f64(v).unwrap());
+        }
+        assert_eq!(b.calls(), 1);
     }
 
     #[test]

@@ -1,0 +1,300 @@
+//! Offline stand-in for the slice of `criterion` this workspace's benches
+//! use: `criterion_group!` / `criterion_main!`, `Criterion::benchmark_group`,
+//! `BenchmarkGroup::{sample_size, bench_function, bench_with_input, finish}`,
+//! `BenchmarkId::new`, `Bencher::iter`, and `black_box`.
+//!
+//! Two run modes, chosen by how cargo invokes the binary:
+//!
+//! - `cargo bench` passes `--bench` on the command line → **measure mode**:
+//!   each benchmark is warmed up, then timed over enough iterations to fill a
+//!   small per-benchmark budget, and mean/min time per iteration is printed.
+//! - `cargo test` runs `[[bench]]` targets with `--test-threads=...` style
+//!   libtest args but never `--bench` → **smoke mode**: each benchmark body
+//!   runs exactly once so the target is exercised (and panics surface) without
+//!   burning CI time.
+//!
+//! There is no statistical analysis, HTML report, or baseline comparison. A
+//! positional CLI filter argument is honoured (substring match on the
+//! benchmark id) so `cargo bench --bench mc_volume -- halfplane` works.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-benchmark time budget in measure mode.
+const MEASURE_BUDGET: Duration = Duration::from_millis(1500);
+/// Warm-up budget in measure mode.
+const WARMUP_BUDGET: Duration = Duration::from_millis(300);
+
+#[derive(Clone, Debug)]
+enum Mode {
+    /// `cargo bench`: time the body over many iterations.
+    Measure,
+    /// `cargo test`: run the body once to check it doesn't panic.
+    Smoke,
+}
+
+/// The benchmark driver handed to `criterion_group!` target functions.
+pub struct Criterion {
+    mode: Mode,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { mode: Mode::Smoke, filter: None }
+    }
+}
+
+impl Criterion {
+    /// Reads the run mode and optional name filter from `std::env::args`,
+    /// mirroring crates-io criterion's entry point.
+    pub fn configure_from_args(mut self) -> Criterion {
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--bench" => self.mode = Mode::Measure,
+                // libtest-style flags cargo may pass through; ignore values
+                // of the ones that take a value.
+                "--test-threads" | "--format" | "--logfile" | "--skip" | "--color" => {
+                    let _ = args.next();
+                }
+                s if s.starts_with("--") => {}
+                s => self.filter = Some(s.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().map_or(true, |f| id.contains(f))
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&self, id: &str, mut body: F) {
+        if !self.matches(id) {
+            return;
+        }
+        match self.mode {
+            Mode::Smoke => {
+                let mut b = Bencher { mode: Mode::Smoke, iters: 0, elapsed: Duration::ZERO };
+                body(&mut b);
+                println!("bench {id}: ok (smoke, {} iter)", b.iters.max(1));
+            }
+            Mode::Measure => {
+                // Warm-up: also discovers a per-iteration cost estimate.
+                let mut b = Bencher { mode: Mode::Measure, iters: 0, elapsed: Duration::ZERO };
+                let warm = Instant::now();
+                while warm.elapsed() < WARMUP_BUDGET {
+                    body(&mut b);
+                }
+                let per_iter = if b.iters > 0 {
+                    b.elapsed.as_secs_f64() / b.iters as f64
+                } else {
+                    WARMUP_BUDGET.as_secs_f64()
+                };
+                // Measurement: run whole bodies until the budget is spent.
+                let mut m = Bencher { mode: Mode::Measure, iters: 0, elapsed: Duration::ZERO };
+                let start = Instant::now();
+                while start.elapsed() < MEASURE_BUDGET {
+                    body(&mut m);
+                }
+                let mean = if m.iters > 0 {
+                    m.elapsed.as_secs_f64() / m.iters as f64
+                } else {
+                    per_iter
+                };
+                println!(
+                    "bench {id}: mean {}/iter over {} iters",
+                    format_seconds(mean),
+                    m.iters
+                );
+            }
+        }
+    }
+}
+
+fn format_seconds(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// A named set of benchmarks sharing a prefix.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for source compatibility; this shim sizes runs by wall-clock
+    /// budget, not sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `body` under `group_name/id`.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        self.criterion.run_one(&full, &mut body);
+        self
+    }
+
+    /// Benchmarks `body(bencher, input)` under `group_name/id`.
+    pub fn bench_with_input<I, F>(&mut self, id: impl IntoBenchmarkId, input: &I, mut body: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        self.criterion.run_one(&full, |b| body(b, input));
+        self
+    }
+
+    /// Ends the group (no-op; present for source compatibility).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: function name plus parameter value.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` (parameter rendered via `Display`).
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Bare parameter id, mirroring crates-io criterion.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Things usable as a benchmark id (`&str`, `String`, [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Timer handle passed to benchmark bodies.
+pub struct Bencher {
+    mode: Mode,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`. In smoke mode it runs exactly once; in measure mode
+    /// it runs a small batch and accumulates the elapsed time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let batch = match self.mode {
+            Mode::Smoke => 1,
+            Mode::Measure => 1,
+        };
+        let start = Instant::now();
+        for _ in 0..batch {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += batch;
+    }
+}
+
+/// Declares a benchmark group runner, mirroring crates-io criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut c = Criterion::default();
+        let mut count = 0u32;
+        {
+            let mut g = c.benchmark_group("g");
+            g.bench_function("one", |b| b.iter(|| count += 1));
+            g.finish();
+        }
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion { mode: Mode::Smoke, filter: Some("wanted".into()) };
+        let mut ran = false;
+        {
+            let mut g = c.benchmark_group("g");
+            g.bench_function("other", |b| b.iter(|| ran = true));
+            g.bench_function("wanted", |b| b.iter(|| ran = true));
+            g.finish();
+        }
+        assert!(ran);
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion::default();
+        let data = vec![1, 2, 3];
+        let mut sum = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(10).bench_with_input(BenchmarkId::new("sum", 3), &data, |b, d| {
+                b.iter(|| sum = d.iter().sum::<i32>())
+            });
+            g.finish();
+        }
+        assert_eq!(sum, 6);
+    }
+}

@@ -490,18 +490,20 @@ impl Formula {
             Formula::Rel { .. } => None,
             Formula::Not(f) => f.eval(assignment, adom).map(|b| !b),
             Formula::And(fs) => {
-                let mut acc = true;
                 for f in fs {
-                    acc &= f.eval(assignment, adom)?;
+                    if !f.eval(assignment, adom)? {
+                        return Some(false);
+                    }
                 }
-                Some(acc)
+                Some(true)
             }
             Formula::Or(fs) => {
-                let mut acc = false;
                 for f in fs {
-                    acc |= f.eval(assignment, adom)?;
+                    if f.eval(assignment, adom)? {
+                        return Some(true);
+                    }
                 }
-                Some(acc)
+                Some(false)
             }
             Formula::Exists(..) | Formula::Forall(..) => None,
             Formula::ExistsAdom(v, f) => {
@@ -669,6 +671,21 @@ mod tests {
         let g = Formula::ForallAdom(Var(1), Box::new(Formula::lt(x(), y())));
         assert_eq!(g.eval(&at(0), &adom), Some(true));
         assert_eq!(g.eval(&at(2), &adom), Some(false));
+    }
+
+    #[test]
+    fn eval_short_circuits_connectives() {
+        // A satisfied Or must not evaluate a later operand whose own
+        // evaluation would be None (here: a schema relation).
+        let none = Formula::Rel { name: "R".into(), args: vec![x()] };
+        let sat_or = Formula::Or(vec![Formula::True, none.clone()]);
+        assert_eq!(sat_or.eval(&|_| rat(0, 1), &[]), Some(true));
+        // Dually, a refuted And ignores a later unevaluable operand.
+        let unsat_and = Formula::And(vec![Formula::False, none.clone()]);
+        assert_eq!(unsat_and.eval(&|_| rat(0, 1), &[]), Some(false));
+        // But when the earlier operands don't decide it, None still surfaces.
+        let undecided = Formula::Or(vec![Formula::False, none]);
+        assert_eq!(undecided.eval(&|_| rat(0, 1), &[]), None);
     }
 
     #[test]

@@ -1,0 +1,507 @@
+//! A compiled evaluation kernel for quantifier-free constraint formulas.
+//!
+//! [`Formula::eval`] re-walks the AST at every point: each atom lookup
+//! traverses a `BTreeMap`, every variable read clones a [`Rat`], and all
+//! arithmetic is arbitrary precision. Monte Carlo volume estimation
+//! (Theorem 4) evaluates the same matrix at tens of thousands of sample
+//! points, so that interpretive overhead dominates the whole workload.
+//!
+//! [`CompiledMatrix`] lowers a quantifier-free, relation-free formula once
+//! into a flat program:
+//!
+//! * every [`Var`] is resolved at compile time to a dense *slot* index via a
+//!   [`SlotMap`] (parameters first, then point variables), eliminating the
+//!   per-lookup linear scans;
+//! * atoms live in an arena as coefficient/exponent vectors in the
+//!   canonical sorted term order, evaluated by fused multiply–add loops;
+//! * the boolean structure is flattened into a node arena with contiguous
+//!   child ranges, evaluated with short-circuiting `all`/`any`.
+//!
+//! **Exactness.** Evaluation is dual-path: each atom is first evaluated in
+//! `f64` alongside a conservative absolute-error bound; the sign is trusted
+//! only when the bound excludes zero-crossing. Otherwise the atom falls
+//! back to exact [`Rat`] arithmetic. The result is therefore *bit-identical*
+//! to the exact tree walk — the float path is an exactness filter, not an
+//! approximation. Sample points drawn through `cqa-approx`'s witness
+//! operator are dyadic rationals that convert to `f64` without error, so
+//! the fallback triggers only near true sign boundaries.
+
+use crate::ast::{Formula, Rel};
+use cqa_arith::Rat;
+use cqa_poly::{MPoly, Var};
+use std::fmt;
+
+/// Why a formula cannot be lowered to a [`CompiledMatrix`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CompileError {
+    /// The formula contains a quantifier (natural or active-domain); run
+    /// quantifier elimination (`cqa-qe`) first.
+    Quantifier,
+    /// The formula mentions a schema relation; expand relation definitions
+    /// (`cqa-core`) first.
+    Relation(String),
+    /// An atom mentions a variable with no slot in the [`SlotMap`].
+    UnboundVar(Var),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Quantifier => {
+                write!(f, "formula contains a quantifier; eliminate quantifiers first")
+            }
+            CompileError::Relation(name) => {
+                write!(f, "formula mentions schema relation {name}; expand relations first")
+            }
+            CompileError::UnboundVar(v) => {
+                write!(f, "variable {v} has no assigned slot")
+            }
+        }
+    }
+}
+impl std::error::Error for CompileError {}
+
+/// A compile-time mapping from [`Var`]s to dense slot indices.
+///
+/// This is the one shared slot-resolution point for every evaluator that
+/// pairs a variable list with a value tuple (the kernel, aggregates,
+/// baselines) — replacing the per-variable `iter().position(..)` closures
+/// that used to be copy-pasted at each call site.
+#[derive(Clone, Debug)]
+pub struct SlotMap {
+    vars: Vec<Var>,
+}
+
+impl SlotMap {
+    /// Slots for the concatenation of the groups, in order (convention:
+    /// parameters first, then point variables).
+    ///
+    /// # Panics
+    /// Panics if a variable appears twice.
+    pub fn new(groups: &[&[Var]]) -> SlotMap {
+        let mut vars = Vec::new();
+        for g in groups {
+            for &v in *g {
+                assert!(!vars.contains(&v), "duplicate variable {v} across slot groups");
+                vars.push(v);
+            }
+        }
+        SlotMap { vars }
+    }
+
+    /// Slots for a single variable list.
+    pub fn from_vars(vars: &[Var]) -> SlotMap {
+        SlotMap::new(&[vars])
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// `true` iff there are no slots.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// The variables in slot order.
+    pub fn vars(&self) -> &[Var] {
+        &self.vars
+    }
+
+    /// The slot of `v`, if any.
+    pub fn slot(&self, v: Var) -> Option<usize> {
+        self.vars.iter().position(|&w| w == v)
+    }
+
+    /// A total assignment reading slot values from `values` (variables
+    /// without a slot read as zero, matching the historical behaviour of
+    /// the inline closures this replaces).
+    pub fn assignment<'a>(&'a self, values: &'a [Rat]) -> impl Fn(Var) -> Rat + 'a {
+        debug_assert_eq!(values.len(), self.vars.len());
+        move |v: Var| {
+            self.slot(v)
+                .map(|i| values[i].clone())
+                .unwrap_or_else(Rat::zero)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// guarded f64 arithmetic
+// ---------------------------------------------------------------------------
+
+/// Relative rounding bound per f64 operation (2⁻⁵², ≥ 2× the true unit
+/// roundoff — deliberately generous).
+const UNIT: f64 = 2.220_446_049_250_313e-16;
+/// Multiplicative padding covering the rounding of the error-bound
+/// computation itself (a handful of f64 operations, each < 2⁻⁵² relative).
+const PAD: f64 = 1.0 + 1e-9;
+
+/// `(a ± ea) + (b ± eb)`: the computed sum and a bound on its distance from
+/// the true real sum.
+#[inline]
+fn add_err(a: f64, ea: f64, b: f64, eb: f64) -> (f64, f64) {
+    let v = a + b;
+    (v, (ea + eb + v.abs() * UNIT) * PAD)
+}
+
+/// `(a ± ea) · (b ± eb)`: `|xy − ab| ≤ |a|eb + |b|ea + ea·eb` plus the
+/// rounding of the product itself.
+#[inline]
+fn mul_err(a: f64, ea: f64, b: f64, eb: f64) -> (f64, f64) {
+    let v = a * b;
+    (v, (a.abs() * eb + b.abs() * ea + ea * eb + v.abs() * UNIT) * PAD)
+}
+
+/// The `f64` image of a rational plus a bound on the conversion error
+/// (`0.0` exactly when the rational is a representable dyadic — e.g. every
+/// witness-operator sample coordinate).
+pub fn rat_to_f64_err(r: &Rat) -> (f64, f64) {
+    let v = r.to_f64();
+    if !v.is_finite() {
+        return (0.0, f64::INFINITY);
+    }
+    match Rat::from_f64(v) {
+        Some(back) if back == *r => (v, 0.0),
+        Some(back) => {
+            let d = (r - &back).abs().to_f64();
+            (v, d * PAD + f64::MIN_POSITIVE)
+        }
+        None => (0.0, f64::INFINITY),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// compiled atoms
+// ---------------------------------------------------------------------------
+
+/// One polynomial term: coefficient and `(slot, exponent)` factors.
+#[derive(Clone, Debug)]
+struct Term {
+    coeff: Rat,
+    coeff_f64: f64,
+    coeff_err: f64,
+    /// Sorted by slot; exponents ≥ 1.
+    powers: Vec<(u32, u32)>,
+}
+
+/// A sign-condition atom with slot-resolved polynomial.
+#[derive(Clone, Debug)]
+struct CompiledAtom {
+    rel: Rel,
+    terms: Vec<Term>,
+}
+
+impl CompiledAtom {
+    fn compile(poly: &MPoly, rel: Rel, slots: &SlotMap) -> Result<CompiledAtom, CompileError> {
+        let mut terms = Vec::with_capacity(poly.num_terms());
+        for (mono, coeff) in poly.terms() {
+            let mut powers = Vec::with_capacity(mono.len());
+            for &(v, e) in mono {
+                let slot = slots.slot(v).ok_or(CompileError::UnboundVar(v))? as u32;
+                powers.push((slot, e));
+            }
+            powers.sort_unstable();
+            let (coeff_f64, coeff_err) = rat_to_f64_err(coeff);
+            terms.push(Term { coeff: coeff.clone(), coeff_f64, coeff_err, powers });
+        }
+        Ok(CompiledAtom { rel, terms })
+    }
+
+    /// The polynomial's sign from the `f64` fast path, or `None` when the
+    /// accumulated error bound admits a sign change (or the computation
+    /// left the finite range).
+    fn sign_fast(&self, floats: &[f64], errs: &[f64]) -> Option<i32> {
+        let mut sum = 0.0f64;
+        let mut serr = 0.0f64;
+        for t in &self.terms {
+            let mut v = t.coeff_f64;
+            let mut e = t.coeff_err;
+            for &(slot, exp) in &t.powers {
+                let xf = floats[slot as usize];
+                let xe = errs[slot as usize];
+                for _ in 0..exp {
+                    (v, e) = mul_err(v, e, xf, xe);
+                }
+            }
+            (sum, serr) = add_err(sum, serr, v, e);
+        }
+        // NaN-safe: any comparison with NaN is false, so a poisoned bound
+        // falls through to the exact path.
+        if sum.abs() > serr {
+            Some(if sum > 0.0 { 1 } else { -1 })
+        } else if sum == 0.0 && serr == 0.0 {
+            Some(0)
+        } else {
+            None
+        }
+    }
+
+    /// The polynomial's sign by exact rational evaluation.
+    fn sign_exact(&self, exact: &dyn Fn(usize) -> Rat) -> i32 {
+        let mut acc = Rat::zero();
+        for t in &self.terms {
+            let mut term = t.coeff.clone();
+            for &(slot, exp) in &t.powers {
+                term = &term * &exact(slot as usize).pow(exp as i32);
+            }
+            acc += term;
+        }
+        acc.signum()
+    }
+
+    fn eval(&self, floats: &[f64], errs: &[f64], exact: &dyn Fn(usize) -> Rat) -> bool {
+        let sign = self
+            .sign_fast(floats, errs)
+            .unwrap_or_else(|| self.sign_exact(exact));
+        self.rel.sign_satisfies(sign)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// the flat boolean program
+// ---------------------------------------------------------------------------
+
+/// A node of the flattened boolean program. `And`/`Or` children are
+/// contiguous in the shared child-index arena.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    True,
+    False,
+    Atom(u32),
+    Not(u32),
+    And { start: u32, end: u32 },
+    Or { start: u32, end: u32 },
+}
+
+/// A quantifier-free, relation-free formula lowered to a flat,
+/// slot-indexed program with dual `f64`/exact evaluation.
+#[derive(Clone, Debug)]
+pub struct CompiledMatrix {
+    atoms: Vec<CompiledAtom>,
+    nodes: Vec<Op>,
+    children: Vec<u32>,
+    root: u32,
+    n_slots: usize,
+}
+
+impl CompiledMatrix {
+    /// Lowers `f` with variables resolved through `slots`.
+    ///
+    /// Rejects formulas that [`Formula::eval`] could not decide either —
+    /// quantifiers of any kind and schema relations — so an unevaluable
+    /// matrix surfaces here, at construction, instead of silently biasing
+    /// a downstream estimate.
+    pub fn compile(f: &Formula, slots: &SlotMap) -> Result<CompiledMatrix, CompileError> {
+        let mut m = CompiledMatrix {
+            atoms: Vec::new(),
+            nodes: Vec::new(),
+            children: Vec::new(),
+            root: 0,
+            n_slots: slots.len(),
+        };
+        m.root = m.lower(f, slots)?;
+        Ok(m)
+    }
+
+    /// Number of value slots an evaluation must supply.
+    pub fn slot_count(&self) -> usize {
+        self.n_slots
+    }
+
+    /// Number of distinct atoms in the arena.
+    pub fn atom_count(&self) -> usize {
+        self.atoms.len()
+    }
+
+    fn push(&mut self, op: Op) -> u32 {
+        self.nodes.push(op);
+        (self.nodes.len() - 1) as u32
+    }
+
+    fn lower(&mut self, f: &Formula, slots: &SlotMap) -> Result<u32, CompileError> {
+        match f {
+            Formula::True => Ok(self.push(Op::True)),
+            Formula::False => Ok(self.push(Op::False)),
+            Formula::Atom(a) => match a.as_const() {
+                Some(true) => Ok(self.push(Op::True)),
+                Some(false) => Ok(self.push(Op::False)),
+                None => {
+                    let atom = CompiledAtom::compile(&a.poly, a.rel, slots)?;
+                    self.atoms.push(atom);
+                    let idx = (self.atoms.len() - 1) as u32;
+                    Ok(self.push(Op::Atom(idx)))
+                }
+            },
+            Formula::Rel { name, .. } => Err(CompileError::Relation(name.clone())),
+            Formula::Not(g) => {
+                let c = self.lower(g, slots)?;
+                Ok(self.push(Op::Not(c)))
+            }
+            Formula::And(fs) | Formula::Or(fs) => {
+                let kids: Vec<u32> = fs
+                    .iter()
+                    .map(|g| self.lower(g, slots))
+                    .collect::<Result<_, _>>()?;
+                let start = self.children.len() as u32;
+                self.children.extend_from_slice(&kids);
+                let end = self.children.len() as u32;
+                Ok(self.push(match f {
+                    Formula::And(_) => Op::And { start, end },
+                    _ => Op::Or { start, end },
+                }))
+            }
+            Formula::Exists(..)
+            | Formula::Forall(..)
+            | Formula::ExistsAdom(..)
+            | Formula::ForallAdom(..) => Err(CompileError::Quantifier),
+        }
+    }
+
+    /// Evaluates at a point given per slot as an `f64` value plus an
+    /// absolute error bound (`errs[i] ≥ |true value − floats[i]|`); `exact`
+    /// supplies the true rational slot value on demand, for atoms whose
+    /// sign the float path cannot certify.
+    ///
+    /// With correct bounds the result equals the exact tree walk
+    /// bit-for-bit.
+    pub fn eval_f64(&self, floats: &[f64], errs: &[f64], exact: &dyn Fn(usize) -> Rat) -> bool {
+        debug_assert_eq!(floats.len(), self.n_slots);
+        debug_assert_eq!(errs.len(), self.n_slots);
+        self.eval_node(self.root, floats, errs, exact)
+    }
+
+    /// Evaluates at exact rational slot values (mirrors built internally).
+    pub fn eval_rats(&self, values: &[Rat]) -> bool {
+        assert_eq!(values.len(), self.n_slots, "slot value count mismatch");
+        let mut floats = Vec::with_capacity(values.len());
+        let mut errs = Vec::with_capacity(values.len());
+        for r in values {
+            let (v, e) = rat_to_f64_err(r);
+            floats.push(v);
+            errs.push(e);
+        }
+        self.eval_f64(&floats, &errs, &|i| values[i].clone())
+    }
+
+    fn eval_node(&self, node: u32, floats: &[f64], errs: &[f64], exact: &dyn Fn(usize) -> Rat) -> bool {
+        match self.nodes[node as usize] {
+            Op::True => true,
+            Op::False => false,
+            Op::Atom(i) => self.atoms[i as usize].eval(floats, errs, exact),
+            Op::Not(c) => !self.eval_node(c, floats, errs, exact),
+            Op::And { start, end } => self.children[start as usize..end as usize]
+                .iter()
+                .all(|&c| self.eval_node(c, floats, errs, exact)),
+            Op::Or { start, end } => self.children[start as usize..end as usize]
+                .iter()
+                .any(|&c| self.eval_node(c, floats, errs, exact)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_formula_with;
+    use crate::VarMap;
+    use cqa_arith::rat;
+
+    fn compile(src: &str, names: &[&str]) -> (CompiledMatrix, SlotMap, Formula) {
+        let mut vars = VarMap::new();
+        let vs: Vec<Var> = names.iter().map(|n| vars.intern(n)).collect();
+        let f = parse_formula_with(src, &mut vars).unwrap();
+        let slots = SlotMap::from_vars(&vs);
+        let m = CompiledMatrix::compile(&f, &slots).unwrap();
+        (m, slots, f)
+    }
+
+    #[test]
+    fn agrees_with_interpreter_on_grid() {
+        let (m, slots, f) = compile(
+            "(x + y <= 1 | x*x + y*y < 1) & !(x = y) | 2*x - 3*y >= 1",
+            &["x", "y"],
+        );
+        for xn in -6..=6 {
+            for yn in -6..=6 {
+                let vals = vec![rat(xn, 4), rat(yn, 4)];
+                let want = f.eval(&slots.assignment(&vals), &[]).unwrap();
+                assert_eq!(m.eval_rats(&vals), want, "at ({xn}/4, {yn}/4)");
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_points_use_exact_fallback() {
+        // x + y = 1 exactly on the boundary: the float bound cannot certify
+        // a nonzero sign, so the exact path must decide — correctly.
+        let (m, _, _) = compile("x + y <= 1", &["x", "y"]);
+        assert!(m.eval_rats(&[rat(1, 3), rat(2, 3)]));
+        let (strict, _, _) = compile("x + y < 1", &["x", "y"]);
+        assert!(!strict.eval_rats(&[rat(1, 3), rat(2, 3)]));
+        // Non-dyadic values force conversion error > 0 on every slot.
+        assert!(strict.eval_rats(&[rat(1, 3), rat(1, 3)]));
+    }
+
+    #[test]
+    fn constant_atoms_fold() {
+        let (m, _, _) = compile("1 < 2 & x >= 0", &["x"]);
+        assert_eq!(m.atom_count(), 1);
+        assert!(m.eval_rats(&[rat(0, 1)]));
+    }
+
+    #[test]
+    fn rejects_quantifiers_relations_and_unbound_vars() {
+        let mut vars = VarMap::new();
+        let x = vars.intern("x");
+        let slots = SlotMap::from_vars(&[x]);
+        let q = parse_formula_with("exists y. x < y", &mut vars).unwrap();
+        assert_eq!(CompiledMatrix::compile(&q, &slots).unwrap_err(), CompileError::Quantifier);
+        let r = parse_formula_with("T(x)", &mut vars).unwrap();
+        assert_eq!(
+            CompiledMatrix::compile(&r, &slots).unwrap_err(),
+            CompileError::Relation("T".into())
+        );
+        let y = vars.get("y").unwrap();
+        let u = parse_formula_with("x < y", &mut vars).unwrap();
+        assert_eq!(CompiledMatrix::compile(&u, &slots).unwrap_err(), CompileError::UnboundVar(y));
+    }
+
+    #[test]
+    fn slot_map_resolution() {
+        let (p, q, r) = (Var(3), Var(7), Var(1));
+        let slots = SlotMap::new(&[&[p, q], &[r]]);
+        assert_eq!(slots.len(), 3);
+        assert_eq!(slots.slot(q), Some(1));
+        assert_eq!(slots.slot(r), Some(2));
+        assert_eq!(slots.slot(Var(0)), None);
+        let vals = vec![rat(1, 1), rat(2, 1), rat(3, 1)];
+        let asg = slots.assignment(&vals);
+        assert_eq!(asg(r), rat(3, 1));
+        assert_eq!(asg(Var(9)), rat(0, 1));
+    }
+
+    #[test]
+    fn conversion_error_is_zero_for_dyadics() {
+        let (_, e) = rat_to_f64_err(&rat(3, 8));
+        assert_eq!(e, 0.0);
+        let (_, e) = rat_to_f64_err(&rat(1, 3));
+        assert!(e > 0.0 && e < 1e-15);
+    }
+
+    #[test]
+    fn huge_values_fall_back_exactly() {
+        // 10^200 · x − 1 > 0 at x = 10⁻²⁰⁰ + tiny: f64 overflows/loses the
+        // signal; the exact path must still decide correctly.
+        let ten200 = rat(10, 1).pow(200);
+        let x = Var(0);
+        let poly = MPoly::var(x).scale(&ten200) - MPoly::one();
+        let f = Formula::Atom(crate::Atom::new(poly, Rel::Gt));
+        let slots = SlotMap::from_vars(&[x]);
+        let m = CompiledMatrix::compile(&f, &slots).unwrap();
+        let eps = &ten200.recip() + &rat(10, 1).pow(-300);
+        assert!(m.eval_rats(&[eps]));
+        assert!(!m.eval_rats(&[ten200.recip()]));
+    }
+}

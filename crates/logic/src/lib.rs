@@ -14,17 +14,23 @@
 //!   Fourier–Motzkin elimination in `cqa-qe`).
 //! * A text [`parser`](parse_formula) and round-trippable pretty-printer, so
 //!   examples and tests can write formulas the way the paper does.
+//! * [`CompiledMatrix`] — a compiled evaluation kernel for quantifier-free
+//!   matrices: slot-resolved variables, arena atoms, and a guarded
+//!   `f64` fast path with exact rational fallback, bit-identical to
+//!   [`Formula::eval`] but without the per-point interpretive overhead.
 //!
 //! Variables are interned [`Var`](cqa_poly::Var) indices; [`VarMap`] keeps
 //! the human names.
 
 mod ast;
+mod compile;
 mod norm;
 mod parser;
 mod print;
 mod varmap;
 
 pub use ast::{Atom, ConstraintClass, Formula, Rel};
+pub use compile::{rat_to_f64_err, CompileError, CompiledMatrix, SlotMap};
 pub use norm::{dnf, from_dnf, nnf, prenex, PrenexBlock};
 pub use parser::{parse_formula, parse_formula_with, parse_term_with, ParseError};
 pub use print::display_formula;

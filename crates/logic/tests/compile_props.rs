@@ -1,0 +1,136 @@
+//! Property tests for the compiled evaluation kernel: on random
+//! quantifier-free formulas and random dyadic points,
+//! [`CompiledMatrix::eval_f64`] and [`CompiledMatrix::eval_rats`] must
+//! agree exactly with the tree-walking interpreter [`Formula::eval`] —
+//! including at sign-boundary points engineered to defeat the `f64` fast
+//! path and force the exact rational fallback.
+
+use cqa_arith::{rat, Rat};
+use cqa_logic::{rat_to_f64_err, Atom, CompiledMatrix, Formula, Rel, SlotMap};
+use cqa_poly::{MPoly, Var};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+const VARS: [Var; 3] = [Var(0), Var(1), Var(2)];
+
+fn rel_of(i: u8) -> Rel {
+    match i % 6 {
+        0 => Rel::Eq,
+        1 => Rel::Neq,
+        2 => Rel::Lt,
+        3 => Rel::Le,
+        4 => Rel::Gt,
+        _ => Rel::Ge,
+    }
+}
+
+/// A polynomial from `(coefficient, exponents-per-variable)` terms.
+fn poly_from(terms: &[(i64, [u8; 3])]) -> MPoly {
+    let mut p = MPoly::zero();
+    for (c, es) in terms {
+        let mut t = MPoly::constant(rat(*c, 1));
+        for (v, &e) in VARS.iter().zip(es) {
+            if e > 0 {
+                t = &t * &MPoly::var(*v).pow(e as u32);
+            }
+        }
+        p = &p + &t;
+    }
+    p
+}
+
+/// A random affine polynomial `c₀ + c₁x + c₂y + c₃z`.
+fn linear_poly() -> impl Strategy<Value = MPoly> {
+    (-255i64..=255, -255i64..=255, -255i64..=255, -255i64..=255).prop_map(|(c0, c1, c2, c3)| {
+        poly_from(&[(c0, [0, 0, 0]), (c1, [1, 0, 0]), (c2, [0, 1, 0]), (c3, [0, 0, 1])])
+    })
+}
+
+/// A random polynomial: up to 4 terms, per-variable degree ≤ 2.
+fn poly() -> impl Strategy<Value = MPoly> {
+    vec((-255i64..=255, (0u8..=2, 0u8..=2, 0u8..=2)), 1..=4)
+        .prop_map(|ts| poly_from(&ts.iter().map(|&(c, (a, b, d))| (c, [a, b, d])).collect::<Vec<_>>()))
+}
+
+/// A random quantifier-free, relation-free formula over `VARS`.
+fn formula(atom_poly: BoxedStrategy<MPoly>) -> BoxedStrategy<Formula> {
+    let atom = (atom_poly, 0u8..6)
+        .prop_map(|(p, r)| Formula::Atom(Atom::new(p, rel_of(r))))
+        .boxed();
+    let leaf = prop_oneof![atom, Just(Formula::True), Just(Formula::False)];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|f| Formula::Not(Box::new(f))),
+            vec(inner.clone(), 1..=3).prop_map(Formula::And),
+            vec(inner, 1..=3).prop_map(Formula::Or),
+        ]
+    })
+}
+
+/// A random dyadic point: each coordinate `m / 2ˢ`, `|m| ≤ 255`, `s ≤ 4`.
+/// Dyadics of this size convert to `f64` exactly, so the kernel's
+/// conversion error is zero and any disagreement is a kernel bug.
+fn dyadic_point() -> impl Strategy<Value = Vec<Rat>> {
+    vec((-255i64..=255, 0u32..=4), 3..=3)
+        .prop_map(|cs| cs.into_iter().map(|(m, s)| rat(m, 1i64 << s)).collect())
+}
+
+fn check_parity(f: &Formula, point: &[Rat]) -> Result<(), TestCaseError> {
+    let slots = SlotMap::from_vars(&VARS);
+    let kernel = CompiledMatrix::compile(f, &slots).expect("QF relation-free formula compiles");
+    let oracle = f.eval(&slots.assignment(point), &[]).expect("total assignment decides");
+
+    prop_assert_eq!(kernel.eval_rats(point), oracle, "eval_rats vs interpreter");
+
+    let mut floats = vec![0.0f64; 3];
+    let mut errs = vec![0.0f64; 3];
+    for (i, r) in point.iter().enumerate() {
+        (floats[i], errs[i]) = rat_to_f64_err(r);
+        prop_assert_eq!(errs[i], 0.0, "dyadic test points convert exactly");
+    }
+    let exact = |s: usize| point[s].clone();
+    prop_assert_eq!(kernel.eval_f64(&floats, &errs, &exact), oracle, "eval_f64 vs interpreter");
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn linear_formulas_agree_with_interpreter(
+        f in formula(linear_poly().boxed()),
+        point in dyadic_point(),
+    ) {
+        check_parity(&f, &point)?;
+    }
+
+    #[test]
+    fn polynomial_formulas_agree_with_interpreter(
+        f in formula(poly().boxed()),
+        point in dyadic_point(),
+    ) {
+        check_parity(&f, &point)?;
+    }
+
+    /// Sign-boundary stress: shift a random polynomial by its own value at
+    /// the test point, so `p − p(pt)` is exactly zero there. The `f64`
+    /// path cannot certify a zero sum with a nonzero error bound, so these
+    /// cases exercise the exact fallback; parity must still hold for every
+    /// relation.
+    #[test]
+    fn boundary_points_agree_via_exact_fallback(
+        p in poly(),
+        point in dyadic_point(),
+        r in 0u8..6,
+    ) {
+        let slots = SlotMap::from_vars(&VARS);
+        let value = p.eval(&slots.assignment(&point));
+        let shifted = &p - &MPoly::constant(value);
+        let f = Formula::Atom(Atom::new(shifted, rel_of(r)));
+        // The shifted polynomial is zero at `point`, so only the relations
+        // satisfied by sign 0 hold.
+        let expect = rel_of(r).sign_satisfies(0);
+        prop_assert_eq!(f.eval(&slots.assignment(&point), &[]), Some(expect));
+        check_parity(&f, &point)?;
+    }
+}

@@ -1,0 +1,577 @@
+//! Offline stand-in for the slice of `proptest` this workspace uses.
+//!
+//! Provided: the [`proptest!`] test macro, [`Strategy`] with `prop_map` /
+//! `prop_recursive` / `boxed`, range and tuple strategies, [`any`],
+//! [`collection::vec`], [`prop_oneof!`], [`Just`], `prop_assert*` /
+//! `prop_assume!`, [`ProptestConfig`], and [`TestCaseError`].
+//!
+//! Deliberately missing vs. crates-io proptest: input shrinking (a failure
+//! reports the raw generated inputs instead of a minimal counterexample),
+//! persistence of failing seeds (`*.proptest-regressions` files are
+//! ignored), and the full strategy combinator zoo. Test generation is
+//! deterministic: case `k` of every test draws from a fixed seed mixed with
+//! `k`, so failures reproduce across runs.
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+use std::sync::Arc;
+
+/// Runner configuration (`#![proptest_config(...)]`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 64 cases (crates-io proptest defaults to 256; kept smaller so the
+    /// exact-arithmetic suites stay fast in CI).
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed — the case is discarded, not counted as a run.
+    Reject,
+    /// A `prop_assert*` failed with this message.
+    Fail(String),
+}
+
+/// Alias used by helper functions in the repo's tests
+/// (`fn agree(..) -> Result<(), TestCaseError>`).
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+// ---------------------------------------------------------------------------
+// deterministic test RNG
+// ---------------------------------------------------------------------------
+
+/// The runner's random source: SplitMix64, seeded per test case.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// The generator for case number `case` (fixed global seed mixed in).
+    pub fn deterministic(case: u64) -> TestRng {
+        TestRng { state: 0xC0FF_EE00_D15E_A5E5 ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15) }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw below `span` (> 0).
+    pub fn below(&mut self, span: u128) -> u128 {
+        debug_assert!(span > 0);
+        let wide = (u128::from(self.next_u64()) << 64) | u128::from(self.next_u64());
+        wide % span
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy
+// ---------------------------------------------------------------------------
+
+/// A recipe for generating random values of one type.
+///
+/// Unlike crates-io proptest there is no value-tree/shrinking layer: a
+/// strategy is just a deterministic function of the runner RNG.
+pub trait Strategy: 'static {
+    /// The generated type.
+    type Value: fmt::Debug + 'static;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: fmt::Debug + 'static,
+        F: Fn(Self::Value) -> O + 'static,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Recursive structures: `self` is the leaf case, `branch` wraps a
+    /// strategy for smaller instances into one for larger instances, and
+    /// nesting is capped at `depth`. `_desired_size` and `_expected_branch`
+    /// are accepted for source compatibility and ignored.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        branch: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+        R: Strategy<Value = Self::Value>,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut level = leaf.clone();
+        for _ in 0..depth {
+            level = Union { arms: vec![leaf.clone(), branch(level).boxed()] }.boxed();
+        }
+        level
+    }
+
+    /// Type-erased, cheaply clonable form.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+}
+
+/// A type-erased [`Strategy`] (`Arc`-backed, so `Clone` is cheap).
+pub struct BoxedStrategy<T>(Arc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T: fmt::Debug + 'static> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// [`Strategy::prop_map`] adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: fmt::Debug + 'static,
+    F: Fn(S::Value) -> O + 'static,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice among same-typed strategies (`prop_oneof!`).
+pub struct Union<T> {
+    /// The equally-weighted alternatives.
+    pub arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A uniform union of the given alternatives (non-empty).
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T: fmt::Debug + 'static> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.arms.len() as u128) as usize;
+        self.arms[i].generate(rng)
+    }
+}
+
+/// The strategy generating exactly one value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: fmt::Debug + Clone + 'static> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// Integer ranges are strategies.
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+// Tuples of strategies generate tuples of values.
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+tuple_strategy!(A, B, C, D, E, F, G, H, I);
+tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+
+// ---------------------------------------------------------------------------
+// any / Arbitrary
+// ---------------------------------------------------------------------------
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary: fmt::Debug + Sized + 'static {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+/// The full-range strategy for `T` (`any::<i64>()` etc.).
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// Strategy returned by [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<fn() -> T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// collections
+// ---------------------------------------------------------------------------
+
+/// `prop::collection` — vector strategies.
+pub mod collection {
+    use super::{fmt, Range, Strategy, TestRng};
+
+    /// Element-count specification for [`vec`]: a fixed size or a range.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        /// Exclusive upper bound.
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange { lo: *r.start(), hi: *r.end() + 1 }
+        }
+    }
+
+    /// A strategy for `Vec`s whose length is drawn from `size` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: fmt::Debug,
+    {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u128;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// macros
+// ---------------------------------------------------------------------------
+
+/// Declares property tests: zero or more `#[test] fn name(x in strategy, ..)
+/// { body }` items, optionally preceded by
+/// `#![proptest_config(ProptestConfig::with_cases(n))]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ (<$crate::ProptestConfig as ::core::default::Default>::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let strategy = ($($strat,)+);
+                let mut passed: u32 = 0;
+                let mut rejected: u64 = 0;
+                let mut case: u64 = 0;
+                while passed < config.cases {
+                    assert!(
+                        rejected < u64::from(config.cases) * 32 + 1024,
+                        "proptest: too many rejected cases ({} rejects, {} passes)",
+                        rejected,
+                        passed
+                    );
+                    let mut rng = $crate::TestRng::deterministic(case);
+                    case += 1;
+                    let ($($arg,)+) = $crate::Strategy::generate(&strategy, &mut rng);
+                    let inputs = ::std::format!(
+                        ::core::concat!($(::core::stringify!($arg), " = {:?}; "),+),
+                        $(&$arg),+
+                    );
+                    let outcome = (move || -> ::core::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    match outcome {
+                        ::core::result::Result::Ok(()) => passed += 1,
+                        ::core::result::Result::Err($crate::TestCaseError::Reject) => rejected += 1,
+                        ::core::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                            ::core::panic!(
+                                "proptest case #{} failed: {}\n  inputs: {}",
+                                case - 1, msg, inputs
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Uniform choice among listed strategies (all generating the same type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(::std::vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Asserts inside a property test; failure reports the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!("assertion failed: {}", ::core::stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!(
+                    "assertion failed: {} ({})",
+                    ::core::stringify!($cond),
+                    ::std::format!($($fmt)+)
+                ),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::core::result::Result::Err($crate::TestCaseError::Fail(
+                        ::std::format!(
+                            "assertion failed: `{} == {}`\n  left: {:?}\n  right: {:?}",
+                            ::core::stringify!($left), ::core::stringify!($right), l, r
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::core::result::Result::Err($crate::TestCaseError::Fail(
+                        ::std::format!(
+                            "assertion failed: `{} == {}`\n  left: {:?}\n  right: {:?}\n  {}",
+                            ::core::stringify!($left), ::core::stringify!($right), l, r,
+                            ::std::format!($($fmt)+)
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Discards the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Everything tests normally import.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, TestCaseResult,
+    };
+    /// The crate itself, so `prop::collection::vec(..)` resolves.
+    pub use crate as prop;
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn small_vec() -> impl Strategy<Value = Vec<i64>> {
+        prop::collection::vec(-5i64..=5, 0..4)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(a in -5i64..=5, b in 0usize..4, c in 0u32..3) {
+            prop_assert!((-5..=5).contains(&a));
+            prop_assert!(b < 4);
+            prop_assert!(c < 3);
+        }
+
+        #[test]
+        fn vec_lengths(v in small_vec()) {
+            prop_assert!(v.len() < 4);
+            for x in &v {
+                prop_assert!((-5..=5).contains(x), "element {}", x);
+            }
+        }
+
+        #[test]
+        fn assume_rejects(n in 0i64..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+
+        #[test]
+        fn oneof_and_map(x in prop_oneof![(0i64..5).prop_map(|v| v * 2), 100i64..105]) {
+            prop_assert!(x % 2 == 0 || (100..105).contains(&x));
+        }
+    }
+
+    #[test]
+    fn recursive_strategy_terminates() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            Leaf(i64),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 0,
+                Tree::Node(cs) => 1 + cs.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = (0i64..10).prop_map(Tree::Leaf).prop_recursive(3, 8, 2, |inner| {
+            prop::collection::vec(inner, 1..3).prop_map(Tree::Node)
+        });
+        let mut rng = crate::TestRng::deterministic(0);
+        for case in 0..200 {
+            let t = strat.generate(&mut rng);
+            assert!(depth(&t) <= 3, "case {case}: depth {}", depth(&t));
+            rng = crate::TestRng::deterministic(case + 1);
+        }
+    }
+}

@@ -45,6 +45,10 @@ pub enum QeError {
     /// Active-domain quantifiers cannot be eliminated symbolically; they are
     /// evaluated against a finite instance instead.
     ActiveDomain,
+    /// An eliminated matrix still contained a construct that cannot be
+    /// evaluated (reported when compiling it for point evaluation, instead
+    /// of silently treating unevaluable points as misses).
+    Residual(String),
 }
 
 impl std::fmt::Display for QeError {
@@ -53,6 +57,9 @@ impl std::fmt::Display for QeError {
             QeError::NonLinear(what) => write!(f, "formula is not linear: {what}"),
             QeError::HasRelations => write!(f, "formula mentions schema relations"),
             QeError::ActiveDomain => write!(f, "active-domain quantifier in symbolic QE"),
+            QeError::Residual(what) => {
+                write!(f, "eliminated matrix is not evaluable: {what}")
+            }
         }
     }
 }

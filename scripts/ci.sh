@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 gate plus kernel checks. Offline by construction: rand, proptest
+# and criterion are vendored as path crates under crates/, so no registry
+# or network access is needed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "== build (release) =="
+cargo build --workspace --release --offline
+
+echo "== tier-1 tests =="
+cargo test -q --offline
+
+echo "== workspace tests =="
+cargo test -q --workspace --offline
+
+echo "== kernel/oracle parity =="
+cargo test -q --offline -p cqa-logic --test compile_props
+
+echo "== thread-count determinism =="
+cargo test -q --offline -p cqa-approx --test thread_determinism
+
+echo "CI OK"
