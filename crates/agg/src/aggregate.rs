@@ -47,6 +47,7 @@ pub fn aggregate(
         SafetyError::Infinite => AggError::Db("aggregate over an infinite set".into()),
         SafetyError::IrrationalPoint => AggError::IrrationalEndpoint,
         SafetyError::Qe(q) => AggError::Qe(q),
+        e @ SafetyError::UnboundVariable(_) => AggError::Db(e.to_string()),
     })?;
     let slots = SlotMap::from_vars(free);
     let values: Vec<Rat> = tuples
@@ -82,11 +83,8 @@ mod tests {
 
     fn setup() -> (Database, Vec<Var>) {
         let mut db = Database::new();
-        db.add_finite_relation(
-            "U",
-            vec![vec![rat(1, 1)], vec![rat(2, 1)], vec![rat(7, 2)]],
-        )
-        .unwrap();
+        db.add_finite_relation("U", vec![vec![rat(1, 1)], vec![rat(2, 1)], vec![rat(7, 2)]])
+            .unwrap();
         let x = db.vars_mut().intern("x");
         (db, vec![x])
     }
@@ -97,11 +95,26 @@ mod tests {
         let q = parse_formula_with("U(x)", db.vars_mut()).unwrap();
         let x = free[0];
         let idty = MPoly::var(x);
-        assert_eq!(aggregate(&db, &q, &free, &idty, Aggregate::Count).unwrap(), rat(3, 1));
-        assert_eq!(aggregate(&db, &q, &free, &idty, Aggregate::Sum).unwrap(), rat(13, 2));
-        assert_eq!(aggregate(&db, &q, &free, &idty, Aggregate::Avg).unwrap(), rat(13, 6));
-        assert_eq!(aggregate(&db, &q, &free, &idty, Aggregate::Min).unwrap(), rat(1, 1));
-        assert_eq!(aggregate(&db, &q, &free, &idty, Aggregate::Max).unwrap(), rat(7, 2));
+        assert_eq!(
+            aggregate(&db, &q, &free, &idty, Aggregate::Count).unwrap(),
+            rat(3, 1)
+        );
+        assert_eq!(
+            aggregate(&db, &q, &free, &idty, Aggregate::Sum).unwrap(),
+            rat(13, 2)
+        );
+        assert_eq!(
+            aggregate(&db, &q, &free, &idty, Aggregate::Avg).unwrap(),
+            rat(13, 6)
+        );
+        assert_eq!(
+            aggregate(&db, &q, &free, &idty, Aggregate::Min).unwrap(),
+            rat(1, 1)
+        );
+        assert_eq!(
+            aggregate(&db, &q, &free, &idty, Aggregate::Max).unwrap(),
+            rat(7, 2)
+        );
     }
 
     #[test]
@@ -111,7 +124,10 @@ mod tests {
         let x = free[0];
         // Σ x² over {2, 7/2} = 4 + 49/4 = 65/4.
         let sq = MPoly::var(x).pow(2);
-        assert_eq!(aggregate(&db, &q, &free, &sq, Aggregate::Sum).unwrap(), rat(65, 4));
+        assert_eq!(
+            aggregate(&db, &q, &free, &sq, Aggregate::Sum).unwrap(),
+            rat(65, 4)
+        );
     }
 
     #[test]
@@ -130,8 +146,14 @@ mod tests {
         let q = parse_formula_with("U(x) & x > 100", db.vars_mut()).unwrap();
         let x = free[0];
         let idty = MPoly::var(x);
-        assert_eq!(aggregate(&db, &q, &free, &idty, Aggregate::Count).unwrap(), rat(0, 1));
-        assert_eq!(aggregate(&db, &q, &free, &idty, Aggregate::Sum).unwrap(), rat(0, 1));
+        assert_eq!(
+            aggregate(&db, &q, &free, &idty, Aggregate::Count).unwrap(),
+            rat(0, 1)
+        );
+        assert_eq!(
+            aggregate(&db, &q, &free, &idty, Aggregate::Sum).unwrap(),
+            rat(0, 1)
+        );
         assert!(aggregate(&db, &q, &free, &idty, Aggregate::Avg).is_err());
         assert!(aggregate(&db, &q, &free, &idty, Aggregate::Min).is_err());
     }
@@ -141,10 +163,7 @@ mod tests {
         let mut db = Database::new();
         db.add_finite_relation(
             "P",
-            vec![
-                vec![rat(0, 1), rat(1, 1)],
-                vec![rat(2, 1), rat(3, 1)],
-            ],
+            vec![vec![rat(0, 1), rat(1, 1)], vec![rat(2, 1), rat(3, 1)]],
         )
         .unwrap();
         let x = db.vars_mut().intern("x");

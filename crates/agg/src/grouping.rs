@@ -39,6 +39,7 @@ pub fn group_aggregate(
         SafetyError::Infinite => AggError::Db("grouping over an infinite set".into()),
         SafetyError::IrrationalPoint => AggError::IrrationalEndpoint,
         SafetyError::Qe(q) => AggError::Qe(q),
+        e @ SafetyError::UnboundVariable(_) => AggError::Db(e.to_string()),
     })?;
 
     // Partition by key.
@@ -106,8 +107,7 @@ mod tests {
         let r = db.vars_mut().intern("r");
         let a = db.vars_mut().intern("a");
         let q = parse_formula_with("Sales(r, a)", db.vars_mut()).unwrap();
-        let out =
-            group_aggregate(&db, &q, &[r, a], &[r], &MPoly::var(a), Aggregate::Sum).unwrap();
+        let out = group_aggregate(&db, &q, &[r, a], &[r], &MPoly::var(a), Aggregate::Sum).unwrap();
         assert_eq!(
             out,
             vec![
@@ -128,8 +128,7 @@ mod tests {
             group_aggregate(&db, &q, &[r, a], &[r], &MPoly::var(a), Aggregate::Count).unwrap();
         assert_eq!(counts[0].1, rat(2, 1));
         assert_eq!(counts[1].1, rat(3, 1));
-        let avgs =
-            group_aggregate(&db, &q, &[r, a], &[r], &MPoly::var(a), Aggregate::Avg).unwrap();
+        let avgs = group_aggregate(&db, &q, &[r, a], &[r], &MPoly::var(a), Aggregate::Avg).unwrap();
         assert_eq!(avgs[0].1, rat(15, 1));
         assert_eq!(avgs[1].1, rat(7, 1));
     }
@@ -140,8 +139,7 @@ mod tests {
         let r = db.vars_mut().intern("r");
         let a = db.vars_mut().intern("a");
         let q = parse_formula_with("Sales(r, a) & a >= 9", db.vars_mut()).unwrap();
-        let out =
-            group_aggregate(&db, &q, &[r, a], &[r], &MPoly::var(a), Aggregate::Max).unwrap();
+        let out = group_aggregate(&db, &q, &[r, a], &[r], &MPoly::var(a), Aggregate::Max).unwrap();
         assert_eq!(
             out,
             vec![
@@ -159,8 +157,7 @@ mod tests {
         let a = db.vars_mut().intern("a");
         let q = parse_formula_with("Sales(r, a)", db.vars_mut()).unwrap();
         let out =
-            group_aggregate(&db, &q, &[r, a], &[r, a], &MPoly::var(a), Aggregate::Count)
-                .unwrap();
+            group_aggregate(&db, &q, &[r, a], &[r, a], &MPoly::var(a), Aggregate::Count).unwrap();
         assert_eq!(out.len(), 6);
         assert!(out.iter().all(|(_, c)| *c == rat(1, 1)));
     }

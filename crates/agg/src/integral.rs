@@ -31,14 +31,11 @@ use cqa_poly::{MPoly, RealAlg, UPoly, Var};
 ///
 /// `f` must be quantifier-free linear with bounded solution set; `p` may be
 /// any polynomial in `x` and `y`.
-pub fn integral_over_2d(
-    f: &Formula,
-    x: Var,
-    y: Var,
-    p: &MPoly,
-) -> Result<Rat, AggError> {
+pub fn integral_over_2d(f: &Formula, x: Var, y: Var, p: &MPoly) -> Result<Rat, AggError> {
     if !f.is_relation_free() || !f.is_quantifier_free() {
-        return Err(AggError::Db("integral needs a quantifier-free formula".into()));
+        return Err(AggError::Db(
+            "integral needs a quantifier-free formula".into(),
+        ));
     }
     // Degree of h(x) on each piece: the antiderivative in y has degree
     // deg_y(p) + 1; substituting affine-in-x endpoints and adding the
@@ -86,13 +83,7 @@ pub fn average_over_2d(f: &Formula, x: Var, y: Var, p: &MPoly) -> Result<Rat, Ag
 }
 
 /// The inner integral `∫_{S_{x0}} p(x0, y) dy` (sections must be bounded).
-fn section_integral(
-    f: &Formula,
-    x: Var,
-    y: Var,
-    p: &MPoly,
-    x0: &Rat,
-) -> Result<Rat, AggError> {
+fn section_integral(f: &Formula, x: Var, y: Var, p: &MPoly, x0: &Rat) -> Result<Rat, AggError> {
     let sec = f.subst_rat(x, x0);
     let ivs = decompose_1d(&sec, y).ok_or(AggError::NotOneDimensional)?;
     let integrand: UPoly = p
@@ -115,9 +106,7 @@ fn section_integral(
 }
 
 fn rational_of(a: &RealAlg) -> Result<Rat, AggError> {
-    a.as_rational()
-        .cloned()
-        .ok_or(AggError::IrrationalEndpoint)
+    a.as_rational().cloned().ok_or(AggError::IrrationalEndpoint)
 }
 
 /// Breakpoint candidates of the sweep: support endpoints, vertical lines,
@@ -155,7 +144,9 @@ fn sweep_breakpoints(f: &Formula, x: Var, y: Var) -> Result<Vec<Rat>, AggError> 
         }
     });
     if bad {
-        return Err(AggError::Db("integral needs linear atoms over (x, y)".into()));
+        return Err(AggError::Db(
+            "integral needs linear atoms over (x, y)".into(),
+        ));
     }
     for (i, (a1, b1, c1)) in lines.iter().enumerate() {
         if b1.is_zero() {
@@ -223,7 +214,10 @@ mod tests {
     fn integral_of_x_over_unit_square() {
         // ∫∫_{[0,1]²} x = 1/2; of x·y = 1/4; of x² = 1/3.
         let (f, x, y, _) = setup("0 <= x & x <= 1 & 0 <= y & y <= 1");
-        assert_eq!(integral_over_2d(&f, x, y, &MPoly::var(x)).unwrap(), rat(1, 2));
+        assert_eq!(
+            integral_over_2d(&f, x, y, &MPoly::var(x)).unwrap(),
+            rat(1, 2)
+        );
         let xy = MPoly::var(x) * MPoly::var(y);
         assert_eq!(integral_over_2d(&f, x, y, &xy).unwrap(), rat(1, 4));
         assert_eq!(
@@ -236,8 +230,14 @@ mod tests {
     fn centroid_of_triangle() {
         // Centroid of {x,y ≥ 0, x+y ≤ 1} is (1/3, 1/3).
         let (f, x, y, _) = setup("x >= 0 & y >= 0 & x + y <= 1");
-        assert_eq!(average_over_2d(&f, x, y, &MPoly::var(x)).unwrap(), rat(1, 3));
-        assert_eq!(average_over_2d(&f, x, y, &MPoly::var(y)).unwrap(), rat(1, 3));
+        assert_eq!(
+            average_over_2d(&f, x, y, &MPoly::var(x)).unwrap(),
+            rat(1, 3)
+        );
+        assert_eq!(
+            average_over_2d(&f, x, y, &MPoly::var(y)).unwrap(),
+            rat(1, 3)
+        );
     }
 
     #[test]
@@ -256,14 +256,20 @@ mod tests {
         // ∫∫_{[0,2]²} x = 2·(2²/2) = 4; ∫∫_{[0,1]²} x = 1/2 → 7/2.
         let (f, x, y, _) =
             setup("0 <= x & x <= 2 & 0 <= y & y <= 2 & !(0 <= x & x <= 1 & 0 <= y & y <= 1)");
-        assert_eq!(integral_over_2d(&f, x, y, &MPoly::var(x)).unwrap(), rat(7, 2));
+        assert_eq!(
+            integral_over_2d(&f, x, y, &MPoly::var(x)).unwrap(),
+            rat(7, 2)
+        );
     }
 
     #[test]
     fn average_shifts_with_set() {
         // Average of x over [3,5]×[0,1] is 4.
         let (f, x, y, _) = setup("3 <= x & x <= 5 & 0 <= y & y <= 1");
-        assert_eq!(average_over_2d(&f, x, y, &MPoly::var(x)).unwrap(), rat(4, 1));
+        assert_eq!(
+            average_over_2d(&f, x, y, &MPoly::var(x)).unwrap(),
+            rat(4, 1)
+        );
     }
 
     #[test]

@@ -75,11 +75,7 @@ pub fn end_points(db: &Database, phi: &Formula, y: Var) -> Result<Vec<RealAlg>, 
 }
 
 /// Rational endpoints of `END[y, φ]`, erroring on irrational ones.
-pub fn end_points_rational(
-    db: &Database,
-    phi: &Formula,
-    y: Var,
-) -> Result<Vec<Rat>, AggError> {
+pub fn end_points_rational(db: &Database, phi: &Formula, y: Var) -> Result<Vec<Rat>, AggError> {
     end_points(db, phi, y)?
         .into_iter()
         .map(|a| match a {
@@ -191,10 +187,10 @@ pub fn is_deterministic(gamma: &Deterministic) -> Result<bool, AggError> {
     // Fresh variable for x'.
     let xp = f.fresh_var();
     let f2 = f.subst_poly(x, &cqa_poly::MPoly::var(xp));
-    let claim = f
-        .clone()
-        .and(f2)
-        .implies(Formula::eq(cqa_poly::MPoly::var(x), cqa_poly::MPoly::var(xp)));
+    let claim = f.clone().and(f2).implies(Formula::eq(
+        cqa_poly::MPoly::var(x),
+        cqa_poly::MPoly::var(xp),
+    ));
     Ok(cqa_qe::is_valid(&claim)?)
 }
 
@@ -212,9 +208,19 @@ impl SumTerm {
     ///
     /// Checks γ's determinism first (rejecting with
     /// [`AggError::NotDeterministic`]) — mirroring the language definition,
-    /// where only deterministic formulas may be summed.
+    /// where only deterministic formulas may be summed. Syntactically
+    /// certified γ (the paper's functional-graph shape `x = t(w⃗)`,
+    /// recognized by [`cqa_core::is_syntactically_deterministic`]) skips
+    /// the QE-based sentence check entirely; this also admits relational γ
+    /// with a pinning conjunct, which the semantic check conservatively
+    /// rejects.
     pub fn eval(&self, db: &Database) -> Result<Rat, AggError> {
-        if !is_deterministic(&self.gamma)? {
+        let certified = cqa_core::is_syntactically_deterministic(
+            &self.gamma.formula,
+            self.gamma.out_var,
+            &self.gamma.in_vars,
+        );
+        if !certified && !is_deterministic(&self.gamma)? {
             return Err(AggError::NotDeterministic);
         }
         let tuples = self.range.enumerate(db)?;
@@ -240,7 +246,8 @@ mod tests {
     fn sum_of_endpoints_example() {
         let mut db = Database::new();
         // S = [0, 1/2] ∪ [3/4, 2].
-        db.define("S", &["y"], "(0 <= y & y <= 0.5) | (0.75 <= y & y <= 2)").unwrap();
+        db.define("S", &["y"], "(0 <= y & y <= 0.5) | (0.75 <= y & y <= 2)")
+            .unwrap();
         let y = db.vars_mut().intern("y");
         let w = db.vars_mut().intern("w");
         let x = db.vars_mut().intern("xout");
@@ -278,7 +285,8 @@ mod tests {
     #[test]
     fn endpoints_through_projection() {
         let mut db = Database::new();
-        db.define("T", &["x", "y"], "x >= 0 & y >= 0 & x + y <= 1").unwrap();
+        db.define("T", &["x", "y"], "x >= 0 & y >= 0 & x + y <= 1")
+            .unwrap();
         let x = db.vars_mut().intern("x");
         // END[x, ∃y T(x,y)] = {0, 1}.
         let phi = parse_formula_with("exists y. T(x, y)", db.vars_mut()).unwrap();
@@ -343,6 +351,37 @@ mod tests {
             },
         };
         assert_eq!(term.eval(&db), Err(AggError::NotDeterministic));
+    }
+
+    #[test]
+    fn syntactic_certificate_admits_relational_gamma() {
+        // γ ≡ (xout = 2*w ∧ S(w)) mentions a relation, so the QE-based
+        // `is_deterministic` conservatively rejects it — but the pinning
+        // conjunct `xout = 2*w` certifies it syntactically, so the sum
+        // evaluates instead of erroring. This also witnesses that certified
+        // programs bypass the semantic check.
+        let mut db = Database::new();
+        db.define("S", &["y"], "y = 1 | y = 4").unwrap();
+        let y = db.vars_mut().intern("y");
+        let w = db.vars_mut().intern("w");
+        let x = db.vars_mut().intern("xout");
+        let gamma = Deterministic {
+            out_var: x,
+            in_vars: vec![w],
+            formula: parse_formula_with("xout = 2*w & S(w)", db.vars_mut()).unwrap(),
+        };
+        assert!(!is_deterministic(&gamma).unwrap());
+        let term = SumTerm {
+            range: RangeRestricted {
+                filter: Formula::True,
+                tuple_vars: vec![w],
+                end_var: y,
+                end_formula: parse_formula_with("S(y)", db.vars_mut()).unwrap(),
+            },
+            gamma,
+        };
+        // Endpoints {1, 4}; both satisfy S; γ doubles them: 2 + 8 = 10.
+        assert_eq!(term.eval(&db).unwrap(), rat(10, 1));
     }
 
     #[test]

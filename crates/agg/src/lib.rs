@@ -23,6 +23,8 @@
 //! the sweep/integration construction from the paper's own proof
 //! ([`volume`]).
 
+#![forbid(unsafe_code)]
+
 mod aggregate;
 mod grouping;
 mod integral;
@@ -33,8 +35,6 @@ mod volume;
 pub use aggregate::{aggregate, Aggregate};
 pub use grouping::group_aggregate;
 pub use integral::{average_over_2d, integral_over_2d};
-pub use lang::{
-    end_points, is_deterministic, AggError, Deterministic, RangeRestricted, SumTerm,
-};
+pub use lang::{end_points, is_deterministic, AggError, Deterministic, RangeRestricted, SumTerm};
 pub use polygon::{polygon_area_sum_term, polygon_area_via_language};
 pub use volume::{semilinear_volume, semilinear_volume_formula, volume_by_sweep_2d};

@@ -19,9 +19,9 @@
 use crate::lang::{AggError, Deterministic};
 use cqa_arith::Rat;
 use cqa_core::Database;
-use cqa_geom::{convex_hull, triangulate_fan, Point2};
 #[cfg(test)]
 use cqa_geom::polygon_area;
+use cqa_geom::{convex_hull, triangulate_fan, Point2};
 use cqa_logic::parse_formula_with;
 
 /// Area of the convex hull of the given points, computed by the fan
@@ -35,8 +35,8 @@ pub fn polygon_area_sum_term(points: &[Point2]) -> Rat {
     let mut total = Rat::zero();
     for [a, b, c] in &tris {
         // (a1·b2 − a2·b1 + a2·c1 − a1·c2 + b1·c2 − b2·c1)/2, absolute.
-        let twice = &a.0 * &b.1 - &a.1 * &b.0 + &a.1 * &c.0 - &a.0 * &c.1 + &b.0 * &c.1
-            - &b.1 * &c.0;
+        let twice =
+            &a.0 * &b.1 - &a.1 * &b.0 + &a.1 * &c.0 - &a.0 * &c.1 + &b.0 * &c.1 - &b.1 * &c.0;
         total += twice.abs() / Rat::from(2i64);
     }
     total
@@ -78,9 +78,7 @@ pub fn polygon_area_via_language(points: &[Point2]) -> Result<Rat, AggError> {
             c.0.clone(),
             c.1.clone(),
         ];
-        let area = gamma
-            .apply(&db, &args)?
-            .expect("γ is total on triangles");
+        let area = gamma.apply(&db, &args)?.expect("γ is total on triangles");
         total += area.abs();
     }
     Ok(total)

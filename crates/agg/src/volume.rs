@@ -39,7 +39,9 @@ pub fn semilinear_volume_formula(db: &Database, relation: &str) -> Result<Formul
     // R(v0, …, v_{arity-1}) with canonical argument variables well above
     // anything interned in the database's map.
     let base = db.vars().len() as u32;
-    let args: Vec<Var> = (0..arity as u32).map(|i| Var(base + i + 1_000_000)).collect();
+    let args: Vec<Var> = (0..arity as u32)
+        .map(|i| Var(base + i + 1_000_000))
+        .collect();
     let q = Formula::Rel {
         name: relation.to_string(),
         args: args.iter().map(|&v| cqa_poly::MPoly::var(v)).collect(),
@@ -55,7 +57,9 @@ pub fn semilinear_volume(db: &Database, relation: &str) -> Result<Rat, AggError>
         .ok_or_else(|| AggError::Db(format!("unknown relation {relation}")))?;
     let arity = rel.arity();
     let base = db.vars().len() as u32;
-    let args: Vec<Var> = (0..arity as u32).map(|i| Var(base + i + 1_000_000)).collect();
+    let args: Vec<Var> = (0..arity as u32)
+        .map(|i| Var(base + i + 1_000_000))
+        .collect();
     let q = Formula::Rel {
         name: relation.to_string(),
         args: args.iter().map(|&v| cqa_poly::MPoly::var(v)).collect(),
@@ -188,7 +192,8 @@ mod tests {
     #[test]
     fn triangle_volume_via_database() {
         let mut db = Database::new();
-        db.define("T", &["x", "y"], "x >= 0 & y >= 0 & x + y <= 1").unwrap();
+        db.define("T", &["x", "y"], "x >= 0 & y >= 0 & x + y <= 1")
+            .unwrap();
         assert_eq!(semilinear_volume(&db, "T").unwrap(), rat(1, 2));
     }
 
@@ -207,8 +212,12 @@ mod tests {
     #[test]
     fn volume_of_projection_defined_relation() {
         let mut db = Database::new();
-        db.define("T", &["x", "y", "z"], "x >= 0 & y >= 0 & z >= 0 & x + y + z <= 1")
-            .unwrap();
+        db.define(
+            "T",
+            &["x", "y", "z"],
+            "x >= 0 & y >= 0 & z >= 0 & x + y + z <= 1",
+        )
+        .unwrap();
         assert_eq!(semilinear_volume(&db, "T").unwrap(), rat(1, 6));
     }
 

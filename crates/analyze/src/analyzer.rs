@@ -1,0 +1,316 @@
+//! The multi-pass driver: parse → scope → fragment/schema → Σ-discipline →
+//! cost, producing one [`Analysis`] per source file.
+
+use crate::cost::{self, CostParams, CostReport};
+use crate::diag::{self, Diagnostic, Severity};
+use crate::fragment::{self, FragmentReport, Schema};
+use crate::program::{parse_program, Program, Statement};
+use crate::scope;
+use crate::sigma::{self, GammaStatus};
+use cqa_logic::{Formula, VarMap};
+use cqa_poly::Var;
+
+/// Analyzer configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AnalyzerConfig {
+    /// Cost-model parameters (ε, δ, assumed database size, KM budget).
+    pub cost: CostParams,
+    /// Whether to run the CQA008 blow-up lint at all.
+    pub check_blowup: bool,
+}
+
+impl Default for AnalyzerConfig {
+    fn default() -> AnalyzerConfig {
+        AnalyzerConfig {
+            cost: CostParams::default(),
+            check_blowup: true,
+        }
+    }
+}
+
+/// Per-statement findings beyond the diagnostics: what the statement is and
+/// what it costs.
+#[derive(Clone, Debug)]
+pub struct StatementReport {
+    /// Statement name.
+    pub name: String,
+    /// `"rel"`, `"query"` or `"sum"`.
+    pub kind: &'static str,
+    /// Fragment classification and measurements.
+    pub fragment: FragmentReport,
+    /// Cost estimate (queries and sums; relations are data, not queries).
+    pub cost: Option<CostReport>,
+    /// For sums: whether γ was syntactically certified.
+    pub gamma: Option<GammaStatus>,
+}
+
+/// The result of analyzing one source file (or one formula).
+#[derive(Clone, Debug, Default)]
+pub struct Analysis {
+    /// All findings, sorted by position.
+    pub diagnostics: Vec<Diagnostic>,
+    /// One report per successfully parsed statement.
+    pub reports: Vec<StatementReport>,
+}
+
+impl Analysis {
+    /// Number of error-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity() == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity() == Severity::Warning)
+            .count()
+    }
+
+    /// `true` iff any finding is an error.
+    pub fn has_errors(&self) -> bool {
+        self.error_count() > 0
+    }
+
+    /// Renders every diagnostic against the source.
+    pub fn render(&self, src: &str, filename: &str) -> String {
+        diag::render_all(&self.diagnostics, src, filename)
+    }
+
+    fn finish(mut self) -> Analysis {
+        self.diagnostics.sort_by_key(|d| (d.span.start, d.code));
+        self.diagnostics.dedup();
+        self
+    }
+}
+
+/// Analyzes a `.cqa` source file end to end.
+pub fn analyze_source(src: &str, cfg: &AnalyzerConfig) -> (Program, Analysis) {
+    let (program, mut diags) = parse_program(src);
+    let schema = program.schema();
+    let mut analysis = Analysis {
+        diagnostics: Vec::new(),
+        reports: Vec::new(),
+    };
+    analysis.diagnostics.append(&mut diags);
+
+    for stmt in &program.statements {
+        match stmt {
+            Statement::Rel(r) => {
+                let params: Vec<Var> = r.params.iter().map(|b| b.var).collect();
+                scope::check_scopes(&r.body, &params, &program.vars, &mut analysis.diagnostics);
+                let body = r.body.to_formula();
+                if !body.is_quantifier_free() || !body.is_relation_free() {
+                    analysis.diagnostics.push(
+                        Diagnostic::new(
+                            crate::diag::Code::BadRelationDef,
+                            r.name_span,
+                            format!(
+                                "relation `{}` must be defined by a quantifier-free, \
+                                 relation-free constraint formula",
+                                r.name
+                            ),
+                        )
+                        .with_note(
+                            "finitely representable instances interpret schema symbols \
+                             by quantifier-free formulas (paper §2)",
+                        ),
+                    );
+                }
+                analysis.reports.push(StatementReport {
+                    name: r.name.clone(),
+                    kind: "rel",
+                    fragment: fragment::classify(&body),
+                    cost: None,
+                    gamma: None,
+                });
+            }
+            Statement::Query(q) => {
+                let params: Vec<Var> = q.params.iter().map(|b| b.var).collect();
+                scope::check_scopes(&q.body, &params, &program.vars, &mut analysis.diagnostics);
+                fragment::check_relations(&q.body, &schema, &mut analysis.diagnostics);
+                fragment::check_active_domain(&q.body, &schema, &mut analysis.diagnostics);
+                let body = q.body.to_formula();
+                let report = fragment::classify(&body);
+                let cost = cost::estimate(&report, params.len(), &schema, &cfg.cost);
+                if cfg.check_blowup {
+                    cost::check_blowup(&cost, q.name_span, &mut analysis.diagnostics);
+                }
+                analysis.reports.push(StatementReport {
+                    name: q.name.clone(),
+                    kind: "query",
+                    fragment: report,
+                    cost: Some(cost),
+                    gamma: None,
+                });
+            }
+            Statement::Sum(s) => {
+                let status = sigma::check_sum(s, &program.vars, &mut analysis.diagnostics);
+                for part in [&s.filter, &s.end_formula, &s.gamma] {
+                    fragment::check_relations(part, &schema, &mut analysis.diagnostics);
+                    fragment::check_active_domain(part, &schema, &mut analysis.diagnostics);
+                }
+                // Measure the whole term: filter ∧ END body ∧ γ.
+                let combined = s
+                    .filter
+                    .to_formula()
+                    .and(s.end_formula.to_formula())
+                    .and(s.gamma.to_formula());
+                let report = fragment::classify(&combined);
+                let cost = cost::estimate(&report, s.tuple_vars.len(), &schema, &cfg.cost);
+                if cfg.check_blowup {
+                    cost::check_blowup(&cost, s.name_span, &mut analysis.diagnostics);
+                }
+                analysis.reports.push(StatementReport {
+                    name: s.name.clone(),
+                    kind: "sum",
+                    fragment: report,
+                    cost: Some(cost),
+                    gamma: Some(status),
+                });
+            }
+        }
+    }
+    (program, analysis.finish())
+}
+
+/// Analyzes one programmatically built formula (no spans): scope via free
+/// variables, schema conformance, classification, and cost. This is the
+/// entry point the bench workloads and library callers use to lint
+/// queries built in code rather than parsed from `.cqa` text.
+pub fn analyze_formula(
+    f: &Formula,
+    params: &[Var],
+    schema: &Schema,
+    vars: &VarMap,
+    cfg: &AnalyzerConfig,
+) -> Analysis {
+    let mut analysis = Analysis {
+        diagnostics: Vec::new(),
+        reports: Vec::new(),
+    };
+    for v in f.free_vars() {
+        if !params.contains(&v) {
+            analysis.diagnostics.push(
+                Diagnostic::new(
+                    crate::diag::Code::UnboundVariable,
+                    cqa_logic::Span::default(),
+                    format!("unbound variable `{}`", vars.name(v)),
+                )
+                .with_note("declare it as a parameter or bind it with a quantifier"),
+            );
+        }
+    }
+    fragment::check_relations_plain(f, schema, &mut analysis.diagnostics);
+    let report = fragment::classify(f);
+    let cost = cost::estimate(&report, params.len(), schema, &cfg.cost);
+    if cfg.check_blowup {
+        cost::check_blowup(&cost, cqa_logic::Span::default(), &mut analysis.diagnostics);
+    }
+    analysis.reports.push(StatementReport {
+        name: "<formula>".to_string(),
+        kind: "query",
+        fragment: report,
+        cost: Some(cost),
+        gamma: None,
+    });
+    analysis.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Code;
+    use cqa_logic::parse_formula_with;
+
+    #[test]
+    fn clean_program_has_no_findings() {
+        let src = "\
+rel S(y) := (0 <= y & y <= 1) | y = 4
+query Q(x) := exists y. S(y) & x = y + 1
+sum T(w) := w > 0 | END[y. S(y)] ; x . x = 2*w
+";
+        let cfg = AnalyzerConfig {
+            cost: CostParams {
+                db_size: 4,
+                budget: cqa_approx::km::KmBudget {
+                    max_atoms: 1e30,
+                    max_quantifiers: 1e30,
+                },
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let (_, a) = analyze_source(src, &cfg);
+        assert!(a.diagnostics.is_empty(), "{}", a.render(src, "t.cqa"));
+        assert_eq!(a.reports.len(), 3);
+        assert_eq!(a.reports[2].gamma, Some(GammaStatus::Certified));
+    }
+
+    #[test]
+    fn each_pass_reports_through_the_driver() {
+        let src = "\
+rel S(y) := exists z. z = y
+query Q(x) := x = z & Missing(x) & S(x, x)
+sum T(w) := w > u | END[y. 0 <= y & y <= 1] ; x . x*x = w
+";
+        let (_, a) = analyze_source(src, &AnalyzerConfig::default());
+        let codes: Vec<Code> = a.diagnostics.iter().map(|d| d.code).collect();
+        assert!(codes.contains(&Code::BadRelationDef), "{codes:?}");
+        assert!(codes.contains(&Code::UnboundVariable), "{codes:?}");
+        assert!(codes.contains(&Code::UnknownRelation), "{codes:?}");
+        assert!(codes.contains(&Code::ArityMismatch), "{codes:?}");
+        assert!(codes.contains(&Code::SigmaRangeUnbound), "{codes:?}");
+        assert!(codes.contains(&Code::GammaNotCertified), "{codes:?}");
+        assert!(a.has_errors());
+    }
+
+    #[test]
+    fn blowup_lint_fires_on_the_paper_example() {
+        let src = "\
+rel U(u) := u = 0 | u = 1
+query Phi(x1, x2) := U(x1) & U(x2) & exists y1 y2. x1 < y1 & y1 < x2 & 0 <= y2 & y2 <= y1
+";
+        let cfg = AnalyzerConfig {
+            cost: CostParams {
+                eps: 0.1,
+                db_size: 16,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let (_, a) = analyze_source(src, &cfg);
+        let blow = a
+            .diagnostics
+            .iter()
+            .find(|d| d.code == Code::KmBlowup)
+            .expect("expected CQA008");
+        assert!(blow.message.contains("blow up"));
+        let cost = a.reports[1].cost.unwrap();
+        assert!(cost.km.atoms >= 1e9);
+        assert!(cost.km.quantifiers >= 1e11);
+    }
+
+    #[test]
+    fn formula_entry_point_lints_plain_asts() {
+        let mut vars = cqa_logic::VarMap::new();
+        let x = vars.intern("x");
+        let f = parse_formula_with("x = z + 1 & R(x)", &mut vars).unwrap();
+        let a = analyze_formula(
+            &f,
+            &[x],
+            &Schema::new(),
+            &vars,
+            &AnalyzerConfig {
+                check_blowup: false,
+                ..Default::default()
+            },
+        );
+        let codes: Vec<Code> = a.diagnostics.iter().map(|d| d.code).collect();
+        assert!(codes.contains(&Code::UnboundVariable));
+        assert!(codes.contains(&Code::UnknownRelation));
+    }
+}

@@ -1,0 +1,201 @@
+//! Pass 4 — static cost and VC-dimension estimation.
+//!
+//! Implements Proposition 6's Goldberg–Jerrum constant
+//! `C = 16k(p+q)(log₂(8edps) + 1)` and the Lemma-1 Karpinski–Macintyre
+//! blow-up model over the measurements of [`crate::fragment::classify`],
+//! *before* any formula is materialized. When the predicted approximation
+//! formula exceeds the configured [`KmBudget`], the analyzer emits CQA008 —
+//! turning the paper's Section-3 anecdote (`≥ 10⁹` atoms, `≥ 10¹¹`
+//! quantifiers at ε = 1/10) into a lint.
+
+use crate::diag::{Code, Diagnostic};
+use crate::fragment::{FragmentReport, Schema};
+use cqa_approx::km::{gate, km_cost, KmBlowup, KmBudget, KmCost};
+use cqa_approx::vc::{goldberg_jerrum_c, prop6_bound};
+use cqa_logic::Span;
+
+/// Parameters of the static cost model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostParams {
+    /// Approximation accuracy ε for the KM construction.
+    pub eps: f64,
+    /// Confidence parameter δ.
+    pub delta: f64,
+    /// Assumed database (active-domain) size `n`; each relation-atom
+    /// occurrence contributes `n` atoms after substitution, mirroring the
+    /// paper's worked example.
+    pub db_size: usize,
+    /// Budget the predicted formula is gated against (CQA008).
+    pub budget: KmBudget,
+}
+
+impl Default for CostParams {
+    fn default() -> CostParams {
+        CostParams {
+            eps: 0.1,
+            delta: 0.25,
+            db_size: 1000,
+            budget: KmBudget::default(),
+        }
+    }
+}
+
+/// The static cost estimate for one query.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostReport {
+    /// Goldberg–Jerrum constant `C` (Proposition 6).
+    pub gj_constant: f64,
+    /// Proposition-6 VC-dimension bound `C·log₂ n`.
+    pub vc_bound: f64,
+    /// Estimated substituted-matrix atom count `s₀`.
+    pub s0: usize,
+    /// Predicted Lemma-1 approximation-formula size.
+    pub km: KmCost,
+    /// `Some` when the prediction exceeds the budget.
+    pub blowup: Option<KmBlowup>,
+}
+
+/// Estimates the cost of a query measured by `report`, with `free_count`
+/// free (point) variables, against `schema`.
+pub fn estimate(
+    report: &FragmentReport,
+    free_count: usize,
+    schema: &Schema,
+    params: &CostParams,
+) -> CostReport {
+    // After substituting each relation atom by its instance-sized
+    // definition (n disjuncts for a finite relation of size n — the
+    // paper's example), the matrix has the plain atoms plus n per
+    // relation-atom occurrence.
+    let s0 = (report.atoms + report.rel_atoms * params.db_size).max(1);
+    let k = free_count.max(1) as u32;
+    let p = report
+        .relations
+        .iter()
+        .filter_map(|r| schema.get(r).copied())
+        .max()
+        .unwrap_or(1)
+        .max(1) as u32;
+    let q = report.quantifiers.min(u32::MAX as usize) as u32;
+    let deg = report.max_degree.max(1);
+    let gj = goldberg_jerrum_c(k, p, q, deg, s0.min(u32::MAX as usize) as u32);
+    let vc_bound = prop6_bound(gj, params.db_size);
+    let km = km_cost(
+        params.eps,
+        params.delta,
+        free_count.max(1),
+        s0,
+        params.db_size,
+        k,
+        p,
+        q,
+        deg,
+    );
+    CostReport {
+        gj_constant: gj,
+        vc_bound,
+        s0,
+        km,
+        blowup: gate(km, params.budget).err(),
+    }
+}
+
+/// Emits CQA008 at `span` when the estimate predicts a blow-up past the
+/// budget.
+pub fn check_blowup(cost: &CostReport, span: Span, diags: &mut Vec<Diagnostic>) {
+    if let Some(b) = &cost.blowup {
+        diags.push(
+            Diagnostic::new(
+                Code::KmBlowup,
+                span,
+                format!("approximate evaluation of this query would blow up: {b}"),
+            )
+            .with_note(
+                "the Karpinski–Macintyre VOL construction (paper §3, Lemma 1) is \
+                 hopeless as QE input at this size; use Monte Carlo approximation \
+                 (Theorem 4) instead",
+            ),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fragment::classify;
+    use cqa_logic::{parse_formula_with, VarMap};
+
+    fn report(src: &str) -> FragmentReport {
+        classify(&parse_formula_with(src, &mut VarMap::new()).unwrap())
+    }
+
+    #[test]
+    fn paper_example_is_predicted_to_blow_up() {
+        // The §3 worked example: U(x₁) ∧ U(x₂) ∧ x₁<y₁ ∧ y₁<x₂ ∧ 0≤y₂ ∧ y₂≤y₁.
+        let r = report("U(x1) & U(x2) & x1 < y1 & y1 < x2 & 0 <= y2 & y2 <= y1");
+        let schema: Schema = [("U".to_string(), 1)].into();
+        let params = CostParams {
+            eps: 0.1,
+            db_size: 16,
+            ..CostParams::default()
+        };
+        let cost = estimate(&r, 2, &schema, &params);
+        assert!(cost.km.atoms >= 1e9, "atoms = {:.3e}", cost.km.atoms);
+        assert!(
+            cost.km.quantifiers >= 1e11,
+            "quantifiers = {:.3e}",
+            cost.km.quantifiers
+        );
+        assert!(cost.blowup.is_some());
+        let mut d = Vec::new();
+        check_blowup(&cost, Span::new(0, 5), &mut d);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, Code::KmBlowup);
+    }
+
+    #[test]
+    fn tiny_queries_fit_generous_budgets() {
+        let r = report("x > 0");
+        let params = CostParams {
+            eps: 0.5,
+            db_size: 2,
+            budget: KmBudget {
+                max_atoms: 1e12,
+                max_quantifiers: 1e14,
+            },
+            ..CostParams::default()
+        };
+        let cost = estimate(&r, 1, &Schema::new(), &params);
+        assert!(cost.blowup.is_none(), "km = {:?}", cost.km);
+        let mut d = Vec::new();
+        check_blowup(&cost, Span::default(), &mut d);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn estimate_is_monotone_in_database_size() {
+        let r = report("U(x) & x > 0");
+        let schema: Schema = [("U".to_string(), 1)].into();
+        let small = estimate(
+            &r,
+            1,
+            &schema,
+            &CostParams {
+                db_size: 8,
+                ..Default::default()
+            },
+        );
+        let large = estimate(
+            &r,
+            1,
+            &schema,
+            &CostParams {
+                db_size: 64,
+                ..Default::default()
+            },
+        );
+        assert!(large.s0 > small.s0);
+        assert!(large.km.atoms > small.km.atoms);
+        assert!(large.vc_bound > small.vc_bound);
+    }
+}

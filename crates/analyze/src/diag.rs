@@ -1,0 +1,232 @@
+//! Compiler-style diagnostics: stable codes, severities, byte-span
+//! locations, and rustc-like rendering with source excerpts.
+
+use cqa_logic::Span;
+
+/// Stable diagnostic codes. The numeric part never changes meaning across
+//  versions; retired codes are not reused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Code {
+    /// CQA000 — a statement or formula failed to parse.
+    Syntax,
+    /// CQA001 — a variable occurs free where no binder or parameter
+    /// declares it.
+    UnboundVariable,
+    /// CQA002 — a quantifier rebinds a variable already in scope.
+    ShadowedBinder,
+    /// CQA003 — a quantifier binds a variable its body never uses.
+    UnusedBinder,
+    /// CQA004 — a relation atom names a relation absent from the schema.
+    UnknownRelation,
+    /// CQA005 — a relation atom's argument count differs from the schema
+    /// arity.
+    ArityMismatch,
+    /// CQA006 — a Σ-term part (filter, `END` body, or summand γ) uses a
+    /// variable outside its binding discipline.
+    SigmaRangeUnbound,
+    /// CQA007 — the summand γ is not syntactically deterministic;
+    /// evaluation falls back to the QE-based semantic check.
+    GammaNotCertified,
+    /// CQA008 — the predicted Karpinski–Macintyre approximation formula
+    /// exceeds the configured budget (the paper's Section-3 blow-up).
+    KmBlowup,
+    /// CQA009 — an active-domain quantifier ranges over an empty active
+    /// domain (no relations in scope).
+    EmptyActiveDomain,
+    /// CQA010 — a relation definition is not a quantifier-free,
+    /// relation-free constraint formula over its parameters.
+    BadRelationDef,
+}
+
+impl Code {
+    /// The stable code string, e.g. `"CQA001"`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::Syntax => "CQA000",
+            Code::UnboundVariable => "CQA001",
+            Code::ShadowedBinder => "CQA002",
+            Code::UnusedBinder => "CQA003",
+            Code::UnknownRelation => "CQA004",
+            Code::ArityMismatch => "CQA005",
+            Code::SigmaRangeUnbound => "CQA006",
+            Code::GammaNotCertified => "CQA007",
+            Code::KmBlowup => "CQA008",
+            Code::EmptyActiveDomain => "CQA009",
+            Code::BadRelationDef => "CQA010",
+        }
+    }
+
+    /// The severity this code always reports at.
+    pub fn severity(self) -> Severity {
+        match self {
+            Code::Syntax
+            | Code::UnboundVariable
+            | Code::UnknownRelation
+            | Code::ArityMismatch
+            | Code::SigmaRangeUnbound
+            | Code::BadRelationDef => Severity::Error,
+            Code::ShadowedBinder
+            | Code::UnusedBinder
+            | Code::GammaNotCertified
+            | Code::KmBlowup
+            | Code::EmptyActiveDomain => Severity::Warning,
+        }
+    }
+}
+
+/// How serious a diagnostic is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational note.
+    Info,
+    /// Suspicious but not necessarily wrong; evaluation may still succeed.
+    Warning,
+    /// Definitely wrong; evaluation would fail or answer the wrong
+    /// question.
+    Error,
+}
+
+impl Severity {
+    fn label(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One finding: a coded, located, human-readable message.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Diagnostic {
+    /// The stable code.
+    pub code: Code,
+    /// Where in the source the finding anchors (byte span).
+    pub span: Span,
+    /// The primary message.
+    pub message: String,
+    /// Secondary notes rendered below the excerpt.
+    pub notes: Vec<String>,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic.
+    pub fn new(code: Code, span: Span, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            span,
+            message: message.into(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Adds a secondary note.
+    pub fn with_note(mut self, note: impl Into<String>) -> Diagnostic {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// The severity (derived from the code).
+    pub fn severity(&self) -> Severity {
+        self.code.severity()
+    }
+
+    /// Renders the diagnostic rustc-style against its source text:
+    ///
+    /// ```text
+    /// error[CQA001]: unbound variable `z`
+    ///   --> queries.cqa:3:15
+    ///    |
+    ///  3 | query Q(x) := x = z + 1
+    ///    |               ^^^^^^^^^
+    /// ```
+    pub fn render(&self, src: &str, filename: &str) -> String {
+        let (line_no, col, line) = locate(src, self.span.start);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{}[{}]: {}\n",
+            self.severity().label(),
+            self.code.as_str(),
+            self.message
+        ));
+        out.push_str(&format!("  --> {filename}:{line_no}:{col}\n"));
+        let gutter = line_no.to_string().len().max(2);
+        out.push_str(&format!("{:>gutter$} |\n", ""));
+        out.push_str(&format!("{line_no:>gutter$} | {line}\n"));
+        let width = self
+            .span
+            .len()
+            .max(1)
+            .min(line.len().saturating_sub(col - 1).max(1));
+        out.push_str(&format!(
+            "{:>gutter$} | {}{}\n",
+            "",
+            " ".repeat(col - 1),
+            "^".repeat(width)
+        ));
+        for note in &self.notes {
+            out.push_str(&format!("{:>gutter$} = note: {note}\n", ""));
+        }
+        out
+    }
+}
+
+/// 1-based line number, 1-based column, and the line's text at `offset`.
+fn locate(src: &str, offset: usize) -> (usize, usize, &str) {
+    let offset = offset.min(src.len());
+    let before = &src[..offset];
+    let line_no = before.matches('\n').count() + 1;
+    let line_start = before.rfind('\n').map_or(0, |i| i + 1);
+    let line_end = src[offset..].find('\n').map_or(src.len(), |i| offset + i);
+    (line_no, offset - line_start + 1, &src[line_start..line_end])
+}
+
+/// Renders a batch of diagnostics, sorted by position then code.
+pub fn render_all(diags: &[Diagnostic], src: &str, filename: &str) -> String {
+    let mut sorted: Vec<&Diagnostic> = diags.iter().collect();
+    sorted.sort_by_key(|d| (d.span.start, d.code));
+    sorted
+        .iter()
+        .map(|d| d.render(src, filename))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_typed() {
+        assert_eq!(Code::UnboundVariable.as_str(), "CQA001");
+        assert_eq!(Code::KmBlowup.as_str(), "CQA008");
+        assert_eq!(Code::UnboundVariable.severity(), Severity::Error);
+        assert_eq!(Code::KmBlowup.severity(), Severity::Warning);
+    }
+
+    #[test]
+    fn rendering_points_at_the_span() {
+        let src = "rel S(y) := y >= 0\nquery Q(x) := x = z + 1\n";
+        let at = src.find("x = z").unwrap();
+        let d = Diagnostic::new(
+            Code::UnboundVariable,
+            Span::new(at, at + 9),
+            "unbound variable `z`",
+        )
+        .with_note("declare it as a parameter or bind it with a quantifier");
+        let text = d.render(src, "queries.cqa");
+        assert!(text.contains("error[CQA001]: unbound variable `z`"));
+        assert!(text.contains("queries.cqa:2:15"));
+        assert!(text.contains("query Q(x) := x = z + 1"));
+        assert!(text.contains("^^^^^^^^^"));
+        assert!(text.contains("note: declare it"));
+    }
+
+    #[test]
+    fn locate_handles_edges() {
+        let (l, c, line) = locate("ab\ncd", 3);
+        assert_eq!((l, c, line), (2, 1, "cd"));
+        let (l, c, _) = locate("ab", 5);
+        assert_eq!((l, c), (1, 3));
+    }
+}

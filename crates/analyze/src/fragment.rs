@@ -1,0 +1,237 @@
+//! Pass 2 — fragment classification and schema conformance.
+//!
+//! Classifies a formula into the paper's constraint classes (dense-order,
+//! FO+LIN, FO+POLY), measures the quantities the cost model needs (atom
+//! count, quantifier count, maximum polynomial degree), and checks every
+//! relation atom against the schema: unknown relations (CQA004) and arity
+//! mismatches (CQA005). Active-domain quantifiers over an empty schema are
+//! flagged too (CQA009) — they quantify over nothing and the subformula
+//! collapses.
+
+use crate::diag::{Code, Diagnostic};
+use cqa_logic::{ConstraintClass, Formula, Span, SpannedFormula, SpannedNode};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A schema: relation name → arity.
+pub type Schema = BTreeMap<String, usize>;
+
+/// Structural measurements of a formula, as the cost model and the lint
+/// report need them.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FragmentReport {
+    /// The constraint class of the sign-condition atoms.
+    pub class: ConstraintClass,
+    /// Maximum total degree over all atom polynomials and relation-argument
+    /// terms (0 for a formula with no terms).
+    pub max_degree: u32,
+    /// Number of sign-condition atoms.
+    pub atoms: usize,
+    /// Number of quantified variables (natural and active-domain).
+    pub quantifiers: usize,
+    /// Number of active-domain quantifiers among them.
+    pub adom_quantifiers: usize,
+    /// Number of relation-atom occurrences.
+    pub rel_atoms: usize,
+    /// The distinct relation names mentioned.
+    pub relations: BTreeSet<String>,
+}
+
+impl FragmentReport {
+    /// The paper's name for the fragment: `FO+LIN` for affine atoms,
+    /// `FO+POLY` otherwise (dense-order is a sub-fragment of FO+LIN).
+    pub fn fragment_name(&self) -> &'static str {
+        match self.class {
+            ConstraintClass::DenseOrder | ConstraintClass::Linear => "FO+LIN",
+            ConstraintClass::Polynomial => "FO+POLY",
+        }
+    }
+}
+
+/// Measures `f`.
+pub fn classify(f: &Formula) -> FragmentReport {
+    let mut report = FragmentReport {
+        class: f.class(),
+        max_degree: 0,
+        atoms: 0,
+        quantifiers: f.quantifier_count(),
+        adom_quantifiers: 0,
+        rel_atoms: 0,
+        relations: BTreeSet::new(),
+    };
+    f.visit(&mut |g| match g {
+        Formula::Atom(a) => {
+            report.atoms += 1;
+            report.max_degree = report.max_degree.max(a.poly.total_degree().unwrap_or(0));
+        }
+        Formula::Rel { name, args } => {
+            report.rel_atoms += 1;
+            report.relations.insert(name.clone());
+            for t in args {
+                report.max_degree = report.max_degree.max(t.total_degree().unwrap_or(0));
+            }
+        }
+        Formula::ExistsAdom(..) | Formula::ForallAdom(..) => {
+            report.adom_quantifiers += 1;
+        }
+        _ => {}
+    });
+    report
+}
+
+/// Checks every relation atom of `f` against `schema`, pointing at the
+/// relation name (CQA004) or the full atom (CQA005).
+pub fn check_relations(f: &SpannedFormula, schema: &Schema, diags: &mut Vec<Diagnostic>) {
+    f.visit(&mut |g| {
+        if let SpannedNode::Rel {
+            name,
+            args,
+            name_span,
+        } = &g.node
+        {
+            check_relation_use(name, args.len(), *name_span, g.span, schema, diags);
+        }
+    });
+}
+
+/// The span-free variant for plain [`Formula`] values (workload wiring,
+/// programmatically built queries): findings anchor at the empty span.
+pub fn check_relations_plain(f: &Formula, schema: &Schema, diags: &mut Vec<Diagnostic>) {
+    f.visit(&mut |g| {
+        if let Formula::Rel { name, args } = g {
+            check_relation_use(
+                name,
+                args.len(),
+                Span::default(),
+                Span::default(),
+                schema,
+                diags,
+            );
+        }
+    });
+}
+
+fn check_relation_use(
+    name: &str,
+    argc: usize,
+    name_span: Span,
+    atom_span: Span,
+    schema: &Schema,
+    diags: &mut Vec<Diagnostic>,
+) {
+    match schema.get(name) {
+        None => diags.push(
+            Diagnostic::new(
+                Code::UnknownRelation,
+                name_span,
+                format!("unknown relation `{name}`"),
+            )
+            .with_note(if schema.is_empty() {
+                "the schema declares no relations".to_string()
+            } else {
+                format!(
+                    "known relations: {}",
+                    schema.keys().cloned().collect::<Vec<_>>().join(", ")
+                )
+            }),
+        ),
+        Some(&arity) if arity != argc => diags.push(Diagnostic::new(
+            Code::ArityMismatch,
+            atom_span,
+            format!("relation `{name}` has arity {arity}, but {argc} argument(s) given"),
+        )),
+        Some(_) => {}
+    }
+}
+
+/// Flags active-domain quantifiers when the schema is empty: the active
+/// domain is then empty, so `Eadom` subformulas are vacuously false and
+/// `Aadom` ones vacuously true.
+pub fn check_active_domain(f: &SpannedFormula, schema: &Schema, diags: &mut Vec<Diagnostic>) {
+    if !schema.is_empty() {
+        return;
+    }
+    f.visit(&mut |g| {
+        if let SpannedNode::ExistsAdom(v, _) | SpannedNode::ForallAdom(v, _) = &g.node {
+            diags.push(
+                Diagnostic::new(
+                    Code::EmptyActiveDomain,
+                    v.span,
+                    "active-domain quantifier over an empty active domain",
+                )
+                .with_note("no relations are in scope, so the active domain is empty"),
+            );
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_logic::{parse_formula_spanned, parse_formula_with, VarMap};
+
+    fn parse(src: &str) -> (Formula, SpannedFormula) {
+        let mut vars = VarMap::new();
+        let sf = parse_formula_spanned(src, &mut vars).unwrap();
+        let f = parse_formula_with(src, &mut VarMap::new()).unwrap();
+        (f, sf)
+    }
+
+    #[test]
+    fn classification_measures_everything() {
+        let (f, _) = parse("exists y. x*x + y > 0 & Eadom u. R(u, 2*x)");
+        let r = classify(&f);
+        assert_eq!(r.class, ConstraintClass::Polynomial);
+        assert_eq!(r.fragment_name(), "FO+POLY");
+        assert_eq!(r.max_degree, 2);
+        assert_eq!(r.atoms, 1);
+        assert_eq!(r.quantifiers, 2);
+        assert_eq!(r.adom_quantifiers, 1);
+        assert_eq!(r.rel_atoms, 1);
+        assert!(r.relations.contains("R"));
+    }
+
+    #[test]
+    fn linear_formulas_are_fo_lin() {
+        let (f, _) = parse("x + 2*y <= 3 | x = y");
+        let r = classify(&f);
+        assert_eq!(r.fragment_name(), "FO+LIN");
+        assert_eq!(r.max_degree, 1);
+    }
+
+    #[test]
+    fn unknown_relation_points_at_the_name() {
+        let src = "x > 0 & Missing(x)";
+        let (_, sf) = parse(src);
+        let schema = Schema::new();
+        let mut d = Vec::new();
+        check_relations(&sf, &schema, &mut d);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, Code::UnknownRelation);
+        assert_eq!(&src[d[0].span.start..d[0].span.end], "Missing");
+    }
+
+    #[test]
+    fn arity_mismatch_flagged() {
+        let src = "S(x, y)";
+        let (_, sf) = parse(src);
+        let schema: Schema = [("S".to_string(), 1)].into();
+        let mut d = Vec::new();
+        check_relations(&sf, &schema, &mut d);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, Code::ArityMismatch);
+        assert!(d[0].message.contains("arity 1"));
+        assert!(d[0].message.contains("2 argument"));
+    }
+
+    #[test]
+    fn empty_adom_warning() {
+        let (_, sf) = parse("Eadom y. y > 0");
+        let mut d = Vec::new();
+        check_active_domain(&sf, &Schema::new(), &mut d);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, Code::EmptyActiveDomain);
+        let mut d2 = Vec::new();
+        check_active_domain(&sf, &[("R".to_string(), 1)].into(), &mut d2);
+        assert!(d2.is_empty());
+    }
+}

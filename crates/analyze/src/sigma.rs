@@ -1,0 +1,255 @@
+//! Pass 3 — the Σ-term range-restriction and determinism discipline.
+//!
+//! The paper's §5 summation term `Σ_{ρ(w⃗)} γ` is only well-formed when
+//!
+//! * the `END` body `φ₂` has the bound variable `y` as its only free
+//!   variable,
+//! * the filter `φ₁` speaks only about the tuple variables `w⃗`, and
+//! * the summand `γ` speaks only about `w⃗` and its output variable `x`.
+//!
+//! Violations are CQA006 errors pointing at the atom that leaks the
+//! variable. On top of the binding discipline, the pass runs
+//! [`cqa_core::is_syntactically_deterministic`] on γ: summands in the
+//! paper's functional-graph shape `x = t(w⃗)` are *certified* — evaluation
+//! skips the QE-based semantic determinism check — while anything else gets
+//! a CQA007 warning announcing the fallback.
+
+use crate::diag::{Code, Diagnostic};
+use crate::program::SumStmt;
+use crate::scope;
+use cqa_logic::{Span, SpannedFormula, SpannedNode, VarMap};
+use cqa_poly::Var;
+
+/// The outcome of the determinism analysis of a Σ-term's summand.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GammaStatus {
+    /// γ is syntactically certified deterministic; evaluation skips the
+    /// semantic QE check.
+    Certified,
+    /// γ could not be certified; evaluation falls back to the semantic
+    /// check (which may still accept it — or reject it at runtime).
+    Fallback,
+}
+
+/// Checks one Σ-term, appending findings to `diags`, and reports whether
+/// its summand is certified.
+pub fn check_sum(stmt: &SumStmt, vars: &VarMap, diags: &mut Vec<Diagnostic>) -> GammaStatus {
+    let tuple: Vec<Var> = stmt.tuple_vars.iter().map(|b| b.var).collect();
+
+    // Duplicate tuple variables shadow each other.
+    for (i, b) in stmt.tuple_vars.iter().enumerate() {
+        if stmt.tuple_vars[..i].iter().any(|a| a.var == b.var) {
+            diags.push(Diagnostic::new(
+                Code::ShadowedBinder,
+                b.span,
+                format!("duplicate tuple variable `{}`", vars.name(b.var)),
+            ));
+        }
+    }
+    // The output variable colliding with an input makes γ(x, w⃗)
+    // ill-formed as a function graph.
+    if tuple.contains(&stmt.out_var.var) {
+        diags.push(Diagnostic::new(
+            Code::SigmaRangeUnbound,
+            stmt.out_var.span,
+            format!(
+                "summand output `{}` collides with a tuple variable",
+                vars.name(stmt.out_var.var)
+            ),
+        ));
+    }
+
+    // Binding discipline of the three parts. Scope analysis does the
+    // walking; unbound findings are re-coded as the Σ-specific CQA006.
+    check_part(&stmt.filter, &tuple, "the filter φ₁", vars, diags);
+    check_part(
+        &stmt.end_formula,
+        &[stmt.end_var.var],
+        "the END body φ₂",
+        vars,
+        diags,
+    );
+    let mut gamma_scope = tuple.clone();
+    gamma_scope.push(stmt.out_var.var);
+    check_part(&stmt.gamma, &gamma_scope, "the summand γ", vars, diags);
+
+    // Determinism certification.
+    let gamma = stmt.gamma.to_formula();
+    if cqa_core::is_syntactically_deterministic(&gamma, stmt.out_var.var, &tuple) {
+        GammaStatus::Certified
+    } else {
+        let mut d = Diagnostic::new(
+            Code::GammaNotCertified,
+            stmt.gamma.span,
+            format!(
+                "summand `{}` is not syntactically deterministic",
+                vars.name(stmt.out_var.var)
+            ),
+        )
+        .with_note(
+            "evaluation falls back to the QE-based semantic determinism check \
+             (∀w⃗∀x∀x′. γ(x,w⃗) ∧ γ(x′,w⃗) → x = x′)",
+        );
+        if !gamma.is_relation_free() {
+            d = d.with_note(
+                "γ mentions database relations, which the semantic check \
+                 conservatively rejects — evaluation will fail with \
+                 NotDeterministic",
+            );
+        }
+        diags.push(d);
+        GammaStatus::Fallback
+    }
+}
+
+/// Scope-checks one Σ-term part with `allowed` in scope, re-coding unbound
+/// variables as CQA006 with the part named in the message.
+fn check_part(
+    f: &SpannedFormula,
+    allowed: &[Var],
+    part: &str,
+    vars: &VarMap,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let mut tmp = Vec::new();
+    scope::check_scopes(f, allowed, vars, &mut tmp);
+    for mut d in tmp {
+        if d.code == Code::UnboundVariable {
+            d.code = Code::SigmaRangeUnbound;
+            d.message = format!("{} in {part}", d.message);
+            d.notes = vec![format!(
+                "{part} may only use {}",
+                if allowed.is_empty() {
+                    "no free variables".to_string()
+                } else {
+                    allowed
+                        .iter()
+                        .map(|v| format!("`{}`", vars.name(*v)))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                }
+            )];
+        }
+        diags.push(d);
+    }
+}
+
+/// The span of the first atom of `f` mentioning `v`, for anchoring
+/// variable-leak messages; falls back to the formula's own span.
+pub fn span_of_var(f: &SpannedFormula, v: Var) -> Span {
+    let mut found = None;
+    f.visit(&mut |g| {
+        if found.is_some() {
+            return;
+        }
+        let mentions = match &g.node {
+            SpannedNode::Atom(a) => a.poly.vars().contains(&v),
+            SpannedNode::Rel { args, .. } => args.iter().any(|t| t.vars().contains(&v)),
+            _ => false,
+        };
+        if mentions {
+            found = Some(g.span);
+        }
+    });
+    found.unwrap_or(f.span)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{parse_program, Statement};
+
+    fn sum_of(src: &str) -> (SumStmt, VarMap) {
+        let (prog, diags) = parse_program(src);
+        assert!(diags.is_empty(), "{diags:?}");
+        let Some(Statement::Sum(s)) = prog.statements.into_iter().next() else {
+            panic!("expected a sum statement")
+        };
+        (s, prog.vars)
+    }
+
+    #[test]
+    fn certified_sum_is_clean() {
+        let (s, vars) = sum_of("sum T(w) := w > 0 | END[y. 0 <= y & y <= 1] ; x . x = 2*w\n");
+        let mut d = Vec::new();
+        assert_eq!(check_sum(&s, &vars, &mut d), GammaStatus::Certified);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn unbound_range_variable_is_cqa006() {
+        // The filter mentions `z`, which is not a tuple variable.
+        let src = "sum T(w) := w > z | END[y. 0 <= y & y <= 1] ; x . x = w\n";
+        let (s, vars) = sum_of(src);
+        let mut d = Vec::new();
+        check_sum(&s, &vars, &mut d);
+        let leak = d
+            .iter()
+            .find(|x| x.code == Code::SigmaRangeUnbound)
+            .unwrap();
+        assert!(leak.message.contains("`z`"));
+        assert!(leak.message.contains("filter"));
+        assert_eq!(&src[leak.span.start..leak.span.end], "w > z");
+    }
+
+    #[test]
+    fn end_body_may_only_use_its_binder() {
+        let src = "sum T(w) := w > 0 | END[y. y <= w] ; x . x = w\n";
+        let (s, vars) = sum_of(src);
+        let mut d = Vec::new();
+        check_sum(&s, &vars, &mut d);
+        let leak = d
+            .iter()
+            .find(|x| x.code == Code::SigmaRangeUnbound)
+            .unwrap();
+        assert!(leak.message.contains("`w`"));
+        assert!(leak.message.contains("END body"));
+    }
+
+    #[test]
+    fn nondeterministic_gamma_is_cqa007() {
+        let src = "sum T(w) := w > 0 | END[y. 0 <= y & y <= 1] ; x . x*x = w\n";
+        let (s, vars) = sum_of(src);
+        let mut d = Vec::new();
+        assert_eq!(check_sum(&s, &vars, &mut d), GammaStatus::Fallback);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, Code::GammaNotCertified);
+        assert_eq!(&src[d[0].span.start..d[0].span.end], "x*x = w");
+    }
+
+    #[test]
+    fn relational_pinned_gamma_is_certified() {
+        let src = "sum T(w) := true | END[y. 0 <= y & y <= 1] ; x . x = w & S(w)\n";
+        let (s, vars) = sum_of(src);
+        let mut d = Vec::new();
+        assert_eq!(check_sum(&s, &vars, &mut d), GammaStatus::Certified);
+    }
+
+    #[test]
+    fn output_collision_flagged() {
+        let src = "sum T(w) := true | END[y. 0 <= y] ; w . w = 1\n";
+        let (s, vars) = sum_of(src);
+        let mut d = Vec::new();
+        check_sum(&s, &vars, &mut d);
+        assert!(d
+            .iter()
+            .any(|x| x.code == Code::SigmaRangeUnbound && x.message.contains("collides")));
+    }
+
+    #[test]
+    fn span_of_var_finds_the_leaking_atom() {
+        let src = "sum T(w) := true | END[y. y > 0 & y < z] ; x . x = w\n";
+        let (prog, _) = parse_program(src);
+        let Some(Statement::Sum(s)) = prog.statements.into_iter().next() else {
+            panic!()
+        };
+        let z = prog_var(src, "z");
+        let sp = span_of_var(&s.end_formula, z);
+        assert_eq!(&src[sp.start..sp.end], "y < z");
+    }
+
+    fn prog_var(src: &str, name: &str) -> Var {
+        let (prog, _) = parse_program(src);
+        prog.vars.get(name).unwrap()
+    }
+}

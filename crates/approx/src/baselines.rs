@@ -47,7 +47,9 @@ pub fn variable_independent_volume(f: &Formula, vars: &[Var]) -> Option<Rat> {
     let mut fail = false;
     f.visit(&mut |g| {
         if let Formula::Atom(a) = g {
-            let Some(&v) = a.poly.vars().iter().next() else { return };
+            let Some(&v) = a.poly.vars().iter().next() else {
+                return;
+            };
             let Some(idx) = vars.iter().position(|&w| w == v) else {
                 fail = true;
                 return;
@@ -87,11 +89,20 @@ pub fn variable_independent_volume(f: &Formula, vars: &[Var]) -> Option<Rat> {
     for g in &grids {
         let mut cells = Vec::new();
         if g.is_empty() {
-            cells.push(Cell { sample: Rat::zero(), width: None });
+            cells.push(Cell {
+                sample: Rat::zero(),
+                width: None,
+            });
         } else {
-            cells.push(Cell { sample: &g[0] - Rat::one(), width: None });
+            cells.push(Cell {
+                sample: &g[0] - Rat::one(),
+                width: None,
+            });
             for (i, x) in g.iter().enumerate() {
-                cells.push(Cell { sample: x.clone(), width: Some(Rat::zero()) });
+                cells.push(Cell {
+                    sample: x.clone(),
+                    width: Some(Rat::zero()),
+                });
                 if i + 1 < g.len() {
                     cells.push(Cell {
                         sample: x.midpoint(&g[i + 1]),
@@ -99,7 +110,10 @@ pub fn variable_independent_volume(f: &Formula, vars: &[Var]) -> Option<Rat> {
                     });
                 }
             }
-            cells.push(Cell { sample: g.last().unwrap() + Rat::one(), width: None });
+            cells.push(Cell {
+                sample: g.last().unwrap() + Rat::one(),
+                width: None,
+            });
         }
         axes.push(cells);
     }
@@ -149,13 +163,7 @@ pub fn variable_independent_volume(f: &Formula, vars: &[Var]) -> Option<Rat> {
 /// kernel — `f64` sign decision with a certified error bound, exact
 /// rational fallback only on uncertain signs — so the hit count is
 /// identical to testing `p.contains` at the exact rational points.
-pub fn rejection_volume(
-    p: &HPolyhedron,
-    lo: &[f64],
-    hi: &[f64],
-    samples: usize,
-    seed: u64,
-) -> f64 {
+pub fn rejection_volume(p: &HPolyhedron, lo: &[f64], hi: &[f64], samples: usize, seed: u64) -> f64 {
     let mut rng = StdRng::seed_from_u64(seed);
     let d = p.dim();
     // Lower `∧ᵢ aᵢ·x − bᵢ ≤ 0` over fresh slot variables.
@@ -226,7 +234,7 @@ pub fn hit_and_run_volume(
             r0 = r0.min(slack);
         }
     }
-    if !(r0 > 0.0) || r0 == f64::MAX {
+    if r0.is_nan() || r0 <= 0.0 || r0 == f64::MAX {
         return 0.0; // interior point not strictly inside, or free space
     }
     r0 *= 0.95;
@@ -264,7 +272,7 @@ pub fn hit_and_run_volume(
                 *v /= norm;
             }
             let (tlo, thi) = chord(&rows, &x, &u, r_big, &c);
-            if !(thi > tlo) {
+            if thi.is_nan() || tlo.is_nan() || thi <= tlo {
                 continue;
             }
             let t = rng.random_range(tlo..thi);
@@ -292,13 +300,7 @@ fn dot(a: &[f64], b: &[f64]) -> f64 {
 
 /// The parameter interval `[tlo, thi]` of `{x + t·u}` inside the body
 /// `∩ rows ∩ B(center, r)` (`u` unit length; `r = MAX` skips the ball).
-fn chord(
-    rows: &[(Vec<f64>, f64)],
-    x: &[f64],
-    u: &[f64],
-    r: f64,
-    center: &[f64],
-) -> (f64, f64) {
+fn chord(rows: &[(Vec<f64>, f64)], x: &[f64], u: &[f64], r: f64, center: &[f64]) -> (f64, f64) {
     let mut tlo = f64::NEG_INFINITY;
     let mut thi = f64::INFINITY;
     for (a, b) in rows {

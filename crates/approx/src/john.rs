@@ -137,7 +137,11 @@ pub fn john_volume_bounds(points: &[Vec<f64>]) -> JohnBounds {
     let outer = ellipsoid_volume(&a);
     let kk = (d as f64).powi(d as i32);
     let inner = outer / kk;
-    JohnBounds { outer_volume: outer, inner_volume: inner, estimate: (inner + outer) / 2.0 }
+    JohnBounds {
+        outer_volume: outer,
+        inner_volume: inner,
+        estimate: (inner + outer) / 2.0,
+    }
 }
 
 fn invert(m: &[Vec<f64>]) -> Vec<Vec<f64>> {
@@ -196,8 +200,9 @@ fn determinant(m: &[Vec<f64>]) -> f64 {
         det *= a[col][col];
         for r in col + 1..n {
             let f = a[r][col] / a[col][col];
-            for c in col..n {
-                a[r][c] -= f * a[col][c];
+            let (top, bottom) = a.split_at_mut(r);
+            for (rv, pv) in bottom[0][col..].iter_mut().zip(&top[col][col..]) {
+                *rv -= f * pv;
             }
         }
     }

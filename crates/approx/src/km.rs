@@ -64,7 +64,70 @@ pub fn km_cost(
     let translates = sample_vars; // K ≈ M·m
     let quantifiers = translates * sample_vars + sample_vars;
     let atoms = translates * (msize as f64) * (s0 as f64);
-    KmCost { vc_dim: d, sample_size: msize, quantifiers, atoms }
+    KmCost {
+        vc_dim: d,
+        sample_size: msize,
+        quantifiers,
+        atoms,
+    }
+}
+
+/// A budget for the KM construction: how large an approximation formula a
+/// caller is willing to hand to the QE engine.
+///
+/// The default (`10⁸` atoms, `10⁸` quantifiers) is already far beyond
+/// anything `cqa-qe` finishes in practice; the point of the gate is to
+/// refuse *before* materializing a hopeless formula, turning the paper's
+/// Section-3 anecdote into an enforced precondition.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct KmBudget {
+    /// Maximum admissible atom count.
+    pub max_atoms: f64,
+    /// Maximum admissible quantifier count.
+    pub max_quantifiers: f64,
+}
+
+impl Default for KmBudget {
+    fn default() -> KmBudget {
+        KmBudget {
+            max_atoms: 1e8,
+            max_quantifiers: 1e8,
+        }
+    }
+}
+
+/// Rejection by [`gate`]: the predicted formula exceeds the budget.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct KmBlowup {
+    /// The predicted cost that tripped the gate.
+    pub cost: KmCost,
+    /// The budget it was measured against.
+    pub budget: KmBudget,
+}
+
+impl std::fmt::Display for KmBlowup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "KM approximation formula would have ~{:.2e} atoms and ~{:.2e} quantifiers \
+             (budget: {:.1e} atoms, {:.1e} quantifiers)",
+            self.cost.atoms,
+            self.cost.quantifiers,
+            self.budget.max_atoms,
+            self.budget.max_quantifiers
+        )
+    }
+}
+impl std::error::Error for KmBlowup {}
+
+/// Checks a predicted [`KmCost`] against a [`KmBudget`], returning the cost
+/// on success and a [`KmBlowup`] describing the overrun otherwise.
+pub fn gate(cost: KmCost, budget: KmBudget) -> Result<KmCost, KmBlowup> {
+    if cost.atoms > budget.max_atoms || cost.quantifiers > budget.max_quantifiers {
+        Err(KmBlowup { cost, budget })
+    } else {
+        Ok(cost)
+    }
 }
 
 /// The Section-3 worked example: schema `U` unary over `[0,1]`, the query
@@ -92,7 +155,11 @@ mod tests {
         // agree for moderate database sizes.
         let cost = paper_example_cost(16, 0.1);
         assert!(cost.atoms >= 1e9, "atoms = {:.3e}", cost.atoms);
-        assert!(cost.quantifiers >= 1e11, "quantifiers = {:.3e}", cost.quantifiers);
+        assert!(
+            cost.quantifiers >= 1e11,
+            "quantifiers = {:.3e}",
+            cost.quantifiers
+        );
     }
 
     #[test]
@@ -109,6 +176,21 @@ mod tests {
         let large = paper_example_cost(64, 0.1);
         assert!(large.atoms > small.atoms);
         assert!(large.vc_dim > small.vc_dim);
+    }
+
+    #[test]
+    fn gate_rejects_paper_example_and_admits_tiny_queries() {
+        let budget = KmBudget::default();
+        // The worked example blows past any sane budget.
+        let err = gate(paper_example_cost(16, 0.1), budget).unwrap_err();
+        assert!(err.cost.atoms > budget.max_atoms);
+        assert!(err.to_string().contains("atoms"));
+        // A trivial query at loose accuracy stays within a generous budget.
+        let loose = KmBudget {
+            max_atoms: 1e12,
+            max_quantifiers: 1e14,
+        };
+        assert!(gate(km_cost(0.5, 0.5, 1, 2, 2, 1, 1, 0, 1), loose).is_ok());
     }
 
     #[test]

@@ -27,6 +27,8 @@
 //!   (Chomicki–Goldin–Kuper) and a Dyer–Frieze–Kannan-style randomized
 //!   volume estimator (rejection and hit-and-run).
 
+#![forbid(unsafe_code)]
+
 pub mod baselines;
 pub mod john;
 pub mod km;

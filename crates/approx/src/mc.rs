@@ -26,8 +26,8 @@ fn compile_matrix(
 ) -> Result<(Formula, CompiledMatrix), QeError> {
     let expanded = db.expand(phi).map_err(|_| QeError::HasRelations)?;
     let matrix = cqa_qe::eliminate(&expanded)?;
-    let kernel = CompiledMatrix::compile(&matrix, slots)
-        .map_err(|e| QeError::Residual(e.to_string()))?;
+    let kernel =
+        CompiledMatrix::compile(&matrix, slots).map_err(|e| QeError::Residual(e.to_string()))?;
     Ok((matrix, kernel))
 }
 
@@ -50,6 +50,9 @@ impl UniformVolumeEstimator {
     ///
     /// `d` is the VC dimension (or an upper bound, e.g.
     /// [`crate::vc::prop6_bound`]) of the family.
+    // The signature mirrors Theorem 4's data (φ, parameters, point space,
+    // ε, δ, d, witness source); bundling them would only rename the problem.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         db: &Database,
         phi: &Formula,
@@ -275,9 +278,8 @@ mod tests {
         let phi =
             parse_formula_with("a < y1 & y1 < 1 & 0 <= y2 & y2 <= y1", db.vars_mut()).unwrap();
         let mut w = Witness::new(23);
-        let est =
-            UniformVolumeEstimator::new(&db, &phi, &[a], &[y1, y2], 0.05, 0.1, 2.0, &mut w)
-                .unwrap();
+        let est = UniformVolumeEstimator::new(&db, &phi, &[a], &[y1, y2], 0.05, 0.1, 2.0, &mut w)
+            .unwrap();
         // Uniform accuracy over many parameter values from one sample.
         for k in 0..10 {
             let av = Rat::new(k.into(), 10i64.into());
@@ -329,7 +331,8 @@ mod tests {
     #[test]
     fn database_relation_in_estimate() {
         let mut db = Database::new();
-        db.define("T", &["x", "y"], "x >= 0 & y >= 0 & x + y <= 1").unwrap();
+        db.define("T", &["x", "y"], "x >= 0 & y >= 0 & x + y <= 1")
+            .unwrap();
         let x = db.vars_mut().get("x").unwrap();
         let y = db.vars_mut().get("y").unwrap();
         let phi = parse_formula_with("T(x, y)", db.vars_mut()).unwrap();

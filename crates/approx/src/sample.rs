@@ -30,7 +30,12 @@ impl Witness {
     /// A deterministic witness source (seeded — experiments are
     /// reproducible).
     pub fn new(seed: u64) -> Witness {
-        Witness { rng: StdRng::seed_from_u64(seed), seed, streams: 0, calls: 0 }
+        Witness {
+            rng: StdRng::seed_from_u64(seed),
+            seed,
+            streams: 0,
+            calls: 0,
+        }
     }
 
     /// How many witness applications have been made.
@@ -48,7 +53,10 @@ impl Witness {
     /// forks from the same witness yield unrelated streams.
     pub fn fork(&mut self) -> WitnessSplitter {
         self.streams += 1;
-        WitnessSplitter { seed: self.seed, stream: self.streams }
+        WitnessSplitter {
+            seed: self.seed,
+            stream: self.streams,
+        }
     }
 
     /// Records `n` witness applications performed through a fork on this

@@ -126,17 +126,11 @@ pub const CANDIDATES: [Candidate; 6] = [
 /// Evaluates a candidate on an instance `(U₁, U₂)` of rationals.
 pub fn eval_candidate(c: Candidate, u1: &[Rat], u2: &[Rat]) -> bool {
     match c {
-        Candidate::SomeAboveAll => u1
-            .iter()
-            .any(|x| u2.iter().all(|y| y < x)),
-        Candidate::EveryHasAbove => u2
-            .iter()
-            .all(|x| u1.iter().any(|y| x < y)),
+        Candidate::SomeAboveAll => u1.iter().any(|x| u2.iter().all(|y| y < x)),
+        Candidate::EveryHasAbove => u2.iter().all(|x| u1.iter().any(|y| x < y)),
         Candidate::NotSubset => u1.iter().any(|x| !u2.contains(x)),
         Candidate::Superset => u2.iter().all(|x| u1.contains(x)),
-        Candidate::SomePairOrdered => u1
-            .iter()
-            .any(|x| u2.iter().any(|y| x < y)),
+        Candidate::SomePairOrdered => u1.iter().any(|x| u2.iter().any(|y| x < y)),
         Candidate::NegSomeAboveAll => !eval_candidate(Candidate::SomeAboveAll, u1, u2),
     }
 }
@@ -153,7 +147,8 @@ pub fn violates_separation(
 ) -> Option<(usize, usize, &'static str)> {
     // Deterministic instance layouts: interleaved, U1-low/U2-high,
     // U1-high/U2-low.
-    let layouts: [(&str, fn(usize, usize) -> (Vec<Rat>, Vec<Rat>)); 3] = [
+    type Layout = fn(usize, usize) -> (Vec<Rat>, Vec<Rat>);
+    let layouts: [(&str, Layout); 3] = [
         ("interleaved", |a, b| {
             let u1 = (0..a).map(|i| Rat::from(2 * i as i64)).collect();
             let u2 = (0..b).map(|i| Rat::from((2 * i + 1) as i64)).collect();

@@ -152,7 +152,9 @@ pub fn bit_test_shatters(k: u32) -> bool {
         let rel = db.relation("R").unwrap();
         rel.contains(&[a[0].clone(), p[0].clone()])
     };
-    let pool: Vec<Vec<Rat>> = (0u64..(1 << k)).map(|m| vec![Rat::from(m as i64)]).collect();
+    let pool: Vec<Vec<Rat>> = (0u64..(1 << k))
+        .map(|m| vec![Rat::from(m as i64)])
+        .collect();
     let points: Vec<Vec<Rat>> = (0..k).map(|i| vec![Rat::from(i as i64)]).collect();
     shatters_over_pool(&member, &pool, &points)
 }
@@ -205,7 +207,10 @@ mod tests {
         assert!(shatters(&db, &phi, &[a, b], &[y], &two).unwrap());
         let three = vec![vec![rat(0, 1)], vec![rat(1, 1)], vec![rat(2, 1)]];
         assert!(!shatters(&db, &phi, &[a, b], &[y], &three).unwrap());
-        assert_eq!(vc_dimension_on(&db, &phi, &[a, b], &[y], &three).unwrap(), 2);
+        assert_eq!(
+            vc_dimension_on(&db, &phi, &[a, b], &[y], &three).unwrap(),
+            2
+        );
     }
 
     #[test]

@@ -66,18 +66,18 @@ fn shared_sample_estimates_identical_across_thread_counts() {
     let a = db.vars_mut().intern("a");
     let x = db.vars_mut().intern("x");
     let y = db.vars_mut().intern("y");
-    let f = parse_formula_with(
-        "x >= 0 & x <= a & y >= 0 & y <= 1",
-        db.vars_mut(),
-    )
-    .unwrap();
+    let f = parse_formula_with("x >= 0 & x <= a & y >= 0 & y <= 1", db.vars_mut()).unwrap();
     let mut w = Witness::new(5);
     let est = UniformVolumeEstimator::new(&db, &f, &[a], &[x, y], 0.05, 0.1, 3.0, &mut w).unwrap();
     assert!(est.sample_len() > 512, "need multiple chunks");
     for av in [rat(1, 4), rat(1, 2), rat(3, 4)] {
-        let base = est.estimate_with_threads(&[av.clone()], 1);
+        let base = est.estimate_with_threads(std::slice::from_ref(&av), 1);
         for t in [2, 8] {
-            assert_eq!(base, est.estimate_with_threads(&[av.clone()], t), "threads = {t}");
+            assert_eq!(
+                base,
+                est.estimate_with_threads(std::slice::from_ref(&av), t),
+                "threads = {t}"
+            );
         }
         assert!((base.to_f64() - av.to_f64()).abs() < 0.05);
     }

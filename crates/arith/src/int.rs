@@ -50,8 +50,8 @@ fn mag_add(a: &[u32], b: &[u32]) -> Vec<u32> {
     let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
     let mut out = Vec::with_capacity(long.len() + 1);
     let mut carry: u64 = 0;
-    for i in 0..long.len() {
-        let s = u64::from(long[i]) + u64::from(*short.get(i).unwrap_or(&0)) + carry;
+    for (i, &limb) in long.iter().enumerate() {
+        let s = u64::from(limb) + u64::from(*short.get(i).unwrap_or(&0)) + carry;
         out.push(s as u32);
         carry = s >> BASE_BITS;
     }
@@ -66,8 +66,8 @@ fn mag_sub(a: &[u32], b: &[u32]) -> Vec<u32> {
     debug_assert!(mag_cmp(a, b) != Ordering::Less);
     let mut out = Vec::with_capacity(a.len());
     let mut borrow: i64 = 0;
-    for i in 0..a.len() {
-        let d = i64::from(a[i]) - i64::from(*b.get(i).unwrap_or(&0)) - borrow;
+    for (i, &limb) in a.iter().enumerate() {
+        let d = i64::from(limb) - i64::from(*b.get(i).unwrap_or(&0)) - borrow;
         if d < 0 {
             out.push((d + (1i64 << BASE_BITS)) as u32);
             borrow = 1;
@@ -252,12 +252,18 @@ fn mag_div_rem(a: &[u32], b: &[u32]) -> (Vec<u32>, Vec<u32>) {
 impl Int {
     /// The integer zero.
     pub fn zero() -> Int {
-        Int { sign: 0, mag: Vec::new() }
+        Int {
+            sign: 0,
+            mag: Vec::new(),
+        }
     }
 
     /// The integer one.
     pub fn one() -> Int {
-        Int { sign: 1, mag: vec![1] }
+        Int {
+            sign: 1,
+            mag: vec![1],
+        }
     }
 
     fn from_sign_mag(sign: i8, mut mag: Vec<u32>) -> Int {
@@ -296,7 +302,10 @@ impl Int {
 
     /// Absolute value.
     pub fn abs(&self) -> Int {
-        Int { sign: self.sign.abs(), mag: self.mag.clone() }
+        Int {
+            sign: self.sign.abs(),
+            mag: self.mag.clone(),
+        }
     }
 
     /// Number of bits in the magnitude (0 for zero).
@@ -487,13 +496,19 @@ impl Ord for Int {
 impl Neg for Int {
     type Output = Int;
     fn neg(self) -> Int {
-        Int { sign: -self.sign, mag: self.mag }
+        Int {
+            sign: -self.sign,
+            mag: self.mag,
+        }
     }
 }
 impl Neg for &Int {
     type Output = Int;
     fn neg(self) -> Int {
-        Int { sign: -self.sign, mag: self.mag.clone() }
+        Int {
+            sign: -self.sign,
+            mag: self.mag.clone(),
+        }
     }
 }
 
@@ -722,7 +737,15 @@ mod tests {
 
     #[test]
     fn parse_and_display_roundtrip() {
-        for s in ["0", "1", "-1", "999999999", "1000000000", "123456789012345678901234567890", "-987654321098765432109876543210"] {
+        for s in [
+            "0",
+            "1",
+            "-1",
+            "999999999",
+            "1000000000",
+            "123456789012345678901234567890",
+            "-987654321098765432109876543210",
+        ] {
             let v: Int = s.parse().unwrap();
             assert_eq!(v.to_string(), s);
         }

@@ -19,6 +19,8 @@
 //! the allowed offline set for this reproduction (see DESIGN.md), and exact
 //! arithmetic is itself one of the substrates the paper presupposes.
 
+#![forbid(unsafe_code)]
+
 mod int;
 mod rat;
 

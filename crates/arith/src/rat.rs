@@ -44,17 +44,26 @@ impl Rat {
 
     /// The rational zero.
     pub fn zero() -> Rat {
-        Rat { num: Int::zero(), den: Int::one() }
+        Rat {
+            num: Int::zero(),
+            den: Int::one(),
+        }
     }
 
     /// The rational one.
     pub fn one() -> Rat {
-        Rat { num: Int::one(), den: Int::one() }
+        Rat {
+            num: Int::one(),
+            den: Int::one(),
+        }
     }
 
     /// A rational from an integer.
     pub fn from_int(n: Int) -> Rat {
-        Rat { num: n, den: Int::one() }
+        Rat {
+            num: n,
+            den: Int::one(),
+        }
     }
 
     /// Numerator (sign-carrying).
@@ -99,7 +108,10 @@ impl Rat {
 
     /// Absolute value.
     pub fn abs(&self) -> Rat {
-        Rat { num: self.num.abs(), den: self.den.clone() }
+        Rat {
+            num: self.num.abs(),
+            den: self.den.clone(),
+        }
     }
 
     /// Multiplicative inverse.
@@ -118,7 +130,10 @@ impl Rat {
         }
         let base = if exp < 0 { self.recip() } else { self.clone() };
         let e = exp.unsigned_abs();
-        Rat { num: base.num.pow(e), den: base.den.pow(e) }
+        Rat {
+            num: base.num.pow(e),
+            den: base.den.pow(e),
+        }
     }
 
     /// Floor: largest integer `≤ self`.
@@ -255,13 +270,19 @@ impl Ord for Rat {
 impl Neg for Rat {
     type Output = Rat;
     fn neg(self) -> Rat {
-        Rat { num: -self.num, den: self.den }
+        Rat {
+            num: -self.num,
+            den: self.den,
+        }
     }
 }
 impl Neg for &Rat {
     type Output = Rat;
     fn neg(self) -> Rat {
-        Rat { num: -(&self.num), den: self.den.clone() }
+        Rat {
+            num: -(&self.num),
+            den: self.den.clone(),
+        }
     }
 }
 

@@ -12,9 +12,11 @@ fn bench_semilinear_volume(c: &mut Criterion) {
     for dim in [2usize, 3, 4] {
         let mut vars = VarMap::new();
         let (f, vs) = random_simplex_formula(dim, dim as u64, &mut vars);
-        group.bench_with_input(BenchmarkId::new("lasserre_simplex", dim), &(f, vs), |b, (f, vs)| {
-            b.iter(|| volume(f, vs).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("lasserre_simplex", dim),
+            &(f, vs),
+            |b, (f, vs)| b.iter(|| volume(f, vs).unwrap()),
+        );
     }
     for cells in [1usize, 2, 3] {
         let mut vars = VarMap::new();
@@ -24,9 +26,11 @@ fn bench_semilinear_volume(c: &mut Criterion) {
             &(f.clone(), vs.clone()),
             |b, (f, vs)| b.iter(|| volume(f, vs).unwrap()),
         );
-        group.bench_with_input(BenchmarkId::new("sweep_union", cells), &(f, vs), |b, (f, vs)| {
-            b.iter(|| volume_by_sweep_2d(f, vs[0], vs[1]).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("sweep_union", cells),
+            &(f, vs),
+            |b, (f, vs)| b.iter(|| volume_by_sweep_2d(f, vs[0], vs[1]).unwrap()),
+        );
     }
     group.finish();
 }

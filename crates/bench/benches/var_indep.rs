@@ -17,9 +17,11 @@ fn bench_var_indep(c: &mut Criterion) {
             &(f.clone(), vs.clone()),
             |b, (f, vs)| b.iter(|| variable_independent_volume(f, vs).unwrap()),
         );
-        group.bench_with_input(BenchmarkId::new("general_engine", cells), &(f, vs), |b, (f, vs)| {
-            b.iter(|| volume(f, vs).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("general_engine", cells),
+            &(f, vs),
+            |b, (f, vs)| b.iter(|| volume(f, vs).unwrap()),
+        );
     }
     group.finish();
 }

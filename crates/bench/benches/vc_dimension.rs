@@ -23,9 +23,11 @@ fn bench_vc(c: &mut Criterion) {
     let phi = parse_formula_with("a <= y & y <= b", db.vars_mut()).unwrap();
     for pts in [1usize, 2] {
         let points: Vec<Vec<_>> = (0..pts).map(|i| vec![rat(i as i64, 1)]).collect();
-        group.bench_with_input(BenchmarkId::new("qe_shatters", pts), &points, |bch, points| {
-            bch.iter(|| shatters(&db, &phi, &[a, bb], &[y], points).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("qe_shatters", pts),
+            &points,
+            |bch, points| bch.iter(|| shatters(&db, &phi, &[a, bb], &[y], points).unwrap()),
+        );
     }
     group.finish();
 }

@@ -33,9 +33,11 @@ fn bench_baselines(c: &mut Criterion) {
     group.sample_size(10);
     for dim in [2usize, 3, 4] {
         let (f, vs, p) = simplex(dim);
-        group.bench_with_input(BenchmarkId::new("exact_lasserre", dim), &(f, vs), |b, (f, vs)| {
-            b.iter(|| volume(f, vs).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("exact_lasserre", dim),
+            &(f, vs),
+            |b, (f, vs)| b.iter(|| volume(f, vs).unwrap()),
+        );
         group.bench_with_input(BenchmarkId::new("rejection_10k", dim), &p, |b, p| {
             b.iter(|| rejection_volume(p, &vec![0.0; dim], &vec![1.0; dim], 10_000, 1))
         });

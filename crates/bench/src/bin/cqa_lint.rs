@@ -1,0 +1,100 @@
+//! `cqa-lint` — static checker for `.cqa` programs.
+//!
+//! ```text
+//! cqa-lint [--eps E] [--delta D] [--db-size N] [--max-atoms A] [--max-quantifiers Q] FILE...
+//! ```
+//!
+//! Parses each file, runs the `cqa-analyze` passes (scope, fragment/schema,
+//! Σ-discipline, cost/VC estimation), prints rustc-style diagnostics with
+//! source excerpts, and summarizes each statement's fragment and predicted
+//! approximation cost. Exits non-zero iff any file has errors.
+
+use cqa_analyze::{analyze_source, AnalyzerConfig, GammaStatus};
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cqa-lint [--eps E] [--delta D] [--db-size N] \
+         [--max-atoms A] [--max-quantifiers Q] FILE..."
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut cfg = AnalyzerConfig::default();
+    let mut files: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut flag = |name: &str| -> f64 {
+            args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("cqa-lint: {name} needs a numeric argument");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--eps" => cfg.cost.eps = flag("--eps"),
+            "--delta" => cfg.cost.delta = flag("--delta"),
+            "--db-size" => cfg.cost.db_size = flag("--db-size") as usize,
+            "--max-atoms" => cfg.cost.budget.max_atoms = flag("--max-atoms"),
+            "--max-quantifiers" => cfg.cost.budget.max_quantifiers = flag("--max-quantifiers"),
+            "--help" | "-h" => usage(),
+            _ if arg.starts_with('-') => usage(),
+            _ => files.push(arg),
+        }
+    }
+    if files.is_empty() {
+        usage();
+    }
+
+    let mut any_errors = false;
+    for file in &files {
+        let src = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cqa-lint: cannot read {file}: {e}");
+                any_errors = true;
+                continue;
+            }
+        };
+        let (_, analysis) = analyze_source(&src, &cfg);
+        let rendered = analysis.render(&src, file);
+        if !rendered.is_empty() {
+            println!("{rendered}");
+        }
+        for r in &analysis.reports {
+            let cost = r.cost.map_or(String::new(), |c| {
+                format!(
+                    ", C = {:.1}, VC ≤ {:.1}, KM ≈ {:.2e} atoms / {:.2e} quantifiers",
+                    c.gj_constant, c.vc_bound, c.km.atoms, c.km.quantifiers
+                )
+            });
+            let gamma = match r.gamma {
+                Some(GammaStatus::Certified) => ", γ certified",
+                Some(GammaStatus::Fallback) => ", γ falls back to semantic check",
+                None => "",
+            };
+            println!(
+                "{file}: {} `{}`: {}, {} atom(s), {} quantifier(s), degree {}{}{}",
+                r.kind,
+                r.name,
+                r.fragment.fragment_name(),
+                r.fragment.atoms,
+                r.fragment.quantifiers,
+                r.fragment.max_degree,
+                cost,
+                gamma
+            );
+        }
+        println!(
+            "{file}: {} error(s), {} warning(s)",
+            analysis.error_count(),
+            analysis.warning_count()
+        );
+        any_errors |= analysis.has_errors();
+    }
+    if any_errors {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

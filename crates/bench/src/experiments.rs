@@ -28,16 +28,24 @@ use std::fmt::Write;
 /// approximation error, and the Karpinski–Macintyre formula blow-up.
 pub fn e1(out: &mut String) {
     writeln!(out, "E1: §3 worked example — φ(x1,x2;y1,y2) over U ⊆ [0,1]").unwrap();
-    writeln!(out, "  exact VOL_I(φ(a,b,·)) = (b²−a²)/2; MC with shared sample\n").unwrap();
-    writeln!(out, "  {:>6} {:>6} {:>10} {:>10} {:>10}", "a", "b", "exact", "mc", "abs err").unwrap();
+    writeln!(
+        out,
+        "  exact VOL_I(φ(a,b,·)) = (b²−a²)/2; MC with shared sample\n"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  {:>6} {:>6} {:>10} {:>10} {:>10}",
+        "a", "b", "exact", "mc", "abs err"
+    )
+    .unwrap();
     let mut vars = VarMap::new();
     let y1 = vars.intern("y1");
     let y2 = vars.intern("y2");
     let a_v = vars.intern("a");
     let b_v = vars.intern("b");
     let db = Database::new();
-    let phi =
-        parse_formula_with("a < y1 & y1 < b & 0 <= y2 & y2 <= y1", &mut vars).unwrap();
+    let phi = parse_formula_with("a < y1 & y1 < b & 0 <= y2 & y2 <= y1", &mut vars).unwrap();
     let mut w = Witness::new(2024);
     let est =
         UniformVolumeEstimator::new(&db, &phi, &[a_v, b_v], &[y1, y2], 0.05, 0.1, 3.0, &mut w)
@@ -49,16 +57,48 @@ pub fn e1(out: &mut String) {
         let mc = est.estimate(&[ar.clone(), br.clone()]).to_f64();
         let err = (mc - exact).abs();
         max_err = max_err.max(err);
-        writeln!(out, "  {:>6} {:>6} {:>10.4} {:>10.4} {:>10.4}", format!("{a}/4"), format!("{b}/4"), exact, mc, err).unwrap();
+        writeln!(
+            out,
+            "  {:>6} {:>6} {:>10.4} {:>10.4} {:>10.4}",
+            format!("{a}/4"),
+            format!("{b}/4"),
+            exact,
+            mc,
+            err
+        )
+        .unwrap();
     }
-    writeln!(out, "  sup error over grid: {max_err:.4} (sample size {})\n", est.sample_len()).unwrap();
-    writeln!(out, "  Karpinski–Macintyre blow-up (ε = 1/10, model under-approximates [25]):").unwrap();
-    writeln!(out, "  {:>6} {:>12} {:>14} {:>14}", "n=|U|", "VCdim bound", "atoms", "quantifiers").unwrap();
+    writeln!(
+        out,
+        "  sup error over grid: {max_err:.4} (sample size {})\n",
+        est.sample_len()
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  Karpinski–Macintyre blow-up (ε = 1/10, model under-approximates [25]):"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  {:>6} {:>12} {:>14} {:>14}",
+        "n=|U|", "VCdim bound", "atoms", "quantifiers"
+    )
+    .unwrap();
     for n in [4usize, 8, 16, 32, 64] {
         let c = paper_example_cost(n, 0.1);
-        writeln!(out, "  {:>6} {:>12.0} {:>14.3e} {:>14.3e}", n, c.vc_dim, c.atoms, c.quantifiers).unwrap();
+        writeln!(
+            out,
+            "  {:>6} {:>12.0} {:>14.3e} {:>14.3e}",
+            n, c.vc_dim, c.atoms, c.quantifiers
+        )
+        .unwrap();
     }
-    writeln!(out, "  paper claim: ≥ 1e9 atoms, ≥ 1e11 quantifiers — reproduced.\n").unwrap();
+    writeln!(
+        out,
+        "  paper claim: ≥ 1e9 atoms, ≥ 1e11 quantifiers — reproduced.\n"
+    )
+    .unwrap();
 }
 
 /// E2 — Theorem 3: exact volumes of semi-linear sets (closed forms + the
@@ -85,17 +125,41 @@ pub fn e2(out: &mut String) {
         let vs: Vec<Var> = names.iter().map(|n| vars.intern(n)).collect();
         let f = parse_formula_with(src, &mut vars).unwrap();
         let v = volume(&f, &vs).unwrap();
-        writeln!(out, "  {:<34} {:>10} {:>10}", label, v.to_string(), expect.to_string()).unwrap();
+        writeln!(
+            out,
+            "  {:<34} {:>10} {:>10}",
+            label,
+            v.to_string(),
+            expect.to_string()
+        )
+        .unwrap();
         assert_eq!(&v, expect);
     }
-    writeln!(out, "\n  sweep (paper's proof) vs Lasserre on random 2-D unions:").unwrap();
-    writeln!(out, "  {:>6} {:>12} {:>12} {:>8}", "seed", "sweep", "lasserre", "equal").unwrap();
+    writeln!(
+        out,
+        "\n  sweep (paper's proof) vs Lasserre on random 2-D unions:"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  {:>6} {:>12} {:>12} {:>8}",
+        "seed", "sweep", "lasserre", "equal"
+    )
+    .unwrap();
     for seed in 0..6u64 {
         let mut vars = VarMap::new();
         let (f, vs) = workloads::random_box_union(3, seed, &mut vars);
         let s = volume_by_sweep_2d(&f, vs[0], vs[1]).unwrap();
         let l = volume(&f, &vs).unwrap();
-        writeln!(out, "  {:>6} {:>12} {:>12} {:>8}", seed, s.to_string(), l.to_string(), s == l).unwrap();
+        writeln!(
+            out,
+            "  {:>6} {:>12} {:>12} {:>8}",
+            seed,
+            s.to_string(),
+            l.to_string(),
+            s == l
+        )
+        .unwrap();
         assert_eq!(s, l);
     }
     writeln!(out).unwrap();
@@ -104,9 +168,22 @@ pub fn e2(out: &mut String) {
 /// E3 — Theorem 4: one shared `M(ε,δ,d)` sample is ε-accurate uniformly
 /// over the parameter grid, in ≥ 1−δ of trials.
 pub fn e3(out: &mut String) {
-    writeln!(out, "E3: Theorem 4 — uniform MC volume with M(ε,δ,d) witnesses").unwrap();
-    writeln!(out, "  family: φ(a; y1,y2) ≡ a<y1<1 ∧ 0≤y2≤y1, VOL = (1−a²)/2").unwrap();
-    writeln!(out, "  {:>6} {:>6} {:>8} {:>8} {:>10}", "ε", "δ", "M", "trials", "success").unwrap();
+    writeln!(
+        out,
+        "E3: Theorem 4 — uniform MC volume with M(ε,δ,d) witnesses"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  family: φ(a; y1,y2) ≡ a<y1<1 ∧ 0≤y2≤y1, VOL = (1−a²)/2"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  {:>6} {:>6} {:>8} {:>8} {:>10}",
+        "ε", "δ", "M", "trials", "success"
+    )
+    .unwrap();
     for (eps, delta) in [(0.1, 0.1), (0.05, 0.1), (0.1, 0.05)] {
         let m = sample_size(eps, delta, 2.0);
         let trials = 40;
@@ -117,13 +194,12 @@ pub fn e3(out: &mut String) {
             let y1 = vars.intern("y1");
             let y2 = vars.intern("y2");
             let db = Database::new();
-            let phi = parse_formula_with("a < y1 & y1 < 1 & 0 <= y2 & y2 <= y1", &mut vars)
-                .unwrap();
+            let phi =
+                parse_formula_with("a < y1 & y1 < 1 & 0 <= y2 & y2 <= y1", &mut vars).unwrap();
             let mut w = Witness::new(1000 + t);
-            let est = UniformVolumeEstimator::new(
-                &db, &phi, &[a_v], &[y1, y2], eps, delta, 2.0, &mut w,
-            )
-            .unwrap();
+            let est =
+                UniformVolumeEstimator::new(&db, &phi, &[a_v], &[y1, y2], eps, delta, 2.0, &mut w)
+                    .unwrap();
             let mut sup = 0.0f64;
             for k in 0..=10 {
                 let av = Rat::new(k.into(), 10i64.into());
@@ -135,7 +211,16 @@ pub fn e3(out: &mut String) {
             }
         }
         let rate = ok as f64 / trials as f64;
-        writeln!(out, "  {:>6} {:>6} {:>8} {:>8} {:>9.0}%", eps, delta, m, trials, rate * 100.0).unwrap();
+        writeln!(
+            out,
+            "  {:>6} {:>6} {:>8} {:>8} {:>9.0}%",
+            eps,
+            delta,
+            m,
+            trials,
+            rate * 100.0
+        )
+        .unwrap();
         assert!(rate >= 1.0 - delta, "uniform success rate below 1-δ");
     }
     writeln!(out).unwrap();
@@ -145,8 +230,17 @@ pub fn e3(out: &mut String) {
 /// database grows like log|D| and is bounded by C·log|D|.
 pub fn e4(out: &mut String) {
     writeln!(out, "E4: Prop 5 & 6 — VC dimension vs database size").unwrap();
-    writeln!(out, "  bit-test family φ(x,y) ≡ R(x,y), D_k = bits of 0..2^k").unwrap();
-    writeln!(out, "  {:>3} {:>8} {:>10} {:>12} {:>14}", "k", "|D|", "shatters k", "log2|D|", "C·log2|D|").unwrap();
+    writeln!(
+        out,
+        "  bit-test family φ(x,y) ≡ R(x,y), D_k = bits of 0..2^k"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  {:>3} {:>8} {:>10} {:>12} {:>14}",
+        "k", "|D|", "shatters k", "log2|D|", "C·log2|D|"
+    )
+    .unwrap();
     let c = goldberg_jerrum_c(1, 2, 0, 1, 1);
     for k in 1..=6u32 {
         let (_, size) = bit_test_database(k);
@@ -165,39 +259,68 @@ pub fn e4(out: &mut String) {
         // Prop 5 lower bound vs Prop 6 upper bound sandwich.
         assert!((k as f64) <= prop6_bound(c, size));
     }
-    writeln!(out, "  VCdim ≥ k ≈ log|D| (Prop 5), and ≤ C·log|D| with C = {c:.1} (Prop 6)\n").unwrap();
+    writeln!(
+        out,
+        "  VCdim ≥ k ≈ log|D| (Prop 5), and ≤ C·log|D| with C = {c:.1} (Prop 6)\n"
+    )
+    .unwrap();
 }
 
 /// E5 — non-closure: the arctan set (§2) is not semi-linear; the exact
 /// engine refuses, the MC approximator still answers.
 pub fn e5(out: &mut String) {
-    writeln!(out, "E5: non-closure — VOL_I slice of epigraph of 1/(1+y²) = arctan(x)").unwrap();
+    writeln!(
+        out,
+        "E5: non-closure — VOL_I slice of epigraph of 1/(1+y²) = arctan(x)"
+    )
+    .unwrap();
     let mut vars = VarMap::new();
     let y = vars.intern("y");
     let z = vars.intern("z");
     let db = Database::new();
     // At x = 1: {(y,z) : 0 ≤ y ≤ 1 ∧ 0 ≤ z·(1+y²) ≤ 1} ∩ I².
-    let f = parse_formula_with(
-        "0 <= y & y <= 1 & 0 <= z & z + z*y*y <= 1",
-        &mut vars,
+    let f = parse_formula_with("0 <= y & y <= 1 & 0 <= z & z + z*y*y <= 1", &mut vars).unwrap();
+    let exact = volume(&f, &[y, z]);
+    writeln!(
+        out,
+        "  exact semi-linear engine: {:?} (refuses: polynomial atoms)",
+        exact.is_err()
     )
     .unwrap();
-    let exact = volume(&f, &[y, z]);
-    writeln!(out, "  exact semi-linear engine: {:?} (refuses: polynomial atoms)", exact.is_err()).unwrap();
     assert!(exact.is_err());
     let mut w = Witness::new(7);
     let mc = mc_volume_in_unit_box(&db, &f, &[y, z], 20_000, &mut w).unwrap();
     let truth = std::f64::consts::FRAC_PI_4; // arctan(1)
-    writeln!(out, "  MC estimate: {:.4}   arctan(1) = π/4 ≈ {:.4}   |err| = {:.4}", mc.to_f64(), truth, (mc.to_f64() - truth).abs()).unwrap();
+    writeln!(
+        out,
+        "  MC estimate: {:.4}   arctan(1) = π/4 ≈ {:.4}   |err| = {:.4}",
+        mc.to_f64(),
+        truth,
+        (mc.to_f64() - truth).abs()
+    )
+    .unwrap();
     assert!((mc.to_f64() - truth).abs() < 0.02);
-    writeln!(out, "  (π/4 is transcendental: no FO+POLY output formula could denote it)\n").unwrap();
+    writeln!(
+        out,
+        "  (π/4 is transcendental: no FO+POLY output formula could denote it)\n"
+    )
+    .unwrap();
 }
 
 /// E6 — Section-5 worked example: polygon area in FO+POLY+SUM equals the
 /// shoelace area.
 pub fn e6(out: &mut String) {
-    writeln!(out, "E6: §5 worked example — polygon area by FO+POLY+SUM triangulation").unwrap();
-    writeln!(out, "  {:>6} {:>10} {:>14} {:>14} {:>8}", "seed", "vertices", "sum-term", "shoelace", "equal").unwrap();
+    writeln!(
+        out,
+        "E6: §5 worked example — polygon area by FO+POLY+SUM triangulation"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  {:>6} {:>10} {:>14} {:>14} {:>8}",
+        "seed", "vertices", "sum-term", "shoelace", "equal"
+    )
+    .unwrap();
     for seed in 0..8u64 {
         let poly = workloads::random_convex_polygon(12, seed);
         if poly.len() < 3 {
@@ -224,8 +347,16 @@ pub fn e6(out: &mut String) {
 /// ε ≥ 1/2; every bounded-template FO_act candidate fails to separate for
 /// ε < 1/2.
 pub fn e7(out: &mut String) {
-    writeln!(out, "E7: Prop 4 (trivial ε ≥ 1/2 approximation) vs Thm 2 (ε < 1/2 impossible)").unwrap();
-    writeln!(out, "  trivial approximator error on assorted sets (must be ≤ 1/2):").unwrap();
+    writeln!(
+        out,
+        "E7: Prop 4 (trivial ε ≥ 1/2 approximation) vs Thm 2 (ε < 1/2 impossible)"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  trivial approximator error on assorted sets (must be ≤ 1/2):"
+    )
+    .unwrap();
     let mut vars = VarMap::new();
     let vs: Vec<Var> = ["x", "y"].iter().map(|n| vars.intern(n)).collect();
     for src in ["x + y <= 1", "x >= 0.9", "x = 0.5", "true", "false"] {
@@ -233,19 +364,46 @@ pub fn e7(out: &mut String) {
         let est = trivial_volume_approximation(&f, &vs).unwrap();
         let truth = volume_in_unit_box(&f, &vs).unwrap();
         let err = (est.clone() - truth.clone()).abs();
-        writeln!(out, "    {:<14} est {:>4}  true {:>4}  err {}", src, est.to_string(), truth.to_string(), err).unwrap();
+        writeln!(
+            out,
+            "    {:<14} est {:>4}  true {:>4}  err {}",
+            src,
+            est.to_string(),
+            truth.to_string(),
+            err
+        )
+        .unwrap();
         assert!(err <= rat(1, 2));
     }
-    writeln!(out, "\n  separating-sentence sweep (c1 = c2 = 2, n ≤ 12): candidates that separate:").unwrap();
+    writeln!(
+        out,
+        "\n  separating-sentence sweep (c1 = c2 = 2, n ≤ 12): candidates that separate:"
+    )
+    .unwrap();
     let winners = find_separating_sentence(2.0, 2.0, 12);
-    writeln!(out, "    {} of {} templates separate → {:?}", winners.len(), CANDIDATES.len(), winners).unwrap();
+    writeln!(
+        out,
+        "    {} of {} templates separate → {:?}",
+        winners.len(),
+        CANDIDATES.len(),
+        winners
+    )
+    .unwrap();
     assert!(winners.is_empty());
-    writeln!(out, "\n  Thm-2 reduction: good instance → interval volumes (VOL X + VOL Y = 1):").unwrap();
+    writeln!(
+        out,
+        "\n  Thm-2 reduction: good instance → interval volumes (VOL X + VOL Y = 1):"
+    )
+    .unwrap();
     for (n, k) in [(6, 2), (8, 5), (10, 3)] {
         let mask: Vec<bool> = (0..n).map(|i| i < k).collect();
         let inst = GoodInstance::new(n, mask).unwrap();
         let (vx, vy) = good_instance_volumes(&inst);
-        writeln!(out, "    n={n} card(B)={k}: VOL(X)={vx} VOL(Y)={vy} (card(B)/n = {k}/{n})").unwrap();
+        writeln!(
+            out,
+            "    n={n} card(B)={k}: VOL(X)={vx} VOL(Y)={vy} (card(B)/n = {k}/{n})"
+        )
+        .unwrap();
         assert_eq!(&vx + &vy, Rat::one());
         assert_eq!(vx, rat(k as i64, n as i64));
     }
@@ -255,7 +413,11 @@ pub fn e7(out: &mut String) {
 /// E8 — the variable-independence baseline: exact where it applies, and a
 /// measurement of how rarely it applies.
 pub fn e8(out: &mut String) {
-    writeln!(out, "E8: variable-independence baseline (Chomicki–Goldin–Kuper)").unwrap();
+    writeln!(
+        out,
+        "E8: variable-independence baseline (Chomicki–Goldin–Kuper)"
+    )
+    .unwrap();
     // Where it applies, it matches the general engine.
     let mut agree = 0;
     let mut applicable = 0;
@@ -286,25 +448,34 @@ pub fn e8(out: &mut String) {
     }
     writeln!(out, "  random simplices (the paper's 'sets that arise most often'): {vi_count}/{total} variable independent").unwrap();
     assert_eq!(vi_count, 0);
-    writeln!(out, "  → the condition excludes the common spatial workloads, as §1 argues.\n").unwrap();
+    writeln!(
+        out,
+        "  → the condition excludes the common spatial workloads, as §1 argues.\n"
+    )
+    .unwrap();
 }
 
 /// E9 — QE closure and cost: FM vs LW agreement on random linear queries;
 /// Cohen–Hörmander on polynomial sentences.
 pub fn e9(out: &mut String) {
-    writeln!(out, "E9: QE closure — FO+LIN outputs stay linear; engines agree").unwrap();
-    writeln!(out, "  {:>6} {:>7} {:>7} {:>14} {:>10}", "seed", "atoms", "quant", "output atoms", "agree").unwrap();
+    writeln!(
+        out,
+        "E9: QE closure — FO+LIN outputs stay linear; engines agree"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  {:>6} {:>7} {:>7} {:>14} {:>10}",
+        "seed", "atoms", "quant", "output atoms", "agree"
+    )
+    .unwrap();
     for seed in 0..8u64 {
         let mut vars = VarMap::new();
         let q = workloads::random_linear_query(2, 2, 6, seed, &mut vars);
         let fm = cqa_qe::fourier_motzkin(&q).unwrap();
         let lw = cqa_qe::loos_weispfenning(&q).unwrap();
         // Agreement checked semantically on a grid.
-        let vars_v: Vec<Var> = fm
-            .free_vars()
-            .union(&lw.free_vars())
-            .copied()
-            .collect();
+        let vars_v: Vec<Var> = fm.free_vars().union(&lw.free_vars()).copied().collect();
         let mut agree = true;
         for a in -4..=4 {
             for b in -4..=4 {
@@ -317,7 +488,16 @@ pub fn e9(out: &mut String) {
                 }
             }
         }
-        writeln!(out, "  {:>6} {:>7} {:>7} {:>14} {:>10}", seed, q.atom_count(), q.quantifier_count(), fm.atom_count(), agree).unwrap();
+        writeln!(
+            out,
+            "  {:>6} {:>7} {:>7} {:>14} {:>10}",
+            seed,
+            q.atom_count(),
+            q.quantifier_count(),
+            fm.atom_count(),
+            agree
+        )
+        .unwrap();
         assert!(agree);
         assert!(fm.is_quantifier_free());
     }
@@ -341,8 +521,17 @@ pub fn e9(out: &mut String) {
 /// E10 — Löwner–John relative approximation for convex outputs (§4.3
 /// remark): bounds bracket the true volume within the kᵏ band.
 pub fn e10(out: &mut String) {
-    writeln!(out, "E10: Löwner–John relative approximation (convex sets, k^k band)").unwrap();
-    writeln!(out, "  {:>6} {:>4} {:>12} {:>12} {:>12} {:>8}", "seed", "k", "inner", "true", "outer", "in band").unwrap();
+    writeln!(
+        out,
+        "E10: Löwner–John relative approximation (convex sets, k^k band)"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  {:>6} {:>4} {:>12} {:>12} {:>12} {:>8}",
+        "seed", "k", "inner", "true", "outer", "in band"
+    )
+    .unwrap();
     for seed in 0..6u64 {
         let poly = workloads::random_convex_polygon(10, seed);
         if poly.len() < 3 {
@@ -355,7 +544,12 @@ pub fn e10(out: &mut String) {
             .collect();
         let b = john_volume_bounds(&pts);
         let ok = b.inner_volume <= truth * 1.001 && truth <= b.outer_volume * 1.001;
-        writeln!(out, "  {:>6} {:>4} {:>12.3} {:>12.3} {:>12.3} {:>8}", seed, 2, b.inner_volume, truth, b.outer_volume, ok).unwrap();
+        writeln!(
+            out,
+            "  {:>6} {:>4} {:>12.3} {:>12.3} {:>12.3} {:>8}",
+            seed, 2, b.inner_volume, truth, b.outer_volume, ok
+        )
+        .unwrap();
         assert!(ok);
     }
     writeln!(out, "  k = 2 → guaranteed ratio k^k = 4 between bounds.\n").unwrap();
@@ -364,11 +558,30 @@ pub fn e10(out: &mut String) {
 /// E11 — randomized volume baselines vs the exact engine: accuracy at
 /// fixed sample budget.
 pub fn e11(out: &mut String) {
-    writeln!(out, "E11: volume baselines on convex polytopes (20k samples each)").unwrap();
-    writeln!(out, "  {:>16} {:>10} {:>12} {:>12} {:>12}", "body", "exact", "rejection", "hit&run", "worst |rel|").unwrap();
+    writeln!(
+        out,
+        "E11: volume baselines on convex polytopes (20k samples each)"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  {:>16} {:>10} {:>12} {:>12} {:>12}",
+        "body", "exact", "rejection", "hit&run", "worst |rel|"
+    )
+    .unwrap();
     let bodies: [(&str, &str, &[&str], &[f64]); 3] = [
-        ("triangle", "x >= 0 & y >= 0 & x + y <= 1", &["x", "y"], &[0.3, 0.3]),
-        ("unit square", "0 <= x & x <= 1 & 0 <= y & y <= 1", &["x", "y"], &[0.5, 0.5]),
+        (
+            "triangle",
+            "x >= 0 & y >= 0 & x + y <= 1",
+            &["x", "y"],
+            &[0.3, 0.3],
+        ),
+        (
+            "unit square",
+            "0 <= x & x <= 1 & 0 <= y & y <= 1",
+            &["x", "y"],
+            &[0.5, 0.5],
+        ),
         (
             "3-simplex",
             "x >= 0 & y >= 0 & z >= 0 & x + y + z <= 1",
@@ -386,11 +599,22 @@ pub fn e11(out: &mut String) {
         let d = vs.len();
         let rej = rejection_volume(&p, &vec![0.0; d], &vec![1.0; d], 20_000, 5);
         let har = hit_and_run_volume(&p, interior, 20_000, 5);
-        let rel = ((rej - exact) / exact).abs().max(((har - exact) / exact).abs());
-        writeln!(out, "  {:>16} {:>10.4} {:>12.4} {:>12.4} {:>12.3}", label, exact, rej, har, rel).unwrap();
+        let rel = ((rej - exact) / exact)
+            .abs()
+            .max(((har - exact) / exact).abs());
+        writeln!(
+            out,
+            "  {:>16} {:>10.4} {:>12.4} {:>12.4} {:>12.3}",
+            label, exact, rej, har, rel
+        )
+        .unwrap();
         assert!(((rej - exact) / exact).abs() < 0.1);
     }
-    writeln!(out, "  exact engine is the reference; baselines trade accuracy for generality.\n").unwrap();
+    writeln!(
+        out,
+        "  exact engine is the reference; baselines trade accuracy for generality.\n"
+    )
+    .unwrap();
 }
 
 /// E12 — Lemma 4 closure: FO+POLY+SUM aggregate evaluation returns
@@ -398,11 +622,20 @@ pub fn e11(out: &mut String) {
 /// outputs.
 pub fn e12(out: &mut String) {
     use cqa_agg::{aggregate, Aggregate};
-    writeln!(out, "E12: Lemma 4 — closure and SAF aggregates of FO+POLY+SUM").unwrap();
+    writeln!(
+        out,
+        "E12: Lemma 4 — closure and SAF aggregates of FO+POLY+SUM"
+    )
+    .unwrap();
     let mut db = Database::new();
     db.add_finite_relation(
         "U",
-        vec![vec![rat(1, 4)], vec![rat(1, 2)], vec![rat(3, 4)], vec![rat(9, 10)]],
+        vec![
+            vec![rat(1, 4)],
+            vec![rat(1, 2)],
+            vec![rat(3, 4)],
+            vec![rat(9, 10)],
+        ],
     )
     .unwrap();
     db.define("S", &["s"], "0 <= s & s <= 1").unwrap();
@@ -410,23 +643,59 @@ pub fn e12(out: &mut String) {
     let q = parse_formula_with("U(x) & S(x) & x >= 0.5", db.vars_mut()).unwrap();
     let idty = cqa_poly::MPoly::var(x);
     let rows = [
-        ("COUNT", aggregate(&db, &q, &[x], &idty, Aggregate::Count).unwrap(), rat(3, 1)),
-        ("SUM", aggregate(&db, &q, &[x], &idty, Aggregate::Sum).unwrap(), rat(43, 20)),
-        ("AVG", aggregate(&db, &q, &[x], &idty, Aggregate::Avg).unwrap(), rat(43, 60)),
-        ("MIN", aggregate(&db, &q, &[x], &idty, Aggregate::Min).unwrap(), rat(1, 2)),
-        ("MAX", aggregate(&db, &q, &[x], &idty, Aggregate::Max).unwrap(), rat(9, 10)),
+        (
+            "COUNT",
+            aggregate(&db, &q, &[x], &idty, Aggregate::Count).unwrap(),
+            rat(3, 1),
+        ),
+        (
+            "SUM",
+            aggregate(&db, &q, &[x], &idty, Aggregate::Sum).unwrap(),
+            rat(43, 20),
+        ),
+        (
+            "AVG",
+            aggregate(&db, &q, &[x], &idty, Aggregate::Avg).unwrap(),
+            rat(43, 60),
+        ),
+        (
+            "MIN",
+            aggregate(&db, &q, &[x], &idty, Aggregate::Min).unwrap(),
+            rat(1, 2),
+        ),
+        (
+            "MAX",
+            aggregate(&db, &q, &[x], &idty, Aggregate::Max).unwrap(),
+            rat(9, 10),
+        ),
     ];
-    writeln!(out, "  query: U(x) ∧ S(x) ∧ x ≥ 1/2 over U = {{1/4, 1/2, 3/4, 9/10}}").unwrap();
+    writeln!(
+        out,
+        "  query: U(x) ∧ S(x) ∧ x ≥ 1/2 over U = {{1/4, 1/2, 3/4, 9/10}}"
+    )
+    .unwrap();
     for (name, got, expect) in rows {
-        writeln!(out, "    {:<6} = {:<8} (expected {})", name, got.to_string(), expect).unwrap();
+        writeln!(
+            out,
+            "    {:<6} = {:<8} (expected {})",
+            name,
+            got.to_string(),
+            expect
+        )
+        .unwrap();
         assert_eq!(got, expect);
     }
     // Volume of a semi-linear relation through the language (Theorem 3 again,
     // as the closure showcase).
     let mut db2 = Database::new();
-    db2.define("T", &["x", "y"], "x >= 0 & y >= 0 & x + y <= 1").unwrap();
+    db2.define("T", &["x", "y"], "x >= 0 & y >= 0 & x + y <= 1")
+        .unwrap();
     let vol = semilinear_volume(&db2, "T").unwrap();
-    writeln!(out, "  VOLUME(T) via the language pipeline: {vol} (exact rational output)\n").unwrap();
+    writeln!(
+        out,
+        "  VOLUME(T) via the language pipeline: {vol} (exact rational output)\n"
+    )
+    .unwrap();
     assert_eq!(vol, rat(1, 2));
 }
 
@@ -443,7 +712,8 @@ fn collect_atoms(f: &cqa_logic::Formula) -> Vec<cqa_logic::Atom> {
 /// Runs every experiment, returning the combined report.
 pub fn run_all() -> String {
     let mut out = String::new();
-    let fns: [(&str, fn(&mut String)); 12] = [
+    type Experiment = fn(&mut String);
+    let fns: [(&str, Experiment); 12] = [
         ("e1", e1),
         ("e2", e2),
         ("e3", e3),

@@ -7,6 +7,8 @@
 //! binary prints them; the Criterion benches under `benches/` measure the
 //! corresponding costs.
 
+#![forbid(unsafe_code)]
+
 pub mod experiments;
 pub mod workloads;
 

@@ -23,11 +23,7 @@ pub fn random_convex_polygon(n: usize, seed: u64) -> Vec<Point2> {
 
 /// A random bounded simplex-like region in `dim` variables:
 /// `x_i ≥ lo_i` and `Σ c_i x_i ≤ b` with positive coefficients.
-pub fn random_simplex_formula(
-    dim: usize,
-    seed: u64,
-    vars: &mut VarMap,
-) -> (Formula, Vec<Var>) {
+pub fn random_simplex_formula(dim: usize, seed: u64, vars: &mut VarMap) -> (Formula, Vec<Var>) {
     let mut rng = StdRng::seed_from_u64(seed);
     let names: Vec<String> = (0..dim).map(|i| format!("x{i}")).collect();
     let vs: Vec<Var> = names.iter().map(|n| vars.intern(n)).collect();
@@ -112,12 +108,13 @@ pub fn random_linear_query(
             terms.push("0".to_string());
         }
         let rel = ["<", "<=", ">=", ">"][rng.random_range(0..4)];
-        parts.push(format!("{} {rel} {}", terms.join(" + "), rng.random_range(-3..=3)));
+        parts.push(format!(
+            "{} {rel} {}",
+            terms.join(" + "),
+            rng.random_range(-3..=3)
+        ));
     }
     let body = parse_formula_with(&parts.join(" & "), vars).unwrap();
-    let qvars: Vec<Var> = names[free..]
-        .iter()
-        .map(|n| vars.get(n).unwrap())
-        .collect();
+    let qvars: Vec<Var> = names[free..].iter().map(|n| vars.get(n).unwrap()).collect();
     Formula::exists(qvars, body)
 }

@@ -1,0 +1,69 @@
+//! The analyzer wired in front of the bench workloads: every generated
+//! workload formula must lint clean (zero errors) — the acceptance gate
+//! that the analyzer's under-approximations never reject well-formed
+//! queries the benches rely on.
+
+use cqa_analyze::{analyze_formula, AnalyzerConfig, Schema};
+use cqa_approx::km::KmBudget;
+use cqa_bench::workloads::{random_box_union, random_linear_query, random_simplex_formula};
+use cqa_logic::VarMap;
+
+fn permissive() -> AnalyzerConfig {
+    let mut cfg = AnalyzerConfig::default();
+    // The blow-up lint is a warning, but keep budgets out of the way so
+    // this test is strictly about errors.
+    cfg.cost.budget = KmBudget {
+        max_atoms: f64::INFINITY,
+        max_quantifiers: f64::INFINITY,
+    };
+    cfg
+}
+
+#[test]
+fn simplex_workloads_lint_clean() {
+    for seed in 0..20 {
+        for dim in 1..=4 {
+            let mut vars = VarMap::new();
+            let (f, vs) = random_simplex_formula(dim, seed, &mut vars);
+            let a = analyze_formula(&f, &vs, &Schema::new(), &vars, &permissive());
+            assert!(
+                !a.has_errors(),
+                "dim {dim} seed {seed}: {:?}",
+                a.diagnostics
+            );
+        }
+    }
+}
+
+#[test]
+fn box_union_workloads_lint_clean() {
+    for seed in 0..20 {
+        let mut vars = VarMap::new();
+        let (f, vs) = random_box_union(4, seed, &mut vars);
+        let a = analyze_formula(&f, &vs, &Schema::new(), &vars, &permissive());
+        assert!(!a.has_errors(), "seed {seed}: {:?}", a.diagnostics);
+    }
+}
+
+#[test]
+fn linear_query_workloads_lint_clean_and_classify_linear() {
+    for seed in 0..10 {
+        let mut vars = VarMap::new();
+        let f = random_linear_query(2, 2, 6, seed, &mut vars);
+        let free: Vec<_> = f.free_vars().into_iter().collect();
+        let a = analyze_formula(&f, &free, &Schema::new(), &vars, &permissive());
+        assert!(!a.has_errors(), "seed {seed}: {:?}", a.diagnostics);
+        assert_eq!(a.reports[0].fragment.fragment_name(), "FO+LIN");
+        assert_eq!(a.reports[0].fragment.quantifiers, 2);
+    }
+}
+
+#[test]
+fn workload_cost_estimates_are_finite_and_positive() {
+    let mut vars = VarMap::new();
+    let (f, vs) = random_simplex_formula(3, 7, &mut vars);
+    let a = analyze_formula(&f, &vs, &Schema::new(), &vars, &permissive());
+    let cost = a.reports[0].cost.unwrap();
+    assert!(cost.gj_constant.is_finite() && cost.gj_constant > 0.0);
+    assert!(cost.km.atoms.is_finite() && cost.km.atoms > 0.0);
+}

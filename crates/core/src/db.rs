@@ -37,17 +37,30 @@ impl std::fmt::Display for DbError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DbError::UnknownRelation(n) => write!(f, "unknown relation {n}"),
-            DbError::ArityMismatch { name, expected, got } => {
-                write!(f, "relation {name} has arity {expected}, got {got} arguments")
+            DbError::ArityMismatch {
+                name,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "relation {name} has arity {expected}, got {got} arguments"
+                )
             }
             DbError::DuplicateRelation(n) => write!(f, "relation {n} already defined"),
             DbError::BadDefinition(n) => {
-                write!(f, "definition of {n} must be quantifier-free and relation-free")
+                write!(
+                    f,
+                    "definition of {n} must be quantifier-free and relation-free"
+                )
             }
             DbError::Qe(e) => write!(f, "quantifier elimination failed: {e}"),
             DbError::Parse(m) => write!(f, "parse error: {m}"),
             DbError::NoActiveDomain => {
-                write!(f, "active-domain quantifier over a database with no finite relation")
+                write!(
+                    f,
+                    "active-domain quantifier over a database with no finite relation"
+                )
             }
         }
     }
@@ -183,8 +196,8 @@ impl Database {
     /// ```
     pub fn define(&mut self, name: &str, params: &[&str], src: &str) -> Result<(), DbError> {
         let vs: Vec<Var> = params.iter().map(|p| self.vars.intern(p)).collect();
-        let f = parse_formula_with(src, &mut self.vars)
-            .map_err(|e| DbError::Parse(e.to_string()))?;
+        let f =
+            parse_formula_with(src, &mut self.vars).map_err(|e| DbError::Parse(e.to_string()))?;
         self.add_fr_relation(name, vs, f)
     }
 
@@ -226,7 +239,8 @@ impl Database {
         if tuples.iter().any(|t| t.len() != arity) {
             return Err(DbError::BadDefinition(name.to_string()));
         }
-        self.relations.insert(name.to_string(), Relation::Finite(tuples));
+        self.relations
+            .insert(name.to_string(), Relation::Finite(tuples));
         Ok(())
     }
 
@@ -261,7 +275,14 @@ impl Database {
             .max(self.vars.len() as u32);
         for rel in self.relations.values() {
             if let Relation::FinitelyRepresentable { formula, .. } = rel {
-                fresh = fresh.max(formula.all_vars().iter().map(|v| v.0 + 1).max().unwrap_or(0));
+                fresh = fresh.max(
+                    formula
+                        .all_vars()
+                        .iter()
+                        .map(|v| v.0 + 1)
+                        .max()
+                        .unwrap_or(0),
+                );
             }
         }
         self.expand_rec(q, &mut fresh)
@@ -299,12 +320,8 @@ impl Database {
                 }
                 out
             }
-            Formula::Exists(vs, g) => {
-                Formula::exists(vs.clone(), self.expand_rec(g, fresh)?)
-            }
-            Formula::Forall(vs, g) => {
-                Formula::forall(vs.clone(), self.expand_rec(g, fresh)?)
-            }
+            Formula::Exists(vs, g) => Formula::exists(vs.clone(), self.expand_rec(g, fresh)?),
+            Formula::Forall(vs, g) => Formula::forall(vs.clone(), self.expand_rec(g, fresh)?),
             Formula::ExistsAdom(v, g) => {
                 let body = self.expand_rec(g, fresh)?;
                 let mut out = Formula::False;
@@ -341,8 +358,8 @@ impl Database {
     /// named parameters in order.
     pub fn query(&mut self, params: &[&str], src: &str) -> Result<Relation, DbError> {
         let vs: Vec<Var> = params.iter().map(|p| self.vars.intern(p)).collect();
-        let q = parse_formula_with(src, &mut self.vars)
-            .map_err(|e| DbError::Parse(e.to_string()))?;
+        let q =
+            parse_formula_with(src, &mut self.vars).map_err(|e| DbError::Parse(e.to_string()))?;
         self.eval(&q, &vs)
     }
 }
@@ -355,7 +372,8 @@ mod tests {
     #[test]
     fn define_and_membership() {
         let mut db = Database::new();
-        db.define("T", &["x", "y"], "x >= 0 & y >= 0 & x + y <= 1").unwrap();
+        db.define("T", &["x", "y"], "x >= 0 & y >= 0 & x + y <= 1")
+            .unwrap();
         let t = db.relation("T").unwrap();
         assert!(t.contains(&[rat(1, 4), rat(1, 4)]));
         assert!(!t.contains(&[rat(1, 1), rat(1, 1)]));
@@ -384,7 +402,8 @@ mod tests {
     #[test]
     fn projection_query_is_closed() {
         let mut db = Database::new();
-        db.define("T", &["x", "y"], "x >= 0 & y >= 0 & x + y <= 1").unwrap();
+        db.define("T", &["x", "y"], "x >= 0 & y >= 0 & x + y <= 1")
+            .unwrap();
         // π_x(T): ∃y. T(x,y) — should come back as 0 ≤ x ≤ 1.
         let out = db.query(&["x"], "exists y. T(x, y)").unwrap();
         assert!(out.contains(&[rat(1, 2)]));
@@ -433,7 +452,8 @@ mod tests {
     #[test]
     fn finite_relations_and_adom() {
         let mut db = Database::new();
-        db.add_finite_relation("U", vec![vec![rat(1, 2)], vec![rat(3, 4)]]).unwrap();
+        db.add_finite_relation("U", vec![vec![rat(1, 2)], vec![rat(3, 4)]])
+            .unwrap();
         assert_eq!(db.adom(), vec![rat(1, 2), rat(3, 4)]);
         let u = db.relation("U").unwrap();
         assert!(u.contains(&[rat(1, 2)]));
@@ -443,7 +463,8 @@ mod tests {
     #[test]
     fn finite_relation_in_query() {
         let mut db = Database::new();
-        db.add_finite_relation("U", vec![vec![rat(1, 4)], vec![rat(1, 2)]]).unwrap();
+        db.add_finite_relation("U", vec![vec![rat(1, 4)], vec![rat(1, 2)]])
+            .unwrap();
         // Points of U shifted by 1.
         let out = db.query(&["x"], "U(x - 1)").unwrap();
         assert!(out.contains(&[rat(5, 4)]));
@@ -454,7 +475,8 @@ mod tests {
     #[test]
     fn active_domain_quantifiers() {
         let mut db = Database::new();
-        db.add_finite_relation("U", vec![vec![rat(1, 1)], vec![rat(3, 1)]]).unwrap();
+        db.add_finite_relation("U", vec![vec![rat(1, 1)], vec![rat(3, 1)]])
+            .unwrap();
         // ∃u ∈ adom: U(u) ∧ x < u — satisfied iff x < 3.
         let out = db.query(&["x"], "Eadom u. U(u) & x < u").unwrap();
         assert!(out.contains(&[rat(2, 1)]));
@@ -483,7 +505,9 @@ mod tests {
         // S(x) ≡ 0 ≤ x ≤ 1 defined with an internal variable named `x`.
         db.define("S", &["x"], "0 <= x & x <= 1").unwrap();
         // Query reusing the same variable names in a nested way.
-        let out = db.query(&["x"], "S(x) & (exists x. S(x) & x > 0.5)").unwrap();
+        let out = db
+            .query(&["x"], "S(x) & (exists x. S(x) & x > 0.5)")
+            .unwrap();
         assert!(out.contains(&[rat(1, 4)]));
         assert!(!out.contains(&[rat(2, 1)]));
     }
@@ -491,7 +515,8 @@ mod tests {
     #[test]
     fn composed_queries_stay_closed() {
         let mut db = Database::new();
-        db.define("T", &["x", "y"], "x >= 0 & y >= 0 & x + y <= 1").unwrap();
+        db.define("T", &["x", "y"], "x >= 0 & y >= 0 & x + y <= 1")
+            .unwrap();
         let first = db.query(&["x"], "exists y. T(x, y)").unwrap();
         // Register the output as a new relation and query it again.
         let Relation::FinitelyRepresentable { params, formula } = first else {

@@ -22,10 +22,14 @@
 //! * [`enumerate_finite`] — SAF (semi-algebraic-to-finite) safety:
 //!   decides whether a query output is finite and enumerates it.
 
+#![forbid(unsafe_code)]
+
 mod db;
 mod onedim;
 mod safety;
+mod syntactic;
 
 pub use db::{Database, DbError, Relation};
 pub use onedim::{decompose_1d, Endpoint, Interval1D};
 pub use safety::{enumerate_finite, is_finite_set, SafetyError};
+pub use syntactic::{is_syntactically_deterministic, is_syntactically_finite};

@@ -113,9 +113,7 @@ pub fn decompose_1d(f: &Formula, v: Var) -> Option<Vec<Interval1D>> {
     critical.sort();
 
     // Truth of φ at an algebraic point: every atom evaluated by exact sign.
-    let truth_at = |alpha: &RealAlg| -> bool {
-        eval_at_alg(f, v, alpha)
-    };
+    let truth_at = |alpha: &RealAlg| -> bool { eval_at_alg(f, v, alpha) };
     // Truth on an open region given a rational sample inside it.
     let truth_sample = |x: &Rat| -> bool {
         f.eval(
@@ -154,20 +152,21 @@ pub fn decompose_1d(f: &Formula, v: Var) -> Option<Vec<Interval1D>> {
         let tv = region_true[idx];
         let is_point = idx % 2 == 1;
         if tv {
-            match &mut current {
-                None => {
-                    let lo = if is_point {
-                        Endpoint::Value(critical[idx / 2].clone(), true)
-                    } else if idx == 0 {
-                        Endpoint::NegInf
-                    } else {
-                        // Open region starting after an excluded point.
-                        Endpoint::Value(critical[idx / 2 - 1].clone(), false)
-                    };
-                    current = Some(Interval1D { lo, hi: Endpoint::PosInf });
-                }
-                Some(_) => {} // extending
-            }
+            if current.is_none() {
+                let lo = if is_point {
+                    Endpoint::Value(critical[idx / 2].clone(), true)
+                } else if idx == 0 {
+                    Endpoint::NegInf
+                } else {
+                    // Open region starting after an excluded point.
+                    Endpoint::Value(critical[idx / 2 - 1].clone(), false)
+                };
+                current = Some(Interval1D {
+                    lo,
+                    hi: Endpoint::PosInf,
+                });
+            } // else: extending the current interval
+
             // If this truthful region is the last one, close at the proper end.
             if idx == n_regions - 1 {
                 let mut iv = current.take().unwrap();

@@ -26,6 +26,10 @@ pub enum SafetyError {
     /// ever sums over rational data — endpoints of semi-*linear* sets; for
     /// semi-algebraic sets use `decompose_1d` and `RealAlg` directly.)
     IrrationalPoint,
+    /// The formula mentions a free variable outside the enumeration
+    /// variables — its truth would depend on an assignment nobody supplied,
+    /// so enumeration would silently answer for one arbitrary assignment.
+    UnboundVariable(Var),
 }
 
 impl std::fmt::Display for SafetyError {
@@ -35,6 +39,13 @@ impl std::fmt::Display for SafetyError {
             SafetyError::Infinite => write!(f, "definable set is infinite"),
             SafetyError::IrrationalPoint => {
                 write!(f, "finite set contains an irrational algebraic point")
+            }
+            SafetyError::UnboundVariable(v) => {
+                write!(
+                    f,
+                    "formula has a free variable (index {}) outside the enumeration variables",
+                    v.0
+                )
             }
         }
     }
@@ -52,6 +63,15 @@ impl From<QeError> for SafetyError {
 pub fn is_finite_set(f: &Formula, vars: &[Var]) -> Result<bool, SafetyError> {
     if vars.is_empty() {
         return Ok(true);
+    }
+    // Fast path: a single variable needs no projection at all — `f` is
+    // already the one-dimensional set, so decompose it directly instead of
+    // eliminating an empty quantifier block through full QE.
+    if let [v] = vars {
+        if f.is_quantifier_free() && f.is_relation_free() {
+            let ivs = decompose_1d(f, *v).ok_or(SafetyError::Qe(QeError::HasRelations))?;
+            return Ok(ivs.iter().all(Interval1D::is_point));
+        }
     }
     // Finite iff the projection on each coordinate is a finite set of
     // points (o-minimality: otherwise some projection contains an
@@ -76,6 +96,12 @@ pub fn is_finite_set(f: &Formula, vars: &[Var]) -> Result<bool, SafetyError> {
 /// the set is infinite or contains irrational points.
 pub fn enumerate_finite(f: &Formula, vars: &[Var]) -> Result<Vec<Vec<Rat>>, SafetyError> {
     if vars.is_empty() {
+        // A leftover free variable means the recursion (or the caller)
+        // never fixed it: evaluating with a default assignment would
+        // silently answer for that one arbitrary point.
+        if let Some(&v) = f.free_vars().iter().next() {
+            return Err(SafetyError::UnboundVariable(v));
+        }
         let truth = f
             .eval(&|_| Rat::zero(), &[])
             .ok_or(SafetyError::Qe(QeError::HasRelations))?;
@@ -165,7 +191,10 @@ mod tests {
     fn enumerate_dependent() {
         let (f, vs) = setup("(x = 1 | x = 3) & y = 2*x", &["x", "y"]);
         let tuples = enumerate_finite(&f, &vs).unwrap();
-        assert_eq!(tuples, vec![vec![rat(1, 1), rat(2, 1)], vec![rat(3, 1), rat(6, 1)]]);
+        assert_eq!(
+            tuples,
+            vec![vec![rat(1, 1), rat(2, 1)], vec![rat(3, 1), rat(6, 1)]]
+        );
     }
 
     #[test]

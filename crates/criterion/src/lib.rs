@@ -17,6 +17,8 @@
 //! positional CLI filter argument is honoured (substring match on the
 //! benchmark id) so `cargo bench --bench mc_volume -- halfplane` works.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -43,7 +45,10 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Criterion {
-        Criterion { mode: Mode::Smoke, filter: None }
+        Criterion {
+            mode: Mode::Smoke,
+            filter: None,
+        }
     }
 }
 
@@ -69,11 +74,14 @@ impl Criterion {
 
     /// Starts a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { criterion: self, name: name.into() }
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
     }
 
     fn matches(&self, id: &str) -> bool {
-        self.filter.as_deref().map_or(true, |f| id.contains(f))
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
     }
 
     fn run_one<F: FnMut(&mut Bencher)>(&self, id: &str, mut body: F) {
@@ -82,13 +90,21 @@ impl Criterion {
         }
         match self.mode {
             Mode::Smoke => {
-                let mut b = Bencher { mode: Mode::Smoke, iters: 0, elapsed: Duration::ZERO };
+                let mut b = Bencher {
+                    mode: Mode::Smoke,
+                    iters: 0,
+                    elapsed: Duration::ZERO,
+                };
                 body(&mut b);
                 println!("bench {id}: ok (smoke, {} iter)", b.iters.max(1));
             }
             Mode::Measure => {
                 // Warm-up: also discovers a per-iteration cost estimate.
-                let mut b = Bencher { mode: Mode::Measure, iters: 0, elapsed: Duration::ZERO };
+                let mut b = Bencher {
+                    mode: Mode::Measure,
+                    iters: 0,
+                    elapsed: Duration::ZERO,
+                };
                 let warm = Instant::now();
                 while warm.elapsed() < WARMUP_BUDGET {
                     body(&mut b);
@@ -99,7 +115,11 @@ impl Criterion {
                     WARMUP_BUDGET.as_secs_f64()
                 };
                 // Measurement: run whole bodies until the budget is spent.
-                let mut m = Bencher { mode: Mode::Measure, iters: 0, elapsed: Duration::ZERO };
+                let mut m = Bencher {
+                    mode: Mode::Measure,
+                    iters: 0,
+                    elapsed: Duration::ZERO,
+                };
                 let start = Instant::now();
                 while start.elapsed() < MEASURE_BUDGET {
                     body(&mut m);
@@ -155,7 +175,12 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Benchmarks `body(bencher, input)` under `group_name/id`.
-    pub fn bench_with_input<I, F>(&mut self, id: impl IntoBenchmarkId, input: &I, mut body: F) -> &mut Self
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut body: F,
+    ) -> &mut Self
     where
         I: ?Sized,
         F: FnMut(&mut Bencher, &I),
@@ -178,12 +203,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// `function_name/parameter` (parameter rendered via `Display`).
     pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
-        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
     }
 
     /// Bare parameter id, mirroring crates-io criterion.
     pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -272,7 +301,10 @@ mod tests {
 
     #[test]
     fn filter_skips_nonmatching() {
-        let mut c = Criterion { mode: Mode::Smoke, filter: Some("wanted".into()) };
+        let mut c = Criterion {
+            mode: Mode::Smoke,
+            filter: Some("wanted".into()),
+        };
         let mut ran = false;
         {
             let mut g = c.benchmark_group("g");
@@ -290,9 +322,10 @@ mod tests {
         let mut sum = 0;
         {
             let mut g = c.benchmark_group("g");
-            g.sample_size(10).bench_with_input(BenchmarkId::new("sum", 3), &data, |b, d| {
-                b.iter(|| sum = d.iter().sum::<i32>())
-            });
+            g.sample_size(10)
+                .bench_with_input(BenchmarkId::new("sum", 3), &data, |b, d| {
+                    b.iter(|| sum = d.iter().sum::<i32>())
+                });
             g.finish();
         }
         assert_eq!(sum, 6);

@@ -134,7 +134,7 @@ mod tests {
         for i in 0..hull.len() {
             let (x1, y1) = &hull[i];
             let (x2, y2) = &hull[(i + 1) % hull.len()];
-            twice += (x1 * y2 - x2 * y1);
+            twice += x1 * y2 - x2 * y1;
         }
         assert!(twice.is_positive());
     }
@@ -150,9 +150,15 @@ mod tests {
     #[test]
     fn shoelace_areas() {
         assert_eq!(polygon_area(&[pt(0, 0), pt(1, 0), pt(0, 1)]), rat(1, 2));
-        assert_eq!(polygon_area(&[pt(0, 0), pt(2, 0), pt(2, 2), pt(0, 2)]), rat(4, 1));
+        assert_eq!(
+            polygon_area(&[pt(0, 0), pt(2, 0), pt(2, 2), pt(0, 2)]),
+            rat(4, 1)
+        );
         // Clockwise order gives the same absolute area.
-        assert_eq!(polygon_area(&[pt(0, 0), pt(0, 2), pt(2, 2), pt(2, 0)]), rat(4, 1));
+        assert_eq!(
+            polygon_area(&[pt(0, 0), pt(0, 2), pt(2, 2), pt(2, 0)]),
+            rat(4, 1)
+        );
         assert_eq!(polygon_area(&[pt(0, 0), pt(1, 0)]), rat(0, 1));
     }
 

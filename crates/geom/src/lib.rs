@@ -18,6 +18,8 @@
 //!   (the paper's Section-5 worked example).
 //! * [`simplex_volume`] — determinant-based simplex volumes.
 
+#![forbid(unsafe_code)]
+
 mod hull2d;
 mod linalg;
 mod polyhedron;

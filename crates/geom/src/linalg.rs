@@ -18,14 +18,25 @@ impl Mat {
     pub fn from_rows(rows: Vec<Vec<Rat>>) -> Mat {
         assert!(!rows.is_empty(), "Mat: no rows");
         let cols = rows[0].len();
-        assert!(cols > 0 && rows.iter().all(|r| r.len() == cols), "Mat: ragged rows");
+        assert!(
+            cols > 0 && rows.iter().all(|r| r.len() == cols),
+            "Mat: ragged rows"
+        );
         let nrows = rows.len();
-        Mat { rows: nrows, cols, data: rows.into_iter().flatten().collect() }
+        Mat {
+            rows: nrows,
+            cols,
+            data: rows.into_iter().flatten().collect(),
+        }
     }
 
     /// The zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Mat {
-        Mat { rows, cols, data: vec![Rat::zero(); rows * cols] }
+        Mat {
+            rows,
+            cols,
+            data: vec![Rat::zero(); rows * cols],
+        }
     }
 
     /// Number of rows.
@@ -133,11 +144,11 @@ pub fn solve(a: &Mat, b: &[Rat]) -> Option<Vec<Rat>> {
     let n = a.rows;
     // Augmented elimination.
     let mut m = Mat::zeros(n, n + 1);
-    for r in 0..n {
+    for (r, rhs) in b.iter().enumerate() {
         for c in 0..n {
             *m.at_mut(r, c) = a.at(r, c).clone();
         }
-        *m.at_mut(r, n) = b[r].clone();
+        *m.at_mut(r, n) = rhs.clone();
     }
     for col in 0..n {
         let p = (col..n).find(|&r| !m.at(r, col).is_zero())?;
@@ -204,9 +215,9 @@ mod tests {
         let b = [rat(1, 1), rat(0, 1)];
         let x = solve(&a, &b).unwrap();
         // Verify by substitution.
-        for r in 0..2 {
+        for (r, rhs) in b.iter().enumerate() {
             let lhs = a.at(r, 0) * &x[0] + a.at(r, 1) * &x[1];
-            assert_eq!(lhs, b[r]);
+            assert_eq!(lhs, *rhs);
         }
     }
 

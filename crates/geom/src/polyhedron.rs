@@ -17,7 +17,10 @@ pub struct HPolyhedron {
 impl HPolyhedron {
     /// The whole space `ℝⁿ` (no constraints).
     pub fn whole(dim: usize) -> HPolyhedron {
-        HPolyhedron { dim, rows: Vec::new() }
+        HPolyhedron {
+            dim,
+            rows: Vec::new(),
+        }
     }
 
     /// Ambient dimension.
@@ -108,7 +111,10 @@ impl HPolyhedron {
         assert_eq!(self.dim, other.dim);
         let mut rows = self.rows.clone();
         rows.extend(other.rows.iter().cloned());
-        HPolyhedron { dim: self.dim, rows }
+        HPolyhedron {
+            dim: self.dim,
+            rows,
+        }
     }
 
     /// Membership test.

@@ -58,7 +58,10 @@ impl std::error::Error for VolumeError {}
 /// Panics unless exactly `n+1` vertices of dimension `n` are supplied.
 pub fn simplex_volume(vertices: &[Vec<Rat>]) -> Rat {
     let n = vertices.len() - 1;
-    assert!(n >= 1 && vertices.iter().all(|v| v.len() == n), "simplex needs n+1 points in ℝⁿ");
+    assert!(
+        n >= 1 && vertices.iter().all(|v| v.len() == n),
+        "simplex needs n+1 points in ℝⁿ"
+    );
     let rows: Vec<Vec<Rat>> = vertices[1..]
         .iter()
         .map(|v| v.iter().zip(&vertices[0]).map(|(a, b)| a - b).collect())
@@ -83,11 +86,7 @@ pub fn volume_in_unit_box(f: &Formula, vars: &[Var]) -> Result<Rat, VolumeError>
     volume_impl(f, vars, Some(HPolyhedron::unit_box(vars.len())))
 }
 
-fn volume_impl(
-    f: &Formula,
-    vars: &[Var],
-    clip: Option<HPolyhedron>,
-) -> Result<Rat, VolumeError> {
+fn volume_impl(f: &Formula, vars: &[Var], clip: Option<HPolyhedron>) -> Result<Rat, VolumeError> {
     if !f.is_relation_free() {
         return Err(VolumeError::HasRelations);
     }
@@ -120,8 +119,7 @@ fn volume_impl(
                 _ => return Err(VolumeError::HasRelations),
             }
         }
-        let mut p =
-            HPolyhedron::from_atoms(&atoms, vars).ok_or(VolumeError::NotSemiLinear)?;
+        let mut p = HPolyhedron::from_atoms(&atoms, vars).ok_or(VolumeError::NotSemiLinear)?;
         if let Some(c) = &clip {
             p = p.intersect(c);
         }
@@ -314,15 +312,25 @@ mod tests {
 
     #[test]
     fn square_and_shifted_square() {
-        assert_eq!(vol("0 <= x & x <= 1 & 0 <= y & y <= 1", &["x", "y"]).unwrap(), rat(1, 1));
-        assert_eq!(vol("1 <= x & x <= 3 & -1 <= y & y <= 2", &["x", "y"]).unwrap(), rat(6, 1));
+        assert_eq!(
+            vol("0 <= x & x <= 1 & 0 <= y & y <= 1", &["x", "y"]).unwrap(),
+            rat(1, 1)
+        );
+        assert_eq!(
+            vol("1 <= x & x <= 3 & -1 <= y & y <= 2", &["x", "y"]).unwrap(),
+            rat(6, 1)
+        );
     }
 
     #[test]
     fn simplex_volumes_by_dimension() {
         // Standard simplex volume 1/n!.
         assert_eq!(
-            vol("x >= 0 & y >= 0 & z >= 0 & x + y + z <= 1", &["x", "y", "z"]).unwrap(),
+            vol(
+                "x >= 0 & y >= 0 & z >= 0 & x + y + z <= 1",
+                &["x", "y", "z"]
+            )
+            .unwrap(),
             rat(1, 6)
         );
         assert_eq!(
@@ -357,7 +365,10 @@ mod tests {
         assert_eq!(vol(src, &["x", "y"]).unwrap(), rat(1, 1));
         // The diagonal line y = x alone: measure zero even though unbounded
         // in every coordinate.
-        assert_eq!(vol("y = x & 0 <= x & x <= 1", &["x", "y"]).unwrap(), rat(0, 1));
+        assert_eq!(
+            vol("y = x & 0 <= x & x <= 1", &["x", "y"]).unwrap(),
+            rat(0, 1)
+        );
     }
 
     #[test]

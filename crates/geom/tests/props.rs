@@ -7,8 +7,11 @@ use proptest::prelude::*;
 
 /// Random small-integer points in the plane.
 fn points_strategy() -> impl Strategy<Value = Vec<(Rat, Rat)>> {
-    prop::collection::vec((-5i64..=5, -5i64..=5), 3..9)
-        .prop_map(|ps| ps.into_iter().map(|(x, y)| (rat(x, 1), rat(y, 1))).collect())
+    prop::collection::vec((-5i64..=5, -5i64..=5), 3..9).prop_map(|ps| {
+        ps.into_iter()
+            .map(|(x, y)| (rat(x, 1), rat(y, 1)))
+            .collect()
+    })
 }
 
 /// The H-polyhedron of a convex hull: one half-space per edge.

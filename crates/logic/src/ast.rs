@@ -651,9 +651,7 @@ mod tests {
     fn eval_quantifier_free() {
         // x < y & y <= 1
         let f = Formula::lt(x(), y()).and(Formula::le(y(), MPoly::one()));
-        let at = |vals: [i64; 2]| {
-            move |v: Var| rat(vals[v.0 as usize], 1)
-        };
+        let at = |vals: [i64; 2]| move |v: Var| rat(vals[v.0 as usize], 1);
         assert_eq!(f.eval(&at([0, 1]), &[]), Some(true));
         assert_eq!(f.eval(&at([1, 0]), &[]), Some(false));
         assert_eq!(f.eval(&at([0, 2]), &[]), Some(false));
@@ -664,7 +662,15 @@ mod tests {
         // ∃u ∈ adom. x < u
         let f = Formula::ExistsAdom(Var(1), Box::new(Formula::lt(x(), y())));
         let adom = [rat(1, 1), rat(3, 1)];
-        let at = |xv: i64| move |v: Var| if v == Var(0) { rat(xv, 1) } else { unreachable!() };
+        let at = |xv: i64| {
+            move |v: Var| {
+                if v == Var(0) {
+                    rat(xv, 1)
+                } else {
+                    unreachable!()
+                }
+            }
+        };
         assert_eq!(f.eval(&at(2), &adom), Some(true));
         assert_eq!(f.eval(&at(5), &adom), Some(false));
         // ∀u ∈ adom. x < u
@@ -677,7 +683,10 @@ mod tests {
     fn eval_short_circuits_connectives() {
         // A satisfied Or must not evaluate a later operand whose own
         // evaluation would be None (here: a schema relation).
-        let none = Formula::Rel { name: "R".into(), args: vec![x()] };
+        let none = Formula::Rel {
+            name: "R".into(),
+            args: vec![x()],
+        };
         let sat_or = Formula::Or(vec![Formula::True, none.clone()]);
         assert_eq!(sat_or.eval(&|_| rat(0, 1), &[]), Some(true));
         // Dually, a refuted And ignores a later unevaluable operand.
@@ -709,10 +718,16 @@ mod tests {
 
     #[test]
     fn relation_atoms() {
-        let f = Formula::Rel { name: "S".into(), args: vec![x(), y()] }
-            .and(Formula::lt(x(), y()));
+        let f = Formula::Rel {
+            name: "S".into(),
+            args: vec![x(), y()],
+        }
+        .and(Formula::lt(x(), y()));
         assert!(!f.is_relation_free());
-        assert_eq!(f.relation_names().into_iter().collect::<Vec<_>>(), vec!["S".to_string()]);
+        assert_eq!(
+            f.relation_names().into_iter().collect::<Vec<_>>(),
+            vec!["S".to_string()]
+        );
         assert_eq!(f.atom_count(), 2);
     }
 

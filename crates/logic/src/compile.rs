@@ -48,10 +48,16 @@ impl fmt::Display for CompileError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CompileError::Quantifier => {
-                write!(f, "formula contains a quantifier; eliminate quantifiers first")
+                write!(
+                    f,
+                    "formula contains a quantifier; eliminate quantifiers first"
+                )
             }
             CompileError::Relation(name) => {
-                write!(f, "formula mentions schema relation {name}; expand relations first")
+                write!(
+                    f,
+                    "formula mentions schema relation {name}; expand relations first"
+                )
             }
             CompileError::UnboundVar(v) => {
                 write!(f, "variable {v} has no assigned slot")
@@ -82,7 +88,10 @@ impl SlotMap {
         let mut vars = Vec::new();
         for g in groups {
             for &v in *g {
-                assert!(!vars.contains(&v), "duplicate variable {v} across slot groups");
+                assert!(
+                    !vars.contains(&v),
+                    "duplicate variable {v} across slot groups"
+                );
                 vars.push(v);
             }
         }
@@ -151,7 +160,10 @@ fn add_err(a: f64, ea: f64, b: f64, eb: f64) -> (f64, f64) {
 #[inline]
 fn mul_err(a: f64, ea: f64, b: f64, eb: f64) -> (f64, f64) {
     let v = a * b;
-    (v, (a.abs() * eb + b.abs() * ea + ea * eb + v.abs() * UNIT) * PAD)
+    (
+        v,
+        (a.abs() * eb + b.abs() * ea + ea * eb + v.abs() * UNIT) * PAD,
+    )
 }
 
 /// The `f64` image of a rational plus a bound on the conversion error
@@ -204,7 +216,12 @@ impl CompiledAtom {
             }
             powers.sort_unstable();
             let (coeff_f64, coeff_err) = rat_to_f64_err(coeff);
-            terms.push(Term { coeff: coeff.clone(), coeff_f64, coeff_err, powers });
+            terms.push(Term {
+                coeff: coeff.clone(),
+                coeff_f64,
+                coeff_err,
+                powers,
+            });
         }
         Ok(CompiledAtom { rel, terms })
     }
@@ -385,7 +402,13 @@ impl CompiledMatrix {
         self.eval_f64(&floats, &errs, &|i| values[i].clone())
     }
 
-    fn eval_node(&self, node: u32, floats: &[f64], errs: &[f64], exact: &dyn Fn(usize) -> Rat) -> bool {
+    fn eval_node(
+        &self,
+        node: u32,
+        floats: &[f64],
+        errs: &[f64],
+        exact: &dyn Fn(usize) -> Rat,
+    ) -> bool {
         match self.nodes[node as usize] {
             Op::True => true,
             Op::False => false,
@@ -457,7 +480,10 @@ mod tests {
         let x = vars.intern("x");
         let slots = SlotMap::from_vars(&[x]);
         let q = parse_formula_with("exists y. x < y", &mut vars).unwrap();
-        assert_eq!(CompiledMatrix::compile(&q, &slots).unwrap_err(), CompileError::Quantifier);
+        assert_eq!(
+            CompiledMatrix::compile(&q, &slots).unwrap_err(),
+            CompileError::Quantifier
+        );
         let r = parse_formula_with("T(x)", &mut vars).unwrap();
         assert_eq!(
             CompiledMatrix::compile(&r, &slots).unwrap_err(),
@@ -465,7 +491,10 @@ mod tests {
         );
         let y = vars.get("y").unwrap();
         let u = parse_formula_with("x < y", &mut vars).unwrap();
-        assert_eq!(CompiledMatrix::compile(&u, &slots).unwrap_err(), CompileError::UnboundVar(y));
+        assert_eq!(
+            CompiledMatrix::compile(&u, &slots).unwrap_err(),
+            CompileError::UnboundVar(y)
+        );
     }
 
     #[test]

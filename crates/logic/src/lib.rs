@@ -22,16 +22,22 @@
 //! Variables are interned [`Var`](cqa_poly::Var) indices; [`VarMap`] keeps
 //! the human names.
 
+#![forbid(unsafe_code)]
+
 mod ast;
 mod compile;
 mod norm;
 mod parser;
 mod print;
+mod span;
 mod varmap;
 
 pub use ast::{Atom, ConstraintClass, Formula, Rel};
 pub use compile::{rat_to_f64_err, CompileError, CompiledMatrix, SlotMap};
 pub use norm::{dnf, from_dnf, nnf, prenex, PrenexBlock};
-pub use parser::{parse_formula, parse_formula_with, parse_term_with, ParseError};
+pub use parser::{
+    parse_formula, parse_formula_spanned, parse_formula_with, parse_term_with, ParseError,
+};
 pub use print::display_formula;
+pub use span::{BoundVar, Span, SpannedFormula, SpannedNode};
 pub use varmap::VarMap;

@@ -86,7 +86,13 @@ fn prenex_rec(f: &Formula, next: &mut u32) -> (Vec<PrenexBlock>, Formula) {
                 fresh.push(w);
             }
             let (mut inner, matrix) = prenex_rec(&body, next);
-            inner.insert(0, PrenexBlock { exists, vars: fresh });
+            inner.insert(
+                0,
+                PrenexBlock {
+                    exists,
+                    vars: fresh,
+                },
+            );
             (inner, matrix)
         }
         Formula::And(fs) | Formula::Or(fs) => {
@@ -125,7 +131,10 @@ fn prenex_rec(f: &Formula, next: &mut u32) -> (Vec<PrenexBlock>, Formula) {
 /// # Panics
 /// Panics if the formula contains a quantifier.
 pub fn dnf(f: &Formula) -> Vec<Vec<Formula>> {
-    assert!(f.is_quantifier_free(), "dnf requires a quantifier-free formula");
+    assert!(
+        f.is_quantifier_free(),
+        "dnf requires a quantifier-free formula"
+    );
     let f = nnf(f);
     dnf_rec(&f)
 }
@@ -211,7 +220,10 @@ mod tests {
 
     #[test]
     fn nnf_keeps_relation_negation() {
-        let f = F::Not(Box::new(F::Rel { name: "S".into(), args: vec![x()] }));
+        let f = F::Not(Box::new(F::Rel {
+            name: "S".into(),
+            args: vec![x()],
+        }));
         assert!(matches!(nnf(&f), F::Not(_)));
     }
 

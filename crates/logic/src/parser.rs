@@ -26,8 +26,14 @@
 //! Numbers may be integers or decimal literals like `0.5` (parsed exactly
 //! as rationals); `/` divides a term by a non-zero rational constant, so
 //! fractions such as `1/2` work as expected.
+//!
+//! The parser natively builds a [`SpannedFormula`] — a faithful parse tree
+//! with byte spans on every node, the input to `cqa-analyze` — and the
+//! plain-[`Formula`] entry points lower it through the simplifying smart
+//! constructors, so both views always agree.
 
 use crate::ast::{Formula, Rel};
+use crate::span::{BoundVar, Span, SpannedFormula, SpannedNode};
 use crate::varmap::VarMap;
 use cqa_arith::Rat;
 use cqa_poly::MPoly;
@@ -59,12 +65,16 @@ enum Tok {
 struct Lexer<'a> {
     src: &'a [u8],
     pos: usize,
-    toks: Vec<(usize, Tok)>,
+    toks: Vec<(Span, Tok)>,
 }
 
 impl<'a> Lexer<'a> {
-    fn run(src: &'a str) -> Result<Vec<(usize, Tok)>, ParseError> {
-        let mut lx = Lexer { src: src.as_bytes(), pos: 0, toks: Vec::new() };
+    fn run(src: &'a str) -> Result<Vec<(Span, Tok)>, ParseError> {
+        let mut lx = Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            toks: Vec::new(),
+        };
         lx.lex()?;
         Ok(lx.toks)
     }
@@ -98,10 +108,12 @@ impl<'a> Lexer<'a> {
             }
         }
         let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
-        let value: Rat = text
-            .parse()
-            .map_err(|_| ParseError { at: start, msg: format!("bad number `{text}`") })?;
-        self.toks.push((start, Tok::Num(value)));
+        let value: Rat = text.parse().map_err(|_| ParseError {
+            at: start,
+            msg: format!("bad number `{text}`"),
+        })?;
+        self.toks
+            .push((Span::new(start, self.pos), Tok::Num(value)));
         Ok(())
     }
 
@@ -113,24 +125,28 @@ impl<'a> Lexer<'a> {
             self.pos += 1;
         }
         let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
-        self.toks.push((start, Tok::Ident(text.to_string())));
+        self.toks
+            .push((Span::new(start, self.pos), Tok::Ident(text.to_string())));
     }
 
     fn symbol(&mut self) -> Result<(), ParseError> {
         const TWO: [&str; 5] = ["<->", "->", "<=", ">=", "!="];
-        const ONE: [&str; 13] =
-            ["(", ")", ",", ".", "&", "|", "!", "<", ">", "=", "+", "-", "/"];
+        const ONE: [&str; 13] = [
+            "(", ")", ",", ".", "&", "|", "!", "<", ">", "=", "+", "-", "/",
+        ];
         let rest = &self.src[self.pos..];
         for s in TWO {
             if rest.starts_with(s.as_bytes()) {
-                self.toks.push((self.pos, Tok::Sym(s)));
+                self.toks
+                    .push((Span::new(self.pos, self.pos + s.len()), Tok::Sym(s)));
                 self.pos += s.len();
                 return Ok(());
             }
         }
         for s in ONE.iter().chain(["*", "^"].iter()) {
             if rest.starts_with(s.as_bytes()) {
-                self.toks.push((self.pos, Tok::Sym(s)));
+                self.toks
+                    .push((Span::new(self.pos, self.pos + s.len()), Tok::Sym(s)));
                 self.pos += s.len();
                 return Ok(());
             }
@@ -143,7 +159,7 @@ impl<'a> Lexer<'a> {
 }
 
 struct Parser<'a> {
-    toks: Vec<(usize, Tok)>,
+    toks: Vec<(Span, Tok)>,
     pos: usize,
     vars: &'a mut VarMap,
     src_len: usize,
@@ -155,7 +171,32 @@ impl<'a> Parser<'a> {
     }
 
     fn at(&self) -> usize {
-        self.toks.get(self.pos).map_or(self.src_len, |(p, _)| *p)
+        self.toks
+            .get(self.pos)
+            .map_or(self.src_len, |(s, _)| s.start)
+    }
+
+    /// End offset of the most recently consumed token.
+    fn prev_end(&self) -> usize {
+        if self.pos == 0 {
+            0
+        } else {
+            self.toks
+                .get(self.pos - 1)
+                .map_or(self.src_len, |(s, _)| s.end)
+        }
+    }
+
+    /// Span from `start` to the end of the last consumed token.
+    fn span_from(&self, start: usize) -> Span {
+        Span::new(start, self.prev_end().max(start))
+    }
+
+    /// Span of the current token (or an empty span at end of input).
+    fn cur_span(&self) -> Span {
+        self.toks
+            .get(self.pos)
+            .map_or(Span::new(self.src_len, self.src_len), |(s, _)| *s)
     }
 
     fn bump(&mut self) -> Option<Tok> {
@@ -177,128 +218,181 @@ impl<'a> Parser<'a> {
         if self.eat_sym(s) {
             Ok(())
         } else {
-            Err(ParseError { at: self.at(), msg: format!("expected `{s}`") })
+            Err(ParseError {
+                at: self.at(),
+                msg: format!("expected `{s}`"),
+            })
         }
     }
 
     fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
-        Err(ParseError { at: self.at(), msg: msg.into() })
+        Err(ParseError {
+            at: self.at(),
+            msg: msg.into(),
+        })
     }
 
     // ---- formulas ----
 
-    fn formula(&mut self) -> Result<Formula, ParseError> {
+    fn formula(&mut self) -> Result<SpannedFormula, ParseError> {
+        let start = self.at();
         let mut f = self.implies()?;
         while self.eat_sym("<->") {
             let g = self.implies()?;
-            f = f.clone().implies(g.clone()).and(g.implies(f));
+            let span = self.span_from(start);
+            let fwd = f.clone().implies(g.clone(), span);
+            let bwd = g.implies(f, span);
+            f = SpannedFormula {
+                node: SpannedNode::And(vec![fwd, bwd]),
+                span,
+            };
         }
         Ok(f)
     }
 
-    fn implies(&mut self) -> Result<Formula, ParseError> {
+    fn implies(&mut self) -> Result<SpannedFormula, ParseError> {
+        let start = self.at();
         let f = self.or_f()?;
         if self.eat_sym("->") {
             let g = self.implies()?;
-            Ok(f.implies(g))
+            let span = self.span_from(start);
+            Ok(f.implies(g, span))
         } else {
             Ok(f)
         }
     }
 
-    fn or_f(&mut self) -> Result<Formula, ParseError> {
-        let mut f = self.and_f()?;
+    fn or_f(&mut self) -> Result<SpannedFormula, ParseError> {
+        let start = self.at();
+        let f = self.and_f()?;
+        if !matches!(self.peek(), Some(Tok::Sym("|"))) {
+            return Ok(f);
+        }
+        let mut parts = vec![f];
         while self.eat_sym("|") {
-            f = f.or(self.and_f()?);
+            parts.push(self.and_f()?);
         }
-        Ok(f)
+        Ok(SpannedFormula {
+            node: SpannedNode::Or(parts),
+            span: self.span_from(start),
+        })
     }
 
-    fn and_f(&mut self) -> Result<Formula, ParseError> {
-        let mut f = self.unary()?;
+    fn and_f(&mut self) -> Result<SpannedFormula, ParseError> {
+        let start = self.at();
+        let f = self.unary()?;
+        if !matches!(self.peek(), Some(Tok::Sym("&"))) {
+            return Ok(f);
+        }
+        let mut parts = vec![f];
         while self.eat_sym("&") {
-            f = f.and(self.unary()?);
+            parts.push(self.unary()?);
         }
-        Ok(f)
+        Ok(SpannedFormula {
+            node: SpannedNode::And(parts),
+            span: self.span_from(start),
+        })
     }
 
-    fn unary(&mut self) -> Result<Formula, ParseError> {
+    fn unary(&mut self) -> Result<SpannedFormula, ParseError> {
+        let start = self.at();
         if self.eat_sym("!") {
-            return Ok(self.unary()?.negate());
+            let mut f = self.unary()?.negate();
+            f.span = self.span_from(start);
+            return Ok(f);
         }
         // `E(` / `A(` are relation atoms, not quantifiers.
         let next_is_paren = matches!(self.toks.get(self.pos + 1), Some((_, Tok::Sym("("))));
         match self.peek() {
             Some(Tok::Ident(kw)) if kw == "exists" || (kw == "E" && !next_is_paren) => {
                 self.pos += 1;
-                self.quantifier(true, false)
+                self.quantifier(start, true, false)
             }
             Some(Tok::Ident(kw)) if kw == "forall" || (kw == "A" && !next_is_paren) => {
                 self.pos += 1;
-                self.quantifier(false, false)
+                self.quantifier(start, false, false)
             }
             Some(Tok::Ident(kw)) if kw == "Eadom" => {
                 self.pos += 1;
-                self.quantifier(true, true)
+                self.quantifier(start, true, true)
             }
             Some(Tok::Ident(kw)) if kw == "Aadom" => {
                 self.pos += 1;
-                self.quantifier(false, true)
+                self.quantifier(start, false, true)
             }
             Some(Tok::Ident(kw)) if kw == "true" => {
+                let span = self.cur_span();
                 self.pos += 1;
-                Ok(Formula::True)
+                Ok(SpannedFormula {
+                    node: SpannedNode::True,
+                    span,
+                })
             }
             Some(Tok::Ident(kw)) if kw == "false" => {
+                let span = self.cur_span();
                 self.pos += 1;
-                Ok(Formula::False)
+                Ok(SpannedFormula {
+                    node: SpannedNode::False,
+                    span,
+                })
             }
             _ => self.atom_or_group(),
         }
     }
 
-    fn quantifier(&mut self, exists: bool, adom: bool) -> Result<Formula, ParseError> {
+    fn quantifier(
+        &mut self,
+        start: usize,
+        exists: bool,
+        adom: bool,
+    ) -> Result<SpannedFormula, ParseError> {
         let mut vars = Vec::new();
-        loop {
-            match self.peek() {
-                Some(Tok::Ident(name)) => {
-                    let name = name.clone();
-                    self.pos += 1;
-                    vars.push(self.vars.intern(&name));
-                    if self.eat_sym(",") {
-                        continue;
-                    }
-                }
-                _ => break,
-            }
-            if matches!(self.peek(), Some(Tok::Sym("."))) {
-                break;
-            }
+        while let Some(Tok::Ident(name)) = self.peek() {
+            let name = name.clone();
+            let span = self.cur_span();
+            self.pos += 1;
+            vars.push(BoundVar {
+                var: self.vars.intern(&name),
+                span,
+            });
+            // Separating commas between bound variables are optional.
+            let _ = self.eat_sym(",");
         }
         if vars.is_empty() {
             return self.err("quantifier needs at least one variable");
         }
         self.expect_sym(".")?;
         // Quantifier scope extends as far right as possible.
-        let body = self.formula()?;
+        let body = Box::new(self.formula()?);
+        let span = self.span_from(start);
         if adom {
             if vars.len() != 1 {
                 return self.err("active-domain quantifier binds one variable");
             }
-            Ok(if exists {
-                Formula::ExistsAdom(vars[0], Box::new(body))
-            } else {
-                Formula::ForallAdom(vars[0], Box::new(body))
+            let v = vars.pop().unwrap();
+            Ok(SpannedFormula {
+                node: if exists {
+                    SpannedNode::ExistsAdom(v, body)
+                } else {
+                    SpannedNode::ForallAdom(v, body)
+                },
+                span,
             })
-        } else if exists {
-            Ok(Formula::exists(vars, body))
         } else {
-            Ok(Formula::forall(vars, body))
+            Ok(SpannedFormula {
+                node: if exists {
+                    SpannedNode::Exists(vars, body)
+                } else {
+                    SpannedNode::Forall(vars, body)
+                },
+                span,
+            })
         }
     }
 
     /// Parses `( formula )`, a relation atom `R(t,…)`, or a comparison chain.
-    fn atom_or_group(&mut self) -> Result<Formula, ParseError> {
+    fn atom_or_group(&mut self) -> Result<SpannedFormula, ParseError> {
+        let start = self.at();
         // Relation atom: uppercase-ish identifier followed by '(' and NOT
         // parseable as a term function — we treat any IDENT '(' as a relation
         // if the identifier was not interned as a variable beforehand and the
@@ -310,13 +404,21 @@ impl<'a> Parser<'a> {
                 && matches!(self.toks.get(self.pos + 1), Some((_, Tok::Sym("("))))
             {
                 let name = name.clone();
+                let name_span = self.cur_span();
                 self.pos += 2;
                 let mut args = vec![self.term()?];
                 while self.eat_sym(",") {
                     args.push(self.term()?);
                 }
                 self.expect_sym(")")?;
-                return Ok(Formula::Rel { name, args });
+                return Ok(SpannedFormula {
+                    node: SpannedNode::Rel {
+                        name,
+                        args,
+                        name_span,
+                    },
+                    span: self.span_from(start),
+                });
             }
         }
         // Group: '(' could open a parenthesized formula or a term. Try the
@@ -324,10 +426,11 @@ impl<'a> Parser<'a> {
         if matches!(self.peek(), Some(Tok::Sym("("))) {
             let save = self.pos;
             self.pos += 1;
-            if let Ok(f) = self.formula() {
+            if let Ok(mut f) = self.formula() {
                 if self.eat_sym(")") {
                     // If a comparison follows, this was actually a term group.
                     if !self.peeking_comparison() {
+                        f.span = self.span_from(start);
                         return Ok(f);
                     }
                 }
@@ -340,12 +443,17 @@ impl<'a> Parser<'a> {
     fn peeking_comparison(&self) -> bool {
         matches!(
             self.peek(),
-            Some(Tok::Sym("=" | "!=" | "<" | "<=" | ">" | ">=" | "+" | "-" | "*" | "^"))
+            Some(Tok::Sym(
+                "=" | "!=" | "<" | "<=" | ">" | ">=" | "+" | "-" | "*" | "^"
+            ))
         )
     }
 
-    fn comparison(&mut self) -> Result<Formula, ParseError> {
+    fn comparison(&mut self) -> Result<SpannedFormula, ParseError> {
+        let start = self.at();
+        let mut term_spans = Vec::new();
         let first = self.term()?;
+        term_spans.push(self.span_from(start));
         let mut terms = vec![first];
         let mut rels = Vec::new();
         loop {
@@ -360,19 +468,31 @@ impl<'a> Parser<'a> {
             };
             self.pos += 1;
             rels.push(rel);
+            let tstart = self.at();
             terms.push(self.term()?);
+            term_spans.push(self.span_from(tstart));
         }
         if rels.is_empty() {
             return self.err("expected a comparison operator");
         }
         // Chained comparisons: a < b <= c means a < b & b <= c.
-        let mut f = Formula::True;
+        let mut atoms = Vec::with_capacity(rels.len());
         for (i, rel) in rels.iter().enumerate() {
             let lhs = terms[i].clone();
             let rhs = terms[i + 1].clone();
-            f = f.and(Formula::Atom(crate::ast::Atom::new(lhs - rhs, *rel)));
+            atoms.push(SpannedFormula {
+                node: SpannedNode::Atom(crate::ast::Atom::new(lhs - rhs, *rel)),
+                span: term_spans[i].join(term_spans[i + 1]),
+            });
         }
-        Ok(f)
+        if atoms.len() == 1 {
+            Ok(atoms.pop().unwrap())
+        } else {
+            Ok(SpannedFormula {
+                node: SpannedNode::And(atoms),
+                span: self.span_from(start),
+            })
+        }
     }
 
     // ---- terms ----
@@ -467,8 +587,19 @@ pub fn parse_formula(src: &str) -> Result<(Formula, VarMap), ParseError> {
 /// Parses a formula using (and extending) an existing variable map, so that
 /// several formulas can share variable identities.
 pub fn parse_formula_with(src: &str, vars: &mut VarMap) -> Result<Formula, ParseError> {
+    Ok(parse_formula_spanned(src, vars)?.to_formula())
+}
+
+/// Parses a formula into the span-carrying parse tree (the input of
+/// `cqa-analyze`), using and extending an existing variable map.
+pub fn parse_formula_spanned(src: &str, vars: &mut VarMap) -> Result<SpannedFormula, ParseError> {
     let toks = Lexer::run(src)?;
-    let mut p = Parser { toks, pos: 0, vars, src_len: src.len() };
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        vars,
+        src_len: src.len(),
+    };
     let f = p.formula()?;
     if p.pos != p.toks.len() {
         return p.err("trailing input");
@@ -479,7 +610,12 @@ pub fn parse_formula_with(src: &str, vars: &mut VarMap) -> Result<Formula, Parse
 /// Parses a polynomial term using an existing variable map.
 pub fn parse_term_with(src: &str, vars: &mut VarMap) -> Result<MPoly, ParseError> {
     let toks = Lexer::run(src)?;
-    let mut p = Parser { toks, pos: 0, vars, src_len: src.len() };
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        vars,
+        src_len: src.len(),
+    };
     let t = p.term()?;
     if p.pos != p.toks.len() {
         return p.err("trailing input");
@@ -591,9 +727,18 @@ mod tests {
 
     #[test]
     fn parse_classes() {
-        assert_eq!(parse_formula("x < y").unwrap().0.class(), ConstraintClass::DenseOrder);
-        assert_eq!(parse_formula("x + y < 1").unwrap().0.class(), ConstraintClass::Linear);
-        assert_eq!(parse_formula("x*x + y < 1").unwrap().0.class(), ConstraintClass::Polynomial);
+        assert_eq!(
+            parse_formula("x < y").unwrap().0.class(),
+            ConstraintClass::DenseOrder
+        );
+        assert_eq!(
+            parse_formula("x + y < 1").unwrap().0.class(),
+            ConstraintClass::Linear
+        );
+        assert_eq!(
+            parse_formula("x*x + y < 1").unwrap().0.class(),
+            ConstraintClass::Polynomial
+        );
     }
 
     #[test]
@@ -628,9 +773,74 @@ mod tests {
         match f {
             Formula::Atom(a) => {
                 // x - 1/10
-                assert_eq!(a.poly.subst_rat(Var(0), &rat(1, 10)).as_constant(), Some(rat(0, 1)));
+                assert_eq!(
+                    a.poly.subst_rat(Var(0), &rat(1, 10)).as_constant(),
+                    Some(rat(0, 1))
+                );
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn spanned_parse_carries_byte_spans() {
+        let src = "exists y. x + y = 1 & S(x)";
+        let mut vars = VarMap::new();
+        let f = parse_formula_spanned(src, &mut vars).unwrap();
+        // Whole formula spans the full source.
+        assert_eq!(f.span, Span::new(0, src.len()));
+        match &f.node {
+            SpannedNode::Exists(vs, body) => {
+                assert_eq!(&src[vs[0].span.start..vs[0].span.end], "y");
+                match &body.node {
+                    SpannedNode::And(parts) => {
+                        assert_eq!(&src[parts[0].span.start..parts[0].span.end], "x + y = 1");
+                        match &parts[1].node {
+                            SpannedNode::Rel { name_span, .. } => {
+                                assert_eq!(&src[name_span.start..name_span.end], "S");
+                            }
+                            other => panic!("{other:?}"),
+                        }
+                    }
+                    other => panic!("{other:?}"),
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn spanned_lowering_matches_plain_parse() {
+        let sources = [
+            "x < y",
+            "x < 1 & y < 1 | x > 2",
+            "!(x < 1) & true",
+            "false | x = 0",
+            "exists y, z. x = y + z",
+            "0 <= x < y <= 1",
+            "x < 0 -> x < 1",
+            "x < 0 <-> 0 > x",
+            "Eadom u. U(u) & u < x",
+            "forall y. exists z. x + y < z | S(x, y)",
+            "(x + 1) * 2 < y",
+            "!!(x = 1)",
+        ];
+        for src in sources {
+            let mut v1 = VarMap::new();
+            let mut v2 = VarMap::new();
+            let plain = parse_formula_with(src, &mut v1).unwrap();
+            let spanned = parse_formula_spanned(src, &mut v2).unwrap();
+            assert_eq!(spanned.to_formula(), plain, "source: {src}");
+        }
+    }
+
+    #[test]
+    fn spanned_shift_moves_every_span() {
+        let mut vars = VarMap::new();
+        let mut f = parse_formula_spanned("x < 1 & S(y)", &mut vars).unwrap();
+        let before = f.span;
+        f.shift(10);
+        assert_eq!(f.span, before.shift(10));
+        f.visit(&mut |g| assert!(g.span.start >= 10));
     }
 }

@@ -1,0 +1,229 @@
+//! Byte-span source locations for parsed formulas.
+//!
+//! The plain [`Formula`] AST applies simplifying smart constructors while it
+//! is built (constant folding, quantifier-block flattening, double-negation
+//! elimination), which is exactly right for the QE and evaluation engines —
+//! and exactly wrong for a static analyzer, which must point at the source
+//! text the user wrote. [`SpannedFormula`] is the faithful parse tree: one
+//! node per syntactic construct, each carrying the byte [`Span`] it was
+//! parsed from. [`SpannedFormula::to_formula`] lowers to the plain AST via
+//! the same smart constructors the non-spanned parser entry points use, so
+//! the two views are guaranteed to agree.
+
+use crate::ast::{Atom, Formula};
+use cqa_poly::{MPoly, Var};
+
+/// A half-open byte range `[start, end)` into the source text.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Span {
+    /// First byte of the spanned text.
+    pub start: usize,
+    /// One past the last byte.
+    pub end: usize,
+}
+
+impl Span {
+    /// Creates a span.
+    pub fn new(start: usize, end: usize) -> Span {
+        Span { start, end }
+    }
+
+    /// The smallest span covering both operands.
+    pub fn join(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// The span moved right by `delta` bytes (for formulas embedded in a
+    /// larger source file).
+    pub fn shift(self, delta: usize) -> Span {
+        Span {
+            start: self.start + delta,
+            end: self.end + delta,
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// `true` iff the span covers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+}
+
+/// A quantifier-bound variable together with the span of its binder
+/// occurrence.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BoundVar {
+    /// The bound variable.
+    pub var: Var,
+    /// Span of the variable name at the binder.
+    pub span: Span,
+}
+
+/// A formula parse tree with byte spans on every node. Mirrors [`Formula`]
+/// structurally but performs no simplification.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpannedFormula {
+    /// The node itself.
+    pub node: SpannedNode,
+    /// The source bytes this node was parsed from.
+    pub span: Span,
+}
+
+/// The node alternatives of a [`SpannedFormula`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum SpannedNode {
+    /// `true`.
+    True,
+    /// `false`.
+    False,
+    /// A sign-condition atom.
+    Atom(Atom),
+    /// A schema-relation atom `R(t₁, …, t_k)`.
+    Rel {
+        /// Relation name.
+        name: String,
+        /// Term arguments.
+        args: Vec<MPoly>,
+        /// Span of the relation name alone.
+        name_span: Span,
+    },
+    /// Negation.
+    Not(Box<SpannedFormula>),
+    /// Conjunction.
+    And(Vec<SpannedFormula>),
+    /// Disjunction.
+    Or(Vec<SpannedFormula>),
+    /// Natural existential quantification.
+    Exists(Vec<BoundVar>, Box<SpannedFormula>),
+    /// Natural universal quantification.
+    Forall(Vec<BoundVar>, Box<SpannedFormula>),
+    /// Active-domain existential quantification.
+    ExistsAdom(BoundVar, Box<SpannedFormula>),
+    /// Active-domain universal quantification.
+    ForallAdom(BoundVar, Box<SpannedFormula>),
+}
+
+impl SpannedFormula {
+    /// Lowers to the plain [`Formula`] AST using the same simplifying smart
+    /// constructors as [`parse_formula_with`](crate::parse_formula_with), so
+    /// `parse_formula_spanned(src).to_formula()` equals
+    /// `parse_formula_with(src)`.
+    pub fn to_formula(&self) -> Formula {
+        match &self.node {
+            SpannedNode::True => Formula::True,
+            SpannedNode::False => Formula::False,
+            SpannedNode::Atom(a) => Formula::Atom(a.clone()),
+            SpannedNode::Rel { name, args, .. } => Formula::Rel {
+                name: name.clone(),
+                args: args.clone(),
+            },
+            SpannedNode::Not(g) => g.to_formula().negate(),
+            SpannedNode::And(gs) => gs
+                .iter()
+                .map(SpannedFormula::to_formula)
+                .fold(Formula::True, Formula::and),
+            SpannedNode::Or(gs) => gs
+                .iter()
+                .map(SpannedFormula::to_formula)
+                .fold(Formula::False, Formula::or),
+            SpannedNode::Exists(vs, g) => {
+                Formula::exists(vs.iter().map(|b| b.var).collect(), g.to_formula())
+            }
+            SpannedNode::Forall(vs, g) => {
+                Formula::forall(vs.iter().map(|b| b.var).collect(), g.to_formula())
+            }
+            SpannedNode::ExistsAdom(v, g) => Formula::ExistsAdom(v.var, Box::new(g.to_formula())),
+            SpannedNode::ForallAdom(v, g) => Formula::ForallAdom(v.var, Box::new(g.to_formula())),
+        }
+    }
+
+    /// Negation mirroring [`Formula::negate`]: flips atoms, unwraps double
+    /// negations, swaps the constants — keeping spans intact.
+    pub fn negate(self) -> SpannedFormula {
+        let span = self.span;
+        let node = match self.node {
+            SpannedNode::True => SpannedNode::False,
+            SpannedNode::False => SpannedNode::True,
+            SpannedNode::Not(g) => return *g,
+            SpannedNode::Atom(a) => SpannedNode::Atom(Atom::new(a.poly, a.rel.negate())),
+            node => SpannedNode::Not(Box::new(SpannedFormula { node, span })),
+        };
+        SpannedFormula { node, span }
+    }
+
+    /// Implication `self → other` (desugared as `¬self ∨ other`), spanning
+    /// `span`.
+    pub fn implies(self, other: SpannedFormula, span: Span) -> SpannedFormula {
+        SpannedFormula {
+            node: SpannedNode::Or(vec![self.negate(), other]),
+            span,
+        }
+    }
+
+    /// Moves every span in the tree right by `delta` bytes (for formulas
+    /// parsed out of a slice of a larger file).
+    pub fn shift(&mut self, delta: usize) {
+        self.span = self.span.shift(delta);
+        match &mut self.node {
+            SpannedNode::True | SpannedNode::False | SpannedNode::Atom(_) => {}
+            SpannedNode::Rel { name_span, .. } => *name_span = name_span.shift(delta),
+            SpannedNode::Not(g) => g.shift(delta),
+            SpannedNode::And(gs) | SpannedNode::Or(gs) => {
+                for g in gs {
+                    g.shift(delta);
+                }
+            }
+            SpannedNode::Exists(vs, g) | SpannedNode::Forall(vs, g) => {
+                for v in vs {
+                    v.span = v.span.shift(delta);
+                }
+                g.shift(delta);
+            }
+            SpannedNode::ExistsAdom(v, g) | SpannedNode::ForallAdom(v, g) => {
+                v.span = v.span.shift(delta);
+                g.shift(delta);
+            }
+        }
+    }
+
+    /// Visits every node (pre-order).
+    pub fn visit(&self, f: &mut dyn FnMut(&SpannedFormula)) {
+        f(self);
+        match &self.node {
+            SpannedNode::Not(g) => g.visit(f),
+            SpannedNode::And(gs) | SpannedNode::Or(gs) => {
+                for g in gs {
+                    g.visit(f);
+                }
+            }
+            SpannedNode::Exists(_, g)
+            | SpannedNode::Forall(_, g)
+            | SpannedNode::ExistsAdom(_, g)
+            | SpannedNode::ForallAdom(_, g) => g.visit(f),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_algebra() {
+        let a = Span::new(2, 5);
+        let b = Span::new(4, 9);
+        assert_eq!(a.join(b), Span::new(2, 9));
+        assert_eq!(a.shift(10), Span::new(12, 15));
+        assert_eq!(a.len(), 3);
+        assert!(!a.is_empty());
+        assert!(Span::new(3, 3).is_empty());
+    }
+}

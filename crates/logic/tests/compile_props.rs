@@ -42,14 +42,24 @@ fn poly_from(terms: &[(i64, [u8; 3])]) -> MPoly {
 /// A random affine polynomial `c₀ + c₁x + c₂y + c₃z`.
 fn linear_poly() -> impl Strategy<Value = MPoly> {
     (-255i64..=255, -255i64..=255, -255i64..=255, -255i64..=255).prop_map(|(c0, c1, c2, c3)| {
-        poly_from(&[(c0, [0, 0, 0]), (c1, [1, 0, 0]), (c2, [0, 1, 0]), (c3, [0, 0, 1])])
+        poly_from(&[
+            (c0, [0, 0, 0]),
+            (c1, [1, 0, 0]),
+            (c2, [0, 1, 0]),
+            (c3, [0, 0, 1]),
+        ])
     })
 }
 
 /// A random polynomial: up to 4 terms, per-variable degree ≤ 2.
 fn poly() -> impl Strategy<Value = MPoly> {
-    vec((-255i64..=255, (0u8..=2, 0u8..=2, 0u8..=2)), 1..=4)
-        .prop_map(|ts| poly_from(&ts.iter().map(|&(c, (a, b, d))| (c, [a, b, d])).collect::<Vec<_>>()))
+    vec((-255i64..=255, (0u8..=2, 0u8..=2, 0u8..=2)), 1..=4).prop_map(|ts| {
+        poly_from(
+            &ts.iter()
+                .map(|&(c, (a, b, d))| (c, [a, b, d]))
+                .collect::<Vec<_>>(),
+        )
+    })
 }
 
 /// A random quantifier-free, relation-free formula over `VARS`.
@@ -78,7 +88,9 @@ fn dyadic_point() -> impl Strategy<Value = Vec<Rat>> {
 fn check_parity(f: &Formula, point: &[Rat]) -> Result<(), TestCaseError> {
     let slots = SlotMap::from_vars(&VARS);
     let kernel = CompiledMatrix::compile(f, &slots).expect("QF relation-free formula compiles");
-    let oracle = f.eval(&slots.assignment(point), &[]).expect("total assignment decides");
+    let oracle = f
+        .eval(&slots.assignment(point), &[])
+        .expect("total assignment decides");
 
     prop_assert_eq!(kernel.eval_rats(point), oracle, "eval_rats vs interpreter");
 
@@ -89,12 +101,16 @@ fn check_parity(f: &Formula, point: &[Rat]) -> Result<(), TestCaseError> {
         prop_assert_eq!(errs[i], 0.0, "dyadic test points convert exactly");
     }
     let exact = |s: usize| point[s].clone();
-    prop_assert_eq!(kernel.eval_f64(&floats, &errs, &exact), oracle, "eval_f64 vs interpreter");
+    prop_assert_eq!(
+        kernel.eval_f64(&floats, &errs, &exact),
+        oracle,
+        "eval_f64 vs interpreter"
+    );
     Ok(())
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig::with_cases(256))]
 
     #[test]
     fn linear_formulas_agree_with_interpreter(

@@ -8,12 +8,8 @@ use cqa_poly::{MPoly, Var};
 use proptest::prelude::*;
 
 fn qf_formula() -> impl Strategy<Value = Formula> {
-    let atom = (
-        prop::collection::vec(-3i64..=3, 2),
-        -4i64..=4,
-        0usize..6,
-    )
-        .prop_map(|(coeffs, c, r)| {
+    let atom =
+        (prop::collection::vec(-3i64..=3, 2), -4i64..=4, 0usize..6).prop_map(|(coeffs, c, r)| {
             let rel = [Rel::Lt, Rel::Le, Rel::Gt, Rel::Ge, Rel::Eq, Rel::Neq][r];
             let mut p = MPoly::constant(Rat::from(c));
             for (i, &a) in coeffs.iter().enumerate() {

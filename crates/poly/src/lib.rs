@@ -16,6 +16,8 @@
 //!   isolating interval) pairs, with exact comparison, rational-offset
 //!   arithmetic and arbitrary-precision approximation.
 
+#![forbid(unsafe_code)]
+
 mod mpoly;
 mod realalg;
 mod upoly;

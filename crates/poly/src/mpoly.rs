@@ -60,7 +60,9 @@ pub struct MPoly {
 impl MPoly {
     /// The zero polynomial.
     pub fn zero() -> MPoly {
-        MPoly { terms: BTreeMap::new() }
+        MPoly {
+            terms: BTreeMap::new(),
+        }
     }
 
     /// The constant one.

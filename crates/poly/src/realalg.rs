@@ -43,7 +43,10 @@ impl RealAlg {
                 if iv.is_exact() {
                     RealAlg::Rational(iv.lo)
                 } else {
-                    RealAlg::Algebraic { poly: q.clone(), iv }
+                    RealAlg::Algebraic {
+                        poly: q.clone(),
+                        iv,
+                    }
                 }
             })
             .collect()
@@ -157,7 +160,10 @@ impl RealAlg {
             RealAlg::Algebraic { poly, iv } => RealAlg::Algebraic {
                 // root of p(x - r) is alpha + r
                 poly: poly.compose_linear(&Rat::one(), &-r.clone()),
-                iv: RootInterval { lo: &iv.lo + r, hi: &iv.hi + r },
+                iv: RootInterval {
+                    lo: &iv.lo + r,
+                    hi: &iv.hi + r,
+                },
             },
         }
     }
@@ -177,7 +183,10 @@ impl RealAlg {
                 } else {
                     (&iv.hi * r, &iv.lo * r)
                 };
-                RealAlg::Algebraic { poly: comp, iv: RootInterval { lo, hi } }
+                RealAlg::Algebraic {
+                    poly: comp,
+                    iv: RootInterval { lo, hi },
+                }
             }
         }
     }
@@ -282,8 +291,7 @@ impl Ord for RealAlg {
                         let ohi = ahi.clone().min(bhi.clone());
                         let seq = g.sturm_sequence();
                         // Count on a slightly widened closed interval.
-                        if UPoly::count_roots_between(&seq, &olo, &ohi) >= 1
-                            || g.sign_at(&olo) == 0
+                        if UPoly::count_roots_between(&seq, &olo, &ohi) >= 1 || g.sign_at(&olo) == 0
                         {
                             // Both isolating intervals contain exactly one
                             // root of their polynomial; the shared gcd root
@@ -379,7 +387,10 @@ mod tests {
         assert!((w.to_f64() - 2.0 * std::f64::consts::SQRT_2).abs() < 1e-12);
         // -√2 < 0
         assert!(sqrt2().neg().signum() < 0);
-        assert_eq!(sqrt2().mul_rat(&Rat::zero()).as_rational(), Some(&Rat::zero()));
+        assert_eq!(
+            sqrt2().mul_rat(&Rat::zero()).as_rational(),
+            Some(&Rat::zero())
+        );
     }
 
     #[test]
@@ -403,7 +414,10 @@ mod tests {
         // x² - 3 alone is negative at √2.
         assert_eq!(s2.sign_of(&UPoly::from_ints(&[-3, 0, 1])), -1);
         // Rational point.
-        assert_eq!(RealAlg::from_rat(rat(2, 1)).sign_of(&UPoly::from_ints(&[-1, 1])), 1);
+        assert_eq!(
+            RealAlg::from_rat(rat(2, 1)).sign_of(&UPoly::from_ints(&[-1, 1])),
+            1
+        );
         // Zero polynomial.
         assert_eq!(s2.sign_of(&UPoly::zero()), 0);
     }

@@ -134,7 +134,9 @@ impl UPoly {
         if s.is_zero() {
             return UPoly::zero();
         }
-        UPoly { coeffs: self.coeffs.iter().map(|c| c * s).collect() }
+        UPoly {
+            coeffs: self.coeffs.iter().map(|c| c * s).collect(),
+        }
     }
 
     /// Euclidean division: returns `(q, r)` with `self = q*div + r` and
@@ -162,7 +164,10 @@ impl UPoly {
                 rem[idx] = &rem[idx] - &(c * &factor);
             }
         }
-        (UPoly::from_coeffs(quot), UPoly::from_coeffs(rem[..dd.min(rem.len())].to_vec()))
+        (
+            UPoly::from_coeffs(quot),
+            UPoly::from_coeffs(rem[..dd.min(rem.len())].to_vec()),
+        )
     }
 
     /// Monic form (leading coefficient 1); zero stays zero.
@@ -293,13 +298,17 @@ pub(crate) fn sign_variations<I: IntoIterator<Item = i32>>(signs: I) -> usize {
 impl Neg for UPoly {
     type Output = UPoly;
     fn neg(self) -> UPoly {
-        UPoly { coeffs: self.coeffs.into_iter().map(|c| -c).collect() }
+        UPoly {
+            coeffs: self.coeffs.into_iter().map(|c| -c).collect(),
+        }
     }
 }
 impl Neg for &UPoly {
     type Output = UPoly;
     fn neg(self) -> UPoly {
-        UPoly { coeffs: self.coeffs.iter().map(|c| -c).collect() }
+        UPoly {
+            coeffs: self.coeffs.iter().map(|c| -c).collect(),
+        }
     }
 }
 
@@ -533,28 +542,24 @@ fn rational_roots(q: &UPoly) -> (Vec<Rat>, UPoly) {
             Some(_) => {
                 // Rational-root theorem on the integer-cleared polynomial.
                 let (ints, _) = clear_denominators(&rem);
-                let content = ints
-                    .iter()
-                    .fold(Int::zero(), |acc, c| acc.gcd(c));
+                let content = ints.iter().fold(Int::zero(), |acc, c| acc.gcd(c));
                 let ints: Vec<Int> = ints.iter().map(|c| c / &content).collect();
                 let a0 = ints.first().unwrap().abs();
                 let an = ints.last().unwrap().abs();
                 let (Some(a0), Some(an)) = (a0.to_i64(), an.to_i64()) else {
                     break;
                 };
-                let (Some(dp), Some(dq)) =
-                    (divisors_u64(a0.unsigned_abs()), divisors_u64(an.unsigned_abs()))
-                else {
+                let (Some(dp), Some(dq)) = (
+                    divisors_u64(a0.unsigned_abs()),
+                    divisors_u64(an.unsigned_abs()),
+                ) else {
                     break;
                 };
                 let mut found = false;
                 'search: for &p in &dp {
                     for &qd in &dq {
                         for sign in [1i64, -1] {
-                            let cand = Rat::new(
-                                Int::from(sign) * Int::from(p),
-                                Int::from(qd),
-                            );
+                            let cand = Rat::new(Int::from(sign) * Int::from(p), Int::from(qd));
                             if rem.sign_at(&cand) == 0 {
                                 roots.push(cand.clone());
                                 let factor = UPoly::from_coeffs(vec![-cand, Rat::one()]);
@@ -618,7 +623,10 @@ pub fn isolate_real_roots(p: &UPoly) -> Vec<RootInterval> {
     let (rats, qirr) = rational_roots(&q);
     let mut out: Vec<RootInterval> = rats
         .iter()
-        .map(|r| RootInterval { lo: r.clone(), hi: r.clone() })
+        .map(|r| RootInterval {
+            lo: r.clone(),
+            hi: r.clone(),
+        })
         .collect();
     if qirr.degree().unwrap_or(0) >= 1 {
         let seq = qirr.sturm_sequence();
@@ -706,7 +714,10 @@ fn out_root_and_split(
         }
         isolate_rec(q, seq, lo, r, left, out);
     }
-    out.push(RootInterval { lo: mid.clone(), hi: mid.clone() });
+    out.push(RootInterval {
+        lo: mid.clone(),
+        hi: mid.clone(),
+    });
     if right > 0 {
         let mut l = mid.midpoint(&hi);
         while q.sign_at(&l) == 0 || UPoly::count_roots_between(seq, &l, &hi) != right {
@@ -828,10 +839,7 @@ mod tests {
         let seq = q.sturm_sequence();
         assert_eq!(UPoly::count_roots_between(&seq, &rat(0, 1), &rat(4, 1)), 3);
         assert_eq!(UPoly::count_roots_between(&seq, &rat(0, 1), &rat(1, 1)), 1);
-        assert_eq!(
-            UPoly::count_roots_between(&seq, &rat(3, 2), &rat(5, 2)),
-            1
-        );
+        assert_eq!(UPoly::count_roots_between(&seq, &rat(3, 2), &rat(5, 2)), 1);
         assert_eq!(UPoly::count_roots_between(&seq, &rat(4, 1), &rat(9, 1)), 0);
     }
 
@@ -910,9 +918,15 @@ mod tests {
     #[test]
     fn integrate() {
         // ∫₀¹ x² dx = 1/3
-        assert_eq!(p(&[0, 0, 1]).integrate_between(&rat(0, 1), &rat(1, 1)), rat(1, 3));
+        assert_eq!(
+            p(&[0, 0, 1]).integrate_between(&rat(0, 1), &rat(1, 1)),
+            rat(1, 3)
+        );
         // ∫₁³ (2x+1) dx = (x²+x)|₁³ = 12 - 2 = 10
-        assert_eq!(p(&[1, 2]).integrate_between(&rat(1, 1), &rat(3, 1)), rat(10, 1));
+        assert_eq!(
+            p(&[1, 2]).integrate_between(&rat(1, 1), &rat(3, 1)),
+            rat(10, 1)
+        );
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //! deterministic: case `k` of every test draws from a fixed seed mixed with
 //! `k`, so failures reproduce across runs.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 use std::ops::{Range, RangeInclusive};
 use std::sync::Arc;
@@ -64,7 +66,9 @@ pub struct TestRng {
 impl TestRng {
     /// The generator for case number `case` (fixed global seed mixed in).
     pub fn deterministic(case: u64) -> TestRng {
-        TestRng { state: 0xC0FF_EE00_D15E_A5E5 ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15) }
+        TestRng {
+            state: 0xC0FF_EE00_D15E_A5E5 ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        }
     }
 
     /// The next 64 random bits.
@@ -128,7 +132,10 @@ pub trait Strategy: 'static {
         let leaf = self.boxed();
         let mut level = leaf.clone();
         for _ in 0..depth {
-            level = Union { arms: vec![leaf.clone(), branch(level).boxed()] }.boxed();
+            level = Union {
+                arms: vec![leaf.clone(), branch(level).boxed()],
+            }
+            .boxed();
         }
         level
     }
@@ -323,19 +330,28 @@ pub mod collection {
     impl From<Range<usize>> for SizeRange {
         fn from(r: Range<usize>) -> SizeRange {
             assert!(r.start < r.end, "empty vec size range");
-            SizeRange { lo: r.start, hi: r.end }
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
         }
     }
     impl From<std::ops::RangeInclusive<usize>> for SizeRange {
         fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
-            SizeRange { lo: *r.start(), hi: *r.end() + 1 }
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
         }
     }
 
     /// A strategy for `Vec`s whose length is drawn from `size` and whose
     /// elements are drawn from `element`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     /// Strategy returned by [`vec`].
@@ -505,12 +521,12 @@ macro_rules! prop_assume {
 
 /// Everything tests normally import.
 pub mod prelude {
+    /// The crate itself, so `prop::collection::vec(..)` resolves.
+    pub use crate as prop;
     pub use crate::{
         any, prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, Arbitrary,
         BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, TestCaseResult,
     };
-    /// The crate itself, so `prop::collection::vec(..)` resolves.
-    pub use crate as prop;
 }
 
 #[cfg(test)]
@@ -564,13 +580,22 @@ mod tests {
                 Tree::Node(cs) => 1 + cs.iter().map(depth).max().unwrap_or(0),
             }
         }
-        let strat = (0i64..10).prop_map(Tree::Leaf).prop_recursive(3, 8, 2, |inner| {
-            prop::collection::vec(inner, 1..3).prop_map(Tree::Node)
-        });
+        fn leaves_in_range(t: &Tree) -> bool {
+            match t {
+                Tree::Leaf(v) => (0..10).contains(v),
+                Tree::Node(cs) => cs.iter().all(leaves_in_range),
+            }
+        }
+        let strat = (0i64..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 8, 2, |inner| {
+                prop::collection::vec(inner, 1..3).prop_map(Tree::Node)
+            });
         let mut rng = crate::TestRng::deterministic(0);
         for case in 0..200 {
             let t = strat.generate(&mut rng);
             assert!(depth(&t) <= 3, "case {case}: depth {}", depth(&t));
+            assert!(leaves_in_range(&t), "case {case}: leaf out of range");
             rng = crate::TestRng::deterministic(case + 1);
         }
     }

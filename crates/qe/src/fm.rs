@@ -75,7 +75,11 @@ fn solve_for(v: Var, atom: &Atom) -> Result<Bound, QeError> {
     debug_assert!(!a.is_zero());
     let t = coeffs[0].scale(&(-a.recip().clone()));
     // a·v + rest REL 0  ⇔  v REL' t, flipping REL when a < 0.
-    let rel = if a.is_negative() { atom.rel.flip() } else { atom.rel };
+    let rel = if a.is_negative() {
+        atom.rel.flip()
+    } else {
+        atom.rel
+    };
     Ok(match rel {
         Rel::Lt => Bound::Upper(t, true),
         Rel::Le => Bound::Upper(t, false),
@@ -116,7 +120,9 @@ fn eliminate_clause(v: Var, clause: Vec<Formula>) -> Result<Formula, QeError> {
 
     // Equalities: substitute the first into everything else.
     if let Some(pos) = bounds.iter().position(|b| matches!(b, Bound::Equal(_))) {
-        let Bound::Equal(t) = bounds.swap_remove(pos) else { unreachable!() };
+        let Bound::Equal(t) = bounds.swap_remove(pos) else {
+            unreachable!()
+        };
         let mut out = rest;
         for b in bounds {
             let conjunct = match b {
@@ -142,7 +148,9 @@ fn eliminate_clause(v: Var, clause: Vec<Formula>) -> Result<Formula, QeError> {
 /// remaining disequalities (`v ≠ t` ⇒ `v < t ∨ v > t`).
 fn combine_bounds(rest: Formula, mut bounds: Vec<Bound>) -> Result<Formula, QeError> {
     if let Some(pos) = bounds.iter().position(|b| matches!(b, Bound::Unequal(_))) {
-        let Bound::Unequal(t) = bounds.swap_remove(pos) else { unreachable!() };
+        let Bound::Unequal(t) = bounds.swap_remove(pos) else {
+            unreachable!()
+        };
         let mut less = bounds.clone();
         less.push(Bound::Upper(t.clone(), true));
         let mut greater = bounds;
@@ -201,11 +209,7 @@ pub fn clause_obviously_empty(clause: &[Atom]) -> bool {
 /// linear bounds at a given assignment of the other variables — used by the
 /// geometry layer for cell sampling. Returns `None` if the bounds are
 /// inconsistent at that point.
-pub fn sample_between(
-    v: Var,
-    atoms: &[Atom],
-    assign: &dyn Fn(Var) -> Rat,
-) -> Option<Rat> {
+pub fn sample_between(v: Var, atoms: &[Atom], assign: &dyn Fn(Var) -> Rat) -> Option<Rat> {
     let mut lo: Option<(Rat, bool)> = None; // (value, strict)
     let mut hi: Option<(Rat, bool)> = None;
     let mut avoid: Vec<Rat> = Vec::new();
@@ -218,13 +222,19 @@ pub fn sample_between(
         match b {
             Bound::Upper(t, s) => {
                 let tv = value(&t);
-                if hi.as_ref().is_none_or(|(h, hs)| tv < *h || (tv == *h && s && !hs)) {
+                if hi
+                    .as_ref()
+                    .is_none_or(|(h, hs)| tv < *h || (tv == *h && s && !hs))
+                {
                     hi = Some((tv, s));
                 }
             }
             Bound::Lower(t, s) => {
                 let tv = value(&t);
-                if lo.as_ref().is_none_or(|(l, ls)| tv > *l || (tv == *l && s && !ls)) {
+                if lo
+                    .as_ref()
+                    .is_none_or(|(l, ls)| tv > *l || (tv == *l && s && !ls))
+                {
                     lo = Some((tv, s));
                 }
             }
@@ -395,7 +405,10 @@ mod tests {
 
     #[test]
     fn disjunctive_input() {
-        check("exists y. (y < x & y > 0) | (y > 5 & y < x)", "x > 0 | x > 5");
+        check(
+            "exists y. (y < x & y > 0) | (y > 5 & y < x)",
+            "x > 0 | x > 5",
+        );
     }
 
     #[test]

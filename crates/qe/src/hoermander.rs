@@ -122,7 +122,11 @@ fn split3(ctx: &Ctx, head: &MPoly, k: &mut dyn FnMut(&Ctx, Sign) -> Formula) -> 
         Some(s) => k(ctx, s),
         None => {
             let mut out = Formula::False;
-            for (s, rel) in [(Sign::Zero, Rel::Eq), (Sign::Pos, Rel::Gt), (Sign::Neg, Rel::Lt)] {
+            for (s, rel) in [
+                (Sign::Zero, Rel::Eq),
+                (Sign::Pos, Rel::Gt),
+                (Sign::Neg, Rel::Lt),
+            ] {
                 let guard = Formula::Atom(Atom::new(head.clone(), rel));
                 let branch = k(&ctx.assert_sign(head, s), s);
                 out = out.or(guard.and(branch));
@@ -318,9 +322,10 @@ fn dedmatrix(rows: &[Vec<i8>], l: usize) -> Result<Vec<Vec<i8>>, Inconsistent> {
     let mut rs2: Vec<Row> = Vec::with_capacity(rs1.len());
     let mut it = rs1.into_iter();
     rs2.push(it.next().unwrap()); // leading interval
-    loop {
-        let Some(pt) = it.next() else { break };
-        let iv = it.next().expect("point row must be followed by an interval");
+    while let Some(pt) = it.next() {
+        let iv = it
+            .next()
+            .expect("point row must be followed by an interval");
         if pt.psign.is_some() {
             rs2.push(pt);
             rs2.push(iv);
@@ -341,8 +346,16 @@ fn dedmatrix(rows: &[Vec<i8>], l: usize) -> Result<Vec<Vec<i8>>, Inconsistent> {
         if d == 0 {
             return Err(Inconsistent);
         }
-        let sl = if k == 0 { -d } else { rs2[k - 1].psign.unwrap() };
-        let sr = if k == n - 1 { d } else { rs2[k + 1].psign.unwrap() };
+        let sl = if k == 0 {
+            -d
+        } else {
+            rs2[k - 1].psign.unwrap()
+        };
+        let sr = if k == n - 1 {
+            d
+        } else {
+            rs2[k + 1].psign.unwrap()
+        };
         let qsigns = &rs2[k].qsigns;
         let push_iv = |out: &mut Vec<Vec<i8>>, s: i8| {
             let mut row = Vec::with_capacity(1 + qsigns.len());
@@ -413,10 +426,9 @@ pub(crate) fn eliminate_exists_ch(v: Var, f: &Formula) -> Result<Formula, QeErro
     let mut polys: Vec<MPoly> = Vec::new();
     let mut bad = false;
     f.visit(&mut |g| match g {
-        Formula::Atom(a)
-            if !polys.contains(&a.poly) => {
-                polys.push(a.poly.clone());
-            }
+        Formula::Atom(a) if !polys.contains(&a.poly) => {
+            polys.push(a.poly.clone());
+        }
         Formula::Rel { .. } | Formula::Not(_) => bad = true,
         _ => {}
     });
@@ -434,7 +446,12 @@ pub(crate) fn eliminate_exists_ch(v: Var, f: &Formula) -> Result<Formula, QeErro
             Formula::False
         }
     };
-    Ok(simplify(&casesplit(&Ctx::default(), &[], &xpolys, &mut cont)))
+    Ok(simplify(&casesplit(
+        &Ctx::default(),
+        &[],
+        &xpolys,
+        &mut cont,
+    )))
 }
 
 /// Eliminates all quantifiers from an FO+POLY formula via Cohen–Hörmander,
@@ -487,8 +504,12 @@ mod tests {
     #[test]
     fn root_counting_flavours() {
         // (x-1)(x-2)(x-3) has a root in (2.5, 3.5) but none in (3.5, 4).
-        assert!(decide("exists x. x*x*x - 6*x*x + 11*x - 6 = 0 & 2.5 < x & x < 3.5"));
-        assert!(!decide("exists x. x*x*x - 6*x*x + 11*x - 6 = 0 & 3.5 < x & x < 4"));
+        assert!(decide(
+            "exists x. x*x*x - 6*x*x + 11*x - 6 = 0 & 2.5 < x & x < 3.5"
+        ));
+        assert!(!decide(
+            "exists x. x*x*x - 6*x*x + 11*x - 6 = 0 & 3.5 < x & x < 4"
+        ));
     }
 
     #[test]
@@ -505,7 +526,14 @@ mod tests {
         // ∃x. x² + b·x + 1 = 0 over parameter b ⇔ b² - 4 ≥ 0.
         let g = hoermander(&f("exists x. x*x + b*x + 1 = 0")).unwrap();
         assert!(!g.free_vars().is_empty());
-        for (bval, expect) in [(-3i64, true), (-2, true), (0, false), (1, false), (2, true), (5, true)] {
+        for (bval, expect) in [
+            (-3i64, true),
+            (-2, true),
+            (0, false),
+            (1, false),
+            (2, true),
+            (5, true),
+        ] {
             let asg = |_| Rat::from(bval);
             assert_eq!(g.eval(&asg, &[]), Some(expect), "b = {bval}");
         }

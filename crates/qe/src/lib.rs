@@ -21,6 +21,8 @@
 //! worst-case costs the paper discusses in Section 3 — the `cqa-bench`
 //! crate quantifies them.
 
+#![forbid(unsafe_code)]
+
 mod fm;
 mod hoermander;
 mod lw;

@@ -139,8 +139,18 @@ pub(crate) fn rels_contradict(a: Rel, b: Rel) -> bool {
     use Rel::*;
     matches!(
         (a, b),
-        (Eq, Neq) | (Neq, Eq) | (Eq, Lt) | (Lt, Eq) | (Eq, Gt) | (Gt, Eq)
-            | (Lt, Gt) | (Gt, Lt) | (Lt, Ge) | (Ge, Lt) | (Gt, Le) | (Le, Gt)
+        (Eq, Neq)
+            | (Neq, Eq)
+            | (Eq, Lt)
+            | (Lt, Eq)
+            | (Eq, Gt)
+            | (Gt, Eq)
+            | (Lt, Gt)
+            | (Gt, Lt)
+            | (Lt, Ge)
+            | (Ge, Lt)
+            | (Gt, Le)
+            | (Le, Gt)
     )
 }
 

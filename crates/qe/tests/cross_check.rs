@@ -12,20 +12,15 @@ use proptest::prelude::*;
 
 /// A random linear atom over up to 3 variables with small coefficients.
 fn atom_strategy() -> impl Strategy<Value = Formula> {
-    (
-        prop::collection::vec(-3i64..=3, 3),
-        -4i64..=4,
-        0usize..6,
-    )
-        .prop_map(|(coeffs, c, rel)| {
-            let mut p = MPoly::constant(Rat::from(c));
-            for (i, &a) in coeffs.iter().enumerate() {
-                p = p + MPoly::var(Var(i as u32)).scale(&Rat::from(a));
-            }
-            use cqa_logic::Rel::*;
-            let rel = [Lt, Le, Gt, Ge, Eq, Neq][rel];
-            Formula::Atom(cqa_logic::Atom::new(p, rel))
-        })
+    (prop::collection::vec(-3i64..=3, 3), -4i64..=4, 0usize..6).prop_map(|(coeffs, c, rel)| {
+        let mut p = MPoly::constant(Rat::from(c));
+        for (i, &a) in coeffs.iter().enumerate() {
+            p = p + MPoly::var(Var(i as u32)).scale(&Rat::from(a));
+        }
+        use cqa_logic::Rel::*;
+        let rel = [Lt, Le, Gt, Ge, Eq, Neq][rel];
+        Formula::Atom(cqa_logic::Atom::new(p, rel))
+    })
 }
 
 /// Random quantifier-free boolean combinations of linear atoms.
@@ -46,7 +41,10 @@ fn sample_points() -> Vec<Rat> {
 
 fn agree_on_grid(a: &Formula, b: &Formula) -> Result<(), TestCaseError> {
     let vars: Vec<Var> = a.free_vars().union(&b.free_vars()).copied().collect();
-    prop_assert!(vars.len() <= 2, "expected at most 2 free vars after elimination");
+    prop_assert!(
+        vars.len() <= 2,
+        "expected at most 2 free vars after elimination"
+    );
     let samples = sample_points();
     let mut idx = vec![0usize; vars.len()];
     loop {

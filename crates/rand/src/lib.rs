@@ -13,6 +13,8 @@
 //! The value stream differs from crates-io `rand` 0.9: experiments are
 //! reproducible per seed *within* this shim, not across implementations.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// Seedable random generators (the one constructor this repo uses).
@@ -74,10 +76,7 @@ impl SeedableRng for Xoshiro256PlusPlus {
 impl Rng for Xoshiro256PlusPlus {
     fn next_u64(&mut self) -> u64 {
         let s = &mut self.s;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];

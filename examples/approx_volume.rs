@@ -37,10 +37,7 @@ fn main() {
     let phi = parse_formula_with("Disk(r, x, y)", db.vars_mut()).unwrap();
 
     // 1. Exact engine refuses: the volume πr² is not rational.
-    let refusal = volume_in_unit_box(
-        &db.expand(&phi).unwrap(),
-        &[r, x, y],
-    );
+    let refusal = volume_in_unit_box(&db.expand(&phi).unwrap(), &[r, x, y]);
     println!("exact semi-linear engine on the disk family: {refusal:?}");
 
     // 2. Theorem 4: one sample, uniform accuracy across all radii.
@@ -50,11 +47,14 @@ fn main() {
     let mut w = Witness::new(2718);
     let est = UniformVolumeEstimator::new(&db, &phi, &[r], &[x, y], eps, delta, d, &mut w)
         .expect("Cohen–Hörmander handles the polynomial atoms");
-    println!("  {:>6} {:>10} {:>10} {:>8}", "radius", "estimate", "πr²", "error");
+    println!(
+        "  {:>6} {:>10} {:>10} {:>8}",
+        "radius", "estimate", "πr²", "error"
+    );
     for k in 1..=4 {
         let radius = rat(k, 10);
         let truth = std::f64::consts::PI * radius.to_f64().powi(2);
-        let got = est.estimate(&[radius.clone()]).to_f64();
+        let got = est.estimate(std::slice::from_ref(&radius)).to_f64();
         println!(
             "  {:>6} {:>10.4} {:>10.4} {:>8.4}",
             radius.to_string(),

@@ -59,12 +59,14 @@ fn main() {
     let risk = db
         .query(&["x", "y"], "Residential(x, y) & FloodPlain(x, y)")
         .unwrap();
-    let constraint_agg::core::Relation::FinitelyRepresentable { params, formula } = &risk
-    else {
+    let constraint_agg::core::Relation::FinitelyRepresentable { params, formula } = &risk else {
         unreachable!()
     };
     let risk_area = constraint_agg::geom::volume(formula, params).unwrap();
-    println!("area(Residential ∩ FloodPlain) = {risk_area} ≈ {:.2}", risk_area.to_f64());
+    println!(
+        "area(Residential ∩ FloodPlain) = {risk_area} ≈ {:.2}",
+        risk_area.to_f64()
+    );
 
     // Padding-style query with arithmetic in arguments: a 1-unit safety
     // buffer translated zone (constraint languages compose with terms).
@@ -96,8 +98,7 @@ fn main() {
     let park_in_res = db
         .query(&["x", "y"], "Residential(x, y) & Park(x, y)")
         .unwrap();
-    let constraint_agg::core::Relation::FinitelyRepresentable { params, formula } =
-        &park_in_res
+    let constraint_agg::core::Relation::FinitelyRepresentable { params, formula } = &park_in_res
     else {
         unreachable!()
     };

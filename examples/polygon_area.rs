@@ -31,12 +31,12 @@ fn main() {
     }
 
     let tris = triangulate_fan(&hull);
-    println!("\nρ output — the fan triangulation ({} triangles):", tris.len());
+    println!(
+        "\nρ output — the fan triangulation ({} triangles):",
+        tris.len()
+    );
     for [a, b, c] in &tris {
-        println!(
-            "  ({}, {}) ({}, {}) ({}, {})",
-            a.0, a.1, b.0, b.1, c.0, c.1
-        );
+        println!("  ({}, {}) ({}, {}) ({}, {})", a.0, a.1, b.0, b.1, c.0, c.1);
     }
 
     let by_sum = polygon_area_sum_term(&cloud);

@@ -41,10 +41,14 @@ fn main() {
     for (key, avg) in &rows {
         println!("  station {} → AVG = {}", key[0], avg);
     }
-    let counts =
-        group_aggregate(&db, &q, &[s, v], &[s], &MPoly::var(v), Aggregate::Count).unwrap();
-    println!("  (station 3's out-of-range reading is filtered: groups = {:?})",
-        counts.iter().map(|(k, c)| (k[0].to_string(), c.to_string())).collect::<Vec<_>>());
+    let counts = group_aggregate(&db, &q, &[s, v], &[s], &MPoly::var(v), Aggregate::Count).unwrap();
+    println!(
+        "  (station 3's out-of-range reading is filtered: groups = {:?})",
+        counts
+            .iter()
+            .map(|(k, c)| (k[0].to_string(), c.to_string()))
+            .collect::<Vec<_>>()
+    );
 
     // --- Exact integrals over a semi-linear region -------------------------
     // Pollution model p(x, y) = x + 2y over the triangular district

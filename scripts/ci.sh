@@ -7,6 +7,12 @@ cd "$(dirname "$0")/.."
 
 export CARGO_NET_OFFLINE=true
 
+echo "== format =="
+cargo fmt --all --check
+
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
 echo "== build (release) =="
 cargo build --workspace --release --offline
 
@@ -21,5 +27,13 @@ cargo test -q --offline -p cqa-logic --test compile_props
 
 echo "== thread-count determinism =="
 cargo test -q --offline -p cqa-approx --test thread_determinism
+
+echo "== static analysis demos =="
+cargo run -q --offline -p cqa-bench --bin cqa-lint -- \
+  --max-atoms inf --max-quantifiers inf examples/lint/endpoints.cqa
+if cargo run -q --offline -p cqa-bench --bin cqa-lint -- examples/lint/broken.cqa; then
+  echo "cqa-lint should have failed on broken.cqa" >&2
+  exit 1
+fi
 
 echo "CI OK"

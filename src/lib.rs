@@ -22,6 +22,10 @@
 //! * [`agg`] — the FO+POLY+SUM aggregate language of Section 5.
 //! * [`approx`] — VC-dimension machinery, sample bounds, Monte Carlo
 //!   ε-approximate volume (Theorem 4), and the paper's baselines.
+//! * [`analyze`] — static analysis of FO+POLY+SUM programs: scope and
+//!   Σ-discipline lints, fragment classification, and the Lemma-1 /
+//!   Proposition-6 cost and VC estimators, with compiler-style
+//!   diagnostics (`cqa-lint`).
 //!
 //! ## Quickstart
 //!
@@ -41,7 +45,10 @@
 //! assert_eq!(vol, rat(1, 2));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use cqa_agg as agg;
+pub use cqa_analyze as analyze;
 pub use cqa_approx as approx;
 pub use cqa_arith as arith;
 pub use cqa_core as core;
@@ -53,6 +60,7 @@ pub use cqa_qe as qe;
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
     pub use cqa_agg::{aggregate, semilinear_volume, Aggregate};
+    pub use cqa_analyze::{analyze_source, AnalyzerConfig};
     pub use cqa_arith::{rat, rint, Int, Rat};
     pub use cqa_core::{Database, Relation};
     pub use cqa_geom::{volume, volume_in_unit_box};

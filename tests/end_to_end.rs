@@ -12,8 +12,10 @@ use constraint_agg::prelude::*;
 #[test]
 fn query_then_volume_pipeline() {
     let mut db = Database::new();
-    db.define("T", &["x", "y"], "x >= 0 & y >= 0 & x + y <= 1").unwrap();
-    db.define("Band", &["x", "y"], "y >= 0.25 & y <= 0.75").unwrap();
+    db.define("T", &["x", "y"], "x >= 0 & y >= 0 & x + y <= 1")
+        .unwrap();
+    db.define("Band", &["x", "y"], "y >= 0.25 & y <= 0.75")
+        .unwrap();
     // The part of the triangle inside the band: a first-order join whose
     // output feeds the exact volume engine.
     let out = db.query(&["x", "y"], "T(x, y) & Band(x, y)").unwrap();
@@ -29,7 +31,8 @@ fn query_then_volume_pipeline() {
 #[test]
 fn closure_composes_across_queries() {
     let mut db = Database::new();
-    db.define("T", &["x", "y"], "x >= 0 & y >= 0 & x + y <= 1").unwrap();
+    db.define("T", &["x", "y"], "x >= 0 & y >= 0 & x + y <= 1")
+        .unwrap();
     let first = db.query(&["x"], "exists y. T(x, y) & y >= 0.5").unwrap();
     let Relation::FinitelyRepresentable { params, formula } = first else {
         panic!()
@@ -73,7 +76,8 @@ fn sum_term_full_language_flow() {
     // Σ over pairs of endpoints of a projection, with a filter and a
     // non-trivial deterministic summand — every layer involved.
     let mut db = Database::new();
-    db.define("T", &["x", "y"], "x >= 0 & y >= 0 & x + y <= 1").unwrap();
+    db.define("T", &["x", "y"], "x >= 0 & y >= 0 & x + y <= 1")
+        .unwrap();
     let y = db.vars_mut().intern("yy");
     let w1 = db.vars_mut().intern("w1");
     let w2 = db.vars_mut().intern("w2");
@@ -88,8 +92,7 @@ fn sum_term_full_language_flow() {
         gamma: Deterministic {
             out_var: v,
             in_vars: vec![w1, w2],
-            formula: parse_formula_with("vout = (w2 - w1) * (w2 - w1)", db.vars_mut())
-                .unwrap(),
+            formula: parse_formula_with("vout = (w2 - w1) * (w2 - w1)", db.vars_mut()).unwrap(),
         },
     };
     // Endpoints of π_y(T) = [0,1]: {0, 1}; single pair (0,1): (1−0)² = 1.
@@ -124,7 +127,12 @@ fn volume_operators_match_paper_notation() {
 
 #[test]
 fn theorem3_volume_every_dimension() {
-    for (dim, expect) in [(1usize, rat(1, 1)), (2, rat(1, 2)), (3, rat(1, 6)), (4, rat(1, 24))] {
+    for (dim, expect) in [
+        (1usize, rat(1, 1)),
+        (2, rat(1, 2)),
+        (3, rat(1, 6)),
+        (4, rat(1, 24)),
+    ] {
         let mut db = Database::new();
         let names: Vec<String> = (0..dim).map(|i| format!("x{i}")).collect();
         let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
@@ -144,12 +152,18 @@ fn theorem3_volume_every_dimension() {
 fn active_domain_and_fr_relations_mix() {
     let mut db = Database::new();
     db.define("Zone", &["x"], "0 <= x & x <= 10").unwrap();
-    db.add_finite_relation("P", vec![vec![rat(2, 1)], vec![rat(5, 1)], vec![rat(12, 1)]])
-        .unwrap();
+    db.add_finite_relation(
+        "P",
+        vec![vec![rat(2, 1)], vec![rat(5, 1)], vec![rat(12, 1)]],
+    )
+    .unwrap();
     // Points inside the zone such that every active-domain element to their
     // left is also in the zone.
     let out = db
-        .query(&["x"], "P(x) & Zone(x) & Aadom u. (P(u) & u < x -> Zone(u))")
+        .query(
+            &["x"],
+            "P(x) & Zone(x) & Aadom u. (P(u) & u < x -> Zone(u))",
+        )
         .unwrap();
     assert!(out.contains(&[rat(2, 1)]));
     assert!(out.contains(&[rat(5, 1)]));
@@ -159,9 +173,12 @@ fn active_domain_and_fr_relations_mix() {
 #[test]
 fn formula_roundtrip_through_display() {
     let mut db = Database::new();
-    db.define("T", &["x", "y"], "x >= 0 & y >= 0 & 2*x + 3*y <= 6").unwrap();
+    db.define("T", &["x", "y"], "x >= 0 & y >= 0 & 2*x + 3*y <= 6")
+        .unwrap();
     let out = db.query(&["x"], "exists y. T(x, y)").unwrap();
-    let Relation::FinitelyRepresentable { formula, .. } = &out else { panic!() };
+    let Relation::FinitelyRepresentable { formula, .. } = &out else {
+        panic!()
+    };
     let printed = constraint_agg::logic::display_formula(formula, db.vars());
     let mut vars2 = db.vars().clone();
     let reparsed = parse_formula_with(&printed, &mut vars2).unwrap();
@@ -174,7 +191,9 @@ fn mixed_class_queries_dispatch_correctly() {
     db.define("Lin", &["x"], "0 <= x & x <= 4").unwrap();
     db.define("Par", &["x", "y"], "y = x*x").unwrap();
     // Heights of the parabola over the linear domain, at a sample point.
-    let out = db.query(&["y"], "exists x. Lin(x) & Par(x, y) & x = 1.5").unwrap();
+    let out = db
+        .query(&["y"], "exists x. Lin(x) & Par(x, y) & x = 1.5")
+        .unwrap();
     assert!(out.contains(&[rat(9, 4)]));
     assert!(!out.contains(&[rat(2, 1)]));
 }
@@ -182,7 +201,9 @@ fn mixed_class_queries_dispatch_correctly() {
 #[test]
 fn relation_free_queries_still_work() {
     let mut db = Database::new();
-    let out = db.query(&["x"], "exists y. x = 2*y & 0 <= y & y <= 1").unwrap();
+    let out = db
+        .query(&["x"], "exists y. x = 2*y & 0 <= y & y <= 1")
+        .unwrap();
     assert!(out.contains(&[rat(2, 1)]));
     assert!(out.contains(&[rat(0, 1)]));
     assert!(!out.contains(&[rat(5, 2)]));

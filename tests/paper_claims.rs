@@ -7,7 +7,9 @@
 
 use constraint_agg::approx::km::paper_example_cost;
 use constraint_agg::approx::sample::sample_size;
-use constraint_agg::approx::separating::{find_separating_sentence, good_instance_volumes, GoodInstance};
+use constraint_agg::approx::separating::{
+    find_separating_sentence, good_instance_volumes, GoodInstance,
+};
 use constraint_agg::approx::trivial::trivial_volume_approximation;
 use constraint_agg::approx::vc::{bit_test_database, bit_test_shatters};
 use constraint_agg::core::Database;
@@ -49,8 +51,7 @@ fn non_closure_arctan() {
     let mut vars = VarMap::new();
     let y = vars.intern("y");
     let z = vars.intern("z");
-    let f = parse_formula_with("0 <= y & y <= 1 & 0 <= z & z + z*y*y <= 1", &mut vars)
-        .unwrap();
+    let f = parse_formula_with("0 <= y & y <= 1 & 0 <= z & z + z*y*y <= 1", &mut vars).unwrap();
     assert!(volume(&f, &[y, z]).is_err());
 }
 
@@ -60,7 +61,13 @@ fn non_closure_arctan() {
 fn proposition4_trivial_approximation() {
     let mut vars = VarMap::new();
     let vs: Vec<Var> = ["x", "y"].iter().map(|n| vars.intern(n)).collect();
-    for src in ["x <= y", "x >= 1", "true", "x = 0.25", "x >= 0.125 & y <= 0.875"] {
+    for src in [
+        "x <= y",
+        "x >= 1",
+        "true",
+        "x = 0.25",
+        "x >= 0.125 & y <= 0.875",
+    ] {
         let f = parse_formula_with(src, &mut vars).unwrap();
         let est = trivial_volume_approximation(&f, &vs).unwrap();
         let truth = volume_in_unit_box(&f, &vs).unwrap();
