@@ -8,7 +8,8 @@
 
 use crate::lang::AggError;
 use cqa_arith::Rat;
-use cqa_core::{enumerate_finite, Database, SafetyError};
+use cqa_core::{enumerate_finite_with_budget, Database};
+use cqa_logic::budget::EvalBudget;
 use cqa_logic::{Formula, SlotMap};
 use cqa_poly::{MPoly, Var};
 
@@ -41,14 +42,22 @@ pub fn aggregate(
     value: &MPoly,
     agg: Aggregate,
 ) -> Result<Rat, AggError> {
+    aggregate_with_budget(db, q, free, value, agg, &EvalBudget::unlimited())
+}
+
+/// [`aggregate`] under a cooperative evaluation budget; returns
+/// [`AggError::Budget`] when the deadline, step or atom limit trips.
+pub fn aggregate_with_budget(
+    db: &Database,
+    q: &Formula,
+    free: &[Var],
+    value: &MPoly,
+    agg: Aggregate,
+    budget: &EvalBudget,
+) -> Result<Rat, AggError> {
     let expanded = db.expand(q).map_err(|e| AggError::Db(e.to_string()))?;
-    let qf = cqa_qe::eliminate(&expanded)?;
-    let tuples = enumerate_finite(&qf, free).map_err(|e| match e {
-        SafetyError::Infinite => AggError::Db("aggregate over an infinite set".into()),
-        SafetyError::IrrationalPoint => AggError::IrrationalEndpoint,
-        SafetyError::Qe(q) => AggError::Qe(q),
-        e @ SafetyError::UnboundVariable(_) => AggError::Db(e.to_string()),
-    })?;
+    let qf = cqa_qe::eliminate_with_budget(&expanded, budget)?;
+    let tuples = enumerate_finite_with_budget(&qf, free, budget)?;
     let slots = SlotMap::from_vars(free);
     let values: Vec<Rat> = tuples
         .iter()

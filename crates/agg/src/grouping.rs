@@ -7,16 +7,20 @@
 //! well-defined: the group keys form a finite set, so the result is again
 //! a finite relation — closure is preserved.
 
+use std::collections::BTreeMap;
+
 use crate::aggregate::Aggregate;
 use crate::lang::AggError;
 use cqa_arith::Rat;
-use cqa_core::{enumerate_finite, Database, SafetyError};
+use cqa_core::{enumerate_finite_with_budget, Database, SafetyError};
+use cqa_logic::budget::EvalBudget;
 use cqa_logic::{Formula, SlotMap};
 use cqa_poly::{MPoly, Var};
 
 /// `GROUP BY`-style aggregation: evaluates the (safe) query `q` with
 /// output columns `free`, partitions tuples by the `group_by` columns
-/// (which must be a subset of `free`), and applies `agg` to the `value`
+/// (which must be a subset of `free`, else
+/// [`AggError::GroupByNotInOutput`]), and applies `agg` to the `value`
 /// term within each group.
 ///
 /// Returns `(key, aggregate)` pairs sorted by key. Empty groups do not
@@ -29,35 +33,44 @@ pub fn group_aggregate(
     value: &MPoly,
     agg: Aggregate,
 ) -> Result<Vec<(Vec<Rat>, Rat)>, AggError> {
-    assert!(
-        group_by.iter().all(|g| free.contains(g)),
-        "group_by columns must be among the output columns"
-    );
+    group_aggregate_with_budget(db, q, free, group_by, value, agg, &EvalBudget::unlimited())
+}
+
+/// [`group_aggregate`] under a cooperative evaluation budget: one step per
+/// partitioned tuple, plus whatever QE and enumeration charge.
+pub fn group_aggregate_with_budget(
+    db: &Database,
+    q: &Formula,
+    free: &[Var],
+    group_by: &[Var],
+    value: &MPoly,
+    agg: Aggregate,
+    budget: &EvalBudget,
+) -> Result<Vec<(Vec<Rat>, Rat)>, AggError> {
+    if let Some(g) = group_by.iter().find(|g| !free.contains(g)) {
+        return Err(AggError::GroupByNotInOutput(format!("{g:?}")));
+    }
     let expanded = db.expand(q).map_err(|e| AggError::Db(e.to_string()))?;
-    let qf = cqa_qe::eliminate(&expanded)?;
-    let tuples = enumerate_finite(&qf, free).map_err(|e| match e {
+    let qf = cqa_qe::eliminate_with_budget(&expanded, budget)?;
+    let tuples = enumerate_finite_with_budget(&qf, free, budget).map_err(|e| match e {
         SafetyError::Infinite => AggError::Db("grouping over an infinite set".into()),
-        SafetyError::IrrationalPoint => AggError::IrrationalEndpoint,
-        SafetyError::Qe(q) => AggError::Qe(q),
-        e @ SafetyError::UnboundVariable(_) => AggError::Db(e.to_string()),
+        e => AggError::from(e),
     })?;
 
-    // Partition by key.
+    // Partition by key. The ordered map both deduplicates keys in
+    // O(log #groups) per tuple and hands the groups back already sorted.
     let key_idx: Vec<usize> = group_by
         .iter()
         .map(|g| free.iter().position(|v| v == g).unwrap())
         .collect();
     let slots = SlotMap::from_vars(free);
-    let mut groups: Vec<(Vec<Rat>, Vec<Rat>)> = Vec::new();
+    let mut groups: BTreeMap<Vec<Rat>, Vec<Rat>> = BTreeMap::new();
     for t in &tuples {
+        budget.check()?;
         let key: Vec<Rat> = key_idx.iter().map(|&i| t[i].clone()).collect();
         let val = value.eval(&slots.assignment(t));
-        match groups.iter_mut().find(|(k, _)| *k == key) {
-            Some((_, vals)) => vals.push(val),
-            None => groups.push((key, vec![val])),
-        }
+        groups.entry(key).or_default().push(val);
     }
-    groups.sort_by(|(a, _), (b, _)| a.cmp(b));
 
     groups
         .into_iter()
@@ -69,8 +82,16 @@ pub fn group_aggregate(
                 Aggregate::Avg => {
                     vals.into_iter().fold(Rat::zero(), |a, b| a + b) / Rat::from(n as i64)
                 }
-                Aggregate::Min => vals.into_iter().min().expect("non-empty group"),
-                Aggregate::Max => vals.into_iter().max().expect("non-empty group"),
+                // Groups are created with their first value, so `min`/`max`
+                // of an entry is always defined; the error arm is defensive.
+                Aggregate::Min => vals
+                    .into_iter()
+                    .min()
+                    .ok_or_else(|| AggError::Db("MIN of an empty group".into()))?,
+                Aggregate::Max => vals
+                    .into_iter()
+                    .max()
+                    .ok_or_else(|| AggError::Db("MAX of an empty group".into()))?,
             };
             Ok((key, reduced))
         })

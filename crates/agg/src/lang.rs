@@ -2,7 +2,8 @@
 //! summation.
 
 use cqa_arith::Rat;
-use cqa_core::{decompose_1d, Database, DbError, Endpoint};
+use cqa_core::{decompose_1d, Database, DbError, Endpoint, SafetyError};
+use cqa_logic::budget::{BudgetExceeded, EvalBudget};
 use cqa_logic::Formula;
 use cqa_poly::{RealAlg, Var};
 use cqa_qe::QeError;
@@ -26,6 +27,12 @@ pub enum AggError {
     /// The γ formula is not deterministic (more than one output for some
     /// input).
     NotDeterministic,
+    /// A γ formula expected to be total was undefined at some input.
+    GammaPartial,
+    /// A `GROUP BY` column is not among the query's output columns.
+    GroupByNotInOutput(String),
+    /// The evaluation budget was exhausted (deadline, step or atom limit).
+    Budget(BudgetExceeded),
 }
 
 impl std::fmt::Display for AggError {
@@ -36,6 +43,11 @@ impl std::fmt::Display for AggError {
             AggError::NotOneDimensional => write!(f, "END body is not one-dimensional"),
             AggError::IrrationalEndpoint => write!(f, "irrational interval endpoint"),
             AggError::NotDeterministic => write!(f, "γ formula is not deterministic"),
+            AggError::GammaPartial => write!(f, "γ formula is undefined at some input"),
+            AggError::GroupByNotInOutput(v) => {
+                write!(f, "GROUP BY column {v} is not among the output columns")
+            }
+            AggError::Budget(b) => write!(f, "{b}"),
         }
     }
 }
@@ -43,12 +55,31 @@ impl std::error::Error for AggError {}
 
 impl From<QeError> for AggError {
     fn from(e: QeError) -> AggError {
-        AggError::Qe(e)
+        match e {
+            QeError::Budget(b) => AggError::Budget(b),
+            e => AggError::Qe(e),
+        }
     }
 }
 impl From<DbError> for AggError {
     fn from(e: DbError) -> AggError {
         AggError::Db(e.to_string())
+    }
+}
+impl From<BudgetExceeded> for AggError {
+    fn from(b: BudgetExceeded) -> AggError {
+        AggError::Budget(b)
+    }
+}
+impl From<SafetyError> for AggError {
+    fn from(e: SafetyError) -> AggError {
+        match e {
+            SafetyError::Infinite => AggError::Db("aggregate over an infinite set".into()),
+            SafetyError::IrrationalPoint => AggError::IrrationalEndpoint,
+            SafetyError::Qe(q) => AggError::from(q),
+            SafetyError::Budget(b) => AggError::Budget(b),
+            e @ SafetyError::UnboundVariable(_) => AggError::Db(e.to_string()),
+        }
     }
 }
 
@@ -57,8 +88,18 @@ impl From<DbError> for AggError {
 /// definitions and eliminating quantifiers). `φ` must have `y` as its only
 /// free variable.
 pub fn end_points(db: &Database, phi: &Formula, y: Var) -> Result<Vec<RealAlg>, AggError> {
+    end_points_with_budget(db, phi, y, &EvalBudget::unlimited())
+}
+
+/// [`end_points`] under a cooperative evaluation budget.
+pub fn end_points_with_budget(
+    db: &Database,
+    phi: &Formula,
+    y: Var,
+    budget: &EvalBudget,
+) -> Result<Vec<RealAlg>, AggError> {
     let expanded = db.expand(phi)?;
-    let qf = cqa_qe::eliminate(&expanded)?;
+    let qf = cqa_qe::eliminate_with_budget(&expanded, budget)?;
     let ivs = decompose_1d(&qf, y).ok_or(AggError::NotOneDimensional)?;
     let mut out: Vec<RealAlg> = Vec::new();
     for iv in ivs {
@@ -105,7 +146,24 @@ impl RangeRestricted {
     /// Enumerates `ρ(D)`: all tuples of endpoints satisfying the filter.
     /// Requires rational endpoints (semi-linear `φ₂`).
     pub fn enumerate(&self, db: &Database) -> Result<Vec<Vec<Rat>>, AggError> {
-        let ends = end_points_rational(db, &self.end_formula, self.end_var)?;
+        self.enumerate_with_budget(db, &EvalBudget::unlimited())
+    }
+
+    /// [`Self::enumerate`] under a cooperative evaluation budget: one step
+    /// is charged per candidate tuple (the odometer over endpoint tuples is
+    /// the combinatorial blow-up here — `|END|^k` filter evaluations).
+    pub fn enumerate_with_budget(
+        &self,
+        db: &Database,
+        budget: &EvalBudget,
+    ) -> Result<Vec<Vec<Rat>>, AggError> {
+        let ends = end_points_with_budget(db, &self.end_formula, self.end_var, budget)?
+            .into_iter()
+            .map(|a| match a {
+                RealAlg::Rational(r) => Ok(r),
+                _ => Err(AggError::IrrationalEndpoint),
+            })
+            .collect::<Result<Vec<Rat>, AggError>>()?;
         let k = self.tuple_vars.len();
         let mut out = Vec::new();
         let mut idx = vec![0usize; k];
@@ -113,13 +171,14 @@ impl RangeRestricted {
             return Ok(out);
         }
         loop {
+            budget.check()?;
             let tuple: Vec<Rat> = idx.iter().map(|&i| ends[i].clone()).collect();
             // Evaluate the filter with relation atoms resolved by the db.
             let mut f = db.expand(&self.filter)?;
             for (v, x) in self.tuple_vars.iter().zip(&tuple) {
                 f = f.subst_rat(*v, x);
             }
-            let qf = cqa_qe::eliminate(&f)?;
+            let qf = cqa_qe::eliminate_with_budget(&f, budget)?;
             if qf.eval(&|_| Rat::zero(), &[]).unwrap_or(false) {
                 out.push(tuple);
             }
@@ -155,11 +214,22 @@ pub struct Deterministic {
 impl Deterministic {
     /// Applies the partial function at `w⃗ = args`; `None` where undefined.
     pub fn apply(&self, db: &Database, args: &[Rat]) -> Result<Option<Rat>, AggError> {
+        self.apply_with_budget(db, args, &EvalBudget::unlimited())
+    }
+
+    /// [`Self::apply`] under a cooperative evaluation budget.
+    pub fn apply_with_budget(
+        &self,
+        db: &Database,
+        args: &[Rat],
+        budget: &EvalBudget,
+    ) -> Result<Option<Rat>, AggError> {
+        budget.check()?;
         let mut f = db.expand(&self.formula)?;
         for (v, x) in self.in_vars.iter().zip(args) {
             f = f.subst_rat(*v, x);
         }
-        let qf = cqa_qe::eliminate(&f)?;
+        let qf = cqa_qe::eliminate_with_budget(&f, budget)?;
         let ivs = decompose_1d(&qf, self.out_var).ok_or(AggError::NotOneDimensional)?;
         match ivs.len() {
             0 => Ok(None),
@@ -178,6 +248,15 @@ impl Deterministic {
 /// decides (the paper notes "it is decidable if a formula is
 /// deterministic").
 pub fn is_deterministic(gamma: &Deterministic) -> Result<bool, AggError> {
+    is_deterministic_with_budget(gamma, &EvalBudget::unlimited())
+}
+
+/// [`is_deterministic`] under a cooperative evaluation budget (the check
+/// is itself a QE problem, and so can blow up).
+pub fn is_deterministic_with_budget(
+    gamma: &Deterministic,
+    budget: &EvalBudget,
+) -> Result<bool, AggError> {
     let f = &gamma.formula;
     if !f.is_relation_free() {
         // Relation atoms are database-dependent; conservatively reject.
@@ -191,7 +270,7 @@ pub fn is_deterministic(gamma: &Deterministic) -> Result<bool, AggError> {
         cqa_poly::MPoly::var(x),
         cqa_poly::MPoly::var(xp),
     ));
-    Ok(cqa_qe::is_valid(&claim)?)
+    Ok(cqa_qe::is_valid_with_budget(&claim, budget)?)
 }
 
 /// The summation term `Σ_{ρ(w⃗)} γ`: the sum of the bag `γ(ρ(D))`.
@@ -215,18 +294,28 @@ impl SumTerm {
     /// with a pinning conjunct, which the semantic check conservatively
     /// rejects.
     pub fn eval(&self, db: &Database) -> Result<Rat, AggError> {
+        self.eval_with_budget(db, &EvalBudget::unlimited())
+    }
+
+    /// [`Self::eval`] under a cooperative evaluation budget: the budget is
+    /// threaded through the determinism check, the range enumeration and
+    /// each per-tuple γ application, so a runaway sum returns
+    /// [`AggError::Budget`] instead of hanging. When the budget is not hit
+    /// the result is bit-identical to the unbudgeted one.
+    pub fn eval_with_budget(&self, db: &Database, budget: &EvalBudget) -> Result<Rat, AggError> {
         let certified = cqa_core::is_syntactically_deterministic(
             &self.gamma.formula,
             self.gamma.out_var,
             &self.gamma.in_vars,
         );
-        if !certified && !is_deterministic(&self.gamma)? {
+        if !certified && !is_deterministic_with_budget(&self.gamma, budget)? {
             return Err(AggError::NotDeterministic);
         }
-        let tuples = self.range.enumerate(db)?;
+        let tuples = self.range.enumerate_with_budget(db, budget)?;
         let mut total = Rat::zero();
         for t in tuples {
-            if let Some(v) = self.gamma.apply(db, &t)? {
+            budget.check()?;
+            if let Some(v) = self.gamma.apply_with_budget(db, &t, budget)? {
                 total += &v;
             }
         }
@@ -456,5 +545,26 @@ mod tests {
             },
         };
         assert_eq!(term.eval(&db).unwrap(), rat(2, 1));
+    }
+
+    #[test]
+    fn partial_gamma_application_is_typed_not_a_panic() {
+        let mut db = Database::new();
+        let w = db.vars_mut().intern("w");
+        let v = db.vars_mut().intern("v");
+        // v² = w has no real solution at w = −1: the application is partial.
+        let gamma = Deterministic {
+            out_var: v,
+            in_vars: vec![w],
+            formula: parse_formula_with("v*v = w", db.vars_mut()).unwrap(),
+        };
+        assert_eq!(gamma.apply(&db, &[rat(-1, 1)]).unwrap(), None);
+        // Callers that require totality (the polygon-area pipeline) surface
+        // the miss as the typed `AggError::GammaPartial`, never a panic.
+        let e = gamma
+            .apply(&db, &[rat(-1, 1)])
+            .unwrap()
+            .ok_or(AggError::GammaPartial);
+        assert!(matches!(e, Err(AggError::GammaPartial)));
     }
 }

@@ -32,9 +32,15 @@ mod lang;
 mod polygon;
 mod volume;
 
-pub use aggregate::{aggregate, Aggregate};
-pub use grouping::group_aggregate;
+pub use aggregate::{aggregate, aggregate_with_budget, Aggregate};
+pub use grouping::{group_aggregate, group_aggregate_with_budget};
 pub use integral::{average_over_2d, integral_over_2d};
-pub use lang::{end_points, is_deterministic, AggError, Deterministic, RangeRestricted, SumTerm};
+pub use lang::{
+    end_points, end_points_rational, end_points_with_budget, is_deterministic,
+    is_deterministic_with_budget, AggError, Deterministic, RangeRestricted, SumTerm,
+};
 pub use polygon::{polygon_area_sum_term, polygon_area_via_language};
-pub use volume::{semilinear_volume, semilinear_volume_formula, volume_by_sweep_2d};
+pub use volume::{
+    semilinear_volume, semilinear_volume_formula, volume_by_sweep_2d, volume_with_fallback,
+    VolumeOutcome, FALLBACK_DELTA,
+};

@@ -78,7 +78,7 @@ pub fn polygon_area_via_language(points: &[Point2]) -> Result<Rat, AggError> {
             c.0.clone(),
             c.1.clone(),
         ];
-        let area = gamma.apply(&db, &args)?.expect("γ is total on triangles");
+        let area = gamma.apply(&db, &args)?.ok_or(AggError::GammaPartial)?;
         total += area.abs();
     }
     Ok(total)

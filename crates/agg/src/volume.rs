@@ -18,15 +18,30 @@
 //! in the `semilinear_volume` bench (E2).
 
 use crate::lang::AggError;
+use cqa_approx::sample::Witness;
 use cqa_arith::Rat;
 use cqa_core::{decompose_1d, Database};
 use cqa_geom::{volume, VolumeError};
+use cqa_logic::budget::EvalBudget;
 use cqa_logic::Formula;
 use cqa_poly::{RealAlg, Var};
 
 impl From<VolumeError> for AggError {
     fn from(e: VolumeError) -> AggError {
-        AggError::Db(e.to_string())
+        match e {
+            VolumeError::Budget(b) => AggError::Budget(b),
+            e => AggError::Db(e.to_string()),
+        }
+    }
+}
+
+impl From<cqa_approx::ApproxError> for AggError {
+    fn from(e: cqa_approx::ApproxError) -> AggError {
+        match e {
+            cqa_approx::ApproxError::Budget(b) => AggError::Budget(b),
+            cqa_approx::ApproxError::Qe(q) => AggError::from(q),
+            e => AggError::Db(e.to_string()),
+        }
     }
 }
 
@@ -164,6 +179,104 @@ pub fn volume_by_sweep_2d(f: &Formula, x: Var, y: Var) -> Result<Rat, AggError> 
         }
     }
     Ok(total)
+}
+
+/// Failure probability of the Monte Carlo fallback in
+/// [`volume_with_fallback`]: the (ε, δ) tag always carries this δ.
+pub const FALLBACK_DELTA: f64 = 0.05;
+
+/// Seed of the deterministic witness used by the Monte Carlo fallback, so
+/// degraded answers are reproducible run to run.
+const FALLBACK_SEED: u64 = 0xC0A;
+
+/// The outcome of [`volume_with_fallback`]: either the exact volume, or —
+/// when the evaluation budget tripped — a Monte Carlo estimate tagged with
+/// its accuracy guarantee.
+#[derive(Clone, Debug, PartialEq)]
+pub enum VolumeOutcome {
+    /// The exact rational volume, computed within the budget.
+    Exact(Rat),
+    /// The budget tripped during exact evaluation, and the query degraded
+    /// to sampling: `estimate` approximates the volume of the query region
+    /// intersected with the unit box `I^k` (the paper's `VOL_I` setting),
+    /// with `Pr[|estimate − VOL_I| > eps] ≤ delta` by Hoeffding's
+    /// inequality over `samples` uniform points.
+    Approximate {
+        /// The sampled estimate of `VOL_I`.
+        estimate: Rat,
+        /// The additive error bound `ε`.
+        eps: f64,
+        /// The failure probability `δ` ([`FALLBACK_DELTA`]).
+        delta: f64,
+        /// Number of uniform sample points drawn.
+        samples: usize,
+    },
+}
+
+impl VolumeOutcome {
+    /// The volume value, exact or estimated.
+    pub fn value(&self) -> &Rat {
+        match self {
+            VolumeOutcome::Exact(v) => v,
+            VolumeOutcome::Approximate { estimate, .. } => estimate,
+        }
+    }
+
+    /// Whether the exact path completed (no degradation happened).
+    pub fn is_exact(&self) -> bool {
+        matches!(self, VolumeOutcome::Exact(_))
+    }
+}
+
+/// Graceful exact→approximate degradation (the tentpole contract): compute
+/// the exact volume of `{v⃗ : f(v⃗)}` under the evaluation `budget`; if the
+/// budget trips mid-elimination, fall back to the multithreaded Monte
+/// Carlo estimator of Theorem 4 and return the estimate tagged with its
+/// `(ε, δ)` guarantee instead of failing.
+///
+/// The fallback draws `⌈ln(2/δ)/(2ε²)⌉ + 1` points (Hoeffding, single
+/// fixed set — no VC-dimension factor needed) from a deterministic
+/// witness, so a degraded answer is reproducible. It estimates the volume
+/// *within the unit box* `I^k`; for queries whose region extends beyond
+/// `I^k` the exact and approximate answers measure different sets — the
+/// [`VolumeOutcome::Approximate`] tag makes the switch visible to callers.
+///
+/// Errors that are not budget trips (unknown relations, unbounded regions,
+/// `ε ∉ (0, 1)`) are reported as errors, not degraded.
+pub fn volume_with_fallback(
+    db: &Database,
+    f: &Formula,
+    vars: &[Var],
+    budget: &EvalBudget,
+    eps: f64,
+) -> Result<VolumeOutcome, AggError> {
+    if !(eps > 0.0 && eps < 1.0) {
+        return Err(AggError::Db(format!("ε must lie in (0, 1), got {eps}")));
+    }
+    let exact = || -> Result<Rat, AggError> {
+        let expanded = db.expand(f)?;
+        let qf = cqa_qe::eliminate_with_budget(&expanded, budget)?;
+        Ok(cqa_geom::volume_with_budget(&qf, vars, budget)?)
+    };
+    match exact() {
+        Ok(v) => Ok(VolumeOutcome::Exact(v)),
+        Err(AggError::Budget(_)) => {
+            let delta = FALLBACK_DELTA;
+            let samples = ((2.0 / delta).ln() / (2.0 * eps * eps)).ceil() as usize + 1;
+            let mut w = Witness::new(FALLBACK_SEED);
+            let threads = cqa_approx::par::default_threads();
+            let estimate = cqa_approx::mc::mc_volume_in_unit_box_threads(
+                db, f, vars, samples, &mut w, threads,
+            )?;
+            Ok(VolumeOutcome::Approximate {
+                estimate,
+                eps,
+                delta,
+                samples,
+            })
+        }
+        Err(e) => Err(e),
+    }
 }
 
 /// The total length of the section `{y : f(x₀, y)}`.

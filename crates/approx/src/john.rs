@@ -24,10 +24,19 @@ pub struct JohnBounds {
 
 /// Khachiyan's MVEE: returns `(A, c)` with ellipsoid
 /// `{x : (x−c)ᵀ A (x−c) ≤ 1}` enclosing the points, within tolerance.
-pub fn mvee(points: &[Vec<f64>], tol: f64) -> (Vec<Vec<f64>>, Vec<f64>) {
+/// Errors unless there are strictly more points than dimensions (the
+/// ellipsoid is degenerate otherwise).
+pub fn mvee(
+    points: &[Vec<f64>],
+    tol: f64,
+) -> Result<(Vec<Vec<f64>>, Vec<f64>), crate::ApproxError> {
     let m = points.len();
-    let d = points[0].len();
-    assert!(m > d, "MVEE needs more points than dimensions");
+    let d = points.first().map_or(0, Vec::len);
+    if m <= d || d == 0 {
+        return Err(crate::ApproxError::InvalidParameter(format!(
+            "MVEE needs more points than dimensions (got {m} points in dimension {d})"
+        )));
+    }
     // Lift to homogeneous coordinates.
     let q: Vec<Vec<f64>> = points
         .iter()
@@ -99,7 +108,7 @@ pub fn mvee(points: &[Vec<f64>], tol: f64) -> (Vec<Vec<f64>>, Vec<f64>) {
         .iter()
         .map(|row| row.iter().map(|v| v / d as f64).collect())
         .collect();
-    (a, center)
+    Ok((a, center))
 }
 
 /// Volume of the `d`-dimensional unit ball.
@@ -131,17 +140,17 @@ pub fn ellipsoid_volume(a: &[Vec<f64>]) -> f64 {
 
 /// Löwner–John volume bounds for the convex hull of `points` (full
 /// dimensional).
-pub fn john_volume_bounds(points: &[Vec<f64>]) -> JohnBounds {
-    let d = points[0].len();
-    let (a, _c) = mvee(points, 1e-7);
+pub fn john_volume_bounds(points: &[Vec<f64>]) -> Result<JohnBounds, crate::ApproxError> {
+    let d = points.first().map_or(0, Vec::len);
+    let (a, _c) = mvee(points, 1e-7)?;
     let outer = ellipsoid_volume(&a);
     let kk = (d as f64).powi(d as i32);
     let inner = outer / kk;
-    JohnBounds {
+    Ok(JohnBounds {
         outer_volume: outer,
         inner_volume: inner,
         estimate: (inner + outer) / 2.0,
-    }
+    })
 }
 
 fn invert(m: &[Vec<f64>]) -> Vec<Vec<f64>> {
@@ -229,7 +238,7 @@ mod tests {
             vec![0.0, 1.0],
             vec![0.5, 0.5],
         ];
-        let (a, c) = mvee(&pts, 1e-8);
+        let (a, c) = mvee(&pts, 1e-8).unwrap();
         // Every point satisfies (p−c)ᵀA(p−c) ≤ 1 + tolerance.
         for p in &pts {
             let mut v = 0.0;
@@ -253,7 +262,7 @@ mod tests {
             vec![1.0, 1.0],
             vec![0.0, 1.0],
         ];
-        let b = john_volume_bounds(&pts);
+        let b = john_volume_bounds(&pts).unwrap();
         assert!(b.inner_volume <= 1.0 + 1e-6, "inner {}", b.inner_volume);
         assert!(b.outer_volume >= 1.0 - 1e-6, "outer {}", b.outer_volume);
         // Relative width is k^k = 4.
@@ -269,7 +278,7 @@ mod tests {
             vec![0.0, 1.0, 0.0],
             vec![0.0, 0.0, 1.0],
         ];
-        let b = john_volume_bounds(&pts);
+        let b = john_volume_bounds(&pts).unwrap();
         let truth = 1.0 / 6.0;
         assert!(b.inner_volume <= truth * 1.01);
         assert!(b.outer_volume >= truth * 0.99);

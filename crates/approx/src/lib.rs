@@ -30,6 +30,7 @@
 #![forbid(unsafe_code)]
 
 pub mod baselines;
+pub mod error;
 pub mod john;
 pub mod km;
 pub mod mc;
@@ -38,3 +39,5 @@ pub mod sample;
 pub mod separating;
 pub mod trivial;
 pub mod vc;
+
+pub use error::ApproxError;

@@ -7,25 +7,29 @@
 //! That is what distinguishes Theorem 4 from naive per-query sampling —
 //! and what [`UniformVolumeEstimator`] implements.
 
+use crate::error::ApproxError;
 use crate::par::{self, default_threads};
-use crate::sample::{sample_size, Witness};
+use crate::sample::{try_sample_size, Witness};
 use cqa_arith::Rat;
 use cqa_core::Database;
+use cqa_logic::budget::{BudgetExceeded, EvalBudget};
 use cqa_logic::{rat_to_f64_err, CompiledMatrix, Formula, SlotMap};
 use cqa_poly::Var;
 use cqa_qe::QeError;
 
-/// Expands relations and eliminates quantifiers, then lowers the matrix
-/// through the compiled kernel. A matrix the kernel cannot lower (residual
-/// relation or quantifier) surfaces as an error *here*, instead of being
-/// silently counted as a miss at every sample point.
+/// Expands relations and eliminates quantifiers (under the budget), then
+/// lowers the matrix through the compiled kernel. A matrix the kernel
+/// cannot lower (residual relation or quantifier) surfaces as an error
+/// *here*, instead of being silently counted as a miss at every sample
+/// point.
 fn compile_matrix(
     db: &Database,
     phi: &Formula,
     slots: &SlotMap,
-) -> Result<(Formula, CompiledMatrix), QeError> {
+    budget: &EvalBudget,
+) -> Result<(Formula, CompiledMatrix), ApproxError> {
     let expanded = db.expand(phi).map_err(|_| QeError::HasRelations)?;
-    let matrix = cqa_qe::eliminate(&expanded)?;
+    let matrix = cqa_qe::eliminate_with_budget(&expanded, budget)?;
     let kernel =
         CompiledMatrix::compile(&matrix, slots).map_err(|e| QeError::Residual(e.to_string()))?;
     Ok((matrix, kernel))
@@ -62,10 +66,38 @@ impl UniformVolumeEstimator {
         delta: f64,
         d: f64,
         witness: &mut Witness,
-    ) -> Result<UniformVolumeEstimator, QeError> {
+    ) -> Result<UniformVolumeEstimator, ApproxError> {
+        Self::new_with_budget(
+            db,
+            phi,
+            params,
+            point_vars,
+            eps,
+            delta,
+            d,
+            witness,
+            &EvalBudget::unlimited(),
+        )
+    }
+
+    /// [`UniformVolumeEstimator::new`] under a cooperative [`EvalBudget`]:
+    /// the QE/compile phase aborts with [`ApproxError::Budget`] when the
+    /// budget is exhausted.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new_with_budget(
+        db: &Database,
+        phi: &Formula,
+        params: &[Var],
+        point_vars: &[Var],
+        eps: f64,
+        delta: f64,
+        d: f64,
+        witness: &mut Witness,
+        budget: &EvalBudget,
+    ) -> Result<UniformVolumeEstimator, ApproxError> {
         let slots = SlotMap::new(&[params, point_vars]);
-        let (matrix, kernel) = compile_matrix(db, phi, &slots)?;
-        let m = sample_size(eps, delta, d);
+        let (matrix, kernel) = compile_matrix(db, phi, &slots, budget)?;
+        let m = try_sample_size(eps, delta, d)?;
         let sample = witness.uniform_sample(m, point_vars.len());
         let sample_f64 = sample
             .iter()
@@ -98,15 +130,33 @@ impl UniformVolumeEstimator {
 
     /// The estimated `VOL_I(φ(ā, D))`: the fraction of the shared sample
     /// falling in the set.
-    pub fn estimate(&self, a: &[Rat]) -> Rat {
+    pub fn estimate(&self, a: &[Rat]) -> Result<Rat, ApproxError> {
         self.estimate_with_threads(a, default_threads())
     }
 
     /// [`Self::estimate`] with an explicit worker count. The result is
     /// identical for every `threads` value (the sample is fixed and chunk
     /// tallies combine in chunk order).
-    pub fn estimate_with_threads(&self, a: &[Rat], threads: usize) -> Rat {
-        assert_eq!(a.len(), self.n_params);
+    pub fn estimate_with_threads(&self, a: &[Rat], threads: usize) -> Result<Rat, ApproxError> {
+        self.estimate_budgeted(a, threads, &EvalBudget::unlimited())
+    }
+
+    /// [`Self::estimate_with_threads`] under a cooperative [`EvalBudget`]:
+    /// the budget is checked once per sample point (shared atomically
+    /// across worker threads) and the scan aborts with
+    /// [`ApproxError::Budget`] when it is exhausted.
+    pub fn estimate_budgeted(
+        &self,
+        a: &[Rat],
+        threads: usize,
+        budget: &EvalBudget,
+    ) -> Result<Rat, ApproxError> {
+        if a.len() != self.n_params {
+            return Err(ApproxError::ParamArity {
+                expected: self.n_params,
+                got: a.len(),
+            });
+        }
         let np = self.n_params;
         let n_slots = self.kernel.slot_count();
         let mut param_f64 = vec![0.0f64; np];
@@ -114,29 +164,40 @@ impl UniformVolumeEstimator {
         for (i, r) in a.iter().enumerate() {
             (param_f64[i], param_err[i]) = rat_to_f64_err(r);
         }
-        let per_chunk = par::run_chunks(self.sample.len(), threads, |range, _| {
-            let mut floats = vec![0.0f64; n_slots];
-            let mut errs = vec![0.0f64; n_slots];
-            floats[..np].copy_from_slice(&param_f64);
-            errs[..np].copy_from_slice(&param_err);
-            let mut hits = 0usize;
-            for i in range {
-                floats[np..].copy_from_slice(&self.sample_f64[i]);
-                let exact = |s: usize| {
-                    if s < np {
-                        a[s].clone()
-                    } else {
-                        self.sample[i][s - np].clone()
+        let per_chunk = par::map_chunks(
+            self.sample.len(),
+            threads,
+            |range, _| -> Result<usize, BudgetExceeded> {
+                let mut floats = vec![0.0f64; n_slots];
+                let mut errs = vec![0.0f64; n_slots];
+                floats[..np].copy_from_slice(&param_f64);
+                errs[..np].copy_from_slice(&param_err);
+                let mut hits = 0usize;
+                for i in range {
+                    budget.check()?;
+                    floats[np..].copy_from_slice(&self.sample_f64[i]);
+                    let exact = |s: usize| {
+                        if s < np {
+                            a[s].clone()
+                        } else {
+                            self.sample[i][s - np].clone()
+                        }
+                    };
+                    if self.kernel.eval_f64(&floats, &errs, &exact) {
+                        hits += 1;
                     }
-                };
-                if self.kernel.eval_f64(&floats, &errs, &exact) {
-                    hits += 1;
                 }
-            }
-            hits
-        });
-        let hits: usize = per_chunk.into_iter().sum();
-        Rat::new((hits as i64).into(), (self.sample.len() as i64).into())
+                Ok(hits)
+            },
+        )?;
+        let mut hits = 0usize;
+        for h in per_chunk {
+            hits += h?;
+        }
+        Ok(Rat::new(
+            (hits as i64).into(),
+            (self.sample.len() as i64).into(),
+        ))
     }
 }
 
@@ -148,7 +209,7 @@ pub fn mc_volume_in_unit_box(
     point_vars: &[Var],
     m: usize,
     witness: &mut Witness,
-) -> Result<Rat, QeError> {
+) -> Result<Rat, ApproxError> {
     mc_volume_in_unit_box_threads(db, phi, point_vars, m, witness, default_threads())
 }
 
@@ -164,27 +225,58 @@ pub fn mc_volume_in_unit_box_threads(
     m: usize,
     witness: &mut Witness,
     threads: usize,
-) -> Result<Rat, QeError> {
+) -> Result<Rat, ApproxError> {
+    mc_volume_in_unit_box_budgeted(
+        db,
+        phi,
+        point_vars,
+        m,
+        witness,
+        threads,
+        &EvalBudget::unlimited(),
+    )
+}
+
+/// [`mc_volume_in_unit_box_threads`] under a cooperative [`EvalBudget`]:
+/// the budget governs the QE/compile phase and is checked once per sample
+/// point (shared atomically across worker threads).
+pub fn mc_volume_in_unit_box_budgeted(
+    db: &Database,
+    phi: &Formula,
+    point_vars: &[Var],
+    m: usize,
+    witness: &mut Witness,
+    threads: usize,
+    budget: &EvalBudget,
+) -> Result<Rat, ApproxError> {
     let slots = SlotMap::from_vars(point_vars);
-    let (_, kernel) = compile_matrix(db, phi, &slots)?;
+    let (_, kernel) = compile_matrix(db, phi, &slots, budget)?;
     let splitter = witness.fork();
     witness.note_applications(m);
     let dim = point_vars.len();
-    let per_chunk = par::run_chunks(m, threads, |range, chunk| {
-        let mut w = splitter.chunk(chunk as u64);
-        let mut floats = vec![0.0f64; dim];
-        let errs = vec![0.0f64; dim];
-        let mut hits = 0usize;
-        for _ in range {
-            w.uniform_unit_point_f64(&mut floats);
-            let exact = |s: usize| Rat::from_f64(floats[s]).expect("finite");
-            if kernel.eval_f64(&floats, &errs, &exact) {
-                hits += 1;
+    let per_chunk = par::map_chunks(
+        m,
+        threads,
+        |range, chunk| -> Result<usize, BudgetExceeded> {
+            let mut w = splitter.chunk(chunk as u64);
+            let mut floats = vec![0.0f64; dim];
+            let errs = vec![0.0f64; dim];
+            let mut hits = 0usize;
+            for _ in range {
+                budget.check()?;
+                w.uniform_unit_point_f64(&mut floats);
+                let exact = |s: usize| Rat::from_f64(floats[s]).expect("finite");
+                if kernel.eval_f64(&floats, &errs, &exact) {
+                    hits += 1;
+                }
             }
-        }
-        hits
-    });
-    let hits: usize = per_chunk.into_iter().sum();
+            Ok(hits)
+        },
+    )?;
+    let mut hits = 0usize;
+    for h in per_chunk {
+        hits += h?;
+    }
     Ok(Rat::new((hits as i64).into(), (m as i64).into()))
 }
 
@@ -199,7 +291,7 @@ pub fn mc_average_over(
     p: &cqa_poly::MPoly,
     m: usize,
     witness: &mut Witness,
-) -> Result<Option<Rat>, QeError> {
+) -> Result<Option<Rat>, ApproxError> {
     mc_average_over_threads(db, phi, point_vars, p, m, witness, default_threads())
 }
 
@@ -214,35 +306,67 @@ pub fn mc_average_over_threads(
     m: usize,
     witness: &mut Witness,
     threads: usize,
-) -> Result<Option<Rat>, QeError> {
+) -> Result<Option<Rat>, ApproxError> {
+    mc_average_over_budgeted(
+        db,
+        phi,
+        point_vars,
+        p,
+        m,
+        witness,
+        threads,
+        &EvalBudget::unlimited(),
+    )
+}
+
+/// [`mc_average_over_threads`] under a cooperative [`EvalBudget`]: the
+/// budget governs the QE/compile phase and is checked once per sample
+/// point (shared atomically across worker threads).
+#[allow(clippy::too_many_arguments)]
+pub fn mc_average_over_budgeted(
+    db: &Database,
+    phi: &Formula,
+    point_vars: &[Var],
+    p: &cqa_poly::MPoly,
+    m: usize,
+    witness: &mut Witness,
+    threads: usize,
+    budget: &EvalBudget,
+) -> Result<Option<Rat>, ApproxError> {
     let slots = SlotMap::from_vars(point_vars);
-    let (_, kernel) = compile_matrix(db, phi, &slots)?;
+    let (_, kernel) = compile_matrix(db, phi, &slots, budget)?;
     let splitter = witness.fork();
     witness.note_applications(m);
     let dim = point_vars.len();
-    let per_chunk = par::run_chunks(m, threads, |range, chunk| {
-        let mut w = splitter.chunk(chunk as u64);
-        let mut floats = vec![0.0f64; dim];
-        let errs = vec![0.0f64; dim];
-        let mut hits = 0usize;
-        let mut acc = Rat::zero();
-        for _ in range {
-            w.uniform_unit_point_f64(&mut floats);
-            let exact = |s: usize| Rat::from_f64(floats[s]).expect("finite");
-            if kernel.eval_f64(&floats, &errs, &exact) {
-                hits += 1;
-                let pt: Vec<Rat> = floats
-                    .iter()
-                    .map(|&v| Rat::from_f64(v).expect("finite"))
-                    .collect();
-                acc += &p.eval(&slots.assignment(&pt));
+    let per_chunk = par::map_chunks(
+        m,
+        threads,
+        |range, chunk| -> Result<(usize, Rat), BudgetExceeded> {
+            let mut w = splitter.chunk(chunk as u64);
+            let mut floats = vec![0.0f64; dim];
+            let errs = vec![0.0f64; dim];
+            let mut hits = 0usize;
+            let mut acc = Rat::zero();
+            for _ in range {
+                budget.check()?;
+                w.uniform_unit_point_f64(&mut floats);
+                let exact = |s: usize| Rat::from_f64(floats[s]).expect("finite");
+                if kernel.eval_f64(&floats, &errs, &exact) {
+                    hits += 1;
+                    let pt: Vec<Rat> = floats
+                        .iter()
+                        .map(|&v| Rat::from_f64(v).expect("finite"))
+                        .collect();
+                    acc += &p.eval(&slots.assignment(&pt));
+                }
             }
-        }
-        (hits, acc)
-    });
+            Ok((hits, acc))
+        },
+    )?;
     let mut hits = 0usize;
     let mut acc = Rat::zero();
-    for (h, a) in per_chunk {
+    for r in per_chunk {
+        let (h, a) = r?;
         hits += h;
         acc += &a;
     }
@@ -284,7 +408,7 @@ mod tests {
         for k in 0..10 {
             let av = Rat::new(k.into(), 10i64.into());
             let truth = (1.0 - av.to_f64().powi(2)) / 2.0;
-            let got = est.estimate(&[av]).to_f64();
+            let got = est.estimate(&[av]).unwrap().to_f64();
             assert!((got - truth).abs() < 0.05, "a = {k}/10: {got} vs {truth}");
         }
     }
@@ -297,7 +421,7 @@ mod tests {
         let mut w = Witness::new(5);
         let est = UniformVolumeEstimator::new(&db, &phi, &[], &[x], 0.1, 0.1, 1.0, &mut w).unwrap();
         assert_eq!(est.sample_len(), crate::sample::sample_size(0.1, 0.1, 1.0));
-        let v = est.estimate(&[]);
+        let v = est.estimate(&[]).unwrap();
         assert!((v.to_f64() - 0.75).abs() < 0.1);
     }
 

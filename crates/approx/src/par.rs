@@ -16,7 +16,13 @@
 //! return identical vectors, and any fold over them is thread-count
 //! invariant. Threading is `std::thread::scope` only — no external
 //! runtime.
+//!
+//! [`map_chunks`] is the fallible entry point: each chunk runs under
+//! `catch_unwind`, so a panicking work closure surfaces as a typed
+//! [`ChunkPanicked`] error instead of aborting the process — one poisoned
+//! chunk cannot kill a long-running service.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Items per chunk. Small enough to load-balance a few thousand Monte
@@ -36,43 +42,113 @@ pub fn default_threads() -> usize {
         .unwrap_or(1)
 }
 
+/// A chunk's work closure panicked. The panic was caught inside the worker
+/// — the process, the other workers, and the other chunks all survive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkPanicked {
+    /// Index of the failed chunk. If several chunks failed, the lowest
+    /// index is reported (deterministic for any thread count).
+    pub chunk: usize,
+    /// The panic payload, if it was a string; `"<non-string panic>"`
+    /// otherwise.
+    pub message: String,
+}
+
+impl std::fmt::Display for ChunkPanicked {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "chunk {} panicked: {}", self.chunk, self.message)
+    }
+}
+impl std::error::Error for ChunkPanicked {}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic>".to_string()
+    }
+}
+
 /// Runs `work(range, chunk_index)` for every [`CHUNK`]-sized slice of
 /// `0..n` on up to `threads` workers, returning the results in chunk
 /// order. The output is identical for every `threads` value.
+///
+/// Every chunk runs under `catch_unwind`: a panicking closure yields
+/// `Err(ChunkPanicked)` (lowest failed chunk) instead of tearing down the
+/// process; the remaining chunks still run to completion.
+pub fn map_chunks<T, F>(n: usize, threads: usize, work: F) -> Result<Vec<T>, ChunkPanicked>
+where
+    T: Send,
+    F: Fn(std::ops::Range<usize>, usize) -> T + Sync,
+{
+    let guarded = |c: usize| -> (usize, Result<T, ChunkPanicked>) {
+        let r = catch_unwind(AssertUnwindSafe(|| work(chunk_range(c, n), c)));
+        (
+            c,
+            r.map_err(|payload| ChunkPanicked {
+                chunk: c,
+                message: panic_message(payload),
+            }),
+        )
+    };
+    let n_chunks = n.div_ceil(CHUNK);
+    let threads = threads.clamp(1, n_chunks.max(1));
+    let mut tagged: Vec<(usize, Result<T, ChunkPanicked>)> = if threads == 1 || n_chunks <= 1 {
+        (0..n_chunks).map(guarded).collect()
+    } else {
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut out = Vec::new();
+                        loop {
+                            let c = next.fetch_add(1, Ordering::Relaxed);
+                            if c >= n_chunks {
+                                break;
+                            }
+                            out.push(guarded(c));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| match h.join() {
+                    Ok(v) => v,
+                    // catch_unwind already contains work panics; a join
+                    // failure would mean the panic escaped (e.g. raised
+                    // while dropping the payload). Surface it, don't abort.
+                    Err(payload) => vec![(
+                        usize::MAX,
+                        Err(ChunkPanicked {
+                            chunk: usize::MAX,
+                            message: panic_message(payload),
+                        }),
+                    )],
+                })
+                .collect()
+        })
+    };
+    tagged.sort_unstable_by_key(|&(c, _)| c);
+    tagged.into_iter().map(|(_, t)| t).collect()
+}
+
+/// Infallible variant of [`map_chunks`] for work closures that cannot
+/// panic; if one does anyway, the panic is re-raised on the calling thread
+/// (ordinary unwinding, not a process abort).
 pub fn run_chunks<T, F>(n: usize, threads: usize, work: F) -> Vec<T>
 where
     T: Send,
     F: Fn(std::ops::Range<usize>, usize) -> T + Sync,
 {
-    let n_chunks = n.div_ceil(CHUNK);
-    let threads = threads.clamp(1, n_chunks.max(1));
-    if threads == 1 || n_chunks <= 1 {
-        return (0..n_chunks).map(|c| work(chunk_range(c, n), c)).collect();
+    match map_chunks(n, threads, work) {
+        Ok(v) => v,
+        Err(e) => std::panic::resume_unwind(Box::new(e.message)),
     }
-    let next = AtomicUsize::new(0);
-    let mut tagged: Vec<(usize, T)> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                s.spawn(|| {
-                    let mut out = Vec::new();
-                    loop {
-                        let c = next.fetch_add(1, Ordering::Relaxed);
-                        if c >= n_chunks {
-                            break;
-                        }
-                        out.push((c, work(chunk_range(c, n), c)));
-                    }
-                    out
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("chunk worker panicked"))
-            .collect()
-    });
-    tagged.sort_unstable_by_key(|&(c, _)| c);
-    tagged.into_iter().map(|(_, t)| t).collect()
 }
 
 #[cfg(test)]
@@ -100,5 +176,34 @@ mod tests {
     #[test]
     fn empty_input() {
         assert!(run_chunks(0, 4, |r, _| r.len()).is_empty());
+    }
+
+    #[test]
+    fn panicking_chunk_is_contained() {
+        let n = 4 * CHUNK;
+        for t in [1, 4] {
+            let err = map_chunks(n, t, |r, c| {
+                if c == 2 {
+                    panic!("poisoned chunk");
+                }
+                r.len()
+            })
+            .unwrap_err();
+            assert_eq!(err.chunk, 2, "threads = {t}");
+            assert!(err.message.contains("poisoned chunk"));
+        }
+    }
+
+    #[test]
+    fn lowest_failed_chunk_reported() {
+        let n = 6 * CHUNK;
+        let err = map_chunks(n, 3, |_, c| {
+            if c >= 1 {
+                panic!("chunk {c}");
+            }
+            c
+        })
+        .unwrap_err();
+        assert_eq!(err.chunk, 1);
     }
 }

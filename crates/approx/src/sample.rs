@@ -9,11 +9,38 @@ use rand::{Rng, SeedableRng};
 /// empirical fraction is within `ε` of the measure *simultaneously for
 /// every set of a VC-dimension-`d` family*, with probability ≥ 1 − δ
 /// (paper §3).
+///
+/// # Panics
+/// Panics if `ε ∉ (0, 1)`, `δ ∉ (0, 1)` or `d < 0`; use
+/// [`try_sample_size`] when the parameters come from untrusted input.
 pub fn sample_size(eps: f64, delta: f64, d: f64) -> usize {
-    assert!(eps > 0.0 && eps < 1.0 && delta > 0.0 && delta < 1.0 && d >= 0.0);
+    match try_sample_size(eps, delta, d) {
+        Ok(m) => m,
+        Err(e) => panic!("sample_size: {e}"),
+    }
+}
+
+/// [`sample_size`] with a typed error instead of a panic on out-of-range
+/// parameters (`ε, δ ∈ (0, 1)`, `d ≥ 0`).
+pub fn try_sample_size(eps: f64, delta: f64, d: f64) -> Result<usize, crate::ApproxError> {
+    if !(eps > 0.0 && eps < 1.0) {
+        return Err(crate::ApproxError::InvalidParameter(format!(
+            "ε must lie in (0, 1), got {eps}"
+        )));
+    }
+    if !(delta > 0.0 && delta < 1.0) {
+        return Err(crate::ApproxError::InvalidParameter(format!(
+            "δ must lie in (0, 1), got {delta}"
+        )));
+    }
+    if d < 0.0 || d.is_nan() {
+        return Err(crate::ApproxError::InvalidParameter(format!(
+            "VC dimension bound must be ≥ 0, got {d}"
+        )));
+    }
     let a = (4.0 / eps) * (2.0 / delta).log2();
     let b = (8.0 * d / eps) * (13.0 / eps).log2();
-    a.max(b).ceil() as usize + 1
+    Ok(a.max(b).ceil() as usize + 1)
 }
 
 /// The witness (choice) operator `W` of Abiteboul–Vianu, as used in

@@ -71,10 +71,12 @@ fn shared_sample_estimates_identical_across_thread_counts() {
     let est = UniformVolumeEstimator::new(&db, &f, &[a], &[x, y], 0.05, 0.1, 3.0, &mut w).unwrap();
     assert!(est.sample_len() > 512, "need multiple chunks");
     for av in [rat(1, 4), rat(1, 2), rat(3, 4)] {
-        let base = est.estimate_with_threads(std::slice::from_ref(&av), 1);
+        let base = est
+            .estimate_with_threads(std::slice::from_ref(&av), 1)
+            .unwrap();
         for t in [2, 8] {
             assert_eq!(
-                base,
+                Ok(base.clone()),
                 est.estimate_with_threads(std::slice::from_ref(&av), t),
                 "threads = {t}"
             );

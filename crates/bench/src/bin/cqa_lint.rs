@@ -1,28 +1,110 @@
 //! `cqa-lint` — static checker for `.cqa` programs.
 //!
 //! ```text
-//! cqa-lint [--eps E] [--delta D] [--db-size N] [--max-atoms A] [--max-quantifiers Q] FILE...
+//! cqa-lint [--eps E] [--delta D] [--db-size N] [--max-atoms A] [--max-quantifiers Q]
+//!          [--timeout-ms MS] [--max-steps N] FILE...
 //! ```
 //!
 //! Parses each file, runs the `cqa-analyze` passes (scope, fragment/schema,
 //! Σ-discipline, cost/VC estimation), prints rustc-style diagnostics with
 //! source excerpts, and summarizes each statement's fragment and predicted
 //! approximation cost. Exits non-zero iff any file has errors.
+//!
+//! With `--timeout-ms` and/or `--max-steps` an additional **dynamic pass**
+//! runs each statement through budget-governed quantifier elimination /
+//! Σ-evaluation: statements that blow past the budget are reported with a
+//! budget diagnostic (and a non-zero exit) instead of hanging the linter.
 
-use cqa_analyze::{analyze_source, AnalyzerConfig, GammaStatus};
+use cqa_analyze::{analyze_source, AnalyzerConfig, GammaStatus, Program, Statement};
+use cqa_logic::budget::EvalBudget;
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
         "usage: cqa-lint [--eps E] [--delta D] [--db-size N] \
-         [--max-atoms A] [--max-quantifiers Q] FILE..."
+         [--max-atoms A] [--max-quantifiers Q] \
+         [--timeout-ms MS] [--max-steps N] FILE..."
     );
     std::process::exit(2);
+}
+
+/// Runs the budget-governed dynamic pass over every statement of `program`.
+/// Returns `true` if any statement tripped the budget or failed to
+/// evaluate. The budget is per statement, so one runaway query cannot
+/// starve the diagnostics of the statements after it.
+fn dynamic_pass(
+    file: &str,
+    program: &Program,
+    timeout_ms: Option<u64>,
+    max_steps: Option<u64>,
+) -> bool {
+    let db = match program.to_database() {
+        Ok(db) => db,
+        Err(e) => {
+            eprintln!("{file}: dynamic pass skipped: {e}");
+            return true;
+        }
+    };
+    let fresh_budget = || {
+        let mut b = EvalBudget::unlimited();
+        if let Some(ms) = timeout_ms {
+            b = b.with_deadline(Duration::from_millis(ms));
+        }
+        if let Some(n) = max_steps {
+            b = b.with_max_steps(n);
+        }
+        b
+    };
+    // (note, is_budget_trip, message) — budget trips get the dedicated
+    // diagnostic; other evaluation failures are reported as plain errors.
+    let eliminate = |body: cqa_logic::Formula, budget: &EvalBudget| {
+        let expanded = db.expand(&body).map_err(|e| (false, e.to_string()))?;
+        cqa_qe::eliminate_with_budget(&expanded, budget)
+            .map(|_| "eliminates".to_string())
+            .map_err(|e| (matches!(e, cqa_qe::QeError::Budget(_)), e.to_string()))
+    };
+    let mut any_tripped = false;
+    for stmt in &program.statements {
+        let budget = fresh_budget();
+        let outcome: Result<String, (bool, String)> = match stmt {
+            Statement::Rel(r) => eliminate(r.body.to_formula(), &budget),
+            Statement::Query(q) => eliminate(q.body.to_formula(), &budget),
+            Statement::Sum(s) => s
+                .to_sum_term()
+                .eval_with_budget(&db, &budget)
+                .map(|v| format!("Σ = {v}"))
+                .map_err(|e| (matches!(e, cqa_agg::AggError::Budget(_)), e.to_string())),
+        };
+        match outcome {
+            Ok(note) => println!(
+                "{file}: dynamic `{}`: {note} ({} budget steps)",
+                stmt.name(),
+                budget.steps()
+            ),
+            Err((tripped, msg)) => {
+                let label = if tripped {
+                    "budget diagnostic"
+                } else {
+                    "evaluation error"
+                };
+                println!(
+                    "{file}: dynamic `{}`: {label}: {msg} (after {} budget steps)",
+                    stmt.name(),
+                    budget.steps()
+                );
+                any_tripped = true;
+            }
+        }
+    }
+    any_tripped
 }
 
 fn main() -> ExitCode {
     let mut cfg = AnalyzerConfig::default();
     let mut files: Vec<String> = Vec::new();
+    let mut timeout_ms: Option<u64> = None;
+    let mut max_steps: Option<u64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut flag = |name: &str| -> f64 {
@@ -37,6 +119,8 @@ fn main() -> ExitCode {
             "--db-size" => cfg.cost.db_size = flag("--db-size") as usize,
             "--max-atoms" => cfg.cost.budget.max_atoms = flag("--max-atoms"),
             "--max-quantifiers" => cfg.cost.budget.max_quantifiers = flag("--max-quantifiers"),
+            "--timeout-ms" => timeout_ms = Some(flag("--timeout-ms") as u64),
+            "--max-steps" => max_steps = Some(flag("--max-steps") as u64),
             "--help" | "-h" => usage(),
             _ if arg.starts_with('-') => usage(),
             _ => files.push(arg),
@@ -45,6 +129,7 @@ fn main() -> ExitCode {
     if files.is_empty() {
         usage();
     }
+    let dynamic = timeout_ms.is_some() || max_steps.is_some();
 
     let mut any_errors = false;
     for file in &files {
@@ -56,7 +141,7 @@ fn main() -> ExitCode {
                 continue;
             }
         };
-        let (_, analysis) = analyze_source(&src, &cfg);
+        let (program, analysis) = analyze_source(&src, &cfg);
         let rendered = analysis.render(&src, file);
         if !rendered.is_empty() {
             println!("{rendered}");
@@ -91,6 +176,9 @@ fn main() -> ExitCode {
             analysis.warning_count()
         );
         any_errors |= analysis.has_errors();
+        if dynamic && !analysis.has_errors() {
+            any_errors |= dynamic_pass(file, &program, timeout_ms, max_steps);
+        }
     }
     if any_errors {
         ExitCode::FAILURE

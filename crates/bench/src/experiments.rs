@@ -54,7 +54,7 @@ pub fn e1(out: &mut String) {
     for (a, b) in [(0i64, 4i64), (0, 2), (1, 3), (1, 4), (2, 4)] {
         let (ar, br) = (rat(a, 4), rat(b, 4));
         let exact = (br.to_f64().powi(2) - ar.to_f64().powi(2)) / 2.0;
-        let mc = est.estimate(&[ar.clone(), br.clone()]).to_f64();
+        let mc = est.estimate(&[ar.clone(), br.clone()]).unwrap().to_f64();
         let err = (mc - exact).abs();
         max_err = max_err.max(err);
         writeln!(
@@ -204,7 +204,7 @@ pub fn e3(out: &mut String) {
             for k in 0..=10 {
                 let av = Rat::new(k.into(), 10i64.into());
                 let truth = (1.0 - av.to_f64().powi(2)) / 2.0;
-                sup = sup.max((est.estimate(&[av]).to_f64() - truth).abs());
+                sup = sup.max((est.estimate(&[av]).unwrap().to_f64() - truth).abs());
             }
             if sup < eps {
                 ok += 1;
@@ -542,7 +542,7 @@ pub fn e10(out: &mut String) {
             .iter()
             .map(|(x, y)| vec![x.to_f64(), y.to_f64()])
             .collect();
-        let b = john_volume_bounds(&pts);
+        let b = john_volume_bounds(&pts).unwrap();
         let ok = b.inner_volume <= truth * 1.001 && truth <= b.outer_volume * 1.001;
         writeln!(
             out,

@@ -346,8 +346,20 @@ impl Database {
     /// relation over `free` (the output column order) — the closure
     /// property of constraint query languages, executed.
     pub fn eval(&self, q: &Formula, free: &[Var]) -> Result<Relation, DbError> {
+        self.eval_with_budget(q, free, &cqa_logic::budget::EvalBudget::unlimited())
+    }
+
+    /// [`Database::eval`] under a cooperative [`cqa_logic::budget::EvalBudget`]:
+    /// the QE phase aborts with `DbError::Qe(QeError::Budget(..))` when the
+    /// budget is exhausted instead of running unboundedly.
+    pub fn eval_with_budget(
+        &self,
+        q: &Formula,
+        free: &[Var],
+        budget: &cqa_logic::budget::EvalBudget,
+    ) -> Result<Relation, DbError> {
         let expanded = self.expand(q)?;
-        let qf = cqa_qe::eliminate(&expanded)?;
+        let qf = cqa_qe::eliminate_with_budget(&expanded, budget)?;
         Ok(Relation::FinitelyRepresentable {
             params: free.to_vec(),
             formula: cqa_qe::simplify(&qf),

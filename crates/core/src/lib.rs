@@ -29,7 +29,16 @@ mod onedim;
 mod safety;
 mod syntactic;
 
+/// Cooperative evaluation budgets (re-exported from `cqa_logic::budget`,
+/// where the type lives so the QE layer below this crate can use it too).
+pub mod budget {
+    pub use cqa_logic::budget::{BudgetExceeded, BudgetResource, EvalBudget, CLOCK_PERIOD};
+}
+
 pub use db::{Database, DbError, Relation};
 pub use onedim::{decompose_1d, Endpoint, Interval1D};
-pub use safety::{enumerate_finite, is_finite_set, SafetyError};
+pub use safety::{
+    enumerate_finite, enumerate_finite_with_budget, is_finite_set, is_finite_set_with_budget,
+    SafetyError,
+};
 pub use syntactic::{is_syntactically_deterministic, is_syntactically_finite};

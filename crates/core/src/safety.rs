@@ -10,6 +10,7 @@
 
 use crate::onedim::{decompose_1d, Interval1D};
 use cqa_arith::Rat;
+use cqa_logic::budget::{BudgetExceeded, EvalBudget};
 use cqa_logic::Formula;
 use cqa_poly::{RealAlg, Var};
 use cqa_qe::QeError;
@@ -30,6 +31,9 @@ pub enum SafetyError {
     /// variables — its truth would depend on an assignment nobody supplied,
     /// so enumeration would silently answer for one arbitrary assignment.
     UnboundVariable(Var),
+    /// The evaluation budget was exhausted; enumeration was cancelled
+    /// cooperatively (see [`cqa_logic::budget`]).
+    Budget(BudgetExceeded),
 }
 
 impl std::fmt::Display for SafetyError {
@@ -47,6 +51,7 @@ impl std::fmt::Display for SafetyError {
                     v.0
                 )
             }
+            SafetyError::Budget(b) => write!(f, "{b}"),
         }
     }
 }
@@ -54,13 +59,35 @@ impl std::error::Error for SafetyError {}
 
 impl From<QeError> for SafetyError {
     fn from(e: QeError) -> SafetyError {
-        SafetyError::Qe(e)
+        // Budget trips inside QE surface as the safety-level budget variant
+        // so callers match on one place.
+        match e {
+            QeError::Budget(b) => SafetyError::Budget(b),
+            other => SafetyError::Qe(other),
+        }
+    }
+}
+
+impl From<BudgetExceeded> for SafetyError {
+    fn from(b: BudgetExceeded) -> SafetyError {
+        SafetyError::Budget(b)
     }
 }
 
 /// Is `{x⃗ : φ(x⃗)}` finite? `φ` must be quantifier-free and
 /// relation-free over the variables `vars`.
 pub fn is_finite_set(f: &Formula, vars: &[Var]) -> Result<bool, SafetyError> {
+    is_finite_set_with_budget(f, vars, &EvalBudget::unlimited())
+}
+
+/// [`is_finite_set`] under a cooperative [`EvalBudget`]: the per-coordinate
+/// QE projections run budgeted and the check aborts with
+/// [`SafetyError::Budget`] when exhausted.
+pub fn is_finite_set_with_budget(
+    f: &Formula,
+    vars: &[Var],
+    budget: &EvalBudget,
+) -> Result<bool, SafetyError> {
     if vars.is_empty() {
         return Ok(true);
     }
@@ -77,13 +104,14 @@ pub fn is_finite_set(f: &Formula, vars: &[Var]) -> Result<bool, SafetyError> {
     // points (o-minimality: otherwise some projection contains an
     // interval).
     for (i, &v) in vars.iter().enumerate() {
+        budget.check()?;
         let others: Vec<Var> = vars
             .iter()
             .enumerate()
             .filter(|&(j, _)| j != i)
             .map(|(_, &w)| w)
             .collect();
-        let proj = cqa_qe::eliminate(&Formula::exists(others, f.clone()))?;
+        let proj = cqa_qe::eliminate_with_budget(&Formula::exists(others, f.clone()), budget)?;
         let ivs = decompose_1d(&proj, v).ok_or(SafetyError::Qe(QeError::HasRelations))?;
         if ivs.iter().any(|iv| !iv.is_point()) {
             return Ok(false);
@@ -95,6 +123,17 @@ pub fn is_finite_set(f: &Formula, vars: &[Var]) -> Result<bool, SafetyError> {
 /// Enumerates a finite definable set as rational tuples (sorted). Errors if
 /// the set is infinite or contains irrational points.
 pub fn enumerate_finite(f: &Formula, vars: &[Var]) -> Result<Vec<Vec<Rat>>, SafetyError> {
+    enumerate_finite_with_budget(f, vars, &EvalBudget::unlimited())
+}
+
+/// [`enumerate_finite`] under a cooperative [`EvalBudget`]: the budget is
+/// checked once per enumerated point and inside every QE projection, so an
+/// enumeration that would explode aborts with [`SafetyError::Budget`].
+pub fn enumerate_finite_with_budget(
+    f: &Formula,
+    vars: &[Var],
+    budget: &EvalBudget,
+) -> Result<Vec<Vec<Rat>>, SafetyError> {
     if vars.is_empty() {
         // A leftover free variable means the recursion (or the caller)
         // never fixed it: evaluating with a default assignment would
@@ -109,13 +148,14 @@ pub fn enumerate_finite(f: &Formula, vars: &[Var]) -> Result<Vec<Vec<Rat>>, Safe
     }
     let v = vars[0];
     let rest = &vars[1..];
-    let proj = cqa_qe::eliminate(&Formula::exists(rest.to_vec(), f.clone()))?;
+    let proj = cqa_qe::eliminate_with_budget(&Formula::exists(rest.to_vec(), f.clone()), budget)?;
     let ivs = decompose_1d(&proj, v).ok_or(SafetyError::Qe(QeError::HasRelations))?;
     let mut out = Vec::new();
     for iv in ivs {
+        budget.check()?;
         let point = point_of(&iv)?;
         let fixed = f.subst_rat(v, &point);
-        for mut tuple in enumerate_finite(&fixed, rest)? {
+        for mut tuple in enumerate_finite_with_budget(&fixed, rest, budget)? {
             tuple.insert(0, point.clone());
             out.push(tuple);
         }

@@ -28,4 +28,7 @@ mod volume;
 pub use hull2d::{convex_hull, point_in_convex_polygon, polygon_area, triangulate_fan, Point2};
 pub use linalg::{det, solve, Mat};
 pub use polyhedron::HPolyhedron;
-pub use volume::{simplex_volume, volume, volume_in_unit_box, VolumeError};
+pub use volume::{
+    simplex_volume, volume, volume_in_unit_box, volume_in_unit_box_with_budget, volume_with_budget,
+    VolumeError, MAX_DNF_CELLS,
+};

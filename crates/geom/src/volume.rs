@@ -22,8 +22,14 @@
 use crate::linalg::{det, Mat};
 use crate::polyhedron::HPolyhedron;
 use cqa_arith::Rat;
+use cqa_logic::budget::{BudgetExceeded, EvalBudget};
 use cqa_logic::{dnf, Atom, Formula, Rel};
 use cqa_poly::Var;
+
+/// Inclusion–exclusion enumerates `2^m − 1` cell intersections; beyond this
+/// many DNF cells the exact engine refuses (typed, not a panic) — use the
+/// Monte Carlo approximator in `cqa-approx` instead.
+pub const MAX_DNF_CELLS: usize = 20;
 
 /// Errors from exact volume computation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -38,6 +44,12 @@ pub enum VolumeError {
     NotSemiLinear,
     /// The formula mentions schema relations; substitute definitions first.
     HasRelations,
+    /// The DNF has more than [`MAX_DNF_CELLS`] cells: the `2^m`
+    /// inclusion–exclusion would be astronomically large.
+    TooManyCells(usize),
+    /// The evaluation budget was exhausted mid-computation; the work was
+    /// cancelled cooperatively (see [`cqa_logic::budget`]).
+    Budget(BudgetExceeded),
 }
 
 impl std::fmt::Display for VolumeError {
@@ -46,10 +58,20 @@ impl std::fmt::Display for VolumeError {
             VolumeError::Unbounded => write!(f, "set has unbounded volume"),
             VolumeError::NotSemiLinear => write!(f, "formula is not quantifier-free linear"),
             VolumeError::HasRelations => write!(f, "formula mentions schema relations"),
+            VolumeError::TooManyCells(m) => {
+                write!(f, "too many DNF cells for inclusion–exclusion ({m})")
+            }
+            VolumeError::Budget(b) => write!(f, "{b}"),
         }
     }
 }
 impl std::error::Error for VolumeError {}
+
+impl From<BudgetExceeded> for VolumeError {
+    fn from(b: BudgetExceeded) -> VolumeError {
+        VolumeError::Budget(b)
+    }
+}
 
 /// The volume of the simplex with the given `n+1` vertices in ℝⁿ:
 /// `|det(v₁-v₀, …, v_n-v₀)| / n!`.
@@ -77,16 +99,42 @@ pub fn simplex_volume(vertices: &[Vec<Rat>]) -> Rat {
 /// formula over the variable ordering `vars` (the ambient space is
 /// `ℝ^vars.len()`).
 pub fn volume(f: &Formula, vars: &[Var]) -> Result<Rat, VolumeError> {
-    volume_impl(f, vars, None)
+    volume_with_budget(f, vars, &EvalBudget::unlimited())
+}
+
+/// [`volume`] under a cooperative [`EvalBudget`]: the inclusion–exclusion
+/// loop and the per-cell satisfiability probes check the budget and abort
+/// with [`VolumeError::Budget`] when it is exhausted. When the budget is
+/// not hit, the result is bit-identical to [`volume`].
+pub fn volume_with_budget(
+    f: &Formula,
+    vars: &[Var],
+    budget: &EvalBudget,
+) -> Result<Rat, VolumeError> {
+    volume_impl(f, vars, None, budget)
 }
 
 /// Exact volume of the set intersected with the unit box `[0,1]ⁿ` — the
 /// `VOL_I` operator of the paper (Section 2). Never unbounded.
 pub fn volume_in_unit_box(f: &Formula, vars: &[Var]) -> Result<Rat, VolumeError> {
-    volume_impl(f, vars, Some(HPolyhedron::unit_box(vars.len())))
+    volume_in_unit_box_with_budget(f, vars, &EvalBudget::unlimited())
 }
 
-fn volume_impl(f: &Formula, vars: &[Var], clip: Option<HPolyhedron>) -> Result<Rat, VolumeError> {
+/// [`volume_in_unit_box`] under a cooperative [`EvalBudget`].
+pub fn volume_in_unit_box_with_budget(
+    f: &Formula,
+    vars: &[Var],
+    budget: &EvalBudget,
+) -> Result<Rat, VolumeError> {
+    volume_impl(f, vars, Some(HPolyhedron::unit_box(vars.len())), budget)
+}
+
+fn volume_impl(
+    f: &Formula,
+    vars: &[Var],
+    clip: Option<HPolyhedron>,
+    budget: &EvalBudget,
+) -> Result<Rat, VolumeError> {
     if !f.is_relation_free() {
         return Err(VolumeError::HasRelations);
     }
@@ -106,6 +154,7 @@ fn volume_impl(f: &Formula, vars: &[Var], clip: Option<HPolyhedron>) -> Result<R
     // DNF cells as closed polyhedra.
     let mut cells: Vec<HPolyhedron> = Vec::new();
     for clause in dnf(f) {
+        budget.check()?;
         let mut atoms: Vec<Atom> = Vec::with_capacity(clause.len());
         for lit in clause {
             match lit {
@@ -133,9 +182,12 @@ fn volume_impl(f: &Formula, vars: &[Var], clip: Option<HPolyhedron>) -> Result<R
 
     // Inclusion–exclusion over non-empty subsets of cells.
     let m = cells.len();
-    assert!(m < 20, "too many DNF cells for inclusion–exclusion ({m})");
+    if m >= MAX_DNF_CELLS {
+        return Err(VolumeError::TooManyCells(m));
+    }
     let mut total = Rat::zero();
     for mask in 1u32..(1 << m) {
+        budget.check()?;
         let mut inter: Option<HPolyhedron> = None;
         for (i, cell) in cells.iter().enumerate() {
             if mask & (1 << i) != 0 {
@@ -146,7 +198,7 @@ fn volume_impl(f: &Formula, vars: &[Var], clip: Option<HPolyhedron>) -> Result<R
             }
         }
         let p = inter.unwrap();
-        let v = convex_volume(&p, vars)?;
+        let v = convex_volume(&p, vars, budget)?;
         if mask.count_ones() % 2 == 1 {
             total += v;
         } else {
@@ -157,7 +209,7 @@ fn volume_impl(f: &Formula, vars: &[Var], clip: Option<HPolyhedron>) -> Result<R
 }
 
 /// Volume of one convex cell.
-fn convex_volume(p: &HPolyhedron, vars: &[Var]) -> Result<Rat, VolumeError> {
+fn convex_volume(p: &HPolyhedron, vars: &[Var], budget: &EvalBudget) -> Result<Rat, VolumeError> {
     // Lower-dimensional (or empty) cells have volume zero: test whether the
     // open interior is satisfiable.
     let mut open = Formula::True;
@@ -168,9 +220,10 @@ fn convex_volume(p: &HPolyhedron, vars: &[Var]) -> Result<Rat, VolumeError> {
         }
         open = open.and(Formula::Atom(Atom::new(poly, Rel::Lt)));
     }
-    match cqa_qe::is_satisfiable(&open) {
+    match cqa_qe::is_satisfiable_with_budget(&open, budget) {
         Ok(false) => return Ok(Rat::zero()),
         Ok(true) => {}
+        Err(cqa_qe::QeError::Budget(b)) => return Err(VolumeError::Budget(b)),
         Err(_) => return Err(VolumeError::NotSemiLinear),
     }
     if !p.is_bounded(vars) {
@@ -423,6 +476,50 @@ mod tests {
             vec![rat(2, 1), rat(2, 1)],
         ];
         assert_eq!(simplex_volume(&degen), rat(0, 1));
+    }
+
+    #[test]
+    fn too_many_cells_is_typed_error() {
+        // 21 pairwise-distinct disjoint intervals: more DNF cells than
+        // inclusion–exclusion will enumerate. Used to be an assert! panic;
+        // now a typed error.
+        let src = (0..21)
+            .map(|i| format!("({} <= x & x <= {})", 2 * i, 2 * i + 1))
+            .collect::<Vec<_>>()
+            .join(" | ");
+        assert_eq!(vol(&src, &["x"]), Err(VolumeError::TooManyCells(21)));
+    }
+
+    #[test]
+    fn budget_trips_during_inclusion_exclusion() {
+        // 16 overlapping squares: 2^16 − 1 intersections, each with a QE
+        // satisfiability probe. An already-expired deadline trips on the
+        // first cooperative check instead of grinding through them.
+        let src = (0..16)
+            .map(|i| format!("({i} <= x & x <= {hi} & {i} <= y & y <= {hi})", hi = i + 8))
+            .collect::<Vec<_>>()
+            .join(" | ");
+        let mut vars = VarMap::new();
+        let x = vars.intern("x");
+        let y = vars.intern("y");
+        let f = parse_formula_with(&src, &mut vars).unwrap();
+        let budget = EvalBudget::unlimited().with_deadline(std::time::Duration::ZERO);
+        assert!(matches!(
+            volume_with_budget(&f, &[x, y], &budget),
+            Err(VolumeError::Budget(_))
+        ));
+        // An unhit budget is invisible: same value as the unbudgeted run on
+        // a small instance.
+        let small = parse_formula_with(
+            "(0 <= x & x <= 2 & 0 <= y & y <= 2) | (1 <= x & x <= 3 & 1 <= y & y <= 3)",
+            &mut vars,
+        )
+        .unwrap();
+        let roomy = EvalBudget::unlimited().with_max_steps(u64::MAX / 2);
+        assert_eq!(
+            volume_with_budget(&small, &[x, y], &roomy),
+            volume(&small, &[x, y])
+        );
     }
 
     #[test]

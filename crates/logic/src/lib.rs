@@ -25,6 +25,7 @@
 #![forbid(unsafe_code)]
 
 mod ast;
+pub mod budget;
 mod compile;
 mod norm;
 mod parser;

@@ -10,6 +10,7 @@
 use crate::simplify::{rels_contradict, simplify};
 use crate::QeError;
 use cqa_arith::Rat;
+use cqa_logic::budget::EvalBudget;
 use cqa_logic::{dnf, prenex, Atom, Formula, Rel};
 use cqa_poly::{MPoly, Var};
 
@@ -19,14 +20,24 @@ use cqa_poly::{MPoly, Var};
 /// Errors with [`QeError::NonLinear`] if some atom is not affine in an
 /// eliminated variable.
 pub fn fourier_motzkin(f: &Formula) -> Result<Formula, QeError> {
+    fourier_motzkin_with_budget(f, &EvalBudget::unlimited())
+}
+
+/// [`fourier_motzkin`] under a cooperative [`EvalBudget`]: checks the budget
+/// per eliminated clause and per bound combination, and gates each
+/// elimination round on the intermediate formula's atom count. Aborts with
+/// [`QeError::Budget`] when exhausted; otherwise the result is bit-identical
+/// to the unbudgeted run.
+pub fn fourier_motzkin_with_budget(f: &Formula, budget: &EvalBudget) -> Result<Formula, QeError> {
     crate::check_input(f)?;
     let (blocks, mut matrix) = prenex(f);
     for block in blocks.into_iter().rev() {
         for &v in block.vars.iter().rev() {
+            budget.check_atoms(matrix.atom_count() as u64)?;
             if block.exists {
-                matrix = eliminate_exists(v, &matrix)?;
+                matrix = eliminate_exists(v, &matrix, budget)?;
             } else {
-                matrix = eliminate_exists(v, &matrix.negate())?.negate();
+                matrix = eliminate_exists(v, &matrix.negate(), budget)?.negate();
             }
         }
         matrix = simplify(&matrix);
@@ -35,11 +46,16 @@ pub fn fourier_motzkin(f: &Formula) -> Result<Formula, QeError> {
 }
 
 /// Eliminates `∃v` from a quantifier-free formula.
-pub(crate) fn eliminate_exists(v: Var, f: &Formula) -> Result<Formula, QeError> {
+pub(crate) fn eliminate_exists(
+    v: Var,
+    f: &Formula,
+    budget: &EvalBudget,
+) -> Result<Formula, QeError> {
     let clauses = dnf(&simplify(f));
     let mut out = Formula::False;
     for clause in clauses {
-        out = out.or(eliminate_clause(v, clause)?);
+        budget.check()?;
+        out = out.or(eliminate_clause(v, clause, budget)?);
     }
     Ok(out)
 }
@@ -100,7 +116,7 @@ fn atom_formula(poly: MPoly, rel: Rel) -> Formula {
 }
 
 /// Eliminates `∃v` from a single conjunction of literals.
-fn eliminate_clause(v: Var, clause: Vec<Formula>) -> Result<Formula, QeError> {
+fn eliminate_clause(v: Var, clause: Vec<Formula>, budget: &EvalBudget) -> Result<Formula, QeError> {
     let mut rest = Formula::True; // conjuncts not mentioning v
     let mut bounds: Vec<Bound> = Vec::new();
     for lit in clause {
@@ -141,12 +157,17 @@ fn eliminate_clause(v: Var, clause: Vec<Formula>) -> Result<Formula, QeError> {
         return Ok(out);
     }
 
-    combine_bounds(rest, bounds)
+    combine_bounds(rest, bounds, budget)
 }
 
 /// Cross-combines lower and upper bounds, recursively splitting any
 /// remaining disequalities (`v ≠ t` ⇒ `v < t ∨ v > t`).
-fn combine_bounds(rest: Formula, mut bounds: Vec<Bound>) -> Result<Formula, QeError> {
+fn combine_bounds(
+    rest: Formula,
+    mut bounds: Vec<Bound>,
+    budget: &EvalBudget,
+) -> Result<Formula, QeError> {
+    budget.check()?;
     if let Some(pos) = bounds.iter().position(|b| matches!(b, Bound::Unequal(_))) {
         let Bound::Unequal(t) = bounds.swap_remove(pos) else {
             unreachable!()
@@ -155,8 +176,8 @@ fn combine_bounds(rest: Formula, mut bounds: Vec<Bound>) -> Result<Formula, QeEr
         less.push(Bound::Upper(t.clone(), true));
         let mut greater = bounds;
         greater.push(Bound::Lower(t, true));
-        let a = combine_bounds(rest.clone(), less)?;
-        let b = combine_bounds(rest, greater)?;
+        let a = combine_bounds(rest.clone(), less, budget)?;
+        let b = combine_bounds(rest, greater, budget)?;
         return Ok(a.or(b));
     }
     let mut lowers: Vec<(MPoly, bool)> = Vec::new();

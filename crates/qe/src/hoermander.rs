@@ -31,6 +31,7 @@
 
 use crate::simplify::simplify;
 use crate::QeError;
+use cqa_logic::budget::EvalBudget;
 use cqa_logic::{nnf, prenex, Atom, Formula, Rel};
 use cqa_poly::{MPoly, Var};
 
@@ -73,14 +74,11 @@ struct Ctx {
 }
 
 /// Normalizes `p = c·q` with `q` monic in the term order; returns
-/// `(q, c_is_negative)`.
-fn normalize(p: &MPoly) -> (MPoly, bool) {
-    let c = p
-        .terms()
-        .last()
-        .map(|(_, c)| c.clone())
-        .expect("normalize: zero polynomial");
-    (p.scale(&c.recip()), c.is_negative())
+/// `(q, c_is_negative)`, or `None` for the zero polynomial (which has no
+/// leading coefficient — callers treat it as the constant 0).
+fn normalize(p: &MPoly) -> Option<(MPoly, bool)> {
+    let c = p.terms().last().map(|(_, c)| c.clone())?;
+    Some((p.scale(&c.recip()), c.is_negative()))
 }
 
 impl Ctx {
@@ -92,7 +90,9 @@ impl Ctx {
                 _ => Sign::Neg,
             });
         }
-        let (q, neg) = normalize(p);
+        let Some((q, neg)) = normalize(p) else {
+            return Some(Sign::Zero); // structurally zero polynomial
+        };
         self.entries
             .iter()
             .find(|(r, _)| *r == q)
@@ -100,7 +100,10 @@ impl Ctx {
     }
 
     fn assert_sign(&self, p: &MPoly, s: Sign) -> Ctx {
-        let (q, neg) = normalize(p);
+        // The zero polynomial already has sign Zero; nothing to record.
+        let Some((q, neg)) = normalize(p) else {
+            return self.clone();
+        };
         let mut next = self.clone();
         next.entries.retain(|(r, _)| *r != q);
         next.entries.push((q, s.flip_if(neg)));
@@ -117,7 +120,11 @@ type Cont<'a> = dyn FnMut(&[Vec<i8>]) -> Formula + 'a;
 /// Case-splits on the sign of `head`, invoking `k` once per feasible sign
 /// with the extended context, and guarding unknown branches with the
 /// corresponding atom.
-fn split3(ctx: &Ctx, head: &MPoly, k: &mut dyn FnMut(&Ctx, Sign) -> Formula) -> Formula {
+fn split3(
+    ctx: &Ctx,
+    head: &MPoly,
+    k: &mut dyn FnMut(&Ctx, Sign) -> Result<Formula, QeError>,
+) -> Result<Formula, QeError> {
     match ctx.findsign(head) {
         Some(s) => k(ctx, s),
         None => {
@@ -128,10 +135,10 @@ fn split3(ctx: &Ctx, head: &MPoly, k: &mut dyn FnMut(&Ctx, Sign) -> Formula) -> 
                 (Sign::Neg, Rel::Lt),
             ] {
                 let guard = Formula::Atom(Atom::new(head.clone(), rel));
-                let branch = k(&ctx.assert_sign(head, s), s);
+                let branch = k(&ctx.assert_sign(head, s), s)?;
                 out = out.or(guard.and(branch));
             }
-            out
+            Ok(out)
         }
     }
 }
@@ -197,13 +204,23 @@ fn pdivide_pos(ctx: &Ctx, p: &[MPoly], q: &[MPoly]) -> XPoly {
 /// Ensures every polynomial's head coefficient has a known sign in the
 /// context: zero heads are beheaded, constants recorded via `delconst`, and
 /// non-constants accumulated in `dun` for the matrix computation.
-fn casesplit(ctx: &Ctx, dun: &[XPoly], todo: &[XPoly], cont: &mut Cont<'_>) -> Formula {
+///
+/// This is the doubly-exponential blow-up point of the whole procedure, so
+/// the cooperative budget is checked at every entry.
+fn casesplit(
+    ctx: &Ctx,
+    dun: &[XPoly],
+    todo: &[XPoly],
+    budget: &EvalBudget,
+    cont: &mut Cont<'_>,
+) -> Result<Formula, QeError> {
+    budget.check()?;
     let Some((p0, rest)) = todo.split_first() else {
-        return matrix_build(ctx, dun, cont);
+        return matrix_build(ctx, dun, budget, cont);
     };
     let p = xtrim(p0);
     if p.is_empty() {
-        return delconst(ctx, dun, 0, rest, cont);
+        return delconst(ctx, dun, 0, rest, budget, cont);
     }
     let head = p.last().unwrap().clone();
     split3(ctx, &head, &mut |ctx2, s| match s {
@@ -212,15 +229,15 @@ fn casesplit(ctx: &Ctx, dun: &[XPoly], todo: &[XPoly], cont: &mut Cont<'_>) -> F
             q.pop();
             let mut todo2 = vec![q];
             todo2.extend_from_slice(rest);
-            casesplit(ctx2, dun, &todo2, cont)
+            casesplit(ctx2, dun, &todo2, budget, cont)
         }
         s => {
             if p.len() == 1 {
-                delconst(ctx2, dun, s.as_i8(), rest, cont)
+                delconst(ctx2, dun, s.as_i8(), rest, budget, cont)
             } else {
                 let mut dun2 = dun.to_vec();
                 dun2.push(p.clone());
-                casesplit(ctx2, &dun2, rest, cont)
+                casesplit(ctx2, &dun2, rest, budget, cont)
             }
         }
     })
@@ -228,7 +245,14 @@ fn casesplit(ctx: &Ctx, dun: &[XPoly], todo: &[XPoly], cont: &mut Cont<'_>) -> F
 
 /// Records a (sign-known) constant polynomial: its sign column is inserted
 /// into every matrix row at the position the polynomial occupies.
-fn delconst(ctx: &Ctx, dun: &[XPoly], sign: i8, rest: &[XPoly], cont: &mut Cont<'_>) -> Formula {
+fn delconst(
+    ctx: &Ctx,
+    dun: &[XPoly],
+    sign: i8,
+    rest: &[XPoly],
+    budget: &EvalBudget,
+    cont: &mut Cont<'_>,
+) -> Result<Formula, QeError> {
     let idx = dun.len();
     let mut cont2 = |rows: &[Vec<i8>]| {
         let rows2: Vec<Vec<i8>> = rows
@@ -241,15 +265,20 @@ fn delconst(ctx: &Ctx, dun: &[XPoly], sign: i8, rest: &[XPoly], cont: &mut Cont<
             .collect();
         cont(&rows2)
     };
-    casesplit(ctx, dun, rest, &mut cont2)
+    casesplit(ctx, dun, rest, budget, &mut cont2)
 }
 
 /// Computes the sign matrix for non-constant polynomials with sign-known
 /// non-zero heads, and feeds its rows (alternating interval, point,
 /// interval, …) to the continuation.
-fn matrix_build(ctx: &Ctx, pols: &[XPoly], cont: &mut Cont<'_>) -> Formula {
+fn matrix_build(
+    ctx: &Ctx,
+    pols: &[XPoly],
+    budget: &EvalBudget,
+    cont: &mut Cont<'_>,
+) -> Result<Formula, QeError> {
     if pols.is_empty() {
-        return cont(&[vec![]]);
+        return Ok(cont(&[vec![]]));
     }
     // Pick a polynomial of maximal degree.
     let i = (0..pols.len()).max_by_key(|&j| pols[j].len()).unwrap();
@@ -282,7 +311,7 @@ fn matrix_build(ctx: &Ctx, pols: &[XPoly], cont: &mut Cont<'_>) -> Formula {
     };
     let mut all = qs;
     all.extend(rs);
-    casesplit(ctx, &[], &all, &mut cont2)
+    casesplit(ctx, &[], &all, budget, &mut cont2)
 }
 
 /// Given the sign matrix of `qs ++ rs` (2·l columns, rows alternating
@@ -421,7 +450,11 @@ fn eval_with_signs(f: &Formula, polys: &[MPoly], row: &[i8]) -> bool {
 }
 
 /// Eliminates `∃v` from a quantifier-free, relation-free formula.
-pub(crate) fn eliminate_exists_ch(v: Var, f: &Formula) -> Result<Formula, QeError> {
+pub(crate) fn eliminate_exists_ch(
+    v: Var,
+    f: &Formula,
+    budget: &EvalBudget,
+) -> Result<Formula, QeError> {
     let f = nnf(f);
     let mut polys: Vec<MPoly> = Vec::new();
     let mut bad = false;
@@ -446,25 +479,31 @@ pub(crate) fn eliminate_exists_ch(v: Var, f: &Formula) -> Result<Formula, QeErro
             Formula::False
         }
     };
-    Ok(simplify(&casesplit(
-        &Ctx::default(),
-        &[],
-        &xpolys,
-        &mut cont,
-    )))
+    let qf = casesplit(&Ctx::default(), &[], &xpolys, budget, &mut cont)?;
+    Ok(simplify(&qf))
 }
 
 /// Eliminates all quantifiers from an FO+POLY formula via Cohen–Hörmander,
 /// returning an equivalent quantifier-free formula over the free variables.
 pub fn hoermander(f: &Formula) -> Result<Formula, QeError> {
+    hoermander_with_budget(f, &EvalBudget::unlimited())
+}
+
+/// [`hoermander`] under a cooperative [`EvalBudget`]: the budget is checked
+/// at every `casesplit` node (the doubly-exponential blow-up point) and each
+/// elimination round is gated on the intermediate formula's atom count.
+/// Aborts with [`QeError::Budget`] when exhausted; otherwise the result is
+/// bit-identical to the unbudgeted run.
+pub fn hoermander_with_budget(f: &Formula, budget: &EvalBudget) -> Result<Formula, QeError> {
     crate::check_input(f)?;
     let (blocks, mut matrix) = prenex(f);
     for block in blocks.into_iter().rev() {
         for &v in block.vars.iter().rev() {
+            budget.check_atoms(matrix.atom_count() as u64)?;
             if block.exists {
-                matrix = eliminate_exists_ch(v, &matrix)?;
+                matrix = eliminate_exists_ch(v, &matrix, budget)?;
             } else {
-                matrix = eliminate_exists_ch(v, &matrix.negate())?.negate();
+                matrix = eliminate_exists_ch(v, &matrix.negate(), budget)?.negate();
             }
             matrix = simplify(&matrix);
         }
@@ -561,6 +600,23 @@ mod tests {
         assert!(decide("exists x, y. x*x + y*y = 1 & y = x"));
         // Circle and far line don't: y = x + 3 misses the unit circle.
         assert!(!decide("exists x, y. x*x + y*y = 1 & y = x + 3"));
+    }
+
+    #[test]
+    fn structurally_zero_atoms_are_handled() {
+        // A constant-folded atom over the zero polynomial (`0 ≤ 0`, `0 < 0`)
+        // used to panic in sign normalization; it now has sign Zero and the
+        // sentence decides.
+        let zero = cqa_poly::MPoly::constant(Rat::from(0i64));
+        let mut vars = cqa_logic::VarMap::new();
+        let body = cqa_logic::parse_formula_with("x*x = 2", &mut vars).unwrap();
+        let x = vars.intern("x");
+        let tautology = Formula::Atom(cqa_logic::Atom::new(zero.clone(), cqa_logic::Rel::Le));
+        let absurdity = Formula::Atom(cqa_logic::Atom::new(zero, cqa_logic::Rel::Lt));
+        let t = Formula::exists(vec![x], tautology.and(body.clone()));
+        let f_ = Formula::exists(vec![x], absurdity.and(body));
+        assert_eq!(hoermander(&t).unwrap(), Formula::True);
+        assert_eq!(hoermander(&f_).unwrap(), Formula::False);
     }
 
     #[test]

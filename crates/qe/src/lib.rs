@@ -28,11 +28,14 @@ mod hoermander;
 mod lw;
 mod simplify;
 
-pub use fm::{clause_obviously_empty, fourier_motzkin, sample_between};
-pub use hoermander::hoermander;
-pub use lw::loos_weispfenning;
+pub use fm::{
+    clause_obviously_empty, fourier_motzkin, fourier_motzkin_with_budget, sample_between,
+};
+pub use hoermander::{hoermander, hoermander_with_budget};
+pub use lw::{loos_weispfenning, loos_weispfenning_with_budget};
 pub use simplify::simplify;
 
+use cqa_logic::budget::{BudgetExceeded, EvalBudget};
 use cqa_logic::{ConstraintClass, Formula};
 
 /// Errors from quantifier elimination.
@@ -51,6 +54,12 @@ pub enum QeError {
     /// evaluated (reported when compiling it for point evaluation, instead
     /// of silently treating unevaluable points as misses).
     Residual(String),
+    /// A sentence-level decision was requested on a formula with free
+    /// variables.
+    NotASentence,
+    /// The evaluation budget was exhausted mid-elimination; the work was
+    /// cancelled cooperatively (see [`cqa_logic::budget`]).
+    Budget(BudgetExceeded),
 }
 
 impl std::fmt::Display for QeError {
@@ -62,10 +71,20 @@ impl std::fmt::Display for QeError {
             QeError::Residual(what) => {
                 write!(f, "eliminated matrix is not evaluable: {what}")
             }
+            QeError::NotASentence => {
+                write!(f, "sentence decision on a formula with free variables")
+            }
+            QeError::Budget(b) => write!(f, "{b}"),
         }
     }
 }
 impl std::error::Error for QeError {}
+
+impl From<BudgetExceeded> for QeError {
+    fn from(b: BudgetExceeded) -> QeError {
+        QeError::Budget(b)
+    }
+}
 
 fn check_input(f: &Formula) -> Result<(), QeError> {
     if !f.is_relation_free() {
@@ -87,40 +106,64 @@ fn check_input(f: &Formula) -> Result<(), QeError> {
 /// Loos–Weispfenning for dense-order and linear formulas, Cohen–Hörmander
 /// for polynomial ones. Returns an equivalent quantifier-free formula.
 pub fn eliminate(f: &Formula) -> Result<Formula, QeError> {
+    eliminate_with_budget(f, &EvalBudget::unlimited())
+}
+
+/// [`eliminate`] under a cooperative [`EvalBudget`]: the chosen method
+/// checks the budget in its hot loops and aborts with [`QeError::Budget`]
+/// when it is exhausted. When the budget is not hit, the result is
+/// bit-identical to [`eliminate`].
+pub fn eliminate_with_budget(f: &Formula, budget: &EvalBudget) -> Result<Formula, QeError> {
     check_input(f)?;
     match f.class() {
-        ConstraintClass::DenseOrder | ConstraintClass::Linear => loos_weispfenning(f),
-        ConstraintClass::Polynomial => hoermander(f),
+        ConstraintClass::DenseOrder | ConstraintClass::Linear => {
+            loos_weispfenning_with_budget(f, budget)
+        }
+        ConstraintClass::Polynomial => hoermander_with_budget(f, budget),
     }
 }
 
-/// Decides a sentence (no free variables). Returns its truth value.
-///
-/// # Panics
-/// Panics if the formula has free variables.
+/// Decides a sentence (no free variables). Returns its truth value, or
+/// [`QeError::NotASentence`] if the formula has free variables.
 pub fn decide_sentence(f: &Formula) -> Result<bool, QeError> {
-    assert!(
-        f.free_vars().is_empty(),
-        "decide_sentence requires a sentence (no free variables)"
-    );
-    let qf = eliminate(f)?;
+    decide_sentence_with_budget(f, &EvalBudget::unlimited())
+}
+
+/// [`decide_sentence`] under a cooperative [`EvalBudget`].
+pub fn decide_sentence_with_budget(f: &Formula, budget: &EvalBudget) -> Result<bool, QeError> {
+    if !f.free_vars().is_empty() {
+        return Err(QeError::NotASentence);
+    }
+    let qf = eliminate_with_budget(f, budget)?;
     match simplify(&qf) {
         Formula::True => Ok(true),
         Formula::False => Ok(false),
-        other => unreachable!("ground formula did not fold to a constant: {other:?}"),
+        other => Err(QeError::Residual(format!(
+            "ground formula did not fold to a constant: {other:?}"
+        ))),
     }
 }
 
 /// Is the formula satisfiable over ℝ (free variables read existentially)?
 pub fn is_satisfiable(f: &Formula) -> Result<bool, QeError> {
+    is_satisfiable_with_budget(f, &EvalBudget::unlimited())
+}
+
+/// [`is_satisfiable`] under a cooperative [`EvalBudget`].
+pub fn is_satisfiable_with_budget(f: &Formula, budget: &EvalBudget) -> Result<bool, QeError> {
     let vars: Vec<_> = f.free_vars().into_iter().collect();
-    decide_sentence(&Formula::exists(vars, f.clone()))
+    decide_sentence_with_budget(&Formula::exists(vars, f.clone()), budget)
 }
 
 /// Is the formula valid over ℝ (free variables read universally)?
 pub fn is_valid(f: &Formula) -> Result<bool, QeError> {
+    is_valid_with_budget(f, &EvalBudget::unlimited())
+}
+
+/// [`is_valid`] under a cooperative [`EvalBudget`].
+pub fn is_valid_with_budget(f: &Formula, budget: &EvalBudget) -> Result<bool, QeError> {
     let vars: Vec<_> = f.free_vars().into_iter().collect();
-    decide_sentence(&Formula::forall(vars, f.clone()))
+    decide_sentence_with_budget(&Formula::forall(vars, f.clone()), budget)
 }
 
 /// Are two formulas equivalent over ℝ (free variables read universally)?

@@ -13,20 +13,30 @@
 
 use crate::simplify::simplify;
 use crate::QeError;
+use cqa_logic::budget::EvalBudget;
 use cqa_logic::{nnf, prenex, Atom, Formula, Rel};
 use cqa_poly::{MPoly, Var};
 
 /// Eliminates all quantifiers from a linear (FO+LIN) formula via
 /// Loos–Weispfenning virtual substitution.
 pub fn loos_weispfenning(f: &Formula) -> Result<Formula, QeError> {
+    loos_weispfenning_with_budget(f, &EvalBudget::unlimited())
+}
+
+/// [`loos_weispfenning`] under a cooperative [`EvalBudget`]: checks the
+/// budget per virtual test point and gates each elimination round on the
+/// intermediate formula's atom count. Aborts with [`QeError::Budget`] when
+/// exhausted; otherwise the result is bit-identical to the unbudgeted run.
+pub fn loos_weispfenning_with_budget(f: &Formula, budget: &EvalBudget) -> Result<Formula, QeError> {
     crate::check_input(f)?;
     let (blocks, mut matrix) = prenex(f);
     for block in blocks.into_iter().rev() {
         for &v in block.vars.iter().rev() {
+            budget.check_atoms(matrix.atom_count() as u64)?;
             if block.exists {
-                matrix = eliminate_exists_lw(v, &matrix)?;
+                matrix = eliminate_exists_lw(v, &matrix, budget)?;
             } else {
-                matrix = eliminate_exists_lw(v, &matrix.negate())?.negate();
+                matrix = eliminate_exists_lw(v, &matrix.negate(), budget)?.negate();
             }
             matrix = simplify(&matrix);
         }
@@ -53,7 +63,11 @@ fn linear_parts(v: Var, poly: &MPoly) -> Result<(cqa_arith::Rat, MPoly), QeError
 
 /// Eliminates `∃v` from a quantifier-free linear formula by virtual
 /// substitution.
-pub(crate) fn eliminate_exists_lw(v: Var, f: &Formula) -> Result<Formula, QeError> {
+pub(crate) fn eliminate_exists_lw(
+    v: Var,
+    f: &Formula,
+    budget: &EvalBudget,
+) -> Result<Formula, QeError> {
     let f = nnf(f);
     // Gather bound terms t = -r/a for all atoms with a ≠ 0.
     let mut bounds: Vec<MPoly> = Vec::new();
@@ -81,6 +95,7 @@ pub(crate) fn eliminate_exists_lw(v: Var, f: &Formula) -> Result<Formula, QeErro
 
     let mut out = subst_minus_inf(v, &f)?;
     for t in &bounds {
+        budget.check()?;
         out = out.or(f.subst_poly(v, t));
         out = out.or(subst_plus_eps(v, &f, t)?);
     }

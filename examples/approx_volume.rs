@@ -54,7 +54,10 @@ fn main() {
     for k in 1..=4 {
         let radius = rat(k, 10);
         let truth = std::f64::consts::PI * radius.to_f64().powi(2);
-        let got = est.estimate(std::slice::from_ref(&radius)).to_f64();
+        let got = est
+            .estimate(std::slice::from_ref(&radius))
+            .expect("parameter arity matches")
+            .to_f64();
         println!(
             "  {:>6} {:>10.4} {:>10.4} {:>8.4}",
             radius.to_string(),

@@ -7,6 +7,11 @@ cd "$(dirname "$0")/.."
 
 export CARGO_NET_OFFLINE=true
 
+# Every test phase runs under a wall-clock cap: a hang (the failure mode
+# the budget subsystem exists to prevent) fails CI instead of wedging it.
+TEST_TIMEOUT="${TEST_TIMEOUT:-900}"
+run_capped() { timeout --signal=KILL "$TEST_TIMEOUT" "$@"; }
+
 echo "== format =="
 cargo fmt --all --check
 
@@ -17,22 +22,33 @@ echo "== build (release) =="
 cargo build --workspace --release --offline
 
 echo "== tier-1 tests =="
-cargo test -q --offline
+run_capped cargo test -q --offline
 
 echo "== workspace tests =="
-cargo test -q --workspace --offline
+run_capped cargo test -q --workspace --offline
 
 echo "== kernel/oracle parity =="
-cargo test -q --offline -p cqa-logic --test compile_props
+run_capped cargo test -q --offline -p cqa-logic --test compile_props
 
 echo "== thread-count determinism =="
-cargo test -q --offline -p cqa-approx --test thread_determinism
+run_capped cargo test -q --offline -p cqa-approx --test thread_determinism
 
 echo "== static analysis demos =="
 cargo run -q --offline -p cqa-bench --bin cqa-lint -- \
   --max-atoms inf --max-quantifiers inf examples/lint/endpoints.cqa
 if cargo run -q --offline -p cqa-bench --bin cqa-lint -- examples/lint/broken.cqa; then
   echo "cqa-lint should have failed on broken.cqa" >&2
+  exit 1
+fi
+
+echo "== budget smoke check (blow-up query must trip, fast) =="
+# A combinatorially explosive query under a 10 ms budget: the dynamic pass
+# must exit non-zero with a budget diagnostic *promptly* — the 30 s cap is
+# the hang detector, not the expected runtime.
+if timeout --signal=KILL 30 \
+    cargo run -q --offline -p cqa-bench --bin cqa-lint -- \
+    --timeout-ms 10 examples/lint/blowup.cqa; then
+  echo "cqa-lint --timeout-ms 10 should have tripped on blowup.cqa" >&2
   exit 1
 fi
 
