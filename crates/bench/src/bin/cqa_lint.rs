@@ -15,7 +15,8 @@
 //! Σ-evaluation: statements that blow past the budget are reported with a
 //! budget diagnostic (and a non-zero exit) instead of hanging the linter.
 
-use cqa_analyze::{analyze_source, AnalyzerConfig, GammaStatus, Program, Statement};
+use cqa_analyze::{AnalyzerConfig, Program, Statement};
+use cqa_bench::lint::lint_file;
 use cqa_logic::budget::EvalBudget;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -133,51 +134,22 @@ fn main() -> ExitCode {
 
     let mut any_errors = false;
     for file in &files {
-        let src = match std::fs::read_to_string(file) {
-            Ok(s) => s,
+        let linted = match lint_file(file, &cfg) {
+            Ok(l) => l,
             Err(e) => {
-                eprintln!("cqa-lint: cannot read {file}: {e}");
+                eprintln!("cqa-lint: {e}");
                 any_errors = true;
                 continue;
             }
         };
-        let (program, analysis) = analyze_source(&src, &cfg);
-        let rendered = analysis.render(&src, file);
+        let rendered = linted.diagnostics();
         if !rendered.is_empty() {
             println!("{rendered}");
         }
-        for r in &analysis.reports {
-            let cost = r.cost.map_or(String::new(), |c| {
-                format!(
-                    ", C = {:.1}, VC ≤ {:.1}, KM ≈ {:.2e} atoms / {:.2e} quantifiers",
-                    c.gj_constant, c.vc_bound, c.km.atoms, c.km.quantifiers
-                )
-            });
-            let gamma = match r.gamma {
-                Some(GammaStatus::Certified) => ", γ certified",
-                Some(GammaStatus::Fallback) => ", γ falls back to semantic check",
-                None => "",
-            };
-            println!(
-                "{file}: {} `{}`: {}, {} atom(s), {} quantifier(s), degree {}{}{}",
-                r.kind,
-                r.name,
-                r.fragment.fragment_name(),
-                r.fragment.atoms,
-                r.fragment.quantifiers,
-                r.fragment.max_degree,
-                cost,
-                gamma
-            );
-        }
-        println!(
-            "{file}: {} error(s), {} warning(s)",
-            analysis.error_count(),
-            analysis.warning_count()
-        );
-        any_errors |= analysis.has_errors();
-        if dynamic && !analysis.has_errors() {
-            any_errors |= dynamic_pass(file, &program, timeout_ms, max_steps);
+        println!("{}", linted.summary());
+        any_errors |= linted.has_errors();
+        if dynamic && !linted.has_errors() {
+            any_errors |= dynamic_pass(file, &linted.program, timeout_ms, max_steps);
         }
     }
     if any_errors {

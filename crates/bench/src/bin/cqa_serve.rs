@@ -1,0 +1,116 @@
+//! `cqa-serve` — the constraint-query service daemon.
+//!
+//! ```text
+//! cqa-serve [--addr HOST:PORT] [--workers N] [--cache-bytes B]
+//!           [--timeout-ms MS] [--max-steps N] [--eps E] [--delta D]
+//!           [--idle-secs S] [--preload FILE.cqa]
+//! ```
+//!
+//! Binds a TCP listener (default `127.0.0.1:0`, i.e. an ephemeral port),
+//! prints `LISTENING <addr>` on stdout once ready, and serves the
+//! `cqa-engine` wire protocol until a client sends `SHUTDOWN`. A
+//! `--preload` program is run through the same static-analysis gate as
+//! `cqa-lint` before the listener opens; errors abort startup with the
+//! usual diagnostics.
+
+use cqa_analyze::AnalyzerConfig;
+use cqa_bench::lint::lint_file;
+use cqa_engine::{serve, Engine, EngineConfig};
+use std::net::TcpListener;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cqa-serve [--addr HOST:PORT] [--workers N] [--cache-bytes B] \
+         [--timeout-ms MS] [--max-steps N] [--eps E] [--delta D] \
+         [--idle-secs S] [--preload FILE.cqa]"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut cfg = EngineConfig::default();
+    let mut preload_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("cqa-serve: {name} needs an argument");
+                std::process::exit(2);
+            })
+        };
+        let parse = |name: &str, v: String| -> f64 {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("cqa-serve: {name} needs a numeric argument, got `{v}`");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--addr" => addr = value("--addr"),
+            "--workers" => cfg.workers = parse("--workers", value("--workers")) as usize,
+            "--cache-bytes" => {
+                cfg.cache_bytes = parse("--cache-bytes", value("--cache-bytes")) as usize
+            }
+            "--timeout-ms" => {
+                cfg.timeout = Some(Duration::from_millis(parse(
+                    "--timeout-ms",
+                    value("--timeout-ms"),
+                ) as u64))
+            }
+            "--max-steps" => {
+                cfg.max_steps = Some(parse("--max-steps", value("--max-steps")) as u64)
+            }
+            "--eps" => cfg.default_eps = parse("--eps", value("--eps")),
+            "--delta" => cfg.default_delta = parse("--delta", value("--delta")),
+            "--idle-secs" => {
+                cfg.idle_timeout =
+                    Duration::from_secs(parse("--idle-secs", value("--idle-secs")) as u64)
+            }
+            "--preload" => preload_path = Some(value("--preload")),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+
+    if let Some(path) = &preload_path {
+        // Same gate as `cqa-lint`: a program the linter rejects must not
+        // silently become every session's preamble.
+        let linted = match lint_file(path, &AnalyzerConfig::default()) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("cqa-serve: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if linted.has_errors() {
+            eprintln!("{}", linted.diagnostics());
+            eprintln!("cqa-serve: --preload {path} rejected by the analyzer");
+            return ExitCode::FAILURE;
+        }
+        cfg.preload = Some(linted.src);
+    }
+
+    let listener = match TcpListener::bind(&addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("cqa-serve: cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let local = listener
+        .local_addr()
+        .expect("bound listener has an address");
+    println!("LISTENING {local}");
+
+    let engine = Arc::new(Engine::new(cfg));
+    match serve(engine, listener) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("cqa-serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,4 +1,4 @@
-//! The E1–E12 experiment suite (see DESIGN.md §4 and EXPERIMENTS.md).
+//! The E1–E12 + E15 experiment suite (see DESIGN.md §4 and EXPERIMENTS.md).
 //!
 //! Each function prints a self-contained table and returns it as a string
 //! so the integration tests can assert on the numbers.
@@ -699,6 +699,100 @@ pub fn e12(out: &mut String) {
     assert_eq!(vol, rat(1, 2));
 }
 
+/// E15 — engine prepared-query cache: cold vs warm `EXEC` latency.
+///
+/// A cold `EXEC` of a prepared FO+POLY volume query pays quantifier
+/// elimination + kernel compilation; every warm `EXEC` of the same
+/// canonical formula skips both via the shared cache and only reruns the
+/// (deterministic) Monte Carlo integration. The measured ratio is the
+/// engine's reason to exist; the assertion pins it at ≥ 10×.
+pub fn e15(out: &mut String) {
+    use cqa_engine::{Engine, EngineConfig};
+    use std::time::{Duration, Instant};
+    writeln!(
+        out,
+        "E15: cqa-engine prepared-query cache — cold vs warm EXEC"
+    )
+    .unwrap();
+    let engine = Engine::new(EngineConfig {
+        timeout: Some(Duration::from_secs(60)),
+        ..EngineConfig::default()
+    });
+    let query = "exists y. exists z. (x*x + y*y + z*z <= 1 & y >= x*x - 1/2 & z <= y)";
+    writeln!(out, "  query: VOL_I of {query}").unwrap();
+    let mut session = engine.open_session();
+    let r = engine.prepare(&mut session, "lens", query);
+    assert!(r.is_ok(), "{r:?}");
+
+    let t0 = Instant::now();
+    let cold = engine.exec(&mut session, "lens", Some(0.1), Some(0.05));
+    let cold_us = t0.elapsed().as_micros() as f64;
+    assert!(cold.is_ok(), "{cold:?}");
+    assert!(cold.header.contains("cache=miss"), "{cold:?}");
+
+    // Warm EXECs from a *different* session: the cache is shared across
+    // connections, so the second client never pays QE either.
+    let mut other = engine.open_session();
+    let r = engine.prepare(&mut other, "lens", query);
+    assert!(r.is_ok(), "{r:?}");
+    const WARM_RUNS: usize = 5;
+    let mut warm_us = f64::INFINITY;
+    let mut warm_header = String::new();
+    for _ in 0..WARM_RUNS {
+        let t0 = Instant::now();
+        let warm = engine.exec(&mut other, "lens", Some(0.1), Some(0.05));
+        warm_us = warm_us.min(t0.elapsed().as_micros() as f64);
+        assert!(warm.header.contains("cache=hit"), "{warm:?}");
+        warm_header = warm.header;
+    }
+    let answer = |h: &str| {
+        h.split("value=")
+            .nth(1)
+            .and_then(|s| s.split_whitespace().next())
+            .unwrap_or("?")
+            .to_string()
+    };
+    assert_eq!(
+        answer(&cold.header),
+        answer(&warm_header),
+        "cache must not change answers"
+    );
+    let snap = engine.cache.snapshot();
+    let speedup = cold_us / warm_us.max(1.0);
+    // Wall-clock numbers go to stderr so that `report`'s stdout stays
+    // byte-identical across runs (the determinism gate `cmp`s two captures);
+    // the recorded snapshot lives in BENCH_engine.json.
+    eprintln!(
+        "E15 timings: cold {cold_us:.1} µs, warm {warm_us:.1} µs (min of {WARM_RUNS}), \
+         speedup {speedup:.1}x"
+    );
+    writeln!(
+        out,
+        "  cold EXEC (QE + compile + MC)  -> [{}] cache=miss",
+        answer(&cold.header)
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  warm EXEC (cache hit, MC only) -> [{}] cache=hit, bit-identical (min of {WARM_RUNS})",
+        answer(&warm_header)
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  speedup >= 10x asserted (timings on stderr; snapshot in BENCH_engine.json)   \
+         cache: hits={} misses={} hit_rate={:.2}\n",
+        snap.hits,
+        snap.misses,
+        snap.hit_rate()
+    )
+    .unwrap();
+    assert!(
+        speedup >= 10.0,
+        "warm-cache EXEC must be >= 10x faster than cold, got {speedup:.1}x"
+    );
+}
+
 fn collect_atoms(f: &cqa_logic::Formula) -> Vec<cqa_logic::Atom> {
     let mut out = Vec::new();
     f.visit(&mut |g| {
@@ -713,7 +807,7 @@ fn collect_atoms(f: &cqa_logic::Formula) -> Vec<cqa_logic::Atom> {
 pub fn run_all() -> String {
     let mut out = String::new();
     type Experiment = fn(&mut String);
-    let fns: [(&str, Experiment); 12] = [
+    let fns: [(&str, Experiment); 13] = [
         ("e1", e1),
         ("e2", e2),
         ("e3", e3),
@@ -726,6 +820,7 @@ pub fn run_all() -> String {
         ("e10", e10),
         ("e11", e11),
         ("e12", e12),
+        ("e15", e15),
     ];
     for (name, f) in fns {
         let _ = name;
@@ -734,7 +829,7 @@ pub fn run_all() -> String {
     out
 }
 
-/// Runs one experiment by id (`"e1"` … `"e12"`); `None` for unknown ids.
+/// Runs one experiment by id (`"e1"` … `"e12"`, `"e15"`); `None` for unknown ids.
 pub fn run_one(id: &str) -> Option<String> {
     let mut out = String::new();
     match id {
@@ -750,6 +845,7 @@ pub fn run_one(id: &str) -> Option<String> {
         "e10" => e10(&mut out),
         "e11" => e11(&mut out),
         "e12" => e12(&mut out),
+        "e15" => e15(&mut out),
         _ => return None,
     }
     Some(out)

@@ -10,6 +10,8 @@
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod lint;
 pub mod workloads;
 
 pub use experiments::*;
+pub use lint::{lint_file, LintedFile};

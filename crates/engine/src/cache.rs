@@ -1,0 +1,258 @@
+//! The shared prepared-query cache: canonical-key → QE output + compiled
+//! kernel + analyzer verdict, LRU-evicted under a byte budget.
+//!
+//! The cache is the reason the engine exists: Section 3 of the paper (and
+//! the whole Giusti–Heintz line of work) makes quantifier elimination the
+//! dominating cost of constraint-query evaluation, and QE output depends
+//! only on the (relation-expanded) formula — not on the session, the
+//! client, or the request parameters. One `Mutex` around a `HashMap` plus
+//! a logical clock is deliberately boring: entries are `Arc`-shared so the
+//! lock is held only for lookup/insert bookkeeping, never during QE,
+//! compilation, or evaluation.
+
+use cqa_logic::{CompiledMatrix, ConstraintClass, Formula};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One memoized query: everything downstream of quantifier elimination
+/// that is reusable across sessions and requests.
+#[derive(Clone, Debug)]
+pub struct CacheEntry {
+    /// The quantifier-free, relation-free, simplified QE output. Its free
+    /// variables are the *inserting* session's interned indices — other
+    /// sessions must use it together with `qf_vars`, never their own
+    /// variable list.
+    pub qf: Formula,
+    /// The inserting session's parameter variables, in the positional
+    /// (name-sorted) order shared by every session that keys this entry.
+    /// Exact volume is integrated in this variable space; the result is
+    /// invariant under the renaming.
+    pub qf_vars: Vec<cqa_poly::Var>,
+    /// The PR-1 compiled kernel of `qf`, slots in output-column order.
+    pub kernel: CompiledMatrix,
+    /// Constraint class of `qf` (the analyzer verdict that gates the
+    /// exact-volume path: polynomial outputs cannot be triangulated).
+    pub class: ConstraintClass,
+    /// Human-readable fragment verdict (e.g. `"FO+LIN"`), reported over
+    /// the wire so clients see what they are getting.
+    pub fragment: &'static str,
+    /// Estimated resident size, charged against the byte budget.
+    pub bytes: usize,
+}
+
+/// Rough resident-size estimate of a formula: nodes plus polynomial terms.
+/// The budget needs a consistent currency, not an exact allocator audit.
+pub(crate) fn formula_bytes(f: &Formula) -> usize {
+    let mut bytes = 0usize;
+    f.visit(&mut |g| {
+        bytes += 48;
+        if let Formula::Atom(a) = g {
+            bytes += 96 * a.poly.num_terms().max(1);
+        }
+    });
+    bytes
+}
+
+struct Slot {
+    entry: Arc<CacheEntry>,
+    last_used: u64,
+}
+
+struct Inner {
+    map: HashMap<String, Slot>,
+    clock: u64,
+    bytes: usize,
+}
+
+/// A point-in-time view of the cache counters, for `STATS`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheSnapshot {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries removed by the LRU byte-budget sweep.
+    pub evictions: u64,
+    /// Live entries.
+    pub entries: usize,
+    /// Estimated live bytes.
+    pub bytes: usize,
+    /// The configured byte budget.
+    pub byte_budget: usize,
+}
+
+impl CacheSnapshot {
+    /// Hit rate in `[0, 1]`; `0` when no lookups happened yet.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// The concurrent prepared-query cache.
+pub struct QueryCache {
+    inner: Mutex<Inner>,
+    byte_budget: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl QueryCache {
+    /// An empty cache bounded by `byte_budget` estimated bytes.
+    pub fn new(byte_budget: usize) -> QueryCache {
+        QueryCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                clock: 0,
+                bytes: 0,
+            }),
+            byte_budget,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn get(&self, key: &str) -> Option<Arc<CacheEntry>> {
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.clock += 1;
+        let clock = inner.clock;
+        match inner.map.get_mut(key) {
+            Some(slot) => {
+                slot.last_used = clock;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&slot.entry))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or replaces) `key`, then evicts least-recently-used
+    /// entries until the byte budget holds again. The entry just inserted
+    /// is never evicted by its own insertion sweep — a query larger than
+    /// the whole budget still gets served, it just won't keep neighbours.
+    pub fn insert(&self, key: String, entry: CacheEntry) -> Arc<CacheEntry> {
+        let entry = Arc::new(entry);
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.clock += 1;
+        let clock = inner.clock;
+        if let Some(old) = inner.map.remove(&key) {
+            inner.bytes -= old.entry.bytes;
+        }
+        inner.bytes += entry.bytes;
+        inner.map.insert(
+            key.clone(),
+            Slot {
+                entry: Arc::clone(&entry),
+                last_used: clock,
+            },
+        );
+        while inner.bytes > self.byte_budget && inner.map.len() > 1 {
+            let victim = inner
+                .map
+                .iter()
+                .filter(|(k, _)| **k != key)
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(k, _)| k.clone());
+            match victim {
+                Some(k) => {
+                    let slot = inner.map.remove(&k).expect("victim exists");
+                    inner.bytes -= slot.entry.bytes;
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                None => break,
+            }
+        }
+        entry
+    }
+
+    /// Counter snapshot for `STATS`.
+    pub fn snapshot(&self) -> CacheSnapshot {
+        let inner = self.inner.lock().expect("cache lock");
+        CacheSnapshot {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: inner.map.len(),
+            bytes: inner.bytes,
+            byte_budget: self.byte_budget,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_logic::{parse_formula, SlotMap};
+
+    fn entry(src: &str, bytes: usize) -> CacheEntry {
+        let (qf, vars) = parse_formula(src).unwrap();
+        let qf_vars: Vec<_> = qf.free_vars().into_iter().collect();
+        let kernel = CompiledMatrix::compile(&qf, &SlotMap::from_vars(&qf_vars)).unwrap();
+        let _ = vars;
+        CacheEntry {
+            class: qf.class(),
+            fragment: "FO+LIN",
+            qf,
+            qf_vars,
+            kernel,
+            bytes,
+        }
+    }
+
+    #[test]
+    fn hit_miss_and_recency() {
+        let cache = QueryCache::new(10_000);
+        assert!(cache.get("a").is_none());
+        cache.insert("a".into(), entry("x < 1", 100));
+        assert!(cache.get("a").is_some());
+        let snap = cache.snapshot();
+        assert_eq!((snap.hits, snap.misses), (1, 1));
+        assert_eq!(snap.entries, 1);
+        assert!((snap.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_eviction_under_byte_budget() {
+        let cache = QueryCache::new(250);
+        cache.insert("a".into(), entry("x < 1", 100));
+        cache.insert("b".into(), entry("x < 2", 100));
+        // Touch `a` so `b` is the LRU when `c` overflows the budget.
+        assert!(cache.get("a").is_some());
+        cache.insert("c".into(), entry("x < 3", 100));
+        assert!(cache.get("a").is_some(), "recently used survives");
+        assert!(cache.get("b").is_none(), "LRU evicted");
+        assert!(cache.get("c").is_some(), "new entry survives");
+        assert_eq!(cache.snapshot().evictions, 1);
+    }
+
+    #[test]
+    fn oversized_entry_is_kept_alone() {
+        let cache = QueryCache::new(50);
+        cache.insert("big".into(), entry("x < 1", 1000));
+        assert!(cache.get("big").is_some());
+        cache.insert("big2".into(), entry("x < 2", 1000));
+        assert!(cache.get("big2").is_some());
+        assert!(cache.get("big").is_none());
+    }
+
+    #[test]
+    fn reinsert_replaces_bytes() {
+        let cache = QueryCache::new(1000);
+        cache.insert("a".into(), entry("x < 1", 400));
+        cache.insert("a".into(), entry("x < 1", 200));
+        let snap = cache.snapshot();
+        assert_eq!(snap.entries, 1);
+        assert_eq!(snap.bytes, 200);
+    }
+}

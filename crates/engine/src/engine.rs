@@ -1,0 +1,709 @@
+//! The engine core: session state and command execution.
+
+use crate::cache::{formula_bytes, CacheEntry, QueryCache};
+use crate::protocol::{Command, Response};
+use crate::stats::EngineStats;
+use cqa_agg::AggError;
+use cqa_analyze::{analyze_source, AnalyzerConfig, Statement, SumStmt};
+use cqa_approx::sample::Witness;
+use cqa_arith::Rat;
+use cqa_core::Database;
+use cqa_geom::VolumeError;
+use cqa_logic::budget::EvalBudget;
+use cqa_logic::{parse_formula_with, CompiledMatrix, ConstraintClass, Formula, SlotMap};
+use cqa_poly::Var;
+use cqa_qe::QeError;
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Seed of the deterministic witness behind every degraded (ε, δ) answer:
+/// approximate responses are reproducible across requests, sessions and
+/// servers (and bit-identical under any concurrency level).
+pub const MC_SEED: u64 = 0xC0A_5E55;
+
+/// Engine configuration (server-wide).
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Worker threads = maximum concurrent connections.
+    pub workers: usize,
+    /// Prepared-query cache byte budget.
+    pub cache_bytes: usize,
+    /// Per-request wall-clock budget (`None` = no deadline).
+    pub timeout: Option<Duration>,
+    /// Per-request cooperative step cap (`None` = unlimited).
+    pub max_steps: Option<u64>,
+    /// Default ε for degraded (ε, δ) answers.
+    pub default_eps: f64,
+    /// Default δ for degraded (ε, δ) answers.
+    pub default_delta: f64,
+    /// Socket read timeout: an idle/stalled client is disconnected after
+    /// this long so it cannot hold a pool slot forever.
+    pub idle_timeout: Duration,
+    /// Program source `LOAD`ed into every fresh session (`cqa-serve
+    /// --preload`). Must be analyzer-clean — the server validates it at
+    /// startup before accepting connections.
+    pub preload: Option<String>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            workers: 4,
+            cache_bytes: 8 << 20,
+            timeout: Some(Duration::from_millis(2_000)),
+            max_steps: None,
+            default_eps: 0.05,
+            default_delta: 0.05,
+            idle_timeout: Duration::from_secs(60),
+            preload: None,
+        }
+    }
+}
+
+/// A named prepared query. The formula is re-parsed against the session's
+/// current variable interning at `EXEC` time (parsing is micro-cheap; the
+/// expensive artifacts — QE output and compiled kernel — live in the
+/// shared cache under the canonical key).
+#[derive(Clone, Debug)]
+pub struct Prepared {
+    src: String,
+    params: Vec<String>,
+}
+
+/// Per-connection state: the session database built from `LOAD`ed
+/// programs, loaded Σ-terms, and named prepared queries. Sessions are
+/// owned by one worker thread at a time; all cross-session sharing goes
+/// through the [`Engine`]'s cache and stats.
+#[derive(Default)]
+pub struct Session {
+    /// Accumulated, analyzer-accepted `.cqa` source.
+    loaded_src: String,
+    /// Database rebuilt from `loaded_src` after each successful `LOAD`.
+    db: Database,
+    /// `sum` statements by name, for `SUM`.
+    sums: HashMap<String, SumStmt>,
+    /// Prepared queries by name.
+    prepared: HashMap<String, Prepared>,
+}
+
+impl Session {
+    /// The session database (primarily for tests).
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+}
+
+/// The shared engine: configuration, prepared-query cache, counters.
+pub struct Engine {
+    /// Service configuration.
+    pub cfg: EngineConfig,
+    /// The shared prepared-query cache.
+    pub cache: QueryCache,
+    /// Service counters and latency histograms.
+    pub stats: EngineStats,
+    started: Instant,
+}
+
+/// How an `EXEC`/`VOLUME` answer was produced.
+enum Answer {
+    Exact(Rat),
+    Approx {
+        estimate: Rat,
+        eps: f64,
+        delta: f64,
+        samples: usize,
+        reason: &'static str,
+    },
+}
+
+impl Engine {
+    /// A fresh engine with the given configuration.
+    pub fn new(cfg: EngineConfig) -> Engine {
+        Engine {
+            cache: QueryCache::new(cfg.cache_bytes),
+            stats: EngineStats::default(),
+            cfg,
+            started: Instant::now(),
+        }
+    }
+
+    /// Opens a session (counted in `STATS`), pre-`LOAD`ing the configured
+    /// preamble program when one is set.
+    pub fn open_session(&self) -> Session {
+        self.stats.sessions.fetch_add(1, Ordering::Relaxed);
+        let mut session = Session::default();
+        if let Some(src) = &self.cfg.preload {
+            let r = self.load(&mut session, src);
+            debug_assert!(r.is_ok(), "preload must be validated at startup: {r:?}");
+        }
+        session
+    }
+
+    /// A fresh per-request budget from the configured caps.
+    pub fn request_budget(&self) -> EvalBudget {
+        let mut b = EvalBudget::unlimited();
+        if let Some(t) = self.cfg.timeout {
+            b = b.with_deadline(t);
+        }
+        if let Some(n) = self.cfg.max_steps {
+            b = b.with_max_steps(n);
+        }
+        b
+    }
+
+    /// Executes one command against a session, recording latency,
+    /// in-flight and command counters. `CLOSE`/`SHUTDOWN` only produce
+    /// their acknowledgement here; the connection/listener layer acts on
+    /// them.
+    pub fn dispatch(&self, session: &mut Session, cmd: Command) -> Response {
+        let kind = cmd.kind();
+        self.stats.commands.fetch_add(1, Ordering::Relaxed);
+        self.stats.in_flight.fetch_add(1, Ordering::Relaxed);
+        let t0 = Instant::now();
+        let resp = match cmd {
+            Command::Load { program: None } => {
+                Response::err("proto", "LOAD body missing (connection layer bug)")
+            }
+            Command::Load { program: Some(src) } => self.load(session, &src),
+            Command::Prepare { name, query } => self.prepare(session, &name, &query),
+            Command::Exec { name, eps, delta } => self.exec(session, &name, eps, delta),
+            Command::Volume { query } => self.volume(session, &query),
+            Command::Sum { name } => self.sum(session, &name),
+            Command::Stats => self.render_stats(),
+            Command::Close => Response::ok("CLOSE goodbye"),
+            Command::Shutdown => Response::ok("SHUTDOWN stopping"),
+        };
+        let us = t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        self.stats.latency[kind.index()].record(us);
+        self.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
+        resp
+    }
+
+    /// `LOAD`: append the program text to the session source, run the full
+    /// static-analysis gate, and only on a clean report rebuild the
+    /// session database. A rejected `LOAD` leaves the session unchanged.
+    pub fn load(&self, session: &mut Session, src: &str) -> Response {
+        let mut candidate = session.loaded_src.clone();
+        candidate.push_str(src);
+        if !candidate.ends_with('\n') {
+            candidate.push('\n');
+        }
+        let cfg = AnalyzerConfig::default();
+        let (program, analysis) = analyze_source(&candidate, &cfg);
+        if analysis.has_errors() {
+            self.stats.lint_rejected.fetch_add(1, Ordering::Relaxed);
+            return Response::err(
+                "lint",
+                format!(
+                    "{} error(s), {} warning(s); session unchanged",
+                    analysis.error_count(),
+                    analysis.warning_count()
+                ),
+            )
+            .with_body(&analysis.render(&candidate, "LOAD"));
+        }
+        let db = match program.to_database() {
+            Ok(db) => db,
+            Err(e) => return Response::err("load", e),
+        };
+        let mut rels = 0usize;
+        let mut queries = 0usize;
+        session.sums.clear();
+        for stmt in &program.statements {
+            match stmt {
+                Statement::Rel(_) => rels += 1,
+                Statement::Query(_) => queries += 1,
+                Statement::Sum(s) => {
+                    session.sums.insert(s.name.clone(), s.clone());
+                }
+            }
+        }
+        let sums = session.sums.len();
+        session.db = db;
+        session.loaded_src = candidate;
+        Response::ok(format!(
+            "LOAD statements={} rels={rels} queries={queries} sums={sums} warnings={}",
+            program.statements.len(),
+            analysis.warning_count()
+        ))
+    }
+
+    /// `PREPARE`: validate the formula through the same analyzer gate as a
+    /// `query` statement (scope, schema, fragment), and store it under the
+    /// name. The output columns are the free variables in interning order.
+    pub fn prepare(&self, session: &mut Session, name: &str, query: &str) -> Response {
+        // Probe-parse against a clone so a rejected PREPARE cannot pollute
+        // the session's variable interning.
+        let mut probe = session.db.vars().clone();
+        let f = match parse_formula_with(query, &mut probe) {
+            Ok(f) => f,
+            Err(e) => return Response::err("parse", e.to_string()),
+        };
+        // Name-sorted parameter order: session-independent, so the cache
+        // key (positional over params) is shared across sessions that
+        // interned the variables in different orders.
+        let mut params: Vec<String> = f.free_vars().into_iter().map(|v| probe.name(v)).collect();
+        params.sort();
+        // Run the full static gate on a synthetic `query` statement
+        // appended to the accepted session source.
+        let mut candidate = session.loaded_src.clone();
+        candidate.push_str(&format!(
+            "query __prep_{name}({}) := {query}\n",
+            params.join(", ")
+        ));
+        let (_, analysis) = analyze_source(&candidate, &AnalyzerConfig::default());
+        if analysis.has_errors() {
+            self.stats.lint_rejected.fetch_add(1, Ordering::Relaxed);
+            return Response::err(
+                "lint",
+                format!("{} error(s); not prepared", analysis.error_count()),
+            )
+            .with_body(&analysis.render(&candidate, "PREPARE"));
+        }
+        let fragment = analysis
+            .reports
+            .last()
+            .map(|r| r.fragment.fragment_name())
+            .unwrap_or("FO");
+        session.prepared.insert(
+            name.to_string(),
+            Prepared {
+                src: query.to_string(),
+                params: params.clone(),
+            },
+        );
+        Response::ok(format!(
+            "PREPARE {name} params={} fragment={fragment}",
+            if params.is_empty() {
+                "-".to_string()
+            } else {
+                params.join(",")
+            }
+        ))
+    }
+
+    /// `EXEC`: run a prepared query as a `VOL_I` request (volume of the
+    /// defined region within the unit box, the paper's §2 operator),
+    /// through the shared QE cache.
+    pub fn exec(
+        &self,
+        session: &mut Session,
+        name: &str,
+        eps: Option<f64>,
+        delta: Option<f64>,
+    ) -> Response {
+        let Some(prep) = session.prepared.get(name).cloned() else {
+            return Response::err("exec", format!("no prepared query `{name}` (use PREPARE)"));
+        };
+        let f = match parse_formula_with(&prep.src, session.db.vars_mut()) {
+            Ok(f) => f,
+            Err(e) => return Response::err("parse", e.to_string()),
+        };
+        let vars: Vec<Var> = prep
+            .params
+            .iter()
+            .map(|p| session.db.vars_mut().intern(p))
+            .collect();
+        let eps = eps.unwrap_or(self.cfg.default_eps);
+        let delta = delta.unwrap_or(self.cfg.default_delta);
+        self.answer(session, &f, &vars, eps, delta, "EXEC", name)
+    }
+
+    /// `VOLUME`: one-shot `VOL_I` of an ad-hoc formula (still cached — two
+    /// sessions asking for the volume of the same region share the QE).
+    pub fn volume(&self, session: &mut Session, query: &str) -> Response {
+        let f = match parse_formula_with(query, session.db.vars_mut()) {
+            Ok(f) => f,
+            Err(e) => return Response::err("parse", e.to_string()),
+        };
+        let mut vars: Vec<Var> = f.free_vars().into_iter().collect();
+        vars.sort_by_key(|v| session.db.vars().name(*v));
+        let (eps, delta) = (self.cfg.default_eps, self.cfg.default_delta);
+        self.answer(session, &f, &vars, eps, delta, "VOLUME", "-")
+    }
+
+    /// `SUM`: evaluate a loaded Σ-term under the request budget.
+    pub fn sum(&self, session: &mut Session, name: &str) -> Response {
+        let Some(stmt) = session.sums.get(name) else {
+            return Response::err("sum", format!("no loaded sum statement `{name}`"));
+        };
+        let budget = self.request_budget();
+        match stmt.to_sum_term().eval_with_budget(&session.db, &budget) {
+            Ok(v) => Response::ok(format!("SUM {name} value={v} steps={}", budget.steps())),
+            Err(AggError::Budget(b)) => {
+                self.stats.over_budget.fetch_add(1, Ordering::Relaxed);
+                Response::err("budget", b.to_string())
+            }
+            Err(e) => Response::err("sum", e.to_string()),
+        }
+    }
+
+    /// The shared `EXEC`/`VOLUME` evaluation path. See the module docs of
+    /// [`crate`] for the exact→approximate policy.
+    #[allow(clippy::too_many_arguments)]
+    fn answer(
+        &self,
+        session: &mut Session,
+        f: &Formula,
+        vars: &[Var],
+        eps: f64,
+        delta: f64,
+        verb: &str,
+        name: &str,
+    ) -> Response {
+        if !(eps > 0.0 && eps < 1.0 && delta > 0.0 && delta < 1.0) {
+            return Response::err(
+                "exec",
+                format!("eps/delta must lie in (0,1), got {eps}/{delta}"),
+            );
+        }
+        let budget = self.request_budget();
+        let expanded = match session.db.expand(f) {
+            Ok(x) => x,
+            Err(e) => return Response::err("exec", e.to_string()),
+        };
+        let simplified = cqa_qe::simplify(&expanded);
+        // Positional over the name-sorted params: two sessions that
+        // interned the same query's variables in different orders still
+        // share one cache slot.
+        let key = format!(
+            "d{}|{}",
+            vars.len(),
+            simplified.canonical_key_for_params(vars)
+        );
+        let (entry, cache_tag) = match self.cache.get(&key) {
+            Some(e) => (Some(e), "hit"),
+            None => match cqa_qe::eliminate_with_budget(&simplified, &budget) {
+                Ok(qf) => {
+                    let qf = cqa_qe::simplify(&qf);
+                    let kernel = match CompiledMatrix::compile(&qf, &SlotMap::from_vars(vars)) {
+                        Ok(k) => k,
+                        Err(e) => {
+                            return Response::err(
+                                "exec",
+                                format!("eliminated matrix is not compilable: {e:?}"),
+                            )
+                        }
+                    };
+                    let class = qf.class();
+                    let fragment = match class {
+                        ConstraintClass::Polynomial => "FO+POLY",
+                        _ => "FO+LIN",
+                    };
+                    let bytes = key.len() + formula_bytes(&qf) + 64 * kernel.atom_count();
+                    let entry = self.cache.insert(
+                        key.clone(),
+                        CacheEntry {
+                            qf,
+                            qf_vars: vars.to_vec(),
+                            kernel,
+                            class,
+                            fragment,
+                            bytes,
+                        },
+                    );
+                    (Some(entry), "miss")
+                }
+                Err(QeError::Budget(_)) => (None, "miss"),
+                Err(e) => return Response::err("qe", e.to_string()),
+            },
+        };
+        let answer = match &entry {
+            Some(entry) => {
+                if entry.class == ConstraintClass::Polynomial {
+                    // Semi-algebraic output: the exact triangulating
+                    // integrator does not apply; degrade to MC over the
+                    // cached kernel.
+                    self.mc_over_kernel(entry, vars.len(), eps, delta, "nonlinear")
+                } else {
+                    match cqa_geom::volume_in_unit_box_with_budget(
+                        &entry.qf,
+                        &entry.qf_vars,
+                        &budget,
+                    ) {
+                        Ok(v) => Ok(Answer::Exact(v)),
+                        Err(VolumeError::Budget(_)) => {
+                            self.mc_over_kernel(entry, vars.len(), eps, delta, "budget")
+                        }
+                        Err(e) => return Response::err("volume", e.to_string()),
+                    }
+                }
+            }
+            // QE itself blew the budget: no quantifier-free form exists to
+            // integrate or sample, so decide membership point by point
+            // (each ground instance is vastly cheaper than parametric QE).
+            None => self.mc_pointwise(&simplified, vars, eps, delta, &budget),
+        };
+        match answer {
+            Ok(Answer::Exact(v)) => Response::ok(format!(
+                "{verb} {name} status=exact value={v} cache={cache_tag} steps={}",
+                budget.steps()
+            )),
+            Ok(Answer::Approx {
+                estimate,
+                eps,
+                delta,
+                samples,
+                reason,
+            }) => {
+                self.stats.degraded.fetch_add(1, Ordering::Relaxed);
+                Response::ok(format!(
+                    "{verb} {name} status=approx value={estimate} eps={eps} delta={delta} \
+                     samples={samples} reason={reason} cache={cache_tag}"
+                ))
+            }
+            Err(resp) => resp,
+        }
+    }
+
+    /// Hoeffding sample size for an additive (ε, δ) guarantee on `VOL_I`.
+    fn sample_count(eps: f64, delta: f64) -> usize {
+        (((2.0 / delta).ln() / (2.0 * eps * eps)).ceil() as usize).max(1) + 1
+    }
+
+    /// Deterministic Monte Carlo `VOL_I` over a cached compiled kernel.
+    fn mc_over_kernel(
+        &self,
+        entry: &Arc<CacheEntry>,
+        dim: usize,
+        eps: f64,
+        delta: f64,
+        reason: &'static str,
+    ) -> Result<Answer, Response> {
+        let samples = Self::sample_count(eps, delta);
+        let mut w = Witness::new(MC_SEED);
+        let mut floats = vec![0.0f64; dim];
+        let errs = vec![0.0f64; dim];
+        let mut hits = 0usize;
+        for _ in 0..samples {
+            w.uniform_unit_point_f64(&mut floats);
+            let exact = |s: usize| Rat::from_f64(floats[s]).expect("finite sample coordinate");
+            if entry.kernel.eval_f64(&floats, &errs, &exact) {
+                hits += 1;
+            }
+        }
+        Ok(Answer::Approx {
+            estimate: Rat::new((hits as i64).into(), (samples as i64).into()),
+            eps,
+            delta,
+            samples,
+            reason: match reason {
+                "budget" => "volume-budget",
+                r => r,
+            },
+        })
+    }
+
+    /// Last-resort degraded path when parametric QE itself exceeded the
+    /// budget: decide membership of each sample point by substituting it
+    /// and deciding the resulting ground sentence, all under the same
+    /// request budget. If even the ground decisions blow the budget the
+    /// request fails with `ERR budget` (counted in `over_budget`).
+    fn mc_pointwise(
+        &self,
+        f: &Formula,
+        vars: &[Var],
+        eps: f64,
+        delta: f64,
+        budget: &EvalBudget,
+    ) -> Result<Answer, Response> {
+        let samples = Self::sample_count(eps, delta);
+        let mut w = Witness::new(MC_SEED);
+        let mut hits = 0usize;
+        for _ in 0..samples {
+            let point = w.uniform_unit_point(vars.len());
+            let mut ground = f.clone();
+            for (v, c) in vars.iter().zip(&point) {
+                ground = ground.subst_rat(*v, c);
+            }
+            match cqa_qe::decide_sentence_with_budget(&ground, budget) {
+                Ok(true) => hits += 1,
+                Ok(false) => {}
+                Err(QeError::Budget(b)) => {
+                    self.stats.over_budget.fetch_add(1, Ordering::Relaxed);
+                    return Err(Response::err("budget", b.to_string()));
+                }
+                Err(e) => return Err(Response::err("qe", e.to_string())),
+            }
+        }
+        Ok(Answer::Approx {
+            estimate: Rat::new((hits as i64).into(), (samples as i64).into()),
+            eps,
+            delta,
+            samples,
+            reason: "qe-budget",
+        })
+    }
+
+    /// `STATS`: cache counters, hit rate, per-command latency histograms,
+    /// in-flight and rejection counts.
+    pub fn render_stats(&self) -> Response {
+        let cache = self.cache.snapshot();
+        let s = &self.stats;
+        let mut resp = Response::ok(format!(
+            "STATS uptime_us={}",
+            self.started.elapsed().as_micros()
+        ));
+        resp.body.push(format!(
+            "sessions={} commands={} in_flight={}",
+            EngineStats::get(&s.sessions),
+            EngineStats::get(&s.commands),
+            EngineStats::get(&s.in_flight),
+        ));
+        resp.body.push(format!(
+            "cache entries={} bytes={} budget_bytes={} hits={} misses={} hit_rate={:.3} evictions={}",
+            cache.entries,
+            cache.bytes,
+            cache.byte_budget,
+            cache.hits,
+            cache.misses,
+            cache.hit_rate(),
+            cache.evictions,
+        ));
+        resp.body.push(format!(
+            "over_budget={} lint_rejected={} rejected_conns={} degraded={}",
+            EngineStats::get(&s.over_budget),
+            EngineStats::get(&s.lint_rejected),
+            EngineStats::get(&s.rejected_conns),
+            EngineStats::get(&s.degraded),
+        ));
+        for kind in [
+            crate::protocol::CommandKind::Load,
+            crate::protocol::CommandKind::Prepare,
+            crate::protocol::CommandKind::Exec,
+            crate::protocol::CommandKind::Volume,
+            crate::protocol::CommandKind::Sum,
+            crate::protocol::CommandKind::Stats,
+            crate::protocol::CommandKind::Close,
+            crate::protocol::CommandKind::Shutdown,
+        ] {
+            let h = &s.latency[kind.index()];
+            if h.count() > 0 {
+                resp.body
+                    .push(format!("latency {} {}", kind.name(), h.render()));
+            }
+        }
+        resp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> Engine {
+        Engine::new(EngineConfig::default())
+    }
+
+    const PROGRAM: &str = "\
+rel S(y) := (0 <= y & y <= 0.5) | (0.75 <= y & y <= 2)
+sum EndpointSum(w) := true | END[y. S(y)] ; xout . xout = w
+";
+
+    #[test]
+    fn load_prepare_exec_roundtrip() {
+        let e = engine();
+        let mut s = e.open_session();
+        let r = e.dispatch(
+            &mut s,
+            Command::Load {
+                program: Some(PROGRAM.into()),
+            },
+        );
+        assert!(r.is_ok(), "{r:?}");
+        assert!(r.header.contains("rels=1"), "{r:?}");
+        let r = e.prepare(&mut s, "band", "S(x) & x <= 1");
+        assert!(r.is_ok(), "{r:?}");
+        // VOL_I of S ∩ [0,1] = [0, 1/2] ∪ [3/4, 1] → 3/4.
+        let r = e.exec(&mut s, "band", None, None);
+        assert!(r.is_ok(), "{r:?}");
+        assert!(r.header.contains("status=exact value=3/4"), "{r:?}");
+        assert!(r.header.contains("cache=miss"), "{r:?}");
+        // Second EXEC hits the cache, same answer.
+        let r = e.exec(&mut s, "band", None, None);
+        assert!(r.header.contains("status=exact value=3/4"), "{r:?}");
+        assert!(r.header.contains("cache=hit"), "{r:?}");
+        assert_eq!(e.cache.snapshot().hits, 1);
+    }
+
+    #[test]
+    fn load_gate_rejects_and_preserves_session() {
+        let e = engine();
+        let mut s = e.open_session();
+        assert!(e.load(&mut s, PROGRAM).is_ok());
+        let bad = e.load(&mut s, "query Bad(x) := x = zz + 1\n");
+        assert!(!bad.is_ok(), "{bad:?}");
+        assert!(bad.header.starts_with("ERR lint"), "{bad:?}");
+        assert!(!bad.body.is_empty(), "diagnostics travel in the body");
+        // The session still works with its pre-rejection state.
+        let r = e.sum(&mut s, "EndpointSum");
+        assert!(r.header.contains("value=13/4"), "{r:?}");
+        assert_eq!(EngineStats::get(&e.stats.lint_rejected), 1);
+    }
+
+    #[test]
+    fn prepare_gate_rejects_unknown_relation() {
+        let e = engine();
+        let mut s = e.open_session();
+        let r = e.prepare(&mut s, "bad", "Missing(x) & x > 0");
+        assert!(r.header.starts_with("ERR lint"), "{r:?}");
+    }
+
+    #[test]
+    fn nonlinear_query_degrades_with_tag() {
+        let e = engine();
+        let mut s = e.open_session();
+        let r = e.prepare(&mut s, "disk", "x*x + y*y <= 1");
+        assert!(r.is_ok(), "{r:?}");
+        let r = e.exec(&mut s, "disk", Some(0.05), None);
+        assert!(r.is_ok(), "{r:?}");
+        assert!(r.header.contains("status=approx"), "{r:?}");
+        assert!(r.header.contains("eps=0.05"), "{r:?}");
+        assert!(r.header.contains("reason=nonlinear"), "{r:?}");
+        // Quarter disk: VOL_I ≈ π/4 ≈ 0.785; ε = 0.05 ⇒ the estimate is
+        // inside [0.70, 0.87] unless we hit the δ failure slice.
+        let val = r
+            .header
+            .split("value=")
+            .nth(1)
+            .unwrap()
+            .split_whitespace()
+            .next()
+            .unwrap();
+        let (n, d) = val.split_once('/').expect("rational");
+        let x: f64 = n.parse::<f64>().unwrap() / d.parse::<f64>().unwrap();
+        assert!((0.70..=0.87).contains(&x), "VOL_I estimate {x} off");
+        assert_eq!(EngineStats::get(&e.stats.degraded), 1);
+    }
+
+    #[test]
+    fn sentence_queries_use_counting_measure() {
+        let e = engine();
+        let mut s = e.open_session();
+        assert!(e.prepare(&mut s, "yes", "exists x. x > 3").is_ok());
+        let r = e.exec(&mut s, "yes", None, None);
+        assert!(r.header.contains("status=exact value=1"), "{r:?}");
+    }
+
+    #[test]
+    fn stats_report_covers_cache_and_latency() {
+        let e = engine();
+        let mut s = e.open_session();
+        e.prepare(&mut s, "q", "0 <= x & x <= 1");
+        e.dispatch(
+            &mut s,
+            Command::Exec {
+                name: "q".into(),
+                eps: None,
+                delta: None,
+            },
+        );
+        let r = e.render_stats();
+        assert!(r.is_ok());
+        let body = r.body.join("\n");
+        assert!(body.contains("cache entries=1"), "{body}");
+        assert!(body.contains("latency EXEC"), "{body}");
+    }
+}

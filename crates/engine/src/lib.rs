@@ -1,0 +1,50 @@
+//! `cqa-engine` — a concurrent constraint-query service.
+//!
+//! Everything below `cqa-engine` is a one-shot library call: parse a
+//! formula, eliminate its quantifiers, integrate. This crate turns the
+//! workspace into a *servable system*, the shape Giusti–Heintz–Kuijpers
+//! give geometric-query evaluation: quantifier elimination is the
+//! dominant, **reusable** artifact of constraint-query evaluation, so a
+//! long-lived process that caches QE output across requests amortizes the
+//! doubly-exponential part of the work the way a prepared-statement cache
+//! amortizes SQL planning.
+//!
+//! The pieces:
+//!
+//! * [`Engine`] — the shared state: a concurrent prepared-query cache
+//!   ([`QueryCache`], keyed by [`cqa_logic::Formula::canonical_key`] of
+//!   the relation-expanded, simplified formula) memoizing QE output,
+//!   compiled [`cqa_logic::CompiledMatrix`] kernels, and analyzer
+//!   verdicts, with LRU eviction under a byte budget; plus service
+//!   counters and latency histograms ([`EngineStats`]).
+//! * [`Session`] — per-connection state: a [`cqa_core::Database`] built
+//!   from `LOAD`ed `.cqa` programs, plus named prepared queries.
+//! * [`Command`]/[`Response`] — a hand-rolled, newline-delimited text
+//!   protocol (`LOAD`, `PREPARE`, `EXEC`, `VOLUME`, `SUM`, `STATS`,
+//!   `CLOSE`, `SHUTDOWN`); std-only, no serialization dependencies.
+//! * [`serve`] — a `std::net::TcpListener` accept loop feeding a
+//!   fixed-size worker-thread pool; connections beyond the pool size are
+//!   rejected immediately (`ERR busy`), and every request runs under a
+//!   per-request [`cqa_logic::budget::EvalBudget`] so a slow query cannot
+//!   wedge a worker forever.
+//!
+//! Answers are tagged `status=exact` or `status=approx eps=… delta=…`:
+//! when the exact path is infeasible (budget trip, or a semi-algebraic
+//! region the exact integrator cannot triangulate) the engine degrades to
+//! the deterministic Monte Carlo estimator over the cached compiled
+//! kernel and says so, following Dreier–Rossmanith's view of (ε, δ)
+//! answers as first-class responses.
+
+#![forbid(unsafe_code)]
+
+mod cache;
+mod engine;
+mod protocol;
+mod server;
+mod stats;
+
+pub use cache::{CacheEntry, CacheSnapshot, QueryCache};
+pub use engine::{Engine, EngineConfig, Session, MC_SEED};
+pub use protocol::{parse_command, read_response, Command, CommandKind, Response};
+pub use server::{serve, spawn_server, ServerHandle};
+pub use stats::{EngineStats, Histogram, LATENCY_BUCKETS_US};

@@ -1,0 +1,429 @@
+//! The wire protocol: newline-delimited text, hand-rolled, std-only.
+//!
+//! ### Grammar
+//!
+//! ```text
+//! request   := command-line NL [body]
+//! command   := "LOAD" [SP inline-stmt]          ; no inline ⇒ body follows
+//!            | "PREPARE" SP name SP formula
+//!            | "EXEC" SP name [SP eps [SP delta]]
+//!            | "VOLUME" SP formula
+//!            | "SUM" SP name
+//!            | "STATS" | "CLOSE" | "SHUTDOWN"
+//! body      := { line NL } "." NL               ; dot-stuffed like SMTP
+//!
+//! response  := header NL { payload NL } "." NL
+//! header    := "OK" [SP info] | "ERR" SP code [SP info]
+//! ```
+//!
+//! A body (or payload) line that itself starts with `.` is escaped by
+//! doubling the dot; a lone `.` terminates the block. Responses always end
+//! with the `.` terminator so clients can stream without knowing payload
+//! sizes in advance.
+
+use std::io::{self, BufRead, Write};
+
+/// The command kinds, used to index per-command latency histograms.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CommandKind {
+    /// `LOAD` — merge a `.cqa` program into the session database.
+    Load,
+    /// `PREPARE` — name a query for repeated execution.
+    Prepare,
+    /// `EXEC` — run a prepared query (cached QE).
+    Exec,
+    /// `VOLUME` — one-shot volume of an ad-hoc formula.
+    Volume,
+    /// `SUM` — evaluate a loaded Σ-term.
+    Sum,
+    /// `STATS` — service and cache counters.
+    Stats,
+    /// `CLOSE` — end the session.
+    Close,
+    /// `SHUTDOWN` — stop the whole server (drains workers).
+    Shutdown,
+}
+
+/// Number of command kinds (histogram array size).
+pub const N_COMMAND_KINDS: usize = 8;
+
+impl CommandKind {
+    /// Stable index into the latency histogram array.
+    pub fn index(self) -> usize {
+        match self {
+            CommandKind::Load => 0,
+            CommandKind::Prepare => 1,
+            CommandKind::Exec => 2,
+            CommandKind::Volume => 3,
+            CommandKind::Sum => 4,
+            CommandKind::Stats => 5,
+            CommandKind::Close => 6,
+            CommandKind::Shutdown => 7,
+        }
+    }
+
+    /// Wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CommandKind::Load => "LOAD",
+            CommandKind::Prepare => "PREPARE",
+            CommandKind::Exec => "EXEC",
+            CommandKind::Volume => "VOLUME",
+            CommandKind::Sum => "SUM",
+            CommandKind::Stats => "STATS",
+            CommandKind::Close => "CLOSE",
+            CommandKind::Shutdown => "SHUTDOWN",
+        }
+    }
+}
+
+/// A parsed request. `Load.program` is `None` when a dot-terminated body
+/// follows the command line (the connection layer reads it and fills the
+/// program in before dispatch).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// `LOAD [inline-stmt]`.
+    Load {
+        /// The program text; `None` until the body has been read.
+        program: Option<String>,
+    },
+    /// `PREPARE name formula`.
+    Prepare {
+        /// Prepared-query name.
+        name: String,
+        /// Formula source text.
+        query: String,
+    },
+    /// `EXEC name [eps [delta]]`.
+    Exec {
+        /// Prepared-query name.
+        name: String,
+        /// Override for the degraded-path ε.
+        eps: Option<f64>,
+        /// Override for the degraded-path δ.
+        delta: Option<f64>,
+    },
+    /// `VOLUME formula`.
+    Volume {
+        /// Formula source text.
+        query: String,
+    },
+    /// `SUM name`.
+    Sum {
+        /// Name of a loaded `sum` statement.
+        name: String,
+    },
+    /// `STATS`.
+    Stats,
+    /// `CLOSE`.
+    Close,
+    /// `SHUTDOWN`.
+    Shutdown,
+}
+
+impl Command {
+    /// The command's kind (histogram index / wire name).
+    pub fn kind(&self) -> CommandKind {
+        match self {
+            Command::Load { .. } => CommandKind::Load,
+            Command::Prepare { .. } => CommandKind::Prepare,
+            Command::Exec { .. } => CommandKind::Exec,
+            Command::Volume { .. } => CommandKind::Volume,
+            Command::Sum { .. } => CommandKind::Sum,
+            Command::Stats => CommandKind::Stats,
+            Command::Close => CommandKind::Close,
+            Command::Shutdown => CommandKind::Shutdown,
+        }
+    }
+}
+
+fn ident_ok(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().enumerate().all(|(i, c)| {
+            c == '_'
+                || if i == 0 {
+                    c.is_ascii_alphabetic()
+                } else {
+                    c.is_ascii_alphanumeric()
+                }
+        })
+}
+
+/// Parses one request line. Errors are human-readable and become
+/// `ERR proto …` responses.
+pub fn parse_command(line: &str) -> Result<Command, String> {
+    let line = line.trim();
+    let (verb, rest) = match line.find(char::is_whitespace) {
+        Some(i) => (&line[..i], line[i..].trim_start()),
+        None => (line, ""),
+    };
+    match verb.to_ascii_uppercase().as_str() {
+        "LOAD" => Ok(Command::Load {
+            program: if rest.is_empty() {
+                None
+            } else {
+                Some(rest.to_string())
+            },
+        }),
+        "PREPARE" => {
+            let (name, query) = match rest.find(char::is_whitespace) {
+                Some(i) => (&rest[..i], rest[i..].trim_start()),
+                None => (rest, ""),
+            };
+            if !ident_ok(name) {
+                return Err(format!("PREPARE needs an identifier name, got `{name}`"));
+            }
+            if query.is_empty() {
+                return Err("PREPARE needs a formula after the name".into());
+            }
+            Ok(Command::Prepare {
+                name: name.to_string(),
+                query: query.to_string(),
+            })
+        }
+        "EXEC" => {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().unwrap_or("");
+            if !ident_ok(name) {
+                return Err(format!("EXEC needs an identifier name, got `{name}`"));
+            }
+            let parse_f64 = |tok: Option<&str>, what: &str| -> Result<Option<f64>, String> {
+                match tok {
+                    None => Ok(None),
+                    Some(t) => t
+                        .parse::<f64>()
+                        .map(Some)
+                        .map_err(|_| format!("EXEC {what} must be numeric, got `{t}`")),
+                }
+            };
+            let eps = parse_f64(parts.next(), "eps")?;
+            let delta = parse_f64(parts.next(), "delta")?;
+            if parts.next().is_some() {
+                return Err("EXEC takes at most `name eps delta`".into());
+            }
+            Ok(Command::Exec {
+                name: name.to_string(),
+                eps,
+                delta,
+            })
+        }
+        "VOLUME" => {
+            if rest.is_empty() {
+                return Err("VOLUME needs a formula".into());
+            }
+            Ok(Command::Volume {
+                query: rest.to_string(),
+            })
+        }
+        "SUM" => {
+            if !ident_ok(rest) {
+                return Err(format!("SUM needs an identifier name, got `{rest}`"));
+            }
+            Ok(Command::Sum {
+                name: rest.to_string(),
+            })
+        }
+        "STATS" => Ok(Command::Stats),
+        "CLOSE" => Ok(Command::Close),
+        "SHUTDOWN" => Ok(Command::Shutdown),
+        other => Err(format!(
+            "unknown command `{other}` (expected LOAD, PREPARE, EXEC, VOLUME, SUM, STATS, CLOSE or SHUTDOWN)"
+        )),
+    }
+}
+
+/// A response: one header line plus zero or more payload lines, written
+/// with the `.` terminator and dot-stuffing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Response {
+    /// `OK …` or `ERR code …`.
+    pub header: String,
+    /// Payload lines (diagnostics, stats, transcripts).
+    pub body: Vec<String>,
+}
+
+impl Response {
+    /// An `OK` response with extra header info.
+    pub fn ok(info: impl Into<String>) -> Response {
+        let info = info.into();
+        Response {
+            header: if info.is_empty() {
+                "OK".to_string()
+            } else {
+                format!("OK {info}")
+            },
+            body: Vec::new(),
+        }
+    }
+
+    /// An `ERR <code> <msg>` response.
+    pub fn err(code: &str, msg: impl Into<String>) -> Response {
+        Response {
+            header: format!("ERR {code} {}", msg.into()),
+            body: Vec::new(),
+        }
+    }
+
+    /// Appends payload lines (splitting on embedded newlines).
+    #[must_use]
+    pub fn with_body(mut self, text: &str) -> Response {
+        self.body.extend(text.lines().map(|l| l.to_string()));
+        self
+    }
+
+    /// `true` iff the header starts with `OK`.
+    pub fn is_ok(&self) -> bool {
+        self.header.starts_with("OK")
+    }
+
+    /// Serializes to the wire: header, dot-stuffed payload, `.` line.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        writeln!(w, "{}", self.header)?;
+        for line in &self.body {
+            if line.starts_with('.') {
+                writeln!(w, ".{line}")?;
+            } else {
+                writeln!(w, "{line}")?;
+            }
+        }
+        writeln!(w, ".")?;
+        w.flush()
+    }
+}
+
+/// Reads one dot-terminated response from `r` (client side): returns the
+/// header line and un-stuffed payload lines. `Ok(None)` on clean EOF
+/// before a header.
+pub fn read_response(r: &mut impl BufRead) -> io::Result<Option<Response>> {
+    let mut header = String::new();
+    if r.read_line(&mut header)? == 0 {
+        return Ok(None);
+    }
+    let header = header.trim_end_matches(['\n', '\r']).to_string();
+    let mut body = Vec::new();
+    loop {
+        let mut line = String::new();
+        if r.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-response",
+            ));
+        }
+        let line = line.trim_end_matches(['\n', '\r']);
+        if line == "." {
+            break;
+        }
+        let unstuffed = line.strip_prefix('.').filter(|_| line.starts_with(".."));
+        match unstuffed {
+            Some(s) => body.push(s.to_string()),
+            None => body.push(line.to_string()),
+        }
+    }
+    Ok(Some(Response { header, body }))
+}
+
+/// Reads a dot-terminated request body (server side, after a bare `LOAD`),
+/// un-stuffing leading dots.
+pub(crate) fn read_body(r: &mut impl BufRead) -> io::Result<String> {
+    let mut out = String::new();
+    loop {
+        let mut line = String::new();
+        if r.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-body",
+            ));
+        }
+        let line = line.trim_end_matches(['\n', '\r']);
+        if line == "." {
+            break;
+        }
+        let line = if line.starts_with("..") {
+            &line[1..]
+        } else {
+            line
+        };
+        out.push_str(line);
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn parses_every_command() {
+        assert_eq!(
+            parse_command("LOAD").unwrap(),
+            Command::Load { program: None }
+        );
+        assert!(matches!(
+            parse_command("LOAD rel S(y) := y > 0").unwrap(),
+            Command::Load { program: Some(p) } if p.starts_with("rel")
+        ));
+        assert!(matches!(
+            parse_command("PREPARE q exists y. x < y").unwrap(),
+            Command::Prepare { name, .. } if name == "q"
+        ));
+        assert_eq!(
+            parse_command("EXEC q 0.1 0.01").unwrap(),
+            Command::Exec {
+                name: "q".into(),
+                eps: Some(0.1),
+                delta: Some(0.01)
+            }
+        );
+        assert!(matches!(
+            parse_command("volume x < 1").unwrap(),
+            Command::Volume { .. }
+        ));
+        assert!(matches!(
+            parse_command("SUM t").unwrap(),
+            Command::Sum { .. }
+        ));
+        assert_eq!(parse_command("STATS").unwrap(), Command::Stats);
+        assert_eq!(parse_command("CLOSE").unwrap(), Command::Close);
+        assert_eq!(parse_command("SHUTDOWN").unwrap(), Command::Shutdown);
+    }
+
+    #[test]
+    fn rejects_malformed_commands() {
+        assert!(parse_command("FROB").is_err());
+        assert!(parse_command("PREPARE 1bad x < 1").is_err());
+        assert!(parse_command("PREPARE q").is_err());
+        assert!(parse_command("EXEC q nope").is_err());
+        assert!(parse_command("EXEC q 0.1 0.1 0.1").is_err());
+        assert!(parse_command("SUM").is_err());
+    }
+
+    #[test]
+    fn response_roundtrip_with_dot_stuffing() {
+        let resp = Response::ok("EXEC q status=exact value=1/2")
+            .with_body("line one\n.starts with dot\nline three");
+        let mut wire = Vec::new();
+        resp.write_to(&mut wire).unwrap();
+        let mut r = BufReader::new(&wire[..]);
+        let back = read_response(&mut r).unwrap().unwrap();
+        assert_eq!(back, resp);
+        assert!(back.is_ok());
+    }
+
+    #[test]
+    fn body_roundtrip() {
+        let wire = b"rel S(y) := y > 0\n..dotline\n.\n";
+        let mut r = BufReader::new(&wire[..]);
+        let body = read_body(&mut r).unwrap();
+        assert_eq!(body, "rel S(y) := y > 0\n.dotline\n");
+    }
+
+    #[test]
+    fn eof_handling() {
+        let mut r = BufReader::new(&b""[..]);
+        assert!(read_response(&mut r).unwrap().is_none());
+        let mut r = BufReader::new(&b"OK\n"[..]);
+        assert!(read_response(&mut r).is_err());
+    }
+}

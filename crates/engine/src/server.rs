@@ -1,0 +1,237 @@
+//! The TCP front end: `std::net` accept loop + fixed-size worker pool.
+//!
+//! Deliberately dependency-free (no async runtime): one listener thread
+//! accepts connections and hands them to `cfg.workers` worker threads over
+//! an `mpsc` channel. Admission control is strict — when every worker is
+//! busy a new connection gets a one-line `ERR busy` and is closed, rather
+//! than queueing unboundedly (counted in `rejected_conns`). `SHUTDOWN`
+//! raises a flag and self-connects to unblock the accept loop; the
+//! listener then drops the channel sender, workers drain and exit, and
+//! every thread is joined — a clean shutdown leaks nothing.
+
+use crate::engine::Engine;
+use crate::protocol::{parse_command, read_body, Command, Response};
+use std::io::{self, BufRead, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+
+/// A handle to a server spawned with [`spawn_server`]: its bound address
+/// and the listener thread to join after `SHUTDOWN`.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    join: Option<JoinHandle<io::Result<()>>>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Waits for the server to stop (a client must send `SHUTDOWN`).
+    pub fn join(mut self) -> io::Result<()> {
+        match self.join.take() {
+            Some(h) => h
+                .join()
+                .map_err(|_| io::Error::other("server thread panicked"))?,
+            None => Ok(()),
+        }
+    }
+}
+
+/// Binds an ephemeral localhost port and runs [`serve`] on a background
+/// thread. Used by tests, the CI smoke test, and `cqa-serve --ephemeral`.
+pub fn spawn_server(engine: Arc<Engine>) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(("127.0.0.1", 0))?;
+    let addr = listener.local_addr()?;
+    let join = thread::spawn(move || serve(engine, listener));
+    Ok(ServerHandle {
+        addr,
+        join: Some(join),
+    })
+}
+
+/// Runs the accept loop until a client sends `SHUTDOWN`. Returns once all
+/// worker threads have drained and joined.
+pub fn serve(engine: Arc<Engine>, listener: TcpListener) -> io::Result<()> {
+    let addr = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let active = Arc::new(AtomicUsize::new(0));
+    let workers = engine.cfg.workers.max(1);
+    let (tx, rx) = mpsc::channel::<TcpStream>();
+    let rx = Arc::new(Mutex::new(rx));
+    let mut pool = Vec::with_capacity(workers);
+    for _ in 0..workers {
+        let rx = Arc::clone(&rx);
+        let engine = Arc::clone(&engine);
+        let shutdown = Arc::clone(&shutdown);
+        let active = Arc::clone(&active);
+        pool.push(thread::spawn(move || loop {
+            let stream = {
+                let guard = rx.lock().expect("worker queue lock");
+                guard.recv()
+            };
+            let Ok(stream) = stream else { break };
+            let _ = handle_connection(&engine, stream, &shutdown, addr);
+            active.fetch_sub(1, Ordering::Release);
+        }));
+    }
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        // Strict admission: claim a worker slot before queueing; if none is
+        // free, tell the client now instead of letting it wait in line.
+        if active.fetch_add(1, Ordering::Acquire) >= workers {
+            active.fetch_sub(1, Ordering::Release);
+            engine.stats.rejected_conns.fetch_add(1, Ordering::Relaxed);
+            let mut w = BufWriter::new(&stream);
+            let _ = Response::err("busy", format!("all {workers} workers busy, try again"))
+                .write_to(&mut w);
+            continue;
+        }
+        if tx.send(stream).is_err() {
+            break;
+        }
+    }
+    drop(tx);
+    for h in pool {
+        let _ = h.join();
+    }
+    Ok(())
+}
+
+/// Serves one connection: a session lives exactly as long as its socket.
+fn handle_connection(
+    engine: &Engine,
+    stream: TcpStream,
+    shutdown: &AtomicBool,
+    listener_addr: SocketAddr,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(engine.cfg.idle_timeout))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut session = engine.open_session();
+    Response::ok("cqa-engine ready").write_to(&mut writer)?;
+    loop {
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            // Idle timeout or torn connection: drop the session.
+            Err(_) => break,
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let cmd = match parse_command(&line) {
+            Ok(cmd) => cmd,
+            Err(e) => {
+                Response::err("proto", e).write_to(&mut writer)?;
+                continue;
+            }
+        };
+        let cmd = match cmd {
+            Command::Load { program: None } => match read_body(&mut reader) {
+                Ok(body) => Command::Load {
+                    program: Some(body),
+                },
+                Err(_) => break,
+            },
+            other => other,
+        };
+        let stop = matches!(cmd, Command::Close | Command::Shutdown);
+        let is_shutdown = matches!(cmd, Command::Shutdown);
+        let resp = engine.dispatch(&mut session, cmd);
+        resp.write_to(&mut writer)?;
+        if is_shutdown {
+            shutdown.store(true, Ordering::Release);
+            // Self-connect to pop the listener out of its blocking accept.
+            let _ = TcpStream::connect(listener_addr);
+        }
+        if stop {
+            break;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use crate::protocol::read_response;
+    use std::io::Write;
+
+    fn send(r: &mut impl BufRead, w: &mut impl Write, line: &str) -> Response {
+        writeln!(w, "{line}").unwrap();
+        w.flush().unwrap();
+        read_response(r).unwrap().expect("response")
+    }
+
+    #[test]
+    fn tcp_roundtrip_and_clean_shutdown() {
+        let engine = Arc::new(Engine::new(EngineConfig {
+            workers: 2,
+            ..EngineConfig::default()
+        }));
+        let handle = spawn_server(Arc::clone(&engine)).unwrap();
+        let stream = TcpStream::connect(handle.addr()).unwrap();
+        let mut r = BufReader::new(stream.try_clone().unwrap());
+        let mut w = BufWriter::new(stream);
+        let greeting = read_response(&mut r).unwrap().unwrap();
+        assert!(greeting.is_ok(), "{greeting:?}");
+
+        // LOAD with a dot-terminated body.
+        writeln!(w, "LOAD").unwrap();
+        writeln!(w, "rel S(y) := 0 <= y & y <= 1/2").unwrap();
+        writeln!(w, ".").unwrap();
+        w.flush().unwrap();
+        let resp = read_response(&mut r).unwrap().unwrap();
+        assert!(resp.is_ok(), "{resp:?}");
+
+        let resp = send(&mut r, &mut w, "PREPARE half S(x)");
+        assert!(resp.is_ok(), "{resp:?}");
+        let resp = send(&mut r, &mut w, "EXEC half");
+        assert!(resp.header.contains("status=exact value=1/2"), "{resp:?}");
+
+        let resp = send(&mut r, &mut w, "FROB");
+        assert!(resp.header.starts_with("ERR proto"), "{resp:?}");
+
+        let resp = send(&mut r, &mut w, "SHUTDOWN");
+        assert!(resp.is_ok(), "{resp:?}");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn saturated_pool_rejects_with_busy() {
+        let engine = Arc::new(Engine::new(EngineConfig {
+            workers: 1,
+            ..EngineConfig::default()
+        }));
+        let handle = spawn_server(Arc::clone(&engine)).unwrap();
+        // First connection occupies the only worker.
+        let s1 = TcpStream::connect(handle.addr()).unwrap();
+        let mut r1 = BufReader::new(s1.try_clone().unwrap());
+        assert!(read_response(&mut r1).unwrap().unwrap().is_ok());
+        // Second connection must be turned away.
+        let s2 = TcpStream::connect(handle.addr()).unwrap();
+        let mut r2 = BufReader::new(s2.try_clone().unwrap());
+        let resp = read_response(&mut r2).unwrap().unwrap();
+        assert!(resp.header.starts_with("ERR busy"), "{resp:?}");
+        assert_eq!(
+            crate::stats::EngineStats::get(&engine.stats.rejected_conns),
+            1
+        );
+        // Release the worker, then stop the server.
+        let mut w1 = BufWriter::new(s1);
+        writeln!(w1, "SHUTDOWN").unwrap();
+        w1.flush().unwrap();
+        assert!(read_response(&mut r1).unwrap().unwrap().is_ok());
+        handle.join().unwrap();
+    }
+}

@@ -1,0 +1,124 @@
+//! Service counters and hand-rolled fixed-bucket latency histograms.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Upper bounds (µs) of the latency buckets; one overflow bucket follows.
+/// Roughly logarithmic: 100 µs … 3 s.
+pub const LATENCY_BUCKETS_US: [u64; 10] = [
+    100, 300, 1_000, 3_000, 10_000, 30_000, 100_000, 300_000, 1_000_000, 3_000_000,
+];
+
+/// A fixed-bucket latency histogram (no allocation after construction,
+/// relaxed atomics — counters, not synchronization).
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS_US.len() + 1],
+    count: AtomicU64,
+    total_us: AtomicU64,
+}
+
+impl Histogram {
+    /// Records one observation of `us` microseconds.
+    pub fn record(&self, us: u64) {
+        let idx = LATENCY_BUCKETS_US
+            .iter()
+            .position(|&hi| us <= hi)
+            .unwrap_or(LATENCY_BUCKETS_US.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_us(&self) -> u64 {
+        self.total_us
+            .load(Ordering::Relaxed)
+            .checked_div(self.count())
+            .unwrap_or(0)
+    }
+
+    /// One-line rendering: `count=.. mean_us=.. | <=100us:3 <=1ms:1 >3s:0`.
+    /// Empty buckets are omitted.
+    pub fn render(&self) -> String {
+        let mut out = format!("count={} mean_us={}", self.count(), self.mean_us());
+        let mut any = false;
+        for (i, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n == 0 {
+                continue;
+            }
+            if !any {
+                out.push_str(" |");
+                any = true;
+            }
+            if i < LATENCY_BUCKETS_US.len() {
+                out.push_str(&format!(" <={}us:{n}", LATENCY_BUCKETS_US[i]));
+            } else {
+                out.push_str(&format!(
+                    " >{}us:{n}",
+                    LATENCY_BUCKETS_US[LATENCY_BUCKETS_US.len() - 1]
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Global service counters, shared by every session and worker.
+#[derive(Debug, Default)]
+pub struct EngineStats {
+    /// Commands dispatched (all kinds).
+    pub commands: AtomicU64,
+    /// Commands currently executing.
+    pub in_flight: AtomicU64,
+    /// Sessions ever opened.
+    pub sessions: AtomicU64,
+    /// Requests that died on an exhausted [`cqa_logic::budget::EvalBudget`].
+    pub over_budget: AtomicU64,
+    /// `LOAD`/`PREPARE` requests rejected by the static-analysis gate.
+    pub lint_rejected: AtomicU64,
+    /// Connections rejected because the worker pool was saturated.
+    pub rejected_conns: AtomicU64,
+    /// Answers that degraded from exact to (ε, δ) Monte Carlo.
+    pub degraded: AtomicU64,
+    /// Per-command latency histograms, indexed by
+    /// [`crate::CommandKind`] discriminant.
+    pub latency: [Histogram; super::protocol::N_COMMAND_KINDS],
+}
+
+impl EngineStats {
+    /// Relaxed load of a counter — convenience for reporting.
+    pub fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_mean() {
+        let h = Histogram::default();
+        h.record(50);
+        h.record(150);
+        h.record(5_000_000);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.mean_us(), (50 + 150 + 5_000_000) / 3);
+        let s = h.render();
+        assert!(s.contains("<=100us:1"), "{s}");
+        assert!(s.contains("<=300us:1"), "{s}");
+        assert!(s.contains(">3000000us:1"), "{s}");
+    }
+
+    #[test]
+    fn empty_histogram_renders_cleanly() {
+        let h = Histogram::default();
+        assert_eq!(h.render(), "count=0 mean_us=0");
+    }
+}

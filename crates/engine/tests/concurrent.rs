@@ -1,0 +1,105 @@
+//! Satellite: concurrent cache-correctness stress test.
+//!
+//! N client threads share one [`Engine`] and issue interleaved
+//! `PREPARE`/`EXEC` of overlapping and distinct queries. Every answer —
+//! exact or degraded Monte Carlo — must be **bit-identical** to the one a
+//! single-threaded engine produces: the cache may change *when* work
+//! happens, never *what* comes out.
+
+use cqa_engine::{Engine, EngineConfig};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread;
+
+/// Query pool: names, sources, and a mix of exact and (ε, δ)-degraded
+/// answers (the quartic strip is semi-algebraic, so it must go through the
+/// deterministic MC path).
+const QUERIES: &[(&str, &str)] = &[
+    ("half", "0 <= x & x <= 1/2"),
+    ("quarter", "0 <= x & x <= 1/4"),
+    ("wedge", "exists y. (0 <= x & x <= y & y <= 1/3)"),
+    ("band", "0 <= x & 0 <= y & x + y <= 1"),
+    ("disk", "x*x + y*y <= 1"),
+    ("bump", "y <= x*x & 0 <= y & 0 <= x & x <= 1"),
+];
+
+/// `status=…` and `value=…` (and ε/δ/samples when present) from a header;
+/// everything that defines the *answer*, excluding `cache=` which is
+/// legitimately timing-dependent.
+fn answer_part(header: &str) -> String {
+    header
+        .split_whitespace()
+        .filter(|tok| {
+            ["status=", "value=", "eps=", "delta=", "samples=", "reason="]
+                .iter()
+                .any(|p| tok.starts_with(p))
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn run_queries(engine: &Engine, order: &[usize]) -> Vec<(String, String)> {
+    let mut session = engine.open_session();
+    let mut out = Vec::new();
+    for &i in order {
+        let (name, src) = QUERIES[i];
+        let r = engine.prepare(&mut session, name, src);
+        assert!(r.is_ok(), "{r:?}");
+        let r = engine.exec(&mut session, name, None, None);
+        assert!(r.is_ok(), "{r:?}");
+        out.push((name.to_string(), answer_part(&r.header)));
+    }
+    out
+}
+
+#[test]
+fn concurrent_answers_are_bit_identical_to_single_threaded() {
+    // Reference: one engine, one thread, every query once.
+    let reference = Engine::new(EngineConfig::default());
+    let baseline: HashMap<String, String> = run_queries(&reference, &[0, 1, 2, 3, 4, 5])
+        .into_iter()
+        .collect();
+
+    // Stress: 8 threads, each running a different interleaving several
+    // times — same-query collisions (cache races) and distinct queries
+    // (eviction/bookkeeping races) both occur.
+    let engine = Arc::new(Engine::new(EngineConfig::default()));
+    let handles: Vec<_> = (0..8)
+        .map(|t| {
+            let engine = Arc::clone(&engine);
+            thread::spawn(move || {
+                let mut results = Vec::new();
+                for round in 0..4 {
+                    let order: Vec<usize> = (0..QUERIES.len())
+                        .map(|i| (i + t + round) % QUERIES.len())
+                        .collect();
+                    results.extend(run_queries(&engine, &order));
+                }
+                results
+            })
+        })
+        .collect();
+
+    let mut checked = 0usize;
+    for h in handles {
+        for (name, answer) in h.join().expect("stress thread") {
+            assert_eq!(
+                baseline[&name], answer,
+                "query `{name}` diverged under concurrency"
+            );
+            checked += 1;
+        }
+    }
+    assert_eq!(checked, 8 * 4 * QUERIES.len());
+
+    // The whole point of the shared cache: most of those EXECs were hits.
+    let snap = engine.cache.snapshot();
+    assert_eq!(snap.hits + snap.misses, (8 * 4 * QUERIES.len()) as u64);
+    // Worst case every thread misses each key once before the first
+    // insert lands (8 × |Q|); everything after that must hit.
+    assert!(
+        snap.misses <= (8 * QUERIES.len()) as u64,
+        "expected near-universal cache hits, got {snap:?}"
+    );
+    assert!(snap.hits > 0, "{snap:?}");
+}

@@ -1,0 +1,277 @@
+//! Canonical cache keys for formulas.
+//!
+//! A prepared-query cache (see the `cqa-engine` crate) wants one string per
+//! *semantic* query so that trivially rearranged resubmissions of the same
+//! query hit the same cache slot. [`Formula::canonical_key`] renders a
+//! formula to a string that is invariant under
+//!
+//! * **commutativity** of `∧`/`∨` — operand keys are sorted before joining;
+//! * **bound-variable renaming** — quantified variables are numbered
+//!   de-Bruijn-style by binder depth, so `∃y. x < y` and `∃z. x < z` agree;
+//! * **positive scaling of atoms** — each atom's polynomial is divided by
+//!   its leading coefficient (flipping the relation when it is negative),
+//!   so `2x < 2` and `x < 1` and `-x > -1` agree.
+//!
+//! Free variables keep their interned indices: they are the query's output
+//! columns and *are* part of its identity. Callers whose output columns
+//! have a session-independent order (e.g. name-sorted parameters) should
+//! use [`Formula::canonical_key_for_params`], which renders those
+//! variables positionally so keys agree across differently-interned
+//! sessions. The key is sound for caching —
+//! equal keys imply logically equivalent formulas — but deliberately not
+//! complete (no normal-form explosion; `x < 1 ∧ x < 2` and `x < 1` key
+//! differently). Callers that want more hits should run
+//! `cqa_qe::simplify` first; the key of a simplified formula is stable
+//! because simplification is idempotent.
+
+use crate::{Formula, Rel};
+use cqa_poly::{MPoly, Var};
+use std::fmt::Write;
+
+impl Formula {
+    /// A canonical string key for memoizing per-formula artifacts
+    /// (quantifier-elimination output, compiled kernels, analyzer
+    /// verdicts). See the module docs for the invariances.
+    pub fn canonical_key(&self) -> String {
+        self.canonical_key_for_params(&[])
+    }
+
+    /// Like [`Formula::canonical_key`], but free variables listed in
+    /// `params` are rendered by their *position* in that list (`p0`,
+    /// `p1`, …) instead of their interned index. Two sessions that
+    /// interned the same query's variables in different orders then
+    /// produce the same key, as long as they pass the parameters in the
+    /// same (e.g. name-sorted) order — this is what makes a cross-session
+    /// query cache keyed on formulas possible.
+    pub fn canonical_key_for_params(&self, params: &[Var]) -> String {
+        let mut out = String::new();
+        write_key(self, &mut Vec::new(), params, &mut out);
+        out
+    }
+}
+
+/// Renders `v` under the current binder stack: bound variables become
+/// `b<depth>` (innermost binder = 0), parameters their position (`p<i>`),
+/// remaining free variables keep their interned index.
+fn var_key(v: Var, bound: &[Var], params: &[Var]) -> String {
+    match bound.iter().rposition(|b| *b == v) {
+        Some(pos) => format!("b{}", bound.len() - 1 - pos),
+        None => match params.iter().position(|p| *p == v) {
+            Some(pos) => format!("p{pos}"),
+            None => format!("f{}", v.0),
+        },
+    }
+}
+
+fn rel_key(r: Rel) -> &'static str {
+    match r {
+        Rel::Eq => "=0",
+        Rel::Neq => "!=0",
+        Rel::Lt => "<0",
+        Rel::Le => "<=0",
+        Rel::Gt => ">0",
+        Rel::Ge => ">=0",
+    }
+}
+
+/// Renders a polynomial with binder-relative variable names; terms are
+/// sorted as strings so the rendering does not depend on raw `Var` order.
+fn poly_key(p: &MPoly, bound: &[Var], params: &[Var]) -> String {
+    let mut terms: Vec<String> = p
+        .terms()
+        .map(|(mono, c)| {
+            let mut t = format!("{c}");
+            for (v, e) in mono {
+                let _ = write!(t, "*{}^{e}", var_key(*v, bound, params));
+            }
+            t
+        })
+        .collect();
+    terms.sort();
+    terms.join("+")
+}
+
+fn write_key(f: &Formula, bound: &mut Vec<Var>, params: &[Var], out: &mut String) {
+    match f {
+        Formula::True => out.push('T'),
+        Formula::False => out.push('F'),
+        Formula::Atom(a) => {
+            // Scale-normalize: divide by the leading coefficient so it
+            // becomes +1, flipping the relation if it was negative. "Leading"
+            // is the term whose *rendered* monomial is lexicographically
+            // largest — raw term order depends on session-specific variable
+            // indices, which would leak into the key.
+            let lead = a
+                .poly
+                .terms()
+                .map(|(mono, c)| {
+                    let mut m = String::new();
+                    for (v, e) in mono {
+                        let _ = write!(m, "*{}^{e}", var_key(*v, bound, params));
+                    }
+                    (m, c.clone())
+                })
+                .max_by(|(m1, _), (m2, _)| m1.cmp(m2))
+                .map(|(_, c)| c)
+                .unwrap_or_else(cqa_arith::Rat::one);
+            let p = a.poly.scale(&lead.recip());
+            let rel = if lead.signum() < 0 {
+                a.rel.flip()
+            } else {
+                a.rel
+            };
+            let _ = write!(out, "[{}{}]", poly_key(&p, bound, params), rel_key(rel));
+        }
+        Formula::Rel { name, args } => {
+            let _ = write!(out, "R:{name}(");
+            for (i, t) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&poly_key(t, bound, params));
+            }
+            out.push(')');
+        }
+        Formula::Not(g) => {
+            out.push_str("!(");
+            write_key(g, bound, params, out);
+            out.push(')');
+        }
+        Formula::And(fs) | Formula::Or(fs) => {
+            let mut keys: Vec<String> = fs
+                .iter()
+                .map(|g| {
+                    let mut s = String::new();
+                    write_key(g, bound, params, &mut s);
+                    s
+                })
+                .collect();
+            keys.sort();
+            out.push(if matches!(f, Formula::And(_)) {
+                '&'
+            } else {
+                '|'
+            });
+            out.push('(');
+            out.push_str(&keys.join(","));
+            out.push(')');
+        }
+        Formula::Exists(vs, g) | Formula::Forall(vs, g) => {
+            let _ = write!(
+                out,
+                "{}{}(",
+                if matches!(f, Formula::Exists(..)) {
+                    'E'
+                } else {
+                    'A'
+                },
+                vs.len()
+            );
+            let n = bound.len();
+            bound.extend_from_slice(vs);
+            write_key(g, bound, params, out);
+            bound.truncate(n);
+            out.push(')');
+        }
+        Formula::ExistsAdom(v, g) | Formula::ForallAdom(v, g) => {
+            out.push(if matches!(f, Formula::ExistsAdom(..)) {
+                'e'
+            } else {
+                'a'
+            });
+            out.push('(');
+            bound.push(*v);
+            write_key(g, bound, params, out);
+            bound.pop();
+            out.push(')');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{parse_formula, Formula};
+
+    fn key(src: &str) -> String {
+        let (f, _) = parse_formula(src).unwrap();
+        f.canonical_key()
+    }
+
+    #[test]
+    fn alpha_equivalent_quantifiers_agree() {
+        assert_eq!(key("exists y. x < y"), key("exists z. x < z"));
+        assert_eq!(
+            key("exists y. exists z. y < z"),
+            key("exists u. exists v. u < v")
+        );
+        // Shadowing: the innermost binder wins on both sides.
+        assert_eq!(
+            key("exists y. exists y. y > 0"),
+            key("exists a. exists b. b > 0")
+        );
+    }
+
+    #[test]
+    fn commutative_connectives_agree() {
+        // Share one VarMap so `x`/`y` intern identically on both sides.
+        let mut vars = crate::VarMap::new();
+        let mut key = |src: &str| {
+            crate::parse_formula_with(src, &mut vars)
+                .unwrap()
+                .canonical_key()
+        };
+        assert_eq!(key("x < 1 & y < 2"), key("y < 2 & x < 1"));
+        assert_eq!(key("x < 1 | y < 2"), key("y < 2 | x < 1"));
+        assert_ne!(key("x < 1 & y < 2"), key("x < 1 | y < 2"));
+    }
+
+    #[test]
+    fn scaled_atoms_agree() {
+        assert_eq!(key("2*x < 2"), key("x < 1"));
+        assert_eq!(key("-x > -1"), key("x < 1"));
+        assert_ne!(key("x < 1"), key("x < 2"));
+    }
+
+    #[test]
+    fn free_variables_are_identity() {
+        // Free variables are output columns: renaming them is a different
+        // query, so the keys must differ (x is Var 0, y is Var 1; each
+        // `key` call interns into a fresh VarMap, so `y` alone would also
+        // be Var 0 — force it to index 1 by mentioning x first).
+        assert_ne!(key("x < 0 & x < 1"), key("x < 0 & y < 1"));
+        let (f, _) = parse_formula("x < 1").unwrap();
+        let (g, _) = parse_formula("x < 1").unwrap();
+        assert_eq!(f.canonical_key(), g.canonical_key());
+        assert_eq!(Formula::True.canonical_key(), "T");
+    }
+
+    #[test]
+    fn param_positions_make_keys_session_independent() {
+        // Two sessions intern x/y in opposite orders; with name-sorted
+        // parameter lists the keys must agree anyway.
+        let mut a = crate::VarMap::new();
+        let fa = crate::parse_formula_with("y <= x*x", &mut a).unwrap();
+        let mut b = crate::VarMap::new();
+        b.intern("x");
+        let fb = crate::parse_formula_with("y <= x*x", &mut b).unwrap();
+        assert_ne!(fa.canonical_key(), fb.canonical_key());
+        let pa = [a.get("x").unwrap(), a.get("y").unwrap()];
+        let pb = [b.get("x").unwrap(), b.get("y").unwrap()];
+        assert_eq!(
+            fa.canonical_key_for_params(&pa),
+            fb.canonical_key_for_params(&pb)
+        );
+        // An asymmetric pair must still be distinguished.
+        let fc = crate::parse_formula_with("x <= y*y", &mut a).unwrap();
+        assert_ne!(
+            fa.canonical_key_for_params(&pa),
+            fc.canonical_key_for_params(&pa)
+        );
+    }
+
+    #[test]
+    fn bound_and_free_do_not_collide() {
+        // `∃x. x < 1` (bound) vs `x < 1` (free) must not share a key.
+        assert_ne!(key("exists x. x < 1"), key("x < 1"));
+    }
+}

@@ -26,6 +26,7 @@
 
 mod ast;
 pub mod budget;
+mod canon;
 mod compile;
 mod norm;
 mod parser;

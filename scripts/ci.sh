@@ -52,4 +52,49 @@ if timeout --signal=KILL 30 \
   exit 1
 fi
 
+echo "== server smoke test (cqa-serve / cqa-shell over TCP) =="
+# Ephemeral port; the whole round-trip runs under the hang-detector cap.
+# Asserts an exact answer, an (ε,δ)-tagged degraded answer, a CQA-diagnostic
+# rejection over the wire, and a clean SHUTDOWN (both exit codes 0).
+SERVE_LOG="$(mktemp)"
+SHELL_LOG="$(mktemp)"
+trap 'rm -f "$SERVE_LOG" "$SHELL_LOG"' EXIT
+./target/release/cqa-serve --workers 2 --timeout-ms 2000 \
+  --preload examples/lint/endpoints.cqa > "$SERVE_LOG" &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 50); do
+  ADDR="$(sed -n 's/^LISTENING //p' "$SERVE_LOG")"
+  [ -n "$ADDR" ] && break
+  sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+  echo "cqa-serve did not print LISTENING" >&2
+  kill "$SERVE_PID" 2>/dev/null || true
+  exit 1
+fi
+run_capped ./target/release/cqa-shell "$ADDR" > "$SHELL_LOG" <<'EOF'
+PREPARE above S(x) & x >= 0.5
+EXEC above
+EXEC above
+VOLUME x*x + y*y <= 1
+PREPARE bad Missing(q) & q > 0
+STATS
+SHUTDOWN
+EOF
+cat "$SHELL_LOG"
+# Exact answer (S ∩ [1/2, 1] has length 1/4), served from QE then the cache.
+grep -q "status=exact value=1/4 cache=miss" "$SHELL_LOG"
+grep -q "status=exact value=1/4 cache=hit" "$SHELL_LOG"
+# Degraded answer must carry its (ε, δ) contract.
+grep -q "status=approx .*eps=0.05 delta=0.05" "$SHELL_LOG"
+# Lint rejection travels over the wire with the real diagnostic.
+grep -q "^ERR lint" "$SHELL_LOG"
+grep -q "error\[CQA004\]: unknown relation" "$SHELL_LOG"
+# STATS shows the cache did its job.
+grep -q "hits=1" "$SHELL_LOG"
+# Clean shutdown: the server process exits 0 (workers joined, no leak).
+run_capped tail --pid="$SERVE_PID" -f /dev/null
+wait "$SERVE_PID"
+
 echo "CI OK"
