@@ -97,6 +97,10 @@ pub fn analyze_source(src: &str, cfg: &AnalyzerConfig) -> (Program, Analysis) {
     };
     analysis.diagnostics.append(&mut diags);
 
+    // One interning arena for the whole program: relation bodies and query
+    // matrices that share subformulas are stored once, and every classify
+    // reads cached per-node metadata instead of re-walking trees.
+    let mut arena = cqa_logic::ir::Arena::new();
     for stmt in &program.statements {
         match stmt {
             Statement::Rel(r) => {
@@ -120,10 +124,11 @@ pub fn analyze_source(src: &str, cfg: &AnalyzerConfig) -> (Program, Analysis) {
                         ),
                     );
                 }
+                let body_id = arena.intern(&body);
                 analysis.reports.push(StatementReport {
                     name: r.name.clone(),
                     kind: "rel",
-                    fragment: fragment::classify(&body),
+                    fragment: fragment::classify_id(&arena, body_id),
                     cost: None,
                     gamma: None,
                 });
@@ -134,7 +139,8 @@ pub fn analyze_source(src: &str, cfg: &AnalyzerConfig) -> (Program, Analysis) {
                 fragment::check_relations(&q.body, &schema, &mut analysis.diagnostics);
                 fragment::check_active_domain(&q.body, &schema, &mut analysis.diagnostics);
                 let body = q.body.to_formula();
-                let report = fragment::classify(&body);
+                let body_id = arena.intern(&body);
+                let report = fragment::classify_id(&arena, body_id);
                 let cost = cost::estimate(&report, params.len(), &schema, &cfg.cost);
                 if cfg.check_blowup {
                     cost::check_blowup(&cost, q.name_span, &mut analysis.diagnostics);
@@ -159,7 +165,8 @@ pub fn analyze_source(src: &str, cfg: &AnalyzerConfig) -> (Program, Analysis) {
                     .to_formula()
                     .and(s.end_formula.to_formula())
                     .and(s.gamma.to_formula());
-                let report = fragment::classify(&combined);
+                let combined_id = arena.intern(&combined);
+                let report = fragment::classify_id(&arena, combined_id);
                 let cost = cost::estimate(&report, s.tuple_vars.len(), &schema, &cfg.cost);
                 if cfg.check_blowup {
                     cost::check_blowup(&cost, s.name_span, &mut analysis.diagnostics);

@@ -9,6 +9,7 @@
 //! collapses.
 
 use crate::diag::{Code, Diagnostic};
+use cqa_logic::ir::{Arena, FormulaId};
 use cqa_logic::{ConstraintClass, Formula, Span, SpannedFormula, SpannedNode};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -47,35 +48,32 @@ impl FragmentReport {
     }
 }
 
-/// Measures `f`.
+/// Measures `f` by interning it into a scratch arena — see [`classify_id`].
 pub fn classify(f: &Formula) -> FragmentReport {
-    let mut report = FragmentReport {
-        class: f.class(),
-        max_degree: 0,
-        atoms: 0,
-        quantifiers: f.quantifier_count(),
-        adom_quantifiers: 0,
-        rel_atoms: 0,
-        relations: BTreeSet::new(),
-    };
-    f.visit(&mut |g| match g {
-        Formula::Atom(a) => {
-            report.atoms += 1;
-            report.max_degree = report.max_degree.max(a.poly.total_degree().unwrap_or(0));
-        }
-        Formula::Rel { name, args } => {
-            report.rel_atoms += 1;
-            report.relations.insert(name.clone());
-            for t in args {
-                report.max_degree = report.max_degree.max(t.total_degree().unwrap_or(0));
-            }
-        }
-        Formula::ExistsAdom(..) | Formula::ForallAdom(..) => {
-            report.adom_quantifiers += 1;
-        }
-        _ => {}
-    });
-    report
+    let mut arena = Arena::new();
+    let id = arena.intern(f);
+    classify_id(&arena, id)
+}
+
+/// Measures an interned formula. All quantities are read off the arena's
+/// per-node cached [`metadata`](cqa_logic::ir::NodeMeta) in O(1) — no tree
+/// re-walk, and a formula whose denoted tree is exponentially larger than
+/// its dag (FM/Hörmander output) still classifies in O(dag) at intern time.
+pub fn classify_id(arena: &Arena, id: FormulaId) -> FragmentReport {
+    let m = arena.meta(id);
+    FragmentReport {
+        class: m.class,
+        max_degree: m.max_degree,
+        atoms: m.sign_atoms as usize,
+        quantifiers: m.quantifiers as usize,
+        adom_quantifiers: m.adom_quantifiers as usize,
+        rel_atoms: m.rel_atoms as usize,
+        relations: m
+            .relations
+            .iter()
+            .map(|&n| arena.rel_name(n).to_string())
+            .collect(),
+    }
 }
 
 /// Checks every relation atom of `f` against `schema`, pointing at the

@@ -1,4 +1,4 @@
-//! The E1–E12 + E15 experiment suite (see DESIGN.md §4 and EXPERIMENTS.md).
+//! The E1–E12 + E15–E16 experiment suite (see DESIGN.md §4 and EXPERIMENTS.md).
 //!
 //! Each function prints a self-contained table and returns it as a string
 //! so the integration tests can assert on the numbers.
@@ -793,6 +793,123 @@ pub fn e15(out: &mut String) {
     );
 }
 
+/// E16 — hash-consed formula IR: FM node dedup on the DNF blow-up
+/// workload, and structural-hash cache keys vs. the old string render.
+///
+/// Part 1 quantifies why the QE layer runs on an interning arena: the DNF
+/// expansion of `∃y. ⋀ᵢ (y < xᵢ ∨ xᵢ < y)` has `2^m` clauses built from
+/// only `2m` distinct literals, so hash-consing stores the blow-up as a
+/// small dag (the Giusti–Heintz straight-line representation argument).
+/// Part 2 measures the warm-path cost the engine pays per `EXEC` to key
+/// its prepared-query cache: the 128-bit canonical hash must beat the old
+/// `canonical_key_for_params` string render by ≥ 2× (asserted).
+pub fn e16(out: &mut String) {
+    use cqa_logic::budget::EvalBudget;
+    use cqa_logic::Arena;
+    use std::time::Instant;
+    writeln!(
+        out,
+        "E16: hash-consed formula IR — FM dedup ratio and cache-key cost"
+    )
+    .unwrap();
+
+    // Part 1: the FM blow-up workload, eliminated through a shared arena.
+    const M: usize = 8;
+    let mut vars = VarMap::new();
+    let mut src = String::from("exists y. ");
+    for i in 0..M {
+        if i > 0 {
+            src.push_str(" & ");
+        }
+        src.push_str(&format!("(y < x{i} | x{i} < y)"));
+    }
+    let f = parse_formula_with(&src, &mut vars).unwrap();
+    let mut arena = Arena::new();
+    let qf = cqa_qe::fourier_motzkin_with_arena(&f, &EvalBudget::unlimited(), &mut arena).unwrap();
+    assert!(qf.is_quantifier_free());
+    let st = arena.stats();
+    let dedup = st.dedup_ratio();
+    writeln!(
+        out,
+        "  FM on phi_{M} = Ey. AND_i (y < x_i | x_i < y): 2^{M} = {} DNF clauses, {} distinct literals",
+        1usize << M,
+        2 * M
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "    arena after elimination: nodes={} terms={} intern_calls={} dedup_ratio={dedup:.2}",
+        st.nodes, st.terms, st.intern_calls
+    )
+    .unwrap();
+    assert!(
+        dedup > 1.0,
+        "hash-consing must find sharing on the blow-up workload, got {dedup:.3}"
+    );
+
+    // Part 2: per-request cache-key cost on a wide conjunction (the shape
+    // a relation-expanded prepared query has after simplification).
+    let mut kvars = VarMap::new();
+    let mut ksrc = String::new();
+    for i in 0..24i64 {
+        if i > 0 {
+            ksrc.push_str(" & ");
+        }
+        ksrc.push_str(&format!(
+            "({}*a + {}*b + {}*c <= {i})",
+            i + 1,
+            2 * i + 1,
+            3 * i + 2
+        ));
+    }
+    let kf = parse_formula_with(&ksrc, &mut kvars).unwrap();
+    let params: Vec<Var> = kf.free_vars().into_iter().collect();
+    let mut karena = Arena::new();
+    let kid = karena.intern(&kf);
+    const REPS: usize = 1_000;
+    const ROUNDS: usize = 3;
+    let mut str_sink = 0usize;
+    let mut hash_sink = 0u128;
+    // Min over interleaved rounds: transient machine load hits both sides.
+    let (mut string_us, mut hash_us) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..ROUNDS {
+        let t0 = Instant::now();
+        for _ in 0..REPS {
+            str_sink ^= kf.canonical_key_for_params(&params).len();
+        }
+        string_us = string_us.min(t0.elapsed().as_micros() as f64);
+        let t0 = Instant::now();
+        for _ in 0..REPS {
+            hash_sink ^= karena.canonical_hash_for_params(kid, &params);
+        }
+        hash_us = hash_us.min(t0.elapsed().as_micros() as f64);
+    }
+    let speedup = string_us / hash_us.max(1.0);
+    // Wall-clock numbers go to stderr so that `report`'s stdout stays
+    // byte-identical across runs (the determinism gate `cmp`s two
+    // captures); the recorded snapshot lives in BENCH_ir.json.
+    eprintln!(
+        "E16 timings: string key {string_us:.1} µs, hash key {hash_us:.1} µs \
+         (min of {ROUNDS} rounds x {REPS} reps), speedup {speedup:.1}x \
+         (sinks {str_sink} {hash_sink:032x})"
+    );
+    writeln!(
+        out,
+        "  cache-key cost, {REPS} keys of a 24-atom / 3-param conjunction:"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "    structural hash vs string render: speedup >= 2x asserted \
+         (timings on stderr; snapshot in BENCH_ir.json)\n"
+    )
+    .unwrap();
+    assert!(
+        speedup >= 2.0,
+        "structural-hash key must be >= 2x cheaper than the string render, got {speedup:.2}x"
+    );
+}
+
 fn collect_atoms(f: &cqa_logic::Formula) -> Vec<cqa_logic::Atom> {
     let mut out = Vec::new();
     f.visit(&mut |g| {
@@ -807,7 +924,7 @@ fn collect_atoms(f: &cqa_logic::Formula) -> Vec<cqa_logic::Atom> {
 pub fn run_all() -> String {
     let mut out = String::new();
     type Experiment = fn(&mut String);
-    let fns: [(&str, Experiment); 13] = [
+    let fns: [(&str, Experiment); 14] = [
         ("e1", e1),
         ("e2", e2),
         ("e3", e3),
@@ -821,6 +938,7 @@ pub fn run_all() -> String {
         ("e11", e11),
         ("e12", e12),
         ("e15", e15),
+        ("e16", e16),
     ];
     for (name, f) in fns {
         let _ = name;
@@ -829,7 +947,7 @@ pub fn run_all() -> String {
     out
 }
 
-/// Runs one experiment by id (`"e1"` … `"e12"`, `"e15"`); `None` for unknown ids.
+/// Runs one experiment by id (`"e1"` … `"e12"`, `"e15"`, `"e16"`); `None` for unknown ids.
 pub fn run_one(id: &str) -> Option<String> {
     let mut out = String::new();
     match id {
@@ -846,6 +964,7 @@ pub fn run_one(id: &str) -> Option<String> {
         "e11" => e11(&mut out),
         "e12" => e12(&mut out),
         "e15" => e15(&mut out),
+        "e16" => e16(&mut out),
         _ => return None,
     }
     Some(out)

@@ -1,5 +1,5 @@
-//! The shared prepared-query cache: canonical-key → QE output + compiled
-//! kernel + analyzer verdict, LRU-evicted under a byte budget.
+//! The shared prepared-query cache: canonical structural hash → QE output
+//! + compiled kernel + analyzer verdict, LRU-evicted under a byte budget.
 //!
 //! The cache is the reason the engine exists: Section 3 of the paper (and
 //! the whole Giusti–Heintz line of work) makes quantifier elimination the
@@ -14,6 +14,28 @@ use cqa_logic::{CompiledMatrix, ConstraintClass, Formula};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// A prepared-query cache key: the 128-bit canonical structural hash of the
+/// relation-expanded, simplified formula (see
+/// [`cqa_logic::ir::Arena::canonical_hash_for_params`]) plus the output
+/// dimension. The hash is invariant under session variable interning,
+/// α-renaming of bound variables, And/Or child order and atom scaling —
+/// exactly the invariances the old rendered string key had, without the
+/// per-request string render.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Canonical 128-bit structural hash, positional over the name-sorted
+    /// parameter list.
+    pub hash: u128,
+    /// Number of output columns (`vars.len()`), so a 1-D and a 2-D query
+    /// that happen to share a matrix never collide.
+    pub dim: u32,
+}
+
+/// Bytes charged to the budget for each resident key: the key itself plus
+/// the map-slot bookkeeping (recency clock). Keys are small and fixed-size
+/// now, but they are resident memory all the same — the budget counts them.
+pub(crate) const KEY_BYTES: usize = std::mem::size_of::<CacheKey>() + std::mem::size_of::<u64>();
 
 /// One memoized query: everything downstream of quantifier elimination
 /// that is reusable across sessions and requests.
@@ -60,7 +82,7 @@ struct Slot {
 }
 
 struct Inner {
-    map: HashMap<String, Slot>,
+    map: HashMap<CacheKey, Slot>,
     clock: u64,
     bytes: usize,
 }
@@ -120,11 +142,11 @@ impl QueryCache {
     }
 
     /// Looks up `key`, refreshing its recency on a hit.
-    pub fn get(&self, key: &str) -> Option<Arc<CacheEntry>> {
+    pub fn get(&self, key: CacheKey) -> Option<Arc<CacheEntry>> {
         let mut inner = self.inner.lock().expect("cache lock");
         inner.clock += 1;
         let clock = inner.clock;
-        match inner.map.get_mut(key) {
+        match inner.map.get_mut(&key) {
             Some(slot) => {
                 slot.last_used = clock;
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -141,17 +163,19 @@ impl QueryCache {
     /// entries until the byte budget holds again. The entry just inserted
     /// is never evicted by its own insertion sweep — a query larger than
     /// the whole budget still gets served, it just won't keep neighbours.
-    pub fn insert(&self, key: String, entry: CacheEntry) -> Arc<CacheEntry> {
+    /// Each resident entry is charged `entry.bytes + KEY_BYTES`: the key
+    /// is resident memory too, not a freebie.
+    pub fn insert(&self, key: CacheKey, entry: CacheEntry) -> Arc<CacheEntry> {
         let entry = Arc::new(entry);
         let mut inner = self.inner.lock().expect("cache lock");
         inner.clock += 1;
         let clock = inner.clock;
         if let Some(old) = inner.map.remove(&key) {
-            inner.bytes -= old.entry.bytes;
+            inner.bytes -= old.entry.bytes + KEY_BYTES;
         }
-        inner.bytes += entry.bytes;
+        inner.bytes += entry.bytes + KEY_BYTES;
         inner.map.insert(
-            key.clone(),
+            key,
             Slot {
                 entry: Arc::clone(&entry),
                 last_used: clock,
@@ -163,11 +187,11 @@ impl QueryCache {
                 .iter()
                 .filter(|(k, _)| **k != key)
                 .min_by_key(|(_, s)| s.last_used)
-                .map(|(k, _)| k.clone());
+                .map(|(k, _)| *k);
             match victim {
                 Some(k) => {
                     let slot = inner.map.remove(&k).expect("victim exists");
-                    inner.bytes -= slot.entry.bytes;
+                    inner.bytes -= slot.entry.bytes + KEY_BYTES;
                     self.evictions.fetch_add(1, Ordering::Relaxed);
                 }
                 None => break,
@@ -210,12 +234,16 @@ mod tests {
         }
     }
 
+    fn key(hash: u128) -> CacheKey {
+        CacheKey { hash, dim: 1 }
+    }
+
     #[test]
     fn hit_miss_and_recency() {
         let cache = QueryCache::new(10_000);
-        assert!(cache.get("a").is_none());
-        cache.insert("a".into(), entry("x < 1", 100));
-        assert!(cache.get("a").is_some());
+        assert!(cache.get(key(1)).is_none());
+        cache.insert(key(1), entry("x < 1", 100));
+        assert!(cache.get(key(1)).is_some());
         let snap = cache.snapshot();
         assert_eq!((snap.hits, snap.misses), (1, 1));
         assert_eq!(snap.entries, 1);
@@ -223,36 +251,53 @@ mod tests {
     }
 
     #[test]
+    fn dim_is_part_of_the_key() {
+        let cache = QueryCache::new(10_000);
+        cache.insert(CacheKey { hash: 7, dim: 1 }, entry("x < 1", 100));
+        assert!(cache.get(CacheKey { hash: 7, dim: 2 }).is_none());
+        assert!(cache.get(CacheKey { hash: 7, dim: 1 }).is_some());
+    }
+
+    #[test]
     fn lru_eviction_under_byte_budget() {
-        let cache = QueryCache::new(250);
-        cache.insert("a".into(), entry("x < 1", 100));
-        cache.insert("b".into(), entry("x < 2", 100));
-        // Touch `a` so `b` is the LRU when `c` overflows the budget.
-        assert!(cache.get("a").is_some());
-        cache.insert("c".into(), entry("x < 3", 100));
-        assert!(cache.get("a").is_some(), "recently used survives");
-        assert!(cache.get("b").is_none(), "LRU evicted");
-        assert!(cache.get("c").is_some(), "new entry survives");
+        // Room for two entries (payload + key bytes), not three.
+        let cache = QueryCache::new(2 * (100 + KEY_BYTES) + 10);
+        cache.insert(key(1), entry("x < 1", 100));
+        cache.insert(key(2), entry("x < 2", 100));
+        // Touch `1` so `2` is the LRU when `3` overflows the budget.
+        assert!(cache.get(key(1)).is_some());
+        cache.insert(key(3), entry("x < 3", 100));
+        assert!(cache.get(key(1)).is_some(), "recently used survives");
+        assert!(cache.get(key(2)).is_none(), "LRU evicted");
+        assert!(cache.get(key(3)).is_some(), "new entry survives");
         assert_eq!(cache.snapshot().evictions, 1);
     }
 
     #[test]
     fn oversized_entry_is_kept_alone() {
         let cache = QueryCache::new(50);
-        cache.insert("big".into(), entry("x < 1", 1000));
-        assert!(cache.get("big").is_some());
-        cache.insert("big2".into(), entry("x < 2", 1000));
-        assert!(cache.get("big2").is_some());
-        assert!(cache.get("big").is_none());
+        cache.insert(key(1), entry("x < 1", 1000));
+        assert!(cache.get(key(1)).is_some());
+        cache.insert(key(2), entry("x < 2", 1000));
+        assert!(cache.get(key(2)).is_some());
+        assert!(cache.get(key(1)).is_none());
     }
 
     #[test]
     fn reinsert_replaces_bytes() {
         let cache = QueryCache::new(1000);
-        cache.insert("a".into(), entry("x < 1", 400));
-        cache.insert("a".into(), entry("x < 1", 200));
+        cache.insert(key(1), entry("x < 1", 400));
+        cache.insert(key(1), entry("x < 1", 200));
         let snap = cache.snapshot();
         assert_eq!(snap.entries, 1);
-        assert_eq!(snap.bytes, 200);
+        assert_eq!(snap.bytes, 200 + KEY_BYTES, "key bytes are charged too");
+    }
+
+    #[test]
+    fn key_bytes_are_charged_and_refunded() {
+        let cache = QueryCache::new(10 * (100 + KEY_BYTES));
+        cache.insert(key(1), entry("x < 1", 100));
+        cache.insert(key(2), entry("x < 2", 100));
+        assert_eq!(cache.snapshot().bytes, 2 * (100 + KEY_BYTES));
     }
 }

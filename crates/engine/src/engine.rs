@@ -1,6 +1,6 @@
 //! The engine core: session state and command execution.
 
-use crate::cache::{formula_bytes, CacheEntry, QueryCache};
+use crate::cache::{formula_bytes, CacheEntry, CacheKey, QueryCache};
 use crate::protocol::{Command, Response};
 use crate::stats::EngineStats;
 use cqa_agg::AggError;
@@ -10,9 +10,11 @@ use cqa_arith::Rat;
 use cqa_core::Database;
 use cqa_geom::VolumeError;
 use cqa_logic::budget::EvalBudget;
-use cqa_logic::{parse_formula_with, CompiledMatrix, ConstraintClass, Formula, SlotMap};
+use cqa_logic::{
+    parse_formula_with, Arena, ArenaStats, CompiledMatrix, ConstraintClass, Formula, SlotMap,
+};
 use cqa_poly::Var;
-use cqa_qe::QeError;
+use cqa_qe::{QeError, SimplifyMemo};
 use std::collections::HashMap;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -86,6 +88,16 @@ pub struct Session {
     sums: HashMap<String, SumStmt>,
     /// Prepared queries by name.
     prepared: HashMap<String, Prepared>,
+    /// The session's hash-consed formula arena: every relation-expanded
+    /// request formula and every QE output is interned here, so repeated
+    /// requests share structure and the memoized simplifier below does
+    /// each rewrite once per distinct node.
+    arena: Arena,
+    /// `FormulaId`-keyed memo table for [`cqa_qe::simplify_id`].
+    simp: SimplifyMemo,
+    /// Arena counters as of the last flush into the engine-wide `STATS`
+    /// aggregates (sessions report monotone deltas after each command).
+    reported: ArenaStats,
 }
 
 impl Session {
@@ -178,7 +190,26 @@ impl Engine {
         let us = t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
         self.stats.latency[kind.index()].record(us);
         self.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
+        self.flush_arena_stats(session);
         resp
+    }
+
+    /// Adds the session arena's counter growth since the last flush to the
+    /// engine-wide IR aggregates. Arena counters are monotone, so the
+    /// deltas are non-negative and the aggregates never double-count.
+    fn flush_arena_stats(&self, session: &mut Session) {
+        let now = session.arena.stats();
+        let last = session.reported;
+        self.stats
+            .ir_nodes
+            .fetch_add(now.nodes - last.nodes, Ordering::Relaxed);
+        self.stats
+            .ir_terms
+            .fetch_add(now.terms - last.terms, Ordering::Relaxed);
+        self.stats
+            .ir_intern_calls
+            .fetch_add(now.intern_calls - last.intern_calls, Ordering::Relaxed);
+        session.reported = now;
     }
 
     /// `LOAD`: append the program text to the session source, run the full
@@ -364,51 +395,68 @@ impl Engine {
             Ok(x) => x,
             Err(e) => return Response::err("exec", e.to_string()),
         };
-        let simplified = cqa_qe::simplify(&expanded);
+        // Intern and simplify on ids: the memoized rewrite is shared across
+        // requests of this session, and the warm path never renders a
+        // string — the cache key is the 128-bit canonical hash read off
+        // the interned node.
+        let fid = session.arena.intern(&expanded);
+        let sid = cqa_qe::simplify_id(&mut session.arena, fid, &mut session.simp);
         // Positional over the name-sorted params: two sessions that
         // interned the same query's variables in different orders still
         // share one cache slot.
-        let key = format!(
-            "d{}|{}",
-            vars.len(),
-            simplified.canonical_key_for_params(vars)
-        );
-        let (entry, cache_tag) = match self.cache.get(&key) {
+        let key = CacheKey {
+            hash: session.arena.canonical_hash_for_params(sid, vars),
+            dim: vars.len() as u32,
+        };
+        let (entry, cache_tag) = match self.cache.get(key) {
             Some(e) => (Some(e), "hit"),
-            None => match cqa_qe::eliminate_with_budget(&simplified, &budget) {
-                Ok(qf) => {
-                    let qf = cqa_qe::simplify(&qf);
-                    let kernel = match CompiledMatrix::compile(&qf, &SlotMap::from_vars(vars)) {
-                        Ok(k) => k,
-                        Err(e) => {
-                            return Response::err(
-                                "exec",
-                                format!("eliminated matrix is not compilable: {e:?}"),
-                            )
-                        }
-                    };
-                    let class = qf.class();
-                    let fragment = match class {
-                        ConstraintClass::Polynomial => "FO+POLY",
-                        _ => "FO+LIN",
-                    };
-                    let bytes = key.len() + formula_bytes(&qf) + 64 * kernel.atom_count();
-                    let entry = self.cache.insert(
-                        key.clone(),
-                        CacheEntry {
-                            qf,
-                            qf_vars: vars.to_vec(),
-                            kernel,
-                            class,
-                            fragment,
-                            bytes,
-                        },
-                    );
-                    (Some(entry), "miss")
+            None => {
+                // Cold path: QE still runs on the boxed tree, so extern the
+                // simplified node once per miss.
+                let simplified = session.arena.extern_formula(sid);
+                match cqa_qe::eliminate_with_budget(&simplified, &budget) {
+                    Ok(qf) => {
+                        let qf_id = session.arena.intern(&qf);
+                        let qf_id =
+                            cqa_qe::simplify_id(&mut session.arena, qf_id, &mut session.simp);
+                        let kernel = match CompiledMatrix::compile_arena(
+                            &session.arena,
+                            qf_id,
+                            &SlotMap::from_vars(vars),
+                        ) {
+                            Ok(k) => k,
+                            Err(e) => {
+                                return Response::err(
+                                    "exec",
+                                    format!("eliminated matrix is not compilable: {e:?}"),
+                                )
+                            }
+                        };
+                        let qf = session.arena.extern_formula(qf_id);
+                        let class = session.arena.meta(qf_id).class;
+                        let fragment = match class {
+                            ConstraintClass::Polynomial => "FO+POLY",
+                            _ => "FO+LIN",
+                        };
+                        // Key bytes are charged by the cache itself.
+                        let bytes = formula_bytes(&qf) + 64 * kernel.atom_count();
+                        let entry = self.cache.insert(
+                            key,
+                            CacheEntry {
+                                qf,
+                                qf_vars: vars.to_vec(),
+                                kernel,
+                                class,
+                                fragment,
+                                bytes,
+                            },
+                        );
+                        (Some(entry), "miss")
+                    }
+                    Err(QeError::Budget(_)) => (None, "miss"),
+                    Err(e) => return Response::err("qe", e.to_string()),
                 }
-                Err(QeError::Budget(_)) => (None, "miss"),
-                Err(e) => return Response::err("qe", e.to_string()),
-            },
+            }
         };
         let answer = match &entry {
             Some(entry) => {
@@ -434,7 +482,10 @@ impl Engine {
             // QE itself blew the budget: no quantifier-free form exists to
             // integrate or sample, so decide membership point by point
             // (each ground instance is vastly cheaper than parametric QE).
-            None => self.mc_pointwise(&simplified, vars, eps, delta, &budget),
+            None => {
+                let simplified = session.arena.extern_formula(sid);
+                self.mc_pointwise(&simplified, vars, eps, delta, &budget)
+            }
         };
         match answer {
             Ok(Answer::Exact(v)) => Response::ok(format!(
@@ -568,6 +619,19 @@ impl Engine {
             EngineStats::get(&s.lint_rejected),
             EngineStats::get(&s.rejected_conns),
             EngineStats::get(&s.degraded),
+        ));
+        let (nodes, terms, calls) = (
+            EngineStats::get(&s.ir_nodes),
+            EngineStats::get(&s.ir_terms),
+            EngineStats::get(&s.ir_intern_calls),
+        );
+        resp.body.push(format!(
+            "ir nodes={nodes} terms={terms} intern_calls={calls} dedup_ratio={:.3}",
+            if nodes == 0 {
+                1.0
+            } else {
+                calls as f64 / nodes as f64
+            }
         ));
         for kind in [
             crate::protocol::CommandKind::Load,
@@ -705,5 +769,10 @@ sum EndpointSum(w) := true | END[y. S(y)] ; xout . xout = w
         let body = r.body.join("\n");
         assert!(body.contains("cache entries=1"), "{body}");
         assert!(body.contains("latency EXEC"), "{body}");
+        assert!(body.contains("ir nodes="), "{body}");
+        // The EXEC went through dispatch, so the session's arena growth
+        // was flushed into the engine-wide aggregates.
+        assert!(EngineStats::get(&e.stats.ir_nodes) > 0);
+        assert!(EngineStats::get(&e.stats.ir_intern_calls) >= EngineStats::get(&e.stats.ir_nodes));
     }
 }

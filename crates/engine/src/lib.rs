@@ -43,7 +43,7 @@ mod protocol;
 mod server;
 mod stats;
 
-pub use cache::{CacheEntry, CacheSnapshot, QueryCache};
+pub use cache::{CacheEntry, CacheKey, CacheSnapshot, QueryCache};
 pub use engine::{Engine, EngineConfig, Session, MC_SEED};
 pub use protocol::{parse_command, read_response, Command, CommandKind, Response};
 pub use server::{serve, spawn_server, ServerHandle};

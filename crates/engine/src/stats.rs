@@ -86,6 +86,14 @@ pub struct EngineStats {
     pub rejected_conns: AtomicU64,
     /// Answers that degraded from exact to (ε, δ) Monte Carlo.
     pub degraded: AtomicU64,
+    /// Distinct formula nodes resident across all session IR arenas
+    /// (arena occupancy; sessions report deltas after each command).
+    pub ir_nodes: AtomicU64,
+    /// Distinct polynomial terms resident across all session IR arenas.
+    pub ir_terms: AtomicU64,
+    /// Total node intern requests served across all session arenas; the
+    /// ratio `ir_intern_calls / ir_nodes` is the hash-consing dedup ratio.
+    pub ir_intern_calls: AtomicU64,
     /// Per-command latency histograms, indexed by
     /// [`crate::CommandKind`] discriminant.
     pub latency: [Histogram; super::protocol::N_COMMAND_KINDS],

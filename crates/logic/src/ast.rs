@@ -553,7 +553,7 @@ impl Formula {
 /// `true` iff the polynomial is of the dense-order shape: `x - y` or
 /// `x - c` / `c - x` or a constant, i.e. expressible over `⟨ℝ, <⟩` with
 /// rational parameters.
-fn is_order_atom(p: &MPoly) -> bool {
+pub(crate) fn is_order_atom(p: &MPoly) -> bool {
     if !p.is_affine() {
         return false;
     }

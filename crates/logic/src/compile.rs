@@ -27,8 +27,10 @@
 //! the fallback triggers only near true sign boundaries.
 
 use crate::ast::{Formula, Rel};
+use crate::ir::{Arena, FormulaId, Node};
 use cqa_arith::Rat;
 use cqa_poly::{MPoly, Var};
+use std::collections::HashMap;
 use std::fmt;
 
 /// Why a formula cannot be lowered to a [`CompiledMatrix`].
@@ -322,6 +324,28 @@ impl CompiledMatrix {
         Ok(m)
     }
 
+    /// Lowers an interned formula dag, memoized per [`FormulaId`]: a
+    /// subformula shared `k` times in the denoted tree compiles to **one**
+    /// program node (and its atom enters the arena once), so the program is
+    /// O(dag size) where [`CompiledMatrix::compile`] is O(tree size). Same
+    /// rejections and bit-identical evaluation semantics as `compile`.
+    pub fn compile_arena(
+        arena: &Arena,
+        id: FormulaId,
+        slots: &SlotMap,
+    ) -> Result<CompiledMatrix, CompileError> {
+        let mut m = CompiledMatrix {
+            atoms: Vec::new(),
+            nodes: Vec::new(),
+            children: Vec::new(),
+            root: 0,
+            n_slots: slots.len(),
+        };
+        let mut memo: HashMap<FormulaId, u32> = HashMap::new();
+        m.root = m.lower_id(arena, id, slots, &mut memo)?;
+        Ok(m)
+    }
+
     /// Number of value slots an evaluation must supply.
     pub fn slot_count(&self) -> usize {
         self.n_slots
@@ -374,6 +398,62 @@ impl CompiledMatrix {
             | Formula::ExistsAdom(..)
             | Formula::ForallAdom(..) => Err(CompileError::Quantifier),
         }
+    }
+
+    fn lower_id(
+        &mut self,
+        arena: &Arena,
+        id: FormulaId,
+        slots: &SlotMap,
+        memo: &mut HashMap<FormulaId, u32>,
+    ) -> Result<u32, CompileError> {
+        if let Some(&n) = memo.get(&id) {
+            return Ok(n);
+        }
+        let n = match arena.node(id) {
+            Node::True => self.push(Op::True),
+            Node::False => self.push(Op::False),
+            Node::Atom { poly, rel } => {
+                let p = arena.term(*poly);
+                match p.as_constant() {
+                    Some(c) if rel.sign_satisfies(c.signum()) => self.push(Op::True),
+                    Some(_) => self.push(Op::False),
+                    None => {
+                        let atom = CompiledAtom::compile(p, *rel, slots)?;
+                        self.atoms.push(atom);
+                        let idx = (self.atoms.len() - 1) as u32;
+                        self.push(Op::Atom(idx))
+                    }
+                }
+            }
+            Node::Rel { name, .. } => {
+                return Err(CompileError::Relation(arena.rel_name(*name).to_string()))
+            }
+            Node::Not(g) => {
+                let c = self.lower_id(arena, *g, slots, memo)?;
+                self.push(Op::Not(c))
+            }
+            Node::And(fs) | Node::Or(fs) => {
+                let is_and = matches!(arena.node(id), Node::And(_));
+                let kids: Vec<u32> = fs
+                    .iter()
+                    .map(|&g| self.lower_id(arena, g, slots, memo))
+                    .collect::<Result<_, _>>()?;
+                let start = self.children.len() as u32;
+                self.children.extend_from_slice(&kids);
+                let end = self.children.len() as u32;
+                self.push(if is_and {
+                    Op::And { start, end }
+                } else {
+                    Op::Or { start, end }
+                })
+            }
+            Node::Exists(..) | Node::Forall(..) | Node::ExistsAdom(..) | Node::ForallAdom(..) => {
+                return Err(CompileError::Quantifier)
+            }
+        };
+        memo.insert(id, n);
+        Ok(n)
     }
 
     /// Evaluates at a point given per slot as an `f64` value plus an
@@ -517,6 +597,25 @@ mod tests {
         assert_eq!(e, 0.0);
         let (_, e) = rat_to_f64_err(&rat(1, 3));
         assert!(e > 0.0 && e < 1e-15);
+    }
+
+    #[test]
+    fn arena_compile_memoizes_shared_nodes() {
+        let mut vars = VarMap::new();
+        let x = vars.intern("x");
+        let f = parse_formula_with("(x < 1 & x > 0) | (x < 1 & x > 0) | x < 1", &mut vars).unwrap();
+        let slots = SlotMap::from_vars(&[x]);
+        let tree = CompiledMatrix::compile(&f, &slots).unwrap();
+        let mut arena = Arena::new();
+        let id = arena.intern(&f);
+        let dag = CompiledMatrix::compile_arena(&arena, id, &slots).unwrap();
+        // The repeated conjunction and the repeated atoms compile once.
+        assert!(dag.atom_count() < tree.atom_count());
+        assert!(dag.nodes.len() < tree.nodes.len());
+        for xn in -4..=4 {
+            let vals = vec![rat(xn, 2)];
+            assert_eq!(dag.eval_rats(&vals), tree.eval_rats(&vals), "x = {xn}/2");
+        }
     }
 
     #[test]

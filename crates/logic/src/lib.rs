@@ -28,6 +28,7 @@ mod ast;
 pub mod budget;
 mod canon;
 mod compile;
+pub mod ir;
 mod norm;
 mod parser;
 mod print;
@@ -36,6 +37,7 @@ mod varmap;
 
 pub use ast::{Atom, ConstraintClass, Formula, Rel};
 pub use compile::{rat_to_f64_err, CompileError, CompiledMatrix, SlotMap};
+pub use ir::{Arena, ArenaStats, FormulaId, TermId};
 pub use norm::{dnf, from_dnf, nnf, prenex, PrenexBlock};
 pub use parser::{
     parse_formula, parse_formula_spanned, parse_formula_with, parse_term_with, ParseError,

@@ -52,7 +52,7 @@ fn mono_mul(a: &Monomial, b: &Monomial) -> Monomial {
 ///
 /// Invariant: no stored coefficient is zero, so the representation is
 /// canonical and derived equality is mathematical equality.
-#[derive(Clone, Debug, PartialEq, Eq, Default)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Default)]
 pub struct MPoly {
     terms: BTreeMap<Monomial, Rat>,
 }

@@ -11,8 +11,10 @@ use crate::simplify::{rels_contradict, simplify};
 use crate::QeError;
 use cqa_arith::Rat;
 use cqa_logic::budget::EvalBudget;
+use cqa_logic::ir::{Arena, FormulaId};
 use cqa_logic::{dnf, prenex, Atom, Formula, Rel};
 use cqa_poly::{MPoly, Var};
+use std::collections::HashSet;
 
 /// Eliminates all quantifiers from a linear (FO+LIN) formula via
 /// Fourier–Motzkin. Returns an equivalent quantifier-free formula.
@@ -29,15 +31,28 @@ pub fn fourier_motzkin(f: &Formula) -> Result<Formula, QeError> {
 /// [`QeError::Budget`] when exhausted; otherwise the result is bit-identical
 /// to the unbudgeted run.
 pub fn fourier_motzkin_with_budget(f: &Formula, budget: &EvalBudget) -> Result<Formula, QeError> {
+    fourier_motzkin_with_arena(f, budget, &mut Arena::new())
+}
+
+/// [`fourier_motzkin_with_budget`] against a caller-supplied interning
+/// [`Arena`]. Every DNF clause and every eliminated disjunct is hash-consed
+/// through the arena, so the duplicate subformulas the clause cross-product
+/// produces are detected by id and eliminated **once**; the caller can read
+/// [`Arena::stats`] afterwards to see the dedup ratio (experiment E16 does).
+pub fn fourier_motzkin_with_arena(
+    f: &Formula,
+    budget: &EvalBudget,
+    arena: &mut Arena,
+) -> Result<Formula, QeError> {
     crate::check_input(f)?;
     let (blocks, mut matrix) = prenex(f);
     for block in blocks.into_iter().rev() {
         for &v in block.vars.iter().rev() {
             budget.check_atoms(matrix.atom_count() as u64)?;
             if block.exists {
-                matrix = eliminate_exists(v, &matrix, budget)?;
+                matrix = eliminate_exists(v, &matrix, budget, arena)?;
             } else {
-                matrix = eliminate_exists(v, &matrix.negate(), budget)?.negate();
+                matrix = eliminate_exists(v, &matrix.negate(), budget, arena)?.negate();
             }
         }
         matrix = simplify(&matrix);
@@ -50,12 +65,29 @@ pub(crate) fn eliminate_exists(
     v: Var,
     f: &Formula,
     budget: &EvalBudget,
+    arena: &mut Arena,
 ) -> Result<Formula, QeError> {
     let clauses = dnf(&simplify(f));
+    // The DNF cross-product repeats literals within a clause and whole
+    // clauses across the expansion; intern everything and dedup by id —
+    // integer comparisons instead of O(size) structural equality.
+    let mut seen_clauses: HashSet<Vec<FormulaId>> = HashSet::new();
+    let mut seen_out: HashSet<FormulaId> = HashSet::new();
     let mut out = Formula::False;
     for clause in clauses {
         budget.check()?;
-        out = out.or(eliminate_clause(v, clause, budget)?);
+        let mut ids: Vec<FormulaId> = clause.iter().map(|l| arena.intern(l)).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        if !seen_clauses.insert(ids.clone()) {
+            continue;
+        }
+        let lits: Vec<Formula> = ids.iter().map(|&l| arena.extern_formula(l)).collect();
+        let e = eliminate_clause(v, lits, budget)?;
+        let eid = arena.intern(&e);
+        if seen_out.insert(eid) {
+            out = out.or(e);
+        }
     }
     Ok(out)
 }

@@ -29,11 +29,12 @@ mod lw;
 mod simplify;
 
 pub use fm::{
-    clause_obviously_empty, fourier_motzkin, fourier_motzkin_with_budget, sample_between,
+    clause_obviously_empty, fourier_motzkin, fourier_motzkin_with_arena,
+    fourier_motzkin_with_budget, sample_between,
 };
 pub use hoermander::{hoermander, hoermander_with_budget};
-pub use lw::{loos_weispfenning, loos_weispfenning_with_budget};
-pub use simplify::simplify;
+pub use lw::{loos_weispfenning, loos_weispfenning_with_arena, loos_weispfenning_with_budget};
+pub use simplify::{simplify, simplify_id, SimplifyMemo};
 
 use cqa_logic::budget::{BudgetExceeded, EvalBudget};
 use cqa_logic::{ConstraintClass, Formula};

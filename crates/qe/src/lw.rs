@@ -14,8 +14,10 @@
 use crate::simplify::simplify;
 use crate::QeError;
 use cqa_logic::budget::EvalBudget;
+use cqa_logic::ir::{Arena, FormulaId};
 use cqa_logic::{nnf, prenex, Atom, Formula, Rel};
 use cqa_poly::{MPoly, Var};
+use std::collections::HashSet;
 
 /// Eliminates all quantifiers from a linear (FO+LIN) formula via
 /// Loos–Weispfenning virtual substitution.
@@ -28,15 +30,26 @@ pub fn loos_weispfenning(f: &Formula) -> Result<Formula, QeError> {
 /// intermediate formula's atom count. Aborts with [`QeError::Budget`] when
 /// exhausted; otherwise the result is bit-identical to the unbudgeted run.
 pub fn loos_weispfenning_with_budget(f: &Formula, budget: &EvalBudget) -> Result<Formula, QeError> {
+    loos_weispfenning_with_arena(f, budget, &mut Arena::new())
+}
+
+/// [`loos_weispfenning_with_budget`] against a caller-supplied interning
+/// [`Arena`]: the disjuncts produced per virtual test point are hash-consed
+/// and duplicates dropped by id before they pile up in the output.
+pub fn loos_weispfenning_with_arena(
+    f: &Formula,
+    budget: &EvalBudget,
+    arena: &mut Arena,
+) -> Result<Formula, QeError> {
     crate::check_input(f)?;
     let (blocks, mut matrix) = prenex(f);
     for block in blocks.into_iter().rev() {
         for &v in block.vars.iter().rev() {
             budget.check_atoms(matrix.atom_count() as u64)?;
             if block.exists {
-                matrix = eliminate_exists_lw(v, &matrix, budget)?;
+                matrix = eliminate_exists_lw(v, &matrix, budget, arena)?;
             } else {
-                matrix = eliminate_exists_lw(v, &matrix.negate(), budget)?.negate();
+                matrix = eliminate_exists_lw(v, &matrix.negate(), budget, arena)?.negate();
             }
             matrix = simplify(&matrix);
         }
@@ -67,6 +80,7 @@ pub(crate) fn eliminate_exists_lw(
     v: Var,
     f: &Formula,
     budget: &EvalBudget,
+    arena: &mut Arena,
 ) -> Result<Formula, QeError> {
     let f = nnf(f);
     // Gather bound terms t = -r/a for all atoms with a ≠ 0.
@@ -93,11 +107,18 @@ pub(crate) fn eliminate_exists_lw(
         return Err(e);
     }
 
+    // Different test points routinely substitute to the same formula;
+    // intern each disjunct and keep only the first occurrence.
+    let mut seen: HashSet<FormulaId> = HashSet::new();
     let mut out = subst_minus_inf(v, &f)?;
+    seen.insert(arena.intern(&out));
     for t in &bounds {
         budget.check()?;
-        out = out.or(f.subst_poly(v, t));
-        out = out.or(subst_plus_eps(v, &f, t)?);
+        for cand in [f.subst_poly(v, t), subst_plus_eps(v, &f, t)?] {
+            if seen.insert(arena.intern(&cand)) {
+                out = out.or(cand);
+            }
+        }
     }
     Ok(simplify(&out))
 }

@@ -1,0 +1,169 @@
+//! Property tests for the hash-consed IR: interning is lossless and
+//! idempotent, and everything downstream — evaluation, the memoized
+//! simplifier, the canonical cache key — agrees between the boxed tree
+//! and the arena representation.
+//!
+//! These live in `cqa-qe` (not `cqa-logic`) because the simplifier parity
+//! half needs [`cqa_qe::simplify_id`], and `cqa-qe` already depends on
+//! `cqa-logic` (the reverse dependency would be circular).
+
+use cqa_arith::{rat, Rat};
+use cqa_logic::ir::Arena;
+use cqa_logic::{Atom, Formula, Rel};
+use cqa_poly::{MPoly, Var};
+use cqa_qe::{simplify, simplify_id, SimplifyMemo};
+use proptest::prelude::*;
+
+/// Quantifier-free formulas over `x0`, `x1` with small affine and
+/// quadratic atoms — the same shape the cqa-logic normal-form props use,
+/// plus an occasional `x0²` term so both constraint classes appear.
+fn qf_formula() -> impl Strategy<Value = Formula> {
+    let atom = (
+        prop::collection::vec(-3i64..=3, 2),
+        -4i64..=4,
+        0usize..6,
+        0u8..2,
+    )
+        .prop_map(|(coeffs, c, r, square)| {
+            let square = square == 1;
+            let rel = [Rel::Lt, Rel::Le, Rel::Gt, Rel::Ge, Rel::Eq, Rel::Neq][r];
+            let mut p = MPoly::constant(Rat::from(c));
+            for (i, &a) in coeffs.iter().enumerate() {
+                p = p + MPoly::var(Var(i as u32)).scale(&Rat::from(a));
+            }
+            if square {
+                p = p + MPoly::var(Var(0)) * MPoly::var(Var(0));
+            }
+            Formula::Atom(Atom::new(p, rel))
+        });
+    atom.prop_recursive(2, 8, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            inner.prop_map(Formula::negate),
+        ]
+    })
+}
+
+/// Formulas with quantifiers and relation atoms layered on top — extern ∘
+/// intern must be lossless for every constructor, not just the ones QE
+/// accepts.
+fn any_formula() -> impl Strategy<Value = Formula> {
+    (qf_formula(), 0usize..5).prop_map(|(f, wrap)| match wrap {
+        0 => Formula::exists(vec![Var(1)], f),
+        1 => Formula::forall(vec![Var(0)], f),
+        2 => Formula::ExistsAdom(Var(1), Box::new(f)),
+        3 => f.and(Formula::Rel {
+            name: "R".into(),
+            args: vec![MPoly::var(Var(0)), MPoly::var(Var(1)).scale(&rat(2, 1))],
+        }),
+        _ => f,
+    })
+}
+
+fn grids_agree(a: &Formula, b: &Formula) -> Result<(), TestCaseError> {
+    for x in -3..=3i64 {
+        for y in -3..=3i64 {
+            let asg = |v: Var| if v == Var(0) { rat(x, 2) } else { rat(y, 2) };
+            prop_assert_eq!(a.eval(&asg, &[]), b.eval(&asg, &[]), "at ({}, {})", x, y);
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `extern(intern(f))` reconstructs `f` exactly — every constructor,
+    /// including quantifiers and relation atoms.
+    #[test]
+    fn extern_intern_is_lossless(f in any_formula()) {
+        let mut arena = Arena::new();
+        let id = arena.intern(&f);
+        prop_assert_eq!(arena.extern_formula(id), f);
+    }
+
+    /// Interning is idempotent: re-interning an externed formula yields
+    /// the same id, and no new nodes are allocated.
+    #[test]
+    fn intern_is_idempotent(f in any_formula()) {
+        let mut arena = Arena::new();
+        let id = arena.intern(&f);
+        let nodes_before = arena.stats().nodes;
+        let g = arena.extern_formula(id);
+        prop_assert_eq!(arena.intern(&g), id);
+        prop_assert_eq!(arena.stats().nodes, nodes_before);
+    }
+
+    /// The round-trip evaluates identically to the boxed original on a
+    /// rational grid.
+    #[test]
+    fn roundtrip_eval_parity(f in qf_formula()) {
+        let mut arena = Arena::new();
+        let id = arena.intern(&f);
+        let g = arena.extern_formula(id);
+        grids_agree(&f, &g)?;
+    }
+
+    /// The memoized id-world simplifier produces exactly the formula the
+    /// boxed-tree entry point does, and both preserve semantics.
+    #[test]
+    fn simplify_id_matches_tree_simplify(f in qf_formula()) {
+        let tree = simplify(&f);
+        let mut arena = Arena::new();
+        let mut memo = SimplifyMemo::new();
+        let id = arena.intern(&f);
+        let sid = simplify_id(&mut arena, id, &mut memo);
+        let via_arena = arena.extern_formula(sid);
+        prop_assert_eq!(&via_arena, &tree);
+        grids_agree(&f, &via_arena)?;
+    }
+
+    /// Simplifying twice through the memo is a fixpoint in id space.
+    #[test]
+    fn simplify_id_is_idempotent(f in qf_formula()) {
+        let mut arena = Arena::new();
+        let mut memo = SimplifyMemo::new();
+        let id = arena.intern(&f);
+        let once = simplify_id(&mut arena, id, &mut memo);
+        let twice = simplify_id(&mut arena, once, &mut memo);
+        prop_assert_eq!(once, twice);
+    }
+
+    /// The canonical string key is preserved by the round-trip, and the
+    /// canonical 128-bit hash is a function of that key: two formulas
+    /// with equal keys always get equal hashes (the cache-key contract),
+    /// session-independently across distinct arenas.
+    #[test]
+    fn canonical_key_and_hash_agree(f in qf_formula(), g in qf_formula()) {
+        let params = [Var(0), Var(1)];
+        let mut arena = Arena::new();
+        let fid = arena.intern(&f);
+        prop_assert_eq!(
+            arena.extern_formula(fid).canonical_key_for_params(&params),
+            f.canonical_key_for_params(&params)
+        );
+        // A second, independently grown arena (g first) must agree on f's
+        // hash: ids differ, hashes don't.
+        let mut other = Arena::new();
+        let gid_other = other.intern(&g);
+        let fid_other = other.intern(&f);
+        prop_assert_eq!(
+            arena.canonical_hash_for_params(fid, &params),
+            other.canonical_hash_for_params(fid_other, &params)
+        );
+        // Key equality implies hash equality (hash is computed from the
+        // same canonical form the string renders).
+        let gid = arena.intern(&g);
+        if f.canonical_key_for_params(&params) == g.canonical_key_for_params(&params) {
+            prop_assert_eq!(
+                arena.canonical_hash_for_params(fid, &params),
+                arena.canonical_hash_for_params(gid, &params)
+            );
+        }
+        prop_assert_eq!(
+            arena.canonical_hash_for_params(gid, &params),
+            other.canonical_hash_for_params(gid_other, &params)
+        );
+    }
+}

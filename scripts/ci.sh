@@ -33,6 +33,12 @@ run_capped cargo test -q --offline -p cqa-logic --test compile_props
 echo "== thread-count determinism =="
 run_capped cargo test -q --offline -p cqa-approx --test thread_determinism
 
+echo "== IR parity (boxed tree vs hash-consed arena) =="
+run_capped cargo test -q --offline -p cqa-qe --test ir_parity
+
+echo "== E16 smoke (FM dedup ratio; >= 2x key-cost floor asserted inside) =="
+run_capped ./target/release/report e16
+
 echo "== static analysis demos =="
 cargo run -q --offline -p cqa-bench --bin cqa-lint -- \
   --max-atoms inf --max-quantifiers inf examples/lint/endpoints.cqa
