@@ -265,8 +265,16 @@ pub fn volume_with_fallback(
             let samples = ((2.0 / delta).ln() / (2.0 * eps * eps)).ceil() as usize + 1;
             let mut w = Witness::new(FALLBACK_SEED);
             let threads = cqa_approx::par::default_threads();
-            let estimate = cqa_approx::mc::mc_volume_in_unit_box_threads(
-                db, f, vars, samples, &mut w, threads,
+            // The batched kernel sweep; the (discarded) lane stats are
+            // surfaced by callers that keep service counters (cqa-engine).
+            let (estimate, _lanes) = cqa_approx::mc::mc_volume_in_unit_box_stats(
+                db,
+                f,
+                vars,
+                samples,
+                &mut w,
+                threads,
+                &EvalBudget::unlimited(),
             )?;
             Ok(VolumeOutcome::Approximate {
                 estimate,

@@ -187,16 +187,25 @@ pub fn rejection_volume(p: &HPolyhedron, lo: &[f64], hi: &[f64], samples: usize,
     for i in 0..d {
         box_vol *= hi[i] - lo[i];
     }
-    let mut floats = vec![0.0f64; d];
-    let errs = vec![0.0f64; d];
-    for _ in 0..samples {
-        for (i, c) in floats.iter_mut().enumerate() {
-            *c = rng.random_range(lo[i]..hi[i]);
+    // Batched sweep: fill one structure-of-arrays batch per block of
+    // samples (draws stay lane-major — point by point, coordinate by
+    // coordinate — so the sample sequence matches the per-point loop this
+    // replaces) and decide all lanes in one kernel pass.
+    let mut batch = cqa_logic::Batch::new(d);
+    let mut scratch = cqa_logic::BatchScratch::new();
+    let mut done = 0usize;
+    while done < samples {
+        let len = (samples - done).min(cqa_logic::BATCH_LANES);
+        batch.set_len(len);
+        for lane in 0..len {
+            for i in 0..d {
+                batch.col_mut(i)[lane] = rng.random_range(lo[i]..hi[i]);
+            }
         }
-        let exact = |s: usize| Rat::from_f64(floats[s]).expect("finite");
-        if kernel.eval_f64(&floats, &errs, &exact) {
-            hits += 1;
-        }
+        let b = &batch;
+        let exact = |lane: usize, slot: usize| Rat::from_f64(b.value(slot, lane)).expect("finite");
+        hits += kernel.eval_batch(b, &exact, &mut scratch).mask.count();
+        done += len;
     }
     box_vol * hits as f64 / samples as f64
 }

@@ -13,7 +13,7 @@ use crate::sample::{try_sample_size, Witness};
 use cqa_arith::Rat;
 use cqa_core::Database;
 use cqa_logic::budget::{BudgetExceeded, EvalBudget};
-use cqa_logic::{rat_to_f64_err, CompiledMatrix, Formula, SlotMap};
+use cqa_logic::{rat_to_f64_err, Batch, BatchScratch, CompiledMatrix, Formula, LaneStats, SlotMap};
 use cqa_poly::Var;
 use cqa_qe::QeError;
 
@@ -159,35 +159,44 @@ impl UniformVolumeEstimator {
         }
         let np = self.n_params;
         let n_slots = self.kernel.slot_count();
+        let dim = n_slots - np;
         let mut param_f64 = vec![0.0f64; np];
         let mut param_err = vec![0.0f64; np];
         for (i, r) in a.iter().enumerate() {
             (param_f64[i], param_err[i]) = rat_to_f64_err(r);
         }
-        let per_chunk = par::map_chunks(
+        let per_chunk = par::map_chunks_scratch(
             self.sample.len(),
             threads,
-            |range, _| -> Result<usize, BudgetExceeded> {
-                let mut floats = vec![0.0f64; n_slots];
-                let mut errs = vec![0.0f64; n_slots];
-                floats[..np].copy_from_slice(&param_f64);
-                errs[..np].copy_from_slice(&param_err);
-                let mut hits = 0usize;
-                for i in range {
+            || (Batch::new(n_slots), BatchScratch::new()),
+            |range, _, state| -> Result<usize, BudgetExceeded> {
+                let (batch, scratch) = state;
+                for _ in range.clone() {
                     budget.check()?;
-                    floats[np..].copy_from_slice(&self.sample_f64[i]);
-                    let exact = |s: usize| {
-                        if s < np {
-                            a[s].clone()
-                        } else {
-                            self.sample[i][s - np].clone()
-                        }
-                    };
-                    if self.kernel.eval_f64(&floats, &errs, &exact) {
-                        hits += 1;
+                }
+                batch.set_len(range.len());
+                // Parameters broadcast into the leading slots (with their
+                // conversion error bounds), then the shared sample
+                // transposes into the point columns.
+                for (s, (&v, &e)) in param_f64.iter().zip(&param_err).enumerate() {
+                    batch.set_uniform(s, v, e);
+                }
+                for d in 0..dim {
+                    let col = batch.col_mut(np + d);
+                    for (lane, i) in range.clone().enumerate() {
+                        col[lane] = self.sample_f64[i][d];
                     }
                 }
-                Ok(hits)
+                let base = range.start;
+                let batch = &*batch;
+                let exact = |lane: usize, slot: usize| {
+                    if slot < np {
+                        a[slot].clone()
+                    } else {
+                        self.sample[base + lane][slot - np].clone()
+                    }
+                };
+                Ok(self.kernel.eval_batch(batch, &exact, scratch).mask.count())
             },
         )?;
         let mut hits = 0usize;
@@ -249,35 +258,65 @@ pub fn mc_volume_in_unit_box_budgeted(
     threads: usize,
     budget: &EvalBudget,
 ) -> Result<Rat, ApproxError> {
+    Ok(mc_volume_in_unit_box_stats(db, phi, point_vars, m, witness, threads, budget)?.0)
+}
+
+/// [`mc_volume_in_unit_box_budgeted`], additionally returning the batched
+/// kernel's [`LaneStats`] — how many sample lanes the certified `f64`
+/// sweep decided vs how many took the exact fallback — so callers can
+/// surface the fallback rate instead of absorbing it as a silent slowdown.
+///
+/// This is the one Monte Carlo volume hot path: each scheduling chunk
+/// fills one structure-of-arrays [`Batch`] straight from its witness
+/// substream and sweeps it through [`CompiledMatrix::eval_batch`] with
+/// per-worker reusable scratch. The draw order inside a chunk matches the
+/// per-point loop this replaces, so estimates are bit-identical to the
+/// scalar kernel's for every `threads` value.
+#[allow(clippy::too_many_arguments)]
+pub fn mc_volume_in_unit_box_stats(
+    db: &Database,
+    phi: &Formula,
+    point_vars: &[Var],
+    m: usize,
+    witness: &mut Witness,
+    threads: usize,
+    budget: &EvalBudget,
+) -> Result<(Rat, LaneStats), ApproxError> {
     let slots = SlotMap::from_vars(point_vars);
     let (_, kernel) = compile_matrix(db, phi, &slots, budget)?;
     let splitter = witness.fork();
     witness.note_applications(m);
     let dim = point_vars.len();
-    let per_chunk = par::map_chunks(
+    let kernel = &kernel;
+    let per_chunk = par::map_chunks_scratch(
         m,
         threads,
-        |range, chunk| -> Result<usize, BudgetExceeded> {
-            let mut w = splitter.chunk(chunk as u64);
-            let mut floats = vec![0.0f64; dim];
-            let errs = vec![0.0f64; dim];
-            let mut hits = 0usize;
-            for _ in range {
+        || (Batch::new(dim), BatchScratch::new()),
+        |range, chunk, state| -> Result<(usize, LaneStats), BudgetExceeded> {
+            let (batch, scratch) = state;
+            for _ in range.clone() {
                 budget.check()?;
-                w.uniform_unit_point_f64(&mut floats);
-                let exact = |s: usize| Rat::from_f64(floats[s]).expect("finite");
-                if kernel.eval_f64(&floats, &errs, &exact) {
-                    hits += 1;
-                }
             }
-            Ok(hits)
+            let mut w = splitter.chunk(chunk as u64);
+            batch.set_len(range.len());
+            w.fill_unit_columns(batch, 0, dim);
+            let batch = &*batch;
+            let exact =
+                |lane: usize, slot: usize| Rat::from_f64(batch.value(slot, lane)).expect("finite");
+            let r = kernel.eval_batch(batch, &exact, scratch);
+            let mut stats = LaneStats::default();
+            stats.add(&r);
+            Ok((r.mask.count(), stats))
         },
     )?;
     let mut hits = 0usize;
+    let mut stats = LaneStats::default();
     for h in per_chunk {
-        hits += h?;
+        let (h, s) = h?;
+        hits += h;
+        stats.merge(s);
     }
-    Ok(Rat::new((hits as i64).into(), (m as i64).into()))
+    Ok((Rat::new((hits as i64).into(), (m as i64).into()), stats))
 }
 
 /// Monte Carlo estimate of the *average of a polynomial over a spatial
@@ -338,26 +377,36 @@ pub fn mc_average_over_budgeted(
     let splitter = witness.fork();
     witness.note_applications(m);
     let dim = point_vars.len();
-    let per_chunk = par::map_chunks(
+    let kernel = &kernel;
+    let slots = &slots;
+    let per_chunk = par::map_chunks_scratch(
         m,
         threads,
-        |range, chunk| -> Result<(usize, Rat), BudgetExceeded> {
+        // Per-worker scratch: the batch, the kernel scratch, and one
+        // reusable rational point buffer for the hit lanes — no per-point
+        // heap allocation on the hot path.
+        || (Batch::new(dim), BatchScratch::new(), vec![Rat::zero(); dim]),
+        |range, chunk, state| -> Result<(usize, Rat), BudgetExceeded> {
+            let (batch, scratch, pt) = state;
+            for _ in range.clone() {
+                budget.check()?;
+            }
             let mut w = splitter.chunk(chunk as u64);
-            let mut floats = vec![0.0f64; dim];
-            let errs = vec![0.0f64; dim];
+            batch.set_len(range.len());
+            w.fill_unit_columns(batch, 0, dim);
+            let batch = &*batch;
+            let exact =
+                |lane: usize, slot: usize| Rat::from_f64(batch.value(slot, lane)).expect("finite");
+            let r = kernel.eval_batch(batch, &exact, scratch);
             let mut hits = 0usize;
             let mut acc = Rat::zero();
-            for _ in range {
-                budget.check()?;
-                w.uniform_unit_point_f64(&mut floats);
-                let exact = |s: usize| Rat::from_f64(floats[s]).expect("finite");
-                if kernel.eval_f64(&floats, &errs, &exact) {
+            for lane in 0..batch.len() {
+                if r.mask.get(lane) {
                     hits += 1;
-                    let pt: Vec<Rat> = floats
-                        .iter()
-                        .map(|&v| Rat::from_f64(v).expect("finite"))
-                        .collect();
-                    acc += &p.eval(&slots.assignment(&pt));
+                    for (d, c) in pt.iter_mut().enumerate() {
+                        *c = Rat::from_f64(batch.value(d, lane)).expect("finite");
+                    }
+                    acc += &p.eval(&slots.assignment(pt));
                 }
             }
             Ok((hits, acc))

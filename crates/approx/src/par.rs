@@ -26,8 +26,10 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Items per chunk. Small enough to load-balance a few thousand Monte
-/// Carlo points across workers, large enough to amortize dispatch.
-pub const CHUNK: usize = 512;
+/// Carlo points across workers, large enough to amortize dispatch — and
+/// exactly one [`cqa_logic::BATCH_LANES`]-lane batch of the vectorized
+/// kernel, so a scheduling chunk maps 1:1 onto a kernel batch.
+pub const CHUNK: usize = cqa_logic::BATCH_LANES;
 
 /// The item range of chunk `c` within `0..n`.
 fn chunk_range(c: usize, n: usize) -> std::ops::Range<usize> {
@@ -83,54 +85,86 @@ where
     T: Send,
     F: Fn(std::ops::Range<usize>, usize) -> T + Sync,
 {
-    let guarded = |c: usize| -> (usize, Result<T, ChunkPanicked>) {
-        let r = catch_unwind(AssertUnwindSafe(|| work(chunk_range(c, n), c)));
-        (
-            c,
-            r.map_err(|payload| ChunkPanicked {
-                chunk: c,
-                message: panic_message(payload),
-            }),
-        )
-    };
+    map_chunks_scratch(n, threads, || (), |r, c, ()| work(r, c))
+}
+
+/// [`map_chunks`] with per-worker scratch state: every worker builds one
+/// `S` via `mk_scratch` and threads it mutably through all the chunks it
+/// pulls, so reusable buffers (e.g. a [`cqa_logic::Batch`] +
+/// [`cqa_logic::BatchScratch`] pair) are allocated once per worker instead
+/// of once per chunk. Scratch is working memory, not an accumulator:
+/// results must depend only on `(range, chunk_index)`, never on which
+/// worker ran the chunk — that is what keeps the output identical for
+/// every `threads` value.
+///
+/// Dispatch never oversubscribes: the worker count is capped at the chunk
+/// count, the single-worker and single-chunk cases run inline on the
+/// caller's thread with no scope at all, and when threads are spawned the
+/// caller participates as one of the workers (`threads` workers =
+/// `threads − 1` spawns).
+pub fn map_chunks_scratch<T, S, M, F>(
+    n: usize,
+    threads: usize,
+    mk_scratch: M,
+    work: F,
+) -> Result<Vec<T>, ChunkPanicked>
+where
+    T: Send,
+    M: Fn() -> S + Sync,
+    F: Fn(std::ops::Range<usize>, usize, &mut S) -> T + Sync,
+{
     let n_chunks = n.div_ceil(CHUNK);
-    let threads = threads.clamp(1, n_chunks.max(1));
-    let mut tagged: Vec<(usize, Result<T, ChunkPanicked>)> = if threads == 1 || n_chunks <= 1 {
-        (0..n_chunks).map(guarded).collect()
+    let next = AtomicUsize::new(0);
+    // One worker's loop: pull chunks off the shared counter until drained.
+    // A caught panic poisons the scratch (the closure may have died midway
+    // through mutating it), so it is rebuilt before the next chunk.
+    let run_worker = || {
+        let mut scratch = mk_scratch();
+        let mut out: Vec<(usize, Result<T, ChunkPanicked>)> = Vec::new();
+        loop {
+            let c = next.fetch_add(1, Ordering::Relaxed);
+            if c >= n_chunks {
+                break;
+            }
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                work(chunk_range(c, n), c, &mut scratch)
+            }));
+            out.push((
+                c,
+                r.map_err(|payload| {
+                    scratch = mk_scratch();
+                    ChunkPanicked {
+                        chunk: c,
+                        message: panic_message(payload),
+                    }
+                }),
+            ));
+        }
+        out
+    };
+    let workers = threads.clamp(1, n_chunks.max(1));
+    let mut tagged: Vec<(usize, Result<T, ChunkPanicked>)> = if workers == 1 {
+        run_worker()
     } else {
-        let next = AtomicUsize::new(0);
         std::thread::scope(|s| {
-            let handles: Vec<_> = (0..threads)
-                .map(|_| {
-                    s.spawn(|| {
-                        let mut out = Vec::new();
-                        loop {
-                            let c = next.fetch_add(1, Ordering::Relaxed);
-                            if c >= n_chunks {
-                                break;
-                            }
-                            out.push(guarded(c));
-                        }
-                        out
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| match h.join() {
-                    Ok(v) => v,
+            let handles: Vec<_> = (1..workers).map(|_| s.spawn(run_worker)).collect();
+            let mut all = run_worker();
+            for h in handles {
+                match h.join() {
+                    Ok(v) => all.extend(v),
                     // catch_unwind already contains work panics; a join
                     // failure would mean the panic escaped (e.g. raised
                     // while dropping the payload). Surface it, don't abort.
-                    Err(payload) => vec![(
+                    Err(payload) => all.push((
                         usize::MAX,
                         Err(ChunkPanicked {
                             chunk: usize::MAX,
                             message: panic_message(payload),
                         }),
-                    )],
-                })
-                .collect()
+                    )),
+                }
+            }
+            all
         })
     };
     tagged.sort_unstable_by_key(|&(c, _)| c);
@@ -192,6 +226,61 @@ mod tests {
             assert_eq!(err.chunk, 2, "threads = {t}");
             assert!(err.message.contains("poisoned chunk"));
         }
+    }
+
+    #[test]
+    fn scratch_is_reused_per_worker_and_results_stay_deterministic() {
+        let n = 6 * CHUNK + 5;
+        let one = run_chunks(n, 1, |r, c| (c, r.len()));
+        for t in [1, 2, 3, 16] {
+            let allocs = AtomicUsize::new(0);
+            let got = map_chunks_scratch(
+                n,
+                t,
+                || {
+                    allocs.fetch_add(1, Ordering::Relaxed);
+                    Vec::<usize>::new()
+                },
+                |r, c, scratch| {
+                    // Scratch persists across the chunks a worker pulls;
+                    // results must not depend on its accumulated contents.
+                    scratch.push(c);
+                    (c, r.len())
+                },
+            )
+            .unwrap();
+            assert_eq!(got, one, "threads = {t}");
+            // One scratch per worker, workers capped at the chunk count.
+            let workers = t.min(n.div_ceil(CHUNK));
+            assert!(
+                allocs.load(Ordering::Relaxed) <= workers,
+                "threads = {t}: {} scratches for {workers} workers",
+                allocs.load(Ordering::Relaxed)
+            );
+        }
+    }
+
+    #[test]
+    fn scratch_rebuilt_after_poisoned_chunk() {
+        let n = 4 * CHUNK;
+        // Sequential single worker: chunk 1 panics mid-mutation; chunks 2/3
+        // must see a fresh scratch, not the poisoned one.
+        let err = map_chunks_scratch(
+            n,
+            1,
+            || 0usize,
+            |_, c, scratch| {
+                assert_eq!(*scratch, 0, "chunk {c} saw poisoned scratch");
+                *scratch = 1;
+                if c == 1 {
+                    panic!("poisoned chunk");
+                }
+                *scratch = 0;
+                c
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err.chunk, 1);
     }
 
     #[test]

@@ -119,6 +119,30 @@ impl Witness {
         (0..m).map(|_| self.uniform_unit_point(dim)).collect()
     }
 
+    /// Fills the point-variable columns of `batch` — slots `first_slot ..
+    /// first_slot + dim` — with one uniform unit-cube point per active
+    /// lane, straight into the structure-of-arrays buffers (no per-point
+    /// allocation). Draws are made lane-major (point 0's coordinates in
+    /// order, then point 1's, …), the exact sequence a per-point
+    /// [`Self::uniform_unit_point_f64`] loop would make, so batched and
+    /// per-point estimators see identical samples. Counts one witness
+    /// application per lane. Coordinates are exactly representable
+    /// dyadics, so the filled columns are exact.
+    pub fn fill_unit_columns(
+        &mut self,
+        batch: &mut cqa_logic::Batch,
+        first_slot: usize,
+        dim: usize,
+    ) {
+        let len = batch.len();
+        self.calls += len;
+        for lane in 0..len {
+            for d in 0..dim {
+                batch.col_mut(first_slot + d)[lane] = self.rng.random::<f64>();
+            }
+        }
+    }
+
     /// `W x.φ(x)` over a finite set: picks one element uniformly, `None`
     /// on the empty set.
     pub fn choose<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
@@ -228,6 +252,23 @@ mod tests {
             assert_eq!(r, &Rat::from_f64(v).unwrap());
         }
         assert_eq!(b.calls(), 1);
+    }
+
+    #[test]
+    fn column_fill_matches_per_point_draws() {
+        let mut a = Witness::new(11);
+        let mut b = Witness::new(11);
+        let mut batch = cqa_logic::Batch::new(3);
+        batch.set_len(5);
+        a.fill_unit_columns(&mut batch, 0, 3);
+        let mut q = [0.0f64; 3];
+        for lane in 0..5 {
+            b.uniform_unit_point_f64(&mut q);
+            for (d, &v) in q.iter().enumerate() {
+                assert_eq!(batch.value(d, lane), v, "lane {lane} dim {d}");
+            }
+        }
+        assert_eq!(a.calls(), b.calls());
     }
 
     #[test]

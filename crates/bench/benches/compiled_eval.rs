@@ -5,39 +5,13 @@
 use cqa_approx::mc::mc_volume_in_unit_box_threads;
 use cqa_approx::sample::Witness;
 use cqa_arith::Rat;
+use cqa_bench::workloads::{linear16_workload, poly3_workload};
 use cqa_core::Database;
-use cqa_logic::{parse_formula_with, Formula, SlotMap, VarMap};
+use cqa_logic::{Formula, SlotMap};
 use cqa_poly::Var;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 const M: usize = 2000;
-
-/// A 16-gon inscribed in the unit box: 16 linear atoms per point.
-fn linear_workload(vars: &mut VarMap) -> (Formula, Vec<Var>) {
-    let x = vars.intern("x");
-    let y = vars.intern("y");
-    // Rational approximations of (cos θ, sin θ) on a 16-direction fan:
-    // c·(x−1/2) + s·(y−1/2) ≤ 2/5 for each direction (c, s).
-    let dirs: [(i64, i64, i64); 4] = [(1, 0, 1), (12, 5, 13), (4, 3, 5), (3, 4, 5)];
-    let mut parts = Vec::new();
-    for &(p, q, h) in &dirs {
-        for (c, s) in [(p, q), (-p, q), (p, -q), (-p, -q)] {
-            parts.push(format!("{c}*(5*x - 2) + {s}*(5*y - 2) <= {}", 2 * h));
-        }
-    }
-    let src = parts.join(" & ");
-    (parse_formula_with(&src, vars).unwrap(), vec![x, y])
-}
-
-/// An annulus with a cubic wobble: polynomial atoms of degree up to 3.
-fn poly_workload(vars: &mut VarMap) -> (Formula, Vec<Var>) {
-    let x = vars.intern("x");
-    let y = vars.intern("y");
-    let src = "(2*x - 1)*(2*x - 1) + (2*y - 1)*(2*y - 1) <= 1 \
-               & 4*((2*x - 1)*(2*x - 1) + (2*y - 1)*(2*y - 1)) >= 1 \
-               & 8*(2*x - 1)*(2*x - 1)*(2*y - 1) <= 1";
-    (parse_formula_with(src, vars).unwrap(), vec![x, y])
-}
 
 /// The pre-kernel evaluation loop: rational sample points fed to the
 /// tree-walking interpreter (the reference oracle).
@@ -74,11 +48,11 @@ fn bench_workload(c: &mut Criterion, name: &str, f: &Formula, vs: &[Var]) {
 }
 
 fn bench_compiled_eval(c: &mut Criterion) {
-    let mut vars = VarMap::new();
-    let (lin, lin_vs) = linear_workload(&mut vars);
+    let mut vars = cqa_logic::VarMap::new();
+    let (lin, lin_vs) = linear16_workload(&mut vars);
     bench_workload(c, "linear16", &lin, &lin_vs);
-    let mut vars = VarMap::new();
-    let (pol, pol_vs) = poly_workload(&mut vars);
+    let mut vars = cqa_logic::VarMap::new();
+    let (pol, pol_vs) = poly3_workload(&mut vars);
     bench_workload(c, "poly3", &pol, &pol_vs);
 }
 

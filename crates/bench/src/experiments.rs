@@ -1,4 +1,4 @@
-//! The E1–E12 + E15–E16 experiment suite (see DESIGN.md §4 and EXPERIMENTS.md).
+//! The E1–E12 + E15–E17 experiment suite (see DESIGN.md §4 and EXPERIMENTS.md).
 //!
 //! Each function prints a self-contained table and returns it as a string
 //! so the integration tests can assert on the numbers.
@@ -910,6 +910,290 @@ pub fn e16(out: &mut String) {
     );
 }
 
+/// E17 — the vectorized batch kernel: batched vs scalar per-sample cost
+/// on the E13 kernel workloads plus a high-fallback adversarial workload,
+/// with bit-identical hit counts asserted lane for lane.
+///
+/// The batch kernel sweeps each atom's coefficients across a whole
+/// 512-lane sample chunk in flat `f64` columns, then re-runs only the
+/// lanes whose certified error columns admitted a sign flip through the
+/// exact rational path — so its output is bit-identical to the per-point
+/// `eval_f64` loop by construction, and the only question is speed. The
+/// adversarial workload pins every sample to the decision boundary
+/// (`y = 1 − x` against `x + y ≤ 1`, exact in `f64`), forcing a 100%
+/// exact-fallback rate: the worst case the lane masks must survive.
+///
+/// Timings go to stderr (stdout stays byte-identical across runs); the
+/// measured snapshot is written to BENCH_batch.json. The ≥ 2× floor on
+/// the two E13 workloads is asserted here and runs in CI.
+pub fn e17(out: &mut String) {
+    use cqa_approx::mc::{mc_average_over_threads, mc_volume_in_unit_box_threads};
+    use cqa_logic::{Batch, BatchScratch, CompiledMatrix, LaneStats, SlotMap, BATCH_LANES};
+    use cqa_poly::MPoly;
+    use std::time::Instant;
+
+    writeln!(
+        out,
+        "E17: vectorized batch kernel — SoA chunk sweep vs per-point eval"
+    )
+    .unwrap();
+
+    const M: usize = 4096;
+    const ROUNDS: usize = 5;
+
+    // Workload matrices: `cols[d][i]` is coordinate `d` of sample `i`,
+    // every coordinate a dyadic `f64` so slot columns are exact.
+    let mut vars = VarMap::new();
+    let (lin, lin_vs) = workloads::linear16_workload(&mut vars);
+    let mut vars = VarMap::new();
+    let (pol, pol_vs) = workloads::poly3_workload(&mut vars);
+    let mut vars = VarMap::new();
+    let adv = parse_formula_with("x + y <= 1", &mut vars).unwrap();
+    let adv_vs = vec![vars.get("x").unwrap(), vars.get("y").unwrap()];
+
+    let random_cols = |dim: usize, seed: u64| -> Vec<Vec<f64>> {
+        let mut w = Witness::new(seed);
+        let mut cols = vec![vec![0.0f64; M]; dim];
+        let mut pt = vec![0.0f64; dim];
+        for i in 0..M {
+            w.uniform_unit_point_f64(&mut pt);
+            for (col, &v) in cols.iter_mut().zip(pt.iter()) {
+                col[i] = v;
+            }
+        }
+        cols
+    };
+    // Every adversarial sample sits exactly on the boundary: `y = 1 − x`
+    // is exact for dyadic `x ∈ [0, 1]`, so `x + y − 1` evaluates to an
+    // exact `f64` zero that no nonzero certified error bound can sign.
+    let adv_cols = {
+        let mut cols = random_cols(2, 17);
+        let (xs, ys) = cols.split_at_mut(1);
+        for (y, &x) in ys[0].iter_mut().zip(xs[0].iter()) {
+            *y = 1.0 - x;
+        }
+        cols
+    };
+
+    struct Measured {
+        hits: usize,
+        stats: LaneStats,
+        scalar_ns: f64,
+        batch_ns: f64,
+    }
+
+    let run = |f: &cqa_logic::Formula, vs: &[Var], cols: &[Vec<f64>]| -> Measured {
+        let slots = SlotMap::from_vars(vs);
+        let kernel = CompiledMatrix::compile(f, &slots).expect("QF workload compiles");
+        let dim = vs.len();
+
+        let scalar_pass = || -> usize {
+            let mut hits = 0usize;
+            let mut floats = vec![0.0f64; dim];
+            let errs = vec![0.0f64; dim];
+            for i in 0..M {
+                for (d, col) in cols.iter().enumerate() {
+                    floats[d] = col[i];
+                }
+                let fs = &floats;
+                if kernel.eval_f64(fs, &errs, &|s| Rat::from_f64(fs[s]).expect("finite")) {
+                    hits += 1;
+                }
+            }
+            hits
+        };
+        let batch_pass = |stats: &mut LaneStats| -> usize {
+            let mut batch = Batch::new(dim);
+            let mut scratch = BatchScratch::new();
+            let mut hits = 0usize;
+            let mut done = 0usize;
+            while done < M {
+                let len = (M - done).min(BATCH_LANES);
+                batch.set_len(len);
+                for (d, col) in cols.iter().enumerate() {
+                    batch.col_mut(d).copy_from_slice(&col[done..done + len]);
+                }
+                let b = &batch;
+                let r = kernel.eval_batch(
+                    b,
+                    &|lane, slot| Rat::from_f64(b.value(slot, lane)).expect("finite"),
+                    &mut scratch,
+                );
+                hits += r.mask.count();
+                stats.add(&r);
+                done += len;
+            }
+            hits
+        };
+
+        let mut stats = LaneStats::default();
+        let hits = scalar_pass();
+        let batch_hits = batch_pass(&mut stats);
+        assert_eq!(
+            hits, batch_hits,
+            "batched and per-point kernels must agree bit for bit"
+        );
+
+        // Min over interleaved rounds: transient load hits both sides.
+        let (mut scalar_ns, mut batch_ns) = (f64::INFINITY, f64::INFINITY);
+        let mut sink = 0usize;
+        for _ in 0..ROUNDS {
+            let t0 = Instant::now();
+            sink ^= scalar_pass();
+            scalar_ns = scalar_ns.min(t0.elapsed().as_nanos() as f64 / M as f64);
+            let t0 = Instant::now();
+            sink ^= batch_pass(&mut LaneStats::default());
+            batch_ns = batch_ns.min(t0.elapsed().as_nanos() as f64 / M as f64);
+        }
+        let _ = std::hint::black_box(sink);
+        Measured {
+            hits,
+            stats,
+            scalar_ns,
+            batch_ns,
+        }
+    };
+
+    let cases = [
+        ("linear16", &lin, &lin_vs, &random_cols(2, 13), true),
+        ("poly3", &pol, &pol_vs, &random_cols(2, 13), true),
+        ("adversarial", &adv, &adv_vs, &adv_cols, false),
+    ];
+    let mut snapshot = String::new();
+    for (name, f, vs, cols, floor) in cases {
+        let m = run(f, vs, cols);
+        let speedup = m.scalar_ns / m.batch_ns.max(1.0);
+        writeln!(
+            out,
+            "  {name:<12} m={M}: hits={} (bit-identical scalar vs batch), \
+             fast_lanes={} exact_lanes={} fallback_rate={:.4}",
+            m.hits,
+            m.stats.fast,
+            m.stats.exact,
+            m.stats.fallback_rate()
+        )
+        .unwrap();
+        eprintln!(
+            "E17 {name}: scalar {:.1} ns/sample, batch {:.1} ns/sample \
+             (min of {ROUNDS} rounds), speedup {speedup:.2}x",
+            m.scalar_ns, m.batch_ns
+        );
+        if floor {
+            assert!(
+                speedup >= 2.0,
+                "batched kernel must be >= 2x faster than per-point eval on {name}, \
+                 got {speedup:.2}x"
+            );
+        }
+        write!(
+            snapshot,
+            "{}    \"{name}\": {{\n      \"description\": \"{}\",\n      \
+             \"samples\": {M},\n      \"scalar_ns_per_sample\": {:.1},\n      \
+             \"batch_ns_per_sample\": {:.1},\n      \"speedup\": {speedup:.2},\n      \
+             \"fast_lanes\": {},\n      \"exact_lanes\": {},\n      \
+             \"fallback_rate\": {:.4}\n    }}",
+            if snapshot.is_empty() { "" } else { ",\n" },
+            match name {
+                "linear16" =>
+                    "16 linear half-plane atoms (inscribed 16-gon), degree-1 dot-product path",
+                "poly3" =>
+                    "annulus with cubic wobble, polynomial atoms of degree <= 3, term-sweep path",
+                _ => "every sample pinned to the x + y = 1 boundary: 100% exact-fallback lanes",
+            },
+            m.scalar_ns,
+            m.batch_ns,
+            m.stats.fast,
+            m.stats.exact,
+            m.stats.fallback_rate()
+        )
+        .unwrap();
+    }
+
+    // Output identity across thread counts: the batched sampler draws
+    // lane-major from per-chunk witness substreams, so volume and SUM
+    // estimates are bit-identical for every worker count.
+    let db = Database::new();
+    let mut vols = Vec::new();
+    let mut sums = Vec::new();
+    let p = {
+        // Integrand x + y over the region (exercises the SUM path).
+        let x = lin_vs[0];
+        let y = lin_vs[1];
+        &MPoly::var(x) + &MPoly::var(y)
+    };
+    for threads in [1usize, 2, 4] {
+        let mut w = Witness::new(42);
+        vols.push(
+            mc_volume_in_unit_box_threads(&db, &lin, &lin_vs, 2048, &mut w, threads).unwrap(),
+        );
+        let mut w = Witness::new(42);
+        sums.push(
+            mc_average_over_threads(&db, &lin, &lin_vs, &p, 2048, &mut w, threads)
+                .unwrap()
+                .expect("16-gon has hits"),
+        );
+    }
+    assert!(
+        vols.windows(2).all(|w| w[0] == w[1]),
+        "volume estimate must be bit-identical for every thread count"
+    );
+    assert!(
+        sums.windows(2).all(|w| w[0] == w[1]),
+        "SUM estimate must be bit-identical for every thread count"
+    );
+    writeln!(
+        out,
+        "  thread identity (threads 1/2/4): VOL_I(16-gon) = {}, AVG(x+y) = {}",
+        vols[0], sums[0]
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  speedup >= 2x asserted on linear16 and poly3 (target 4x; timings on stderr; \
+         snapshot in BENCH_batch.json)\n"
+    )
+    .unwrap();
+
+    // The measured snapshot, in the shape of BENCH_mc_volume.json.
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let json = format!(
+        "{{\n  \"bench\": \"batched SoA kernel vs per-point compiled eval \
+         (E17, {M} samples per workload)\",\n  \"date\": \"{}\",\n  \
+         \"machine\": {{ \"cpus\": {cpus}, \"mode\": \"report e17, release, min of {ROUNDS} \
+         interleaved rounds\" }},\n  \"workloads\": {{\n{snapshot}\n  }},\n  \"notes\": [\n    \
+         \"Hit counts are asserted bit-identical between the batched and per-point kernels on \
+         every workload, including the all-boundary adversarial one.\",\n    \
+         \"Volume and SUM estimates are asserted bit-identical for threads 1, 2 and 4: lanes \
+         fill in draw order from per-chunk witness substreams.\",\n    \
+         \"fallback_rate = exact_lanes / (fast_lanes + exact_lanes); the adversarial workload \
+         pins it at 1.0 by construction.\"\n  ]\n}}\n",
+        today_utc()
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_batch.json");
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("E17: could not write {path}: {e}");
+    }
+}
+
+/// Today's UTC date as `YYYY-MM-DD` (civil-from-days, Hinnant's algorithm;
+/// no external time crates).
+fn today_utc() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let z = secs as i64 / 86_400 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
 fn collect_atoms(f: &cqa_logic::Formula) -> Vec<cqa_logic::Atom> {
     let mut out = Vec::new();
     f.visit(&mut |g| {
@@ -924,7 +1208,7 @@ fn collect_atoms(f: &cqa_logic::Formula) -> Vec<cqa_logic::Atom> {
 pub fn run_all() -> String {
     let mut out = String::new();
     type Experiment = fn(&mut String);
-    let fns: [(&str, Experiment); 14] = [
+    let fns: [(&str, Experiment); 15] = [
         ("e1", e1),
         ("e2", e2),
         ("e3", e3),
@@ -939,6 +1223,7 @@ pub fn run_all() -> String {
         ("e12", e12),
         ("e15", e15),
         ("e16", e16),
+        ("e17", e17),
     ];
     for (name, f) in fns {
         let _ = name;
@@ -947,7 +1232,7 @@ pub fn run_all() -> String {
     out
 }
 
-/// Runs one experiment by id (`"e1"` … `"e12"`, `"e15"`, `"e16"`); `None` for unknown ids.
+/// Runs one experiment by id (`"e1"` … `"e12"`, `"e15"` … `"e17"`); `None` for unknown ids.
 pub fn run_one(id: &str) -> Option<String> {
     let mut out = String::new();
     match id {
@@ -965,6 +1250,7 @@ pub fn run_one(id: &str) -> Option<String> {
         "e12" => e12(&mut out),
         "e15" => e15(&mut out),
         "e16" => e16(&mut out),
+        "e17" => e17(&mut out),
         _ => return None,
     }
     Some(out)

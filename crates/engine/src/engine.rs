@@ -11,7 +11,8 @@ use cqa_core::Database;
 use cqa_geom::VolumeError;
 use cqa_logic::budget::EvalBudget;
 use cqa_logic::{
-    parse_formula_with, Arena, ArenaStats, CompiledMatrix, ConstraintClass, Formula, SlotMap,
+    parse_formula_with, Arena, ArenaStats, Batch, BatchScratch, CompiledMatrix, ConstraintClass,
+    Formula, LaneStats, SlotMap, BATCH_LANES,
 };
 use cqa_poly::Var;
 use cqa_qe::{QeError, SimplifyMemo};
@@ -514,7 +515,12 @@ impl Engine {
         (((2.0 / delta).ln() / (2.0 * eps * eps)).ceil() as usize).max(1) + 1
     }
 
-    /// Deterministic Monte Carlo `VOL_I` over a cached compiled kernel.
+    /// Deterministic Monte Carlo `VOL_I` over a cached compiled kernel,
+    /// swept batch-wise: samples fill one structure-of-arrays [`Batch`] at
+    /// a time (draws in the same order as the per-point loop this
+    /// replaces, so estimates are unchanged) and the kernel decides all
+    /// lanes per sweep. Fast/exact lane counts feed the service counters
+    /// behind `STATS`.
     fn mc_over_kernel(
         &self,
         entry: &Arc<CacheEntry>,
@@ -525,16 +531,29 @@ impl Engine {
     ) -> Result<Answer, Response> {
         let samples = Self::sample_count(eps, delta);
         let mut w = Witness::new(MC_SEED);
-        let mut floats = vec![0.0f64; dim];
-        let errs = vec![0.0f64; dim];
+        let mut batch = Batch::new(dim);
+        let mut scratch = BatchScratch::new();
         let mut hits = 0usize;
-        for _ in 0..samples {
-            w.uniform_unit_point_f64(&mut floats);
-            let exact = |s: usize| Rat::from_f64(floats[s]).expect("finite sample coordinate");
-            if entry.kernel.eval_f64(&floats, &errs, &exact) {
-                hits += 1;
-            }
+        let mut lanes = LaneStats::default();
+        let mut done = 0usize;
+        while done < samples {
+            batch.set_len((samples - done).min(BATCH_LANES));
+            w.fill_unit_columns(&mut batch, 0, dim);
+            let b = &batch;
+            let exact = |lane: usize, slot: usize| {
+                Rat::from_f64(b.value(slot, lane)).expect("finite sample coordinate")
+            };
+            let r = entry.kernel.eval_batch(b, &exact, &mut scratch);
+            hits += r.mask.count();
+            lanes.add(&r);
+            done += batch.len();
         }
+        self.stats
+            .batch_fast_lanes
+            .fetch_add(lanes.fast, Ordering::Relaxed);
+        self.stats
+            .batch_exact_lanes
+            .fetch_add(lanes.exact, Ordering::Relaxed);
         Ok(Answer::Approx {
             estimate: Rat::new((hits as i64).into(), (samples as i64).into()),
             eps,
@@ -631,6 +650,18 @@ impl Engine {
                 1.0
             } else {
                 calls as f64 / nodes as f64
+            }
+        ));
+        let (fast, exact) = (
+            EngineStats::get(&s.batch_fast_lanes),
+            EngineStats::get(&s.batch_exact_lanes),
+        );
+        resp.body.push(format!(
+            "kernel fast_lanes={fast} exact_lanes={exact} fallback_rate={:.4}",
+            if fast + exact == 0 {
+                0.0
+            } else {
+                exact as f64 / (fast + exact) as f64
             }
         ));
         for kind in [
@@ -740,6 +771,20 @@ sum EndpointSum(w) := true | END[y. S(y)] ; xout . xout = w
         let x: f64 = n.parse::<f64>().unwrap() / d.parse::<f64>().unwrap();
         assert!((0.70..=0.87).contains(&x), "VOL_I estimate {x} off");
         assert_eq!(EngineStats::get(&e.stats.degraded), 1);
+        // The batched kernel swept every sample lane and counted it.
+        let lanes = EngineStats::get(&e.stats.batch_fast_lanes)
+            + EngineStats::get(&e.stats.batch_exact_lanes);
+        let samples: u64 = r
+            .header
+            .split("samples=")
+            .nth(1)
+            .unwrap()
+            .split_whitespace()
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert_eq!(lanes, samples);
     }
 
     #[test]
@@ -770,6 +815,7 @@ sum EndpointSum(w) := true | END[y. S(y)] ; xout . xout = w
         assert!(body.contains("cache entries=1"), "{body}");
         assert!(body.contains("latency EXEC"), "{body}");
         assert!(body.contains("ir nodes="), "{body}");
+        assert!(body.contains("kernel fast_lanes="), "{body}");
         // The EXEC went through dispatch, so the session's arena growth
         // was flushed into the engine-wide aggregates.
         assert!(EngineStats::get(&e.stats.ir_nodes) > 0);

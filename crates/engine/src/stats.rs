@@ -94,6 +94,15 @@ pub struct EngineStats {
     /// Total node intern requests served across all session arenas; the
     /// ratio `ir_intern_calls / ir_nodes` is the hash-consing dedup ratio.
     pub ir_intern_calls: AtomicU64,
+    /// Monte Carlo sample lanes decided by the batched kernel's certified
+    /// `f64` fast path.
+    pub batch_fast_lanes: AtomicU64,
+    /// Monte Carlo sample lanes that fell back to exact rational
+    /// evaluation. `batch_exact_lanes / (batch_fast_lanes +
+    /// batch_exact_lanes)` is the fallback rate; a climb means sample
+    /// points are landing near sign boundaries and the kernel is quietly
+    /// doing big-rational work.
+    pub batch_exact_lanes: AtomicU64,
     /// Per-command latency histograms, indexed by
     /// [`crate::CommandKind`] discriminant.
     pub latency: [Histogram; super::protocol::N_COMMAND_KINDS],

@@ -25,6 +25,20 @@
 //! approximation. Sample points drawn through `cqa-approx`'s witness
 //! operator are dyadic rationals that convert to `f64` without error, so
 //! the fallback triggers only near true sign boundaries.
+//!
+//! **Batched evaluation.** The Monte Carlo estimators never ask for one
+//! point: they sweep the same matrix over thousands. [`Batch`] lays a chunk
+//! of up to [`BATCH_LANES`] points out as structure-of-arrays columns (one
+//! contiguous `f64` column per slot), and [`CompiledMatrix::eval_batch`]
+//! evaluates every atom across the whole chunk with flat coefficient
+//! sweeps — auto-vectorizable inner loops over contiguous lanes, a
+//! dot-product specialization for degree-1 atoms, and a certified per-atom
+//! error column. The boolean program then runs on per-chunk
+//! certified-sign/undecided bitmasks ([`LaneMask`]), short-circuiting whole
+//! subtrees once every lane is decided; only the lanes whose sign the `f64`
+//! sweep could not certify re-run through the exact [`Rat`] path, so the
+//! batched result is bit-for-bit the same as a per-point
+//! [`CompiledMatrix::eval_f64`] loop.
 
 use crate::ast::{Formula, Rel};
 use crate::ir::{Arena, FormulaId, Node};
@@ -149,6 +163,14 @@ const UNIT: f64 = 2.220_446_049_250_313e-16;
 /// computation itself (a handful of f64 operations, each < 2⁻⁵² relative).
 const PAD: f64 = 1.0 + 1e-9;
 
+/// Generous relative inflation for the batch sweep's *uniform* per-chunk
+/// error bound: it absorbs the rounding slack between each lane's true
+/// Σ|term| and the column-max estimate computed in `f64`. Far larger than
+/// needed — inflating a ~1e-16-relative bound by 1e-6 costs essentially
+/// nothing in extra fallbacks and keeps the conservativeness argument
+/// one-line.
+const PAD2: f64 = 1.0 + 1e-6;
+
 /// `(a ± ea) + (b ± eb)`: the computed sum and a bound on its distance from
 /// the true real sum.
 #[inline]
@@ -205,6 +227,17 @@ struct Term {
 struct CompiledAtom {
     rel: Rel,
     terms: Vec<Term>,
+    /// Every coefficient converts to `f64` without error.
+    coeffs_exact: bool,
+    /// Certified relative rounding factor for the batched exact-input
+    /// sweep: when coefficients and slot columns are exact, the computed
+    /// lane value differs from the true polynomial value by at most
+    /// `gamma · Σ|computed terms|` (see [`CompiledAtom::batch_signs`]).
+    gamma: f64,
+    /// Degree-≤1 specialization `(constant, [(slot, coefficient)])`,
+    /// present only when every term is affine and every coefficient exact:
+    /// the batched sweep becomes one dot product per lane.
+    linear: Option<(f64, Vec<(u32, f64)>)>,
 }
 
 impl CompiledAtom {
@@ -225,7 +258,40 @@ impl CompiledAtom {
                 powers,
             });
         }
-        Ok(CompiledAtom { rel, terms })
+        let coeffs_exact = terms.iter().all(|t| t.coeff_err == 0.0);
+        // One multiplication per exponent unit plus one addition per term,
+        // each contributing ≤ UNIT relative rounding (UNIT is itself ≥ 2×
+        // the true unit roundoff); +2 and PAD absorb the second-order
+        // cross terms and the rounding of the bound computation.
+        let kmax = terms
+            .iter()
+            .map(|t| t.powers.iter().map(|&(_, e)| e as usize).sum::<usize>())
+            .max()
+            .unwrap_or(0);
+        let gamma = (kmax + terms.len() + 2) as f64 * UNIT * PAD;
+        let affine = terms
+            .iter()
+            .all(|t| t.powers.iter().map(|&(_, e)| e).sum::<u32>() <= 1);
+        let linear = if coeffs_exact && affine {
+            let mut c0 = 0.0f64;
+            let mut lin = Vec::new();
+            for t in &terms {
+                match t.powers.first() {
+                    None => c0 += t.coeff_f64,
+                    Some(&(slot, _)) => lin.push((slot, t.coeff_f64)),
+                }
+            }
+            Some((c0, lin))
+        } else {
+            None
+        };
+        Ok(CompiledAtom {
+            rel,
+            terms,
+            coeffs_exact,
+            gamma,
+            linear,
+        })
     }
 
     /// The polynomial's sign from the `f64` fast path, or `None` when the
@@ -504,6 +570,644 @@ impl CompiledMatrix {
     }
 }
 
+// ---------------------------------------------------------------------------
+// batched (structure-of-arrays) evaluation
+// ---------------------------------------------------------------------------
+
+/// Number of point lanes in one [`Batch`] — the structure-of-arrays unit
+/// the Monte Carlo estimators sweep. `cqa-approx` schedules its work in
+/// chunks of exactly this size, so one scheduling chunk is one batch.
+pub const BATCH_LANES: usize = 512;
+
+/// Words per lane bitmask.
+const BATCH_WORDS: usize = BATCH_LANES / 64;
+
+/// A [`BATCH_LANES`]-wide bitmask over the lanes of a [`Batch`]. Bits at
+/// or above the batch length are always zero.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LaneMask {
+    words: [u64; BATCH_WORDS],
+}
+
+impl LaneMask {
+    /// The all-zero mask.
+    pub const fn empty() -> LaneMask {
+        LaneMask {
+            words: [0; BATCH_WORDS],
+        }
+    }
+
+    /// Ones at every lane below `len`.
+    fn full(len: usize) -> LaneMask {
+        debug_assert!(len <= BATCH_LANES);
+        let mut m = LaneMask::empty();
+        for (i, w) in m.words.iter_mut().enumerate() {
+            let lo = i * 64;
+            if len >= lo + 64 {
+                *w = !0;
+            } else if len > lo {
+                *w = (1u64 << (len - lo)) - 1;
+            }
+        }
+        m
+    }
+
+    /// Whether lane `lane` is set.
+    pub fn get(&self, lane: usize) -> bool {
+        self.words[lane / 64] >> (lane % 64) & 1 == 1
+    }
+
+    fn set(&mut self, lane: usize) {
+        self.words[lane / 64] |= 1u64 << (lane % 64);
+    }
+
+    /// Number of set lanes.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    fn and(self, o: LaneMask) -> LaneMask {
+        let mut m = self;
+        for (w, ow) in m.words.iter_mut().zip(o.words) {
+            *w &= ow;
+        }
+        m
+    }
+
+    fn or(self, o: LaneMask) -> LaneMask {
+        let mut m = self;
+        for (w, ow) in m.words.iter_mut().zip(o.words) {
+            *w |= ow;
+        }
+        m
+    }
+}
+
+/// A chunk of up to [`BATCH_LANES`] evaluation points in column-major
+/// (structure-of-arrays) layout: one contiguous `f64` value column and one
+/// error column per slot, plus a per-slot exactness flag. Fillers must set
+/// the length first ([`Batch::set_len`]) and then populate every slot
+/// column; lanes beyond the length are ignored.
+#[derive(Clone, Debug)]
+pub struct Batch {
+    n_slots: usize,
+    len: usize,
+    /// `n_slots × BATCH_LANES`, column-major by slot.
+    values: Vec<f64>,
+    errs: Vec<f64>,
+    /// Per slot: the error column is known all-zero, so the column holds
+    /// the slot values *exactly* (e.g. dyadic witness samples).
+    exact: Vec<bool>,
+}
+
+impl Batch {
+    /// An empty batch with `n_slots` value columns.
+    pub fn new(n_slots: usize) -> Batch {
+        Batch {
+            n_slots,
+            len: 0,
+            values: vec![0.0; n_slots * BATCH_LANES],
+            errs: vec![0.0; n_slots * BATCH_LANES],
+            exact: vec![true; n_slots],
+        }
+    }
+
+    /// Number of slot columns.
+    pub fn n_slots(&self) -> usize {
+        self.n_slots
+    }
+
+    /// Number of active lanes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` iff no lanes are active.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets the number of active lanes (≤ [`BATCH_LANES`]). Call before
+    /// filling columns; lane contents are *not* cleared.
+    pub fn set_len(&mut self, len: usize) {
+        assert!(len <= BATCH_LANES, "batch of {len} lanes exceeds capacity");
+        self.len = len;
+    }
+
+    /// The value column of `slot` for direct filling, marking the slot
+    /// exact (error zero) — the contract for dyadic witness samples.
+    pub fn col_mut(&mut self, slot: usize) -> &mut [f64] {
+        if !self.exact[slot] {
+            self.err_range_mut(slot).fill(0.0);
+            self.exact[slot] = true;
+        }
+        &mut self.values[slot * BATCH_LANES..][..self.len]
+    }
+
+    /// Broadcasts one value (e.g. a query parameter) into every lane of
+    /// `slot`, with a per-lane absolute error bound.
+    pub fn set_uniform(&mut self, slot: usize, value: f64, err: f64) {
+        self.values[slot * BATCH_LANES..][..self.len].fill(value);
+        self.err_range_mut(slot).fill(err);
+        self.exact[slot] = err == 0.0;
+    }
+
+    /// Fills the column of `slot` from exact rational values via
+    /// [`rat_to_f64_err`], recording per-lane conversion error bounds.
+    ///
+    /// # Panics
+    /// Panics if `vals.len()` differs from the batch length.
+    pub fn set_col_rats(&mut self, slot: usize, vals: &[Rat]) {
+        assert_eq!(vals.len(), self.len, "column length mismatch");
+        let mut all_exact = true;
+        for (lane, r) in vals.iter().enumerate() {
+            let (v, e) = rat_to_f64_err(r);
+            self.values[slot * BATCH_LANES + lane] = v;
+            self.errs[slot * BATCH_LANES + lane] = e;
+            all_exact &= e == 0.0;
+        }
+        self.exact[slot] = all_exact;
+    }
+
+    /// The `f64` value of `slot` at `lane`.
+    pub fn value(&self, slot: usize, lane: usize) -> f64 {
+        debug_assert!(lane < self.len);
+        self.values[slot * BATCH_LANES + lane]
+    }
+
+    fn err(&self, slot: usize, lane: usize) -> f64 {
+        self.errs[slot * BATCH_LANES + lane]
+    }
+
+    fn col(&self, slot: usize) -> &[f64] {
+        &self.values[slot * BATCH_LANES..][..self.len]
+    }
+
+    fn err_col(&self, slot: usize) -> &[f64] {
+        &self.errs[slot * BATCH_LANES..][..self.len]
+    }
+
+    fn err_range_mut(&mut self, slot: usize) -> &mut [f64] {
+        &mut self.errs[slot * BATCH_LANES..][..BATCH_LANES]
+    }
+}
+
+/// Flat per-lane working buffers for the atom sweeps.
+#[derive(Debug, Default)]
+struct LaneBufs {
+    /// Current term value / error per lane.
+    tv: Vec<f64>,
+    te: Vec<f64>,
+    /// Accumulated polynomial value / error per lane.
+    accv: Vec<f64>,
+    acce: Vec<f64>,
+}
+
+/// Reusable scratch for [`CompiledMatrix::eval_batch`]: lane buffers, the
+/// per-atom sign plane, and the per-node mask memo. One scratch per worker
+/// thread; `eval_batch` resizes it to the kernel on every call, so a single
+/// scratch serves kernels of any shape with no per-batch allocation once
+/// warm.
+#[derive(Debug, Default)]
+pub struct BatchScratch {
+    bufs: LaneBufs,
+    /// Per slot: `max |value|` over the batch's lanes (exact columns
+    /// only) — the shared ingredient of every atom's uniform error bound.
+    col_max: Vec<f64>,
+    /// Per atom: its lane masks have been swept for this batch (swept but
+    /// uncertified lanes go straight to exact in the fallback walk).
+    atom_done: Vec<bool>,
+    /// Per node: memoized `(true-lanes, false-lanes)` masks.
+    node_memo: Vec<Option<(LaneMask, LaneMask)>>,
+}
+
+impl BatchScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> BatchScratch {
+        BatchScratch::default()
+    }
+
+    fn reset(&mut self, m: &CompiledMatrix, batch: &Batch) {
+        let b = &mut self.bufs;
+        for buf in [&mut b.tv, &mut b.te, &mut b.accv, &mut b.acce] {
+            buf.resize(BATCH_LANES, 0.0);
+        }
+        self.col_max.clear();
+        for slot in 0..batch.n_slots() {
+            self.col_max.push(if batch.exact[slot] {
+                batch.col(slot).iter().fold(0.0f64, |m, &x| m.max(x.abs()))
+            } else {
+                // Inexact columns route through the guarded sweep, which
+                // carries its own per-lane error column.
+                f64::NAN
+            });
+        }
+        self.atom_done.clear();
+        self.atom_done.resize(m.atoms.len(), false);
+        self.node_memo.clear();
+        self.node_memo.resize(m.nodes.len(), None);
+    }
+}
+
+/// Outcome of one [`CompiledMatrix::eval_batch`] call.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchResult {
+    /// Lanes at which the matrix holds.
+    pub mask: LaneMask,
+    /// Lanes fully decided by the certified `f64` mask sweep.
+    pub fast_lanes: usize,
+    /// Lanes that re-ran through the exact rational path.
+    pub exact_lanes: usize,
+}
+
+/// Lane counters accumulated across many [`CompiledMatrix::eval_batch`]
+/// calls: how many sample lanes the certified `f64` sweep decided outright
+/// vs how many re-ran through the exact rational path. A rising fallback
+/// rate turns a silent slowdown into a visible number.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LaneStats {
+    /// Lanes decided by the certified fast path.
+    pub fast: u64,
+    /// Lanes that took the exact fallback.
+    pub exact: u64,
+}
+
+impl LaneStats {
+    /// Folds one batch outcome in.
+    pub fn add(&mut self, r: &BatchResult) {
+        self.fast += r.fast_lanes as u64;
+        self.exact += r.exact_lanes as u64;
+    }
+
+    /// Merges another accumulator in.
+    pub fn merge(&mut self, o: LaneStats) {
+        self.fast += o.fast;
+        self.exact += o.exact;
+    }
+
+    /// Fraction of lanes that fell back to exact arithmetic (0 when no
+    /// lanes were evaluated).
+    pub fn fallback_rate(&self) -> f64 {
+        let total = self.fast + self.exact;
+        if total == 0 {
+            0.0
+        } else {
+            self.exact as f64 / total as f64
+        }
+    }
+}
+
+impl CompiledAtom {
+    /// Sweeps this atom across all active lanes of `batch`, returning the
+    /// certified `(true-lanes, false-lanes)` masks for its relation.
+    ///
+    /// Two regimes. When every coefficient and every referenced slot
+    /// column is exact, the value column is accumulated with flat
+    /// multiply/add lane loops and certified against a *uniform* per-chunk
+    /// error bound built from the per-slot column maxima in `col_max`:
+    /// `e = (Σ_t |c_t|·Π max|col|^exp) · PAD2 · gamma + MIN_POSITIVE`.
+    /// The bound dominates every lane's Σ|computed term| (PAD2 absorbs the
+    /// rounding in forming it), it is one scalar per atom instead of a
+    /// second accumulated column, and the `MIN_POSITIVE` covers absolute
+    /// rounding slop in the subnormal range, where relative bounds fail
+    /// (so an exactly-zero value is never certified here; those lanes take
+    /// the exact path). Affine atoms with exact coefficients skip the term
+    /// buffer entirely and fuse into one dot product. Otherwise the sweep
+    /// carries a full error column through [`mul_err`]/[`add_err`] in
+    /// exactly [`CompiledAtom::sign_fast`]'s operation order, so its
+    /// certifications match the scalar kernel's lane for lane.
+    ///
+    /// Either way every certified sign is the true sign, so downstream
+    /// results are bit-identical to the exact tree walk. The sweep emits
+    /// the relation's `(true-lanes, false-lanes)` masks directly — an
+    /// unset lane in both masks is uncertified and re-runs exactly.
+    fn batch_masks(
+        &self,
+        batch: &Batch,
+        bufs: &mut LaneBufs,
+        col_max: &[f64],
+        len: usize,
+    ) -> (LaneMask, LaneMask) {
+        debug_assert_eq!(len, batch.len());
+        // `true`-mask membership per certified sign of the polynomial.
+        let sat_neg = self.rel.sign_satisfies(-1);
+        let sat_zero = self.rel.sign_satisfies(0);
+        let sat_pos = self.rel.sign_satisfies(1);
+        let mut t = LaneMask::empty();
+        let mut f = LaneMask::empty();
+        let exact_inputs = self
+            .terms
+            .iter()
+            .all(|t| t.powers.iter().all(|&(s, _)| batch.exact[s as usize]));
+        let accv = &mut bufs.accv[..len];
+        if self.coeffs_exact && exact_inputs {
+            let mut sum_abs;
+            if let Some((c0, lin)) = &self.linear {
+                let c0 = *c0;
+                sum_abs = c0.abs();
+                for &(slot, c) in lin {
+                    sum_abs += c.abs() * col_max[slot as usize];
+                }
+                // One fused pass for the common low-arity dot products;
+                // the generic path accumulates column by column.
+                match lin.as_slice() {
+                    [(s1, c1)] => {
+                        let xs = batch.col(*s1 as usize);
+                        for (a, &x) in accv.iter_mut().zip(xs) {
+                            *a = c0 + c1 * x;
+                        }
+                    }
+                    [(s1, c1), (s2, c2)] => {
+                        let xs = batch.col(*s1 as usize);
+                        let ys = batch.col(*s2 as usize);
+                        for ((a, &x), &y) in accv.iter_mut().zip(xs).zip(ys) {
+                            *a = (c0 + c1 * x) + c2 * y;
+                        }
+                    }
+                    _ => {
+                        accv.fill(c0);
+                        for &(slot, c) in lin {
+                            let xs = batch.col(slot as usize);
+                            for (a, &x) in accv.iter_mut().zip(xs) {
+                                *a += c * x;
+                            }
+                        }
+                    }
+                }
+            } else {
+                accv.fill(0.0);
+                sum_abs = 0.0;
+                let tv = &mut bufs.tv[..len];
+                for t in &self.terms {
+                    tv.fill(t.coeff_f64);
+                    let mut tmax = t.coeff_f64.abs();
+                    for &(slot, exp) in &t.powers {
+                        let xs = batch.col(slot as usize);
+                        for _ in 0..exp {
+                            for (v, &x) in tv.iter_mut().zip(xs) {
+                                *v *= x;
+                            }
+                        }
+                        tmax *= col_max[slot as usize].powi(exp as i32);
+                    }
+                    for (a, &v) in accv.iter_mut().zip(tv.iter()) {
+                        *a += v;
+                    }
+                    sum_abs += tmax;
+                }
+            }
+            // NaN/∞-safe: a poisoned value or bound fails the comparison
+            // below and the lane stays undecided. `e > 0` always, so an
+            // exactly-zero lane is never certified here.
+            let e = sum_abs * PAD2 * self.gamma + f64::MIN_POSITIVE;
+            // Branchless classification: the sign of `v` is data-dependent
+            // noise to the branch predictor, so build the mask bits with
+            // arithmetic instead of jumps.
+            let (sp, sn) = (sat_pos as u64, sat_neg as u64);
+            for (w, chunk) in accv.chunks(64).enumerate() {
+                let (mut tw, mut fw) = (0u64, 0u64);
+                for (b, &v) in chunk.iter().enumerate() {
+                    let dec = (v.abs() > e) as u64;
+                    let neg = (v < 0.0) as u64;
+                    let sat = neg * sn + (1 - neg) * sp;
+                    tw |= (dec & sat) << b;
+                    fw |= (dec & (1 - sat)) << b;
+                }
+                t.words[w] = tw;
+                f.words[w] = fw;
+            }
+        } else {
+            let acce = &mut bufs.acce[..len];
+            accv.fill(0.0);
+            acce.fill(0.0);
+            let tv = &mut bufs.tv[..len];
+            let te = &mut bufs.te[..len];
+            for t in &self.terms {
+                tv.fill(t.coeff_f64);
+                te.fill(t.coeff_err);
+                for &(slot, exp) in &t.powers {
+                    let xs = batch.col(slot as usize);
+                    let xe = batch.err_col(slot as usize);
+                    for _ in 0..exp {
+                        for ((v, e), (&x, &xerr)) in
+                            tv.iter_mut().zip(te.iter_mut()).zip(xs.iter().zip(xe))
+                        {
+                            (*v, *e) = mul_err(*v, *e, x, xerr);
+                        }
+                    }
+                }
+                for ((a, ae), (&v, &e)) in accv
+                    .iter_mut()
+                    .zip(acce.iter_mut())
+                    .zip(tv.iter().zip(te.iter()))
+                {
+                    (*a, *ae) = add_err(*a, *ae, v, e);
+                }
+            }
+            for (w, (cv, ce)) in accv.chunks(64).zip(acce.chunks(64)).enumerate() {
+                let (mut tw, mut fw) = (0u64, 0u64);
+                for (b, (&v, &e)) in cv.iter().zip(ce).enumerate() {
+                    let sat = if v.abs() > e {
+                        if v > 0.0 {
+                            sat_pos
+                        } else {
+                            sat_neg
+                        }
+                    } else if v == 0.0 && e == 0.0 {
+                        sat_zero
+                    } else {
+                        continue;
+                    };
+                    if sat {
+                        tw |= 1 << b;
+                    } else {
+                        fw |= 1 << b;
+                    }
+                }
+                t.words[w] = tw;
+                f.words[w] = fw;
+            }
+        }
+        (t, f)
+    }
+
+    /// Scalar [`CompiledAtom::sign_fast`] reading one lane out of the
+    /// batch columns — for lanes whose subtree the mask sweep
+    /// short-circuited past before this atom was ever evaluated.
+    fn sign_fast_lane(&self, batch: &Batch, lane: usize) -> Option<i32> {
+        let mut sum = 0.0f64;
+        let mut serr = 0.0f64;
+        for t in &self.terms {
+            let mut v = t.coeff_f64;
+            let mut e = t.coeff_err;
+            for &(slot, exp) in &t.powers {
+                let xf = batch.value(slot as usize, lane);
+                let xe = batch.err(slot as usize, lane);
+                for _ in 0..exp {
+                    (v, e) = mul_err(v, e, xf, xe);
+                }
+            }
+            (sum, serr) = add_err(sum, serr, v, e);
+        }
+        if sum.abs() > serr {
+            Some(if sum > 0.0 { 1 } else { -1 })
+        } else if sum == 0.0 && serr == 0.0 {
+            Some(0)
+        } else {
+            None
+        }
+    }
+}
+
+impl CompiledMatrix {
+    /// Evaluates the matrix at every active lane of `batch` in one sweep.
+    ///
+    /// Atoms are evaluated lazily as whole columns ([`CompiledAtom::
+    /// batch_signs`]); the boolean program then runs on per-node
+    /// `(true-lanes, false-lanes)` [`LaneMask`] pairs in three-valued
+    /// logic, short-circuiting an entire subtree (and the atom sweeps
+    /// under it) once every lane of a conjunction is false or of a
+    /// disjunction true. Lanes still undecided at the root — the atoms'
+    /// certified error columns admitted a sign flip — re-run individually,
+    /// reusing certified signs and falling back to `exact(lane, slot)`
+    /// rational evaluation, so the returned mask is bit-identical to a
+    /// per-point [`CompiledMatrix::eval_f64`] loop with the same slot
+    /// data.
+    ///
+    /// `scratch` is reusable across calls and kernels; one per worker
+    /// thread.
+    pub fn eval_batch(
+        &self,
+        batch: &Batch,
+        exact: &dyn Fn(usize, usize) -> Rat,
+        scratch: &mut BatchScratch,
+    ) -> BatchResult {
+        assert_eq!(batch.n_slots(), self.n_slots, "batch slot count mismatch");
+        let len = batch.len();
+        scratch.reset(self, batch);
+        let (t, f) = self.batch_node(self.root, batch, scratch);
+        let decided = t.or(f);
+        let mut mask = t;
+        let mut exact_lanes = 0;
+        for lane in 0..len {
+            if !decided.get(lane) {
+                exact_lanes += 1;
+                if self.lane_node(self.root, lane, batch, scratch, exact) {
+                    mask.set(lane);
+                }
+            }
+        }
+        BatchResult {
+            mask,
+            fast_lanes: len - exact_lanes,
+            exact_lanes,
+        }
+    }
+
+    /// Three-valued mask evaluation of `node`: lanes certainly true and
+    /// lanes certainly false (disjoint; the remainder is undecided).
+    /// Memoized per node, so dag-shared subprograms sweep once.
+    fn batch_node(&self, node: u32, batch: &Batch, sc: &mut BatchScratch) -> (LaneMask, LaneMask) {
+        if let Some(r) = sc.node_memo[node as usize] {
+            return r;
+        }
+        let len = batch.len();
+        let r = match self.nodes[node as usize] {
+            Op::True => (LaneMask::full(len), LaneMask::empty()),
+            Op::False => (LaneMask::empty(), LaneMask::full(len)),
+            Op::Atom(i) => {
+                let i = i as usize;
+                let sc = &mut *sc;
+                sc.atom_done[i] = true;
+                self.atoms[i].batch_masks(batch, &mut sc.bufs, &sc.col_max, len)
+            }
+            Op::Not(c) => {
+                let (t, f) = self.batch_node(c, batch, sc);
+                (f, t)
+            }
+            Op::And { start, end } => {
+                let mut t = LaneMask::full(len);
+                let mut f = LaneMask::empty();
+                for i in start as usize..end as usize {
+                    let (ct, cf) = self.batch_node(self.children[i], batch, sc);
+                    t = t.and(ct);
+                    f = f.or(cf);
+                    if f.count() == len {
+                        // Every lane already false: skip the remaining
+                        // subtrees (and their atom sweeps) entirely.
+                        break;
+                    }
+                }
+                (t, f)
+            }
+            Op::Or { start, end } => {
+                let mut t = LaneMask::empty();
+                let mut f = LaneMask::full(len);
+                for i in start as usize..end as usize {
+                    let (ct, cf) = self.batch_node(self.children[i], batch, sc);
+                    t = t.or(ct);
+                    f = f.and(cf);
+                    if t.count() == len {
+                        break;
+                    }
+                }
+                (t, f)
+            }
+        };
+        sc.node_memo[node as usize] = Some(r);
+        r
+    }
+
+    /// Scalar evaluation of one undecided lane, reusing the batch sweep's
+    /// work: memoized node masks decide shared subtrees instantly and
+    /// certified atom signs are read back directly; only genuinely
+    /// uncertified atoms pay the exact rational evaluation.
+    fn lane_node(
+        &self,
+        node: u32,
+        lane: usize,
+        batch: &Batch,
+        sc: &BatchScratch,
+        exact: &dyn Fn(usize, usize) -> Rat,
+    ) -> bool {
+        if let Some((t, f)) = sc.node_memo[node as usize] {
+            if t.get(lane) {
+                return true;
+            }
+            if f.get(lane) {
+                return false;
+            }
+        }
+        match self.nodes[node as usize] {
+            Op::True => true,
+            Op::False => false,
+            Op::Atom(i) => {
+                let i = i as usize;
+                let a = &self.atoms[i];
+                // A swept atom's certified lanes were answered by the
+                // node-memo masks above, so landing here means this lane
+                // stayed uncertified: only exact arithmetic can decide it.
+                // A never-swept atom (short-circuited past) first gets the
+                // scalar certified try.
+                let sign = if sc.atom_done[i] {
+                    a.sign_exact(&|slot| exact(lane, slot))
+                } else {
+                    a.sign_fast_lane(batch, lane)
+                        .unwrap_or_else(|| a.sign_exact(&|slot| exact(lane, slot)))
+                };
+                a.rel.sign_satisfies(sign)
+            }
+            Op::Not(c) => !self.lane_node(c, lane, batch, sc, exact),
+            Op::And { start, end } => self.children[start as usize..end as usize]
+                .iter()
+                .all(|&c| self.lane_node(c, lane, batch, sc, exact)),
+            Op::Or { start, end } => self.children[start as usize..end as usize]
+                .iter()
+                .any(|&c| self.lane_node(c, lane, batch, sc, exact)),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -631,5 +1335,130 @@ mod tests {
         let eps = &ten200.recip() + &rat(10, 1).pow(-300);
         assert!(m.eval_rats(&[eps]));
         assert!(!m.eval_rats(&[ten200.recip()]));
+    }
+
+    /// Evaluates `pts` through one batch, returning per-point booleans and
+    /// the batch result.
+    fn batch_points(m: &CompiledMatrix, pts: &[Vec<Rat>]) -> (Vec<bool>, BatchResult) {
+        let mut batch = Batch::new(m.slot_count());
+        batch.set_len(pts.len());
+        for slot in 0..m.slot_count() {
+            let col: Vec<Rat> = pts.iter().map(|p| p[slot].clone()).collect();
+            batch.set_col_rats(slot, &col);
+        }
+        let mut scratch = BatchScratch::new();
+        let exact = |lane: usize, slot: usize| pts[lane][slot].clone();
+        let r = m.eval_batch(&batch, &exact, &mut scratch);
+        ((0..pts.len()).map(|l| r.mask.get(l)).collect(), r)
+    }
+
+    #[test]
+    fn lane_mask_basics() {
+        let mut m = LaneMask::empty();
+        assert_eq!(m.count(), 0);
+        m.set(0);
+        m.set(63);
+        m.set(64);
+        m.set(511);
+        assert_eq!(m.count(), 4);
+        assert!(m.get(64) && !m.get(65));
+        assert_eq!(LaneMask::full(0), LaneMask::empty());
+        assert_eq!(LaneMask::full(BATCH_LANES).count(), BATCH_LANES);
+        let f = LaneMask::full(70);
+        assert_eq!(f.count(), 70);
+        assert!(f.get(69) && !f.get(70));
+        assert_eq!(f.and(m).count(), 3);
+        assert_eq!(f.or(m), f.or(m).or(m));
+    }
+
+    #[test]
+    fn batch_matches_eval_rats_on_grid() {
+        let (m, _, _) = compile(
+            "(x + y <= 1 | x*x + y*y < 1) & !(x = y) | 2*x - 3*y >= 1",
+            &["x", "y"],
+        );
+        let pts: Vec<Vec<Rat>> = (-6..=6)
+            .flat_map(|xn| (-6..=6).map(move |yn| vec![rat(xn, 4), rat(yn, 4)]))
+            .collect();
+        let (got, r) = batch_points(&m, &pts);
+        assert_eq!(r.fast_lanes + r.exact_lanes, pts.len());
+        for (pt, got) in pts.iter().zip(got) {
+            assert_eq!(got, m.eval_rats(pt), "at {pt:?}");
+        }
+    }
+
+    #[test]
+    fn batch_boundary_lane_takes_exact_fallback() {
+        let (m, _, _) = compile("x + y <= 1", &["x", "y"]);
+        // Lane 1 sits exactly on the boundary: the sweep cannot certify a
+        // zero with a nonzero error column, so exactly that lane re-runs
+        // through the exact rational path — and still decides true.
+        let pts = vec![
+            vec![rat(1, 8), rat(1, 4)],
+            vec![rat(1, 4), rat(3, 4)],
+            vec![rat(7, 8), rat(7, 8)],
+        ];
+        let (got, r) = batch_points(&m, &pts);
+        assert_eq!(got, vec![true, true, false]);
+        assert_eq!(r.exact_lanes, 1);
+        assert_eq!(r.fast_lanes, 2);
+    }
+
+    #[test]
+    fn batch_uniform_inexact_param_uses_guarded_sweep() {
+        // Slot 0 is a broadcast parameter a = 1/3 with conversion error:
+        // the guarded sweep must carry the error column and the strict
+        // comparison a < x must still be decided exactly at x = 1/3.
+        let (m, _, _) = compile("a < x", &["a", "x"]);
+        let a = rat(1, 3);
+        let xs = [rat(1, 3), rat(1, 2), rat(1, 4)];
+        let mut batch = Batch::new(2);
+        batch.set_len(xs.len());
+        let (af, ae) = rat_to_f64_err(&a);
+        assert!(ae > 0.0);
+        batch.set_uniform(0, af, ae);
+        batch.set_col_rats(1, &xs);
+        let mut scratch = BatchScratch::new();
+        let exact = |lane: usize, slot: usize| {
+            if slot == 0 {
+                a.clone()
+            } else {
+                xs[lane].clone()
+            }
+        };
+        let r = m.eval_batch(&batch, &exact, &mut scratch);
+        assert!(!r.mask.get(0), "1/3 < 1/3 is false");
+        assert!(r.mask.get(1));
+        assert!(!r.mask.get(2));
+        assert!(r.exact_lanes >= 1, "boundary lane must go exact");
+    }
+
+    #[test]
+    fn batch_scratch_reuse_across_kernels() {
+        let (m1, _, _) = compile("x + y <= 1", &["x", "y"]);
+        let (m2, _, _) = compile("x*x + y*y < 1 & x > 0 & y > 0", &["x", "y"]);
+        let pts: Vec<Vec<Rat>> = (0..20).map(|i| vec![rat(i, 20), rat(19 - i, 17)]).collect();
+        let mut scratch = BatchScratch::new();
+        for m in [&m1, &m2, &m1] {
+            let mut batch = Batch::new(2);
+            batch.set_len(pts.len());
+            for slot in 0..2 {
+                let col: Vec<Rat> = pts.iter().map(|p| p[slot].clone()).collect();
+                batch.set_col_rats(slot, &col);
+            }
+            let exact = |lane: usize, slot: usize| pts[lane][slot].clone();
+            let r = m.eval_batch(&batch, &exact, &mut scratch);
+            for (lane, pt) in pts.iter().enumerate() {
+                assert_eq!(r.mask.get(lane), m.eval_rats(pt), "at {pt:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_empty_is_empty() {
+        let (m, _, _) = compile("x >= 0", &["x"]);
+        let (got, r) = batch_points(&m, &[]);
+        assert!(got.is_empty());
+        assert_eq!(r, BatchResult::default());
     }
 }

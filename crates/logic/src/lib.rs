@@ -36,7 +36,10 @@ mod span;
 mod varmap;
 
 pub use ast::{Atom, ConstraintClass, Formula, Rel};
-pub use compile::{rat_to_f64_err, CompileError, CompiledMatrix, SlotMap};
+pub use compile::{
+    rat_to_f64_err, Batch, BatchResult, BatchScratch, CompileError, CompiledMatrix, LaneMask,
+    LaneStats, SlotMap, BATCH_LANES,
+};
 pub use ir::{Arena, ArenaStats, FormulaId, TermId};
 pub use norm::{dnf, from_dnf, nnf, prenex, PrenexBlock};
 pub use parser::{

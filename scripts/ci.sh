@@ -30,6 +30,9 @@ run_capped cargo test -q --workspace --offline
 echo "== kernel/oracle parity =="
 run_capped cargo test -q --offline -p cqa-logic --test compile_props
 
+echo "== batch kernel parity (SoA sweep vs per-point eval) =="
+run_capped cargo test -q --offline -p cqa-logic --test batch_parity
+
 echo "== thread-count determinism =="
 run_capped cargo test -q --offline -p cqa-approx --test thread_determinism
 
@@ -38,6 +41,9 @@ run_capped cargo test -q --offline -p cqa-qe --test ir_parity
 
 echo "== E16 smoke (FM dedup ratio; >= 2x key-cost floor asserted inside) =="
 run_capped ./target/release/report e16
+
+echo "== E17 smoke (batched kernel; >= 2x floor + bit-identity asserted inside) =="
+run_capped ./target/release/report e17
 
 echo "== static analysis demos =="
 cargo run -q --offline -p cqa-bench --bin cqa-lint -- \
