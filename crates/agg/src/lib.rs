@@ -18,10 +18,10 @@
 //! On top of the term-former this crate derives the classical SQL
 //! aggregates over safe query outputs ([`aggregate`]), implements the
 //! paper's Section-5 worked example (polygon area by triangulation,
-//! [`polygon`]), and realizes Theorem 3 — exact volumes of semi-linear
-//! databases — two independent ways: the Lasserre engine of `cqa-geom` and
-//! the sweep/integration construction from the paper's own proof
-//! ([`volume`]).
+//! [`polygon_area_sum_term`]), and realizes Theorem 3 — exact volumes of
+//! semi-linear databases — two independent ways: the Lasserre engine of
+//! `cqa-geom` and the sweep/integration construction from the paper's own
+//! proof ([`semilinear_volume`]).
 
 #![forbid(unsafe_code)]
 

@@ -1,0 +1,1161 @@
+//! Pass 5 — interval abstract interpretation over the hash-consed IR.
+//!
+//! Runs directly on the [`Arena`] dag (PR 5), computing for every
+//! [`FormulaId`] a [`Facts`] record: a three-valued feasibility
+//! [`Verdict`] (statically unsat / statically valid / unknown) and a
+//! per-variable interval [`Env`] over-approximating the node's satisfying
+//! assignments. The pass follows the interval-decision line of Ratschan's
+//! approximate quantified constraints: forward-propagate atom constraints
+//! by exact rational interval arithmetic, meet across `And`, join (hull)
+//! across `Or`, and project across quantifiers — memoized per arena node,
+//! so shared subformulas are analyzed once.
+//!
+//! **Soundness contract.** For a node `φ` with facts `(v, E)`:
+//!
+//! * `v = Unsat` ⇒ `φ` has no satisfying assignment (QE eliminates to ⊥);
+//! * `v = Valid` ⇒ every assignment satisfies `φ` (QE eliminates to ⊤);
+//! * every satisfying assignment of `φ` lies inside the box `E` (absent
+//!   variables mean the full line).
+//!
+//! The abstract domain over-approximates value *ranges*, so only
+//! impossibility (empty intersection with an atom's sign set) and
+//! inclusion (range contained in the sign set) are ever turned into
+//! verdicts; `Unknown` is always a sound answer. Interval endpoints are
+//! exact rationals with open/closed flags; nonlinear operations
+//! (products, powers) discard openness — rounding *outward* to the closed
+//! hull — which only widens, never shrinks, the approximation.
+//!
+//! **Termination.** The dag is finite, every node is visited once
+//! (memoized), and the only fixpoint-flavoured computation — the
+//! conjunction refinement loop that re-derives affine bounds under the
+//! evolving environment — runs a fixed number of rounds
+//! ([`REFINE_ROUNDS`]) instead of widening. Quantifier nodes simply
+//! project their body facts, so no widening operator is needed anywhere.
+
+use cqa_arith::Rat;
+use cqa_logic::ir::{Arena, FormulaId, Node, TermId};
+use cqa_logic::Rel;
+use cqa_poly::Var;
+use cqa_qe::SimplifyMemo;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// Rounds of affine-bound refinement inside one `And` node. Each round
+/// meets every conjunct atom's derived bounds into the environment and
+/// re-checks feasibility; three rounds let a chain like
+/// `x ≤ y ∧ y ≤ z ∧ z ≤ 1` propagate end to end, and a fixed count is the
+/// termination story (no widening).
+pub const REFINE_ROUNDS: usize = 3;
+
+/// The three-valued static feasibility verdict.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// No assignment satisfies the formula; QE would eliminate to ⊥.
+    Unsat,
+    /// Every assignment satisfies the formula; QE would eliminate to ⊤.
+    Valid,
+    /// The analysis proves neither.
+    Unknown,
+}
+
+/// An interval of reals with exact rational endpoints and open/closed
+/// flags; `None` endpoints are infinite. The openness flags are only
+/// meaningful next to a finite endpoint.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Interval {
+    /// Lower endpoint (`None` = −∞).
+    pub lo: Option<Rat>,
+    /// Whether the lower endpoint is excluded.
+    pub lo_open: bool,
+    /// Upper endpoint (`None` = +∞).
+    pub hi: Option<Rat>,
+    /// Whether the upper endpoint is excluded.
+    pub hi_open: bool,
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.lo {
+            None => write!(f, "(-inf, ")?,
+            Some(l) => write!(f, "{}{l}, ", if self.lo_open { "(" } else { "[" })?,
+        }
+        match &self.hi {
+            None => write!(f, "+inf)"),
+            Some(h) => write!(f, "{h}{}", if self.hi_open { ")" } else { "]" }),
+        }
+    }
+}
+
+impl Interval {
+    /// The full line (−∞, +∞).
+    pub fn top() -> Interval {
+        Interval {
+            lo: None,
+            lo_open: false,
+            hi: None,
+            hi_open: false,
+        }
+    }
+
+    /// The closed interval `[lo, hi]`.
+    pub fn closed(lo: Rat, hi: Rat) -> Interval {
+        Interval {
+            lo: Some(lo),
+            lo_open: false,
+            hi: Some(hi),
+            hi_open: false,
+        }
+    }
+
+    /// The single point `{r}`.
+    pub fn point(r: Rat) -> Interval {
+        Interval::closed(r.clone(), r)
+    }
+
+    /// `true` iff the interval contains no real (the canonical bottom).
+    pub fn is_empty(&self) -> bool {
+        match (&self.lo, &self.hi) {
+            (Some(l), Some(h)) => l > h || (l == h && (self.lo_open || self.hi_open)),
+            _ => false,
+        }
+    }
+
+    /// `true` iff both endpoints are finite.
+    pub fn is_bounded(&self) -> bool {
+        self.lo.is_some() && self.hi.is_some()
+    }
+
+    /// `true` iff the interval is the full line.
+    pub fn is_top(&self) -> bool {
+        self.lo.is_none() && self.hi.is_none()
+    }
+
+    /// Membership test, openness respected.
+    pub fn contains(&self, r: &Rat) -> bool {
+        let lo_ok = match &self.lo {
+            None => true,
+            Some(l) => {
+                if self.lo_open {
+                    r > l
+                } else {
+                    r >= l
+                }
+            }
+        };
+        let hi_ok = match &self.hi {
+            None => true,
+            Some(h) => {
+                if self.hi_open {
+                    r < h
+                } else {
+                    r <= h
+                }
+            }
+        };
+        lo_ok && hi_ok
+    }
+
+    /// Intersection. On equal endpoints the *open* flag wins (the tighter
+    /// constraint).
+    pub fn meet(&self, other: &Interval) -> Interval {
+        let (lo, lo_open) = match (&self.lo, &other.lo) {
+            (None, None) => (None, false),
+            (Some(l), None) => (Some(l.clone()), self.lo_open),
+            (None, Some(l)) => (Some(l.clone()), other.lo_open),
+            (Some(a), Some(b)) => match a.cmp(b) {
+                std::cmp::Ordering::Greater => (Some(a.clone()), self.lo_open),
+                std::cmp::Ordering::Less => (Some(b.clone()), other.lo_open),
+                std::cmp::Ordering::Equal => (Some(a.clone()), self.lo_open || other.lo_open),
+            },
+        };
+        let (hi, hi_open) = match (&self.hi, &other.hi) {
+            (None, None) => (None, false),
+            (Some(h), None) => (Some(h.clone()), self.hi_open),
+            (None, Some(h)) => (Some(h.clone()), other.hi_open),
+            (Some(a), Some(b)) => match a.cmp(b) {
+                std::cmp::Ordering::Less => (Some(a.clone()), self.hi_open),
+                std::cmp::Ordering::Greater => (Some(b.clone()), other.hi_open),
+                std::cmp::Ordering::Equal => (Some(a.clone()), self.hi_open || other.hi_open),
+            },
+        };
+        Interval {
+            lo,
+            lo_open,
+            hi,
+            hi_open,
+        }
+    }
+
+    /// Convex hull. On equal endpoints the *closed* flag wins (the wider
+    /// set) — outward rounding.
+    pub fn join(&self, other: &Interval) -> Interval {
+        let (lo, lo_open) = match (&self.lo, &other.lo) {
+            (None, _) | (_, None) => (None, false),
+            (Some(a), Some(b)) => match a.cmp(b) {
+                std::cmp::Ordering::Less => (Some(a.clone()), self.lo_open),
+                std::cmp::Ordering::Greater => (Some(b.clone()), other.lo_open),
+                std::cmp::Ordering::Equal => (Some(a.clone()), self.lo_open && other.lo_open),
+            },
+        };
+        let (hi, hi_open) = match (&self.hi, &other.hi) {
+            (None, _) | (_, None) => (None, false),
+            (Some(a), Some(b)) => match a.cmp(b) {
+                std::cmp::Ordering::Greater => (Some(a.clone()), self.hi_open),
+                std::cmp::Ordering::Less => (Some(b.clone()), other.hi_open),
+                std::cmp::Ordering::Equal => (Some(a.clone()), self.hi_open && other.hi_open),
+            },
+        };
+        Interval {
+            lo,
+            lo_open,
+            hi,
+            hi_open,
+        }
+    }
+
+    /// `true` iff `self ⊆ other`.
+    pub fn subset_of(&self, other: &Interval) -> bool {
+        if self.is_empty() {
+            return true;
+        }
+        let lo_ok = match (&other.lo, &self.lo) {
+            (None, _) => true,
+            (Some(_), None) => false,
+            (Some(ol), Some(sl)) => match sl.cmp(ol) {
+                std::cmp::Ordering::Greater => true,
+                std::cmp::Ordering::Less => false,
+                std::cmp::Ordering::Equal => !other.lo_open || self.lo_open,
+            },
+        };
+        let hi_ok = match (&other.hi, &self.hi) {
+            (None, _) => true,
+            (Some(_), None) => false,
+            (Some(oh), Some(sh)) => match sh.cmp(oh) {
+                std::cmp::Ordering::Less => true,
+                std::cmp::Ordering::Greater => false,
+                std::cmp::Ordering::Equal => !other.hi_open || self.hi_open,
+            },
+        };
+        lo_ok && hi_ok
+    }
+
+    /// Pointwise negation `{-x : x ∈ self}`.
+    pub fn neg(&self) -> Interval {
+        Interval {
+            lo: self.hi.as_ref().map(|h| -h),
+            lo_open: self.hi_open,
+            hi: self.lo.as_ref().map(|l| -l),
+            hi_open: self.lo_open,
+        }
+    }
+
+    /// Minkowski sum `{x + y}` — exact, openness propagated (a sum hits an
+    /// endpoint only when both operands hit theirs).
+    pub fn add(&self, other: &Interval) -> Interval {
+        let lo = match (&self.lo, &other.lo) {
+            (Some(a), Some(b)) => Some(a + b),
+            _ => None,
+        };
+        let hi = match (&self.hi, &other.hi) {
+            (Some(a), Some(b)) => Some(a + b),
+            _ => None,
+        };
+        Interval {
+            lo,
+            lo_open: self.lo_open || other.lo_open,
+            hi,
+            hi_open: self.hi_open || other.hi_open,
+        }
+    }
+
+    /// Scaling `{c·x}` — exact, openness preserved (flipped for `c < 0`,
+    /// collapsed to the point `0` for `c = 0`).
+    pub fn scale(&self, c: &Rat) -> Interval {
+        match c.signum() {
+            0 => Interval::point(Rat::zero()),
+            s if s > 0 => Interval {
+                lo: self.lo.as_ref().map(|l| l * c),
+                lo_open: self.lo_open,
+                hi: self.hi.as_ref().map(|h| h * c),
+                hi_open: self.hi_open,
+            },
+            _ => Interval {
+                lo: self.hi.as_ref().map(|h| h * c),
+                lo_open: self.hi_open,
+                hi: self.lo.as_ref().map(|l| l * c),
+                hi_open: self.lo_open,
+            },
+        }
+    }
+
+    /// Interval product. Endpoint openness is discarded (closed hull) —
+    /// the outward rounding that keeps nonlinear propagation sound without
+    /// tracking which endpoint pair is attained.
+    pub fn mul(&self, other: &Interval) -> Interval {
+        let cands = [
+            ext_mul(&self.lo, LO, &other.lo, LO),
+            ext_mul(&self.lo, LO, &other.hi, HI),
+            ext_mul(&self.hi, HI, &other.lo, LO),
+            ext_mul(&self.hi, HI, &other.hi, HI),
+        ];
+        ext_hull(&cands)
+    }
+
+    /// Interval power with the even-exponent refinement `x²ᵏ ⊆ [0, ∞)`.
+    /// Odd powers are monotone and keep openness; even powers go through
+    /// the closed hull like [`Interval::mul`].
+    pub fn pow(&self, exp: u32) -> Interval {
+        if exp == 0 {
+            return Interval::point(Rat::one());
+        }
+        if exp == 1 {
+            return self.clone();
+        }
+        if exp % 2 == 1 {
+            // Monotone: endpoints map in place, openness preserved.
+            return Interval {
+                lo: self.lo.as_ref().map(|l| l.pow(exp as i32)),
+                lo_open: self.lo_open,
+                hi: self.hi.as_ref().map(|h| h.pow(exp as i32)),
+                hi_open: self.hi_open,
+            };
+        }
+        let zero = Rat::zero();
+        let nonneg = matches!(&self.lo, Some(l) if *l >= zero);
+        let nonpos = matches!(&self.hi, Some(h) if *h <= zero);
+        if nonneg {
+            Interval {
+                lo: self.lo.as_ref().map(|l| l.pow(exp as i32)),
+                lo_open: false,
+                hi: self.hi.as_ref().map(|h| h.pow(exp as i32)),
+                hi_open: false,
+            }
+        } else if nonpos {
+            Interval {
+                lo: self.hi.as_ref().map(|h| h.pow(exp as i32)),
+                lo_open: false,
+                hi: self.lo.as_ref().map(|l| l.pow(exp as i32)),
+                hi_open: false,
+            }
+        } else {
+            // Straddles zero: minimum 0, maximum at the larger |endpoint|.
+            let hi = match (&self.lo, &self.hi) {
+                (Some(l), Some(h)) => {
+                    let (la, ha) = (l.abs(), h.abs());
+                    Some(if la > ha { la } else { ha }.pow(exp as i32))
+                }
+                _ => None,
+            };
+            Interval {
+                lo: Some(zero),
+                lo_open: false,
+                hi,
+                hi_open: false,
+            }
+        }
+    }
+
+    /// A conservative `f64` enclosure: the returned pair `(lo, hi)`
+    /// satisfies `lo ≤ x ≤ hi` for every `x` in the interval, with the
+    /// endpoints verified against the exact rationals and stepped one ulp
+    /// outward when the nearest-rounding conversion landed inside.
+    pub fn outer_f64(&self) -> (f64, f64) {
+        let lo = match &self.lo {
+            None => f64::NEG_INFINITY,
+            Some(l) => f64_at_most(l),
+        };
+        let hi = match &self.hi {
+            None => f64::INFINITY,
+            Some(h) => f64_at_least(h),
+        };
+        (lo, hi)
+    }
+}
+
+// Extended-value endpoint arithmetic for products: `None` means the
+// infinity of the given side, and `0 · ∞ = 0` — exact for interval hulls
+// of connected sets.
+const LO: i32 = -1;
+const HI: i32 = 1;
+
+/// One endpoint product: `(value, side)` where `None` is `side`-infinity.
+/// Returns `(product, ±∞ marker)` in the same encoding.
+fn ext_mul(a: &Option<Rat>, a_side: i32, b: &Option<Rat>, b_side: i32) -> (Option<Rat>, i32) {
+    match (a, b) {
+        (Some(x), Some(y)) => (Some(x * y), 0),
+        (Some(x), None) => inf_times(x.signum(), b_side),
+        (None, Some(y)) => inf_times(y.signum(), a_side),
+        (None, None) => (None, a_side * b_side),
+    }
+}
+
+/// `sign · (side-infinity)`: zero absorbs, otherwise the sign of the
+/// infinity flips with the finite factor's sign.
+fn inf_times(sign: i32, side: i32) -> (Option<Rat>, i32) {
+    if sign == 0 {
+        (Some(Rat::zero()), 0)
+    } else {
+        (None, sign * side)
+    }
+}
+
+/// The closed hull of extended-value candidates.
+fn ext_hull(cands: &[(Option<Rat>, i32)]) -> Interval {
+    let mut lo: Option<Rat> = None;
+    let mut lo_inf = false;
+    let mut hi: Option<Rat> = None;
+    let mut hi_inf = false;
+    for (v, side) in cands {
+        match (v, side) {
+            (None, s) if *s < 0 => lo_inf = true,
+            (None, _) => hi_inf = true,
+            (Some(r), _) => {
+                if lo.as_ref().is_none_or(|l| r < l) {
+                    lo = Some(r.clone());
+                }
+                if hi.as_ref().is_none_or(|h| r > h) {
+                    hi = Some(r.clone());
+                }
+            }
+        }
+    }
+    Interval {
+        lo: if lo_inf { None } else { lo },
+        lo_open: false,
+        hi: if hi_inf { None } else { hi },
+        hi_open: false,
+    }
+}
+
+/// The largest `f64` guaranteed ≤ `r` (nearest conversion, verified
+/// exactly, stepped down one ulp at a time if it rounded up).
+pub fn f64_at_most(r: &Rat) -> f64 {
+    let mut v = r.to_f64();
+    if v.is_nan() {
+        return f64::NEG_INFINITY;
+    }
+    if v.is_infinite() {
+        // +∞ means r overflowed upward; MAX is a valid lower witness.
+        return if v > 0.0 { f64::MAX } else { f64::NEG_INFINITY };
+    }
+    for _ in 0..4 {
+        match Rat::from_f64(v) {
+            Some(x) if x <= *r => return v,
+            _ => v = step_down(v),
+        }
+    }
+    f64::NEG_INFINITY
+}
+
+/// The smallest `f64` guaranteed ≥ `r`.
+pub fn f64_at_least(r: &Rat) -> f64 {
+    -f64_at_most(&-r)
+}
+
+/// The next representable `f64` strictly below `v` (total order with
+/// −0 = +0 collapsed).
+fn step_down(v: f64) -> f64 {
+    if v.is_nan() || v == f64::NEG_INFINITY {
+        return f64::NEG_INFINITY;
+    }
+    if v == 0.0 {
+        return -f64::from_bits(1); // largest negative subnormal
+    }
+    let bits = v.to_bits();
+    f64::from_bits(if v > 0.0 { bits - 1 } else { bits + 1 })
+}
+
+/// A per-variable interval environment: an over-approximating box of a
+/// formula's satisfying assignments. Absent variables mean the full line.
+pub type Env = BTreeMap<Var, Interval>;
+
+/// `true` iff some variable's interval is empty (the environment denotes
+/// the empty set of assignments).
+fn env_infeasible(env: &Env) -> bool {
+    env.values().any(Interval::is_empty)
+}
+
+/// The interval of `v` in `env` (⊤ when absent).
+pub fn env_interval(env: &Env, v: Var) -> Interval {
+    env.get(&v).cloned().unwrap_or_else(Interval::top)
+}
+
+/// Meets `iv` into `env[v]`.
+fn env_meet(env: &mut Env, v: Var, iv: Interval) {
+    let cur = env_interval(env, v);
+    env.insert(v, cur.meet(&iv));
+}
+
+/// What the analysis knows about one arena node.
+#[derive(Clone, Debug)]
+pub struct Facts {
+    /// The feasibility verdict.
+    pub verdict: Verdict,
+    /// Over-approximating box of the node's satisfying assignments over
+    /// its free variables.
+    pub env: Env,
+}
+
+impl Facts {
+    fn unknown() -> Facts {
+        Facts {
+            verdict: Verdict::Unknown,
+            env: Env::new(),
+        }
+    }
+}
+
+/// Per-arena memo table: facts are context-free (they depend only on the
+/// node's own subtree), so one entry per [`FormulaId`] serves every
+/// occurrence of a shared subformula.
+#[derive(Debug, Default)]
+pub struct AbsintMemo {
+    facts: HashMap<FormulaId, Facts>,
+}
+
+impl AbsintMemo {
+    /// An empty memo.
+    pub fn new() -> AbsintMemo {
+        AbsintMemo::default()
+    }
+
+    /// The cached facts for `id`, if the node was analyzed.
+    pub fn facts(&self, id: FormulaId) -> Option<&Facts> {
+        self.facts.get(&id)
+    }
+
+    /// Number of analyzed nodes.
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// `true` iff no node has been analyzed yet.
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+}
+
+/// Analyzes one interned node (memoized). Returns a clone of the cached
+/// [`Facts`]; use [`AbsintMemo::facts`] to borrow instead.
+pub fn analyze_id(arena: &Arena, id: FormulaId, memo: &mut AbsintMemo) -> Facts {
+    if let Some(f) = memo.facts.get(&id) {
+        return f.clone();
+    }
+    let facts = compute_facts(arena, id, memo);
+    memo.facts.insert(id, facts.clone());
+    facts
+}
+
+/// The range of the polynomial `t` over the box `env` (⊤ for absent
+/// variables): interval sum of per-monomial products.
+pub fn term_range(arena: &Arena, t: TermId, env: &Env) -> Interval {
+    let mut total = Interval::point(Rat::zero());
+    for (mono, coeff) in arena.term(t).terms() {
+        let mut m = Interval::point(Rat::one());
+        for &(v, e) in mono {
+            m = m.mul(&env_interval(env, v).pow(e));
+        }
+        total = total.add(&m.scale(coeff));
+    }
+    total
+}
+
+/// The sign set of `rel` as an interval (`p ⋈ 0` ⇔ `p ∈ sat_set(rel)`);
+/// `Neq` is not an interval and returns `None`.
+fn rel_interval(rel: Rel) -> Option<Interval> {
+    let z = Rat::zero;
+    Some(match rel {
+        Rel::Eq => Interval::point(z()),
+        Rel::Lt => Interval {
+            lo: None,
+            lo_open: false,
+            hi: Some(z()),
+            hi_open: true,
+        },
+        Rel::Le => Interval {
+            lo: None,
+            lo_open: false,
+            hi: Some(z()),
+            hi_open: false,
+        },
+        Rel::Gt => Interval {
+            lo: Some(z()),
+            lo_open: true,
+            hi: None,
+            hi_open: false,
+        },
+        Rel::Ge => Interval {
+            lo: Some(z()),
+            lo_open: false,
+            hi: None,
+            hi_open: false,
+        },
+        Rel::Neq => return None,
+    })
+}
+
+/// The verdict of the atom `p ⋈ 0` given `range ⊇ values(p)`: inclusion
+/// in the sign set proves validity, empty intersection proves
+/// unsatisfiability, anything else is unknown.
+fn atom_verdict(range: &Interval, rel: Rel) -> Verdict {
+    if range.is_empty() {
+        // An empty range means the *environment* is empty; the caller
+        // handles that — the atom itself proves nothing here.
+        return Verdict::Unknown;
+    }
+    match rel_interval(rel) {
+        Some(sat) => {
+            if range.subset_of(&sat) {
+                Verdict::Valid
+            } else if range.meet(&sat).is_empty() {
+                Verdict::Unsat
+            } else {
+                Verdict::Unknown
+            }
+        }
+        None => {
+            // p ≠ 0: valid when 0 is outside the range, unsat only when
+            // the range is exactly {0}.
+            let zero = Rat::zero();
+            if !range.contains(&zero) {
+                Verdict::Valid
+            } else if range == &Interval::point(zero) {
+                Verdict::Unsat
+            } else {
+                Verdict::Unknown
+            }
+        }
+    }
+}
+
+/// Derives per-variable bounds from an *affine* atom `Σ aᵢxᵢ + c ⋈ 0`
+/// under `env`, meeting them into `env`. For each variable, the rest of
+/// the polynomial is bracketed by its interval under `env` and the sign
+/// set is solved for `aᵢxᵢ`: `xᵢ ∈ (sat ⊕ (−rest)) / aᵢ` — exact interval
+/// arithmetic with openness (a strict relation or an open rest endpoint
+/// gives an open bound).
+fn refine_affine_atom(arena: &Arena, t: TermId, rel: Rel, env: &mut Env) {
+    let Some(sat) = rel_interval(rel) else {
+        return;
+    };
+    let p = arena.term(t);
+    if p.total_degree().unwrap_or(0) > 1 {
+        return;
+    }
+    // Collect (var, coeff) pairs and the constant.
+    let mut linear: Vec<(Var, Rat)> = Vec::new();
+    let mut constant = Rat::zero();
+    for (mono, c) in p.terms() {
+        match mono {
+            [] => constant = c.clone(),
+            [(v, 1)] => linear.push((*v, c.clone())),
+            _ => return, // non-affine monomial (defensive; degree said ≤ 1)
+        }
+    }
+    for i in 0..linear.len() {
+        let (v, a) = &linear[i];
+        // rest = p − a·v, bracketed under the current env.
+        let mut rest = Interval::point(constant.clone());
+        for (j, (w, b)) in linear.iter().enumerate() {
+            if j != i {
+                rest = rest.add(&env_interval(env, *w).scale(b));
+            }
+        }
+        // a·v ∈ sat ⊕ (−rest)  ⇒  v ∈ (sat ⊕ (−rest)) · (1/a).
+        let av = sat.add(&rest.neg());
+        env_meet(env, *v, av.scale(&a.recip()));
+    }
+}
+
+/// Collects the conjunct atoms reachable from `id` through nested `And`
+/// nodes and atom negations, as `(term, rel)` pairs.
+fn conjunct_atoms(arena: &Arena, id: FormulaId, out: &mut Vec<(TermId, Rel)>) {
+    match arena.node(id) {
+        Node::Atom { poly, rel } => out.push((*poly, *rel)),
+        Node::Not(g) => {
+            if let Node::Atom { poly, rel } = arena.node(*g) {
+                out.push((*poly, rel.negate()));
+            }
+        }
+        Node::And(fs) => {
+            for &g in fs {
+                conjunct_atoms(arena, g, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn compute_facts(arena: &Arena, id: FormulaId, memo: &mut AbsintMemo) -> Facts {
+    match arena.node(id).clone() {
+        Node::True => Facts {
+            verdict: Verdict::Valid,
+            env: Env::new(),
+        },
+        Node::False => Facts {
+            verdict: Verdict::Unsat,
+            env: Env::new(),
+        },
+        Node::Atom { poly, rel } => atom_facts(arena, poly, rel),
+        // Schema relations are opaque to the numeric domain (callers that
+        // want precision expand them against the database first).
+        Node::Rel { .. } => Facts::unknown(),
+        Node::Not(g) => {
+            // Negated atoms get the full atom treatment via the
+            // complementary relation; anything else only flips verdicts.
+            if let Node::Atom { poly, rel } = arena.node(g) {
+                return atom_facts(arena, *poly, rel.negate());
+            }
+            let inner = analyze_id(arena, g, memo);
+            Facts {
+                verdict: match inner.verdict {
+                    Verdict::Unsat => Verdict::Valid,
+                    Verdict::Valid => Verdict::Unsat,
+                    Verdict::Unknown => Verdict::Unknown,
+                },
+                env: Env::new(),
+            }
+        }
+        Node::And(fs) => {
+            let mut env = Env::new();
+            let mut all_valid = true;
+            for &g in &fs {
+                let child = analyze_id(arena, g, memo);
+                if child.verdict == Verdict::Unsat {
+                    return Facts {
+                        verdict: Verdict::Unsat,
+                        env,
+                    };
+                }
+                all_valid &= child.verdict == Verdict::Valid;
+                for (v, iv) in &child.env {
+                    env_meet(&mut env, *v, iv.clone());
+                }
+            }
+            // Bounded refinement: re-derive affine bounds under the met
+            // environment and re-check every conjunct atom against it.
+            let mut atoms = Vec::new();
+            for &g in &fs {
+                conjunct_atoms(arena, g, &mut atoms);
+            }
+            for _ in 0..REFINE_ROUNDS {
+                let before = env.clone();
+                for &(t, rel) in &atoms {
+                    refine_affine_atom(arena, t, rel, &mut env);
+                }
+                if env_infeasible(&env) {
+                    return Facts {
+                        verdict: Verdict::Unsat,
+                        env,
+                    };
+                }
+                if env == before {
+                    break;
+                }
+            }
+            for &(t, rel) in &atoms {
+                if atom_verdict(&term_range(arena, t, &env), rel) == Verdict::Unsat {
+                    return Facts {
+                        verdict: Verdict::Unsat,
+                        env,
+                    };
+                }
+            }
+            Facts {
+                verdict: if env_infeasible(&env) {
+                    Verdict::Unsat
+                } else if all_valid {
+                    Verdict::Valid
+                } else {
+                    Verdict::Unknown
+                },
+                env,
+            }
+        }
+        Node::Or(fs) => {
+            if fs.is_empty() {
+                return Facts {
+                    verdict: Verdict::Unsat,
+                    env: Env::new(),
+                };
+            }
+            let mut env: Option<Env> = None;
+            let mut any_valid = false;
+            let mut all_unsat = true;
+            for &g in &fs {
+                let child = analyze_id(arena, g, memo);
+                match child.verdict {
+                    Verdict::Unsat => continue,
+                    v => {
+                        all_unsat = false;
+                        any_valid |= v == Verdict::Valid;
+                    }
+                }
+                env = Some(match env {
+                    // Hull only over variables bounded in *every* feasible
+                    // branch; a variable missing from one branch is
+                    // unconstrained there, so it must stay unconstrained.
+                    None => child.env,
+                    Some(acc) => acc
+                        .into_iter()
+                        .filter_map(|(v, iv)| child.env.get(&v).map(|other| (v, iv.join(other))))
+                        .collect(),
+                });
+            }
+            Facts {
+                verdict: if all_unsat {
+                    Verdict::Unsat
+                } else if any_valid {
+                    Verdict::Valid
+                } else {
+                    Verdict::Unknown
+                },
+                env: env.unwrap_or_default(),
+            }
+        }
+        Node::Exists(vs, g) | Node::Forall(vs, g) => {
+            // Over the (nonempty) reals both quantifiers preserve
+            // unsatisfiability and validity of the body; the environment
+            // projects the bound variables away.
+            let inner = analyze_id(arena, g, memo);
+            let mut env = inner.env;
+            for v in &vs {
+                env.remove(v);
+            }
+            Facts {
+                verdict: inner.verdict,
+                env,
+            }
+        }
+        Node::ExistsAdom(v, g) => {
+            // An empty active domain makes ∃adom false, so only
+            // unsatisfiability of the body lifts.
+            let inner = analyze_id(arena, g, memo);
+            let mut env = inner.env;
+            env.remove(&v);
+            Facts {
+                verdict: match inner.verdict {
+                    Verdict::Unsat => Verdict::Unsat,
+                    _ => Verdict::Unknown,
+                },
+                env,
+            }
+        }
+        Node::ForallAdom(_, g) => {
+            // An empty active domain makes ∀adom true, so only validity
+            // of the body lifts — and the formula constrains nothing when
+            // the domain is empty, so the environment is ⊤.
+            let inner = analyze_id(arena, g, memo);
+            Facts {
+                verdict: match inner.verdict {
+                    Verdict::Valid => Verdict::Valid,
+                    _ => Verdict::Unknown,
+                },
+                env: Env::new(),
+            }
+        }
+    }
+}
+
+/// Facts for a sign-condition atom `p ⋈ 0` in an empty context.
+fn atom_facts(arena: &Arena, poly: TermId, rel: Rel) -> Facts {
+    let mut env = Env::new();
+    refine_affine_atom(arena, poly, rel, &mut env);
+    let range = term_range(arena, poly, &Env::new());
+    let verdict = if env_infeasible(&env) {
+        Verdict::Unsat
+    } else {
+        atom_verdict(&range, rel)
+    };
+    Facts { verdict, env }
+}
+
+/// Sound pruning through the dag: statically-unsat nodes collapse to ⊥,
+/// statically-valid nodes to ⊤ (context-free facts make both replacements
+/// equivalence-preserving at any position), then the memoized simplifier
+/// ([`cqa_qe::simplify_id`]) folds the released structure away.
+pub fn prune_id(
+    arena: &mut Arena,
+    id: FormulaId,
+    memo: &mut AbsintMemo,
+    simp: &mut SimplifyMemo,
+) -> FormulaId {
+    let pruned = prune_rec(arena, id, memo);
+    cqa_qe::simplify_id(arena, pruned, simp)
+}
+
+fn prune_rec(arena: &mut Arena, id: FormulaId, memo: &mut AbsintMemo) -> FormulaId {
+    let verdict = analyze_id(arena, id, memo).verdict;
+    match verdict {
+        Verdict::Unsat => return arena.intern_node(Node::False),
+        Verdict::Valid => return arena.intern_node(Node::True),
+        Verdict::Unknown => {}
+    }
+    match arena.node(id).clone() {
+        Node::Not(g) => {
+            let p = prune_rec(arena, g, memo);
+            if p == g {
+                id
+            } else {
+                arena.intern_node(Node::Not(p))
+            }
+        }
+        Node::And(fs) => {
+            let ps: Vec<FormulaId> = fs.iter().map(|&g| prune_rec(arena, g, memo)).collect();
+            if ps == fs {
+                id
+            } else {
+                arena.intern_node(Node::And(ps))
+            }
+        }
+        Node::Or(fs) => {
+            let ps: Vec<FormulaId> = fs.iter().map(|&g| prune_rec(arena, g, memo)).collect();
+            if ps == fs {
+                id
+            } else {
+                arena.intern_node(Node::Or(ps))
+            }
+        }
+        Node::Exists(vs, g) => {
+            let p = prune_rec(arena, g, memo);
+            if p == g {
+                id
+            } else {
+                arena.intern_node(Node::Exists(vs, p))
+            }
+        }
+        Node::Forall(vs, g) => {
+            let p = prune_rec(arena, g, memo);
+            if p == g {
+                id
+            } else {
+                arena.intern_node(Node::Forall(vs, p))
+            }
+        }
+        Node::ExistsAdom(v, g) => {
+            let p = prune_rec(arena, g, memo);
+            if p == g {
+                id
+            } else {
+                arena.intern_node(Node::ExistsAdom(v, p))
+            }
+        }
+        Node::ForallAdom(v, g) => {
+            let p = prune_rec(arena, g, memo);
+            if p == g {
+                id
+            } else {
+                arena.intern_node(Node::ForallAdom(v, p))
+            }
+        }
+        _ => id,
+    }
+}
+
+/// The unit-box sampling box certified by `env` for the given output
+/// columns: per-dimension conservative `f64` bounds clamped to `[0, 1]`.
+/// Returns `None` when the box is the whole unit box (no lane would ever
+/// be skipped) — callers then keep the unfiltered path.
+pub fn unit_box(env: &Env, vars: &[Var]) -> Option<Vec<(f64, f64)>> {
+    let mut any = false;
+    let mut out = Vec::with_capacity(vars.len());
+    for v in vars {
+        let (lo, hi) = env_interval(env, *v).outer_f64();
+        let (lo, hi) = (lo.max(0.0), hi.min(1.0));
+        any |= lo > 0.0 || hi < 1.0;
+        out.push((lo, hi));
+    }
+    (any && !vars.is_empty()).then_some(out)
+}
+
+/// The volume of the certified box clamped to the unit box (`1.0` when
+/// `env` certifies nothing) — a planner-grade cost input: it bounds the
+/// Monte Carlo acceptance region.
+pub fn box_volume(env: &Env, vars: &[Var]) -> f64 {
+    let mut vol = 1.0;
+    for v in vars {
+        let (lo, hi) = env_interval(env, *v).outer_f64();
+        vol *= (hi.min(1.0) - lo.max(0.0)).max(0.0);
+    }
+    vol
+}
+
+/// The output columns for which `env` carries no boundedness certificate
+/// (an endpoint is infinite).
+pub fn unbounded_vars(env: &Env, vars: &[Var]) -> Vec<Var> {
+    vars.iter()
+        .filter(|v| !env_interval(env, **v).is_bounded())
+        .copied()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_arith::rat;
+    use cqa_logic::parse_formula_with;
+    use cqa_logic::VarMap;
+
+    fn facts_of(src: &str) -> (Facts, VarMap) {
+        let mut vars = VarMap::new();
+        let f = parse_formula_with(src, &mut vars).unwrap();
+        let mut arena = Arena::new();
+        let id = arena.intern(&f);
+        let mut memo = AbsintMemo::new();
+        (analyze_id(&arena, id, &mut memo), vars)
+    }
+
+    fn verdict_of(src: &str) -> Verdict {
+        facts_of(src).0.verdict
+    }
+
+    #[test]
+    fn atom_verdicts() {
+        assert_eq!(verdict_of("x*x >= 0"), Verdict::Valid);
+        assert_eq!(verdict_of("x*x < 0"), Verdict::Unsat);
+        assert_eq!(verdict_of("x*x + 1 > 0"), Verdict::Valid);
+        assert_eq!(verdict_of("x*x + 1 = 0"), Verdict::Unsat);
+        assert_eq!(verdict_of("x > 0"), Verdict::Unknown);
+        assert_eq!(verdict_of("!(x*x >= 0)"), Verdict::Unsat);
+    }
+
+    #[test]
+    fn conjunction_contradiction_is_unsat() {
+        assert_eq!(verdict_of("x > 2 & x < 1"), Verdict::Unsat);
+        assert_eq!(verdict_of("x < 1 & x > 1"), Verdict::Unsat);
+        assert_eq!(verdict_of("x < 1 & x >= 1"), Verdict::Unsat);
+        // Closed endpoints touching: the point x = 1 survives.
+        assert_eq!(verdict_of("x <= 1 & x >= 1"), Verdict::Unknown);
+    }
+
+    #[test]
+    fn refinement_chains_through_variables() {
+        // x ≤ y ∧ y ≤ z ∧ z ≤ 1 ∧ x ≥ 2 is empty, but only after bounds
+        // propagate across the chain (REFINE_ROUNDS ≥ 3).
+        assert_eq!(
+            verdict_of("x <= y & y <= z & z <= 1 & x >= 2"),
+            Verdict::Unsat
+        );
+    }
+
+    #[test]
+    fn disjunction_joins_and_lifts() {
+        assert_eq!(verdict_of("x*x < 0 | x*x + 1 = 0"), Verdict::Unsat);
+        assert_eq!(verdict_of("x > 0 | x*x >= 0"), Verdict::Valid);
+        let (facts, vars) = facts_of("(0 <= x & x <= 1) | (2 <= x & x <= 3)");
+        let x = vars.get("x").unwrap();
+        assert_eq!(
+            env_interval(&facts.env, x),
+            Interval::closed(rat(0, 1), rat(3, 1))
+        );
+    }
+
+    #[test]
+    fn or_branch_missing_a_variable_unbounds_it() {
+        // The second branch says nothing about x, so the hull must not
+        // keep the first branch's x-bounds.
+        let (facts, vars) = facts_of("(0 <= x & x <= 1) | y > 0");
+        let x = vars.get("x").unwrap();
+        assert!(env_interval(&facts.env, x).is_top());
+    }
+
+    #[test]
+    fn quantifiers_project_and_preserve() {
+        assert_eq!(verdict_of("exists x. x*x < 0"), Verdict::Unsat);
+        assert_eq!(verdict_of("forall x. x*x >= 0"), Verdict::Valid);
+        assert_eq!(verdict_of("exists x. x > 0"), Verdict::Unknown);
+        let (facts, vars) = facts_of("exists y. (0 <= y & y <= 1) & x = y + 1");
+        let x = vars.get("x").unwrap();
+        let y = vars.get("y").unwrap();
+        assert_eq!(
+            env_interval(&facts.env, x),
+            Interval::closed(rat(1, 1), rat(2, 1))
+        );
+        assert!(!facts.env.contains_key(&y), "bound variable projected");
+    }
+
+    #[test]
+    fn strict_inequality_bounds_stay_open() {
+        let (facts, vars) = facts_of("2*x > 1 & x < 3");
+        let x = vars.get("x").unwrap();
+        let iv = env_interval(&facts.env, x);
+        assert_eq!(iv.lo, Some(rat(1, 2)));
+        assert!(iv.lo_open);
+        assert_eq!(iv.hi, Some(rat(3, 1)));
+        assert!(iv.hi_open);
+        // Non-strict: closed endpoint.
+        let (facts, vars) = facts_of("2*x >= 1");
+        let x = vars.get("x").unwrap();
+        let iv = env_interval(&facts.env, x);
+        assert_eq!(iv.lo, Some(rat(1, 2)));
+        assert!(!iv.lo_open);
+    }
+
+    #[test]
+    fn interval_mul_handles_infinities() {
+        let pos = Interval {
+            lo: Some(rat(2, 1)),
+            lo_open: false,
+            hi: None,
+            hi_open: false,
+        };
+        let m = pos.mul(&Interval::closed(rat(-1, 1), rat(1, 1)));
+        assert!(m.lo.is_none() && m.hi.is_none(), "{m}");
+        let z = Interval::point(Rat::zero()).mul(&Interval::top());
+        assert_eq!(z, Interval::point(Rat::zero()));
+        let nn = pos.mul(&pos);
+        assert_eq!(nn.lo, Some(rat(4, 1)));
+        assert!(nn.hi.is_none());
+    }
+
+    #[test]
+    fn even_powers_are_nonnegative() {
+        let iv = Interval::closed(rat(-2, 1), rat(1, 1)).pow(2);
+        assert_eq!(iv, Interval::closed(rat(0, 1), rat(4, 1)));
+        let odd = Interval::closed(rat(-2, 1), rat(1, 1)).pow(3);
+        assert_eq!(odd, Interval::closed(rat(-8, 1), rat(1, 1)));
+        assert_eq!(Interval::top().pow(2).lo, Some(Rat::zero()));
+    }
+
+    #[test]
+    fn outer_f64_is_conservative() {
+        // 1/3 is not representable: the enclosure must straddle it.
+        let iv = Interval::closed(rat(1, 3), rat(2, 3));
+        let (lo, hi) = iv.outer_f64();
+        assert!(Rat::from_f64(lo).unwrap() <= rat(1, 3));
+        assert!(Rat::from_f64(hi).unwrap() >= rat(2, 3));
+        assert!(hi - lo < 0.34, "enclosure far too wide");
+    }
+
+    #[test]
+    fn prune_replaces_decided_subformulas() {
+        let mut vars = VarMap::new();
+        let f = parse_formula_with("(x*x >= 0 & x > 0) | (x*x < 0 & x < 5)", &mut vars).unwrap();
+        let mut arena = Arena::new();
+        let id = arena.intern(&f);
+        let mut memo = AbsintMemo::new();
+        let mut simp = SimplifyMemo::default();
+        let pruned = prune_id(&mut arena, id, &mut memo, &mut simp);
+        // The valid conjunct and the unsat branch both disappear.
+        let g = arena.extern_formula(pruned);
+        let mut w = VarMap::new();
+        assert_eq!(g, parse_formula_with("x > 0", &mut w).unwrap());
+    }
+
+    #[test]
+    fn unit_box_and_volume() {
+        let (facts, vars) = facts_of("x >= 1/4 & x <= 3/4 & y >= 0");
+        let x = vars.get("x").unwrap();
+        let y = vars.get("y").unwrap();
+        let bx = unit_box(&facts.env, &[x, y]).expect("x is usefully bounded");
+        assert!(bx[0].0 <= 0.25 && bx[0].1 >= 0.75);
+        assert_eq!(bx[1], (0.0, 1.0));
+        let vol = box_volume(&facts.env, &[x, y]);
+        assert!((vol - 0.5).abs() < 1e-9, "vol = {vol}");
+        assert_eq!(unbounded_vars(&facts.env, &[x, y]), vec![y]);
+        // A fully unconstrained query certifies nothing.
+        let (facts, vars) = facts_of("x*x + y*y <= 1");
+        let x = vars.get("x").unwrap();
+        assert!(unit_box(&facts.env, &[x]).is_none());
+    }
+}

@@ -1,14 +1,17 @@
 //! The multi-pass driver: parse → scope → fragment/schema → Σ-discipline →
 //! cost, producing one [`Analysis`] per source file.
 
+use crate::absint::{self, AbsintMemo, Verdict};
 use crate::cost::{self, CostParams, CostReport};
-use crate::diag::{self, Diagnostic, Severity};
+use crate::diag::{self, Code, Diagnostic, Severity};
 use crate::fragment::{self, FragmentReport, Schema};
 use crate::program::{parse_program, Program, Statement};
 use crate::scope;
 use crate::sigma::{self, GammaStatus};
-use cqa_logic::{Formula, VarMap};
+use cqa_logic::ir::Arena;
+use cqa_logic::{Formula, Span, SpannedFormula, SpannedNode, VarMap};
 use cqa_poly::Var;
+use cqa_qe::SimplifyMemo;
 
 /// Analyzer configuration.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -17,6 +20,9 @@ pub struct AnalyzerConfig {
     pub cost: CostParams,
     /// Whether to run the CQA008 blow-up lint at all.
     pub check_blowup: bool,
+    /// Whether to run the interval abstract-interpretation pass
+    /// (CQA011–CQA013 and the planner-grade cost refinements).
+    pub absint: bool,
 }
 
 impl Default for AnalyzerConfig {
@@ -24,6 +30,7 @@ impl Default for AnalyzerConfig {
         AnalyzerConfig {
             cost: CostParams::default(),
             check_blowup: true,
+            absint: true,
         }
     }
 }
@@ -99,8 +106,18 @@ pub fn analyze_source(src: &str, cfg: &AnalyzerConfig) -> (Program, Analysis) {
 
     // One interning arena for the whole program: relation bodies and query
     // matrices that share subformulas are stored once, and every classify
-    // reads cached per-node metadata instead of re-walking trees.
+    // reads cached per-node metadata instead of re-walking trees. The
+    // absint pass shares the arena (and its per-node memo), and sees
+    // relation atoms through their definitions so bounds flow out of
+    // `rel` statements into the queries that use them.
     let mut arena = cqa_logic::ir::Arena::new();
+    let mut memo = AbsintMemo::new();
+    let mut simp = SimplifyMemo::new();
+    let db = if cfg.absint {
+        program.to_database().ok()
+    } else {
+        None
+    };
     for stmt in &program.statements {
         match stmt {
             Statement::Rel(r) => {
@@ -141,9 +158,31 @@ pub fn analyze_source(src: &str, cfg: &AnalyzerConfig) -> (Program, Analysis) {
                 let body = q.body.to_formula();
                 let body_id = arena.intern(&body);
                 let report = fragment::classify_id(&arena, body_id);
-                let cost = cost::estimate(&report, params.len(), &schema, &cfg.cost);
+                let mut cost = cost::estimate(&report, params.len(), &schema, &cfg.cost);
                 if cfg.check_blowup {
                     cost::check_blowup(&cost, q.name_span, &mut analysis.diagnostics);
+                }
+                if cfg.absint {
+                    // Bounds must see through relation atoms, so the
+                    // verdict runs on the database-expanded body; the
+                    // CQA012 walk stays on the spanned original so its
+                    // findings anchor to source bytes.
+                    let expanded = db
+                        .as_ref()
+                        .and_then(|d| d.expand(&body).ok())
+                        .unwrap_or_else(|| body.clone());
+                    cost = absint_query_pass(
+                        &mut arena,
+                        &mut memo,
+                        &mut simp,
+                        &q.name,
+                        &q.body,
+                        &expanded,
+                        &params,
+                        &program.vars,
+                        cost,
+                        &mut analysis.diagnostics,
+                    );
                 }
                 analysis.reports.push(StatementReport {
                     name: q.name.clone(),
@@ -184,6 +223,108 @@ pub fn analyze_source(src: &str, cfg: &AnalyzerConfig) -> (Program, Analysis) {
     (program, analysis.finish())
 }
 
+/// Pass 5 for one query: CQA011 (statically empty), CQA012 (statically
+/// trivial subformula), CQA013 (no boundedness certificate for an output
+/// variable), and the planner-grade cost refinements (post-pruning atom
+/// count and certified box volume).
+#[allow(clippy::too_many_arguments)]
+fn absint_query_pass(
+    arena: &mut Arena,
+    memo: &mut AbsintMemo,
+    simp: &mut SimplifyMemo,
+    name: &str,
+    spanned: &SpannedFormula,
+    expanded: &Formula,
+    params: &[Var],
+    vars: &VarMap,
+    cost: CostReport,
+    diags: &mut Vec<Diagnostic>,
+) -> CostReport {
+    let eid = arena.intern(expanded);
+    let facts = absint::analyze_id(arena, eid, memo);
+    if facts.verdict == Verdict::Unsat {
+        let mut d = Diagnostic::new(
+            Code::StaticallyEmpty,
+            spanned.span,
+            format!("query `{name}` is statically empty: no real point satisfies its body"),
+        )
+        .with_note("the engine answers it with measure 0 without quantifier elimination");
+        for v in params {
+            let iv = absint::env_interval(&facts.env, *v);
+            if !iv.is_top() {
+                d = d.with_note(format!("derived bounds: {} ∈ {iv}", vars.name(*v)));
+            }
+        }
+        diags.push(d);
+    } else {
+        for v in absint::unbounded_vars(&facts.env, params) {
+            let sp = sigma::span_of_var(spanned, v);
+            let sp = if sp.is_empty() { spanned.span } else { sp };
+            let iv = absint::env_interval(&facts.env, v);
+            diags.push(
+                Diagnostic::new(
+                    Code::UnboundedFreeVariable,
+                    sp,
+                    format!(
+                        "free variable `{}` of query `{name}` has no boundedness \
+                         certificate (derived bounds: {iv})",
+                        vars.name(v)
+                    ),
+                )
+                .with_note(
+                    "the Monte Carlo sampling box cannot shrink along this dimension; \
+                     add explicit range constraints if the variable is bounded",
+                ),
+            );
+        }
+        report_trivial_subformulas(arena, memo, spanned, diags);
+    }
+    let pruned = absint::prune_id(arena, eid, memo, simp);
+    let pruned_atoms = arena.meta(pruned).sign_atoms;
+    let vol = absint::box_volume(&facts.env, params);
+    cost.with_absint(pruned_atoms, vol)
+}
+
+/// Top-down walk over the spanned body reporting *maximal* statically
+/// valid subformulas (CQA012) — only nodes that carry at least one sign
+/// atom, so a bare `true` never warns; a reported node's children are
+/// not descended into.
+fn report_trivial_subformulas(
+    arena: &mut Arena,
+    memo: &mut AbsintMemo,
+    sf: &SpannedFormula,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let id = arena.intern(&sf.to_formula());
+    if arena.meta(id).sign_atoms > 0 {
+        let facts = absint::analyze_id(arena, id, memo);
+        if facts.verdict == Verdict::Valid {
+            diags.push(
+                Diagnostic::new(
+                    Code::StaticallyTrivial,
+                    sf.span,
+                    "subformula is statically valid (always true) and contributes nothing",
+                )
+                .with_note("the simplifier prunes it before elimination; consider deleting it"),
+            );
+            return;
+        }
+    }
+    match &sf.node {
+        SpannedNode::Not(g)
+        | SpannedNode::Exists(_, g)
+        | SpannedNode::Forall(_, g)
+        | SpannedNode::ExistsAdom(_, g)
+        | SpannedNode::ForallAdom(_, g) => report_trivial_subformulas(arena, memo, g, diags),
+        SpannedNode::And(gs) | SpannedNode::Or(gs) => {
+            for g in gs {
+                report_trivial_subformulas(arena, memo, g, diags);
+            }
+        }
+        _ => {}
+    }
+}
+
 /// Analyzes one programmatically built formula (no spans): scope via free
 /// variables, schema conformance, classification, and cost. This is the
 /// entry point the bench workloads and library callers use to lint
@@ -213,9 +354,41 @@ pub fn analyze_formula(
     }
     fragment::check_relations_plain(f, schema, &mut analysis.diagnostics);
     let report = fragment::classify(f);
-    let cost = cost::estimate(&report, params.len(), schema, &cfg.cost);
+    let mut cost = cost::estimate(&report, params.len(), schema, &cfg.cost);
     if cfg.check_blowup {
         cost::check_blowup(&cost, cqa_logic::Span::default(), &mut analysis.diagnostics);
+    }
+    if cfg.absint {
+        // No spans and no database here: relation atoms stay opaque, and
+        // every finding anchors to the default span.
+        let mut arena = Arena::new();
+        let mut memo = AbsintMemo::new();
+        let mut simp = SimplifyMemo::new();
+        let id = arena.intern(f);
+        let facts = absint::analyze_id(&arena, id, &mut memo);
+        if facts.verdict == Verdict::Unsat {
+            analysis.diagnostics.push(Diagnostic::new(
+                Code::StaticallyEmpty,
+                Span::default(),
+                "query is statically empty: no real point satisfies its body",
+            ));
+        } else {
+            for v in absint::unbounded_vars(&facts.env, params) {
+                analysis.diagnostics.push(Diagnostic::new(
+                    Code::UnboundedFreeVariable,
+                    Span::default(),
+                    format!(
+                        "free variable `{}` has no boundedness certificate",
+                        vars.name(v)
+                    ),
+                ));
+            }
+        }
+        let pruned = absint::prune_id(&mut arena, id, &mut memo, &mut simp);
+        cost = cost.with_absint(
+            arena.meta(pruned).sign_atoms,
+            absint::box_volume(&facts.env, params),
+        );
     }
     analysis.reports.push(StatementReport {
         name: "<formula>".to_string(),
@@ -273,6 +446,48 @@ sum T(w) := w > u | END[y. 0 <= y & y <= 1] ; x . x*x = w
         assert!(codes.contains(&Code::SigmaRangeUnbound), "{codes:?}");
         assert!(codes.contains(&Code::GammaNotCertified), "{codes:?}");
         assert!(a.has_errors());
+    }
+
+    #[test]
+    fn absint_pass_reports_static_verdicts() {
+        let src = "\
+rel S(y) := 0 <= y & y <= 1
+query Empty(x) := S(x) & x > 2 & x < 1
+query Trivial(x) := S(x) & x*x >= 0
+query Loose(x, z) := S(x) & z > 0
+";
+        let (_, a) = analyze_source(src, &AnalyzerConfig::default());
+        let codes: Vec<Code> = a.diagnostics.iter().map(|d| d.code).collect();
+        assert!(codes.contains(&Code::StaticallyEmpty), "{codes:?}");
+        assert!(codes.contains(&Code::StaticallyTrivial), "{codes:?}");
+        assert!(codes.contains(&Code::UnboundedFreeVariable), "{codes:?}");
+        // Warnings only: the program still evaluates.
+        assert!(!a.has_errors());
+        // Every finding carries a real span.
+        for d in &a.diagnostics {
+            assert!(!d.span.is_empty(), "{:?} has an empty span", d.code);
+        }
+        // The trivial conjunct is pruned from the planner-grade atom count
+        // and the bounded query certifies a shrunken box.
+        let trivial = &a.reports[2];
+        assert!(trivial.cost.unwrap().pruned_atoms.unwrap() < 3);
+        let empty = &a.reports[1];
+        assert_eq!(empty.cost.unwrap().pruned_atoms, Some(0));
+        let loose = &a.reports[3];
+        assert_eq!(loose.cost.unwrap().box_volume, Some(1.0));
+    }
+
+    #[test]
+    fn absint_pass_can_be_disabled() {
+        let src = "query Empty(x) := x > 2 & x < 1\n";
+        let cfg = AnalyzerConfig {
+            absint: false,
+            check_blowup: false,
+            ..Default::default()
+        };
+        let (_, a) = analyze_source(src, &cfg);
+        assert!(a.diagnostics.is_empty(), "{}", a.render(src, "t.cqa"));
+        assert_eq!(a.reports[0].cost.unwrap().pruned_atoms, None);
     }
 
     #[test]

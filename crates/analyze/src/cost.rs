@@ -53,6 +53,24 @@ pub struct CostReport {
     pub km: KmCost,
     /// `Some` when the prediction exceeds the budget.
     pub blowup: Option<KmBlowup>,
+    /// Interval-refined atom count: atoms remaining after statically
+    /// decided subformulas are pruned (`None` when the absint pass did
+    /// not run).
+    pub pruned_atoms: Option<u64>,
+    /// Volume of the interval-certified bounding box clamped to the unit
+    /// cube — an upper bound on the Monte Carlo acceptance region
+    /// (`None` when the absint pass did not run).
+    pub box_volume: Option<f64>,
+}
+
+impl CostReport {
+    /// Attaches the absint pass's planner-grade inputs: the post-pruning
+    /// atom count and the certified box volume.
+    pub fn with_absint(mut self, pruned_atoms: u64, box_volume: f64) -> CostReport {
+        self.pruned_atoms = Some(pruned_atoms);
+        self.box_volume = Some(box_volume);
+        self
+    }
 }
 
 /// Estimates the cost of a query measured by `report`, with `free_count`
@@ -97,6 +115,8 @@ pub fn estimate(
         s0,
         km,
         blowup: gate(km, params.budget).err(),
+        pruned_atoms: None,
+        box_volume: None,
     }
 }
 

@@ -36,6 +36,17 @@ pub enum Code {
     /// CQA010 — a relation definition is not a quantifier-free,
     /// relation-free constraint formula over its parameters.
     BadRelationDef,
+    /// CQA011 — interval analysis proves the query body unsatisfiable:
+    /// the query is statically empty and evaluation returns the empty
+    /// answer (measure 0) without quantifier elimination.
+    StaticallyEmpty,
+    /// CQA012 — interval analysis proves a subformula valid (always
+    /// true): the subformula contributes nothing and can be dropped.
+    StaticallyTrivial,
+    /// CQA013 — a free variable of a volume/SUM query carries no
+    /// boundedness certificate: interval analysis cannot bound it, so
+    /// the Monte Carlo sampling box cannot shrink along that dimension.
+    UnboundedFreeVariable,
 }
 
 impl Code {
@@ -53,6 +64,145 @@ impl Code {
             Code::KmBlowup => "CQA008",
             Code::EmptyActiveDomain => "CQA009",
             Code::BadRelationDef => "CQA010",
+            Code::StaticallyEmpty => "CQA011",
+            Code::StaticallyTrivial => "CQA012",
+            Code::UnboundedFreeVariable => "CQA013",
+        }
+    }
+
+    /// Every code, in numeric order — the runtime diagnostic catalog
+    /// behind `cqa-lint --explain`.
+    pub const ALL: [Code; 14] = [
+        Code::Syntax,
+        Code::UnboundVariable,
+        Code::ShadowedBinder,
+        Code::UnusedBinder,
+        Code::UnknownRelation,
+        Code::ArityMismatch,
+        Code::SigmaRangeUnbound,
+        Code::GammaNotCertified,
+        Code::KmBlowup,
+        Code::EmptyActiveDomain,
+        Code::StaticallyEmpty,
+        Code::StaticallyTrivial,
+        Code::UnboundedFreeVariable,
+        Code::BadRelationDef,
+    ];
+
+    /// Parses a code string (`"CQA011"`, case-insensitive, `CQA11` also
+    /// accepted) back to the typed code.
+    pub fn parse(s: &str) -> Option<Code> {
+        let s = s.trim().to_ascii_uppercase();
+        let digits = s.strip_prefix("CQA")?;
+        let n: u32 = digits.parse().ok()?;
+        Code::ALL.iter().copied().find(|c| {
+            c.as_str()
+                .strip_prefix("CQA")
+                .and_then(|d| d.parse::<u32>().ok())
+                == Some(n)
+        })
+    }
+
+    /// A one-line title for the catalog listing.
+    pub fn title(self) -> &'static str {
+        match self {
+            Code::Syntax => "statement or formula failed to parse",
+            Code::UnboundVariable => "variable occurs free with no binder or parameter",
+            Code::ShadowedBinder => "quantifier rebinds a variable already in scope",
+            Code::UnusedBinder => "quantifier binds a variable its body never uses",
+            Code::UnknownRelation => "relation atom names a relation absent from the schema",
+            Code::ArityMismatch => "relation atom argument count differs from schema arity",
+            Code::SigmaRangeUnbound => "Σ-term part uses a variable outside its discipline",
+            Code::GammaNotCertified => "summand γ is not syntactically deterministic",
+            Code::KmBlowup => "predicted approximation formula exceeds the budget",
+            Code::EmptyActiveDomain => "active-domain quantifier over an empty active domain",
+            Code::BadRelationDef => "relation definition is not quantifier-free constraint",
+            Code::StaticallyEmpty => "query body is statically unsatisfiable",
+            Code::StaticallyTrivial => "subformula is statically valid (always true)",
+            Code::UnboundedFreeVariable => "free variable has no boundedness certificate",
+        }
+    }
+
+    /// The full catalog entry: what the code means, why it fires, and
+    /// what to do about it.
+    pub fn explain(self) -> &'static str {
+        match self {
+            Code::Syntax => {
+                "The statement or formula could not be parsed. The rest of the \
+                 program is still analyzed; fix the syntax at the reported span."
+            }
+            Code::UnboundVariable => {
+                "A variable occurs free where no quantifier binds it and no query \
+                 parameter declares it. Declare it as a parameter or bind it with \
+                 `exists`/`forall`."
+            }
+            Code::ShadowedBinder => {
+                "A quantifier rebinds a variable that an enclosing binder or \
+                 parameter already declares. The inner binding wins, which is \
+                 usually not what was meant; rename one of the two."
+            }
+            Code::UnusedBinder => {
+                "A quantifier binds a variable its body never mentions. Over the \
+                 reals the quantifier is then a no-op; remove it or use the \
+                 variable."
+            }
+            Code::UnknownRelation => {
+                "A relation atom names a relation the program never defines. \
+                 Define it with a `rel` statement before use."
+            }
+            Code::ArityMismatch => {
+                "A relation atom supplies a different number of arguments than \
+                 the relation's definition declares."
+            }
+            Code::SigmaRangeUnbound => {
+                "A part of a Σ-term (filter, END body, or summand γ) uses a \
+                 variable outside the paper's binding discipline: filters may \
+                 only use tuple variables, END bodies the end variable plus \
+                 tuple variables, and γ the output variable plus tuple variables."
+            }
+            Code::GammaNotCertified => {
+                "The summand γ is not in the functional-graph shape `out = t(w⃗)` \
+                 the analyzer certifies as deterministic, so evaluation falls \
+                 back to a QE-based semantic determinism check (slower, same \
+                 answer)."
+            }
+            Code::KmBlowup => {
+                "The Karpinski–Macintyre model predicts the ε-approximation \
+                 formula for this query exceeds the configured atom budget — the \
+                 paper's Section 3 blow-up. Consider relaxing ε or restructuring \
+                 the query."
+            }
+            Code::EmptyActiveDomain => {
+                "An active-domain quantifier ranges over an empty active domain \
+                 (no relation atoms are in scope), so it quantifies over nothing: \
+                 `existsadom` is false, `foralladom` is true."
+            }
+            Code::BadRelationDef => {
+                "A relation definition must be a quantifier-free, relation-free \
+                 constraint formula over its declared parameters (the paper's \
+                 finitely-representable database model)."
+            }
+            Code::StaticallyEmpty => {
+                "Interval abstract interpretation proved the query body \
+                 unsatisfiable: some atom or conjunction admits no real point \
+                 (e.g. `x > 2 & x < 1`). The engine answers such queries with \
+                 the empty result (volume 0) without running quantifier \
+                 elimination or sampling. If the query should be nonempty, the \
+                 reported bounds show which constraints contradict."
+            }
+            Code::StaticallyTrivial => {
+                "Interval abstract interpretation proved a subformula valid — \
+                 true for every assignment (e.g. `x*x >= 0`). It contributes \
+                 nothing to the query and can be deleted; the simplifier prunes \
+                 it before elimination."
+            }
+            Code::UnboundedFreeVariable => {
+                "A free variable of a volume/SUM query has no boundedness \
+                 certificate: interval analysis derived no finite lower or upper \
+                 bound, so the Monte Carlo sampling box cannot shrink along that \
+                 dimension and cost estimates assume the full unit range. Add \
+                 explicit range constraints if the variable is in fact bounded."
+            }
         }
     }
 
@@ -69,7 +219,10 @@ impl Code {
             | Code::UnusedBinder
             | Code::GammaNotCertified
             | Code::KmBlowup
-            | Code::EmptyActiveDomain => Severity::Warning,
+            | Code::EmptyActiveDomain
+            | Code::StaticallyEmpty
+            | Code::StaticallyTrivial
+            | Code::UnboundedFreeVariable => Severity::Warning,
         }
     }
 }
@@ -220,6 +373,21 @@ mod tests {
         assert!(text.contains("query Q(x) := x = z + 1"));
         assert!(text.contains("^^^^^^^^^"));
         assert!(text.contains("note: declare it"));
+    }
+
+    #[test]
+    fn catalog_is_complete_and_parseable() {
+        assert_eq!(Code::ALL.len(), 14);
+        for c in Code::ALL {
+            assert_eq!(Code::parse(c.as_str()), Some(c));
+            assert!(!c.title().is_empty());
+            assert!(!c.explain().is_empty());
+        }
+        assert_eq!(Code::parse("cqa011"), Some(Code::StaticallyEmpty));
+        assert_eq!(Code::parse("CQA13"), Some(Code::UnboundedFreeVariable));
+        assert_eq!(Code::parse("CQA099"), None);
+        assert_eq!(Code::parse("FOO"), None);
+        assert_eq!(Code::StaticallyEmpty.severity(), Severity::Warning);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! by *syntactic* disciplines: summation ranges must be range-restricted,
 //! summands must be deterministic, relation definitions must be
 //! quantifier-free constraint formulas. This crate checks those disciplines
-//! statically, in four passes over the span-carrying parse tree of
+//! statically, in five passes over the span-carrying parse tree of
 //! `cqa-logic`:
 //!
 //! 1. **Scope** ([`scope`]) — unbound variables (CQA001), shadowed binders
@@ -23,6 +23,12 @@
 //!    the Lemma-1 Karpinski–Macintyre blow-up model; queries whose
 //!    predicted ε-approximation formula exceeds the budget get CQA008
 //!    (the paper's `≥ 10⁹`-atom example, as a lint).
+//! 5. **Interval abstract interpretation** ([`absint`]) — per-node interval
+//!    environments and three-valued feasibility verdicts over the
+//!    hash-consed IR arena; statically empty queries (CQA011), statically
+//!    trivial subformulas (CQA012), and missing boundedness certificates
+//!    for volume/SUM queries (CQA013), plus planner-grade box-volume and
+//!    pruned-atom cost inputs.
 //!
 //! Programs live in `.cqa` files ([`program`]); the `cqa-lint` binary in
 //! `cqa-bench` drives the analyzer from the command line. Every finding is
@@ -31,6 +37,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod absint;
 pub mod analyzer;
 pub mod cost;
 pub mod diag;
@@ -39,6 +46,7 @@ pub mod program;
 pub mod scope;
 pub mod sigma;
 
+pub use absint::{analyze_id, prune_id, AbsintMemo, Env, Facts, Interval, Verdict};
 pub use analyzer::{analyze_formula, analyze_source, Analysis, AnalyzerConfig, StatementReport};
 pub use cost::{check_blowup, estimate, CostParams, CostReport};
 pub use cqa_logic::Span;

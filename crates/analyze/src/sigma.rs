@@ -186,7 +186,7 @@ mod tests {
         let leak = d
             .iter()
             .find(|x| x.code == Code::SigmaRangeUnbound)
-            .unwrap();
+            .expect("a leaking filter variable must lint as CQA006, never panic");
         assert!(leak.message.contains("`z`"));
         assert!(leak.message.contains("filter"));
         assert_eq!(&src[leak.span.start..leak.span.end], "w > z");
@@ -201,7 +201,7 @@ mod tests {
         let leak = d
             .iter()
             .find(|x| x.code == Code::SigmaRangeUnbound)
-            .unwrap();
+            .expect("a leaking END-body variable must lint as CQA006, never panic");
         assert!(leak.message.contains("`w`"));
         assert!(leak.message.contains("END body"));
     }
@@ -250,6 +250,34 @@ mod tests {
 
     fn prog_var(src: &str, name: &str) -> Var {
         let (prog, _) = parse_program(src);
-        prog.vars.get(name).unwrap()
+        prog.vars
+            .get(name)
+            .unwrap_or_else(|| panic!("test program never mentions variable `{name}`"))
+    }
+
+    #[test]
+    fn malformed_sigma_programs_lint_instead_of_panicking() {
+        // Adversarial Σ-programs through the full analyzer driver — the
+        // cqa-lint path. Every one must produce diagnostics, not a panic.
+        let sources = [
+            // Filter and γ leak variables; END body leaks the tuple var.
+            "sum A(w) := w > z | END[y. y <= w] ; x . x = q\n",
+            // Output variable collides with a tuple variable.
+            "sum B(w, w) := true | END[y. 0 <= y] ; w . w = 1\n",
+            // γ mentions an unknown relation and is not deterministic.
+            "sum C(w) := true | END[y. 0 <= y & y <= 1] ; x . x*x = w & Nope(x)\n",
+            // Syntactically broken Σ-terms (missing END, missing γ).
+            "sum D(w) := w > 0 ; x . x = w\n",
+            "sum E(w) := w > 0 | END[y. 0 <= y]\n",
+            // Statically empty range and unbounded output, absint codes.
+            "sum F(w) := w > 2 & w < 1 | END[y. 0 <= y & y <= 1] ; x . x = w\n",
+        ];
+        for src in sources {
+            let (_, a) = crate::analyzer::analyze_source(src, &Default::default());
+            assert!(
+                !a.diagnostics.is_empty(),
+                "malformed program produced no findings: {src}"
+            );
+        }
     }
 }

@@ -1,13 +1,13 @@
 //! Baselines the paper positions itself against.
 //!
-//! * **Variable independence** (Chomicki–Goldin–Kuper [11], discussed in
+//! * **Variable independence** (Chomicki–Goldin–Kuper \[11\], discussed in
 //!   §1): if the constraint representation never mixes variables inside an
 //!   atom, the exact volume is expressible in the constraint language
 //!   itself. The condition is syntactic, easily checked — and, as the
 //!   paper notes, "too restrictive": [`is_variable_independent`] plus
 //!   [`variable_independent_volume`] implement the baseline, and E8
 //!   measures how rarely it applies.
-//! * **Dyer–Frieze–Kannan-style randomized volume** [15]: polynomial-time
+//! * **Dyer–Frieze–Kannan-style randomized volume** \[15\]: polynomial-time
 //!   approximation for convex bodies. We implement the practical
 //!   scaffolding (rejection sampling from a bounding box, and a multiphase
 //!   hit-and-run annealing estimator) as the comparison point for E11.
@@ -36,7 +36,7 @@ pub fn is_variable_independent(f: &Formula) -> bool {
 /// Exact volume of a variable-independent formula: the 1-D critical values
 /// per axis induce a grid; each open cell is uniformly in or out, so the
 /// volume is a sum of box volumes — no polyhedral machinery needed. This
-/// is the [11] baseline; it errors (`None`) if the formula is not
+/// is the \[11\] baseline; it errors (`None`) if the formula is not
 /// variable-independent or a contributing cell is unbounded.
 pub fn variable_independent_volume(f: &Formula, vars: &[Var]) -> Option<Rat> {
     if !is_variable_independent(f) || !f.is_quantifier_free() || !f.is_relation_free() {
@@ -217,7 +217,7 @@ pub fn rejection_volume(p: &HPolyhedron, lo: &[f64], hi: &[f64], samples: usize,
 /// `ratioᵢ = vol(K∩Bᵢ₋₁)/vol(K∩Bᵢ)` estimated by hit-and-run sampling of
 /// `K∩Bᵢ` (exact chord computation against the half-spaces and the ball).
 /// `f64`, seeded — the E11 cost/accuracy comparison point; not a verbatim
-/// implementation of [15]'s theoretical algorithm.
+/// implementation of \[15\]'s theoretical algorithm.
 pub fn hit_and_run_volume(
     p: &HPolyhedron,
     interior: &[f64],

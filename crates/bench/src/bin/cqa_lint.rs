@@ -3,6 +3,7 @@
 //! ```text
 //! cqa-lint [--eps E] [--delta D] [--db-size N] [--max-atoms A] [--max-quantifiers Q]
 //!          [--timeout-ms MS] [--max-steps N] FILE...
+//! cqa-lint --explain CQA0NN
 //! ```
 //!
 //! Parses each file, runs the `cqa-analyze` passes (scope, fragment/schema,
@@ -15,7 +16,7 @@
 //! Σ-evaluation: statements that blow past the budget are reported with a
 //! budget diagnostic (and a non-zero exit) instead of hanging the linter.
 
-use cqa_analyze::{AnalyzerConfig, Program, Statement};
+use cqa_analyze::{AnalyzerConfig, Code, Program, Statement};
 use cqa_bench::lint::lint_file;
 use cqa_logic::budget::EvalBudget;
 use std::process::ExitCode;
@@ -25,9 +26,31 @@ fn usage() -> ! {
     eprintln!(
         "usage: cqa-lint [--eps E] [--delta D] [--db-size N] \
          [--max-atoms A] [--max-quantifiers Q] \
-         [--timeout-ms MS] [--max-steps N] FILE..."
+         [--timeout-ms MS] [--max-steps N] FILE...\n\
+         \x20      cqa-lint --explain CQA0NN"
     );
     std::process::exit(2);
+}
+
+/// `--explain CQA0NN`: prints the diagnostic catalog entry for one code,
+/// or the whole catalog index when the code is unknown.
+fn explain(code_str: &str) -> ExitCode {
+    match Code::parse(code_str) {
+        Some(code) => {
+            println!("{}: {}", code.as_str(), code.title());
+            println!("severity: {:?}", code.severity());
+            println!();
+            println!("{}", code.explain());
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!("cqa-lint: unknown diagnostic code `{code_str}`; known codes:");
+            for c in Code::ALL {
+                eprintln!("  {}  {}", c.as_str(), c.title());
+            }
+            std::process::exit(2);
+        }
+    }
 }
 
 /// Runs the budget-governed dynamic pass over every statement of `program`.
@@ -122,6 +145,13 @@ fn main() -> ExitCode {
             "--max-quantifiers" => cfg.cost.budget.max_quantifiers = flag("--max-quantifiers"),
             "--timeout-ms" => timeout_ms = Some(flag("--timeout-ms") as u64),
             "--max-steps" => max_steps = Some(flag("--max-steps") as u64),
+            "--explain" => {
+                let code = args.next().unwrap_or_else(|| {
+                    eprintln!("cqa-lint: --explain needs a diagnostic code (e.g. CQA011)");
+                    std::process::exit(2);
+                });
+                return explain(&code);
+            }
             "--help" | "-h" => usage(),
             _ if arg.starts_with('-') => usage(),
             _ => files.push(arg),

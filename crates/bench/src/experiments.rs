@@ -1,4 +1,4 @@
-//! The E1–E12 + E15–E17 experiment suite (see DESIGN.md §4 and EXPERIMENTS.md).
+//! The E1–E12 + E15–E18 experiment suite (see DESIGN.md §4 and EXPERIMENTS.md).
 //!
 //! Each function prints a self-contained table and returns it as a string
 //! so the integration tests can assert on the numbers.
@@ -1175,6 +1175,237 @@ pub fn e17(out: &mut String) {
     }
 }
 
+/// E18 — interval abstract interpretation in the engine: static verdicts
+/// skip QE, bounds certificates shrink the sampling box.
+///
+/// Three EXEC workloads against two engines (absint on / off):
+///
+/// * **statically empty** — a quantified linear query whose free-variable
+///   constraints contradict; the on-engine answers `value=0` without ever
+///   running Fourier–Motzkin (≥ 10× floor asserted);
+/// * **box-shrinkable** — a small disk conjoined with affine range atoms;
+///   the derived box certificate lets Monte Carlo discard most lanes
+///   before kernel evaluation (≥ 50% skip floor asserted);
+/// * **unknown** — a plain quarter disk with no derivable box; absint must
+///   stay out of the way (zero skipped lanes asserted).
+///
+/// Every answer is asserted bit-identical between the two engines (modulo
+/// the `steps=` budget counter). Timings go to stderr; the measured
+/// snapshot is written to BENCH_absint.json.
+pub fn e18(out: &mut String) {
+    use cqa_engine::{Engine, EngineConfig, EngineStats};
+    use std::time::Instant;
+
+    writeln!(
+        out,
+        "E18: interval abstract interpretation — static verdicts and box certificates"
+    )
+    .unwrap();
+
+    const ROUNDS: usize = 5;
+    let mk = |absint: bool| {
+        Engine::new(EngineConfig {
+            absint,
+            timeout: Some(std::time::Duration::from_secs(60)),
+            ..EngineConfig::default()
+        })
+    };
+    let strip = |h: &str| {
+        h.split_whitespace()
+            .filter(|t| !t.starts_with("steps="))
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
+    let answer = |h: &str| {
+        h.split("value=")
+            .nth(1)
+            .and_then(|s| s.split_whitespace().next())
+            .unwrap_or("?")
+            .to_string()
+    };
+
+    // Workload A: statically empty. The ∃-body is a pairwise-coupled
+    // 4-variable chain (every yᵢ two-sided against every yⱼ and against x),
+    // so Fourier–Motzkin pays its quadratic per-projection growth four
+    // times over — but `x > 2 & x < 1` is refuted by interval meet alone,
+    // and the linear constraint class makes the ⊥-substitution safe. The
+    // residues of the coupled atoms collapse to constants, keeping the
+    // un-analyzed engine's exact volume step under its DNF cell limit.
+    const EMPTY_K: usize = 4;
+    let empty_q = {
+        let mut q = String::from("(exists");
+        for i in 0..EMPTY_K {
+            q.push_str(&format!(" y{i}"));
+        }
+        q.push_str(". ");
+        let mut atoms = Vec::new();
+        for i in 0..EMPTY_K {
+            atoms.push(format!("x - 1 < y{i}"));
+            atoms.push(format!("y{i} < x + 1"));
+            for j in (i + 1)..EMPTY_K {
+                atoms.push(format!("y{i} - y{j} < 1"));
+                atoms.push(format!("y{j} - y{i} < 1"));
+            }
+        }
+        q.push_str(&atoms.join(" & "));
+        q.push_str(") & x > 2 & x < 1");
+        q
+    };
+    let empty_q = empty_q.as_str();
+    // Workload B: the disk only intersects [2/5, 3/5]², so the box
+    // certificate discards 24/25 of the unit-box sample lanes up front.
+    let boxed_q = "(x - 1/2)*(x - 1/2) + (y - 1/2)*(y - 1/2) <= 1/100 \
+                   & 2/5 <= x & x <= 3/5 & 2/5 <= y & y <= 3/5";
+    // Workload C: no affine atom bounds anything — no certificate, and the
+    // prefilter must not fire at all.
+    let disk_q = "x*x + y*y <= 1";
+
+    // --- A: cold-EXEC latency, fresh engines each round so neither side
+    // ever sees a cache hit. The on-engine must be >= 10x faster.
+    let (mut on_us, mut off_us) = (f64::INFINITY, f64::INFINITY);
+    let mut empty_on_header = String::new();
+    let mut empty_off_header = String::new();
+    let mut unsat_skips = 0;
+    for _ in 0..ROUNDS {
+        let on = mk(true);
+        let mut s = on.open_session();
+        assert!(on.prepare(&mut s, "empty", empty_q).is_ok());
+        let t0 = Instant::now();
+        let r = on.exec(&mut s, "empty", None, None);
+        on_us = on_us.min(t0.elapsed().as_nanos() as f64 / 1e3);
+        assert!(r.is_ok(), "{r:?}");
+        empty_on_header = r.header;
+        unsat_skips = EngineStats::get(&on.stats.absint_unsat_skips);
+
+        let off = mk(false);
+        let mut s = off.open_session();
+        assert!(off.prepare(&mut s, "empty", empty_q).is_ok());
+        let t0 = Instant::now();
+        let r = off.exec(&mut s, "empty", None, None);
+        off_us = off_us.min(t0.elapsed().as_nanos() as f64 / 1e3);
+        assert!(r.is_ok(), "{r:?}");
+        empty_off_header = r.header;
+    }
+    assert_eq!(strip(&empty_on_header), strip(&empty_off_header));
+    assert_eq!(answer(&empty_on_header), "0", "{empty_on_header}");
+    assert!(unsat_skips >= 1, "static Unsat verdict never fired");
+    let empty_speedup = off_us / on_us.max(1.0);
+    assert!(
+        empty_speedup >= 10.0,
+        "statically-empty EXEC must be >= 10x faster with absint, \
+         got {empty_speedup:.1}x ({on_us:.1} vs {off_us:.1} us)"
+    );
+    eprintln!(
+        "E18 empty: absint {on_us:.1} us, QE {off_us:.1} us \
+         (cold EXEC, min of {ROUNDS} rounds), speedup {empty_speedup:.1}x"
+    );
+    writeln!(
+        out,
+        "  statically empty (4 quantifiers, 20 pairwise-coupled linear atoms): value={} on \
+         both engines, \
+         unsat verdict skips QE (>= 10x floor asserted; timings on stderr)",
+        answer(&empty_on_header)
+    )
+    .unwrap();
+
+    // --- B and C: skip fractions and answer identity on the MC path.
+    let mc_case = |name: &str, query: &str| -> (String, String, u64, u64, f64) {
+        let on = mk(true);
+        let mut s = on.open_session();
+        assert!(on.prepare(&mut s, name, query).is_ok());
+        let t0 = Instant::now();
+        let r_on = on.exec(&mut s, name, Some(0.02), None);
+        let on_us = t0.elapsed().as_nanos() as f64 / 1e3;
+        assert!(r_on.is_ok(), "{r_on:?}");
+        let skipped = EngineStats::get(&on.stats.absint_box_skipped_lanes);
+        let evaluated = EngineStats::get(&on.stats.batch_fast_lanes)
+            + EngineStats::get(&on.stats.batch_exact_lanes);
+
+        let off = mk(false);
+        let mut s = off.open_session();
+        assert!(off.prepare(&mut s, name, query).is_ok());
+        let t0 = Instant::now();
+        let r_off = off.exec(&mut s, name, Some(0.02), None);
+        let off_us = t0.elapsed().as_nanos() as f64 / 1e3;
+        assert!(r_off.is_ok(), "{r_off:?}");
+        assert_eq!(
+            EngineStats::get(&off.stats.absint_box_skipped_lanes),
+            0,
+            "disabled engine must not prefilter"
+        );
+        assert_eq!(strip(&r_on.header), strip(&r_off.header));
+        eprintln!("E18 {name}: absint {on_us:.1} us, plain {off_us:.1} us (single cold EXEC)");
+        (answer(&r_on.header), r_on.header, skipped, evaluated, on_us)
+    };
+
+    let (boxed_val, _, boxed_skipped, boxed_eval, _) = mc_case("boxed", boxed_q);
+    let boxed_frac = boxed_skipped as f64 / (boxed_skipped + boxed_eval).max(1) as f64;
+    assert!(
+        boxed_frac >= 0.5,
+        "box certificate must discard >= 50% of lanes, got {boxed_frac:.3}"
+    );
+    writeln!(
+        out,
+        "  box-shrinkable (disk in [2/5,3/5]^2): value={boxed_val}, \
+         {boxed_skipped} of {} lanes skipped by the certificate ({:.1}%), \
+         answer bit-identical to the unfiltered engine",
+        boxed_skipped + boxed_eval,
+        100.0 * boxed_frac
+    )
+    .unwrap();
+
+    let (disk_val, _, disk_skipped, disk_eval, _) = mc_case("disk", disk_q);
+    assert_eq!(disk_skipped, 0, "no certificate, so no lane may be skipped");
+    writeln!(
+        out,
+        "  unknown (quarter disk, no affine bounds): value={disk_val}, \
+         0 of {disk_eval} lanes skipped — absint stays out of the way"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  all answers bit-identical with absint on/off (modulo the steps= counter); \
+         snapshot in BENCH_absint.json\n"
+    )
+    .unwrap();
+
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let json = format!(
+        "{{\n  \"bench\": \"interval abstract interpretation in the engine \
+         (E18: static verdicts skip QE, box certificates shrink the MC box)\",\n  \
+         \"date\": \"{}\",\n  \
+         \"machine\": {{ \"cpus\": {cpus}, \"mode\": \"report e18, release, cold EXEC, \
+         min of {ROUNDS} rounds for the empty workload\" }},\n  \"workloads\": {{\n    \
+         \"statically_empty\": {{\n      \"description\": \"4 quantifiers over 20 \
+         pairwise-coupled linear atoms under a free-variable range contradiction; absint \
+         answers value=0 without QE\",\n      \
+         \"absint_us\": {on_us:.1},\n      \"qe_us\": {off_us:.1},\n      \
+         \"speedup\": {empty_speedup:.1},\n      \"value\": \"{}\"\n    }},\n    \
+         \"box_shrinkable\": {{\n      \"description\": \"disk of radius 1/10 at (1/2, 1/2) \
+         conjoined with its bounding box [2/5, 3/5]^2\",\n      \
+         \"lanes_skipped\": {boxed_skipped},\n      \"lanes_total\": {},\n      \
+         \"skip_fraction\": {boxed_frac:.4},\n      \"value\": \"{boxed_val}\"\n    }},\n    \
+         \"unknown\": {{\n      \"description\": \"quarter disk x^2 + y^2 <= 1: no affine \
+         bounds, no certificate, zero skipped lanes\",\n      \
+         \"lanes_skipped\": {disk_skipped},\n      \"lanes_total\": {disk_eval},\n      \
+         \"value\": \"{disk_val}\"\n    }}\n  }},\n  \"notes\": [\n    \
+         \"Answers are asserted bit-identical between the absint-enabled and disabled \
+         engines on every workload (only the steps= budget counter may differ).\",\n    \
+         \"The static skip only fires when the substitution cannot change the constraint \
+         class of the cached plan: non-polynomial queries and quantifier-free polynomial \
+         queries qualify; quantified polynomial queries still pay QE.\",\n    \
+         \"The box prefilter drops lanes after the RNG draw, so the sample stream and all \
+         surviving hit decisions are unchanged.\"\n  ]\n}}\n",
+        today_utc(),
+        answer(&empty_on_header),
+        boxed_skipped + boxed_eval,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_absint.json");
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("E18: could not write {path}: {e}");
+    }
+}
+
 /// Today's UTC date as `YYYY-MM-DD` (civil-from-days, Hinnant's algorithm;
 /// no external time crates).
 fn today_utc() -> String {
@@ -1208,7 +1439,7 @@ fn collect_atoms(f: &cqa_logic::Formula) -> Vec<cqa_logic::Atom> {
 pub fn run_all() -> String {
     let mut out = String::new();
     type Experiment = fn(&mut String);
-    let fns: [(&str, Experiment); 15] = [
+    let fns: [(&str, Experiment); 16] = [
         ("e1", e1),
         ("e2", e2),
         ("e3", e3),
@@ -1224,6 +1455,7 @@ pub fn run_all() -> String {
         ("e15", e15),
         ("e16", e16),
         ("e17", e17),
+        ("e18", e18),
     ];
     for (name, f) in fns {
         let _ = name;
@@ -1232,7 +1464,7 @@ pub fn run_all() -> String {
     out
 }
 
-/// Runs one experiment by id (`"e1"` … `"e12"`, `"e15"` … `"e17"`); `None` for unknown ids.
+/// Runs one experiment by id (`"e1"` … `"e12"`, `"e15"` … `"e18"`); `None` for unknown ids.
 pub fn run_one(id: &str) -> Option<String> {
     let mut out = String::new();
     match id {
@@ -1251,6 +1483,7 @@ pub fn run_one(id: &str) -> Option<String> {
         "e15" => e15(&mut out),
         "e16" => e16(&mut out),
         "e17" => e17(&mut out),
+        "e18" => e18(&mut out),
         _ => return None,
     }
     Some(out)

@@ -61,6 +61,12 @@ pub struct CacheEntry {
     pub fragment: &'static str,
     /// Estimated resident size, charged against the byte budget.
     pub bytes: usize,
+    /// Interval-certified Monte Carlo sampling box over the output
+    /// columns, clamped to the unit cube: every satisfying point of `qf`
+    /// lies inside, so sample lanes outside skip kernel evaluation.
+    /// `None` when the analysis certified nothing tighter than the unit
+    /// box (or the absint pass was disabled at insert time).
+    pub mc_box: Option<Vec<(f64, f64)>>,
 }
 
 /// Rough resident-size estimate of a formula: nodes plus polynomial terms.
@@ -231,6 +237,7 @@ mod tests {
             qf_vars,
             kernel,
             bytes,
+            mc_box: None,
         }
     }
 

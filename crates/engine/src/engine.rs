@@ -48,6 +48,12 @@ pub struct EngineConfig {
     /// --preload`). Must be analyzer-clean — the server validates it at
     /// startup before accepting connections.
     pub preload: Option<String>,
+    /// Whether the interval abstract-interpretation pass runs on request
+    /// formulas: statically decided queries skip QE, and Monte Carlo
+    /// lanes provably outside the derived bounding box skip kernel
+    /// evaluation. Verdicts only skip or shrink work — answers are
+    /// bit-identical with the pass off.
+    pub absint: bool,
 }
 
 impl Default for EngineConfig {
@@ -61,6 +67,7 @@ impl Default for EngineConfig {
             default_delta: 0.05,
             idle_timeout: Duration::from_secs(60),
             preload: None,
+            absint: true,
         }
     }
 }
@@ -96,6 +103,9 @@ pub struct Session {
     arena: Arena,
     /// `FormulaId`-keyed memo table for [`cqa_qe::simplify_id`].
     simp: SimplifyMemo,
+    /// `FormulaId`-keyed memo table for the interval abstract
+    /// interpretation (verdicts and bounds certificates per node).
+    absint: cqa_analyze::AbsintMemo,
     /// Arena counters as of the last flush into the engine-wide `STATS`
     /// aggregates (sessions report monotone deltas after each command).
     reported: ArenaStats,
@@ -412,10 +422,64 @@ impl Engine {
         let (entry, cache_tag) = match self.cache.get(key) {
             Some(e) => (Some(e), "hit"),
             None => {
-                // Cold path: QE still runs on the boxed tree, so extern the
-                // simplified node once per miss.
-                let simplified = session.arena.extern_formula(sid);
-                match cqa_qe::eliminate_with_budget(&simplified, &budget) {
+                // Cold path: consult the absint verdict first — a
+                // statically decided query needs no elimination at all,
+                // and its certified bounding box (if any) rides along in
+                // the cache entry to prefilter Monte Carlo lanes.
+                let facts = if self.cfg.absint {
+                    Some(cqa_analyze::analyze_id(
+                        &session.arena,
+                        sid,
+                        &mut session.absint,
+                    ))
+                } else {
+                    None
+                };
+                // Bit-identity gate: substituting ⊥/⊤ for the QE output
+                // is only taken where the un-analyzed engine would land
+                // on the same path — non-polynomial queries (FM keeps
+                // them non-polynomial, so both engines integrate exactly
+                // and 0/1 is the volume either way) and quantifier-free
+                // ones (elimination is a no-op, so both engines run the
+                // same Monte Carlo sweep and the ⊥/⊤ kernel decides each
+                // lane identically). A quantified polynomial query could
+                // drop class during elimination, so it keeps paying QE.
+                let sid_class = session.arena.meta(sid).class;
+                let skip_safe = sid_class != ConstraintClass::Polynomial
+                    || session.arena.meta(sid).quantifier_free;
+                let static_qf =
+                    facts
+                        .as_ref()
+                        .filter(|_| skip_safe)
+                        .and_then(|fx| match fx.verdict {
+                            cqa_analyze::Verdict::Unsat => {
+                                self.stats
+                                    .absint_unsat_skips
+                                    .fetch_add(1, Ordering::Relaxed);
+                                Some(Formula::False)
+                            }
+                            cqa_analyze::Verdict::Valid => {
+                                self.stats
+                                    .absint_valid_skips
+                                    .fetch_add(1, Ordering::Relaxed);
+                                Some(Formula::True)
+                            }
+                            cqa_analyze::Verdict::Unknown => None,
+                        });
+                let static_skip = static_qf.is_some();
+                let mc_box = facts
+                    .as_ref()
+                    .and_then(|fx| cqa_analyze::absint::unit_box(&fx.env, vars));
+                let eliminated = match static_qf {
+                    Some(qf) => Ok(qf),
+                    None => {
+                        // QE still runs on the boxed tree, so extern the
+                        // simplified node once per miss.
+                        let simplified = session.arena.extern_formula(sid);
+                        cqa_qe::eliminate_with_budget(&simplified, &budget)
+                    }
+                };
+                match eliminated {
                     Ok(qf) => {
                         let qf_id = session.arena.intern(&qf);
                         let qf_id =
@@ -434,7 +498,14 @@ impl Engine {
                             }
                         };
                         let qf = session.arena.extern_formula(qf_id);
-                        let class = session.arena.meta(qf_id).class;
+                        // A static ⊥/⊤ substitution keeps the original
+                        // query's class so the exact-vs-MC decision below
+                        // matches the un-analyzed engine's.
+                        let class = if static_skip {
+                            sid_class
+                        } else {
+                            session.arena.meta(qf_id).class
+                        };
                         let fragment = match class {
                             ConstraintClass::Polynomial => "FO+POLY",
                             _ => "FO+LIN",
@@ -450,6 +521,7 @@ impl Engine {
                                 class,
                                 fragment,
                                 bytes,
+                                mc_box,
                             },
                         );
                         (Some(entry), "miss")
@@ -532,6 +604,9 @@ impl Engine {
         let samples = Self::sample_count(eps, delta);
         let mut w = Witness::new(MC_SEED);
         let mut batch = Batch::new(dim);
+        let mut sub = Batch::new(dim);
+        let mut keep: Vec<usize> = Vec::new();
+        let mut skipped = 0u64;
         let mut scratch = BatchScratch::new();
         let mut hits = 0usize;
         let mut lanes = LaneStats::default();
@@ -539,14 +614,66 @@ impl Engine {
         while done < samples {
             batch.set_len((samples - done).min(BATCH_LANES));
             w.fill_unit_columns(&mut batch, 0, dim);
-            let b = &batch;
-            let exact = |lane: usize, slot: usize| {
-                Rat::from_f64(b.value(slot, lane)).expect("finite sample coordinate")
+            // The absint bounding box certifies that every satisfying
+            // point lies inside it, so lanes outside are kernel-false and
+            // can skip evaluation entirely. The draws above are untouched
+            // (same RNG stream) and skipped lanes contribute exactly the
+            // zero hits they would have, so the estimate is bit-identical
+            // to the unfiltered run.
+            let result = match entry.mc_box.as_deref() {
+                Some(bx) => {
+                    keep.clear();
+                    for lane in 0..batch.len() {
+                        let inside = (0..dim).all(|d| {
+                            let v = batch.value(d, lane);
+                            v >= bx[d].0 && v <= bx[d].1
+                        });
+                        if inside {
+                            keep.push(lane);
+                        }
+                    }
+                    skipped += (batch.len() - keep.len()) as u64;
+                    if keep.is_empty() {
+                        None
+                    } else if keep.len() == batch.len() {
+                        let b = &batch;
+                        let exact = |lane: usize, slot: usize| {
+                            Rat::from_f64(b.value(slot, lane)).expect("finite sample coordinate")
+                        };
+                        Some(entry.kernel.eval_batch(b, &exact, &mut scratch))
+                    } else {
+                        sub.set_len(keep.len());
+                        for d in 0..dim {
+                            let col = sub.col_mut(d);
+                            for (j, &lane) in keep.iter().enumerate() {
+                                col[j] = batch.value(d, lane);
+                            }
+                        }
+                        let b = &sub;
+                        let exact = |lane: usize, slot: usize| {
+                            Rat::from_f64(b.value(slot, lane)).expect("finite sample coordinate")
+                        };
+                        Some(entry.kernel.eval_batch(b, &exact, &mut scratch))
+                    }
+                }
+                None => {
+                    let b = &batch;
+                    let exact = |lane: usize, slot: usize| {
+                        Rat::from_f64(b.value(slot, lane)).expect("finite sample coordinate")
+                    };
+                    Some(entry.kernel.eval_batch(b, &exact, &mut scratch))
+                }
             };
-            let r = entry.kernel.eval_batch(b, &exact, &mut scratch);
-            hits += r.mask.count();
-            lanes.add(&r);
+            if let Some(r) = result {
+                hits += r.mask.count();
+                lanes.add(&r);
+            }
             done += batch.len();
+        }
+        if skipped > 0 {
+            self.stats
+                .absint_box_skipped_lanes
+                .fetch_add(skipped, Ordering::Relaxed);
         }
         self.stats
             .batch_fast_lanes
@@ -663,6 +790,12 @@ impl Engine {
             } else {
                 exact as f64 / (fast + exact) as f64
             }
+        ));
+        resp.body.push(format!(
+            "absint unsat_skips={} valid_skips={} box_skipped_lanes={}",
+            EngineStats::get(&s.absint_unsat_skips),
+            EngineStats::get(&s.absint_valid_skips),
+            EngineStats::get(&s.absint_box_skipped_lanes),
         ));
         for kind in [
             crate::protocol::CommandKind::Load,
@@ -785,6 +918,105 @@ sum EndpointSum(w) := true | END[y. S(y)] ; xout . xout = w
             .parse()
             .unwrap();
         assert_eq!(lanes, samples);
+    }
+
+    #[test]
+    fn absint_skips_qe_for_statically_empty_queries() {
+        let e = engine();
+        let mut s = e.open_session();
+        // The contradiction is invisible to the simplifier but trivial
+        // for interval propagation: x > 2 ∧ x < 1.
+        let r = e.prepare(
+            &mut s,
+            "empty",
+            "(exists y. x < y & y < 2*x) & x > 2 & x < 1",
+        );
+        assert!(r.is_ok(), "{r:?}");
+        let r = e.exec(&mut s, "empty", None, None);
+        assert!(r.header.contains("status=exact value=0"), "{r:?}");
+        assert_eq!(EngineStats::get(&e.stats.absint_unsat_skips), 1);
+        // Valid queries take the mirror path.
+        assert!(e.prepare(&mut s, "full", "x < 2 | 1 > 0").is_ok());
+        let r = e.exec(&mut s, "full", None, None);
+        assert!(r.header.contains("status=exact value=1"), "{r:?}");
+        assert_eq!(EngineStats::get(&e.stats.absint_valid_skips), 1);
+        // A statically-valid *polynomial* matrix still degrades to Monte
+        // Carlo — the class gate keeps the answer path identical to the
+        // un-analyzed engine — but skips elimination.
+        assert!(e.prepare(&mut s, "poly", "x*x >= 0 | x < 0").is_ok());
+        let r = e.exec(&mut s, "poly", None, None);
+        assert!(r.header.contains("status=approx value=1"), "{r:?}");
+        assert_eq!(EngineStats::get(&e.stats.absint_valid_skips), 2);
+    }
+
+    #[test]
+    fn absint_box_prefilter_preserves_estimates() {
+        // The disk only intersects [2/5, 3/5]²: the box prefilter must
+        // skip lanes yet report the same hit count as the unfiltered run.
+        let query = "(x - 1/2)*(x - 1/2) + (y - 1/2)*(y - 1/2) <= 1/100 \
+                     & 2/5 <= x & x <= 3/5 & 2/5 <= y & y <= 3/5";
+        let on = engine();
+        let mut s_on = on.open_session();
+        assert!(on.prepare(&mut s_on, "dot", query).is_ok());
+        let r_on = on.exec(&mut s_on, "dot", Some(0.02), None);
+        assert!(r_on.is_ok(), "{r_on:?}");
+        let skipped = EngineStats::get(&on.stats.absint_box_skipped_lanes);
+        assert!(skipped > 0, "box prefilter never fired");
+
+        let off = Engine::new(EngineConfig {
+            absint: false,
+            ..EngineConfig::default()
+        });
+        let mut s_off = off.open_session();
+        assert!(off.prepare(&mut s_off, "dot", query).is_ok());
+        let r_off = off.exec(&mut s_off, "dot", Some(0.02), None);
+        assert_eq!(
+            EngineStats::get(&off.stats.absint_box_skipped_lanes),
+            0,
+            "disabled engine must not prefilter"
+        );
+        // Answers are bit-identical; only the steps counter may differ.
+        let strip = |h: &str| {
+            h.split_whitespace()
+                .filter(|t| !t.starts_with("steps="))
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        assert_eq!(strip(&r_on.header), strip(&r_off.header));
+    }
+
+    #[test]
+    fn absint_on_off_answers_are_bit_identical() {
+        let on = engine();
+        let off = Engine::new(EngineConfig {
+            absint: false,
+            ..EngineConfig::default()
+        });
+        let queries = [
+            "S(x) & x <= 1",
+            "x*x + y*y <= 1",
+            "(exists y. x < y & y < 1) & x > 2", // statically empty
+            "x*x >= 0",                          // statically valid
+            "1/4 <= x & x <= 3/4 & exists y. y < x",
+        ];
+        for (i, q) in queries.iter().enumerate() {
+            let mut s_on = on.open_session();
+            let mut s_off = off.open_session();
+            assert!(on.load(&mut s_on, PROGRAM).is_ok());
+            assert!(off.load(&mut s_off, PROGRAM).is_ok());
+            let name = format!("q{i}");
+            assert!(on.prepare(&mut s_on, &name, q).is_ok(), "{q}");
+            assert!(off.prepare(&mut s_off, &name, q).is_ok(), "{q}");
+            let r_on = on.exec(&mut s_on, &name, Some(0.05), None);
+            let r_off = off.exec(&mut s_off, &name, Some(0.05), None);
+            let strip = |h: &str| {
+                h.split_whitespace()
+                    .filter(|t| !t.starts_with("steps="))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            };
+            assert_eq!(strip(&r_on.header), strip(&r_off.header), "query {q}");
+        }
     }
 
     #[test]

@@ -103,6 +103,16 @@ pub struct EngineStats {
     /// points are landing near sign boundaries and the kernel is quietly
     /// doing big-rational work.
     pub batch_exact_lanes: AtomicU64,
+    /// Cache misses answered without quantifier elimination because the
+    /// interval analysis proved the query statically unsatisfiable.
+    pub absint_unsat_skips: AtomicU64,
+    /// Cache misses answered without quantifier elimination because the
+    /// interval analysis proved the query statically valid.
+    pub absint_valid_skips: AtomicU64,
+    /// Monte Carlo sample lanes that skipped kernel evaluation because
+    /// they fell outside the interval-certified bounding box (the lanes
+    /// are provably misses; skipping them leaves estimates bit-identical).
+    pub absint_box_skipped_lanes: AtomicU64,
     /// Per-command latency histograms, indexed by
     /// [`crate::CommandKind`] discriminant.
     pub latency: [Histogram; super::protocol::N_COMMAND_KINDS],

@@ -14,8 +14,9 @@
 //!   inclusion–exclusion over DNF cells and Lasserre's facet recursion for
 //!   each convex cell. This is the engine behind the FO+POLY+SUM volume
 //!   terms of `cqa-agg`.
-//! * [`hull2d`] — 2-D convex hulls, shoelace areas, fan triangulations
-//!   (the paper's Section-5 worked example).
+//! * [`convex_hull`]/[`polygon_area`]/[`triangulate_fan`] — 2-D convex
+//!   hulls, shoelace areas, fan triangulations (the paper's Section-5
+//!   worked example).
 //! * [`simplex_volume`] — determinant-based simplex volumes.
 
 #![forbid(unsafe_code)]

@@ -608,8 +608,8 @@ fn exclude_points(q: &UPoly, iv: &mut RootInterval, pts: &[Rat]) {
 
 /// Isolates all distinct real roots of `p`, returning disjoint intervals in
 /// increasing order. Rational roots are returned as exact point intervals
-/// (complete for degree ≤ 2 and for moderate coefficient sizes; see
-/// [`rational_roots`]); irrational roots as open intervals `(lo, hi)` whose
+/// (complete for degree ≤ 2 and for moderate coefficient sizes, via the
+/// rational-root sieve); irrational roots as open intervals `(lo, hi)` whose
 /// endpoints are not roots and which contain exactly one root of the
 /// square-free part of `p`.
 ///

@@ -39,11 +39,17 @@ run_capped cargo test -q --offline -p cqa-approx --test thread_determinism
 echo "== IR parity (boxed tree vs hash-consed arena) =="
 run_capped cargo test -q --offline -p cqa-qe --test ir_parity
 
+echo "== absint soundness (verdicts vs QE oracle, box containment) =="
+run_capped cargo test -q --offline -p cqa-analyze --test absint_soundness
+
 echo "== E16 smoke (FM dedup ratio; >= 2x key-cost floor asserted inside) =="
 run_capped ./target/release/report e16
 
 echo "== E17 smoke (batched kernel; >= 2x floor + bit-identity asserted inside) =="
 run_capped ./target/release/report e17
+
+echo "== E18 smoke (absint; >= 10x statically-empty floor + bit-identity asserted inside) =="
+run_capped ./target/release/report e18
 
 echo "== static analysis demos =="
 cargo run -q --offline -p cqa-bench --bin cqa-lint -- \
@@ -52,6 +58,18 @@ if cargo run -q --offline -p cqa-bench --bin cqa-lint -- examples/lint/broken.cq
   echo "cqa-lint should have failed on broken.cqa" >&2
   exit 1
 fi
+# The diagnostic catalog is addressable at runtime. (Plain grep, not -q:
+# early pipe close would hit the linter with SIGPIPE/EPIPE.)
+cargo run -q --offline -p cqa-bench --bin cqa-lint -- --explain CQA011 \
+  | grep "statically" > /dev/null
+if cargo run -q --offline -p cqa-bench --bin cqa-lint -- --explain CQA999; then
+  echo "cqa-lint --explain should have failed on an unknown code" >&2
+  exit 1
+fi
+
+echo "== rustdoc (deny warnings; vendored crates excluded) =="
+RUSTDOCFLAGS="-D warnings" run_capped cargo doc --no-deps --workspace --offline \
+  --exclude proptest --exclude rand --exclude criterion
 
 echo "== budget smoke check (blow-up query must trip, fast) =="
 # A combinatorially explosive query under a 10 ms budget: the dynamic pass

@@ -55,13 +55,16 @@ fn broken_demo_raises_every_advertised_lint() {
     let (_, analysis) = analyze_source(&src, &permissive());
     let codes: Vec<Code> = analysis.diagnostics.iter().map(|d| d.code).collect();
     for expected in [
-        Code::UnboundVariable,   // CQA001
-        Code::ShadowedBinder,    // CQA002
-        Code::UnusedBinder,      // CQA003
-        Code::UnknownRelation,   // CQA004
-        Code::ArityMismatch,     // CQA005
-        Code::SigmaRangeUnbound, // CQA006
-        Code::GammaNotCertified, // CQA007
+        Code::UnboundVariable,       // CQA001
+        Code::ShadowedBinder,        // CQA002
+        Code::UnusedBinder,          // CQA003
+        Code::UnknownRelation,       // CQA004
+        Code::ArityMismatch,         // CQA005
+        Code::SigmaRangeUnbound,     // CQA006
+        Code::GammaNotCertified,     // CQA007
+        Code::StaticallyEmpty,       // CQA011
+        Code::StaticallyTrivial,     // CQA012
+        Code::UnboundedFreeVariable, // CQA013
     ] {
         assert!(
             codes.contains(&expected),
