@@ -47,9 +47,16 @@ pub fn group_aggregate_with_budget(
     agg: Aggregate,
     budget: &EvalBudget,
 ) -> Result<Vec<(Vec<Rat>, Rat)>, AggError> {
-    if let Some(g) = group_by.iter().find(|g| !free.contains(g)) {
-        return Err(AggError::GroupByNotInOutput(format!("{g:?}")));
-    }
+    // Resolve each grouping column to its position in the output row up
+    // front; a missing column is the caller's error, not a panic.
+    let key_idx: Vec<usize> = group_by
+        .iter()
+        .map(|g| {
+            free.iter()
+                .position(|v| v == g)
+                .ok_or_else(|| AggError::GroupByNotInOutput(format!("{g:?}")))
+        })
+        .collect::<Result<_, _>>()?;
     let expanded = db.expand(q).map_err(|e| AggError::Db(e.to_string()))?;
     let qf = cqa_qe::eliminate_with_budget(&expanded, budget)?;
     let tuples = enumerate_finite_with_budget(&qf, free, budget).map_err(|e| match e {
@@ -59,10 +66,6 @@ pub fn group_aggregate_with_budget(
 
     // Partition by key. The ordered map both deduplicates keys in
     // O(log #groups) per tuple and hands the groups back already sorted.
-    let key_idx: Vec<usize> = group_by
-        .iter()
-        .map(|g| free.iter().position(|v| v == g).unwrap())
-        .collect();
     let slots = SlotMap::from_vars(free);
     let mut groups: BTreeMap<Vec<Rat>, Vec<Rat>> = BTreeMap::new();
     for t in &tuples {
@@ -200,6 +203,18 @@ mod tests {
             out,
             vec![(vec![rat(1, 1)], rat(2, 1)), (vec![rat(2, 1)], rat(1, 1))]
         );
+    }
+
+    #[test]
+    fn group_by_column_outside_output_is_a_typed_error() {
+        let mut db = sales_db();
+        let r = db.vars_mut().intern("r");
+        let a = db.vars_mut().intern("a");
+        let z = db.vars_mut().intern("z");
+        let q = parse_formula_with("Sales(r, a)", db.vars_mut()).unwrap();
+        let err =
+            group_aggregate(&db, &q, &[r, a], &[z], &MPoly::var(a), Aggregate::Sum).unwrap_err();
+        assert!(matches!(err, AggError::GroupByNotInOutput(_)), "{err}");
     }
 
     #[test]

@@ -31,6 +31,11 @@ pub enum AggError {
     GammaPartial,
     /// A `GROUP BY` column is not among the query's output columns.
     GroupByNotInOutput(String),
+    /// An eliminated formula left a residue that could not be evaluated
+    /// where a definite value was required (e.g. a ground filter instance
+    /// that did not reduce to a truth value). Surfaced as a typed error
+    /// instead of a panic or a silently-biased default.
+    Residual(String),
     /// The evaluation budget was exhausted (deadline, step or atom limit).
     Budget(BudgetExceeded),
 }
@@ -47,6 +52,7 @@ impl std::fmt::Display for AggError {
             AggError::GroupByNotInOutput(v) => {
                 write!(f, "GROUP BY column {v} is not among the output columns")
             }
+            AggError::Residual(m) => write!(f, "unevaluable residual: {m}"),
             AggError::Budget(b) => write!(f, "{b}"),
         }
     }
@@ -179,7 +185,16 @@ impl RangeRestricted {
                 f = f.subst_rat(*v, x);
             }
             let qf = cqa_qe::eliminate_with_budget(&f, budget)?;
-            if qf.eval(&|_| Rat::zero(), &[]).unwrap_or(false) {
+            // The substituted filter is ground and relation-free, so it
+            // must evaluate to a definite truth value; a residue is a bug
+            // upstream, reported as an error — not silently counted as a
+            // miss (the old `unwrap_or(false)` bias).
+            let truth = qf.eval(&|_| Rat::zero(), &[]).ok_or_else(|| {
+                AggError::Residual(format!(
+                    "ground filter instance did not reduce to a truth value: {qf:?}"
+                ))
+            })?;
+            if truth {
                 out.push(tuple);
             }
             // Odometer.
@@ -236,7 +251,12 @@ impl Deterministic {
             1 if ivs[0].is_point() => match &ivs[0].lo {
                 Endpoint::Value(RealAlg::Rational(r), _) => Ok(Some(r.clone())),
                 Endpoint::Value(_, _) => Err(AggError::IrrationalEndpoint),
-                _ => unreachable!(),
+                // A point interval must carry a value endpoint; an
+                // unbounded endpoint here means the decomposition is
+                // inconsistent — a typed error, not a panic.
+                _ => Err(AggError::Residual(
+                    "point interval without a value endpoint".into(),
+                )),
             },
             _ => Err(AggError::NotDeterministic),
         }
@@ -545,6 +565,36 @@ mod tests {
             },
         };
         assert_eq!(term.eval(&db).unwrap(), rat(2, 1));
+    }
+
+    #[test]
+    fn quantified_filters_decide_exactly_after_elimination() {
+        let mut db = Database::new();
+        db.define("S", &["y"], "0 <= y & y <= 1").unwrap();
+        let y = db.vars_mut().intern("y");
+        let w = db.vars_mut().intern("w");
+        let rr = RangeRestricted {
+            filter: parse_formula_with("exists z. w < z & z < 1", db.vars_mut()).unwrap(),
+            tuple_vars: vec![w],
+            end_var: y,
+            end_formula: parse_formula_with("S(y)", db.vars_mut()).unwrap(),
+        };
+        // Endpoints {0, 1}; only w = 0 leaves room below 1. The filter goes
+        // through QE per tuple, and any residue it left would now surface
+        // as a typed `AggError::Residual` — never a silent miss.
+        assert_eq!(rr.enumerate(&db).unwrap(), vec![vec![rat(0, 1)]]);
+    }
+
+    #[test]
+    fn residual_errors_are_typed_and_described() {
+        let e = AggError::Residual("ground filter instance did not reduce".into());
+        assert!(e.to_string().starts_with("unevaluable residual:"), "{e}");
+        // Residues are their own variant, distinguishable from the generic
+        // database error a caller might otherwise retry.
+        assert_ne!(
+            e,
+            AggError::Db("ground filter instance did not reduce".into())
+        );
     }
 
     #[test]

@@ -73,6 +73,22 @@ impl CostReport {
     }
 }
 
+/// Converts the static measurements into the QE planner's inputs
+/// ([`cqa_qe::plan::PlanInputs`]): raw atom/quantifier counts from the
+/// fragment report, the interval pass's `pruned_atoms`/`box_volume`
+/// refinements and the Prop-6 VC bound from the cost report. This is the
+/// bridge the engine uses at `PREPARE` time — the planner itself lives in
+/// `cqa-qe` (which `cqa-analyze` depends on, not vice versa).
+pub fn planner_inputs(report: &FragmentReport, cost: &CostReport) -> cqa_qe::plan::PlanInputs {
+    cqa_qe::plan::PlanInputs {
+        atoms: report.atoms as u64,
+        quantifiers: report.quantifiers as u64,
+        pruned_atoms: cost.pruned_atoms,
+        box_volume: cost.box_volume,
+        vc_bound: Some(cost.vc_bound),
+    }
+}
+
 /// Estimates the cost of a query measured by `report`, with `free_count`
 /// free (point) variables, against `schema`.
 pub fn estimate(
@@ -190,6 +206,18 @@ mod tests {
         let mut d = Vec::new();
         check_blowup(&cost, Span::default(), &mut d);
         assert!(d.is_empty());
+    }
+
+    #[test]
+    fn planner_inputs_carry_static_and_absint_measurements() {
+        let r = report("exists y. x < y & y < 1");
+        let cost = estimate(&r, 1, &Schema::new(), &CostParams::default()).with_absint(1, 0.5);
+        let inputs = planner_inputs(&r, &cost);
+        assert_eq!(inputs.atoms, r.atoms as u64);
+        assert_eq!(inputs.quantifiers, r.quantifiers as u64);
+        assert_eq!(inputs.pruned_atoms, Some(1));
+        assert_eq!(inputs.box_volume, Some(0.5));
+        assert_eq!(inputs.vc_bound, Some(cost.vc_bound));
     }
 
     #[test]

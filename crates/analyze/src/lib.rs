@@ -48,7 +48,7 @@ pub mod sigma;
 
 pub use absint::{analyze_id, prune_id, AbsintMemo, Env, Facts, Interval, Verdict};
 pub use analyzer::{analyze_formula, analyze_source, Analysis, AnalyzerConfig, StatementReport};
-pub use cost::{check_blowup, estimate, CostParams, CostReport};
+pub use cost::{check_blowup, estimate, planner_inputs, CostParams, CostReport};
 pub use cqa_logic::Span;
 pub use diag::{render_all, Code, Diagnostic, Severity};
 pub use fragment::{

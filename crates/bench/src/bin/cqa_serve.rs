@@ -3,7 +3,7 @@
 //! ```text
 //! cqa-serve [--addr HOST:PORT] [--workers N] [--cache-bytes B]
 //!           [--timeout-ms MS] [--max-steps N] [--eps E] [--delta D]
-//!           [--idle-secs S] [--preload FILE.cqa]
+//!           [--idle-secs S] [--preload FILE.cqa] [--no-plan]
 //! ```
 //!
 //! Binds a TCP listener (default `127.0.0.1:0`, i.e. an ephemeral port),
@@ -25,7 +25,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: cqa-serve [--addr HOST:PORT] [--workers N] [--cache-bytes B] \
          [--timeout-ms MS] [--max-steps N] [--eps E] [--delta D] \
-         [--idle-secs S] [--preload FILE.cqa]"
+         [--idle-secs S] [--preload FILE.cqa] [--no-plan]"
     );
     std::process::exit(2);
 }
@@ -70,6 +70,8 @@ fn main() -> ExitCode {
                     Duration::from_secs(parse("--idle-secs", value("--idle-secs")) as u64)
             }
             "--preload" => preload_path = Some(value("--preload")),
+            // Parity oracle: fall back to the fixed QE dispatch pipeline.
+            "--no-plan" => cfg.plan = false,
             "--help" | "-h" => usage(),
             _ => usage(),
         }

@@ -1203,9 +1203,12 @@ pub fn e18(out: &mut String) {
     .unwrap();
 
     const ROUNDS: usize = 5;
+    // Plan=false on both sides: this experiment isolates the absint pass,
+    // and the QE planner (E19) would otherwise speed up the baseline too.
     let mk = |absint: bool| {
         Engine::new(EngineConfig {
             absint,
+            plan: false,
             timeout: Some(std::time::Duration::from_secs(60)),
             ..EngineConfig::default()
         })
@@ -1406,6 +1409,208 @@ pub fn e18(out: &mut String) {
     }
 }
 
+/// E19: the cost-based QE planner and cross-query subplan sharing.
+///
+/// Eight prepared queries share one expensive quantified linear core — a
+/// chain-coupled 2-variable ∃-block — and differ only in a
+/// quantifier-free band on the free variable. The planned engine routes
+/// the conjunctive core to Fourier–Motzkin, eliminates it once to a plain
+/// conjunction and serves the other seven from the shared subplan cache;
+/// the `--no-plan` engine (the fixed dispatch pipeline) pays the full
+/// Loos–Weispfenning elimination per query, and LW's virtual-substitution
+/// output is a multi-arm disjunction whose exact volume costs a `2^m`
+/// inclusion–exclusion sweep on every EXEC. Both engines stay on the
+/// exact path and their volumes are the same rational, so answers are
+/// bit-identical. Asserted: every answer `value=1/10` and bit-identical
+/// between the two engines (modulo `steps=`), `>= 7` subplan cache hits,
+/// and a `>= 2x` total cold-EXEC speedup. Timings go to stderr; the
+/// measured snapshot is written to BENCH_plan.json.
+pub fn e19(out: &mut String) {
+    use cqa_engine::{Engine, EngineConfig, EngineStats};
+    use std::time::Instant;
+
+    writeln!(
+        out,
+        "E19: cost-based QE planning — method choice and cross-query subplan sharing"
+    )
+    .unwrap();
+
+    const ROUNDS: usize = 5;
+    const QUERIES: usize = 8;
+    const CORE_K: usize = 2;
+
+    // The shared core: every yᵢ two-sided against x, neighbours chained
+    // within distance 1, plus one-sided range pins so the block does not
+    // eliminate to a constant (no static verdict can discharge it).
+    // Satisfiable on an interval of x that contains all eight bands.
+    let core = {
+        let mut q = String::from("(exists");
+        for i in 0..CORE_K {
+            q.push_str(&format!(" y{i}"));
+        }
+        q.push_str(". ");
+        let mut atoms = Vec::new();
+        for i in 0..CORE_K {
+            atoms.push(format!("x - 1 < y{i}"));
+            atoms.push(format!("y{i} < x + 1"));
+            if i + 1 < CORE_K {
+                atoms.push(format!("y{i} - y{} < 1", i + 1));
+                atoms.push(format!("y{} - y{i} < 1", i + 1));
+            }
+        }
+        atoms.push("y0 > 0".into());
+        atoms.push(format!("y{} < 1", CORE_K - 1));
+        q.push_str(&atoms.join(" & "));
+        q.push(')');
+        q
+    };
+    // Bands [i/20, (i+2)/20] ⊂ [0, 1/2]: structurally overlapping queries
+    // whose only difference is quantifier-free.
+    let queries: Vec<String> = (0..QUERIES)
+        .map(|i| format!("{core} & {i}/20 <= x & x <= {}/20", i + 2))
+        .collect();
+
+    let mk = |plan: bool| {
+        Engine::new(EngineConfig {
+            plan,
+            timeout: Some(std::time::Duration::from_secs(60)),
+            ..EngineConfig::default()
+        })
+    };
+    let strip = |h: &str| {
+        h.split_whitespace()
+            .filter(|t| !t.starts_with("steps="))
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
+
+    // Cold EXEC over the whole workload, fresh engines each round so no
+    // round ever sees a whole-query cache hit; min-of-rounds totals.
+    let (mut plan_us, mut fixed_us) = (f64::INFINITY, f64::INFINITY);
+    let mut planned_headers: Vec<String> = Vec::new();
+    let mut fixed_headers: Vec<String> = Vec::new();
+    let mut prepare_header = String::new();
+    let (mut subplan_hits, mut subplan_misses) = (0u64, 0u64);
+    let (mut plan_fm, mut plan_lw) = (0u64, 0u64);
+    for _ in 0..ROUNDS {
+        let on = mk(true);
+        let mut s = on.open_session();
+        for (i, q) in queries.iter().enumerate() {
+            let r = on.prepare(&mut s, &format!("q{i}"), q);
+            assert!(r.is_ok(), "{r:?}");
+            prepare_header = r.header;
+        }
+        let t0 = Instant::now();
+        let headers: Vec<String> = (0..QUERIES)
+            .map(|i| {
+                let r = on.exec(&mut s, &format!("q{i}"), None, None);
+                assert!(r.is_ok(), "{r:?}");
+                r.header
+            })
+            .collect();
+        plan_us = plan_us.min(t0.elapsed().as_nanos() as f64 / 1e3);
+        planned_headers = headers;
+        let snap = on.cache.snapshot();
+        (subplan_hits, subplan_misses) = (snap.subplan_hits, snap.subplan_misses);
+        plan_fm = EngineStats::get(&on.stats.plan_fm);
+        plan_lw = EngineStats::get(&on.stats.plan_lw);
+
+        let off = mk(false);
+        let mut s = off.open_session();
+        for (i, q) in queries.iter().enumerate() {
+            let r = off.prepare(&mut s, &format!("q{i}"), q);
+            assert!(r.is_ok(), "{r:?}");
+        }
+        let t0 = Instant::now();
+        let headers: Vec<String> = (0..QUERIES)
+            .map(|i| {
+                let r = off.exec(&mut s, &format!("q{i}"), None, None);
+                assert!(r.is_ok(), "{r:?}");
+                r.header
+            })
+            .collect();
+        fixed_us = fixed_us.min(t0.elapsed().as_nanos() as f64 / 1e3);
+        fixed_headers = headers;
+    }
+
+    for (p, f) in planned_headers.iter().zip(&fixed_headers) {
+        assert_eq!(strip(p), strip(f), "planner on/off answers must agree");
+        assert!(
+            p.contains("status=exact value=1/10"),
+            "each band has measure 1/10: {p}"
+        );
+    }
+    assert!(
+        prepare_header.contains(" plan="),
+        "PREPARE must report the committed plan: {prepare_header}"
+    );
+    assert!(
+        subplan_hits >= (QUERIES - 1) as u64,
+        "seven of eight cores must be served from the subplan cache, \
+         got hits={subplan_hits} misses={subplan_misses}"
+    );
+    let speedup = fixed_us / plan_us.max(1.0);
+    assert!(
+        speedup >= 2.0,
+        "planned+shared workload must be >= 2x faster than the fixed \
+         pipeline, got {speedup:.2}x ({plan_us:.1} vs {fixed_us:.1} us)"
+    );
+    eprintln!(
+        "E19: planned {plan_us:.1} us, fixed {fixed_us:.1} us for {QUERIES} cold EXECs \
+         (min of {ROUNDS} rounds), speedup {speedup:.1}x, \
+         subplan hits {subplan_hits}/{}",
+        subplan_hits + subplan_misses
+    );
+    writeln!(
+        out,
+        "  {QUERIES} prepared queries sharing a {CORE_K}-quantifier chain-coupled core: \
+         every answer value=1/10 (exact) and bit-identical planner on/off"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  subplan cache: {subplan_hits} hits / {subplan_misses} miss — the core is \
+         eliminated once (planner routed fm={plan_fm} lw={plan_lw})"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  >= 2x total cold-EXEC speedup over --no-plan asserted \
+         (timings on stderr); snapshot in BENCH_plan.json\n"
+    )
+    .unwrap();
+
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let json = format!(
+        "{{\n  \"bench\": \"cost-based QE planning with cross-query subplan sharing \
+         (E19: {QUERIES} overlapping prepared queries, one shared quantified core)\",\n  \
+         \"date\": \"{}\",\n  \
+         \"machine\": {{ \"cpus\": {cpus}, \"mode\": \"report e19, release, cold EXEC over \
+         the full workload, min of {ROUNDS} rounds\" }},\n  \"workload\": {{\n    \
+         \"description\": \"{CORE_K}-variable chain-coupled existential core shared by \
+         {QUERIES} queries differing only in a quantifier-free band on x, answered on the \
+         exact-volume path\",\n    \
+         \"queries\": {QUERIES},\n    \"value\": \"1/10\"\n  }},\n  \"results\": {{\n    \
+         \"planned_us\": {plan_us:.1},\n    \"fixed_us\": {fixed_us:.1},\n    \
+         \"speedup\": {speedup:.2},\n    \"subplan_hits\": {subplan_hits},\n    \
+         \"subplan_misses\": {subplan_misses},\n    \
+         \"plan_fm\": {plan_fm},\n    \"plan_lw\": {plan_lw}\n  }},\n  \"notes\": [\n    \
+         \"Answers are asserted bit-identical between the planned and --no-plan engines \
+         (only the steps= budget counter may differ).\",\n    \
+         \"Subplan entries live in the shared prepared-query cache under the canonical \
+         128-bit hash of the quantified block, in a namespace disjoint from whole-query \
+         entries.\",\n    \
+         \"Polynomial queries never share subplans: the plan degenerates to the fixed \
+         whole-formula Hoermander run to keep the output's constraint class stable.\"\n  \
+         ]\n}}\n",
+        today_utc(),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_plan.json");
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("E19: could not write {path}: {e}");
+    }
+}
+
 /// Today's UTC date as `YYYY-MM-DD` (civil-from-days, Hinnant's algorithm;
 /// no external time crates).
 fn today_utc() -> String {
@@ -1439,7 +1644,7 @@ fn collect_atoms(f: &cqa_logic::Formula) -> Vec<cqa_logic::Atom> {
 pub fn run_all() -> String {
     let mut out = String::new();
     type Experiment = fn(&mut String);
-    let fns: [(&str, Experiment); 16] = [
+    let fns: [(&str, Experiment); 17] = [
         ("e1", e1),
         ("e2", e2),
         ("e3", e3),
@@ -1456,6 +1661,7 @@ pub fn run_all() -> String {
         ("e16", e16),
         ("e17", e17),
         ("e18", e18),
+        ("e19", e19),
     ];
     for (name, f) in fns {
         let _ = name;
@@ -1464,7 +1670,7 @@ pub fn run_all() -> String {
     out
 }
 
-/// Runs one experiment by id (`"e1"` … `"e12"`, `"e15"` … `"e18"`); `None` for unknown ids.
+/// Runs one experiment by id (`"e1"` … `"e12"`, `"e15"` … `"e19"`); `None` for unknown ids.
 pub fn run_one(id: &str) -> Option<String> {
     let mut out = String::new();
     match id {
@@ -1484,6 +1690,7 @@ pub fn run_one(id: &str) -> Option<String> {
         "e16" => e16(&mut out),
         "e17" => e17(&mut out),
         "e18" => e18(&mut out),
+        "e19" => e19(&mut out),
         _ => return None,
     }
     Some(out)

@@ -32,10 +32,33 @@ pub struct CacheKey {
     pub dim: u32,
 }
 
+/// Which namespace a resident slot belongs to. Whole-query entries and
+/// subplan entries can share a `(hash, dim)` pair — a prepared query whose
+/// body *is* a single quantifier block hashes identically as a query and
+/// as a subplan — so the kind is part of the map key: a subplan insert can
+/// never overwrite, double-charge, or (via the remove-then-reinsert refund)
+/// evict the query entry living under the same `(hash, dim)`, and vice
+/// versa.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum SlotKind {
+    /// A whole prepared query: QE output + kernel + analyzer verdict.
+    Query,
+    /// One quantifier block's QE result, shared across queries by the
+    /// planner (see `cqa_qe::plan`).
+    Subplan,
+}
+
+/// The full map key: the public [`CacheKey`] plus the namespace kind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+struct FullKey {
+    key: CacheKey,
+    kind: SlotKind,
+}
+
 /// Bytes charged to the budget for each resident key: the key itself plus
 /// the map-slot bookkeeping (recency clock). Keys are small and fixed-size
 /// now, but they are resident memory all the same — the budget counts them.
-pub(crate) const KEY_BYTES: usize = std::mem::size_of::<CacheKey>() + std::mem::size_of::<u64>();
+pub(crate) const KEY_BYTES: usize = std::mem::size_of::<FullKey>() + std::mem::size_of::<u64>();
 
 /// One memoized query: everything downstream of quantifier elimination
 /// that is reusable across sessions and requests.
@@ -82,13 +105,45 @@ pub(crate) fn formula_bytes(f: &Formula) -> usize {
     bytes
 }
 
+/// One memoized quantifier block: the planner's unit of cross-query
+/// sharing. Much lighter than a [`CacheEntry`] — no kernel, no verdicts —
+/// because the consuming query compiles its own kernel over the whole
+/// assembled output.
+#[derive(Clone, Debug)]
+pub struct SubplanEntry {
+    /// The block's quantifier-free QE result, in the inserting session's
+    /// variable indices.
+    pub qf: Formula,
+    /// The inserting session's parameter variables in canonical
+    /// (ascending-index) order; consumers rename positionally onto their
+    /// own parameter list.
+    pub params: Vec<cqa_poly::Var>,
+    /// Estimated resident size, charged against the byte budget.
+    pub bytes: usize,
+}
+
+/// What lives behind a slot, by namespace.
+enum Stored {
+    Query(Arc<CacheEntry>),
+    Subplan(Arc<SubplanEntry>),
+}
+
+impl Stored {
+    fn bytes(&self) -> usize {
+        match self {
+            Stored::Query(e) => e.bytes,
+            Stored::Subplan(e) => e.bytes,
+        }
+    }
+}
+
 struct Slot {
-    entry: Arc<CacheEntry>,
+    entry: Stored,
     last_used: u64,
 }
 
 struct Inner {
-    map: HashMap<CacheKey, Slot>,
+    map: HashMap<FullKey, Slot>,
     clock: u64,
     bytes: usize,
 }
@@ -102,7 +157,11 @@ pub struct CacheSnapshot {
     pub misses: u64,
     /// Entries removed by the LRU byte-budget sweep.
     pub evictions: u64,
-    /// Live entries.
+    /// Subplan lookups that found an entry (planner sharing at work).
+    pub subplan_hits: u64,
+    /// Subplan lookups that found nothing.
+    pub subplan_misses: u64,
+    /// Live entries (both namespaces).
     pub entries: usize,
     /// Estimated live bytes.
     pub bytes: usize,
@@ -122,13 +181,15 @@ impl CacheSnapshot {
     }
 }
 
-/// The concurrent prepared-query cache.
+/// The concurrent prepared-query (and subplan) cache.
 pub struct QueryCache {
     inner: Mutex<Inner>,
     byte_budget: usize,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    subplan_hits: AtomicU64,
+    subplan_misses: AtomicU64,
 }
 
 impl QueryCache {
@@ -144,19 +205,28 @@ impl QueryCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            subplan_hits: AtomicU64::new(0),
+            subplan_misses: AtomicU64::new(0),
         }
     }
 
-    /// Looks up `key`, refreshing its recency on a hit.
+    /// Looks up a whole-query entry, refreshing its recency on a hit.
     pub fn get(&self, key: CacheKey) -> Option<Arc<CacheEntry>> {
+        let full = FullKey {
+            key,
+            kind: SlotKind::Query,
+        };
         let mut inner = self.inner.lock().expect("cache lock");
         inner.clock += 1;
         let clock = inner.clock;
-        match inner.map.get_mut(&key) {
+        match inner.map.get_mut(&full) {
             Some(slot) => {
                 slot.last_used = clock;
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(Arc::clone(&slot.entry))
+                match &slot.entry {
+                    Stored::Query(e) => Some(Arc::clone(e)),
+                    Stored::Subplan(_) => unreachable!("kind is part of the key"),
+                }
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
@@ -165,25 +235,86 @@ impl QueryCache {
         }
     }
 
-    /// Inserts (or replaces) `key`, then evicts least-recently-used
-    /// entries until the byte budget holds again. The entry just inserted
-    /// is never evicted by its own insertion sweep — a query larger than
-    /// the whole budget still gets served, it just won't keep neighbours.
-    /// Each resident entry is charged `entry.bytes + KEY_BYTES`: the key
-    /// is resident memory too, not a freebie.
-    pub fn insert(&self, key: CacheKey, entry: CacheEntry) -> Arc<CacheEntry> {
-        let entry = Arc::new(entry);
+    /// Looks up a subplan entry, refreshing its recency on a hit. Counted
+    /// separately from query hits/misses: the `STATS` contract (and CI's
+    /// greps) treat whole-query traffic and planner sharing as distinct
+    /// signals.
+    pub fn get_subplan(&self, key: CacheKey) -> Option<Arc<SubplanEntry>> {
+        let full = FullKey {
+            key,
+            kind: SlotKind::Subplan,
+        };
         let mut inner = self.inner.lock().expect("cache lock");
         inner.clock += 1;
         let clock = inner.clock;
-        if let Some(old) = inner.map.remove(&key) {
-            inner.bytes -= old.entry.bytes + KEY_BYTES;
+        match inner.map.get_mut(&full) {
+            Some(slot) => {
+                slot.last_used = clock;
+                self.subplan_hits.fetch_add(1, Ordering::Relaxed);
+                match &slot.entry {
+                    Stored::Subplan(e) => Some(Arc::clone(e)),
+                    Stored::Query(_) => unreachable!("kind is part of the key"),
+                }
+            }
+            None => {
+                self.subplan_misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
         }
-        inner.bytes += entry.bytes + KEY_BYTES;
+    }
+
+    /// Inserts (or replaces) a whole-query entry, then evicts
+    /// least-recently-used entries until the byte budget holds again. The
+    /// entry just inserted is never evicted by its own insertion sweep — a
+    /// query larger than the whole budget still gets served, it just won't
+    /// keep neighbours. Each resident entry is charged
+    /// `entry.bytes + KEY_BYTES`: the key is resident memory too, not a
+    /// freebie.
+    pub fn insert(&self, key: CacheKey, entry: CacheEntry) -> Arc<CacheEntry> {
+        let entry = Arc::new(entry);
+        self.insert_stored(
+            FullKey {
+                key,
+                kind: SlotKind::Query,
+            },
+            Stored::Query(Arc::clone(&entry)),
+        );
+        entry
+    }
+
+    /// Inserts (or replaces) a subplan entry under the subplan namespace.
+    /// Because the private `SlotKind` tag is part of the map key, this can never touch —
+    /// overwrite, refund, or double-charge — a query entry under the same
+    /// `(hash, dim)`, and the insertion sweep protects only the inserted
+    /// slot itself (a subplan never shields its parent query from LRU, nor
+    /// the reverse).
+    pub fn insert_subplan(&self, key: CacheKey, entry: SubplanEntry) -> Arc<SubplanEntry> {
+        let entry = Arc::new(entry);
+        self.insert_stored(
+            FullKey {
+                key,
+                kind: SlotKind::Subplan,
+            },
+            Stored::Subplan(Arc::clone(&entry)),
+        );
+        entry
+    }
+
+    /// Shared insert path: replace-refund under the *full* (kind-aware)
+    /// key, charge payload + key bytes, LRU-sweep everything except the
+    /// just-inserted slot.
+    fn insert_stored(&self, full: FullKey, stored: Stored) {
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.clock += 1;
+        let clock = inner.clock;
+        if let Some(old) = inner.map.remove(&full) {
+            inner.bytes -= old.entry.bytes() + KEY_BYTES;
+        }
+        inner.bytes += stored.bytes() + KEY_BYTES;
         inner.map.insert(
-            key,
+            full,
             Slot {
-                entry: Arc::clone(&entry),
+                entry: stored,
                 last_used: clock,
             },
         );
@@ -191,19 +322,18 @@ impl QueryCache {
             let victim = inner
                 .map
                 .iter()
-                .filter(|(k, _)| **k != key)
+                .filter(|(k, _)| **k != full)
                 .min_by_key(|(_, s)| s.last_used)
                 .map(|(k, _)| *k);
             match victim {
                 Some(k) => {
                     let slot = inner.map.remove(&k).expect("victim exists");
-                    inner.bytes -= slot.entry.bytes + KEY_BYTES;
+                    inner.bytes -= slot.entry.bytes() + KEY_BYTES;
                     self.evictions.fetch_add(1, Ordering::Relaxed);
                 }
                 None => break,
             }
         }
-        entry
     }
 
     /// Counter snapshot for `STATS`.
@@ -213,6 +343,8 @@ impl QueryCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            subplan_hits: self.subplan_hits.load(Ordering::Relaxed),
+            subplan_misses: self.subplan_misses.load(Ordering::Relaxed),
             entries: inner.map.len(),
             bytes: inner.bytes,
             byte_budget: self.byte_budget,
@@ -306,5 +438,70 @@ mod tests {
         cache.insert(key(1), entry("x < 1", 100));
         cache.insert(key(2), entry("x < 2", 100));
         assert_eq!(cache.snapshot().bytes, 2 * (100 + KEY_BYTES));
+    }
+
+    fn subplan(src: &str, bytes: usize) -> SubplanEntry {
+        let (qf, _) = parse_formula(src).unwrap();
+        let params = qf.free_vars().into_iter().collect();
+        SubplanEntry { qf, params, bytes }
+    }
+
+    #[test]
+    fn subplan_and_query_namespaces_are_disjoint() {
+        // A query entry and a subplan entry under the *same* (hash, dim):
+        // both must be resident, separately charged, separately retrievable
+        // — a subplan insert can never overwrite or refund its parent.
+        let cache = QueryCache::new(100_000);
+        cache.insert(key(7), entry("x < 1", 300));
+        cache.insert_subplan(key(7), subplan("x < 2", 50));
+        assert!(cache.get(key(7)).is_some(), "query survives subplan insert");
+        assert!(cache.get_subplan(key(7)).is_some());
+        let snap = cache.snapshot();
+        assert_eq!(snap.entries, 2);
+        assert_eq!(
+            snap.bytes,
+            300 + 50 + 2 * KEY_BYTES,
+            "each namespace charges its own payload and key — no sharing, \
+             no double-charge"
+        );
+        assert_eq!((snap.hits, snap.misses), (1, 0));
+        assert_eq!((snap.subplan_hits, snap.subplan_misses), (1, 0));
+    }
+
+    #[test]
+    fn subplan_reinsert_replaces_only_subplan_bytes() {
+        let cache = QueryCache::new(100_000);
+        cache.insert(key(7), entry("x < 1", 300));
+        cache.insert_subplan(key(7), subplan("x < 2", 400));
+        cache.insert_subplan(key(7), subplan("x < 2", 80));
+        let snap = cache.snapshot();
+        assert_eq!(snap.entries, 2);
+        assert_eq!(snap.bytes, 300 + 80 + 2 * KEY_BYTES);
+        assert!(cache.get(key(7)).is_some(), "query bytes untouched");
+    }
+
+    #[test]
+    fn subplan_lookup_misses_do_not_count_as_query_misses() {
+        let cache = QueryCache::new(10_000);
+        assert!(cache.get_subplan(key(1)).is_none());
+        let snap = cache.snapshot();
+        assert_eq!((snap.hits, snap.misses), (0, 0));
+        assert_eq!((snap.subplan_hits, snap.subplan_misses), (0, 1));
+    }
+
+    #[test]
+    fn subplan_insert_sweep_shields_only_itself() {
+        // Budget fits exactly two resident slots. With the query entry
+        // stale and a same-key subplan inserted over budget, the sweep must
+        // evict by recency alone — the query parent is evictable like any
+        // neighbour, but the just-inserted subplan is not.
+        let cache = QueryCache::new(2 * (100 + KEY_BYTES));
+        cache.insert(key(7), entry("x < 1", 100));
+        cache.insert_subplan(key(8), subplan("x < 2", 100));
+        cache.insert_subplan(key(7), subplan("x < 3", 100));
+        assert!(cache.get_subplan(key(7)).is_some(), "inserted slot kept");
+        assert!(cache.get(key(7)).is_none(), "stale parent was the LRU");
+        assert!(cache.get_subplan(key(8)).is_some());
+        assert_eq!(cache.snapshot().evictions, 1);
     }
 }

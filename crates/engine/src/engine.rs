@@ -54,6 +54,15 @@ pub struct EngineConfig {
     /// evaluation. Verdicts only skip or shrink work — answers are
     /// bit-identical with the pass off.
     pub absint: bool,
+    /// Whether the cost-based QE planner runs on cache misses: per query
+    /// it picks the elimination method (FM/LW/Hörmander), the variable
+    /// order and early DNF pruning from the static cost model and absint
+    /// certificates, and memoizes quantifier-block results in the shared
+    /// cache so structurally overlapping queries share elimination work
+    /// (see `cqa_qe::plan`). Off (`--no-plan`) falls back to the fixed
+    /// class dispatcher — the parity oracle; answers are bit-identical
+    /// either way.
+    pub plan: bool,
 }
 
 impl Default for EngineConfig {
@@ -68,6 +77,7 @@ impl Default for EngineConfig {
             idle_timeout: Duration::from_secs(60),
             preload: None,
             absint: true,
+            plan: true,
         }
     }
 }
@@ -127,6 +137,34 @@ pub struct Engine {
     /// Service counters and latency histograms.
     pub stats: EngineStats,
     started: Instant,
+}
+
+/// The planner's [`cqa_qe::plan::SubplanStore`] backed by the shared
+/// [`QueryCache`]: quantifier-block QE results live in the cache's subplan
+/// namespace (kind-separated from whole-query entries, so the two can
+/// never collide — see `cache.rs`), making elimination sharing cross-query
+/// *and* cross-session.
+struct CacheSubplans<'a> {
+    cache: &'a QueryCache,
+}
+
+impl cqa_qe::plan::SubplanStore for CacheSubplans<'_> {
+    fn lookup(&self, hash: u128, dim: u32) -> Option<(Formula, Vec<Var>)> {
+        self.cache
+            .get_subplan(CacheKey { hash, dim })
+            .map(|e| (e.qf.clone(), e.params.clone()))
+    }
+
+    fn store(&self, hash: u128, dim: u32, qf: &Formula, params: &[Var]) {
+        self.cache.insert_subplan(
+            CacheKey { hash, dim },
+            crate::cache::SubplanEntry {
+                qf: qf.clone(),
+                params: params.to_vec(),
+                bytes: formula_bytes(qf),
+            },
+        );
+    }
 }
 
 /// How an `EXEC`/`VOLUME` answer was produced.
@@ -309,6 +347,33 @@ impl Engine {
             .last()
             .map(|r| r.fragment.fragment_name())
             .unwrap_or("FO");
+        // Report the elimination plan the cold EXEC will follow: the
+        // analyzer's cost model (with absint refinements when present) fed
+        // through the planner. Purely informational — EXEC re-plans on the
+        // session's own interning — but it lets clients see method/sharing
+        // decisions at PREPARE time.
+        let plan_tag = if self.cfg.plan {
+            match session.db.expand(&f) {
+                Ok(expanded) => {
+                    let inputs = analysis
+                        .reports
+                        .last()
+                        .and_then(|r| {
+                            r.cost
+                                .as_ref()
+                                .map(|c| cqa_analyze::planner_inputs(&r.fragment, c))
+                        })
+                        .unwrap_or_else(|| cqa_qe::plan::PlanInputs::measure(&expanded));
+                    format!(
+                        " plan={}",
+                        cqa_qe::plan::plan(&expanded, &inputs).describe()
+                    )
+                }
+                Err(_) => String::new(),
+            }
+        } else {
+            " plan=off".to_string()
+        };
         session.prepared.insert(
             name.to_string(),
             Prepared {
@@ -317,7 +382,7 @@ impl Engine {
             },
         );
         Response::ok(format!(
-            "PREPARE {name} params={} fragment={fragment}",
+            "PREPARE {name} params={} fragment={fragment}{plan_tag}",
             if params.is_empty() {
                 "-".to_string()
             } else {
@@ -472,7 +537,51 @@ impl Engine {
                     .and_then(|fx| cqa_analyze::absint::unit_box(&fx.env, vars));
                 let eliminated = match static_qf {
                     Some(qf) => Ok(qf),
+                    None if self.cfg.plan => {
+                        // Planned elimination: method/order/pruning chosen
+                        // from the static measurements plus the absint
+                        // certificates, with quantifier-block results
+                        // memoized in the shared cache's subplan namespace.
+                        let meta = session.arena.meta(sid);
+                        let mut inputs = cqa_qe::plan::PlanInputs {
+                            atoms: meta.atom_count(),
+                            quantifiers: meta.quantifiers,
+                            pruned_atoms: None,
+                            box_volume: facts
+                                .as_ref()
+                                .map(|fx| cqa_analyze::absint::box_volume(&fx.env, vars)),
+                            vc_bound: None,
+                        };
+                        if facts.is_some() {
+                            // Certified pruning survivors refine the FM
+                            // clause budget; the prune itself is memoized
+                            // per node, so this is cheap on repeats.
+                            let pid = cqa_analyze::prune_id(
+                                &mut session.arena,
+                                sid,
+                                &mut session.absint,
+                                &mut session.simp,
+                            );
+                            inputs.pruned_atoms = Some(session.arena.meta(pid).atom_count());
+                        }
+                        let simplified = session.arena.extern_formula(sid);
+                        let qeplan = cqa_qe::plan::plan(&simplified, &inputs);
+                        match qeplan.method {
+                            cqa_qe::plan::Method::FourierMotzkin => &self.stats.plan_fm,
+                            cqa_qe::plan::Method::LoosWeispfenning => &self.stats.plan_lw,
+                            cqa_qe::plan::Method::Hoermander => &self.stats.plan_ch,
+                        }
+                        .fetch_add(1, Ordering::Relaxed);
+                        cqa_qe::plan::eliminate_with_plan(
+                            &simplified,
+                            &qeplan,
+                            &budget,
+                            &mut session.arena,
+                            &CacheSubplans { cache: &self.cache },
+                        )
+                    }
                     None => {
+                        // Fixed pipeline (`--no-plan`): the parity oracle.
                         // QE still runs on the boxed tree, so extern the
                         // simplified node once per miss.
                         let simplified = session.arena.extern_formula(sid);
@@ -797,6 +906,14 @@ impl Engine {
             EngineStats::get(&s.absint_valid_skips),
             EngineStats::get(&s.absint_box_skipped_lanes),
         ));
+        resp.body.push(format!(
+            "plan fm={} lw={} ch={} subplan_hits={} subplan_misses={}",
+            EngineStats::get(&s.plan_fm),
+            EngineStats::get(&s.plan_lw),
+            EngineStats::get(&s.plan_ch),
+            cache.subplan_hits,
+            cache.subplan_misses,
+        ));
         for kind in [
             crate::protocol::CommandKind::Load,
             crate::protocol::CommandKind::Prepare,
@@ -1017,6 +1134,96 @@ sum EndpointSum(w) := true | END[y. S(y)] ; xout . xout = w
             };
             assert_eq!(strip(&r_on.header), strip(&r_off.header), "query {q}");
         }
+    }
+
+    #[test]
+    fn plan_on_off_answers_are_bit_identical() {
+        let on = engine();
+        let off = Engine::new(EngineConfig {
+            plan: false,
+            ..EngineConfig::default()
+        });
+        let queries = [
+            "S(x) & x <= 1",
+            "x*x + y*y <= 1",                        // polynomial, QF
+            "exists y. y*y < x",                     // polynomial, quantified
+            "(exists y. x < y & y < 1) & x > 2",     // statically empty
+            "1/4 <= x & x <= 3/4 & exists y. y < x", // linear, quantified
+            "(exists u, v. x < u & u < v & v < x + 1/2) & 0 <= x & x <= 1",
+            "forall y. y > x | y <= x",
+            "exists y. (x < y & y < 1/2) | (3/4 < y & y < x)",
+        ];
+        for (i, q) in queries.iter().enumerate() {
+            let mut s_on = on.open_session();
+            let mut s_off = off.open_session();
+            assert!(on.load(&mut s_on, PROGRAM).is_ok());
+            assert!(off.load(&mut s_off, PROGRAM).is_ok());
+            let name = format!("q{i}");
+            assert!(on.prepare(&mut s_on, &name, q).is_ok(), "{q}");
+            assert!(off.prepare(&mut s_off, &name, q).is_ok(), "{q}");
+            let r_on = on.exec(&mut s_on, &name, Some(0.05), None);
+            let r_off = off.exec(&mut s_off, &name, Some(0.05), None);
+            let strip = |h: &str| {
+                h.split_whitespace()
+                    .filter(|t| !t.starts_with("steps="))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            };
+            assert_eq!(strip(&r_on.header), strip(&r_off.header), "query {q}");
+        }
+    }
+
+    #[test]
+    fn overlapping_prepared_queries_share_subplans() {
+        let e = engine();
+        let mut s = e.open_session();
+        let core = "(exists u, v. x < u & u < v & v < x + 1)";
+        assert!(e
+            .prepare(&mut s, "lo", &format!("{core} & 0 <= x & x <= 1/2"))
+            .is_ok());
+        assert!(e
+            .prepare(&mut s, "hi", &format!("{core} & 1/2 <= x & x <= 1"))
+            .is_ok());
+        let r = e.exec(&mut s, "lo", None, None);
+        assert!(r.header.contains("status=exact value=1/2"), "{r:?}");
+        assert_eq!(e.cache.snapshot().subplan_hits, 0, "first run is cold");
+        let r = e.exec(&mut s, "hi", None, None);
+        assert!(r.header.contains("status=exact value=1/2"), "{r:?}");
+        let snap = e.cache.snapshot();
+        assert!(
+            snap.subplan_hits >= 1,
+            "second query must reuse the shared core's elimination: {snap:?}"
+        );
+        assert_eq!(snap.misses, 2, "both whole-query lookups were cold");
+        // The plan is visible at PREPARE time.
+        let r = e.prepare(&mut s, "again", &format!("{core} & x >= 0"));
+        assert!(r.header.contains(" plan=fm"), "{r:?}");
+        assert!(r.header.contains("shared=on"), "{r:?}");
+    }
+
+    #[test]
+    fn stats_report_covers_planner_counters() {
+        let e = engine();
+        let mut s = e.open_session();
+        assert!(e.prepare(&mut s, "q", "exists y. x < y & y < 1").is_ok());
+        e.exec(&mut s, "q", None, None);
+        assert_eq!(EngineStats::get(&e.stats.plan_fm), 1);
+        let r = e.render_stats();
+        let body = r.body.join("\n");
+        assert!(body.contains("plan fm=1"), "{body}");
+        assert!(body.contains("subplan_hits="), "{body}");
+        // plan=off engines never bump planner counters.
+        let off = Engine::new(EngineConfig {
+            plan: false,
+            ..EngineConfig::default()
+        });
+        let mut s_off = off.open_session();
+        let r = off.prepare(&mut s_off, "q", "exists y. x < y & y < 1");
+        assert!(r.header.contains("plan=off"), "{r:?}");
+        off.exec(&mut s_off, "q", None, None);
+        assert_eq!(EngineStats::get(&off.stats.plan_fm), 0);
+        assert_eq!(EngineStats::get(&off.stats.plan_lw), 0);
+        assert_eq!(EngineStats::get(&off.stats.plan_ch), 0);
     }
 
     #[test]

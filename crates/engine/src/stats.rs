@@ -113,6 +113,13 @@ pub struct EngineStats {
     /// they fell outside the interval-certified bounding box (the lanes
     /// are provably misses; skipping them leaves estimates bit-identical).
     pub absint_box_skipped_lanes: AtomicU64,
+    /// Cold eliminations the planner routed to Fourier–Motzkin.
+    pub plan_fm: AtomicU64,
+    /// Cold eliminations the planner routed to Loos–Weispfenning.
+    pub plan_lw: AtomicU64,
+    /// Cold eliminations the planner routed to whole-formula
+    /// Cohen–Hörmander (polynomial queries; never sub-split or shared).
+    pub plan_ch: AtomicU64,
     /// Per-command latency histograms, indexed by
     /// [`crate::CommandKind`] discriminant.
     pub latency: [Histogram; super::protocol::N_COMMAND_KINDS],

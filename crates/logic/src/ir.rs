@@ -489,6 +489,20 @@ impl Arena {
         self.canon_hash(id, &mut Vec::new(), params)
     }
 
+    /// The subplan memo key of a subformula: its canonical hash taken
+    /// positionally over its own free variables in ascending `Var` order
+    /// (the order [`NodeMeta::free_vars`] already stores), plus that
+    /// parameter list. Two subformulas agreeing on this hash and on the
+    /// parameter *count* are logically equivalent as predicates over their
+    /// positional parameters (up to the digest's 2⁻¹²⁸ collision), so a
+    /// quantifier-elimination result computed for one can be renamed
+    /// positionally onto the other — the contract behind the engine's
+    /// cross-query subplan sharing (see `cqa_qe::plan`).
+    pub fn subplan_hash(&self, id: FormulaId) -> (u128, Vec<Var>) {
+        let params = self.meta(id).free_vars.clone();
+        (self.canonical_hash_for_params(id, &params), params)
+    }
+
     fn canon_hash(&self, id: FormulaId, bound: &mut Vec<Var>, params: &[Var]) -> u128 {
         let mut h = Fnv128::new();
         match self.node(id) {

@@ -67,6 +67,23 @@ pub(crate) fn eliminate_exists(
     budget: &EvalBudget,
     arena: &mut Arena,
 ) -> Result<Formula, QeError> {
+    fm_eliminate_exists(v, f, budget, arena, false)
+}
+
+/// Per-variable Fourier–Motzkin entry point for the planner
+/// ([`crate::plan`]): eliminates `∃v` from a quantifier-free formula. With
+/// `prune` set, DNF clauses failing the cheap [`clause_obviously_empty`]
+/// contradiction test are dropped *before* bound cross-combination —
+/// semantics-preserving (an unsatisfiable clause contributes `⊥` to the
+/// disjunction) but not necessarily bit-identical to the unpruned run, so
+/// the fixed pipeline never sets it.
+pub fn fm_eliminate_exists(
+    v: Var,
+    f: &Formula,
+    budget: &EvalBudget,
+    arena: &mut Arena,
+    prune: bool,
+) -> Result<Formula, QeError> {
     let clauses = dnf(&simplify(f));
     // The DNF cross-product repeats literals within a clause and whole
     // clauses across the expansion; intern everything and dedup by id —
@@ -83,6 +100,18 @@ pub(crate) fn eliminate_exists(
             continue;
         }
         let lits: Vec<Formula> = ids.iter().map(|&l| arena.extern_formula(l)).collect();
+        if prune {
+            let atoms: Vec<Atom> = lits
+                .iter()
+                .filter_map(|l| match l {
+                    Formula::Atom(a) => Some(a.clone()),
+                    _ => None,
+                })
+                .collect();
+            if clause_obviously_empty(&atoms) {
+                continue;
+            }
+        }
         let e = eliminate_clause(v, lits, budget)?;
         let eid = arena.intern(&e);
         if seen_out.insert(eid) {

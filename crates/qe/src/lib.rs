@@ -26,14 +26,18 @@
 mod fm;
 mod hoermander;
 mod lw;
+pub mod plan;
 mod simplify;
 
 pub use fm::{
-    clause_obviously_empty, fourier_motzkin, fourier_motzkin_with_arena,
+    clause_obviously_empty, fm_eliminate_exists, fourier_motzkin, fourier_motzkin_with_arena,
     fourier_motzkin_with_budget, sample_between,
 };
 pub use hoermander::{hoermander, hoermander_with_budget};
-pub use lw::{loos_weispfenning, loos_weispfenning_with_arena, loos_weispfenning_with_budget};
+pub use lw::{
+    eliminate_exists_lw, loos_weispfenning, loos_weispfenning_with_arena,
+    loos_weispfenning_with_budget,
+};
 pub use simplify::{simplify, simplify_id, SimplifyMemo};
 
 use cqa_logic::budget::{BudgetExceeded, EvalBudget};
@@ -139,10 +143,31 @@ pub fn decide_sentence_with_budget(f: &Formula, budget: &EvalBudget) -> Result<b
     match simplify(&qf) {
         Formula::True => Ok(true),
         Formula::False => Ok(false),
-        other => Err(QeError::Residual(format!(
-            "ground formula did not fold to a constant: {other:?}"
-        ))),
+        other => match fold_ground(&other) {
+            Some(truth) => Ok(truth),
+            None => Err(QeError::Residual(format!(
+                "ground formula did not fold to a constant: {other:?}"
+            ))),
+        },
     }
+}
+
+/// Exactly folds a ground (variable-free), relation-free quantifier-free
+/// formula to its truth value via `Rat` arithmetic. The simplifier folds
+/// most constant atoms structurally, but a sentence decision must not
+/// depend on simplifier coverage: any residue it leaves — e.g. a constant
+/// nonlinear atom like `(3/2)² < 9/4` surviving in a shape the rewrite
+/// rules miss — is decided here by direct exact evaluation instead of
+/// surfacing as a spurious [`QeError::Residual`]. Returns `None` when the
+/// formula is not ground or contains an unevaluable construct.
+fn fold_ground(qf: &Formula) -> Option<bool> {
+    if !qf.free_vars().is_empty() {
+        return None;
+    }
+    // A ground formula evaluates under any assignment; `eval` returns
+    // `None` only for schema relations and natural quantifiers, which
+    // genuinely cannot be folded.
+    qf.eval(&|_| cqa_arith::Rat::zero(), &[])
 }
 
 /// Is the formula satisfiable over ℝ (free variables read existentially)?
@@ -212,6 +237,35 @@ mod tests {
         assert!(!is_satisfiable(&f("x > 1 & x < 0")).unwrap());
         assert!(is_valid(&f("x <= x")).unwrap());
         assert!(!is_valid(&f("x < 1")).unwrap());
+    }
+
+    #[test]
+    fn ground_nonlinear_residues_fold_exactly() {
+        // (3/2)²-style sentences: Hörmander + simplify normally fold these,
+        // but the decision must hold even when a constant nonlinear residue
+        // survives simplification — exact Rat evaluation, not an error.
+        assert!(!decide_sentence(&f("exists x. x = 3/2 & x*x < 9/4")).unwrap());
+        assert!(decide_sentence(&f("exists x. x = 3/2 & x*x <= 9/4")).unwrap());
+        assert!(decide_sentence(&f("exists x. x = 3/2 & x*x*x > 27/8 - 1/1000")).unwrap());
+        assert!(!decide_sentence(&f("forall x. x*x != 9/4 | x = 3/2")).unwrap());
+    }
+
+    #[test]
+    fn fold_ground_decides_unsimplified_residues() {
+        use cqa_arith::Rat;
+        use cqa_logic::{Atom, Rel};
+        use cqa_poly::MPoly;
+        // Hand-built ground tree the simplifier never saw: ¬((3/2)² < 9/4 ∧ ⊤).
+        let nine_quarters = MPoly::constant(Rat::new(9i64.into(), 4i64.into()));
+        let lt = Formula::Atom(Atom::new(
+            MPoly::constant(Rat::new(9i64.into(), 4i64.into())) - nine_quarters,
+            Rel::Lt,
+        ));
+        let tree = Formula::Not(Box::new(Formula::And(vec![lt, Formula::True])));
+        assert_eq!(fold_ground(&tree), Some(true));
+        // Non-ground input is refused, not guessed.
+        let free = f("x < 1");
+        assert_eq!(fold_ground(&free), None);
     }
 
     #[test]

@@ -75,8 +75,9 @@ fn linear_parts(v: Var, poly: &MPoly) -> Result<(cqa_arith::Rat, MPoly), QeError
 }
 
 /// Eliminates `∃v` from a quantifier-free linear formula by virtual
-/// substitution.
-pub(crate) fn eliminate_exists_lw(
+/// substitution. Public as the planner's ([`crate::plan`]) per-variable
+/// Loos–Weispfenning entry point.
+pub fn eliminate_exists_lw(
     v: Var,
     f: &Formula,
     budget: &EvalBudget,

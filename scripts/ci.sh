@@ -42,6 +42,9 @@ run_capped cargo test -q --offline -p cqa-qe --test ir_parity
 echo "== absint soundness (verdicts vs QE oracle, box containment) =="
 run_capped cargo test -q --offline -p cqa-analyze --test absint_soundness
 
+echo "== planner parity (planned vs fixed QE, subplan-hit determinism) =="
+run_capped cargo test -q --offline -p cqa-qe --test plan_parity
+
 echo "== E16 smoke (FM dedup ratio; >= 2x key-cost floor asserted inside) =="
 run_capped ./target/release/report e16
 
@@ -50,6 +53,9 @@ run_capped ./target/release/report e17
 
 echo "== E18 smoke (absint; >= 10x statically-empty floor + bit-identity asserted inside) =="
 run_capped ./target/release/report e18
+
+echo "== E19 smoke (QE planner; >= 2x planned+shared floor + bit-identity asserted inside) =="
+run_capped ./target/release/report e19
 
 echo "== static analysis demos =="
 cargo run -q --offline -p cqa-bench --bin cqa-lint -- \
