@@ -4,6 +4,7 @@
 //! cqa-serve [--addr HOST:PORT] [--workers N] [--cache-bytes B]
 //!           [--timeout-ms MS] [--max-steps N] [--eps E] [--delta D]
 //!           [--idle-secs S] [--preload FILE.cqa] [--no-plan]
+//!           [--data-dir DIR] [--snapshot-every N]
 //! ```
 //!
 //! Binds a TCP listener (default `127.0.0.1:0`, i.e. an ephemeral port),
@@ -12,6 +13,13 @@
 //! `--preload` program is run through the same static-analysis gate as
 //! `cqa-lint` before the listener opens; errors abort startup with the
 //! usual diagnostics.
+//!
+//! `--data-dir DIR` turns on durable storage: crash recovery
+//! (snapshot + write-ahead-log replay) and the cache warm-start load run
+//! *before* `LISTENING` is printed, so the first connection already sees
+//! the recovered databases and a warm prepared-query cache; sessions
+//! attach with `PERSIST <name>`. `--snapshot-every N` sets the
+//! compaction cadence (default 64 WAL records).
 
 use cqa_analyze::AnalyzerConfig;
 use cqa_bench::lint::lint_file;
@@ -25,7 +33,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: cqa-serve [--addr HOST:PORT] [--workers N] [--cache-bytes B] \
          [--timeout-ms MS] [--max-steps N] [--eps E] [--delta D] \
-         [--idle-secs S] [--preload FILE.cqa] [--no-plan]"
+         [--idle-secs S] [--preload FILE.cqa] [--no-plan] \
+         [--data-dir DIR] [--snapshot-every N]"
     );
     std::process::exit(2);
 }
@@ -70,6 +79,10 @@ fn main() -> ExitCode {
                     Duration::from_secs(parse("--idle-secs", value("--idle-secs")) as u64)
             }
             "--preload" => preload_path = Some(value("--preload")),
+            "--data-dir" => cfg.data_dir = Some(value("--data-dir").into()),
+            "--snapshot-every" => {
+                cfg.snapshot_every = parse("--snapshot-every", value("--snapshot-every")) as u64
+            }
             // Parity oracle: fall back to the fixed QE dispatch pipeline.
             "--no-plan" => cfg.plan = false,
             "--help" | "-h" => usage(),
@@ -95,6 +108,17 @@ fn main() -> ExitCode {
         cfg.preload = Some(linted.src);
     }
 
+    // Recovery (when --data-dir is set) runs inside with_storage, before
+    // the listener even binds: a client that sees LISTENING is guaranteed
+    // fully recovered durable databases and a warm prepared-query cache.
+    let engine = match Engine::with_storage(cfg) {
+        Ok(e) => Arc::new(e),
+        Err(e) => {
+            eprintln!("cqa-serve: storage recovery failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
     let listener = match TcpListener::bind(&addr) {
         Ok(l) => l,
         Err(e) => {
@@ -106,8 +130,6 @@ fn main() -> ExitCode {
         .local_addr()
         .expect("bound listener has an address");
     println!("LISTENING {local}");
-
-    let engine = Arc::new(Engine::new(cfg));
     match serve(engine, listener) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {

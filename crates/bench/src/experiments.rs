@@ -1611,6 +1611,163 @@ pub fn e19(out: &mut String) {
     }
 }
 
+/// E20 — durable storage: crash recovery plus cache warm-start.
+///
+/// Runs the E15 lens workload against an engine with `--data-dir`-style
+/// durable storage: a cold boot pays full QE for the first EXEC, then the
+/// process "crashes" (the engine is dropped with no SHUTDOWN and no flush).
+/// A recovered boot replays snapshot+WAL and loads the persisted warm
+/// cache, so its first EXEC is a cache hit — time-to-first-answer must be
+/// >= 5x faster than the cold boot, with a bit-identical value.
+pub fn e20(out: &mut String) {
+    use cqa_engine::{Engine, EngineConfig, EngineStats};
+    use std::time::{Duration, Instant};
+    writeln!(
+        out,
+        "E20: durable storage — crash recovery and warm-started time-to-first-answer"
+    )
+    .unwrap();
+    let dir = std::env::temp_dir().join(format!("cqa-e20-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = || EngineConfig {
+        data_dir: Some(dir.clone()),
+        timeout: Some(Duration::from_secs(60)),
+        ..EngineConfig::default()
+    };
+    let program = "rel Ball(x, y, z) := x*x + y*y + z*z <= 1";
+    let query = "exists y. exists z. (Ball(x, y, z) & y >= x*x - 1/2 & z <= y)";
+    writeln!(
+        out,
+        "  workload: VOL_I of the E15 lens query over a durable rel"
+    )
+    .unwrap();
+    let answer = |h: &str| {
+        h.split("value=")
+            .nth(1)
+            .and_then(|s| s.split_whitespace().next())
+            .unwrap_or("?")
+            .to_string()
+    };
+
+    // Cold boot: empty data dir, full QE on the first EXEC.
+    let t0 = Instant::now();
+    let engine = Engine::with_storage(cfg()).expect("fresh data dir opens");
+    let mut session = engine.open_session();
+    assert!(engine.persist(&mut session, "main").is_ok());
+    assert!(engine.load(&mut session, program).is_ok());
+    assert!(engine.prepare(&mut session, "lens", query).is_ok());
+    let cold = engine.exec(&mut session, "lens", Some(0.1), Some(0.05));
+    let cold_us = t0.elapsed().as_micros() as f64;
+    assert!(cold.is_ok(), "{cold:?}");
+    assert!(cold.header.contains("cache=miss"), "{cold:?}");
+    let (wal_records, warm_flushes) = {
+        let st = engine.storage.as_ref().unwrap().stats();
+        (
+            EngineStats::get(&st.wal_records),
+            EngineStats::get(&st.warm_flushes),
+        )
+    };
+    // The crash: drop with no SHUTDOWN and no flush. Durability must
+    // already be on disk (WAL fsync per commit, warm flush per cold miss).
+    drop(engine);
+
+    // Recovered boots: replay + warm-start, first EXEC is a hit.
+    const RUNS: usize = 3;
+    let mut warm_us = f64::INFINITY;
+    let mut warm_header = String::new();
+    let mut replayed = 0;
+    let mut warm_loaded = 0;
+    for _ in 0..RUNS {
+        let t0 = Instant::now();
+        let engine = Engine::with_storage(cfg()).expect("recovery succeeds");
+        let mut session = engine.open_session();
+        assert!(engine.persist(&mut session, "main").is_ok());
+        assert!(engine.prepare(&mut session, "lens", query).is_ok());
+        let warm = engine.exec(&mut session, "lens", Some(0.1), Some(0.05));
+        warm_us = warm_us.min(t0.elapsed().as_micros() as f64);
+        assert!(
+            warm.header.contains("cache=hit"),
+            "recovered boot must warm-start the cache: {warm:?}"
+        );
+        let st = engine.storage.as_ref().unwrap().stats();
+        replayed = EngineStats::get(&st.replayed_records);
+        warm_loaded = EngineStats::get(&st.warm_loaded);
+        warm_header = warm.header;
+    }
+    assert_eq!(
+        answer(&cold.header),
+        answer(&warm_header),
+        "recovery must not change answers"
+    );
+    assert!(replayed >= 1, "recovered boot replays the WAL");
+    assert!(warm_loaded >= 1, "recovered boot loads the warm cache");
+    let speedup = cold_us / warm_us.max(1.0);
+    // Wall-clock numbers go to stderr so that `report`'s stdout stays
+    // byte-identical across runs; the recorded snapshot is BENCH_wal.json.
+    eprintln!(
+        "E20 timings: cold boot-to-answer {cold_us:.1} µs, recovered {warm_us:.1} µs \
+         (min of {RUNS}), speedup {speedup:.1}x, wal_records {wal_records}, \
+         replayed {replayed}, warm_loaded {warm_loaded}"
+    );
+    writeln!(
+        out,
+        "  cold boot  (empty dir, QE on first EXEC)      -> [{}] cache=miss",
+        answer(&cold.header)
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  recovered  (WAL replay + warm-start, no flush) -> [{}] cache=hit, \
+         bit-identical (min of {RUNS})",
+        answer(&warm_header)
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  {wal_records} WAL records fsynced, {replayed} replayed after the simulated \
+         kill; {warm_loaded} warm cache entries loaded"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  >= 5x faster time-to-first-answer on the recovered boot asserted \
+         (timings on stderr); snapshot in BENCH_wal.json\n"
+    )
+    .unwrap();
+    assert!(
+        speedup >= 5.0,
+        "recovered boot must answer >= 5x faster than cold, got {speedup:.1}x"
+    );
+
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let json = format!(
+        "{{\n  \"bench\": \"durable storage: crash recovery + cache warm-start \
+         (E20: kill the engine after a cold EXEC, reboot, answer from the warm cache)\",\n  \
+         \"date\": \"{}\",\n  \
+         \"machine\": {{ \"cpus\": {cpus}, \"mode\": \"report e20, release, \
+         boot-to-first-answer, min of {RUNS} recovered boots\" }},\n  \"workload\": {{\n    \
+         \"description\": \"E15 lens volume over a durable relation: PERSIST + LOAD + \
+         PREPARE + EXEC, then drop with no shutdown and recover\",\n    \
+         \"value\": \"{}\"\n  }},\n  \"results\": {{\n    \
+         \"cold_us\": {cold_us:.1},\n    \"recovered_us\": {warm_us:.1},\n    \
+         \"speedup\": {speedup:.2},\n    \"wal_records\": {wal_records},\n    \
+         \"replayed_records\": {replayed},\n    \"warm_flushes\": {warm_flushes},\n    \
+         \"warm_loaded\": {warm_loaded}\n  }},\n  \"notes\": [\n    \
+         \"Every committed LOAD is fsynced to the WAL before the session mutates, and \
+         the warm cache is flushed on every cold-miss insert, so a SIGKILL at any point \
+         loses at most the in-flight command.\",\n    \
+         \"The recovered answer is asserted bit-identical to the pre-crash answer \
+         (only the steps= and cache= header tokens may differ).\"\n  ]\n}}\n",
+        today_utc(),
+        answer(&cold.header),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_wal.json");
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("E20: could not write {path}: {e}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Today's UTC date as `YYYY-MM-DD` (civil-from-days, Hinnant's algorithm;
 /// no external time crates).
 fn today_utc() -> String {
@@ -1644,7 +1801,7 @@ fn collect_atoms(f: &cqa_logic::Formula) -> Vec<cqa_logic::Atom> {
 pub fn run_all() -> String {
     let mut out = String::new();
     type Experiment = fn(&mut String);
-    let fns: [(&str, Experiment); 17] = [
+    let fns: [(&str, Experiment); 18] = [
         ("e1", e1),
         ("e2", e2),
         ("e3", e3),
@@ -1662,6 +1819,7 @@ pub fn run_all() -> String {
         ("e17", e17),
         ("e18", e18),
         ("e19", e19),
+        ("e20", e20),
     ];
     for (name, f) in fns {
         let _ = name;
@@ -1670,7 +1828,7 @@ pub fn run_all() -> String {
     out
 }
 
-/// Runs one experiment by id (`"e1"` … `"e12"`, `"e15"` … `"e19"`); `None` for unknown ids.
+/// Runs one experiment by id (`"e1"` … `"e12"`, `"e15"` … `"e20"`); `None` for unknown ids.
 pub fn run_one(id: &str) -> Option<String> {
     let mut out = String::new();
     match id {
@@ -1691,6 +1849,7 @@ pub fn run_one(id: &str) -> Option<String> {
         "e17" => e17(&mut out),
         "e18" => e18(&mut out),
         "e19" => e19(&mut out),
+        "e20" => e20(&mut out),
         _ => return None,
     }
     Some(out)

@@ -128,6 +128,17 @@ enum Stored {
     Subplan(Arc<SubplanEntry>),
 }
 
+/// One exported cache slot, keyed and namespaced — the unit the storage
+/// layer's warm-start file serializes. Keys are session-independent
+/// canonical hashes, so an exported slot is addressable by any later
+/// process.
+pub enum WarmSlot {
+    /// A whole prepared query under [`CacheKey`].
+    Query(CacheKey, Arc<CacheEntry>),
+    /// A shared subplan under [`CacheKey`].
+    Subplan(CacheKey, Arc<SubplanEntry>),
+}
+
 impl Stored {
     fn bytes(&self) -> usize {
         match self {
@@ -167,6 +178,10 @@ pub struct CacheSnapshot {
     pub bytes: usize,
     /// The configured byte budget.
     pub byte_budget: usize,
+    /// Times the cache mutex was recovered after being poisoned by a
+    /// panicking worker (each one is a request that survived instead of
+    /// wedging every later request).
+    pub poison_recoveries: u64,
 }
 
 impl CacheSnapshot {
@@ -190,6 +205,7 @@ pub struct QueryCache {
     evictions: AtomicU64,
     subplan_hits: AtomicU64,
     subplan_misses: AtomicU64,
+    poison_recoveries: AtomicU64,
 }
 
 impl QueryCache {
@@ -207,7 +223,40 @@ impl QueryCache {
             evictions: AtomicU64::new(0),
             subplan_hits: AtomicU64::new(0),
             subplan_misses: AtomicU64::new(0),
+            poison_recoveries: AtomicU64::new(0),
         }
+    }
+
+    /// Locks the map, recovering from poisoning instead of propagating it.
+    ///
+    /// A poisoned mutex means some worker panicked *while holding the
+    /// lock*. Every operation under this lock leaves the map structurally
+    /// valid at each await-free step (the byte ledger may at worst
+    /// over-count a half-finished insert's arithmetic, which the next
+    /// eviction sweep self-corrects), so the right posture for a cache is
+    /// clear-and-continue semantics without the clear: take the data as-is
+    /// and keep serving. The alternative — every later request panicking
+    /// on `expect("cache lock")` — turns one bad request into a permanent
+    /// engine-wide outage.
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|poisoned| {
+            self.poison_recoveries.fetch_add(1, Ordering::Relaxed);
+            poisoned.into_inner()
+        })
+    }
+
+    /// Poisons the cache mutex, for tests proving the engine survives a
+    /// worker that panicked while holding it. Panics inside a scoped
+    /// thread holding the lock; the panic is contained there.
+    #[doc(hidden)]
+    pub fn poison_for_tests(&self) {
+        std::thread::scope(|s| {
+            let handle = s.spawn(|| {
+                let _guard = self.inner.lock().expect("not yet poisoned");
+                panic!("poisoning the cache lock for a test");
+            });
+            assert!(handle.join().is_err(), "the poisoning thread must panic");
+        });
     }
 
     /// Looks up a whole-query entry, refreshing its recency on a hit.
@@ -216,7 +265,7 @@ impl QueryCache {
             key,
             kind: SlotKind::Query,
         };
-        let mut inner = self.inner.lock().expect("cache lock");
+        let mut inner = self.lock();
         inner.clock += 1;
         let clock = inner.clock;
         match inner.map.get_mut(&full) {
@@ -244,7 +293,7 @@ impl QueryCache {
             key,
             kind: SlotKind::Subplan,
         };
-        let mut inner = self.inner.lock().expect("cache lock");
+        let mut inner = self.lock();
         inner.clock += 1;
         let clock = inner.clock;
         match inner.map.get_mut(&full) {
@@ -304,7 +353,7 @@ impl QueryCache {
     /// key, charge payload + key bytes, LRU-sweep everything except the
     /// just-inserted slot.
     fn insert_stored(&self, full: FullKey, stored: Stored) {
-        let mut inner = self.inner.lock().expect("cache lock");
+        let mut inner = self.lock();
         inner.clock += 1;
         let clock = inner.clock;
         if let Some(old) = inner.map.remove(&full) {
@@ -338,7 +387,7 @@ impl QueryCache {
 
     /// Counter snapshot for `STATS`.
     pub fn snapshot(&self) -> CacheSnapshot {
-        let inner = self.inner.lock().expect("cache lock");
+        let inner = self.lock();
         CacheSnapshot {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
@@ -348,7 +397,30 @@ impl QueryCache {
             entries: inner.map.len(),
             bytes: inner.bytes,
             byte_budget: self.byte_budget,
+            poison_recoveries: self.poison_recoveries.load(Ordering::Relaxed),
         }
+    }
+
+    /// Exports every resident slot in deterministic order (queries before
+    /// subplans, then by key) for the storage layer's warm-start file.
+    /// Entries are `Arc`-shared, so this clones pointers, not payloads,
+    /// and the lock is released before any serialization happens.
+    pub fn export(&self) -> Vec<WarmSlot> {
+        let inner = self.lock();
+        let mut slots: Vec<WarmSlot> = inner
+            .map
+            .iter()
+            .map(|(full, slot)| match &slot.entry {
+                Stored::Query(e) => WarmSlot::Query(full.key, Arc::clone(e)),
+                Stored::Subplan(e) => WarmSlot::Subplan(full.key, Arc::clone(e)),
+            })
+            .collect();
+        drop(inner);
+        slots.sort_by_key(|s| match s {
+            WarmSlot::Query(k, _) => (0u8, k.hash, k.dim),
+            WarmSlot::Subplan(k, _) => (1u8, k.hash, k.dim),
+        });
+        slots
     }
 }
 
@@ -487,6 +559,37 @@ mod tests {
         let snap = cache.snapshot();
         assert_eq!((snap.hits, snap.misses), (0, 0));
         assert_eq!((snap.subplan_hits, snap.subplan_misses), (0, 1));
+    }
+
+    #[test]
+    fn poisoned_lock_recovers_and_counts() {
+        let cache = QueryCache::new(10_000);
+        cache.insert(key(1), entry("x < 1", 100));
+        cache.poison_for_tests();
+        // Every operation keeps working on the recovered data.
+        assert!(cache.get(key(1)).is_some(), "entry survives poisoning");
+        cache.insert(key(2), entry("x < 2", 100));
+        assert!(cache.get(key(2)).is_some());
+        let snap = cache.snapshot();
+        assert_eq!(snap.entries, 2);
+        assert!(snap.poison_recoveries >= 1, "{snap:?}");
+    }
+
+    #[test]
+    fn export_is_deterministic_and_complete() {
+        let cache = QueryCache::new(100_000);
+        cache.insert(key(2), entry("x < 2", 100));
+        cache.insert(key(1), entry("x < 1", 100));
+        cache.insert_subplan(key(1), subplan("x < 3", 50));
+        let a: Vec<_> = cache
+            .export()
+            .iter()
+            .map(|s| match s {
+                WarmSlot::Query(k, _) => (0u8, k.hash),
+                WarmSlot::Subplan(k, _) => (1u8, k.hash),
+            })
+            .collect();
+        assert_eq!(a, vec![(0, 1), (0, 2), (1, 1)]);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use crate::cache::{formula_bytes, CacheEntry, CacheKey, QueryCache};
 use crate::protocol::{Command, Response};
 use crate::stats::EngineStats;
+use crate::storage::{Storage, StorageError};
 use cqa_agg::AggError;
 use cqa_analyze::{analyze_source, AnalyzerConfig, Statement, SumStmt};
 use cqa_approx::sample::Witness;
@@ -63,6 +64,14 @@ pub struct EngineConfig {
     /// class dispatcher — the parity oracle; answers are bit-identical
     /// either way.
     pub plan: bool,
+    /// Data directory for durable storage (WAL + snapshot + cache
+    /// warm-start). `None` keeps the engine fully in-memory; `Some` turns
+    /// on the `PERSIST` wire surface (construct via
+    /// [`Engine::with_storage`] so recovery runs before any connection).
+    pub data_dir: Option<std::path::PathBuf>,
+    /// Compaction cadence: after this many WAL records the durable
+    /// sources are folded into a fresh snapshot and the log truncated.
+    pub snapshot_every: u64,
 }
 
 impl Default for EngineConfig {
@@ -78,6 +87,8 @@ impl Default for EngineConfig {
             preload: None,
             absint: true,
             plan: true,
+            data_dir: None,
+            snapshot_every: 64,
         }
     }
 }
@@ -119,6 +130,10 @@ pub struct Session {
     /// Arena counters as of the last flush into the engine-wide `STATS`
     /// aggregates (sessions report monotone deltas after each command).
     reported: ArenaStats,
+    /// When `Some(name)`, the session is attached (via `PERSIST`) to the
+    /// named durable database: every accepted `LOAD` is WAL-committed
+    /// before the session mutates.
+    durable: Option<String>,
 }
 
 impl Session {
@@ -136,6 +151,9 @@ pub struct Engine {
     pub cache: QueryCache,
     /// Service counters and latency histograms.
     pub stats: EngineStats,
+    /// The durable layer, when the engine was opened with a data
+    /// directory ([`Engine::with_storage`]); `None` = in-memory only.
+    pub storage: Option<Arc<Storage>>,
     started: Instant,
 }
 
@@ -186,8 +204,26 @@ impl Engine {
             cache: QueryCache::new(cfg.cache_bytes),
             stats: EngineStats::default(),
             cfg,
+            storage: None,
             started: Instant::now(),
         }
+    }
+
+    /// A fresh engine with recovery run: when `cfg.data_dir` is set, the
+    /// data directory is opened and replayed (snapshot, then WAL, torn
+    /// tail truncated) and the cache warm-start file loaded — all before
+    /// this returns, so by the time a server built on this engine accepts
+    /// its first connection every durable database is recovered and the
+    /// prepared-query cache is warm. With no `data_dir` this is exactly
+    /// [`Engine::new`].
+    pub fn with_storage(cfg: EngineConfig) -> Result<Engine, StorageError> {
+        let mut engine = Engine::new(cfg);
+        if let Some(dir) = engine.cfg.data_dir.clone() {
+            let storage = Arc::new(Storage::open(&dir, engine.cfg.snapshot_every)?);
+            storage.load_warm(&engine.cache);
+            engine.storage = Some(storage);
+        }
+        Ok(engine)
     }
 
     /// Opens a session (counted in `STATS`), pre-`LOAD`ing the configured
@@ -232,9 +268,16 @@ impl Engine {
             Command::Exec { name, eps, delta } => self.exec(session, &name, eps, delta),
             Command::Volume { query } => self.volume(session, &query),
             Command::Sum { name } => self.sum(session, &name),
+            Command::Persist { name } => self.persist(session, &name),
             Command::Stats => self.render_stats(),
             Command::Close => Response::ok("CLOSE goodbye"),
-            Command::Shutdown => Response::ok("SHUTDOWN stopping"),
+            Command::Shutdown => {
+                // Last chance to persist the cache before the process goes
+                // away (crash-killed processes rely on the per-miss
+                // flushes instead).
+                self.flush_warm();
+                Response::ok("SHUTDOWN stopping")
+            }
         };
         let us = t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
         self.stats.latency[kind.index()].record(us);
@@ -265,6 +308,13 @@ impl Engine {
     /// static-analysis gate, and only on a clean report rebuild the
     /// session database. A rejected `LOAD` leaves the session unchanged.
     pub fn load(&self, session: &mut Session, src: &str) -> Response {
+        self.load_inner(session, src, true)
+    }
+
+    /// The `LOAD` core. `commit` distinguishes a fresh client `LOAD`
+    /// (WAL-committed when the session is durable) from a `PERSIST`
+    /// replay of already-logged history (which must not be re-logged).
+    fn load_inner(&self, session: &mut Session, src: &str, commit: bool) -> Response {
         let mut candidate = session.loaded_src.clone();
         candidate.push_str(src);
         if !candidate.ends_with('\n') {
@@ -301,6 +351,22 @@ impl Engine {
             }
         }
         let sums = session.sums.len();
+        // Durable sessions commit before they apply: the accepted chunk
+        // (exactly the text appended to the session source, newline
+        // normalization included) is WAL-appended and fsync'd first, and
+        // a failed append leaves the session untouched — the mutation
+        // then exists either everywhere or nowhere.
+        if commit {
+            if let (Some(name), Some(storage)) = (&session.durable, &self.storage) {
+                let chunk = &candidate[session.loaded_src.len()..];
+                if let Err(e) = storage.append_load(name, chunk) {
+                    return Response::err(
+                        "storage",
+                        format!("commit failed, session unchanged: {e}"),
+                    );
+                }
+            }
+        }
         session.db = db;
         session.loaded_src = candidate;
         Response::ok(format!(
@@ -389,6 +455,55 @@ impl Engine {
                 params.join(",")
             }
         ))
+    }
+
+    /// `PERSIST`: attach this session to the named durable database,
+    /// replaying its recovered source through the ordinary `LOAD` gate.
+    /// Must precede any `LOAD` in the session (attachment is a *base*,
+    /// not a merge), and a session attaches at most once. Subsequent
+    /// accepted `LOAD`s are WAL-committed before they apply.
+    pub fn persist(&self, session: &mut Session, name: &str) -> Response {
+        let Some(storage) = &self.storage else {
+            return Response::err(
+                "storage",
+                "durable storage is disabled (start cqa-serve with --data-dir)",
+            );
+        };
+        if let Some(attached) = &session.durable {
+            return Response::err(
+                "storage",
+                format!("session is already attached to durable database `{attached}`"),
+            );
+        }
+        if !session.loaded_src.is_empty() {
+            return Response::err(
+                "storage",
+                "session already has loaded state; PERSIST must come before LOAD",
+            );
+        }
+        let src = storage.database(name);
+        let statements = if src.is_empty() {
+            0
+        } else {
+            // Replay recovered history through the same LOAD path that
+            // accepted it originally — the Database is a pure function of
+            // this source, so the rebuild is bit-identical. No re-commit:
+            // this text is already in the snapshot/WAL.
+            let r = self.load_inner(session, &src, false);
+            if !r.is_ok() {
+                return Response::err(
+                    "storage",
+                    format!("recovered source failed to replay: {}", r.header),
+                );
+            }
+            session
+                .loaded_src
+                .lines()
+                .filter(|l| !l.trim().is_empty())
+                .count()
+        };
+        session.durable = Some(name.to_string());
+        Response::ok(format!("PERSIST {name} statements={statements}"))
     }
 
     /// `EXEC`: run a prepared query as a `VOL_I` request (volume of the
@@ -633,6 +748,11 @@ impl Engine {
                                 mc_box,
                             },
                         );
+                        // A cold miss just paid for elimination — the
+                        // expensive artifact the warm file exists to save.
+                        // Flushing here (not only at SHUTDOWN) is what
+                        // makes warm-start survive a SIGKILL.
+                        self.flush_warm();
                         (Some(entry), "miss")
                     }
                     Err(QeError::Budget(_)) => (None, "miss"),
@@ -688,6 +808,13 @@ impl Engine {
                 ))
             }
             Err(resp) => resp,
+        }
+    }
+
+    /// Best-effort warm-file flush (no-op for in-memory engines).
+    fn flush_warm(&self) {
+        if let Some(storage) = &self.storage {
+            storage.flush_warm(&self.cache);
         }
     }
 
@@ -859,7 +986,8 @@ impl Engine {
             EngineStats::get(&s.in_flight),
         ));
         resp.body.push(format!(
-            "cache entries={} bytes={} budget_bytes={} hits={} misses={} hit_rate={:.3} evictions={}",
+            "cache entries={} bytes={} budget_bytes={} hits={} misses={} hit_rate={:.3} \
+             evictions={} poison_recoveries={}",
             cache.entries,
             cache.bytes,
             cache.byte_budget,
@@ -867,13 +995,17 @@ impl Engine {
             cache.misses,
             cache.hit_rate(),
             cache.evictions,
+            cache.poison_recoveries,
         ));
         resp.body.push(format!(
-            "over_budget={} lint_rejected={} rejected_conns={} degraded={}",
+            "over_budget={} lint_rejected={} rejected_conns={} degraded={} write_errors={} \
+             worker_panics={}",
             EngineStats::get(&s.over_budget),
             EngineStats::get(&s.lint_rejected),
             EngineStats::get(&s.rejected_conns),
             EngineStats::get(&s.degraded),
+            EngineStats::get(&s.write_errors),
+            EngineStats::get(&s.worker_panics),
         ));
         let (nodes, terms, calls) = (
             EngineStats::get(&s.ir_nodes),
@@ -914,12 +1046,32 @@ impl Engine {
             cache.subplan_hits,
             cache.subplan_misses,
         ));
+        if let Some(storage) = &self.storage {
+            let st = storage.stats();
+            resp.body.push(format!(
+                "wal records={} bytes={} replayed={} torn_bytes={} snapshots={} snapshot_errors={}",
+                EngineStats::get(&st.wal_records),
+                EngineStats::get(&st.wal_bytes),
+                EngineStats::get(&st.replayed_records),
+                EngineStats::get(&st.torn_bytes),
+                EngineStats::get(&st.snapshots),
+                EngineStats::get(&st.snapshot_errors),
+            ));
+            resp.body.push(format!(
+                "warm loaded={} skipped={} flushes={} errors={}",
+                EngineStats::get(&st.warm_loaded),
+                EngineStats::get(&st.warm_skipped),
+                EngineStats::get(&st.warm_flushes),
+                EngineStats::get(&st.warm_errors),
+            ));
+        }
         for kind in [
             crate::protocol::CommandKind::Load,
             crate::protocol::CommandKind::Prepare,
             crate::protocol::CommandKind::Exec,
             crate::protocol::CommandKind::Volume,
             crate::protocol::CommandKind::Sum,
+            crate::protocol::CommandKind::Persist,
             crate::protocol::CommandKind::Stats,
             crate::protocol::CommandKind::Close,
             crate::protocol::CommandKind::Shutdown,

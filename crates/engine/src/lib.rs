@@ -22,6 +22,11 @@
 //! * [`Command`]/[`Response`] — a hand-rolled, newline-delimited text
 //!   protocol (`LOAD`, `PREPARE`, `EXEC`, `VOLUME`, `SUM`, `STATS`,
 //!   `CLOSE`, `SHUTDOWN`); std-only, no serialization dependencies.
+//! * [`Storage`] — the durable layer ([`storage`]): a fsync-on-commit
+//!   write-ahead log of `LOAD` merges, periodic snapshot compaction,
+//!   replay-on-boot recovery, and a warm-start file that persists the
+//!   prepared-query/subplan cache across restarts (sessions opt in with
+//!   `PERSIST <db>`).
 //! * [`serve`] — a `std::net::TcpListener` accept loop feeding a
 //!   fixed-size worker-thread pool; connections beyond the pool size are
 //!   rejected immediately (`ERR busy`), and every request runs under a
@@ -42,9 +47,11 @@ mod engine;
 mod protocol;
 mod server;
 mod stats;
+pub mod storage;
 
-pub use cache::{CacheEntry, CacheKey, CacheSnapshot, QueryCache};
+pub use cache::{CacheEntry, CacheKey, CacheSnapshot, QueryCache, WarmSlot};
 pub use engine::{Engine, EngineConfig, Session, MC_SEED};
 pub use protocol::{parse_command, read_response, Command, CommandKind, Response};
 pub use server::{serve, spawn_server, ServerHandle};
 pub use stats::{EngineStats, Histogram, LATENCY_BUCKETS_US};
+pub use storage::{Storage, StorageError, StorageStats};

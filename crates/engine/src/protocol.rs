@@ -9,6 +9,7 @@
 //!            | "EXEC" SP name [SP eps [SP delta]]
 //!            | "VOLUME" SP formula
 //!            | "SUM" SP name
+//!            | "PERSIST" SP name                ; attach to a durable database
 //!            | "STATS" | "CLOSE" | "SHUTDOWN"
 //! body      := { line NL } "." NL               ; dot-stuffed like SMTP
 //!
@@ -36,6 +37,9 @@ pub enum CommandKind {
     Volume,
     /// `SUM` — evaluate a loaded Σ-term.
     Sum,
+    /// `PERSIST` — attach the session to a named durable database
+    /// (replayed from snapshot+WAL; subsequent `LOAD`s are logged).
+    Persist,
     /// `STATS` — service and cache counters.
     Stats,
     /// `CLOSE` — end the session.
@@ -45,7 +49,7 @@ pub enum CommandKind {
 }
 
 /// Number of command kinds (histogram array size).
-pub const N_COMMAND_KINDS: usize = 8;
+pub const N_COMMAND_KINDS: usize = 9;
 
 impl CommandKind {
     /// Stable index into the latency histogram array.
@@ -56,9 +60,10 @@ impl CommandKind {
             CommandKind::Exec => 2,
             CommandKind::Volume => 3,
             CommandKind::Sum => 4,
-            CommandKind::Stats => 5,
-            CommandKind::Close => 6,
-            CommandKind::Shutdown => 7,
+            CommandKind::Persist => 5,
+            CommandKind::Stats => 6,
+            CommandKind::Close => 7,
+            CommandKind::Shutdown => 8,
         }
     }
 
@@ -70,6 +75,7 @@ impl CommandKind {
             CommandKind::Exec => "EXEC",
             CommandKind::Volume => "VOLUME",
             CommandKind::Sum => "SUM",
+            CommandKind::Persist => "PERSIST",
             CommandKind::Stats => "STATS",
             CommandKind::Close => "CLOSE",
             CommandKind::Shutdown => "SHUTDOWN",
@@ -113,6 +119,11 @@ pub enum Command {
         /// Name of a loaded `sum` statement.
         name: String,
     },
+    /// `PERSIST name`.
+    Persist {
+        /// Durable database name.
+        name: String,
+    },
     /// `STATS`.
     Stats,
     /// `CLOSE`.
@@ -130,6 +141,7 @@ impl Command {
             Command::Exec { .. } => CommandKind::Exec,
             Command::Volume { .. } => CommandKind::Volume,
             Command::Sum { .. } => CommandKind::Sum,
+            Command::Persist { .. } => CommandKind::Persist,
             Command::Stats => CommandKind::Stats,
             Command::Close => CommandKind::Close,
             Command::Shutdown => CommandKind::Shutdown,
@@ -223,11 +235,19 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
                 name: rest.to_string(),
             })
         }
+        "PERSIST" => {
+            if !ident_ok(rest) {
+                return Err(format!("PERSIST needs an identifier name, got `{rest}`"));
+            }
+            Ok(Command::Persist {
+                name: rest.to_string(),
+            })
+        }
         "STATS" => Ok(Command::Stats),
         "CLOSE" => Ok(Command::Close),
         "SHUTDOWN" => Ok(Command::Shutdown),
         other => Err(format!(
-            "unknown command `{other}` (expected LOAD, PREPARE, EXEC, VOLUME, SUM, STATS, CLOSE or SHUTDOWN)"
+            "unknown command `{other}` (expected LOAD, PREPARE, EXEC, VOLUME, SUM, PERSIST, STATS, CLOSE or SHUTDOWN)"
         )),
     }
 }
@@ -384,6 +404,10 @@ mod tests {
             parse_command("SUM t").unwrap(),
             Command::Sum { .. }
         ));
+        assert!(matches!(
+            parse_command("PERSIST main").unwrap(),
+            Command::Persist { name } if name == "main"
+        ));
         assert_eq!(parse_command("STATS").unwrap(), Command::Stats);
         assert_eq!(parse_command("CLOSE").unwrap(), Command::Close);
         assert_eq!(parse_command("SHUTDOWN").unwrap(), Command::Shutdown);
@@ -397,6 +421,8 @@ mod tests {
         assert!(parse_command("EXEC q nope").is_err());
         assert!(parse_command("EXEC q 0.1 0.1 0.1").is_err());
         assert!(parse_command("SUM").is_err());
+        assert!(parse_command("PERSIST").is_err());
+        assert!(parse_command("PERSIST 1bad").is_err());
     }
 
     #[test]

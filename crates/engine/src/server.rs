@@ -71,11 +71,29 @@ pub fn serve(engine: Arc<Engine>, listener: TcpListener) -> io::Result<()> {
         let active = Arc::clone(&active);
         pool.push(thread::spawn(move || loop {
             let stream = {
-                let guard = rx.lock().expect("worker queue lock");
+                let guard = rx.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
                 guard.recv()
             };
             let Ok(stream) = stream else { break };
-            let _ = handle_connection(&engine, stream, &shutdown, addr);
+            // One bad connection must cost exactly one connection: a
+            // handler panic is contained here so the worker survives to
+            // serve the next client instead of silently shrinking the
+            // pool (and leaking its admission slot) forever.
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                handle_connection(&engine, stream, &shutdown, addr)
+            }));
+            match result {
+                Ok(Ok(())) => {}
+                Ok(Err(_)) => {
+                    // The client vanished mid-response (broken pipe /
+                    // reset / timeout on write). The session died with the
+                    // socket; count it and move on.
+                    engine.stats.write_errors.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(_) => {
+                    engine.stats.worker_panics.fetch_add(1, Ordering::Relaxed);
+                }
+            }
             active.fetch_sub(1, Ordering::Release);
         }));
     }
@@ -147,12 +165,15 @@ fn handle_connection(
         let stop = matches!(cmd, Command::Close | Command::Shutdown);
         let is_shutdown = matches!(cmd, Command::Shutdown);
         let resp = engine.dispatch(&mut session, cmd);
-        resp.write_to(&mut writer)?;
         if is_shutdown {
+            // Raise the flag before the (fallible) acknowledgement write:
+            // a client that sends SHUTDOWN and slams its socket shut must
+            // still stop the server.
             shutdown.store(true, Ordering::Release);
             // Self-connect to pop the listener out of its blocking accept.
             let _ = TcpStream::connect(listener_addr);
         }
+        resp.write_to(&mut writer)?;
         if stop {
             break;
         }
@@ -204,6 +225,82 @@ mod tests {
 
         let resp = send(&mut r, &mut w, "SHUTDOWN");
         assert!(resp.is_ok(), "{resp:?}");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn client_disconnecting_mid_response_does_not_kill_the_worker() {
+        let engine = Arc::new(Engine::new(EngineConfig {
+            workers: 1,
+            ..EngineConfig::default()
+        }));
+        let handle = spawn_server(Arc::clone(&engine)).unwrap();
+        // Pipeline many large STATS responses and vanish without reading:
+        // the kernel buffers fill, the writer hits EPIPE/ECONNRESET
+        // mid-response, and before the fix the worker thread panicked and
+        // the (sole) worker was gone for good.
+        {
+            let stream = TcpStream::connect(handle.addr()).unwrap();
+            let mut w = BufWriter::new(stream.try_clone().unwrap());
+            for _ in 0..5_000 {
+                if writeln!(w, "STATS").and_then(|()| w.flush()).is_err() {
+                    break; // server already saw the reset — also fine
+                }
+            }
+            // Closing with unread response data pending makes the kernel
+            // send RST, so the server's next write fails instead of
+            // buffering forever.
+        }
+        // The single worker must come back and serve a fresh connection.
+        let mut ok = false;
+        for _ in 0..50 {
+            std::thread::sleep(std::time::Duration::from_millis(100));
+            let Ok(stream) = TcpStream::connect(handle.addr()) else {
+                continue;
+            };
+            let mut r = BufReader::new(stream.try_clone().unwrap());
+            let Ok(Some(greeting)) = read_response(&mut r) else {
+                continue;
+            };
+            if greeting.header.starts_with("ERR busy") {
+                continue; // worker still draining the dead connection
+            }
+            assert!(greeting.is_ok(), "{greeting:?}");
+            let mut w = BufWriter::new(stream);
+            let resp = send(&mut r, &mut w, "VOLUME 0 <= x & x <= 1/2");
+            assert!(resp.header.contains("value=1/2"), "{resp:?}");
+            send(&mut r, &mut w, "SHUTDOWN");
+            ok = true;
+            break;
+        }
+        assert!(ok, "worker never recovered after the broken-pipe client");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn server_survives_a_poisoned_cache() {
+        let engine = Arc::new(Engine::new(EngineConfig {
+            workers: 1,
+            ..EngineConfig::default()
+        }));
+        let handle = spawn_server(Arc::clone(&engine)).unwrap();
+        // Poison the shared cache mutex exactly as a worker panicking
+        // while holding it would.
+        engine.cache.poison_for_tests();
+        // Every cache-touching command must still be served.
+        let stream = TcpStream::connect(handle.addr()).unwrap();
+        let mut r = BufReader::new(stream.try_clone().unwrap());
+        let mut w = BufWriter::new(stream);
+        assert!(read_response(&mut r).unwrap().unwrap().is_ok());
+        let resp = send(&mut r, &mut w, "PREPARE half 0 <= x & x <= 1/2");
+        assert!(resp.is_ok(), "{resp:?}");
+        let resp = send(&mut r, &mut w, "EXEC half");
+        assert!(resp.header.contains("value=1/2"), "{resp:?}");
+        let resp = send(&mut r, &mut w, "STATS");
+        let body = resp.body.join("\n");
+        assert!(body.contains("poison_recoveries="), "{body}");
+        assert!(!body.contains("poison_recoveries=0"), "{body}");
+        send(&mut r, &mut w, "SHUTDOWN");
         handle.join().unwrap();
     }
 

@@ -84,6 +84,13 @@ pub struct EngineStats {
     pub lint_rejected: AtomicU64,
     /// Connections rejected because the worker pool was saturated.
     pub rejected_conns: AtomicU64,
+    /// Response writes that failed because the client vanished mid-reply
+    /// (broken pipe / reset). Each one is a session closed cleanly where
+    /// an unwrap would have panicked the worker.
+    pub write_errors: AtomicU64,
+    /// Worker iterations that caught a connection-handler panic and kept
+    /// the worker alive (the pool never shrinks on a poisoned request).
+    pub worker_panics: AtomicU64,
     /// Answers that degraded from exact to (ε, δ) Monte Carlo.
     pub degraded: AtomicU64,
     /// Distinct formula nodes resident across all session IR arenas

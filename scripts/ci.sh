@@ -45,6 +45,9 @@ run_capped cargo test -q --offline -p cqa-analyze --test absint_soundness
 echo "== planner parity (planned vs fixed QE, subplan-hit determinism) =="
 run_capped cargo test -q --offline -p cqa-qe --test plan_parity
 
+echo "== storage durability (kill-and-replay, torn tail, crash-point sweep) =="
+run_capped cargo test -q --offline -p cqa-engine --test storage
+
 echo "== E16 smoke (FM dedup ratio; >= 2x key-cost floor asserted inside) =="
 run_capped ./target/release/report e16
 
@@ -56,6 +59,9 @@ run_capped ./target/release/report e18
 
 echo "== E19 smoke (QE planner; >= 2x planned+shared floor + bit-identity asserted inside) =="
 run_capped ./target/release/report e19
+
+echo "== E20 smoke (durable storage; >= 5x recovered-boot floor + bit-identity asserted inside) =="
+run_capped ./target/release/report e20
 
 echo "== static analysis demos =="
 cargo run -q --offline -p cqa-bench --bin cqa-lint -- \
@@ -94,7 +100,8 @@ echo "== server smoke test (cqa-serve / cqa-shell over TCP) =="
 # rejection over the wire, and a clean SHUTDOWN (both exit codes 0).
 SERVE_LOG="$(mktemp)"
 SHELL_LOG="$(mktemp)"
-trap 'rm -f "$SERVE_LOG" "$SHELL_LOG"' EXIT
+DATA_DIR="$(mktemp -d)"
+trap 'rm -f "$SERVE_LOG" "$SHELL_LOG"; rm -rf "$DATA_DIR"' EXIT
 ./target/release/cqa-serve --workers 2 --timeout-ms 2000 \
   --preload examples/lint/endpoints.cqa > "$SERVE_LOG" &
 SERVE_PID=$!
@@ -130,6 +137,61 @@ grep -q "error\[CQA004\]: unknown relation" "$SHELL_LOG"
 # STATS shows the cache did its job.
 grep -q "hits=1" "$SHELL_LOG"
 # Clean shutdown: the server process exits 0 (workers joined, no leak).
+run_capped tail --pid="$SERVE_PID" -f /dev/null
+wait "$SERVE_PID"
+
+echo "== crash-recovery smoke (cqa-serve --data-dir, SIGKILL, recovered boot) =="
+# Session 1: attach a durable database, load, prepare, run cold. Then the
+# server is killed with SIGKILL — no shutdown, no flush. The restarted
+# server must replay the WAL and serve the same answer from the persisted
+# warm cache.
+start_durable_serve() {
+  : > "$SERVE_LOG"
+  ./target/release/cqa-serve --workers 2 --timeout-ms 5000 \
+    --data-dir "$DATA_DIR" > "$SERVE_LOG" &
+  SERVE_PID=$!
+  ADDR=""
+  for _ in $(seq 1 50); do
+    ADDR="$(sed -n 's/^LISTENING //p' "$SERVE_LOG")"
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+  done
+  if [ -z "$ADDR" ]; then
+    echo "cqa-serve --data-dir did not print LISTENING" >&2
+    kill "$SERVE_PID" 2>/dev/null || true
+    exit 1
+  fi
+}
+start_durable_serve
+run_capped ./target/release/cqa-shell "$ADDR" > "$SHELL_LOG" <<'EOF'
+PERSIST main
+LOAD rel S(y) := (0 <= y & y <= 1/2) | (3/4 <= y & y <= 2)
+PREPARE band S(x) & x <= 1
+EXEC band
+CLOSE
+EOF
+cat "$SHELL_LOG"
+grep -q "OK PERSIST main statements=0" "$SHELL_LOG"
+grep -q "status=exact value=3/4 cache=miss" "$SHELL_LOG"
+# SIGKILL: the only durability that counts is what is already fsynced.
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+# Session 2, after the recovered boot: the database replays from the WAL
+# (statements=1) and the prepared query is answered bit-identically from
+# the warm-started cache, with the recovery counters visible in STATS.
+start_durable_serve
+run_capped ./target/release/cqa-shell "$ADDR" > "$SHELL_LOG" <<'EOF'
+PERSIST main
+PREPARE band S(x) & x <= 1
+EXEC band
+STATS
+SHUTDOWN
+EOF
+cat "$SHELL_LOG"
+grep -q "OK PERSIST main statements=1" "$SHELL_LOG"
+grep -q "status=exact value=3/4 cache=hit" "$SHELL_LOG"
+grep -q "wal records=" "$SHELL_LOG"
+grep -q "warm loaded=" "$SHELL_LOG"
 run_capped tail --pid="$SERVE_PID" -f /dev/null
 wait "$SERVE_PID"
 
