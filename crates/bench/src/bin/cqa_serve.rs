@@ -1,18 +1,23 @@
 //! `cqa-serve` — the constraint-query service daemon.
 //!
 //! ```text
-//! cqa-serve [--addr HOST:PORT] [--workers N] [--cache-bytes B]
-//!           [--timeout-ms MS] [--max-steps N] [--eps E] [--delta D]
-//!           [--idle-secs S] [--preload FILE.cqa] [--no-plan]
+//! cqa-serve [--addr HOST:PORT] [--workers N] [--max-sessions N]
+//!           [--cache-bytes B] [--shards N] [--timeout-ms MS]
+//!           [--max-steps N] [--eps E] [--delta D] [--idle-secs S]
+//!           [--write-timeout-ms MS] [--max-body-bytes B]
+//!           [--preload FILE.cqa] [--no-plan] [--threaded]
 //!           [--data-dir DIR] [--snapshot-every N]
 //! ```
 //!
 //! Binds a TCP listener (default `127.0.0.1:0`, i.e. an ephemeral port),
 //! prints `LISTENING <addr>` on stdout once ready, and serves the
-//! `cqa-engine` wire protocol until a client sends `SHUTDOWN`. A
-//! `--preload` program is run through the same static-analysis gate as
-//! `cqa-lint` before the listener opens; errors abort startup with the
-//! usual diagnostics.
+//! `cqa-engine` wire protocol until a client sends `SHUTDOWN`. The
+//! default front end is the event-driven reactor (idle sessions cost no
+//! worker threads, pipelining and `BATCH` supported); `--threaded`
+//! selects the legacy thread-per-connection loop, kept as the parity
+//! oracle and benchmark baseline. A `--preload` program is run through
+//! the same static-analysis gate as `cqa-lint` before the listener
+//! opens; errors abort startup with the usual diagnostics.
 //!
 //! `--data-dir DIR` turns on durable storage: crash recovery
 //! (snapshot + write-ahead-log replay) and the cache warm-start load run
@@ -23,7 +28,7 @@
 
 use cqa_analyze::AnalyzerConfig;
 use cqa_bench::lint::lint_file;
-use cqa_engine::{serve, Engine, EngineConfig};
+use cqa_engine::{serve, serve_threaded, Engine, EngineConfig};
 use std::net::TcpListener;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -31,9 +36,10 @@ use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: cqa-serve [--addr HOST:PORT] [--workers N] [--cache-bytes B] \
-         [--timeout-ms MS] [--max-steps N] [--eps E] [--delta D] \
-         [--idle-secs S] [--preload FILE.cqa] [--no-plan] \
+        "usage: cqa-serve [--addr HOST:PORT] [--workers N] [--max-sessions N] \
+         [--cache-bytes B] [--shards N] [--timeout-ms MS] [--max-steps N] \
+         [--eps E] [--delta D] [--idle-secs S] [--write-timeout-ms MS] \
+         [--max-body-bytes B] [--preload FILE.cqa] [--no-plan] [--threaded] \
          [--data-dir DIR] [--snapshot-every N]"
     );
     std::process::exit(2);
@@ -43,6 +49,7 @@ fn main() -> ExitCode {
     let mut addr = "127.0.0.1:0".to_string();
     let mut cfg = EngineConfig::default();
     let mut preload_path: Option<String> = None;
+    let mut threaded = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| -> String {
@@ -60,9 +67,13 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--addr" => addr = value("--addr"),
             "--workers" => cfg.workers = parse("--workers", value("--workers")) as usize,
+            "--max-sessions" => {
+                cfg.max_sessions = parse("--max-sessions", value("--max-sessions")) as usize
+            }
             "--cache-bytes" => {
                 cfg.cache_bytes = parse("--cache-bytes", value("--cache-bytes")) as usize
             }
+            "--shards" => cfg.cache_shards = parse("--shards", value("--shards")) as usize,
             "--timeout-ms" => {
                 cfg.timeout = Some(Duration::from_millis(parse(
                     "--timeout-ms",
@@ -78,6 +89,15 @@ fn main() -> ExitCode {
                 cfg.idle_timeout =
                     Duration::from_secs(parse("--idle-secs", value("--idle-secs")) as u64)
             }
+            "--write-timeout-ms" => {
+                cfg.write_timeout = Duration::from_millis(parse(
+                    "--write-timeout-ms",
+                    value("--write-timeout-ms"),
+                ) as u64)
+            }
+            "--max-body-bytes" => {
+                cfg.max_body_bytes = parse("--max-body-bytes", value("--max-body-bytes")) as usize
+            }
             "--preload" => preload_path = Some(value("--preload")),
             "--data-dir" => cfg.data_dir = Some(value("--data-dir").into()),
             "--snapshot-every" => {
@@ -85,6 +105,8 @@ fn main() -> ExitCode {
             }
             // Parity oracle: fall back to the fixed QE dispatch pipeline.
             "--no-plan" => cfg.plan = false,
+            // Parity oracle: the thread-per-connection front end.
+            "--threaded" => threaded = true,
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -130,7 +152,12 @@ fn main() -> ExitCode {
         .local_addr()
         .expect("bound listener has an address");
     println!("LISTENING {local}");
-    match serve(engine, listener) {
+    let result = if threaded {
+        serve_threaded(engine, listener)
+    } else {
+        serve(engine, listener)
+    };
+    match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("cqa-serve: {e}");

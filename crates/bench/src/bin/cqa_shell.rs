@@ -8,8 +8,9 @@
 //! response (header plus payload lines). Suitable both interactively and
 //! piped (the CI smoke test drives it with a heredoc). Conveniences:
 //!
-//! * after a bare `LOAD`, stdin lines up to a lone `.` are forwarded as
-//!   the dot-stuffed body, exactly as the protocol expects;
+//! * after a bare `LOAD` or `BATCH` (with or without a leading `@tag`),
+//!   stdin lines up to a lone `.` are forwarded as the dot-stuffed body,
+//!   exactly as the protocol expects;
 //! * `.load FILE` (client-side command) sends `LOAD` with the contents of
 //!   `FILE` as the body, so programs don't have to be pasted.
 //!
@@ -60,8 +61,16 @@ fn run(addr: &str) -> Result<(), String> {
             writeln!(writer, ".").map_err(|e| e.to_string())?;
         } else {
             writeln!(writer, "{line}").map_err(|e| e.to_string())?;
-            if trimmed.eq_ignore_ascii_case("LOAD") {
-                // Bare LOAD: forward the dot-terminated body verbatim.
+            // The command verb, skipping a `@tag` prefix if present.
+            let mut words = trimmed.split_whitespace();
+            let mut verb = words.next().unwrap_or("");
+            if verb.starts_with('@') {
+                verb = words.next().unwrap_or("");
+            }
+            let bare = words.next().is_none();
+            if bare && (verb.eq_ignore_ascii_case("LOAD") || verb.eq_ignore_ascii_case("BATCH")) {
+                // Bare LOAD/BATCH: forward the dot-terminated body
+                // verbatim.
                 for body_line in lines.by_ref() {
                     let body_line = body_line.map_err(|e| e.to_string())?;
                     writeln!(writer, "{body_line}").map_err(|e| e.to_string())?;
@@ -75,7 +84,11 @@ fn run(addr: &str) -> Result<(), String> {
         match read_response(&mut reader).map_err(|e| e.to_string())? {
             Some(resp) => {
                 print_response(&resp);
-                let verb = trimmed.split_whitespace().next().unwrap_or("");
+                let mut words = trimmed.split_whitespace();
+                let mut verb = words.next().unwrap_or("");
+                if verb.starts_with('@') {
+                    verb = words.next().unwrap_or("");
+                }
                 if verb.eq_ignore_ascii_case("CLOSE") || verb.eq_ignore_ascii_case("SHUTDOWN") {
                     return Ok(());
                 }

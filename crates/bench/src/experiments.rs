@@ -1768,6 +1768,350 @@ pub fn e20(out: &mut String) {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// E21: the serving layer. Pins the two bit-identity guarantees of the
+/// reactor refactor (shard counts {1, 2, 8} and pipelined-vs-serial
+/// dispatch produce identical answers), then measures warm-`EXEC`
+/// throughput of the pipelined reactor front end against the
+/// thread-per-connection baseline at equal worker count and asserts the
+/// ≥ 2× floor. The measured snapshot is written to BENCH_serve.json.
+pub fn e21(out: &mut String) {
+    use cqa_engine::{
+        parse_command, read_response, spawn_server, spawn_server_threaded, Engine, EngineConfig,
+    };
+    use std::io::{BufReader, BufWriter, Write};
+    use std::net::{SocketAddr, TcpStream};
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    writeln!(
+        out,
+        "E21: serving layer — pipelined reactor vs thread-per-connection baseline"
+    )
+    .unwrap();
+
+    /// Workers on both servers; also the baseline client count (the
+    /// thread-per-connection server admits exactly `workers` sessions).
+    const WORKERS: usize = 4;
+    const POOL: &[(&str, &str)] = &[
+        ("half", "0 <= x & x <= 1/2"),
+        ("quarter", "0 <= x & x <= 1/4"),
+        ("band", "0 <= x & 0 <= y & x + y <= 1"),
+        ("disk", "x*x + y*y <= 1"),
+    ];
+
+    fn strip(header: &str) -> String {
+        header
+            .split_whitespace()
+            .filter(|t| !t.starts_with("steps=") && !t.starts_with("cache="))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    /// Connects, retrying while the greeting is `ERR busy` (slots free up
+    /// asynchronously after a peer closes).
+    fn connect_retry(addr: SocketAddr) -> (BufReader<TcpStream>, BufWriter<TcpStream>) {
+        loop {
+            let s = TcpStream::connect(addr).expect("connect");
+            let mut r = BufReader::new(s.try_clone().expect("clone"));
+            match read_response(&mut r) {
+                Ok(Some(g)) if g.header.starts_with("OK") => {
+                    return (r, BufWriter::new(s));
+                }
+                _ => std::thread::sleep(std::time::Duration::from_millis(2)),
+            }
+        }
+    }
+
+    fn send(
+        r: &mut BufReader<TcpStream>,
+        w: &mut BufWriter<TcpStream>,
+        line: &str,
+    ) -> cqa_engine::Response {
+        writeln!(w, "{line}").unwrap();
+        w.flush().unwrap();
+        read_response(r).unwrap().expect("response")
+    }
+
+    fn p99(lats: &mut [u64]) -> u64 {
+        lats.sort_unstable();
+        lats[(lats.len() * 99 / 100).min(lats.len() - 1)]
+    }
+
+    // -- Bit-identity pin 1: cache shard counts change contention only. --
+    let transcript_for = |shards: usize| -> Vec<String> {
+        let e = Engine::new(EngineConfig {
+            cache_shards: shards,
+            ..EngineConfig::default()
+        });
+        let mut s = e.open_session();
+        let mut t = Vec::new();
+        for _ in 0..2 {
+            for (name, src) in POOL {
+                let r = e.prepare(&mut s, name, src);
+                assert!(r.is_ok(), "{r:?}");
+                t.push(strip(&e.exec(&mut s, name, None, None).header));
+            }
+        }
+        t
+    };
+    let reference = transcript_for(1);
+    for shards in [2usize, 8] {
+        assert_eq!(
+            transcript_for(shards),
+            reference,
+            "answers diverged at cache_shards={shards}"
+        );
+    }
+    writeln!(
+        out,
+        "  bit-identity: shard counts {{1, 2, 8}} -> identical answer transcripts"
+    )
+    .unwrap();
+
+    // -- Bit-identity pin 2: pipelining changes scheduling, not answers. --
+    let lines: Vec<String> = POOL
+        .iter()
+        .flat_map(|(name, src)| [format!("PREPARE {name} {src}"), format!("EXEC {name}")])
+        .collect();
+    let serial: Vec<String> = {
+        let e = Engine::new(EngineConfig::default());
+        let mut s = e.open_session();
+        lines
+            .iter()
+            .map(|l| strip(&e.dispatch(&mut s, parse_command(l).expect(l)).header))
+            .collect()
+    };
+    {
+        let engine = Arc::new(Engine::new(EngineConfig {
+            workers: WORKERS,
+            ..EngineConfig::default()
+        }));
+        let handle = spawn_server(engine).expect("spawn reactor");
+        let (mut r, mut w) = connect_retry(handle.addr());
+        for (k, line) in lines.iter().enumerate() {
+            writeln!(w, "@{k} {line}").unwrap();
+        }
+        w.flush().unwrap();
+        for (k, want) in serial.iter().enumerate() {
+            let resp = read_response(&mut r).unwrap().expect("response");
+            let tag = format!("@{k} ");
+            assert!(resp.header.starts_with(&tag), "out of order: {resp:?}");
+            assert_eq!(
+                &strip(&resp.header[tag.len()..]),
+                want,
+                "pipelined answer {k} diverged from serial dispatch"
+            );
+        }
+        assert!(send(&mut r, &mut w, "SHUTDOWN").is_ok());
+        handle.join().expect("join");
+    }
+    writeln!(
+        out,
+        "  bit-identity: pipelined wire responses in request order == serial dispatch"
+    )
+    .unwrap();
+
+    // -- Baseline: thread-per-connection, one warm EXEC per round trip.
+    // The probe query is statically decided (absint verdict: empty), so
+    // per-op compute is a few µs and the measurement isolates serving
+    // overhead — the thing this refactor changes — rather than QE or
+    // integration cost. --
+    const BASE_OPS: usize = 400;
+    let run_baseline = || {
+        let engine = Arc::new(Engine::new(EngineConfig {
+            workers: WORKERS,
+            ..EngineConfig::default()
+        }));
+        let handle = spawn_server_threaded(engine).expect("spawn baseline");
+        let addr = handle.addr();
+        {
+            // Warm the shared prepared-query cache before measuring.
+            let (mut r, mut w) = connect_retry(addr);
+            assert!(send(&mut r, &mut w, "PREPARE probe x <= 0 & x >= 1").is_ok());
+            assert!(send(&mut r, &mut w, "EXEC probe").is_ok());
+            assert!(send(&mut r, &mut w, "CLOSE").is_ok());
+        }
+        let t0 = Instant::now();
+        let joins: Vec<_> = (0..WORKERS)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let (mut r, mut w) = connect_retry(addr);
+                    assert!(send(&mut r, &mut w, "PREPARE probe x <= 0 & x >= 1").is_ok());
+                    let mut lats = Vec::with_capacity(BASE_OPS);
+                    for _ in 0..BASE_OPS {
+                        let t = Instant::now();
+                        let resp = send(&mut r, &mut w, "EXEC probe");
+                        assert!(resp.header.contains("value=0"), "{resp:?}");
+                        lats.push(t.elapsed().as_micros() as u64);
+                    }
+                    assert!(send(&mut r, &mut w, "CLOSE").is_ok());
+                    lats
+                })
+            })
+            .collect();
+        let lats: Vec<u64> = joins
+            .into_iter()
+            .flat_map(|j| j.join().expect("baseline client"))
+            .collect();
+        let wall = t0.elapsed();
+        let (mut r, mut w) = connect_retry(addr);
+        assert!(send(&mut r, &mut w, "SHUTDOWN").is_ok());
+        handle.join().expect("join baseline");
+        (wall, lats)
+    };
+    // Best of two runs per side: on a loaded (or single-CPU) machine one
+    // run can eat a scheduling hiccup; the floor should compare steady
+    // states, not noise.
+    let (base_wall, mut base_lats) = {
+        let (w1, l1) = run_baseline();
+        let (w2, l2) = run_baseline();
+        if w1 <= w2 {
+            (w1, l1)
+        } else {
+            (w2, l2)
+        }
+    };
+    let base_ops = WORKERS * BASE_OPS;
+    let base_rate = base_ops as f64 / base_wall.as_secs_f64();
+
+    // -- Reactor: 8x the clients, BATCH amortizing the round trip. --
+    const CLIENTS: usize = 32;
+    const BATCHES: usize = 4;
+    const SPECS: usize = 128;
+    let run_reactor = || {
+        let engine = Arc::new(Engine::new(EngineConfig {
+            workers: WORKERS,
+            max_sessions: CLIENTS + 8,
+            ..EngineConfig::default()
+        }));
+        let handle = spawn_server(engine).expect("spawn reactor");
+        let addr = handle.addr();
+        {
+            let (mut r, mut w) = connect_retry(addr);
+            assert!(send(&mut r, &mut w, "PREPARE probe x <= 0 & x >= 1").is_ok());
+            assert!(send(&mut r, &mut w, "EXEC probe").is_ok());
+            assert!(send(&mut r, &mut w, "CLOSE").is_ok());
+        }
+        let body: Arc<String> = Arc::new("probe\n".repeat(SPECS));
+        let t0 = Instant::now();
+        let joins: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                let body = Arc::clone(&body);
+                std::thread::spawn(move || {
+                    let (mut r, mut w) = connect_retry(addr);
+                    assert!(send(&mut r, &mut w, "PREPARE probe x <= 0 & x >= 1").is_ok());
+                    let mut lats = Vec::with_capacity(BATCHES);
+                    for _ in 0..BATCHES {
+                        let t = Instant::now();
+                        write!(w, "BATCH\n{body}.\n").unwrap();
+                        w.flush().unwrap();
+                        let resp = read_response(&mut r).unwrap().expect("batch response");
+                        assert!(
+                            resp.header
+                                .starts_with(&format!("OK BATCH n={SPECS} errors=0")),
+                            "{resp:?}"
+                        );
+                        lats.push(t.elapsed().as_micros() as u64);
+                    }
+                    assert!(send(&mut r, &mut w, "CLOSE").is_ok());
+                    lats
+                })
+            })
+            .collect();
+        let lats: Vec<u64> = joins
+            .into_iter()
+            .flat_map(|j| j.join().expect("reactor client"))
+            .collect();
+        let wall = t0.elapsed();
+        let (mut r, mut w) = connect_retry(addr);
+        assert!(send(&mut r, &mut w, "SHUTDOWN").is_ok());
+        handle.join().expect("join reactor");
+        (wall, lats)
+    };
+    let (reactor_wall, mut batch_lats) = {
+        let (w1, l1) = run_reactor();
+        let (w2, l2) = run_reactor();
+        if w1 <= w2 {
+            (w1, l1)
+        } else {
+            (w2, l2)
+        }
+    };
+    let reactor_ops = CLIENTS * BATCHES * SPECS;
+    let reactor_rate = reactor_ops as f64 / reactor_wall.as_secs_f64();
+    let speedup = reactor_rate / base_rate;
+    let base_p99 = p99(&mut base_lats);
+    let batch_p99 = p99(&mut batch_lats);
+    let per_exec_p99 = batch_p99 as f64 / SPECS as f64;
+
+    // Wall-clock numbers go to stderr so that `report`'s stdout stays
+    // byte-identical across runs; the recorded snapshot is
+    // BENCH_serve.json.
+    eprintln!(
+        "E21 timings: threaded {base_ops} warm EXECs in {:.1} ms ({base_rate:.0}/s, \
+         p99 {base_p99} µs/EXEC, {WORKERS} clients), reactor {reactor_ops} warm EXECs \
+         in {:.1} ms ({reactor_rate:.0}/s, p99 {batch_p99} µs/BATCH of {SPECS} = \
+         {per_exec_p99:.1} µs/EXEC, {CLIENTS} clients), speedup {speedup:.1}x at \
+         {WORKERS} workers",
+        base_wall.as_secs_f64() * 1e3,
+        reactor_wall.as_secs_f64() * 1e3,
+    );
+    writeln!(
+        out,
+        "  baseline: {WORKERS} thread-per-connection clients ({WORKERS} workers), one \
+         warm EXEC per round trip"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  reactor:  {CLIENTS} pipelined clients ({WORKERS} workers), BATCH of {SPECS} \
+         warm EXECs per round trip"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  >= 2x warm-EXEC throughput at equal worker count asserted (timings on \
+         stderr; snapshot in BENCH_serve.json)\n"
+    )
+    .unwrap();
+    assert!(
+        speedup >= 2.0,
+        "reactor must serve >= 2x the baseline throughput, got {speedup:.2}x"
+    );
+
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let json = format!(
+        "{{\n  \"bench\": \"serving layer: pipelined reactor vs thread-per-connection \
+         (E21: warm EXEC throughput at equal worker count)\",\n  \
+         \"date\": \"{}\",\n  \
+         \"machine\": {{ \"cpus\": {cpus}, \"mode\": \"report e21, release, loopback \
+         TCP, {WORKERS} workers\" }},\n  \"workload\": {{\n    \
+         \"description\": \"warm EXECs of a prepared, statically-decided query \
+         (per-op compute is a few microseconds, isolating serving overhead); baseline \
+         sends one EXEC per round trip from {WORKERS} clients, reactor sends BATCH \
+         bodies of {SPECS} EXECs from {CLIENTS} pipelined clients\",\n    \
+         \"baseline_ops\": {base_ops},\n    \"reactor_ops\": {reactor_ops}\n  }},\n  \
+         \"results\": {{\n    \
+         \"threaded_ops_per_s\": {base_rate:.0},\n    \
+         \"reactor_ops_per_s\": {reactor_rate:.0},\n    \
+         \"speedup\": {speedup:.2},\n    \
+         \"threaded_p99_us_per_exec\": {base_p99},\n    \
+         \"reactor_p99_us_per_batch\": {batch_p99},\n    \
+         \"reactor_p99_us_per_exec_amortized\": {per_exec_p99:.1}\n  }},\n  \
+         \"notes\": [\n    \
+         \"Answers are asserted bit-identical across cache shard counts 1, 2, and 8, \
+         and between pipelined wire execution and serial in-process dispatch (only \
+         steps= and cache= header tokens may differ).\",\n    \
+         \"The >= 2x throughput floor over the thread-per-connection baseline at equal \
+         worker count is asserted in-process; the run aborts if it regresses.\"\n  ]\n}}\n",
+        today_utc(),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("E21: could not write {path}: {e}");
+    }
+}
+
 /// Today's UTC date as `YYYY-MM-DD` (civil-from-days, Hinnant's algorithm;
 /// no external time crates).
 fn today_utc() -> String {
@@ -1801,7 +2145,7 @@ fn collect_atoms(f: &cqa_logic::Formula) -> Vec<cqa_logic::Atom> {
 pub fn run_all() -> String {
     let mut out = String::new();
     type Experiment = fn(&mut String);
-    let fns: [(&str, Experiment); 18] = [
+    let fns: [(&str, Experiment); 19] = [
         ("e1", e1),
         ("e2", e2),
         ("e3", e3),
@@ -1820,6 +2164,7 @@ pub fn run_all() -> String {
         ("e18", e18),
         ("e19", e19),
         ("e20", e20),
+        ("e21", e21),
     ];
     for (name, f) in fns {
         let _ = name;
@@ -1828,7 +2173,7 @@ pub fn run_all() -> String {
     out
 }
 
-/// Runs one experiment by id (`"e1"` … `"e12"`, `"e15"` … `"e20"`); `None` for unknown ids.
+/// Runs one experiment by id (`"e1"` … `"e12"`, `"e15"` … `"e21"`); `None` for unknown ids.
 pub fn run_one(id: &str) -> Option<String> {
     let mut out = String::new();
     match id {
@@ -1850,6 +2195,7 @@ pub fn run_one(id: &str) -> Option<String> {
         "e18" => e18(&mut out),
         "e19" => e19(&mut out),
         "e20" => e20(&mut out),
+        "e21" => e21(&mut out),
         _ => return None,
     }
     Some(out)

@@ -5,10 +5,23 @@
 //! the whole Giusti–Heintz line of work) makes quantifier elimination the
 //! dominating cost of constraint-query evaluation, and QE output depends
 //! only on the (relation-expanded) formula — not on the session, the
-//! client, or the request parameters. One `Mutex` around a `HashMap` plus
-//! a logical clock is deliberately boring: entries are `Arc`-shared so the
-//! lock is held only for lookup/insert bookkeeping, never during QE,
-//! compilation, or evaluation.
+//! client, or the request parameters. Each shard is a `Mutex` around a
+//! `HashMap` plus a logical clock — deliberately boring: entries are
+//! `Arc`-shared so a lock is held only for lookup/insert bookkeeping,
+//! never during QE, compilation, or evaluation.
+//!
+//! ### Sharding
+//!
+//! The map is split into 2^k independent lock domains selected by
+//! `CacheKey.hash`, so concurrent warm `EXEC`s on different keys never
+//! contend on one global mutex. Each shard carries its own slice of the
+//! byte budget and its own LRU clock (recency is a per-shard notion);
+//! hit/miss/eviction counters are process-global atomics, so `STATS`
+//! aggregates are shard-count-independent. So is [`QueryCache::export`]:
+//! slots are merged across shards and sorted by `(kind, hash, dim)`, which
+//! makes the storage layer's warm-start file bit-identical for any shard
+//! count — a warm file written at 8 shards boots a 1-shard server
+//! identically, and vice versa.
 
 use cqa_logic::{CompiledMatrix, ConstraintClass, Formula};
 use std::collections::HashMap;
@@ -159,6 +172,17 @@ struct Inner {
     bytes: usize,
 }
 
+/// One lock domain: a map slice plus its slice of the byte budget.
+struct Shard {
+    inner: Mutex<Inner>,
+    byte_budget: usize,
+}
+
+/// Default shard count: enough lock domains that a handful of worker
+/// threads hammering warm hits rarely collide, small enough that the
+/// per-shard budget slices stay meaningful.
+pub const DEFAULT_CACHE_SHARDS: usize = 8;
+
 /// A point-in-time view of the cache counters, for `STATS`.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheSnapshot {
@@ -178,7 +202,9 @@ pub struct CacheSnapshot {
     pub bytes: usize,
     /// The configured byte budget.
     pub byte_budget: usize,
-    /// Times the cache mutex was recovered after being poisoned by a
+    /// Number of independent lock domains the map is split into.
+    pub shards: usize,
+    /// Times a cache mutex was recovered after being poisoned by a
     /// panicking worker (each one is a request that survived instead of
     /// wedging every later request).
     pub poison_recoveries: u64,
@@ -196,9 +222,12 @@ impl CacheSnapshot {
     }
 }
 
-/// The concurrent prepared-query (and subplan) cache.
+/// The concurrent prepared-query (and subplan) cache, sharded by key hash.
 pub struct QueryCache {
-    inner: Mutex<Inner>,
+    shards: Vec<Shard>,
+    /// `shards.len() - 1`; shard count is a power of two so selection is a
+    /// mask, not a division.
+    mask: usize,
     byte_budget: usize,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -209,14 +238,31 @@ pub struct QueryCache {
 }
 
 impl QueryCache {
-    /// An empty cache bounded by `byte_budget` estimated bytes.
+    /// An empty cache bounded by `byte_budget` estimated bytes, split into
+    /// [`DEFAULT_CACHE_SHARDS`] lock domains.
     pub fn new(byte_budget: usize) -> QueryCache {
+        QueryCache::with_shards(byte_budget, DEFAULT_CACHE_SHARDS)
+    }
+
+    /// An empty cache with an explicit shard count. The count is clamped
+    /// to `[1, 256]` and rounded up to a power of two; the byte budget is
+    /// divided evenly across shards (eviction is a per-shard decision —
+    /// LRU order is only meaningful inside one lock domain).
+    pub fn with_shards(byte_budget: usize, shards: usize) -> QueryCache {
+        let n = shards.clamp(1, 256).next_power_of_two();
+        let per_shard = byte_budget / n;
         QueryCache {
-            inner: Mutex::new(Inner {
-                map: HashMap::new(),
-                clock: 0,
-                bytes: 0,
-            }),
+            shards: (0..n)
+                .map(|_| Shard {
+                    inner: Mutex::new(Inner {
+                        map: HashMap::new(),
+                        clock: 0,
+                        bytes: 0,
+                    }),
+                    byte_budget: per_shard,
+                })
+                .collect(),
+            mask: n - 1,
             byte_budget,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -227,7 +273,20 @@ impl QueryCache {
         }
     }
 
-    /// Locks the map, recovering from poisoning instead of propagating it.
+    /// Number of lock domains.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard owning `key`: both 64-bit halves of the canonical hash
+    /// are folded in so closely related keys still spread.
+    fn shard_for(&self, key: CacheKey) -> &Shard {
+        let folded = (key.hash as u64) ^ ((key.hash >> 64) as u64);
+        &self.shards[(folded as usize) & self.mask]
+    }
+
+    /// Locks one shard's map, recovering from poisoning instead of
+    /// propagating it.
     ///
     /// A poisoned mutex means some worker panicked *while holding the
     /// lock*. Every operation under this lock leaves the map structurally
@@ -238,25 +297,27 @@ impl QueryCache {
     /// and keep serving. The alternative — every later request panicking
     /// on `expect("cache lock")` — turns one bad request into a permanent
     /// engine-wide outage.
-    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
-        self.inner.lock().unwrap_or_else(|poisoned| {
-            self.poison_recoveries.fetch_add(1, Ordering::Relaxed);
+    fn lock<'a>(shard: &'a Shard, recoveries: &AtomicU64) -> std::sync::MutexGuard<'a, Inner> {
+        shard.inner.lock().unwrap_or_else(|poisoned| {
+            recoveries.fetch_add(1, Ordering::Relaxed);
             poisoned.into_inner()
         })
     }
 
-    /// Poisons the cache mutex, for tests proving the engine survives a
-    /// worker that panicked while holding it. Panics inside a scoped
-    /// thread holding the lock; the panic is contained there.
+    /// Poisons every shard mutex, for tests proving the engine survives a
+    /// worker that panicked while holding one. Panics inside a scoped
+    /// thread holding each lock; the panics are contained there.
     #[doc(hidden)]
     pub fn poison_for_tests(&self) {
-        std::thread::scope(|s| {
-            let handle = s.spawn(|| {
-                let _guard = self.inner.lock().expect("not yet poisoned");
-                panic!("poisoning the cache lock for a test");
+        for shard in &self.shards {
+            std::thread::scope(|s| {
+                let handle = s.spawn(|| {
+                    let _guard = shard.inner.lock().expect("not yet poisoned");
+                    panic!("poisoning the cache lock for a test");
+                });
+                assert!(handle.join().is_err(), "the poisoning thread must panic");
             });
-            assert!(handle.join().is_err(), "the poisoning thread must panic");
-        });
+        }
     }
 
     /// Looks up a whole-query entry, refreshing its recency on a hit.
@@ -265,7 +326,8 @@ impl QueryCache {
             key,
             kind: SlotKind::Query,
         };
-        let mut inner = self.lock();
+        let shard = self.shard_for(key);
+        let mut inner = Self::lock(shard, &self.poison_recoveries);
         inner.clock += 1;
         let clock = inner.clock;
         match inner.map.get_mut(&full) {
@@ -293,7 +355,8 @@ impl QueryCache {
             key,
             kind: SlotKind::Subplan,
         };
-        let mut inner = self.lock();
+        let shard = self.shard_for(key);
+        let mut inner = Self::lock(shard, &self.poison_recoveries);
         inner.clock += 1;
         let clock = inner.clock;
         match inner.map.get_mut(&full) {
@@ -351,9 +414,12 @@ impl QueryCache {
 
     /// Shared insert path: replace-refund under the *full* (kind-aware)
     /// key, charge payload + key bytes, LRU-sweep everything except the
-    /// just-inserted slot.
+    /// just-inserted slot. The sweep is a per-shard decision: each shard
+    /// holds its own slice of the budget, and recency is only comparable
+    /// inside one lock domain.
     fn insert_stored(&self, full: FullKey, stored: Stored) {
-        let mut inner = self.lock();
+        let shard = self.shard_for(full.key);
+        let mut inner = Self::lock(shard, &self.poison_recoveries);
         inner.clock += 1;
         let clock = inner.clock;
         if let Some(old) = inner.map.remove(&full) {
@@ -367,7 +433,7 @@ impl QueryCache {
                 last_used: clock,
             },
         );
-        while inner.bytes > self.byte_budget && inner.map.len() > 1 {
+        while inner.bytes > shard.byte_budget && inner.map.len() > 1 {
             let victim = inner
                 .map
                 .iter()
@@ -385,37 +451,47 @@ impl QueryCache {
         }
     }
 
-    /// Counter snapshot for `STATS`.
+    /// Counter snapshot for `STATS`. Entry and byte totals are summed
+    /// across shards (each shard locked in turn — the snapshot is a
+    /// statistics view, not a consistent cut, like every counter here).
     pub fn snapshot(&self) -> CacheSnapshot {
-        let inner = self.lock();
+        let mut entries = 0usize;
+        let mut bytes = 0usize;
+        for shard in &self.shards {
+            let inner = Self::lock(shard, &self.poison_recoveries);
+            entries += inner.map.len();
+            bytes += inner.bytes;
+        }
         CacheSnapshot {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             subplan_hits: self.subplan_hits.load(Ordering::Relaxed),
             subplan_misses: self.subplan_misses.load(Ordering::Relaxed),
-            entries: inner.map.len(),
-            bytes: inner.bytes,
+            entries,
+            bytes,
             byte_budget: self.byte_budget,
+            shards: self.shards.len(),
             poison_recoveries: self.poison_recoveries.load(Ordering::Relaxed),
         }
     }
 
     /// Exports every resident slot in deterministic order (queries before
     /// subplans, then by key) for the storage layer's warm-start file.
-    /// Entries are `Arc`-shared, so this clones pointers, not payloads,
-    /// and the lock is released before any serialization happens.
+    /// Slots are merged across shards *before* sorting, so the export —
+    /// and therefore the warm file the storage layer writes from it — is
+    /// bit-identical for any shard count. Entries are `Arc`-shared, so
+    /// this clones pointers, not payloads, and each shard lock is released
+    /// before any serialization happens.
     pub fn export(&self) -> Vec<WarmSlot> {
-        let inner = self.lock();
-        let mut slots: Vec<WarmSlot> = inner
-            .map
-            .iter()
-            .map(|(full, slot)| match &slot.entry {
+        let mut slots: Vec<WarmSlot> = Vec::new();
+        for shard in &self.shards {
+            let inner = Self::lock(shard, &self.poison_recoveries);
+            slots.extend(inner.map.iter().map(|(full, slot)| match &slot.entry {
                 Stored::Query(e) => WarmSlot::Query(full.key, Arc::clone(e)),
                 Stored::Subplan(e) => WarmSlot::Subplan(full.key, Arc::clone(e)),
-            })
-            .collect();
-        drop(inner);
+            }));
+        }
         slots.sort_by_key(|s| match s {
             WarmSlot::Query(k, _) => (0u8, k.hash, k.dim),
             WarmSlot::Subplan(k, _) => (1u8, k.hash, k.dim),
@@ -471,8 +547,9 @@ mod tests {
 
     #[test]
     fn lru_eviction_under_byte_budget() {
-        // Room for two entries (payload + key bytes), not three.
-        let cache = QueryCache::new(2 * (100 + KEY_BYTES) + 10);
+        // One lock domain so all three keys compete for the same budget
+        // slice; room for two entries (payload + key bytes), not three.
+        let cache = QueryCache::with_shards(2 * (100 + KEY_BYTES) + 10, 1);
         cache.insert(key(1), entry("x < 1", 100));
         cache.insert(key(2), entry("x < 2", 100));
         // Touch `1` so `2` is the LRU when `3` overflows the budget.
@@ -486,7 +563,7 @@ mod tests {
 
     #[test]
     fn oversized_entry_is_kept_alone() {
-        let cache = QueryCache::new(50);
+        let cache = QueryCache::with_shards(50, 1);
         cache.insert(key(1), entry("x < 1", 1000));
         assert!(cache.get(key(1)).is_some());
         cache.insert(key(2), entry("x < 2", 1000));
@@ -496,7 +573,7 @@ mod tests {
 
     #[test]
     fn reinsert_replaces_bytes() {
-        let cache = QueryCache::new(1000);
+        let cache = QueryCache::with_shards(1000, 1);
         cache.insert(key(1), entry("x < 1", 400));
         cache.insert(key(1), entry("x < 1", 200));
         let snap = cache.snapshot();
@@ -506,7 +583,7 @@ mod tests {
 
     #[test]
     fn key_bytes_are_charged_and_refunded() {
-        let cache = QueryCache::new(10 * (100 + KEY_BYTES));
+        let cache = QueryCache::with_shards(10 * (100 + KEY_BYTES), 1);
         cache.insert(key(1), entry("x < 1", 100));
         cache.insert(key(2), entry("x < 2", 100));
         assert_eq!(cache.snapshot().bytes, 2 * (100 + KEY_BYTES));
@@ -593,12 +670,74 @@ mod tests {
     }
 
     #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        assert_eq!(QueryCache::with_shards(1 << 20, 1).shard_count(), 1);
+        assert_eq!(QueryCache::with_shards(1 << 20, 3).shard_count(), 4);
+        assert_eq!(QueryCache::with_shards(1 << 20, 8).shard_count(), 8);
+        assert_eq!(QueryCache::with_shards(1 << 20, 0).shard_count(), 1);
+        assert_eq!(QueryCache::with_shards(1 << 20, 999).shard_count(), 256);
+        assert_eq!(QueryCache::new(1 << 20).shard_count(), DEFAULT_CACHE_SHARDS);
+        assert_eq!(QueryCache::new(1 << 20).snapshot().shards, 8);
+    }
+
+    #[test]
+    fn export_and_accounting_are_shard_count_independent() {
+        // The same workload at 1, 2 and 8 shards: identical export order
+        // and identical total entry/byte accounting (budget large enough
+        // that no shard slice evicts).
+        let keys: Vec<u128> = (0..32).map(|i| (i as u128) << 61 | i as u128).collect();
+        let snaps: Vec<_> = [1usize, 2, 8]
+            .iter()
+            .map(|&n| {
+                let cache = QueryCache::with_shards(1 << 24, n);
+                for &h in &keys {
+                    cache.insert(key(h), entry("x < 1", 100));
+                    cache.insert_subplan(key(h), subplan("x < 2", 50));
+                }
+                let order: Vec<_> = cache
+                    .export()
+                    .iter()
+                    .map(|s| match s {
+                        WarmSlot::Query(k, _) => (0u8, k.hash, k.dim),
+                        WarmSlot::Subplan(k, _) => (1u8, k.hash, k.dim),
+                    })
+                    .collect();
+                let snap = cache.snapshot();
+                (order, snap.entries, snap.bytes)
+            })
+            .collect();
+        assert_eq!(snaps[0], snaps[1]);
+        assert_eq!(snaps[0], snaps[2]);
+        assert_eq!(snaps[0].1, 64);
+    }
+
+    #[test]
+    fn shards_spread_keys_across_lock_domains() {
+        // With 8 shards and well-mixed hashes, more than one shard must
+        // end up populated (per-shard budgets only make sense if routing
+        // actually spreads).
+        let cache = QueryCache::with_shards(1 << 24, 8);
+        for i in 0..64u128 {
+            cache.insert(key(i.wrapping_mul(0x9e37_79b9_7f4a_7c15) << 7), {
+                entry("x < 1", 100)
+            });
+        }
+        let populated = cache
+            .shards
+            .iter()
+            .filter(|s| !s.inner.lock().unwrap().map.is_empty())
+            .count();
+        assert!(populated > 1, "only {populated} of 8 shards populated");
+        assert_eq!(cache.snapshot().entries, 64);
+    }
+
+    #[test]
     fn subplan_insert_sweep_shields_only_itself() {
         // Budget fits exactly two resident slots. With the query entry
         // stale and a same-key subplan inserted over budget, the sweep must
         // evict by recency alone — the query parent is evictable like any
         // neighbour, but the just-inserted subplan is not.
-        let cache = QueryCache::new(2 * (100 + KEY_BYTES));
+        let cache = QueryCache::with_shards(2 * (100 + KEY_BYTES), 1);
         cache.insert(key(7), entry("x < 1", 100));
         cache.insert_subplan(key(8), subplan("x < 2", 100));
         cache.insert_subplan(key(7), subplan("x < 3", 100));

@@ -1,7 +1,7 @@
 //! The engine core: session state and command execution.
 
-use crate::cache::{formula_bytes, CacheEntry, CacheKey, QueryCache};
-use crate::protocol::{Command, Response};
+use crate::cache::{formula_bytes, CacheEntry, CacheKey, QueryCache, DEFAULT_CACHE_SHARDS};
+use crate::protocol::{parse_exec_args, Command, Response};
 use crate::stats::EngineStats;
 use crate::storage::{Storage, StorageError};
 use cqa_agg::AggError;
@@ -30,10 +30,19 @@ pub const MC_SEED: u64 = 0xC0A_5E55;
 /// Engine configuration (server-wide).
 #[derive(Clone, Debug)]
 pub struct EngineConfig {
-    /// Worker threads = maximum concurrent connections.
+    /// Worker threads executing commands. With the reactor front end this
+    /// no longer bounds concurrent connections — idle sessions cost no
+    /// worker — only how many commands execute at once.
     pub workers: usize,
+    /// Maximum concurrently open sessions; the accept path answers
+    /// `ERR busy` beyond this.
+    pub max_sessions: usize,
     /// Prepared-query cache byte budget.
     pub cache_bytes: usize,
+    /// Number of independent cache lock domains (rounded to a power of
+    /// two). Answers and the warm-start file are shard-count-independent;
+    /// only contention changes.
+    pub cache_shards: usize,
     /// Per-request wall-clock budget (`None` = no deadline).
     pub timeout: Option<Duration>,
     /// Per-request cooperative step cap (`None` = unlimited).
@@ -45,6 +54,13 @@ pub struct EngineConfig {
     /// Socket read timeout: an idle/stalled client is disconnected after
     /// this long so it cannot hold a pool slot forever.
     pub idle_timeout: Duration,
+    /// Socket write timeout: a client that stops draining its responses
+    /// is disconnected after this long (counted in `write_errors`)
+    /// instead of hanging a worker inside a blocking write.
+    pub write_timeout: Duration,
+    /// Maximum bytes accepted for one dot-terminated request body
+    /// (`LOAD`/`BATCH`); larger bodies answer `ERR proto body too large`.
+    pub max_body_bytes: usize,
     /// Program source `LOAD`ed into every fresh session (`cqa-serve
     /// --preload`). Must be analyzer-clean — the server validates it at
     /// startup before accepting connections.
@@ -78,12 +94,16 @@ impl Default for EngineConfig {
     fn default() -> EngineConfig {
         EngineConfig {
             workers: 4,
+            max_sessions: 1024,
             cache_bytes: 8 << 20,
+            cache_shards: DEFAULT_CACHE_SHARDS,
             timeout: Some(Duration::from_millis(2_000)),
             max_steps: None,
             default_eps: 0.05,
             default_delta: 0.05,
             idle_timeout: Duration::from_secs(60),
+            write_timeout: Duration::from_secs(10),
+            max_body_bytes: 1 << 20,
             preload: None,
             absint: true,
             plan: true,
@@ -96,11 +116,17 @@ impl Default for EngineConfig {
 /// A named prepared query. The formula is re-parsed against the session's
 /// current variable interning at `EXEC` time (parsing is micro-cheap; the
 /// expensive artifacts — QE output and compiled kernel — live in the
-/// shared cache under the canonical key).
+/// shared cache under the canonical key). After the first `EXEC`, the
+/// canonical cache key itself is memoized alongside the source — warm
+/// repeats skip parse/expand/simplify entirely and go straight to the
+/// shared cache — guarded by the session's database generation so any
+/// `LOAD` (which can redefine relations the query expands) invalidates it.
 #[derive(Clone, Debug)]
 pub struct Prepared {
     src: String,
     params: Vec<String>,
+    /// `(db_gen, key)` from the last full `EXEC` of this query.
+    memo: Option<(u64, CacheKey)>,
 }
 
 /// Per-connection state: the session database built from `LOAD`ed
@@ -124,6 +150,10 @@ pub struct Session {
     arena: Arena,
     /// `FormulaId`-keyed memo table for [`cqa_qe::simplify_id`].
     simp: SimplifyMemo,
+    /// Bumped on every successful `LOAD` (the only operation that swaps
+    /// `db`); prepared-query memos are valid only for the generation they
+    /// were computed under.
+    db_gen: u64,
     /// `FormulaId`-keyed memo table for the interval abstract
     /// interpretation (verdicts and bounds certificates per node).
     absint: cqa_analyze::AbsintMemo,
@@ -201,7 +231,7 @@ impl Engine {
     /// A fresh engine with the given configuration.
     pub fn new(cfg: EngineConfig) -> Engine {
         Engine {
-            cache: QueryCache::new(cfg.cache_bytes),
+            cache: QueryCache::with_shards(cfg.cache_bytes, cfg.cache_shards),
             stats: EngineStats::default(),
             cfg,
             storage: None,
@@ -266,6 +296,10 @@ impl Engine {
             Command::Load { program: Some(src) } => self.load(session, &src),
             Command::Prepare { name, query } => self.prepare(session, &name, &query),
             Command::Exec { name, eps, delta } => self.exec(session, &name, eps, delta),
+            Command::Batch { specs: None } => {
+                Response::err("proto", "BATCH body missing (connection layer bug)")
+            }
+            Command::Batch { specs: Some(text) } => self.batch(session, &text),
             Command::Volume { query } => self.volume(session, &query),
             Command::Sum { name } => self.sum(session, &name),
             Command::Persist { name } => self.persist(session, &name),
@@ -368,6 +402,7 @@ impl Engine {
             }
         }
         session.db = db;
+        session.db_gen += 1;
         session.loaded_src = candidate;
         Response::ok(format!(
             "LOAD statements={} rels={rels} queries={queries} sums={sums} warnings={}",
@@ -445,6 +480,7 @@ impl Engine {
             Prepared {
                 src: query.to_string(),
                 params: params.clone(),
+                memo: None,
             },
         );
         Response::ok(format!(
@@ -516,9 +552,35 @@ impl Engine {
         eps: Option<f64>,
         delta: Option<f64>,
     ) -> Response {
-        let Some(prep) = session.prepared.get(name).cloned() else {
+        let Some(prep) = session.prepared.get(name) else {
             return Response::err("exec", format!("no prepared query `{name}` (use PREPARE)"));
         };
+        let eps = eps.unwrap_or(self.cfg.default_eps);
+        let delta = delta.unwrap_or(self.cfg.default_delta);
+        // Warm fast path: the canonical key of this prepared query is
+        // memoized and no LOAD has rebuilt the database since, so parse,
+        // relation expansion, and simplification would reproduce the same
+        // key — go straight to the shared cache. An eviction (or an
+        // out-of-range ε/δ, which must error through the normal path)
+        // falls through to the full pipeline below, which re-memoizes.
+        if let Some((db_gen, key)) = prep.memo {
+            if db_gen == session.db_gen && eps > 0.0 && eps < 1.0 && delta > 0.0 && delta < 1.0 {
+                if let Some(entry) = self.cache.get(key) {
+                    let budget = self.request_budget();
+                    return self.eval_entry(
+                        &entry,
+                        key.dim as usize,
+                        eps,
+                        delta,
+                        &budget,
+                        "EXEC",
+                        name,
+                        "hit",
+                    );
+                }
+            }
+        }
+        let prep = prep.clone();
         let f = match parse_formula_with(&prep.src, session.db.vars_mut()) {
             Ok(f) => f,
             Err(e) => return Response::err("parse", e.to_string()),
@@ -528,9 +590,48 @@ impl Engine {
             .iter()
             .map(|p| session.db.vars_mut().intern(p))
             .collect();
-        let eps = eps.unwrap_or(self.cfg.default_eps);
-        let delta = delta.unwrap_or(self.cfg.default_delta);
-        self.answer(session, &f, &vars, eps, delta, "EXEC", name)
+        let mut memo_key = None;
+        let resp = self.answer(
+            session,
+            &f,
+            &vars,
+            eps,
+            delta,
+            "EXEC",
+            name,
+            Some(&mut memo_key),
+        );
+        if let Some(key) = memo_key {
+            let db_gen = session.db_gen;
+            if let Some(p) = session.prepared.get_mut(name) {
+                p.memo = Some((db_gen, key));
+            }
+        }
+        resp
+    }
+
+    /// `BATCH`: run every `name [eps [delta]]` spec line through the
+    /// `EXEC` path in order, one payload line per spec (the inner EXEC's
+    /// header). One round trip amortizes over the whole body; a failing
+    /// spec contributes its `ERR` header and counts in `errors=` without
+    /// aborting the rest — the line-per-spec pairing must stay positional.
+    pub fn batch(&self, session: &mut Session, specs: &str) -> Response {
+        let mut body = Vec::new();
+        let mut errors = 0usize;
+        for line in specs.lines().filter(|l| !l.trim().is_empty()) {
+            let inner = match parse_exec_args("BATCH", line.trim()) {
+                Ok((name, eps, delta)) => self.exec(session, &name, eps, delta),
+                Err(e) => Response::err("proto", e),
+            };
+            if !inner.is_ok() {
+                errors += 1;
+            }
+            self.stats.batch_execs.fetch_add(1, Ordering::Relaxed);
+            body.push(inner.header);
+        }
+        let mut resp = Response::ok(format!("BATCH n={} errors={errors}", body.len()));
+        resp.body = body;
+        resp
     }
 
     /// `VOLUME`: one-shot `VOL_I` of an ad-hoc formula (still cached — two
@@ -543,7 +644,7 @@ impl Engine {
         let mut vars: Vec<Var> = f.free_vars().into_iter().collect();
         vars.sort_by_key(|v| session.db.vars().name(*v));
         let (eps, delta) = (self.cfg.default_eps, self.cfg.default_delta);
-        self.answer(session, &f, &vars, eps, delta, "VOLUME", "-")
+        self.answer(session, &f, &vars, eps, delta, "VOLUME", "-", None)
     }
 
     /// `SUM`: evaluate a loaded Σ-term under the request budget.
@@ -574,6 +675,7 @@ impl Engine {
         delta: f64,
         verb: &str,
         name: &str,
+        memo_key: Option<&mut Option<CacheKey>>,
     ) -> Response {
         if !(eps > 0.0 && eps < 1.0 && delta > 0.0 && delta < 1.0) {
             return Response::err(
@@ -599,6 +701,9 @@ impl Engine {
             hash: session.arena.canonical_hash_for_params(sid, vars),
             dim: vars.len() as u32,
         };
+        if let Some(slot) = memo_key {
+            *slot = Some(key);
+        }
         let (entry, cache_tag) = match self.cache.get(key) {
             Some(e) => (Some(e), "hit"),
             None => {
@@ -760,35 +865,70 @@ impl Engine {
                 }
             }
         };
-        let answer = match &entry {
-            Some(entry) => {
-                if entry.class == ConstraintClass::Polynomial {
-                    // Semi-algebraic output: the exact triangulating
-                    // integrator does not apply; degrade to MC over the
-                    // cached kernel.
-                    self.mc_over_kernel(entry, vars.len(), eps, delta, "nonlinear")
-                } else {
-                    match cqa_geom::volume_in_unit_box_with_budget(
-                        &entry.qf,
-                        &entry.qf_vars,
-                        &budget,
-                    ) {
-                        Ok(v) => Ok(Answer::Exact(v)),
-                        Err(VolumeError::Budget(_)) => {
-                            self.mc_over_kernel(entry, vars.len(), eps, delta, "budget")
-                        }
-                        Err(e) => return Response::err("volume", e.to_string()),
-                    }
-                }
-            }
+        match &entry {
+            Some(entry) => self.eval_entry(
+                entry,
+                vars.len(),
+                eps,
+                delta,
+                &budget,
+                verb,
+                name,
+                cache_tag,
+            ),
             // QE itself blew the budget: no quantifier-free form exists to
             // integrate or sample, so decide membership point by point
             // (each ground instance is vastly cheaper than parametric QE).
             None => {
                 let simplified = session.arena.extern_formula(sid);
-                self.mc_pointwise(&simplified, vars, eps, delta, &budget)
+                let answer = self.mc_pointwise(&simplified, vars, eps, delta, &budget);
+                self.render_answer(answer, verb, name, cache_tag, &budget)
+            }
+        }
+    }
+
+    /// Evaluates a cached entry — exact triangulating integration when the
+    /// quantifier-free form is linear, seeded Monte Carlo over the
+    /// compiled kernel otherwise — and renders the response. Shared by the
+    /// full [`Self::answer`] pipeline and the memoized-key `EXEC` fast
+    /// path; both must produce bit-identical output for the same entry.
+    #[allow(clippy::too_many_arguments)]
+    fn eval_entry(
+        &self,
+        entry: &Arc<CacheEntry>,
+        dim: usize,
+        eps: f64,
+        delta: f64,
+        budget: &EvalBudget,
+        verb: &str,
+        name: &str,
+        cache_tag: &str,
+    ) -> Response {
+        let answer = if entry.class == ConstraintClass::Polynomial {
+            // Semi-algebraic output: the exact triangulating integrator
+            // does not apply; degrade to MC over the cached kernel.
+            self.mc_over_kernel(entry, dim, eps, delta, "nonlinear")
+        } else {
+            match cqa_geom::volume_in_unit_box_with_budget(&entry.qf, &entry.qf_vars, budget) {
+                Ok(v) => Ok(Answer::Exact(v)),
+                Err(VolumeError::Budget(_)) => {
+                    self.mc_over_kernel(entry, dim, eps, delta, "budget")
+                }
+                Err(e) => return Response::err("volume", e.to_string()),
             }
         };
+        self.render_answer(answer, verb, name, cache_tag, budget)
+    }
+
+    /// Formats an exact/approximate answer into the wire response header.
+    fn render_answer(
+        &self,
+        answer: Result<Answer, Response>,
+        verb: &str,
+        name: &str,
+        cache_tag: &str,
+        budget: &EvalBudget,
+    ) -> Response {
         match answer {
             Ok(Answer::Exact(v)) => Response::ok(format!(
                 "{verb} {name} status=exact value={v} cache={cache_tag} steps={}",
@@ -980,17 +1120,20 @@ impl Engine {
             self.started.elapsed().as_micros()
         ));
         resp.body.push(format!(
-            "sessions={} commands={} in_flight={}",
+            "sessions={} commands={} in_flight={} open_conns={} batch_execs={}",
             EngineStats::get(&s.sessions),
             EngineStats::get(&s.commands),
             EngineStats::get(&s.in_flight),
+            EngineStats::get(&s.open_conns),
+            EngineStats::get(&s.batch_execs),
         ));
         resp.body.push(format!(
-            "cache entries={} bytes={} budget_bytes={} hits={} misses={} hit_rate={:.3} \
-             evictions={} poison_recoveries={}",
+            "cache entries={} bytes={} budget_bytes={} shards={} hits={} misses={} \
+             hit_rate={:.3} evictions={} poison_recoveries={}",
             cache.entries,
             cache.bytes,
             cache.byte_budget,
+            cache.shards,
             cache.hits,
             cache.misses,
             cache.hit_rate(),
@@ -1069,6 +1212,7 @@ impl Engine {
             crate::protocol::CommandKind::Load,
             crate::protocol::CommandKind::Prepare,
             crate::protocol::CommandKind::Exec,
+            crate::protocol::CommandKind::Batch,
             crate::protocol::CommandKind::Volume,
             crate::protocol::CommandKind::Sum,
             crate::protocol::CommandKind::Persist,
@@ -1376,6 +1520,42 @@ sum EndpointSum(w) := true | END[y. S(y)] ; xout . xout = w
         assert_eq!(EngineStats::get(&off.stats.plan_fm), 0);
         assert_eq!(EngineStats::get(&off.stats.plan_lw), 0);
         assert_eq!(EngineStats::get(&off.stats.plan_ch), 0);
+    }
+
+    #[test]
+    fn batch_runs_specs_in_order_and_counts_errors() {
+        let e = engine();
+        let mut s = e.open_session();
+        assert!(e.prepare(&mut s, "half", "0 <= x & x <= 1/2").is_ok());
+        assert!(e.prepare(&mut s, "quarter", "0 <= x & x <= 1/4").is_ok());
+        let r = e.dispatch(
+            &mut s,
+            Command::Batch {
+                specs: Some("half\nquarter 0.1 0.1\nmissing\n1bad\n".into()),
+            },
+        );
+        assert_eq!(r.header, "OK BATCH n=4 errors=2", "{r:?}");
+        assert_eq!(r.body.len(), 4);
+        assert!(
+            r.body[0].contains("EXEC half status=exact value=1/2"),
+            "{r:?}"
+        );
+        assert!(
+            r.body[1].contains("EXEC quarter status=exact value=1/4"),
+            "{r:?}"
+        );
+        assert!(r.body[2].starts_with("ERR exec"), "{r:?}");
+        assert!(r.body[3].starts_with("ERR proto"), "{r:?}");
+        assert_eq!(EngineStats::get(&e.stats.batch_execs), 4);
+        // A batched EXEC is bit-identical to the serial command.
+        let serial = e.exec(&mut s, "half", None, None);
+        let strip = |h: &str| {
+            h.split_whitespace()
+                .filter(|t| !t.starts_with("steps=") && !t.starts_with("cache="))
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        assert_eq!(strip(&serial.header), strip(&r.body[0]));
     }
 
     #[test]

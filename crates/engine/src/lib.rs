@@ -27,11 +27,16 @@
 //!   replay-on-boot recovery, and a warm-start file that persists the
 //!   prepared-query/subplan cache across restarts (sessions opt in with
 //!   `PERSIST <db>`).
-//! * [`serve`] — a `std::net::TcpListener` accept loop feeding a
-//!   fixed-size worker-thread pool; connections beyond the pool size are
-//!   rejected immediately (`ERR busy`), and every request runs under a
-//!   per-request [`cqa_logic::budget::EvalBudget`] so a slow query cannot
-//!   wedge a worker forever.
+//! * [`serve`] — the event-driven front end (`net`): a reactor thread
+//!   parks every open connection on non-blocking sockets and assembles
+//!   complete request frames, a fixed worker pool executes them, so N
+//!   idle sessions cost zero worker threads; admission is a max-sessions
+//!   limit (`ERR busy` beyond it), the protocol pipelines (responses
+//!   tagged and written in request order, `BATCH` amortizing one round
+//!   trip over many `EXEC`s), and every request runs under a per-request
+//!   [`cqa_logic::budget::EvalBudget`] so a slow query cannot wedge a
+//!   worker forever. The pre-refactor thread-per-connection loop survives
+//!   as [`serve_threaded`] — the parity oracle and benchmark baseline.
 //!
 //! Answers are tagged `status=exact` or `status=approx eps=… delta=…`:
 //! when the exact path is infeasible (budget trip, or a semi-algebraic
@@ -44,14 +49,14 @@
 
 mod cache;
 mod engine;
+mod net;
 mod protocol;
-mod server;
 mod stats;
 pub mod storage;
 
-pub use cache::{CacheEntry, CacheKey, CacheSnapshot, QueryCache, WarmSlot};
+pub use cache::{CacheEntry, CacheKey, CacheSnapshot, QueryCache, WarmSlot, DEFAULT_CACHE_SHARDS};
 pub use engine::{Engine, EngineConfig, Session, MC_SEED};
-pub use protocol::{parse_command, read_response, Command, CommandKind, Response};
-pub use server::{serve, spawn_server, ServerHandle};
+pub use net::{serve, serve_threaded, spawn_server, spawn_server_threaded, ServerHandle};
+pub use protocol::{parse_command, read_response, split_tag, Command, CommandKind, Response};
 pub use stats::{EngineStats, Histogram, LATENCY_BUCKETS_US};
 pub use storage::{Storage, StorageError, StorageStats};

@@ -3,17 +3,18 @@
 //! ### Grammar
 //!
 //! ```text
-//! request   := command-line NL [body]
+//! request   := ["@" tag SP] command-line NL [body]
 //! command   := "LOAD" [SP inline-stmt]          ; no inline ⇒ body follows
 //!            | "PREPARE" SP name SP formula
 //!            | "EXEC" SP name [SP eps [SP delta]]
+//!            | "BATCH"                          ; body of EXEC specs follows
 //!            | "VOLUME" SP formula
 //!            | "SUM" SP name
 //!            | "PERSIST" SP name                ; attach to a durable database
 //!            | "STATS" | "CLOSE" | "SHUTDOWN"
 //! body      := { line NL } "." NL               ; dot-stuffed like SMTP
 //!
-//! response  := header NL { payload NL } "." NL
+//! response  := ["@" tag SP] header NL { payload NL } "." NL
 //! header    := "OK" [SP info] | "ERR" SP code [SP info]
 //! ```
 //!
@@ -21,6 +22,19 @@
 //! doubling the dot; a lone `.` terminates the block. Responses always end
 //! with the `.` terminator so clients can stream without knowing payload
 //! sizes in advance.
+//!
+//! ### Pipelining
+//!
+//! A client may send many requests without waiting for responses; the
+//! server executes each connection's commands strictly in order and writes
+//! the responses in the same order. An optional `@tag` prefix (any
+//! whitespace-free token) is echoed back verbatim on the response header,
+//! so a pipelining client can pair responses positionally *and* by tag.
+//! `BATCH` amortizes one round trip over many prepared executions: its
+//! dot-terminated body holds one `name [eps [delta]]` spec per line, and
+//! the single response carries one payload line per spec (each inner
+//! EXEC's header), with the `OK BATCH n=<specs> errors=<failures>` header
+//! summarizing the run.
 
 use std::io::{self, BufRead, Write};
 
@@ -33,6 +47,8 @@ pub enum CommandKind {
     Prepare,
     /// `EXEC` — run a prepared query (cached QE).
     Exec,
+    /// `BATCH` — run many prepared queries from one dot-terminated body.
+    Batch,
     /// `VOLUME` — one-shot volume of an ad-hoc formula.
     Volume,
     /// `SUM` — evaluate a loaded Σ-term.
@@ -49,7 +65,7 @@ pub enum CommandKind {
 }
 
 /// Number of command kinds (histogram array size).
-pub const N_COMMAND_KINDS: usize = 9;
+pub const N_COMMAND_KINDS: usize = 10;
 
 impl CommandKind {
     /// Stable index into the latency histogram array.
@@ -64,6 +80,7 @@ impl CommandKind {
             CommandKind::Stats => 6,
             CommandKind::Close => 7,
             CommandKind::Shutdown => 8,
+            CommandKind::Batch => 9,
         }
     }
 
@@ -79,6 +96,7 @@ impl CommandKind {
             CommandKind::Stats => "STATS",
             CommandKind::Close => "CLOSE",
             CommandKind::Shutdown => "SHUTDOWN",
+            CommandKind::Batch => "BATCH",
         }
     }
 }
@@ -108,6 +126,11 @@ pub enum Command {
         eps: Option<f64>,
         /// Override for the degraded-path δ.
         delta: Option<f64>,
+    },
+    /// `BATCH` — body of `name [eps [delta]]` spec lines.
+    Batch {
+        /// The spec text; `None` until the body has been read.
+        specs: Option<String>,
     },
     /// `VOLUME formula`.
     Volume {
@@ -139,6 +162,7 @@ impl Command {
             Command::Load { .. } => CommandKind::Load,
             Command::Prepare { .. } => CommandKind::Prepare,
             Command::Exec { .. } => CommandKind::Exec,
+            Command::Batch { .. } => CommandKind::Batch,
             Command::Volume { .. } => CommandKind::Volume,
             Command::Sum { .. } => CommandKind::Sum,
             Command::Persist { .. } => CommandKind::Persist,
@@ -161,8 +185,56 @@ fn ident_ok(s: &str) -> bool {
         })
 }
 
-/// Parses one request line. Errors are human-readable and become
-/// `ERR proto …` responses.
+/// Splits an optional `@tag` prefix off a request line. The tag is any
+/// non-empty whitespace-free token after `@`; it is echoed back verbatim
+/// on the response header so pipelining clients can pair responses by tag
+/// as well as by position.
+pub fn split_tag(line: &str) -> Result<(Option<&str>, &str), String> {
+    let line = line.trim_start();
+    let Some(tagged) = line.strip_prefix('@') else {
+        return Ok((None, line));
+    };
+    let (tag, rest) = match tagged.find(char::is_whitespace) {
+        Some(i) => (&tagged[..i], tagged[i..].trim_start()),
+        None => (tagged, ""),
+    };
+    if tag.is_empty() {
+        return Err("request tag after `@` must be non-empty".into());
+    }
+    Ok((Some(tag), rest))
+}
+
+/// Parses one `name [eps [delta]]` execution spec — the argument form
+/// shared by the `EXEC` command line and each `BATCH` body line. `verb`
+/// labels error messages.
+pub(crate) fn parse_exec_args(
+    verb: &str,
+    rest: &str,
+) -> Result<(String, Option<f64>, Option<f64>), String> {
+    let mut parts = rest.split_whitespace();
+    let name = parts.next().unwrap_or("");
+    if !ident_ok(name) {
+        return Err(format!("{verb} needs an identifier name, got `{name}`"));
+    }
+    let parse_f64 = |tok: Option<&str>, what: &str| -> Result<Option<f64>, String> {
+        match tok {
+            None => Ok(None),
+            Some(t) => t
+                .parse::<f64>()
+                .map(Some)
+                .map_err(|_| format!("{verb} {what} must be numeric, got `{t}`")),
+        }
+    };
+    let eps = parse_f64(parts.next(), "eps")?;
+    let delta = parse_f64(parts.next(), "delta")?;
+    if parts.next().is_some() {
+        return Err(format!("{verb} takes at most `name eps delta`"));
+    }
+    Ok((name.to_string(), eps, delta))
+}
+
+/// Parses one request line (tag already split off). Errors are
+/// human-readable and become `ERR proto …` responses.
 pub fn parse_command(line: &str) -> Result<Command, String> {
     let line = line.trim();
     let (verb, rest) = match line.find(char::is_whitespace) {
@@ -194,30 +266,14 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
             })
         }
         "EXEC" => {
-            let mut parts = rest.split_whitespace();
-            let name = parts.next().unwrap_or("");
-            if !ident_ok(name) {
-                return Err(format!("EXEC needs an identifier name, got `{name}`"));
+            let (name, eps, delta) = parse_exec_args("EXEC", rest)?;
+            Ok(Command::Exec { name, eps, delta })
+        }
+        "BATCH" => {
+            if !rest.is_empty() {
+                return Err("BATCH takes no arguments; specs follow as a `.`-terminated body".into());
             }
-            let parse_f64 = |tok: Option<&str>, what: &str| -> Result<Option<f64>, String> {
-                match tok {
-                    None => Ok(None),
-                    Some(t) => t
-                        .parse::<f64>()
-                        .map(Some)
-                        .map_err(|_| format!("EXEC {what} must be numeric, got `{t}`")),
-                }
-            };
-            let eps = parse_f64(parts.next(), "eps")?;
-            let delta = parse_f64(parts.next(), "delta")?;
-            if parts.next().is_some() {
-                return Err("EXEC takes at most `name eps delta`".into());
-            }
-            Ok(Command::Exec {
-                name: name.to_string(),
-                eps,
-                delta,
-            })
+            Ok(Command::Batch { specs: None })
         }
         "VOLUME" => {
             if rest.is_empty() {
@@ -247,7 +303,7 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
         "CLOSE" => Ok(Command::Close),
         "SHUTDOWN" => Ok(Command::Shutdown),
         other => Err(format!(
-            "unknown command `{other}` (expected LOAD, PREPARE, EXEC, VOLUME, SUM, PERSIST, STATS, CLOSE or SHUTDOWN)"
+            "unknown command `{other}` (expected LOAD, PREPARE, EXEC, BATCH, VOLUME, SUM, PERSIST, STATS, CLOSE or SHUTDOWN)"
         )),
     }
 }
@@ -342,17 +398,53 @@ pub fn read_response(r: &mut impl BufRead) -> io::Result<Option<Response>> {
     Ok(Some(Response { header, body }))
 }
 
-/// Reads a dot-terminated request body (server side, after a bare `LOAD`),
-/// un-stuffing leading dots.
-pub(crate) fn read_body(r: &mut impl BufRead) -> io::Result<String> {
+/// Why a request body could not be read.
+#[derive(Debug)]
+pub enum BodyError {
+    /// The body exceeded the configured byte limit. The reader drained the
+    /// rest of the body up to the `.` terminator, so the connection stays
+    /// framed and can serve the next pipelined request.
+    TooLarge {
+        /// The configured limit that was exceeded.
+        limit: usize,
+    },
+    /// The underlying stream failed (EOF mid-body, timeout, reset).
+    Io(io::Error),
+}
+
+impl From<io::Error> for BodyError {
+    fn from(e: io::Error) -> BodyError {
+        BodyError::Io(e)
+    }
+}
+
+impl std::fmt::Display for BodyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BodyError::TooLarge { limit } => {
+                write!(f, "body too large (limit={limit} bytes)")
+            }
+            BodyError::Io(e) => write!(f, "body read failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BodyError {}
+
+/// Reads a dot-terminated request body (server side, after a bare `LOAD`
+/// or a `BATCH`), un-stuffing leading dots. Bodies larger than `limit`
+/// bytes return [`BodyError::TooLarge`] — after draining to the dot — so
+/// one client cannot buffer the server out of memory.
+pub(crate) fn read_body(r: &mut impl BufRead, limit: usize) -> Result<String, BodyError> {
     let mut out = String::new();
+    let mut over = false;
     loop {
         let mut line = String::new();
         if r.read_line(&mut line)? == 0 {
-            return Err(io::Error::new(
+            return Err(BodyError::Io(io::Error::new(
                 io::ErrorKind::UnexpectedEof,
                 "connection closed mid-body",
-            ));
+            )));
         }
         let line = line.trim_end_matches(['\n', '\r']);
         if line == "." {
@@ -363,10 +455,20 @@ pub(crate) fn read_body(r: &mut impl BufRead) -> io::Result<String> {
         } else {
             line
         };
-        out.push_str(line);
-        out.push('\n');
+        if !over && out.len() + line.len() + 1 > limit {
+            over = true;
+            out.clear();
+        }
+        if !over {
+            out.push_str(line);
+            out.push('\n');
+        }
     }
-    Ok(out)
+    if over {
+        Err(BodyError::TooLarge { limit })
+    } else {
+        Ok(out)
+    }
 }
 
 #[cfg(test)]
@@ -411,6 +513,10 @@ mod tests {
         assert_eq!(parse_command("STATS").unwrap(), Command::Stats);
         assert_eq!(parse_command("CLOSE").unwrap(), Command::Close);
         assert_eq!(parse_command("SHUTDOWN").unwrap(), Command::Shutdown);
+        assert_eq!(
+            parse_command("BATCH").unwrap(),
+            Command::Batch { specs: None }
+        );
     }
 
     #[test]
@@ -423,6 +529,38 @@ mod tests {
         assert!(parse_command("SUM").is_err());
         assert!(parse_command("PERSIST").is_err());
         assert!(parse_command("PERSIST 1bad").is_err());
+        assert!(parse_command("BATCH q").is_err(), "specs go in the body");
+    }
+
+    #[test]
+    fn splits_request_tags() {
+        assert_eq!(split_tag("EXEC q").unwrap(), (None, "EXEC q"));
+        assert_eq!(split_tag("@7 EXEC q").unwrap(), (Some("7"), "EXEC q"));
+        assert_eq!(split_tag("@a-b STATS").unwrap(), (Some("a-b"), "STATS"));
+        assert_eq!(split_tag("@t").unwrap(), (Some("t"), ""));
+        assert!(split_tag("@ EXEC q").is_err(), "empty tag rejected");
+    }
+
+    #[test]
+    fn kind_indices_are_a_bijection() {
+        let kinds = [
+            CommandKind::Load,
+            CommandKind::Prepare,
+            CommandKind::Exec,
+            CommandKind::Volume,
+            CommandKind::Sum,
+            CommandKind::Persist,
+            CommandKind::Stats,
+            CommandKind::Close,
+            CommandKind::Shutdown,
+            CommandKind::Batch,
+        ];
+        let mut seen = [false; N_COMMAND_KINDS];
+        for k in kinds {
+            assert!(!seen[k.index()], "duplicate index for {}", k.name());
+            seen[k.index()] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
     }
 
     #[test]
@@ -441,8 +579,35 @@ mod tests {
     fn body_roundtrip() {
         let wire = b"rel S(y) := y > 0\n..dotline\n.\n";
         let mut r = BufReader::new(&wire[..]);
-        let body = read_body(&mut r).unwrap();
+        let body = read_body(&mut r, 1 << 20).unwrap();
         assert_eq!(body, "rel S(y) := y > 0\n.dotline\n");
+    }
+
+    #[test]
+    fn body_limit_boundary() {
+        // "abc\n" is exactly 4 bytes: a limit of 4 accepts it, 3 rejects.
+        let mut r = BufReader::new(&b"abc\n.\n"[..]);
+        assert_eq!(read_body(&mut r, 4).unwrap(), "abc\n");
+        let mut r = BufReader::new(&b"abc\n.\n"[..]);
+        match read_body(&mut r, 3) {
+            Err(BodyError::TooLarge { limit: 3 }) => {}
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_body_drains_to_the_dot() {
+        // After a TooLarge error the reader must have consumed the whole
+        // body including the terminator, leaving the next request intact.
+        let wire = b"0123456789\nmore\n.\nSTATS\n";
+        let mut r = BufReader::new(&wire[..]);
+        assert!(matches!(
+            read_body(&mut r, 5),
+            Err(BodyError::TooLarge { .. })
+        ));
+        let mut next = String::new();
+        r.read_line(&mut next).unwrap();
+        assert_eq!(next, "STATS\n");
     }
 
     #[test]

@@ -82,8 +82,13 @@ pub struct EngineStats {
     pub over_budget: AtomicU64,
     /// `LOAD`/`PREPARE` requests rejected by the static-analysis gate.
     pub lint_rejected: AtomicU64,
-    /// Connections rejected because the worker pool was saturated.
+    /// Connections rejected because the session limit was reached.
     pub rejected_conns: AtomicU64,
+    /// Connections currently open (reactor-registered, not yet closed).
+    pub open_conns: AtomicU64,
+    /// Inner executions run through `BATCH` bodies (each spec line counts
+    /// once, successes and failures alike).
+    pub batch_execs: AtomicU64,
     /// Response writes that failed because the client vanished mid-reply
     /// (broken pipe / reset). Each one is a session closed cleanly where
     /// an unwrap would have panicked the worker.

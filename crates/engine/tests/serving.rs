@@ -1,0 +1,361 @@
+//! End-to-end tests for the event-driven serving layer: pipelining
+//! order/parity, shard-count bit-identity, idle-session scalability, the
+//! non-blocking busy path, body caps over the wire, and warm-file
+//! shard-independence.
+
+use cqa_engine::{parse_command, read_response, Engine, EngineConfig, Response};
+use proptest::prelude::*;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+/// Query pool shared by the pipelining and sharding tests: exact answers
+/// and (ε, δ)-degraded Monte Carlo ones (the MC path is seeded, so even
+/// degraded answers are bit-identical across runs).
+const QUERIES: &[(&str, &str)] = &[
+    ("half", "0 <= x & x <= 1/2"),
+    ("quarter", "0 <= x & x <= 1/4"),
+    ("wedge", "exists y. (0 <= x & x <= y & y <= 1/3)"),
+    ("band", "0 <= x & 0 <= y & x + y <= 1"),
+    ("disk", "x*x + y*y <= 1"),
+    ("bump", "y <= x*x & 0 <= y & 0 <= x & x <= 1"),
+];
+
+/// Answer tokens with the timing-dependent parts (step counter, cache
+/// hit/miss tag) stripped, for bit-identity comparison.
+fn strip(header: &str) -> String {
+    header
+        .split_whitespace()
+        .filter(|t| !t.starts_with("steps=") && !t.starts_with("cache="))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+struct Client {
+    r: BufReader<TcpStream>,
+    w: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects and consumes the greeting, which must be `OK`.
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut c = Client {
+            r: BufReader::new(stream.try_clone().unwrap()),
+            w: BufWriter::new(stream),
+        };
+        let greeting = c.read();
+        assert!(greeting.is_ok(), "{greeting:?}");
+        c
+    }
+
+    fn read(&mut self) -> Response {
+        read_response(&mut self.r).unwrap().expect("response")
+    }
+
+    fn send(&mut self, line: &str) -> Response {
+        writeln!(self.w, "{line}").unwrap();
+        self.w.flush().unwrap();
+        self.read()
+    }
+
+    fn shutdown(mut self) {
+        let resp = self.send("SHUTDOWN");
+        assert!(resp.is_ok(), "{resp:?}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Pipelining soundness: a client fires a random command sequence
+    /// without waiting for responses. Responses must come back exactly one
+    /// per request, in request order (checked by `@k` tags), and each
+    /// answer must be bit-identical to dispatching the same sequence
+    /// serially on a fresh single-threaded engine.
+    #[test]
+    fn pipelined_responses_arrive_in_order_and_match_serial_dispatch(
+        picks in proptest::collection::vec(0usize..QUERIES.len(), 1..12),
+    ) {
+        // The wire request lines, in order.
+        let mut lines = Vec::new();
+        for &i in &picks {
+            let (name, src) = QUERIES[i];
+            lines.push(format!("PREPARE {name} {src}"));
+            lines.push(format!("EXEC {name}"));
+        }
+        // Serial oracle: a fresh engine, same lines, one at a time.
+        let oracle = Engine::new(EngineConfig::default());
+        let mut session = oracle.open_session();
+        let expected: Vec<String> = lines
+            .iter()
+            .map(|l| {
+                let cmd = parse_command(l).expect(l);
+                strip(&oracle.dispatch(&mut session, cmd).header)
+            })
+            .collect();
+
+        // Pipelined run: every request tagged and written before any
+        // response is read.
+        let engine = Arc::new(Engine::new(EngineConfig {
+            workers: 3,
+            ..EngineConfig::default()
+        }));
+        let handle = cqa_engine::spawn_server(engine).unwrap();
+        let mut c = Client::connect(handle.addr());
+        for (k, line) in lines.iter().enumerate() {
+            writeln!(c.w, "@{k} {line}").unwrap();
+        }
+        c.w.flush().unwrap();
+        for (k, want) in expected.iter().enumerate() {
+            let resp = c.read();
+            let tag = format!("@{k} ");
+            prop_assert!(
+                resp.header.starts_with(&tag),
+                "response {k} out of order: {resp:?}"
+            );
+            let got = strip(&resp.header[tag.len()..]);
+            prop_assert_eq!(&got, want, "answer {} diverged from serial dispatch", k);
+        }
+        c.shutdown();
+        handle.join().unwrap();
+    }
+}
+
+/// Cache sharding must change contention, never answers or accounting:
+/// the same workload against 1-, 2-, and 8-shard servers produces
+/// bit-identical response transcripts and identical aggregate cache
+/// statistics.
+#[test]
+fn shard_count_never_changes_answers_or_total_accounting() {
+    let mut transcripts = Vec::new();
+    for shards in [1usize, 2, 8] {
+        let engine = Arc::new(Engine::new(EngineConfig {
+            workers: 2,
+            cache_shards: shards,
+            ..EngineConfig::default()
+        }));
+        let handle = cqa_engine::spawn_server(engine).unwrap();
+        let mut c = Client::connect(handle.addr());
+        let mut transcript = Vec::new();
+        for round in 0..2 {
+            for (name, src) in QUERIES {
+                if round == 0 {
+                    transcript.push(strip(&c.send(&format!("PREPARE {name} {src}")).header));
+                }
+                // Round 1 re-executes, so hits and misses both occur.
+                let resp = c.send(&format!("EXEC {name}"));
+                transcript.push(strip(&resp.header));
+            }
+        }
+        // Aggregate cache accounting from STATS: entries, bytes, hits,
+        // misses, evictions must not depend on the shard count.
+        let stats = c.send("STATS");
+        let cache_line = stats
+            .body
+            .iter()
+            .find(|l| l.starts_with("cache "))
+            .expect("STATS has a cache line")
+            .clone();
+        let accounting: Vec<&str> = cache_line
+            .split_whitespace()
+            .filter(|t| {
+                ["entries=", "bytes=", "hits=", "misses=", "evictions="]
+                    .iter()
+                    .any(|p| t.starts_with(p))
+            })
+            .collect();
+        transcript.push(accounting.join(" "));
+        assert!(
+            cache_line.contains(&format!("shards={shards}")),
+            "{cache_line}"
+        );
+        c.shutdown();
+        handle.join().unwrap();
+        transcripts.push((shards, transcript));
+    }
+    let (_, reference) = &transcripts[0];
+    for (shards, transcript) in &transcripts[1..] {
+        assert_eq!(
+            transcript, reference,
+            "transcript diverged at cache_shards={shards}"
+        );
+    }
+}
+
+/// The reactor's reason to exist: hundreds of open sessions served by a
+/// worker pool they outnumber 100:1. Under thread-per-connection this
+/// workload would reject all but `workers` clients; here every one
+/// connects, idles, and still gets its query answered.
+#[test]
+fn hundreds_of_idle_sessions_cost_no_workers() {
+    const CONNS: usize = 200;
+    let engine = Arc::new(Engine::new(EngineConfig {
+        workers: 2,
+        max_sessions: CONNS + 8,
+        ..EngineConfig::default()
+    }));
+    let handle = cqa_engine::spawn_server(Arc::clone(&engine)).unwrap();
+    // Phase 1: open every connection before any command is sent. Each
+    // greeting proves admission; the sessions then sit idle.
+    let mut clients: Vec<Client> = (0..CONNS).map(|_| Client::connect(handle.addr())).collect();
+    // Phase 2: every idle session wakes up and runs a query; all must be
+    // served by the 2 workers.
+    for c in &mut clients {
+        writeln!(c.w, "VOLUME 0 <= x & x <= 1/2").unwrap();
+        c.w.flush().unwrap();
+    }
+    for c in &mut clients {
+        let resp = c.read();
+        assert!(resp.header.contains("value=1/2"), "{resp:?}");
+    }
+    let last = clients.pop().unwrap();
+    drop(clients);
+    last.shutdown();
+    handle.join().unwrap();
+}
+
+/// Regression for the blocking-busy-write bug: clients rejected over the
+/// session limit used to be answered with a *blocking* write from the
+/// accept path, so one rejected client that never read could stall every
+/// later accept. Now rejects are non-blocking: admitted sessions stay
+/// fully served while a pile of unread rejects hangs around.
+#[test]
+fn unread_busy_rejections_do_not_stall_the_server() {
+    let engine = Arc::new(Engine::new(EngineConfig {
+        workers: 2,
+        max_sessions: 1,
+        ..EngineConfig::default()
+    }));
+    let handle = cqa_engine::spawn_server(Arc::clone(&engine)).unwrap();
+    let mut admitted = Client::connect(handle.addr());
+    // A crowd of over-limit connections that never read their rejection.
+    let rejected: Vec<TcpStream> = (0..32)
+        .map(|_| TcpStream::connect(handle.addr()).unwrap())
+        .collect();
+    // The admitted session must still be served promptly — 20 commands
+    // through a reactor that is simultaneously turning away the crowd.
+    for _ in 0..20 {
+        let resp = admitted.send("VOLUME 0 <= x & x <= 1/2");
+        assert!(resp.header.contains("value=1/2"), "{resp:?}");
+    }
+    drop(rejected);
+    // After the admitted session leaves, the freed slot must be reusable.
+    let resp = admitted.send("CLOSE");
+    assert!(resp.is_ok(), "{resp:?}");
+    let mut next = None;
+    for _ in 0..100 {
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let stream = TcpStream::connect(handle.addr()).unwrap();
+        let mut r = BufReader::new(stream.try_clone().unwrap());
+        let Ok(Some(greeting)) = read_response(&mut r) else {
+            continue;
+        };
+        if greeting.header.starts_with("ERR busy") {
+            continue; // old session not reaped yet
+        }
+        assert!(greeting.is_ok(), "{greeting:?}");
+        next = Some(Client {
+            r,
+            w: BufWriter::new(stream),
+        });
+        break;
+    }
+    next.expect("slot never freed after CLOSE").shutdown();
+    handle.join().unwrap();
+}
+
+/// The body cap over the wire: a body one byte over the limit answers a
+/// typed `ERR proto body too large` *and leaves the connection framed* —
+/// the next pipelined command still parses; a body exactly at the limit
+/// is accepted.
+#[test]
+fn body_cap_rejects_oversized_loads_but_keeps_the_connection_framed() {
+    let program = "rel S(y) := 0 <= y & y <= 1/2";
+    let limit = program.len() + 1; // stored with its trailing newline
+    let engine = Arc::new(Engine::new(EngineConfig {
+        workers: 1,
+        max_body_bytes: limit,
+        ..EngineConfig::default()
+    }));
+    let handle = cqa_engine::spawn_server(Arc::clone(&engine)).unwrap();
+    let mut c = Client::connect(handle.addr());
+    // One byte over: the comment pushes the body to limit+1 bytes.
+    writeln!(c.w, "LOAD").unwrap();
+    writeln!(c.w, "{program}#").unwrap();
+    writeln!(c.w, ".").unwrap();
+    c.w.flush().unwrap();
+    let resp = c.read();
+    assert_eq!(
+        resp.header,
+        format!("ERR proto body too large (limit={limit} bytes)"),
+        "{resp:?}"
+    );
+    // The over-limit body was drained to its dot: the connection is still
+    // framed and the next command is served normally.
+    let resp = c.send("VOLUME 0 <= x & x <= 1/2");
+    assert!(resp.header.contains("value=1/2"), "{resp:?}");
+    // Exactly at the limit: accepted.
+    writeln!(c.w, "LOAD").unwrap();
+    writeln!(c.w, "{program}").unwrap();
+    writeln!(c.w, ".").unwrap();
+    c.w.flush().unwrap();
+    let resp = c.read();
+    assert!(resp.is_ok(), "{resp:?}");
+    let resp = c.send("VOLUME S(x)");
+    assert!(resp.header.contains("value=1/2"), "{resp:?}");
+    c.shutdown();
+    handle.join().unwrap();
+}
+
+/// The warm-start file must be shard-count-independent: a cache persisted
+/// by an 8-shard engine warm-starts a 1-shard engine (and vice versa)
+/// with bit-identical answers served as hits.
+#[test]
+fn warm_file_written_by_eight_shards_boots_one_shard_bit_identically() {
+    let dir = std::env::temp_dir().join(format!("cqa-serving-warm-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mk = |shards: usize| {
+        Engine::with_storage(EngineConfig {
+            cache_shards: shards,
+            data_dir: Some(dir.clone()),
+            ..EngineConfig::default()
+        })
+        .expect("storage opens")
+    };
+    let dispatch = |e: &Engine, s: &mut cqa_engine::Session, line: &str| {
+        e.dispatch(s, parse_command(line).expect(line))
+    };
+    let cold = {
+        let e = mk(8);
+        let mut s = e.open_session();
+        assert!(dispatch(&e, &mut s, "PERSIST main").is_ok());
+        assert!(dispatch(
+            &e,
+            &mut s,
+            "PREPARE bump y <= x*x & 0 <= y & 0 <= x & x <= 1"
+        )
+        .is_ok());
+        let r = dispatch(&e, &mut s, "EXEC bump");
+        assert!(r.header.contains("cache=miss"), "{r:?}");
+        strip(&r.header)
+        // Dropped with no SHUTDOWN: the per-miss warm flush is the only
+        // persistence.
+    };
+    let e = mk(1);
+    let mut s = e.open_session();
+    assert!(dispatch(&e, &mut s, "PERSIST main").is_ok());
+    assert!(dispatch(
+        &e,
+        &mut s,
+        "PREPARE bump y <= x*x & 0 <= y & 0 <= x & x <= 1"
+    )
+    .is_ok());
+    let r = dispatch(&e, &mut s, "EXEC bump");
+    assert!(
+        r.header.contains("cache=hit"),
+        "1-shard boot must hit the 8-shard warm file: {r:?}"
+    );
+    assert_eq!(strip(&r.header), cold, "warm answer diverged");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -48,6 +48,9 @@ run_capped cargo test -q --offline -p cqa-qe --test plan_parity
 echo "== storage durability (kill-and-replay, torn tail, crash-point sweep) =="
 run_capped cargo test -q --offline -p cqa-engine --test storage
 
+echo "== serving layer (pipelining order/parity, shard bit-identity, idle sessions, busy path, body caps) =="
+run_capped cargo test -q --offline -p cqa-engine --test serving
+
 echo "== E16 smoke (FM dedup ratio; >= 2x key-cost floor asserted inside) =="
 run_capped ./target/release/report e16
 
@@ -62,6 +65,9 @@ run_capped ./target/release/report e19
 
 echo "== E20 smoke (durable storage; >= 5x recovered-boot floor + bit-identity asserted inside) =="
 run_capped ./target/release/report e20
+
+echo "== E21 smoke (serving layer; >= 2x reactor-throughput floor + bit-identity asserted inside) =="
+run_capped ./target/release/report e21
 
 echo "== static analysis demos =="
 cargo run -q --offline -p cqa-bench --bin cqa-lint -- \
@@ -123,6 +129,11 @@ EXEC above
 VOLUME x*x + y*y <= 1
 PREPARE bad Missing(q) & q > 0
 STATS
+@t7 EXEC above
+BATCH
+above
+above 0.2 0.1
+.
 SHUTDOWN
 EOF
 cat "$SHELL_LOG"
@@ -136,7 +147,42 @@ grep -q "^ERR lint" "$SHELL_LOG"
 grep -q "error\[CQA004\]: unknown relation" "$SHELL_LOG"
 # STATS shows the cache did its job.
 grep -q "hits=1" "$SHELL_LOG"
+# Pipelining surface: a tagged request echoes its tag on the response, and
+# a dot-terminated BATCH body answers one inner EXEC header per spec.
+grep -q "^@t7 OK EXEC above" "$SHELL_LOG"
+grep -q "^OK BATCH n=2 errors=0" "$SHELL_LOG"
 # Clean shutdown: the server process exits 0 (workers joined, no leak).
+run_capped tail --pid="$SERVE_PID" -f /dev/null
+wait "$SERVE_PID"
+
+echo "== threaded-baseline smoke (cqa-serve --threaded parity oracle) =="
+: > "$SERVE_LOG"
+./target/release/cqa-serve --threaded --workers 2 --timeout-ms 2000 \
+  --preload examples/lint/endpoints.cqa > "$SERVE_LOG" &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 50); do
+  ADDR="$(sed -n 's/^LISTENING //p' "$SERVE_LOG")"
+  [ -n "$ADDR" ] && break
+  sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+  echo "cqa-serve --threaded did not print LISTENING" >&2
+  kill "$SERVE_PID" 2>/dev/null || true
+  exit 1
+fi
+run_capped ./target/release/cqa-shell "$ADDR" > "$SHELL_LOG" <<'EOF'
+PREPARE above S(x) & x >= 0.5
+@t1 EXEC above
+BATCH
+above
+.
+SHUTDOWN
+EOF
+cat "$SHELL_LOG"
+# Same protocol surface as the reactor front end.
+grep -q "^@t1 OK EXEC above status=exact value=1/4" "$SHELL_LOG"
+grep -q "^OK BATCH n=1 errors=0" "$SHELL_LOG"
 run_capped tail --pid="$SERVE_PID" -f /dev/null
 wait "$SERVE_PID"
 
